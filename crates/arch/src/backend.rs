@@ -1,0 +1,79 @@
+use crate::{ArchError, MicroOp, PimConfig};
+
+/// The execution side of the micro-operation interface — implemented by the
+/// physical chip, by the bit-accurate simulator ([`pim-sim`]), and by the
+/// driver-benchmark sink that reroutes operations to a memory buffer
+/// (Artifact Appendix E of the paper).
+///
+/// The host driver interacts with the memory *only* through this trait,
+/// which is what lets the simulator act as a drop-in replacement for a
+/// digital PIM chip (§VI).
+///
+/// [`pim-sim`]: https://docs.rs/pim-sim
+pub trait Backend {
+    /// The geometry this backend was built for.
+    fn config(&self) -> &PimConfig;
+
+    /// Executes one micro-operation, returning the `N`-bit response for
+    /// [`MicroOp::Read`] and `None` for every other type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] when the operation is invalid for the
+    /// configured geometry or violates the execution protocol.
+    fn execute(&mut self, op: &MicroOp) -> Result<Option<u32>, ArchError>;
+
+    /// Executes a batch of non-read micro-operations. Backends may override
+    /// this to parallelize; the default loops over [`execute`](Self::execute).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on the first failing operation, or
+    /// [`ArchError::Protocol`] if the batch contains a read (reads return
+    /// data and must go through `execute`).
+    fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
+        for op in ops {
+            if matches!(op, MicroOp::Read { .. }) {
+                return Err(ArchError::Protocol {
+                    reason: "read operations cannot be batched".into(),
+                });
+            }
+            self.execute(op)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes a stream of pre-encoded 64-bit operation words — the form a
+    /// production host driver DMAs to the on-chip controller. The default
+    /// decodes and executes each word; buffer-style backends override this
+    /// with a plain copy, which is what the driver-throughput benchmark
+    /// measures.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode or execution errors.
+    fn stream(&mut self, words: &[u64]) -> Result<(), ArchError> {
+        for &w in words {
+            self.execute(&crate::encode::decode(w)?)?;
+        }
+        Ok(())
+    }
+}
+
+impl<B: Backend + ?Sized> Backend for &mut B {
+    fn config(&self) -> &PimConfig {
+        (**self).config()
+    }
+
+    fn execute(&mut self, op: &MicroOp) -> Result<Option<u32>, ArchError> {
+        (**self).execute(op)
+    }
+
+    fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
+        (**self).execute_batch(ops)
+    }
+
+    fn stream(&mut self, words: &[u64]) -> Result<(), ArchError> {
+        (**self).stream(words)
+    }
+}

@@ -1,0 +1,267 @@
+use crate::{ArchError, WORD_BITS};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing parameters of a digital memristive PIM memory.
+///
+/// The evaluated configuration of the paper (Table III) is an 8 GB memory of
+/// 64k crossbars, each `1024 × 1024` memristors with `N = 32` partitions and
+/// a 300 MHz logic clock. All libraries in this workspace are parameterized
+/// over this structure, so tests and benchmarks can run on smaller
+/// geometries; latency in *cycles* is geometry-independent, only the
+/// parallelism term of the throughput equation (Eq. 1) changes.
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::PimConfig;
+///
+/// let cfg = PimConfig::paper();
+/// assert_eq!(cfg.crossbars, 65_536);
+/// assert_eq!(cfg.row_bits(), 1024);
+/// assert_eq!(cfg.capacity_bytes(), 8 << 30); // 8 GB
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PimConfig {
+    /// Number of crossbar arrays in the memory (warps, §IV).
+    pub crossbars: usize,
+    /// Rows per crossbar (`h`; threads per warp).
+    pub rows: usize,
+    /// Partitions per row (`N`). Must currently equal [`WORD_BITS`].
+    pub partitions: usize,
+    /// Columns per partition (`w / N`), which is also the number of word
+    /// registers per thread because of the strided data format (§III-C).
+    pub regs: usize,
+    /// How many of [`regs`](Self::regs) are exposed through the ISA; the
+    /// remainder are reserved as host-driver scratch space for compiling
+    /// arithmetic routines.
+    pub user_regs: usize,
+    /// PIM logic clock frequency in Hz (Table III: 300 MHz).
+    pub clock_hz: f64,
+}
+
+impl PimConfig {
+    /// The evaluation configuration from Table III of the paper: 64k
+    /// crossbars of `1024 × 1024` with 32 partitions at 300 MHz (8 GB).
+    ///
+    /// This geometry is used for *throughput math*; simulating all 64k
+    /// crossbars bit-accurately is possible but slow, so tests use
+    /// [`PimConfig::small`] and scale analytically.
+    pub fn paper() -> Self {
+        PimConfig {
+            crossbars: 65_536,
+            rows: 1024,
+            partitions: WORD_BITS,
+            regs: 32,
+            user_regs: 16,
+            clock_hz: 300e6,
+        }
+    }
+
+    /// A small geometry suitable for unit tests: 16 crossbars of `64 × 1024`
+    /// bits (64 rows, 32 registers), 32 partitions.
+    pub fn small() -> Self {
+        PimConfig { crossbars: 16, rows: 64, partitions: WORD_BITS, regs: 32, user_regs: 16, clock_hz: 300e6 }
+    }
+
+    /// A medium geometry for integration tests and quick benchmarks:
+    /// 64 crossbars × 256 rows (16k threads).
+    pub fn medium() -> Self {
+        PimConfig { crossbars: 64, rows: 256, partitions: WORD_BITS, regs: 32, user_regs: 16, clock_hz: 300e6 }
+    }
+
+    /// Returns a copy with a different number of crossbars.
+    pub fn with_crossbars(mut self, crossbars: usize) -> Self {
+        self.crossbars = crossbars;
+        self
+    }
+
+    /// Returns a copy with a different row count per crossbar.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Returns a copy with a different number of ISA-visible registers.
+    pub fn with_user_regs(mut self, user_regs: usize) -> Self {
+        self.user_regs = user_regs;
+        self
+    }
+
+    /// Validates the configuration envelope supported by this workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if any dimension is zero, the
+    /// partition count differs from [`WORD_BITS`], the register space cannot
+    /// hold the ISA registers, or a dimension exceeds the wire-format field
+    /// widths of [`crate::encode`].
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let fail = |reason: String| Err(ArchError::InvalidConfig { reason });
+        if self.crossbars == 0 || self.rows == 0 || self.regs == 0 {
+            return fail("crossbars, rows, and regs must all be nonzero".into());
+        }
+        if self.partitions != WORD_BITS {
+            return fail(format!(
+                "this implementation requires partitions == word size == {WORD_BITS} \
+                 (got {})",
+                self.partitions
+            ));
+        }
+        if self.user_regs == 0 || self.user_regs > self.regs {
+            return fail(format!(
+                "user_regs ({}) must be in 1..={} (total registers)",
+                self.user_regs, self.regs
+            ));
+        }
+        if self.regs > 32 {
+            return fail(format!("regs ({}) exceeds the 5-bit index field of the wire format", self.regs));
+        }
+        if self.rows > 1 << 16 {
+            return fail(format!("rows ({}) exceeds the 16-bit row field of the wire format", self.rows));
+        }
+        if self.crossbars > 1 << 20 {
+            return fail(format!(
+                "crossbars ({}) exceeds the 20-bit crossbar field of the wire format",
+                self.crossbars
+            ));
+        }
+        if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
+            return fail(format!("clock_hz ({}) must be a positive, finite frequency", self.clock_hz));
+        }
+        Ok(())
+    }
+
+    /// Width of a crossbar row in bits (`w = N × regs`).
+    pub fn row_bits(&self) -> usize {
+        self.partitions * self.regs
+    }
+
+    /// Total number of threads (rows across all crossbars) — the
+    /// `Parallelism[ops]` term of the paper's throughput equation (Eq. 1).
+    pub fn total_threads(&self) -> u64 {
+        self.crossbars as u64 * self.rows as u64
+    }
+
+    /// Total memory capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_threads() * self.row_bits() as u64 / 8
+    }
+
+    /// Number of scratch registers available to the host driver
+    /// (`regs - user_regs`).
+    pub fn scratch_regs(&self) -> usize {
+        self.regs - self.user_regs
+    }
+
+    /// Throughput in operations per second for an operation that takes
+    /// `cycles` PIM cycles with every thread active — the paper's Eq. (1):
+    /// `Throughput = Parallelism / Latency × Frequency`.
+    ///
+    /// Returns `f64::INFINITY` for `cycles == 0` inputs only if there are
+    /// threads; a zero-cycle operation never occurs in practice.
+    pub fn throughput_ops_per_sec(&self, cycles: u64) -> f64 {
+        self.total_threads() as f64 / cycles as f64 * self.clock_hz
+    }
+}
+
+impl Default for PimConfig {
+    /// Defaults to the paper's Table III configuration.
+    fn default() -> Self {
+        PimConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_matches_table3() {
+        // Table III: 8GB memory, 1024x1024 crossbars, 32 partitions,
+        // word size 32, 300 MHz, 64k crossbars.
+        let cfg = PimConfig::paper();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.capacity_bytes(), 8 * (1 << 30));
+        assert_eq!(cfg.row_bits(), 1024);
+        assert_eq!(cfg.rows, 1024);
+        assert_eq!(cfg.partitions, 32);
+        assert_eq!(cfg.clock_hz, 300e6);
+        // 64M rows of parallelism, as quoted under Eq. (1).
+        assert_eq!(cfg.total_threads(), 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn small_and_medium_validate() {
+        PimConfig::small().validate().unwrap();
+        PimConfig::medium().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(PimConfig::small().with_crossbars(0).validate().is_err());
+        assert!(PimConfig::small().with_rows(0).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_partitions() {
+        let mut cfg = PimConfig::small();
+        cfg.partitions = 16;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_user_regs() {
+        assert!(PimConfig::small().with_user_regs(0).validate().is_err());
+        assert!(PimConfig::small().with_user_regs(33).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_geometry() {
+        let mut cfg = PimConfig::small();
+        cfg.rows = (1 << 16) + 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = PimConfig::small();
+        cfg.crossbars = (1 << 20) + 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = PimConfig::small();
+        cfg.regs = 64;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_clock() {
+        let mut cfg = PimConfig::small();
+        cfg.clock_hz = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.clock_hz = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn throughput_equation_matches_paper_example() {
+        // Eq. (1): 64M rows at 300 MHz; a 1-cycle op would sustain
+        // 64M * 300e6 ops/s.
+        let cfg = PimConfig::paper();
+        let t = cfg.throughput_ops_per_sec(1);
+        assert_eq!(t, 64.0 * 1024.0 * 1024.0 * 300e6);
+        // 289-cycle 32-bit addition (9N+1): ~6.97e13 ops/s.
+        let t_add = cfg.throughput_ops_per_sec(289);
+        assert!((t_add - t / 289.0).abs() < 1e3);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let cfg = PimConfig::small().with_crossbars(4).with_rows(16).with_user_regs(8);
+        assert_eq!(cfg.crossbars, 4);
+        assert_eq!(cfg.rows, 16);
+        assert_eq!(cfg.user_regs, 8);
+        assert_eq!(cfg.scratch_regs(), 24);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let cfg = PimConfig::medium();
+        assert_eq!(cfg.clone(), cfg);
+        assert_ne!(PimConfig::small(), PimConfig::paper());
+    }
+}

@@ -1,0 +1,107 @@
+use std::fmt;
+
+/// Errors raised while constructing or validating micro-operations.
+///
+/// Every constructor in this crate validates its arguments (ranges in bounds,
+/// partition sections disjoint, step sizes dividing spans, …) and reports
+/// violations through this type rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A range mask was malformed (zero step, reversed bounds, or a step that
+    /// does not divide `stop - start`).
+    InvalidRange {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration parameter was out of the supported envelope.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A column/partition/row address exceeded the configured geometry.
+    AddressOutOfBounds {
+        /// What kind of address was out of bounds (e.g. `"partition"`).
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// Exclusive upper bound that was violated.
+        bound: u64,
+    },
+    /// A horizontal logic operation violated the restricted partition model
+    /// of §III-D3 (e.g. overlapping concurrent sections, or a periodicity
+    /// step that does not divide the span).
+    InvalidPartitionPattern {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An inter-crossbar move violated the H-tree communication pattern of
+    /// §III-F (non-power-of-4 step, overlapping source/destination sets, or
+    /// destinations outside the memory).
+    InvalidMove {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A 64-bit word could not be decoded into a micro-operation.
+    DecodeError {
+        /// The unrecognized opcode field.
+        opcode: u8,
+    },
+    /// The micro-operation protocol was violated at execution time — e.g. a
+    /// read whose masks select more than one row, or (in strict simulation
+    /// mode) a stateful-logic output cell that was not initialized to 1.
+    Protocol {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidRange { reason } => write!(f, "invalid range mask: {reason}"),
+            ArchError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            ArchError::AddressOutOfBounds { what, value, bound } => {
+                write!(f, "{what} address {value} out of bounds (must be < {bound})")
+            }
+            ArchError::InvalidPartitionPattern { reason } => {
+                write!(f, "invalid partition pattern: {reason}")
+            }
+            ArchError::InvalidMove { reason } => write!(f, "invalid move operation: {reason}"),
+            ArchError::DecodeError { opcode } => {
+                write!(f, "cannot decode micro-operation with opcode {opcode}")
+            }
+            ArchError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            ArchError::InvalidRange { reason: "zero step".into() },
+            ArchError::InvalidConfig { reason: "no rows".into() },
+            ArchError::AddressOutOfBounds { what: "partition", value: 40, bound: 32 },
+            ArchError::InvalidPartitionPattern { reason: "sections overlap".into() },
+            ArchError::InvalidMove { reason: "step not a power of 4".into() },
+            ArchError::DecodeError { opcode: 15 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! Hierarchical H-tree addressing for distributed inter-crossbar
+//! communication (§III-F, Figure 9).
+//!
+//! Crossbars are numbered so that each H-tree group contains all crossbars
+//! sharing an id prefix in base 4 (e.g. group `10xx` holds crossbars
+//! `1000..=1011` in binary). A *distributed move* pairs every source
+//! crossbar `XB` (selected by the crossbar mask) with destination
+//! `XB + dist`; transfers between disjoint groups proceed in parallel,
+//! while transfers sharing links serialize.
+
+use crate::{ArchError, MoveOp, PimConfig, RangeMask, XbId};
+
+/// The H-tree level at which crossbars `a` and `b` first share a group:
+/// `0` means the same crossbar, `1` means the same leaf group of 4, and so
+/// on. This is the number of tree levels a transfer between them must climb.
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::htree::level;
+///
+/// assert_eq!(level(0b0001, 0b0010), 1); // same group of 4
+/// assert_eq!(level(0b0001, 0b0101), 2); // same group of 16
+/// assert_eq!(level(5, 5), 0);
+/// ```
+pub fn level(a: XbId, b: XbId) -> u32 {
+    let mut l = 0;
+    let (mut a, mut b) = (a, b);
+    while a != b {
+        a >>= 2;
+        b >>= 2;
+        l += 1;
+    }
+    l
+}
+
+/// Whether `x` is a power of four (the required crossbar-mask step for
+/// distributed moves, §III-F).
+pub fn is_power_of_four(x: u32) -> bool {
+    x.is_power_of_two() && x.trailing_zeros() % 2 == 0
+}
+
+/// Validation and cost summary for one distributed move micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovePlan {
+    /// Number of source→destination pairs performed.
+    pub pairs: u64,
+    /// H-tree level climbed by each transfer (uniform across pairs because
+    /// the distance is uniform and the step aligns groups).
+    pub tree_level: u32,
+    /// Cycles this micro-operation occupies: 1 when all pairs use disjoint
+    /// H-tree groups (`|dist| < step`), otherwise the transfers serialize
+    /// through shared upper-level links (one cycle per pair).
+    pub cycles: u64,
+}
+
+/// Validates a distributed move against the H-tree pattern rules and
+/// computes its cost.
+///
+/// Rules (§III-F): the source crossbar set comes from the current crossbar
+/// mask, whose `step` must be a power of 4; the distance is uniform; every
+/// destination must lie inside the memory; and the destination set must not
+/// intersect the source set (each crossbar either reads onto or writes from
+/// the bus in a given cycle).
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidMove`] if any rule is violated.
+pub fn plan_move(mask: &RangeMask, mv: &MoveOp, cfg: &PimConfig) -> Result<MovePlan, ArchError> {
+    let bad = |reason: String| Err(ArchError::InvalidMove { reason });
+    if mv.dist == 0 {
+        return bad("move distance must be nonzero".into());
+    }
+    if !is_power_of_four(mask.step()) && !mask.is_single() {
+        return bad(format!("crossbar mask step ({}) must be a power of 4", mask.step()));
+    }
+    mask.check_bound("crossbar", cfg.crossbars as u64)?;
+    // Destination bounds.
+    let first_dst = mask.start() as i64 + mv.dist as i64;
+    let last_dst = mask.stop() as i64 + mv.dist as i64;
+    if first_dst < 0 || last_dst >= cfg.crossbars as i64 {
+        return bad(format!(
+            "destination crossbars {first_dst}..={last_dst} fall outside 0..{}",
+            cfg.crossbars
+        ));
+    }
+    // Source/destination disjointness. Both sets share the mask's step, so
+    // they intersect iff the distance is a multiple of the step and the
+    // shifted range overlaps.
+    let step = mask.step() as i64;
+    let overlaps = mv.dist as i64 % step == 0
+        && first_dst <= mask.stop() as i64
+        && last_dst >= mask.start() as i64;
+    if overlaps {
+        return bad(format!(
+            "destination set overlaps source set (dist {} with step {})",
+            mv.dist, step
+        ));
+    }
+    let pairs = mask.len() as u64;
+    let tree_level = level(mask.start(), first_dst as u32);
+    // Disjoint groups: each pair stays inside one group of `step` crossbars.
+    let disjoint = (mv.dist.unsigned_abs() as u64) < mask.step() as u64
+        && (mask.start() as u64 / mask.step() as u64
+            == first_dst as u64 / mask.step() as u64 || mask.is_single());
+    let cycles = if disjoint || pairs == 1 { 1 } else { pairs };
+    Ok(MovePlan { pairs, tree_level, cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PimConfig {
+        PimConfig::small() // 16 crossbars, as in Figure 9
+    }
+
+    fn mv(dist: i32) -> MoveOp {
+        MoveOp { dist, row_src: 0, row_dst: 0, index_src: 0, index_dst: 0 }
+    }
+
+    #[test]
+    fn figure9_example() {
+        // "Crossbars xx01 transferring data to crossbars xx10 for all xx":
+        // XBstart = 0001, XBstep = 0100, XBstop = 1101, dist = 0001.
+        let mask = RangeMask::new(0b0001, 0b1101, 0b0100).unwrap();
+        let plan = plan_move(&mask, &mv(1), &cfg()).unwrap();
+        assert_eq!(plan.pairs, 4);
+        assert_eq!(plan.tree_level, 1); // within each leaf group of 4
+        assert_eq!(plan.cycles, 1); // fully parallel across groups
+    }
+
+    #[test]
+    fn level_is_symmetric_and_monotone() {
+        assert_eq!(level(0, 0), 0);
+        for (a, b) in [(0u32, 3u32), (4, 7), (12, 15)] {
+            assert_eq!(level(a, b), 1);
+            assert_eq!(level(b, a), 1);
+        }
+        assert_eq!(level(0, 15), 2);
+        assert_eq!(level(0, 16), 3);
+    }
+
+    #[test]
+    fn power_of_four() {
+        for x in [1u32, 4, 16, 64, 256, 65536] {
+            assert!(is_power_of_four(x), "{x}");
+        }
+        for x in [0u32, 2, 3, 8, 12, 32, 128] {
+            assert!(!is_power_of_four(x), "{x}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_distance() {
+        let mask = RangeMask::single(3);
+        assert!(plan_move(&mask, &mv(0), &cfg()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_four_step() {
+        let mask = RangeMask::new(0, 6, 2).unwrap();
+        assert!(plan_move(&mask, &mv(1), &cfg()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_destination() {
+        let mask = RangeMask::single(15);
+        assert!(plan_move(&mask, &mv(1), &cfg()).is_err());
+        let mask = RangeMask::single(0);
+        assert!(plan_move(&mask, &mv(-1), &cfg()).is_err());
+    }
+
+    #[test]
+    fn rejects_overlapping_source_destination() {
+        // Sources {0, 4, 8}, dist 4 -> destinations {4, 8, 12}: overlap.
+        let mask = RangeMask::new(0, 8, 4).unwrap();
+        assert!(plan_move(&mask, &mv(4), &cfg()).is_err());
+    }
+
+    #[test]
+    fn inter_group_moves_serialize() {
+        // Sources {0..=3} step 1... step must be power of 4; use step 4:
+        // sources {0, 4}, dist 8 -> destinations {8, 12}; dist >= step so
+        // transfers climb shared links and serialize.
+        let mask = RangeMask::new(0, 4, 4).unwrap();
+        let plan = plan_move(&mask, &mv(8), &cfg()).unwrap();
+        assert_eq!(plan.pairs, 2);
+        assert_eq!(plan.cycles, 2);
+        assert_eq!(plan.tree_level, 2);
+    }
+
+    #[test]
+    fn single_crossbar_move_is_one_cycle() {
+        let mask = RangeMask::single(5);
+        let plan = plan_move(&mask, &mv(9), &cfg()).unwrap();
+        assert_eq!(plan.pairs, 1);
+        assert_eq!(plan.cycles, 1);
+    }
+
+    #[test]
+    fn warp_halving_pattern_used_by_reduction() {
+        // Reduction pairs warp w with warp w + half: sources are the upper
+        // half {8..=15}, destinations the lower half, dist = -8.
+        let mask = RangeMask::new(8, 15, 1).unwrap();
+        // Step 1 is a power of four (4^0), distance -8.
+        let plan = plan_move(&mask, &mv(-8), &cfg()).unwrap();
+        assert_eq!(plan.pairs, 8);
+        assert_eq!(plan.cycles, 8); // serialized through the root
+    }
+}

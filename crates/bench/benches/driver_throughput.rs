@@ -1,0 +1,46 @@
+//! Host-driver throughput (Figure 13 "Host Driver" series; Artifact
+//! Appendix E): how fast the software driver can translate macro-
+//! instructions into micro-operations rerouted to a memory buffer. The
+//! measured rate divided by the 300 MHz PIM clock is the driver headroom
+//! the paper quotes as 9.5× on average.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pim_arch::PimConfig;
+use pim_driver::{Driver, SinkBackend};
+use pim_isa::{DType, Instruction, RegOp, ThreadRange};
+
+fn bench_driver(c: &mut Criterion) {
+    let cfg = PimConfig::small();
+    let ops: [(RegOp, DType, &str); 6] = [
+        (RegOp::Add, DType::Int32, "int_add"),
+        (RegOp::Mul, DType::Int32, "int_mul"),
+        (RegOp::Div, DType::Int32, "int_div"),
+        (RegOp::Add, DType::Float32, "fp_add"),
+        (RegOp::Mul, DType::Float32, "fp_mul"),
+        (RegOp::Div, DType::Float32, "fp_div"),
+    ];
+    let mut group = c.benchmark_group("driver_throughput");
+    for (op, dtype, name) in ops {
+        let mut driver = Driver::new(SinkBackend::new(cfg.clone()).unwrap());
+        let instr = Instruction::RType {
+            op,
+            dtype,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target: ThreadRange::all(&cfg),
+        };
+        driver.execute_streamed(&instr).unwrap(); // warm the caches
+        let before = driver.backend().total_ops();
+        driver.execute_streamed(&instr).unwrap();
+        let ops_per_instr = driver.backend().total_ops() - before;
+        group.throughput(Throughput::Elements(ops_per_instr));
+        group.bench_function(name, |b| {
+            b.iter(|| driver.execute_streamed(&instr).unwrap());
+        });
+        std::hint::black_box(driver.backend().digest());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_driver);
+criterion_main!(benches);

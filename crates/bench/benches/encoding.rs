@@ -1,0 +1,46 @@
+//! Micro-operation wire-format performance (Figure 5 / Table I): encode
+//! and decode rates for the 64-bit operation words, which bound the
+//! driver→controller interface bandwidth.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pim_arch::{encode, GateKind, HLogic, MicroOp, MoveOp, PimConfig, RangeMask, VGate};
+
+fn sample_ops(cfg: &PimConfig) -> Vec<MicroOp> {
+    vec![
+        MicroOp::XbMask(RangeMask::new(0, 12, 4).unwrap()),
+        MicroOp::RowMask(RangeMask::new(1, 63, 2).unwrap()),
+        MicroOp::Write { index: 7, value: 0xDEAD_BEEF },
+        MicroOp::LogicH(HLogic::parallel(GateKind::Nor, 0, 1, 2, cfg).unwrap()),
+        MicroOp::LogicH(HLogic::init_reg(true, 5, cfg).unwrap()),
+        MicroOp::LogicV { gate: VGate::Not, row_in: 3, row_out: 60, index: 5 },
+        MicroOp::Move(MoveOp { dist: -12, row_src: 1, row_dst: 2, index_src: 3, index_dst: 4 }),
+    ]
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let cfg = PimConfig::small();
+    let ops = sample_ops(&cfg);
+    let words: Vec<u64> = ops.iter().map(encode::encode).collect();
+    let mut group = c.benchmark_group("wire_format");
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for op in &ops {
+                acc ^= encode::encode(op);
+            }
+            acc
+        });
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            for &w in &words {
+                std::hint::black_box(encode::decode(w).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Routine compilation cost: how long the gate-level compiler takes to
+//! lower each macro-operation the first time (cache misses). Steady-state
+//! execution replays cached routines, so this is a cold-start metric —
+//! together with `driver_throughput` it shows why the routine cache makes
+//! the software driver viable (§V-B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_arch::PimConfig;
+use pim_driver::{routines, ParallelismMode};
+use pim_isa::{DType, RegOp};
+
+fn bench_compile(c: &mut Criterion) {
+    let cfg = PimConfig::small();
+    let cases: [(RegOp, DType, &str); 7] = [
+        (RegOp::Add, DType::Int32, "int_add_serial"),
+        (RegOp::Mul, DType::Int32, "int_mul"),
+        (RegOp::Div, DType::Int32, "int_div"),
+        (RegOp::Add, DType::Float32, "fp_add"),
+        (RegOp::Mul, DType::Float32, "fp_mul"),
+        (RegOp::Div, DType::Float32, "fp_div"),
+        (RegOp::Lt, DType::Float32, "fp_lt"),
+    ];
+    let mut group = c.benchmark_group("routine_compile");
+    for (op, dtype, name) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                routines::compile_rtype(
+                    &cfg,
+                    ParallelismMode::BitSerial,
+                    op,
+                    dtype,
+                    2,
+                    &[0, 1][..op.arity().min(2)],
+                )
+                .unwrap()
+            });
+        });
+    }
+    // The partition-parallel adder (ablation counterpart).
+    group.bench_function("int_add_parallel", |b| {
+        b.iter(|| {
+            routines::compile_rtype(
+                &cfg,
+                ParallelismMode::BitParallel,
+                RegOp::Add,
+                DType::Int32,
+                2,
+                &[0, 1],
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

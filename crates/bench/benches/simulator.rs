@@ -1,0 +1,37 @@
+//! Simulator execution speed: how many micro-operations per second the
+//! bit-accurate CPU simulator sustains — the CPU stand-in for the paper's
+//! GPU acceleration (§VI). Measured with the batched (parallel-across-
+//! crossbars) path and the strict checker on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pim_arch::{Backend, PimConfig};
+use pim_driver::routines;
+use pim_isa::{DType, RegOp};
+use pim_sim::PimSimulator;
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = PimConfig::small().with_crossbars(64).with_rows(256);
+    let routine = routines::compile_rtype(
+        &cfg,
+        pim_driver::ParallelismMode::BitSerial,
+        RegOp::Add,
+        DType::Int32,
+        2,
+        &[0, 1],
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(routine.ops.len() as u64));
+    for strict in [true, false] {
+        let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+        sim.set_strict(strict);
+        let name = if strict { "int_add_strict" } else { "int_add_fast" };
+        group.bench_function(name, |b| {
+            b.iter(|| sim.execute_batch(&routine.ops).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

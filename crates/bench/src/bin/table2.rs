@@ -1,0 +1,60 @@
+//! Regenerates Table II of the PyPIM paper as a coverage and cost matrix:
+//! every R-type operation × datatype, whether it is supported, and its
+//! measured vs theoretical PIM cycle counts under both parallelism modes
+//! where applicable.
+//!
+//! Usage: `cargo run --release -p pim-bench --bin table2`
+
+use pim_arch::PimConfig;
+use pim_driver::{theory, ParallelismMode};
+use pim_isa::{DType, RegOp};
+
+fn main() {
+    let cfg = PimConfig::small();
+    println!("Table II reproduction — supported R-type operations and cycle costs");
+    println!("{:-<78}", "");
+    println!(
+        "{:<14} {:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Operation", "Category", "int32", "theory", "float32", "theory", "ovh%"
+    );
+    for op in RegOp::ALL {
+        let int = theory::rtype_stats(&cfg, ParallelismMode::BitSerial, op, DType::Int32).ok();
+        let flt =
+            theory::rtype_stats(&cfg, ParallelismMode::BitSerial, op, DType::Float32).ok();
+        let fmt = |s: Option<&pim_driver::RoutineStats>, which: usize| match s {
+            Some(st) => {
+                if which == 0 {
+                    format!("{}", st.total_cycles())
+                } else {
+                    format!("{}", st.logic_cycles)
+                }
+            }
+            None => "✗".into(),
+        };
+        let ovh = int
+            .as_ref()
+            .map(|s| format!("{:.1}", 100.0 * s.overhead_fraction()))
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            op.to_string(),
+            op.category(),
+            fmt(int.as_ref(), 0),
+            fmt(int.as_ref(), 1),
+            fmt(flt.as_ref(), 0),
+            fmt(flt.as_ref(), 1),
+            ovh,
+        );
+    }
+    println!("\nParallelism-mode ablation (integer addition):");
+    for mode in [ParallelismMode::BitSerial, ParallelismMode::BitParallel] {
+        let s = theory::rtype_stats(&cfg, mode, RegOp::Add, DType::Int32).expect("add compiles");
+        println!(
+            "  {:?}: {} cycles ({} logic + {} init overhead)",
+            mode,
+            s.total_cycles(),
+            s.logic_cycles,
+            s.overhead_cycles
+        );
+    }
+}

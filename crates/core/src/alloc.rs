@@ -1,0 +1,268 @@
+//! PIM-optimized dynamic memory management (§V-A).
+//!
+//! A tensor occupies a *stripe*: one ISA register index across all rows of
+//! a contiguous range of warps. Parallel operations require operands in the
+//! same threads, so the allocator works to co-locate tensors: requests can
+//! name a *reference stripe* (the paper's reference-tensor option), and the
+//! fallback copy in the ops layer handles the misaligned remainder.
+
+use crate::{CoreError, Result};
+use pim_arch::PimConfig;
+use std::collections::BTreeMap;
+
+/// A register stripe: register `reg` across every row of warps
+/// `warp_start .. warp_start + warps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stripe {
+    /// ISA register index.
+    pub reg: u8,
+    /// First warp of the stripe.
+    pub warp_start: u32,
+    /// Number of consecutive warps.
+    pub warps: u32,
+}
+
+/// Free-interval bookkeeping for one register index.
+#[derive(Debug, Default, Clone)]
+struct Intervals {
+    /// `start -> len` of free warp ranges, non-overlapping, non-adjacent.
+    free: BTreeMap<u32, u32>,
+}
+
+impl Intervals {
+    fn new(total: u32) -> Self {
+        let mut free = BTreeMap::new();
+        free.insert(0, total);
+        Intervals { free }
+    }
+
+    /// Claims `[start, start+len)` exactly; `false` if not fully free.
+    fn claim_exact(&mut self, start: u32, len: u32) -> bool {
+        let (&fs, &fl) = match self.free.range(..=start).next_back() {
+            Some(kv) => kv,
+            None => return false,
+        };
+        if start < fs || start + len > fs + fl {
+            return false;
+        }
+        self.free.remove(&fs);
+        if start > fs {
+            self.free.insert(fs, start - fs);
+        }
+        if fs + fl > start + len {
+            self.free.insert(start + len, fs + fl - (start + len));
+        }
+        true
+    }
+
+    /// Claims the first free range of `len` warps.
+    fn claim_first(&mut self, len: u32) -> Option<u32> {
+        let start = self
+            .free
+            .iter()
+            .find(|(_, &l)| l >= len)
+            .map(|(&s, _)| s)?;
+        self.claim_exact(start, len).then_some(start)
+    }
+
+    /// Returns `[start, start+len)` to the free set, merging neighbors.
+    fn release(&mut self, start: u32, len: u32) {
+        let mut start = start;
+        let mut len = len;
+        if let Some((&ps, &pl)) = self.free.range(..start).next_back() {
+            assert!(ps + pl <= start, "double free of warp range");
+            if ps + pl == start {
+                self.free.remove(&ps);
+                start = ps;
+                len += pl;
+            }
+        }
+        if let Some((&ns, &nl)) = self.free.range(start + len..).next() {
+            if start + len == ns {
+                self.free.remove(&ns);
+                len += nl;
+            }
+        }
+        assert!(
+            self.free.range(start..start + len).next().is_none(),
+            "double free of warp range"
+        );
+        self.free.insert(start, len);
+    }
+}
+
+/// The stripe allocator over all ISA registers.
+#[derive(Debug)]
+pub struct MemoryManager {
+    per_reg: Vec<Intervals>,
+    total_warps: u32,
+    /// Rotating hint so consecutive allocations land in the same warp
+    /// window on different registers (maximizing alignment).
+    last_window: Option<(u32, u32)>,
+}
+
+impl MemoryManager {
+    /// Creates a manager for `cfg` (one interval set per ISA register).
+    pub fn new(cfg: &PimConfig) -> Self {
+        MemoryManager {
+            per_reg: (0..cfg.user_regs).map(|_| Intervals::new(cfg.crossbars as u32)).collect(),
+            total_warps: cfg.crossbars as u32,
+            last_window: None,
+        }
+    }
+
+    /// Allocates a stripe of `warps` warps, preferring the exact window of
+    /// `near` (so the new tensor is thread-aligned with the reference
+    /// tensor), then the most recent allocation window, then first fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no register has a
+    /// sufficiently large free range.
+    pub fn alloc(&mut self, warps: u32, near: Option<Stripe>) -> Result<Stripe> {
+        assert!(warps > 0);
+        if warps > self.total_warps {
+            return Err(CoreError::OutOfMemory { elements: warps as usize });
+        }
+        // 1. Exact window of the reference stripe, any register.
+        let windows: Vec<(u32, u32)> = [near.map(|s| (s.warp_start, s.warps)), self.last_window]
+            .into_iter()
+            .flatten()
+            .filter(|&(_, w)| w == warps)
+            .collect();
+        for (start, _) in windows {
+            for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+                if iv.claim_exact(start, warps) {
+                    let s = Stripe { reg: reg as u8, warp_start: start, warps };
+                    self.last_window = Some((start, warps));
+                    return Ok(s);
+                }
+            }
+        }
+        // 2. First fit across registers.
+        for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+            if let Some(start) = iv.claim_first(warps) {
+                let s = Stripe { reg: reg as u8, warp_start: start, warps };
+                self.last_window = Some((start, warps));
+                return Ok(s);
+            }
+        }
+        Err(CoreError::OutOfMemory { elements: warps as usize })
+    }
+
+    /// Allocates a stripe covering exactly the window of `like` (any free
+    /// register) — used by the fallback-copy path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when every register is occupied
+    /// in that window.
+    pub fn alloc_like(&mut self, like: Stripe) -> Result<Stripe> {
+        for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+            if iv.claim_exact(like.warp_start, like.warps) {
+                return Ok(Stripe { reg: reg as u8, warp_start: like.warp_start, warps: like.warps });
+            }
+        }
+        Err(CoreError::OutOfMemory { elements: like.warps as usize })
+    }
+
+    /// Returns a stripe to the free pool.
+    pub fn free(&mut self, stripe: Stripe) {
+        self.per_reg[stripe.reg as usize].release(stripe.warp_start, stripe.warps);
+    }
+
+    /// Total free warp-stripes summed over registers (for tests).
+    pub fn free_capacity(&self) -> u64 {
+        self.per_reg.iter().map(|iv| iv.free.values().map(|&l| l as u64).sum::<u64>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> MemoryManager {
+        MemoryManager::new(&PimConfig::small()) // 16 warps, 16 user regs
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = mgr();
+        let total = m.free_capacity();
+        let a = m.alloc(4, None).unwrap();
+        let b = m.alloc(4, None).unwrap();
+        assert_eq!(m.free_capacity(), total - 8);
+        m.free(a);
+        m.free(b);
+        assert_eq!(m.free_capacity(), total);
+    }
+
+    #[test]
+    fn consecutive_allocations_align() {
+        let mut m = mgr();
+        let a = m.alloc(4, None).unwrap();
+        let b = m.alloc(4, None).unwrap();
+        // Same warp window, different registers (the malloc behavior §V-A
+        // describes for enabling parallelism).
+        assert_eq!(a.warp_start, b.warp_start);
+        assert_ne!(a.reg, b.reg);
+    }
+
+    #[test]
+    fn reference_tensor_alignment() {
+        let mut m = mgr();
+        let a = m.alloc(2, None).unwrap();
+        let _filler = m.alloc(8, None).unwrap();
+        let c = m.alloc(2, Some(a)).unwrap();
+        assert_eq!(c.warp_start, a.warp_start);
+    }
+
+    #[test]
+    fn alloc_like_claims_exact_window() {
+        let mut m = mgr();
+        let a = m.alloc(3, None).unwrap();
+        let b = m.alloc_like(a).unwrap();
+        assert_eq!((b.warp_start, b.warps), (a.warp_start, a.warps));
+        assert_ne!(b.reg, a.reg);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut m = mgr();
+        // 16 regs x 16 warps; take everything.
+        let mut stripes = Vec::new();
+        for _ in 0..16 {
+            stripes.push(m.alloc(16, None).unwrap());
+        }
+        assert!(matches!(m.alloc(1, None), Err(CoreError::OutOfMemory { .. })));
+        m.free(stripes.pop().unwrap());
+        assert!(m.alloc(16, None).is_ok());
+    }
+
+    #[test]
+    fn interval_merging() {
+        let mut m = mgr();
+        let a = m.alloc(5, None).unwrap();
+        let b = m.alloc(5, None).unwrap();
+        let c = m.alloc(6, None).unwrap();
+        // a, b, c may be on different regs; force same-reg fragmentation:
+        let on_same_reg: Vec<Stripe> =
+            [a, b, c].into_iter().filter(|s| s.reg == a.reg).collect();
+        for s in on_same_reg {
+            m.free(s);
+        }
+        // After freeing, a 16-warp alloc on reg 0 must succeed again if all
+        // three were on reg 0; otherwise at least the capacity accounting
+        // holds.
+        let cap = m.free_capacity();
+        let big = m.alloc(16, None).unwrap();
+        m.free(big);
+        assert_eq!(m.free_capacity(), cap);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let mut m = mgr();
+        assert!(m.alloc(17, None).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+use crate::alloc::{MemoryManager, Stripe};
+use crate::tensor::{AllocGuard, Tensor};
+use crate::{CoreError, Result};
+use parking_lot::Mutex;
+use pim_arch::PimConfig;
+use pim_driver::{Driver, ParallelismMode};
+use pim_isa::{DType, Instruction};
+use pim_sim::{PimSimulator, Profiler};
+use std::sync::Arc;
+
+pub(crate) struct DeviceInner {
+    pub(crate) driver: Mutex<Driver<PimSimulator>>,
+    pub(crate) mem: Mutex<MemoryManager>,
+    pub(crate) cfg: PimConfig,
+}
+
+/// A handle to a PIM memory: the entry point of the development library
+/// (§V-A), owning the host driver, the bit-accurate simulator behind it,
+/// and the dynamic memory manager.
+///
+/// Cloning is cheap (shared handle). Tensors keep their device alive.
+///
+/// # Example
+///
+/// ```
+/// use pypim_core::Device;
+/// use pim_arch::PimConfig;
+///
+/// # fn main() -> pypim_core::Result<()> {
+/// let dev = Device::new(PimConfig::small())?;
+/// let x = dev.from_slice_f32(&[1.0, 2.5, -3.0])?;
+/// let y = dev.full_f32(3, 2.0)?;
+/// let z = (&x * &y)?;
+/// assert_eq!(z.to_vec_f32()?, vec![2.0, 5.0, -6.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device").field("config", &self.inner.cfg).finish()
+    }
+}
+
+impl Device {
+    /// Creates a device simulating a PIM memory with geometry `cfg`, using
+    /// the default (partition-parallel) driver mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cfg` fails validation.
+    pub fn new(cfg: PimConfig) -> Result<Self> {
+        Device::with_mode(cfg, ParallelismMode::default())
+    }
+
+    /// Creates a device with an explicit driver parallelism mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cfg` fails validation.
+    pub fn with_mode(cfg: PimConfig, mode: ParallelismMode) -> Result<Self> {
+        let sim = PimSimulator::new(cfg.clone()).map_err(pim_driver::DriverError::from)?;
+        let driver = Driver::with_mode(sim, mode);
+        Ok(Device {
+            inner: Arc::new(DeviceInner {
+                driver: Mutex::new(driver),
+                mem: Mutex::new(MemoryManager::new(&cfg)),
+                cfg,
+            }),
+        })
+    }
+
+    /// The device geometry.
+    pub fn config(&self) -> &PimConfig {
+        &self.inner.cfg
+    }
+
+    /// Whether two handles refer to the same device.
+    pub fn same_device(&self, other: &Device) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Snapshot of the simulator's profiling counters (cycles,
+    /// micro-operation counts) — the paper's `pim.Profiler()` facility.
+    pub fn profiler(&self) -> Profiler {
+        self.inner.driver.lock().backend().profiler().clone()
+    }
+
+    /// PIM cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.profiler().cycles
+    }
+
+    /// Resets the profiling counters.
+    pub fn reset_profiler(&self) {
+        self.inner.driver.lock().backend_mut().reset_profiler();
+    }
+
+    /// Enables/disables the simulator's strict stateful-logic checking.
+    pub fn set_strict(&self, strict: bool) {
+        self.inner.driver.lock().backend_mut().set_strict(strict);
+    }
+
+    /// Routine-cache statistics `(hits, misses)` of the host driver.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.driver.lock().cache_stats()
+    }
+
+    /// Driver-issued cycle counters (logic vs total) — the theoretical-PIM
+    /// baseline of everything executed so far.
+    pub fn issued(&self) -> pim_driver::IssuedCycles {
+        self.inner.driver.lock().issued()
+    }
+
+    /// Resets both the simulator profiler and the driver's issued-cycle
+    /// counters (the start of a measurement region).
+    pub fn reset_counters(&self) {
+        let mut d = self.inner.driver.lock();
+        d.backend_mut().reset_profiler();
+        d.reset_issued();
+    }
+
+    /// Executes one macro-instruction on the device.
+    pub(crate) fn exec(&self, instr: &Instruction) -> Result<Option<u32>> {
+        Ok(self.inner.driver.lock().execute(instr)?)
+    }
+
+    /// Allocates an uninitialized tensor of `capacity` elements (rounded up
+    /// to whole warps), optionally thread-aligned with `near`.
+    pub(crate) fn empty(
+        &self,
+        capacity: usize,
+        dtype: DType,
+        near: Option<Stripe>,
+    ) -> Result<Tensor> {
+        if capacity == 0 {
+            return Err(CoreError::InvalidSlice { what: "zero-length tensor".into() });
+        }
+        let rows = self.inner.cfg.rows;
+        let warps = capacity.div_ceil(rows) as u32;
+        let stripe = self.inner.mem.lock().alloc(warps, near)?;
+        Ok(Tensor::from_stripe(
+            Arc::new(AllocGuard { stripe, device: self.clone() }),
+            dtype,
+            capacity,
+        ))
+    }
+
+    /// Allocates a tensor occupying exactly the warp window of `like` on a
+    /// fresh register (the fallback-copy/allocation-alignment path).
+    pub(crate) fn empty_like_window(&self, like: Stripe, dtype: DType, len: usize) -> Result<Tensor> {
+        let stripe = self.inner.mem.lock().alloc_like(like)?;
+        Ok(Tensor::from_stripe(
+            Arc::new(AllocGuard { stripe, device: self.clone() }),
+            dtype,
+            len,
+        ))
+    }
+
+    /// A tensor of `n` zeros (float32) — `pim.zeros(n, dtype=pim.float32)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no stripe is free.
+    pub fn zeros_f32(&self, n: usize) -> Result<Tensor> {
+        self.full_raw(n, DType::Float32, 0)
+    }
+
+    /// A tensor of `n` zeros (int32).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no stripe is free.
+    pub fn zeros_i32(&self, n: usize) -> Result<Tensor> {
+        self.full_raw(n, DType::Int32, 0)
+    }
+
+    /// A tensor of `n` copies of `value` (float32).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no stripe is free.
+    pub fn full_f32(&self, n: usize, value: f32) -> Result<Tensor> {
+        self.full_raw(n, DType::Float32, value.to_bits())
+    }
+
+    /// A tensor of `n` copies of `value` (int32).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no stripe is free.
+    pub fn full_i32(&self, n: usize, value: i32) -> Result<Tensor> {
+        self.full_raw(n, DType::Int32, value as u32)
+    }
+
+    pub(crate) fn full_raw(&self, n: usize, dtype: DType, bits: u32) -> Result<Tensor> {
+        let t = self.empty(n, dtype, None)?;
+        t.fill_raw(bits)?;
+        Ok(t)
+    }
+
+    /// A tensor initialized from a float slice — `pim.from_numpy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no stripe is free or
+    /// [`CoreError::InvalidSlice`] for empty input.
+    pub fn from_slice_f32(&self, data: &[f32]) -> Result<Tensor> {
+        let t = self.empty(data.len(), DType::Float32, None)?;
+        for (i, v) in data.iter().enumerate() {
+            t.set_raw(i, v.to_bits())?;
+        }
+        Ok(t)
+    }
+
+    /// A tensor initialized from an int slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`from_slice_f32`](Device::from_slice_f32).
+    pub fn from_slice_i32(&self, data: &[i32]) -> Result<Tensor> {
+        let t = self.empty(data.len(), DType::Int32, None)?;
+        for (i, v) in data.iter().enumerate() {
+            t.set_raw(i, *v as u32)?;
+        }
+        Ok(t)
+    }
+
+    /// `[0, 1, 2, …, n)` as int32 — used by index-dependent algorithms
+    /// (e.g. the bitonic sorting network's direction masks).
+    ///
+    /// # Errors
+    ///
+    /// See [`from_slice_f32`](Device::from_slice_f32).
+    pub fn arange_i32(&self, n: usize) -> Result<Tensor> {
+        let t = self.empty(n, DType::Int32, None)?;
+        for i in 0..n {
+            t.set_raw(i, i as u32)?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let d = Device::new(PimConfig::small()).unwrap();
+        assert_eq!(d.config().crossbars, 16);
+        assert!(d.same_device(&d.clone()));
+        let other = Device::new(PimConfig::small()).unwrap();
+        assert!(!d.same_device(&other));
+
+        let z = d.zeros_i32(10).unwrap();
+        assert_eq!(z.to_vec_i32().unwrap(), vec![0; 10]);
+        let f = d.full_f32(3, -1.5).unwrap();
+        assert_eq!(f.to_vec_f32().unwrap(), vec![-1.5; 3]);
+        let a = d.arange_i32(5).unwrap();
+        assert_eq!(a.to_vec_i32().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_length_allocation_fails() {
+        let d = Device::new(PimConfig::small()).unwrap();
+        assert!(d.zeros_f32(0).is_err());
+        assert!(d.from_slice_i32(&[]).is_err());
+    }
+
+    #[test]
+    fn counters_reset_together() {
+        let d = Device::new(PimConfig::small()).unwrap();
+        let _ = d.full_i32(4, 3).unwrap();
+        assert!(d.cycles() > 0);
+        d.reset_counters();
+        assert_eq!(d.cycles(), 0);
+        assert_eq!(d.issued().total, 0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = PimConfig::small();
+        cfg.partitions = 8;
+        assert!(Device::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+use pim_driver::DriverError;
+use std::fmt;
+
+/// Convenient result alias for the development library.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the tensor development library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An error from the host driver or micro-operation layer.
+    Driver(DriverError),
+    /// Operand shapes differ.
+    ShapeMismatch {
+        /// Left-hand length.
+        lhs: usize,
+        /// Right-hand length.
+        rhs: usize,
+    },
+    /// Operand datatypes differ (or an operation got an unsupported dtype).
+    DTypeMismatch {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The PIM memory has no free register stripe for the requested
+    /// allocation.
+    OutOfMemory {
+        /// Elements requested.
+        elements: usize,
+    },
+    /// A slice was empty or out of bounds.
+    InvalidSlice {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Tensors from different devices were combined.
+    DeviceMismatch,
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Tensor length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Driver(e) => write!(f, "{e}"),
+            CoreError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs} elements vs {rhs} elements")
+            }
+            CoreError::DTypeMismatch { what } => write!(f, "dtype mismatch: {what}"),
+            CoreError::OutOfMemory { elements } => {
+                write!(f, "PIM memory exhausted allocating {elements} elements")
+            }
+            CoreError::InvalidSlice { what } => write!(f, "invalid slice: {what}"),
+            CoreError::DeviceMismatch => write!(f, "tensors belong to different devices"),
+            CoreError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Driver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DriverError> for CoreError {
+    fn from(e: DriverError) -> Self {
+        CoreError::Driver(e)
+    }
+}
+
+impl From<pim_arch::ArchError> for CoreError {
+    fn from(e: pim_arch::ArchError) -> Self {
+        CoreError::Driver(DriverError::Arch(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = pim_arch::ArchError::DecodeError { opcode: 3 }.into();
+        assert!(matches!(e, CoreError::Driver(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        for e in [
+            CoreError::ShapeMismatch { lhs: 3, rhs: 4 },
+            CoreError::DTypeMismatch { what: "int32 vs float32".into() },
+            CoreError::OutOfMemory { elements: 10 },
+            CoreError::InvalidSlice { what: "empty".into() },
+            CoreError::DeviceMismatch,
+            CoreError::IndexOutOfBounds { index: 9, len: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

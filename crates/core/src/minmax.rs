@@ -1,0 +1,102 @@
+//! Element-wise minimum/maximum and their logarithmic reductions —
+//! general-purpose routines in the spirit of §V-A, composed from the ISA's
+//! comparison and multiplexer operations (a compare-and-select is exactly
+//! one half of the bitonic network's compare-and-swap).
+
+use crate::movement;
+use crate::tensor::Tensor;
+use crate::Result;
+use pim_isa::DType;
+
+fn neutral_min_bits(dtype: DType) -> u32 {
+    match dtype {
+        DType::Int32 => i32::MAX as u32,
+        DType::Float32 => f32::INFINITY.to_bits(),
+    }
+}
+
+fn neutral_max_bits(dtype: DType) -> u32 {
+    match dtype {
+        DType::Int32 => i32::MIN as u32,
+        DType::Float32 => f32::NEG_INFINITY.to_bits(),
+    }
+}
+
+impl Tensor {
+    /// Element-wise maximum of two tensors (`NaN` handling follows the
+    /// comparison: a `NaN` element loses every comparison, so the other
+    /// operand is selected).
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape/dtype/device mismatches.
+    pub fn max_elem(&self, rhs: &Tensor) -> Result<Tensor> {
+        let gt = self.gt(rhs)?;
+        gt.select(self, rhs)
+    }
+
+    /// Element-wise minimum of two tensors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape/dtype/device mismatches.
+    pub fn min_elem(&self, rhs: &Tensor) -> Result<Tensor> {
+        let lt = self.lt(rhs)?;
+        lt.select(self, rhs)
+    }
+
+    fn reduce_extreme(&self, want_max: bool) -> Result<u32> {
+        let n2 = self.len().next_power_of_two();
+        let pad =
+            if want_max { neutral_max_bits(self.dtype) } else { neutral_min_bits(self.dtype) };
+        let mut t = movement::compact_with_padding(self, n2, pad)?;
+        while t.len() > 1 {
+            let half = t.len() / 2;
+            let lo = t.slice(0, half)?;
+            let hi = t.slice(half, t.len())?;
+            let hi_aligned = movement::materialize_like(&hi, &lo)?;
+            t = if want_max { lo.max_elem(&hi_aligned)? } else { lo.min_elem(&hi_aligned)? };
+        }
+        t.get_raw(0)
+    }
+
+    /// Maximum element (float32) via logarithmic reduction.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float tensors or on movement errors.
+    pub fn max_f32(&self) -> Result<f32> {
+        self.expect_dtype(DType::Float32)?;
+        Ok(f32::from_bits(self.reduce_extreme(true)?))
+    }
+
+    /// Minimum element (float32) via logarithmic reduction.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float tensors or on movement errors.
+    pub fn min_f32(&self) -> Result<f32> {
+        self.expect_dtype(DType::Float32)?;
+        Ok(f32::from_bits(self.reduce_extreme(false)?))
+    }
+
+    /// Maximum element (int32) via logarithmic reduction.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-int tensors or on movement errors.
+    pub fn max_i32(&self) -> Result<i32> {
+        self.expect_dtype(DType::Int32)?;
+        Ok(self.reduce_extreme(true)? as i32)
+    }
+
+    /// Minimum element (int32) via logarithmic reduction.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-int tensors or on movement errors.
+    pub fn min_i32(&self) -> Result<i32> {
+        self.expect_dtype(DType::Int32)?;
+        Ok(self.reduce_extreme(false)? as i32)
+    }
+}

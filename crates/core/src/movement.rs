@@ -1,0 +1,346 @@
+//! Data movement: lowering tensor copies and shifts onto the ISA's
+//! intra-warp (`MoveRows`) and inter-warp (`MoveWarps`) move instructions —
+//! the machinery behind tensor views "automatically identifying the move
+//! operations required to align the values" (§V-A).
+
+use crate::tensor::Tensor;
+use crate::{CoreError, Result};
+use pim_arch::RangeMask;
+use pim_isa::{Instruction, RegOp};
+
+/// Issues a `MoveWarps` over `warps` with distance `dist`, splitting into
+/// power-of-4 strided phases when source and destination warp sets overlap
+/// (the H-tree requires them disjoint within one micro-operation).
+/// Returns `false` when the move cannot be expressed (caller falls back).
+fn move_warps_split(
+    dev: &crate::Device,
+    src_reg: u8,
+    dst_reg: u8,
+    row_src: u32,
+    row_dst: u32,
+    warps: RangeMask,
+    dist: i32,
+) -> Result<bool> {
+    let direct = Instruction::MoveWarps {
+        src: src_reg,
+        dst: dst_reg,
+        row_src,
+        row_dst,
+        warps,
+        dist,
+    };
+    if direct.validate(dev.config()).is_ok() {
+        dev.exec(&direct)?;
+        return Ok(true);
+    }
+    if warps.step() != 1 || dist == 0 {
+        return Ok(false);
+    }
+    // Phase split: stride 4^k > |dist| makes dist % step != 0, so each
+    // phase's source and destination sets are disjoint.
+    let mut step = 4u32;
+    while (step as i64) <= dist.unsigned_abs() as i64 {
+        step *= 4;
+    }
+    let count = warps.len() as u32;
+    for phase in 0..step.min(count) {
+        let phase_count = (count - phase).div_ceil(step);
+        if phase_count == 0 {
+            continue;
+        }
+        let mask = RangeMask::strided(warps.start() + phase, phase_count, step)?;
+        let instr = Instruction::MoveWarps {
+            src: src_reg,
+            dst: dst_reg,
+            row_src,
+            row_dst,
+            warps: mask,
+            dist,
+        };
+        if instr.validate(dev.config()).is_err() {
+            return Ok(false);
+        }
+        dev.exec(&instr)?;
+    }
+    Ok(true)
+}
+
+/// Copies `src`'s elements into `dst` (same length, any layouts).
+///
+/// Fast paths:
+/// 1. identical thread sets, different registers → a register-to-register
+///    `OR` (thread-local, fully parallel);
+/// 2. identical row patterns at a constant warp distance → one `MoveWarps`
+///    per distinct row (parallel across warp pairs);
+/// 3. identical warp sets with differing row patterns → one `MoveRows`
+///    (warp-parallel, thread-serial);
+/// 4. anything else → element-by-element read/write (correct but slow).
+///
+/// # Errors
+///
+/// Fails on shape or device mismatches.
+pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
+    if !src.device().same_device(dst.device()) {
+        return Err(CoreError::DeviceMismatch);
+    }
+    if src.len() != dst.len() {
+        return Err(CoreError::ShapeMismatch { lhs: src.len(), rhs: dst.len() });
+    }
+    let dev = src.device().clone();
+    // Fast path 1: same threads, different register.
+    if src.aligned_with(dst) {
+        if src.reg() == dst.reg() {
+            return Ok(()); // same memory
+        }
+        // dst = src | src (thread-local copy).
+        return dst.issue_rtype(RegOp::Or, src.dtype(), dst.reg(), [src.reg(), src.reg(), 0]);
+    }
+    let srs = src.thread_ranges();
+    let drs = dst.thread_ranges();
+    if srs.len() == 1 && drs.len() == 1 {
+        let (s, d) = (srs[0], drs[0]);
+        // Fast path 2: same row pattern, constant warp distance.
+        if s.rows == d.rows && s.warps.len() == d.warps.len() && s.warps.step() == d.warps.step()
+        {
+            let dist = d.warps.start() as i64 - s.warps.start() as i64;
+            if dist != 0 && i32::try_from(dist).is_ok() {
+                let mut moved = true;
+                for row in s.rows.iter() {
+                    if !move_warps_split(
+                        &dev,
+                        src.reg(),
+                        dst.reg(),
+                        row,
+                        row,
+                        s.warps,
+                        dist as i32,
+                    )? {
+                        moved = false;
+                        break;
+                    }
+                }
+                if moved {
+                    return Ok(());
+                }
+            }
+        }
+        // Fast path 3: same warps, disjoint row patterns.
+        if s.warps == d.warps && s.rows.len() == d.rows.len() {
+            let instr = Instruction::MoveRows {
+                src: src.reg(),
+                dst: dst.reg(),
+                src_rows: s.rows,
+                dst_rows: d.rows,
+                warps: s.warps,
+            };
+            if instr.validate(dev.config()).is_ok() {
+                dev.exec(&instr)?;
+                return Ok(());
+            }
+        }
+    }
+    // Fallback: element-by-element.
+    for i in 0..src.len() {
+        dst.set_raw(i, src.get_raw(i)?)?;
+    }
+    Ok(())
+}
+
+/// Builds a tensor aligned with `like` holding `src`'s values — the
+/// materialization step behind `x[::2] + x[1::2]`.
+///
+/// # Errors
+///
+/// Fails on allocation or movement errors.
+pub fn materialize_like(src: &Tensor, like: &Tensor) -> Result<Tensor> {
+    let out = like.alloc_result(src.dtype())?;
+    copy(src, &out)?;
+    Ok(out)
+}
+
+/// Compacts a view into a fresh dense tensor of capacity
+/// `capacity >= src.len()` (offset 0, stride 1, own warp window), padding
+/// elements `src.len()..capacity` with `pad_bits`. The workhorse of the
+/// reduction and sorting algorithms, which want power-of-two dense inputs.
+///
+/// # Errors
+///
+/// Fails on allocation or movement errors.
+pub fn compact_with_padding(src: &Tensor, capacity: usize, pad_bits: u32) -> Result<Tensor> {
+    assert!(capacity >= src.len());
+    let out = src.device().empty(capacity, src.dtype(), None)?;
+    // Pad first (covers everything), then overwrite the data prefix.
+    out.fill_raw(pad_bits)?;
+    let prefix = out.slice(0, src.len())?;
+    copy(src, &prefix)?;
+    Ok(out)
+}
+
+/// Element-shifted view materialization: returns a tensor `r` aligned with
+/// `t` where `r[i] = t[i + dist]` for in-range `i` (out-of-range elements
+/// hold unspecified values). `dist` may be negative. Lowered onto one
+/// `MoveRows` plus at most `|dist| % rows` (or `rows`) `MoveWarps`
+/// instructions, all warp-parallel.
+///
+/// # Errors
+///
+/// Fails when `t` is not a dense stride-1 tensor or on movement errors.
+pub fn shifted(t: &Tensor, dist: i64) -> Result<Tensor> {
+    if t.stride != 1 || t.offset != 0 {
+        return Err(CoreError::InvalidSlice {
+            what: "shifted() requires a dense, unsliced tensor".into(),
+        });
+    }
+    let n = t.len() as i64;
+    let out = t.alloc_result(t.dtype())?;
+    let d = dist;
+    if d == 0 || d.abs() >= n {
+        return Ok(out);
+    }
+    // r[i] = t[i + d]: source range in t is [max(0,d), min(n, n+d)),
+    // destination range in r is [max(0,-d), min(n, n-d)).
+    let src_lo = d.max(0) as usize;
+    let dst_lo = (-d).max(0) as usize;
+    let count = (n - d.abs()) as usize;
+    let src_view = t.slice(src_lo, src_lo + count)?;
+    let dst_view = out.slice(dst_lo, dst_lo + count)?;
+    copy_dense_shift(&src_view, &dst_view)?;
+    Ok(out)
+}
+
+/// Copies between two dense stride-1 views whose thread offsets differ by
+/// an arbitrary delta, decomposed into at most `rows` warp-parallel moves:
+/// all elements sharing a source row form one warp-range class moved by a
+/// single `MoveRows` (same warp) or `MoveWarps` (constant warp distance)
+/// instruction.
+fn copy_dense_shift(src: &Tensor, dst: &Tensor) -> Result<()> {
+    let dev = src.device().clone();
+    let rows = dev.config().rows;
+    let n = src.len();
+    let s0 = src.thread(0);
+    let d0 = dst.thread(0);
+    if s0 == d0 {
+        return copy(src, dst);
+    }
+    let s0_row = s0 % rows;
+    for r in 0..rows {
+        // Elements whose source row is r: i ≡ (r - s0_row) mod rows.
+        let i0 = (r + rows - s0_row) % rows;
+        if i0 >= n {
+            continue;
+        }
+        let count = (n - i0).div_ceil(rows) as u32;
+        let (sw, sr) = src.warp_row(i0);
+        let (dw, dr) = dst.warp_row(i0);
+        let warps = RangeMask::strided(sw, count, 1)?;
+        let dist = dw as i64 - sw as i64;
+        let moved = if dist == 0 {
+            let instr = Instruction::MoveRows {
+                src: src.reg(),
+                dst: dst.reg(),
+                src_rows: RangeMask::single(sr),
+                dst_rows: RangeMask::single(dr),
+                warps,
+            };
+            let ok = instr.validate(dev.config()).is_ok();
+            if ok {
+                dev.exec(&instr)?;
+            }
+            ok
+        } else {
+            move_warps_split(&dev, src.reg(), dst.reg(), sr, dr, warps, dist as i32)?
+        };
+        if !moved {
+            // Per-element fallback for this row class.
+            let mut i = i0;
+            while i < n {
+                dst.set_raw(i, src.get_raw(i)?)?;
+                i += rows;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+    use pim_arch::PimConfig;
+
+    fn dev() -> Device {
+        Device::new(PimConfig::small().with_crossbars(4).with_rows(8)).unwrap()
+    }
+
+    #[test]
+    fn copy_same_threads_uses_register_transfer() {
+        let d = dev();
+        let a = d.from_slice_i32(&(0..16).collect::<Vec<_>>()).unwrap();
+        let b = a.alloc_result(a.dtype()).unwrap();
+        d.reset_counters();
+        copy(&a, &b).unwrap();
+        // Thread-local register copy: no moves at all.
+        let p = d.profiler();
+        assert_eq!(p.ops.mv + p.ops.logic_v, 0);
+        assert_eq!(b.to_vec_i32().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn copy_same_tensor_is_noop() {
+        let d = dev();
+        let a = d.from_slice_i32(&[5, 6, 7]).unwrap();
+        d.reset_counters();
+        copy(&a, &a.clone()).unwrap();
+        assert_eq!(d.cycles(), 0);
+    }
+
+    #[test]
+    fn shifted_moves_are_warp_parallel() {
+        // A whole-warp shift must cost O(rows) micro-ops, not O(n).
+        let d = dev();
+        let n = 32; // 4 warps x 8 rows
+        let t = d.from_slice_i32(&(0..n as i32).collect::<Vec<_>>()).unwrap();
+        d.reset_counters();
+        let s = shifted(&t, 8).unwrap(); // exactly one warp
+        let p = d.profiler();
+        assert!(p.ops.mv <= 8 * 4, "warp shift used {} move ops", p.ops.mv);
+        let out = s.to_vec_i32().unwrap();
+        for i in 0..n - 8 {
+            assert_eq!(out[i], (i + 8) as i32);
+        }
+    }
+
+    #[test]
+    fn compact_pads_and_preserves() {
+        let d = dev();
+        let t = d.from_slice_f32(&[1.0, 2.0, 3.0]).unwrap();
+        let c = compact_with_padding(&t.odd().unwrap(), 4, 9.0f32.to_bits()).unwrap();
+        assert_eq!(c.to_vec_f32().unwrap(), vec![2.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn move_warps_split_phases_cover_overlap() {
+        // Shift a register down by one warp across all warps: sources and
+        // destinations overlap, so the split must fall back to power-of-4
+        // phases — and still move every value.
+        let d = dev();
+        let n = 32;
+        let t = d.from_slice_i32(&(100..100 + n as i32).collect::<Vec<_>>()).unwrap();
+        let s = shifted(&t, -8).unwrap();
+        let out = s.to_vec_i32().unwrap();
+        for i in 8..n {
+            assert_eq!(out[i], 100 + (i - 8) as i32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn fallback_copy_handles_pathological_strides() {
+        let d = dev();
+        let base = d.from_slice_i32(&(0..30).collect::<Vec<_>>()).unwrap();
+        // Stride 7 over 8-row warps: not expressible as uniform masks.
+        let v = base.slice_step(1, 30, 7).unwrap(); // 1, 8, 15, 22, 29
+        let dst = d.zeros_i32(5).unwrap();
+        copy(&v, &dst).unwrap();
+        assert_eq!(dst.to_vec_i32().unwrap(), vec![1, 8, 15, 22, 29]);
+    }
+}

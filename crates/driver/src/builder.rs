@@ -1,0 +1,997 @@
+use crate::DriverError;
+use pim_arch::{ColAddr, GateKind, HLogic, MicroOp, PimConfig, RegId, WORD_BITS};
+
+/// An ordered collection of cell addresses representing a multi-bit value,
+/// least-significant bit first.
+pub type Bits = Vec<ColAddr>;
+
+/// Cost statistics of a compiled routine.
+///
+/// `logic_cycles` counts `NOT`/`NOR` micro-operations — the pure gate work
+/// that defines the *theoretical PIM* latency of the routine (AritPIM-style
+/// lower bound). `overhead_cycles` counts initialization micro-operations
+/// required by the stateful-logic discipline. The paper's "distance from
+/// theoretical PIM" (§VI-B) is the overhead fraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutineStats {
+    /// `NOT`/`NOR` gate micro-operations (one PIM cycle each).
+    pub logic_cycles: u64,
+    /// `INIT0`/`INIT1` micro-operations (one PIM cycle each).
+    pub overhead_cycles: u64,
+    /// Peak number of simultaneously live scratch cells.
+    pub scratch_high_water: usize,
+}
+
+impl RoutineStats {
+    /// Total PIM cycles of the routine body (`logic + overhead`).
+    pub fn total_cycles(&self) -> u64 {
+        self.logic_cycles + self.overhead_cycles
+    }
+
+    /// Fraction of cycles spent on initialization overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.overhead_cycles as f64 / self.total_cycles() as f64
+    }
+}
+
+/// In-flight full-adder state between
+/// [`CircuitBuilder::full_adder_prep`] and
+/// [`CircuitBuilder::full_adder_finish`].
+#[derive(Debug)]
+pub struct PendingAdder {
+    t1: ColAddr,
+    t2: ColAddr,
+    t3: ColAddr,
+    t4: ColAddr,
+    t5: ColAddr,
+    t6: ColAddr,
+    t7: ColAddr,
+}
+
+/// A compiled micro-operation sequence for one macro-instruction, ready to
+/// be replayed under any crossbar/row mask.
+#[derive(Debug, Clone)]
+pub struct Routine {
+    /// The micro-operations, in order.
+    pub ops: Vec<MicroOp>,
+    /// Cost statistics.
+    pub stats: RoutineStats,
+}
+
+impl Routine {
+    /// Encodes the whole routine into its 64-bit wire words — the form a
+    /// production driver streams to the on-chip controller, and what the
+    /// host-driver throughput benchmark measures the streaming rate of.
+    pub fn encode_ops(&self) -> Vec<u64> {
+        self.ops.iter().map(pim_arch::encode::encode).collect()
+    }
+}
+
+const ALL: u32 = u32::MAX;
+
+/// Compiles gate-level circuits into micro-operation sequences under the
+/// stateful-logic discipline.
+///
+/// The builder manages the driver-reserved scratch registers
+/// (`user_regs..regs` intra-row offsets): [`alloc`](Self::alloc) hands out
+/// cells guaranteed to hold logical 1 (ready to be a `NOT`/`NOR` output),
+/// batching initializations into whole-register partition-parallel `INIT1`
+/// micro-operations wherever possible. Serial gate emitters compose the
+/// derived gate library (`or`, `and`, `xor`, `mux`, full adders) from the
+/// native `NOT`/`NOR` set, while the `par_*` family emits partition-parallel
+/// operations on whole registers (one micro-op for up to 32 gates).
+///
+/// Theoretical-vs-measured accounting is kept per [`RoutineStats`].
+#[derive(Debug)]
+pub struct CircuitBuilder<'c> {
+    cfg: &'c PimConfig,
+    ops: Vec<MicroOp>,
+    stats: RoutineStats,
+    /// Per scratch register (offset `user_regs + i`): bit set = cell free.
+    free: Vec<u32>,
+    /// Bit set = free cell known to hold logical 1.
+    clean: Vec<u32>,
+    /// Bit set = cell has been written since allocation (so freeing it
+    /// leaves it dirty).
+    written: Vec<u32>,
+    /// Whole-register reservations made by [`alloc_reg`](Self::alloc_reg).
+    reserved: Vec<bool>,
+    in_use: usize,
+    const0: Option<ColAddr>,
+    const1: Option<ColAddr>,
+}
+
+impl<'c> CircuitBuilder<'c> {
+    /// Creates a builder for `cfg` with all scratch cells free and dirty
+    /// (their contents from previous routines are unknown).
+    pub fn new(cfg: &'c PimConfig) -> Self {
+        let n = cfg.scratch_regs();
+        CircuitBuilder {
+            cfg,
+            ops: Vec::new(),
+            stats: RoutineStats::default(),
+            free: vec![ALL; n],
+            clean: vec![0; n],
+            written: vec![0; n],
+            reserved: vec![false; n],
+            in_use: 0,
+            const0: None,
+            const1: None,
+        }
+    }
+
+    /// The configuration this builder compiles for.
+    pub fn config(&self) -> &PimConfig {
+        self.cfg
+    }
+
+    /// Consumes the builder, producing the compiled routine.
+    pub fn finish(self) -> Routine {
+        Routine { ops: self.ops, stats: self.stats }
+    }
+
+    /// Number of scratch cells currently live.
+    pub fn live_cells(&self) -> usize {
+        self.in_use
+    }
+
+    // ----- scratch management -------------------------------------------
+
+    fn scratch_index(&self, c: ColAddr) -> Option<usize> {
+        let off = c.offset as usize;
+        (off >= self.cfg.user_regs && off < self.cfg.regs).then(|| off - self.cfg.user_regs)
+    }
+
+    fn scratch_offset(&self, index: usize) -> RegId {
+        (self.cfg.user_regs + index) as RegId
+    }
+
+    fn take(&mut self, index: usize, part: u32) -> ColAddr {
+        self.free[index] &= !(1 << part);
+        self.clean[index] &= !(1 << part);
+        self.written[index] &= !(1 << part);
+        self.in_use += 1;
+        self.stats.scratch_high_water = self.stats.scratch_high_water.max(self.in_use);
+        ColAddr::new(part as u8, self.scratch_offset(index))
+    }
+
+    /// Allocates one scratch cell guaranteed to hold logical 1 — ready to
+    /// serve as a stateful-gate output (or as a constant-1 input).
+    ///
+    /// Initializations are batched: the builder prefers cells that are
+    /// already clean, bulk-initializes fully-free registers with a single
+    /// partition-parallel `INIT1`, and only falls back to per-cell `INIT1`
+    /// under fragmentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::ScratchExhausted`] when every scratch cell is
+    /// live.
+    pub fn alloc(&mut self) -> Result<ColAddr, DriverError> {
+        // 1. A clean free cell (prefer low registers so long-lived values
+        //    cluster there and high registers recycle wholesale).
+        for i in 0..self.free.len() {
+            let avail = self.free[i] & self.clean[i];
+            if avail != 0 && !self.reserved[i] {
+                return Ok(self.take(i, avail.trailing_zeros()));
+            }
+        }
+        // 2. Sweep: bulk-initialize every fully-free dirty register.
+        let mut swept = false;
+        for i in 0..self.free.len() {
+            if self.free[i] == ALL && self.clean[i] != ALL && !self.reserved[i] {
+                let reg = self.scratch_offset(i);
+                self.emit_init_reg(reg, true);
+                self.clean[i] = ALL;
+                swept = true;
+            }
+        }
+        if swept {
+            return self.alloc();
+        }
+        // 3. Re-initialize the dirtiest register's free cells wholesale:
+        //    each contiguous run of dirty free cells becomes one strided
+        //    INIT1 micro-operation (init gates occupy one partition each,
+        //    so any contiguous partition range is a valid pattern).
+        let best = (0..self.free.len())
+            .filter(|&i| !self.reserved[i])
+            .max_by_key(|&i| (self.free[i] & !self.clean[i]).count_ones());
+        if let Some(i) = best {
+            let dirty = self.free[i] & !self.clean[i];
+            if dirty != 0 {
+                let reg = self.scratch_offset(i);
+                let mut mask = dirty;
+                while mask != 0 {
+                    let start = mask.trailing_zeros();
+                    let run = (mask >> start).trailing_ones();
+                    let cell = ColAddr::new(start as u8, reg);
+                    let op = HLogic::strided(
+                        GateKind::Init1,
+                        cell,
+                        cell,
+                        cell,
+                        (start + run - 1) as u8,
+                        1,
+                        self.cfg,
+                    )
+                    .expect("contiguous init range is valid");
+                    self.ops.push(MicroOp::LogicH(op));
+                    self.stats.overhead_cycles += 1;
+                    mask &= !((((1u64 << run) - 1) as u32) << start);
+                }
+                self.clean[i] |= dirty;
+                return Ok(self.take(i, dirty.trailing_zeros()));
+            }
+        }
+        Err(DriverError::ScratchExhausted {
+            available: self.cfg.scratch_regs() * WORD_BITS,
+        })
+    }
+
+    /// Releases a scratch cell. Cells that were never written since
+    /// allocation are returned as clean (still logical 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not a live scratch cell (double free or foreign
+    /// address) — these are driver bugs, not runtime conditions.
+    pub fn release(&mut self, c: ColAddr) {
+        let i = self.scratch_index(c).expect("release of a non-scratch cell");
+        let bit = 1u32 << c.part;
+        assert_eq!(self.free[i] & bit, 0, "double free of scratch cell {c:?}");
+        assert!(!self.reserved[i], "release of a cell inside a reserved register");
+        self.free[i] |= bit;
+        if self.written[i] & bit == 0 {
+            self.clean[i] |= bit;
+        }
+        self.in_use -= 1;
+    }
+
+    /// Releases several scratch cells.
+    pub fn release_all<I: IntoIterator<Item = ColAddr>>(&mut self, cells: I) {
+        for c in cells {
+            self.release(c);
+        }
+    }
+
+    /// Reserves a whole scratch register for partition-parallel use
+    /// (contents unspecified; initialize with [`init_reg`](Self::init_reg)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::ScratchExhausted`] when no register is fully
+    /// free.
+    pub fn alloc_reg(&mut self) -> Result<RegId, DriverError> {
+        // Prefer dirty registers, keeping clean ones for cell allocation.
+        let candidate = (0..self.free.len())
+            .filter(|&i| self.free[i] == ALL && !self.reserved[i])
+            .max_by_key(|&i| (self.clean[i] != ALL) as u8);
+        match candidate {
+            Some(i) => {
+                self.reserved[i] = true;
+                self.free[i] = 0;
+                self.clean[i] = 0;
+                self.written[i] = ALL;
+                self.in_use += WORD_BITS;
+                self.stats.scratch_high_water = self.stats.scratch_high_water.max(self.in_use);
+                Ok(self.scratch_offset(i))
+            }
+            None => Err(DriverError::ScratchExhausted {
+                available: self.cfg.scratch_regs() * WORD_BITS,
+            }),
+        }
+    }
+
+    /// Releases a register reserved by [`alloc_reg`](Self::alloc_reg).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a reserved scratch register.
+    pub fn release_reg(&mut self, reg: RegId) {
+        let i = (reg as usize)
+            .checked_sub(self.cfg.user_regs)
+            .filter(|&i| i < self.reserved.len())
+            .expect("release of a non-scratch register");
+        assert!(self.reserved[i], "release of a register that was not reserved");
+        self.reserved[i] = false;
+        self.free[i] = ALL;
+        self.clean[i] = 0;
+        self.in_use -= WORD_BITS;
+    }
+
+    /// A shared constant-0 cell (created on first use; never write to it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn zero(&mut self) -> Result<ColAddr, DriverError> {
+        if let Some(c) = self.const0 {
+            return Ok(c);
+        }
+        let c = self.alloc()?;
+        self.emit_init_cell(c, false);
+        self.mark_written(c);
+        self.const0 = Some(c);
+        Ok(c)
+    }
+
+    /// A shared constant-1 cell (created on first use; never write to it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion.
+    pub fn one(&mut self) -> Result<ColAddr, DriverError> {
+        if let Some(c) = self.const1 {
+            return Ok(c);
+        }
+        let c = self.alloc()?;
+        self.const1 = Some(c);
+        Ok(c)
+    }
+
+    // ----- raw emission ---------------------------------------------------
+
+    fn mark_written(&mut self, c: ColAddr) {
+        if let Some(i) = self.scratch_index(c) {
+            self.written[i] |= 1 << c.part;
+        }
+    }
+
+    fn emit_init_cell(&mut self, c: ColAddr, v: bool) {
+        let gate = if v { GateKind::Init1 } else { GateKind::Init0 };
+        let op = HLogic::serial(gate, c, c, c, self.cfg).expect("validated cell address");
+        self.ops.push(MicroOp::LogicH(op));
+        self.stats.overhead_cycles += 1;
+    }
+
+    fn emit_init_reg(&mut self, reg: RegId, v: bool) {
+        let op = HLogic::init_reg(v, reg, self.cfg).expect("validated register");
+        self.ops.push(MicroOp::LogicH(op));
+        self.stats.overhead_cycles += 1;
+    }
+
+    /// Initializes a single cell (overhead cycle). The cell may be a user
+    /// register cell; scratch bookkeeping is updated when applicable.
+    pub fn init_cell(&mut self, c: ColAddr, v: bool) {
+        self.emit_init_cell(c, v);
+        self.mark_written(c);
+    }
+
+    /// Initializes a whole register with one partition-parallel `INIT`
+    /// micro-operation (overhead cycle).
+    pub fn init_reg(&mut self, reg: RegId, v: bool) {
+        self.emit_init_reg(reg, v);
+    }
+
+    /// Emits a serial `NOR` gate into `out`, which must already hold 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is electrically invalid (an input coincides with
+    /// the output) — a driver bug.
+    pub fn nor_into(&mut self, a: ColAddr, b: ColAddr, out: ColAddr) {
+        let (a, b) = if a.part <= b.part { (a, b) } else { (b, a) };
+        let op = HLogic::serial(GateKind::Nor, a, b, out, self.cfg)
+            .expect("electrically valid NOR gate");
+        self.ops.push(MicroOp::LogicH(op));
+        self.stats.logic_cycles += 1;
+        self.mark_written(out);
+    }
+
+    /// Emits a serial `NOT` gate into `out`, which must already hold 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == out` (driver bug).
+    pub fn not_into(&mut self, a: ColAddr, out: ColAddr) {
+        let op = HLogic::serial(GateKind::Not, a, a, out, self.cfg)
+            .expect("electrically valid NOT gate");
+        self.ops.push(MicroOp::LogicH(op));
+        self.stats.logic_cycles += 1;
+        self.mark_written(out);
+    }
+
+    // ----- derived serial gates ------------------------------------------
+
+    /// `!(a | b)` into a fresh cell (1 gate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scratch exhaustion (as do all derived gates below).
+    pub fn nor(&mut self, a: ColAddr, b: ColAddr) -> Result<ColAddr, DriverError> {
+        let out = self.alloc()?;
+        self.nor_into(a, b, out);
+        Ok(out)
+    }
+
+    /// `!a` into a fresh cell (1 gate).
+    pub fn not(&mut self, a: ColAddr) -> Result<ColAddr, DriverError> {
+        let out = self.alloc()?;
+        self.not_into(a, out);
+        Ok(out)
+    }
+
+    /// `a | b` (2 gates).
+    pub fn or(&mut self, a: ColAddr, b: ColAddr) -> Result<ColAddr, DriverError> {
+        let t = self.nor(a, b)?;
+        let out = self.not(t)?;
+        self.release(t);
+        Ok(out)
+    }
+
+    /// `a | b` into `out` (2 gates; `out` must hold 1).
+    pub fn or_into(&mut self, a: ColAddr, b: ColAddr, out: ColAddr) -> Result<(), DriverError> {
+        let t = self.nor(a, b)?;
+        self.not_into(t, out);
+        self.release(t);
+        Ok(())
+    }
+
+    /// `a & b` (3 gates).
+    pub fn and(&mut self, a: ColAddr, b: ColAddr) -> Result<ColAddr, DriverError> {
+        let na = self.not(a)?;
+        let nb = self.not(b)?;
+        let out = self.nor(na, nb)?;
+        self.release(na);
+        self.release(nb);
+        Ok(out)
+    }
+
+    /// `a & !b` (2 gates).
+    pub fn and_not(&mut self, a: ColAddr, b: ColAddr) -> Result<ColAddr, DriverError> {
+        let na = self.not(a)?;
+        let out = self.nor(na, b)?;
+        self.release(na);
+        Ok(out)
+    }
+
+    /// `a ^ b` (5 gates).
+    pub fn xor(&mut self, a: ColAddr, b: ColAddr) -> Result<ColAddr, DriverError> {
+        let x = self.xnor(a, b)?;
+        let out = self.not(x)?;
+        self.release(x);
+        Ok(out)
+    }
+
+    /// `!(a ^ b)` (4 gates).
+    pub fn xnor(&mut self, a: ColAddr, b: ColAddr) -> Result<ColAddr, DriverError> {
+        let t1 = self.nor(a, b)?;
+        let t2 = self.nor(a, t1)?; // !a & b
+        let t3 = self.nor(b, t1)?; // a & !b
+        let out = self.nor(t2, t3)?;
+        self.release_all([t1, t2, t3]);
+        Ok(out)
+    }
+
+    /// `c ? a : b` (7 gates).
+    pub fn mux(&mut self, c: ColAddr, a: ColAddr, b: ColAddr) -> Result<ColAddr, DriverError> {
+        let out = self.alloc()?;
+        self.mux_into(c, a, b, out)?;
+        Ok(out)
+    }
+
+    /// `c ? a : b` into `out` (7 gates; `out` must hold 1).
+    pub fn mux_into(
+        &mut self,
+        c: ColAddr,
+        a: ColAddr,
+        b: ColAddr,
+        out: ColAddr,
+    ) -> Result<(), DriverError> {
+        let ac = self.and(a, c)?; // 3
+        let nb = self.not(b)?; // 1
+        let bnc = self.nor(nb, c)?; // 1: b & !c
+        self.or_into(ac, bnc, out)?; // 2
+        self.release_all([ac, nb, bnc]);
+        Ok(())
+    }
+
+    /// Copies a cell value into `out` via two `NOT`s (`out` must hold 1).
+    pub fn copy_into(&mut self, src: ColAddr, out: ColAddr) -> Result<(), DriverError> {
+        let n = self.not(src)?;
+        self.not_into(n, out);
+        self.release(n);
+        Ok(())
+    }
+
+    /// OR of many cells via a serial tree (`2(n-1)` gates; 0 cells → const
+    /// 0, 1 cell → copy).
+    pub fn or_many(&mut self, cells: &[ColAddr]) -> Result<ColAddr, DriverError> {
+        match cells {
+            [] => self.zero(),
+            [c] => {
+                let n = self.not(*c)?;
+                let out = self.not(n)?;
+                self.release(n);
+                Ok(out)
+            }
+            _ => {
+                let mut acc = self.or(cells[0], cells[1])?;
+                for c in &cells[2..] {
+                    let next = self.or(acc, *c)?;
+                    self.release(acc);
+                    acc = next;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// `!(c0 | c1 | …)` — the all-zero test (`2(n-1) - 1` gates for n ≥ 2).
+    pub fn nor_many(&mut self, cells: &[ColAddr]) -> Result<ColAddr, DriverError> {
+        match cells {
+            [] => self.one(),
+            [c] => self.not(*c),
+            [a, b] => self.nor(*a, *b),
+            _ => {
+                let head = self.or_many(&cells[..cells.len() - 1])?;
+                let out = self.nor(head, cells[cells.len() - 1])?;
+                self.release(head);
+                Ok(out)
+            }
+        }
+    }
+
+    /// AND of many cells (`2(n-1)`-ish gates via De Morgan).
+    pub fn and_many(&mut self, cells: &[ColAddr]) -> Result<ColAddr, DriverError> {
+        match cells {
+            [] => self.one(),
+            [c] => {
+                let n = self.not(*c)?;
+                let out = self.not(n)?;
+                self.release(n);
+                Ok(out)
+            }
+            _ => {
+                let mut acc = self.and(cells[0], cells[1])?;
+                for c in &cells[2..] {
+                    let next = self.and(acc, *c)?;
+                    self.release(acc);
+                    acc = next;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    // ----- full adders -----------------------------------------------------
+
+    /// The 9-NOR full adder of the bit-serial element-parallel approach
+    /// (§II-B): returns `(sum, carry)`.
+    pub fn full_adder(
+        &mut self,
+        a: ColAddr,
+        b: ColAddr,
+        c: ColAddr,
+    ) -> Result<(ColAddr, ColAddr), DriverError> {
+        let sum = self.alloc()?;
+        let cout = self.full_adder_into(a, b, c, sum)?;
+        Ok((sum, cout))
+    }
+
+    /// Full adder with the sum targeted at `sum_out` (which must hold 1);
+    /// returns the carry. Exactly 9 NOR gates.
+    pub fn full_adder_into(
+        &mut self,
+        a: ColAddr,
+        b: ColAddr,
+        c: ColAddr,
+        sum_out: ColAddr,
+    ) -> Result<ColAddr, DriverError> {
+        let pending = self.full_adder_prep(a, b, c)?;
+        self.full_adder_finish(pending, sum_out)
+    }
+
+    /// First phase of the full adder: 7 NOR gates that consume the inputs.
+    /// After this returns, the inputs may be overwritten (e.g. a lazily
+    /// initialized aliased destination cell) before
+    /// [`full_adder_finish`](Self::full_adder_finish) writes the sum.
+    pub fn full_adder_prep(
+        &mut self,
+        a: ColAddr,
+        b: ColAddr,
+        c: ColAddr,
+    ) -> Result<PendingAdder, DriverError> {
+        let t1 = self.nor(a, b)?;
+        let t2 = self.nor(a, t1)?; // !a & b
+        let t3 = self.nor(b, t1)?; // a & !b
+        let t4 = self.nor(t2, t3)?; // xnor(a, b)
+        let t5 = self.nor(t4, c)?; // !(xnor | c)
+        let t6 = self.nor(t4, t5)?; // xor & c
+        let t7 = self.nor(c, t5)?; // xnor & !c
+        Ok(PendingAdder { t1, t2, t3, t4, t5, t6, t7 })
+    }
+
+    /// Second phase of the full adder: 2 NOR gates writing the sum into
+    /// `sum_out` (which must hold 1) and returning the carry.
+    pub fn full_adder_finish(
+        &mut self,
+        p: PendingAdder,
+        sum_out: ColAddr,
+    ) -> Result<ColAddr, DriverError> {
+        self.nor_into(p.t6, p.t7, sum_out); // a ^ b ^ c
+        let cout = self.nor(p.t1, p.t5)?; // majority(a, b, c)
+        self.release_all([p.t1, p.t2, p.t3, p.t4, p.t5, p.t6, p.t7]);
+        Ok(cout)
+    }
+
+    // ----- partition-parallel (whole-register) operations -----------------
+
+    /// Partition-parallel `NOT` of a whole register: one micro-operation for
+    /// all 32 gates. `dst` must be initialized to all-ones.
+    pub fn par_not(&mut self, src: RegId, dst: RegId) {
+        let op = HLogic::parallel(GateKind::Not, src, src, dst, self.cfg)
+            .expect("validated registers");
+        self.ops.push(MicroOp::LogicH(op));
+        self.stats.logic_cycles += 1;
+    }
+
+    /// Partition-parallel `NOR` of two whole registers into `dst` (one
+    /// micro-operation; `dst` must be all-ones).
+    pub fn par_nor(&mut self, a: RegId, b: RegId, dst: RegId) {
+        let op =
+            HLogic::parallel(GateKind::Nor, a, b, dst, self.cfg).expect("validated registers");
+        self.ops.push(MicroOp::LogicH(op));
+        self.stats.logic_cycles += 1;
+    }
+
+    /// Cross-partition shifted `NOT`: `dst[p + shift] = !src[p]` for every
+    /// partition `p` with `p + shift` in range. Because concurrent half-gate
+    /// sections must be disjoint (§III-D3), this costs `|shift| + 1`
+    /// micro-operations. Out-of-range destination partitions are untouched
+    /// (initialize `dst` to choose their value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift == 0` (use [`par_not`](Self::par_not)) or
+    /// `|shift| >= N` (no partitions would remain).
+    pub fn par_shift_not(&mut self, src: RegId, dst: RegId, shift: i32) {
+        let n = self.cfg.partitions as i32;
+        assert!(shift != 0 && shift.abs() < n, "shift {shift} out of range");
+        let width = shift.unsigned_abs() as u8; // section span
+        let step = width + 1;
+        for class in 0..step {
+            // Output partitions congruent to `first_out` mod `step`.
+            let first_out = if shift > 0 { class as i32 + shift } else { class as i32 };
+            let first_in = first_out - shift;
+            if first_out >= n || first_in < 0 || first_in >= n {
+                continue;
+            }
+            // Last repetition keeping both operands in range.
+            let reps_out = (n - 1 - first_out) / step as i32;
+            let reps_in = (n - 1 - first_in) / step as i32;
+            let reps = reps_out.min(reps_in);
+            if reps < 0 {
+                continue;
+            }
+            let p_end = (first_out + reps * step as i32) as u8;
+            let op = HLogic::strided(
+                GateKind::Not,
+                ColAddr::new(first_in as u8, src),
+                ColAddr::new(first_in as u8, src),
+                ColAddr::new(first_out as u8, dst),
+                p_end,
+                step,
+                self.cfg,
+            )
+            .expect("validated shift pattern");
+            self.ops.push(MicroOp::LogicH(op));
+            self.stats.logic_cycles += 1;
+        }
+    }
+
+    /// The cells of a register, least-significant (partition 0) first.
+    pub fn reg_bits(&self, reg: RegId) -> Bits {
+        (0..self.cfg.partitions as u8).map(|p| ColAddr::new(p, reg)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::{Backend, PimConfig, RangeMask};
+    use pim_sim::PimSimulator;
+
+    fn cfg() -> PimConfig {
+        PimConfig::small().with_crossbars(1).with_rows(8)
+    }
+
+    /// Runs `build` once, then evaluates the routine on a single row whose
+    /// scratch-region is dirtied with `garbage`, with `inputs` cells preset.
+    /// Returns a closure to probe cells.
+    fn run(
+        c: &PimConfig,
+        inputs: &[(ColAddr, bool)],
+        build: impl FnOnce(&mut CircuitBuilder) -> Vec<ColAddr>,
+    ) -> Vec<bool> {
+        let mut b = CircuitBuilder::new(c);
+        let probes = build(&mut b);
+        let routine = b.finish();
+        let mut sim = PimSimulator::new(c.clone()).unwrap();
+        // Dirty the scratch region to prove routines self-initialize.
+        for reg in c.user_regs..c.regs {
+            for row in 0..c.rows {
+                sim.poke(0, row, reg, 0xA5A5_5A5A);
+            }
+        }
+        for (cell, v) in inputs {
+            for row in 0..c.rows {
+                let w = sim.peek(0, row, cell.offset as usize);
+                let w = if *v { w | 1 << cell.part } else { w & !(1 << cell.part) };
+                sim.poke(0, row, cell.offset as usize, w);
+            }
+        }
+        sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0))).unwrap();
+        sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::dense(0, c.rows as u32).unwrap()))
+            .unwrap();
+        sim.execute_batch(&routine.ops).unwrap();
+        probes
+            .iter()
+            .map(|p| sim.peek(0, 0, p.offset as usize) >> p.part & 1 == 1)
+            .collect()
+    }
+
+    fn in_cell(i: u8) -> ColAddr {
+        // Input cells live in user registers 0..; partition = index.
+        ColAddr::new(i, 0)
+    }
+
+    #[test]
+    fn derived_gates_truth_tables() {
+        let c = cfg();
+        for a in [false, true] {
+            for bv in [false, true] {
+                let (ca, cb) = (in_cell(0), in_cell(1));
+                let got = run(&c, &[(ca, a), (cb, bv)], |b| {
+                    vec![
+                        b.nor(ca, cb).unwrap(),
+                        b.or(ca, cb).unwrap(),
+                        b.and(ca, cb).unwrap(),
+                        b.and_not(ca, cb).unwrap(),
+                        b.xor(ca, cb).unwrap(),
+                        b.xnor(ca, cb).unwrap(),
+                        b.not(ca).unwrap(),
+                    ]
+                });
+                assert_eq!(
+                    got,
+                    vec![!(a | bv), a | bv, a & bv, a & !bv, a ^ bv, !(a ^ bv), !a],
+                    "a={a} b={bv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let c = cfg();
+        for sel in [false, true] {
+            for a in [false, true] {
+                for bv in [false, true] {
+                    let (cs, ca, cb) = (in_cell(0), in_cell(1), in_cell(2));
+                    let got = run(&c, &[(cs, sel), (ca, a), (cb, bv)], |b| {
+                        vec![b.mux(cs, ca, cb).unwrap()]
+                    });
+                    assert_eq!(got[0], if sel { a } else { bv }, "sel={sel} a={a} b={bv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_exhaustive() {
+        let c = cfg();
+        for a in [false, true] {
+            for bv in [false, true] {
+                for ci in [false, true] {
+                    let (ca, cb, cc) = (in_cell(0), in_cell(1), in_cell(2));
+                    let got = run(&c, &[(ca, a), (cb, bv), (cc, ci)], |b| {
+                        let (s, co) = b.full_adder(ca, cb, cc).unwrap();
+                        vec![s, co]
+                    });
+                    let total = a as u8 + bv as u8 + ci as u8;
+                    assert_eq!(got[0], total & 1 == 1, "sum a={a} b={bv} c={ci}");
+                    assert_eq!(got[1], total >= 2, "carry a={a} b={bv} c={ci}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_costs_9_gates() {
+        let c = cfg();
+        let mut b = CircuitBuilder::new(&c);
+        let (x, y, z) = (in_cell(0), in_cell(1), in_cell(2));
+        let _ = b.full_adder(x, y, z).unwrap();
+        assert_eq!(b.finish().stats.logic_cycles, 9);
+    }
+
+    #[test]
+    fn tree_gates() {
+        let c = cfg();
+        let cells: Vec<ColAddr> = (0..5).map(in_cell).collect();
+        for pattern in 0..32u32 {
+            let inputs: Vec<(ColAddr, bool)> =
+                cells.iter().enumerate().map(|(i, &c)| (c, pattern >> i & 1 == 1)).collect();
+            let cs = cells.clone();
+            let got = run(&c, &inputs, |b| {
+                vec![
+                    b.or_many(&cs).unwrap(),
+                    b.nor_many(&cs).unwrap(),
+                    b.and_many(&cs).unwrap(),
+                ]
+            });
+            assert_eq!(got[0], pattern != 0, "or pattern={pattern:05b}");
+            assert_eq!(got[1], pattern == 0, "nor pattern={pattern:05b}");
+            assert_eq!(got[2], pattern == 31, "and pattern={pattern:05b}");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let c = cfg();
+        let got = run(&c, &[], |b| {
+            let z = b.zero().unwrap();
+            let o = b.one().unwrap();
+            // Shared: second call returns the same cell.
+            assert_eq!(b.zero().unwrap(), z);
+            assert_eq!(b.one().unwrap(), o);
+            vec![z, o]
+        });
+        assert_eq!(got, vec![false, true]);
+    }
+
+    #[test]
+    fn alloc_reuse_keeps_cells_clean() {
+        let c = cfg();
+        // Allocate, free, and re-allocate many times; every allocation must
+        // hand back a cell holding 1 even though the scratch started dirty.
+        let got = run(&c, &[], |b| {
+            let mut probes = Vec::new();
+            for round in 0..40 {
+                let cells: Vec<ColAddr> = (0..13).map(|_| b.alloc().unwrap()).collect();
+                if round % 3 == 0 {
+                    probes.push(cells[round % 13]);
+                    // Leak this one (stays allocated), free the rest.
+                    for (i, c) in cells.iter().enumerate() {
+                        if i != round % 13 {
+                            // Dirty some cells by gating into them.
+                            if i % 2 == 0 {
+                                let src = probes[0];
+                                b.not_into(src, *c);
+                            }
+                            b.release(*c);
+                        }
+                    }
+                } else {
+                    b.release_all(cells);
+                }
+            }
+            probes
+        });
+        assert!(got.iter().all(|&v| v), "allocated cells must hold 1: {got:?}");
+    }
+
+    #[test]
+    fn par_ops_match_word_semantics() {
+        let c = cfg();
+        let mut b = CircuitBuilder::new(&c);
+        // dst regs: user regs 2 and 3.
+        b.init_reg(2, true);
+        b.par_not(0, 2); // reg2 = !reg0
+        b.init_reg(3, true);
+        b.par_nor(0, 1, 3); // reg3 = !(reg0 | reg1)
+        let routine = b.finish();
+        let mut sim = PimSimulator::new(c.clone()).unwrap();
+        sim.poke(0, 0, 0, 0x1234_5678);
+        sim.poke(0, 0, 1, 0x0F0F_0F0F);
+        sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0))).unwrap();
+        sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::single(0))).unwrap();
+        sim.execute_batch(&routine.ops).unwrap();
+        assert_eq!(sim.peek(0, 0, 2), !0x1234_5678u32);
+        assert_eq!(sim.peek(0, 0, 3), !(0x1234_5678u32 | 0x0F0F_0F0F));
+        assert_eq!(routine.stats.logic_cycles, 2);
+        assert_eq!(routine.stats.overhead_cycles, 2);
+    }
+
+    #[test]
+    fn par_shift_not_shifts_partitions() {
+        let c = cfg();
+        for shift in [-31, -7, -3, -1, 1, 2, 5, 31] {
+            let mut b = CircuitBuilder::new(&c);
+            b.init_reg(2, true);
+            b.par_shift_not(0, 2, shift);
+            let expected_ops = shift.unsigned_abs() as u64 + 1;
+            let routine = b.finish();
+            assert!(
+                routine.stats.logic_cycles <= expected_ops,
+                "shift {shift}: {} ops",
+                routine.stats.logic_cycles
+            );
+            let mut sim = PimSimulator::new(c.clone()).unwrap();
+            let input = 0x9E37_79B9u32;
+            sim.poke(0, 0, 0, input);
+            sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0))).unwrap();
+            sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::single(0))).unwrap();
+            sim.execute_batch(&routine.ops).unwrap();
+            let got = sim.peek(0, 0, 2);
+            for p in 0..32i32 {
+                let src = p - shift;
+                let expect = if (0..32).contains(&src) {
+                    input >> src & 1 == 0 // NOT of the shifted-in bit
+                } else {
+                    true // untouched: stays at the init value 1
+                };
+                assert_eq!(got >> p & 1 == 1, expect, "shift {shift} partition {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_exhaustion_is_reported() {
+        let c = cfg();
+        let mut b = CircuitBuilder::new(&c);
+        let total = c.scratch_regs() * WORD_BITS;
+        for _ in 0..total {
+            b.alloc().unwrap();
+        }
+        assert!(matches!(b.alloc(), Err(DriverError::ScratchExhausted { .. })));
+    }
+
+    #[test]
+    fn alloc_reg_reserves_and_releases() {
+        let c = cfg();
+        let mut b = CircuitBuilder::new(&c);
+        let r1 = b.alloc_reg().unwrap();
+        let r2 = b.alloc_reg().unwrap();
+        assert_ne!(r1, r2);
+        assert!(r1 as usize >= c.user_regs && (r1 as usize) < c.regs);
+        // Cells never come from reserved registers.
+        for _ in 0..(c.scratch_regs() - 2) * WORD_BITS {
+            let cell = b.alloc().unwrap();
+            assert_ne!(cell.offset, r1);
+            assert_ne!(cell.offset, r2);
+        }
+        assert!(b.alloc().is_err());
+        b.release_reg(r1);
+        assert!(b.alloc().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let c = cfg();
+        let mut b = CircuitBuilder::new(&c);
+        let cell = b.alloc().unwrap();
+        b.release(cell);
+        b.release(cell);
+    }
+
+    #[test]
+    fn overhead_fraction_is_small_for_adder_chains() {
+        // 32 chained full adders (a ripple add) must spend most cycles on
+        // logic, not initialization — the §VI-B "close to theoretical" claim
+        // starts here.
+        let c = cfg();
+        let mut b = CircuitBuilder::new(&c);
+        let mut carry = b.zero().unwrap();
+        for i in 0..32u8 {
+            let a = ColAddr::new(i, 0);
+            let x = ColAddr::new(i, 1);
+            let (s, co) = b.full_adder(a, x, carry).unwrap();
+            b.release(s);
+            if carry != b.zero().unwrap() {
+                b.release(carry);
+            }
+            carry = co;
+        }
+        let stats = b.finish().stats;
+        assert_eq!(stats.logic_cycles, 9 * 32);
+        assert!(
+            stats.overhead_fraction() < 0.10,
+            "overhead fraction {} too high ({} overhead cycles)",
+            stats.overhead_fraction(),
+            stats.overhead_cycles
+        );
+    }
+}

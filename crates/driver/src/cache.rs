@@ -1,0 +1,117 @@
+use crate::builder::Routine;
+use crate::{routines, DriverError, ParallelismMode};
+use pim_arch::{PimConfig, RegId};
+use pim_isa::{DType, RegOp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of a compiled R-type routine: everything the micro-operation
+/// sequence depends on. Thread ranges are *not* part of the key — routines
+/// are mask-independent and replay under any crossbar/row masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoutineKey {
+    /// Operation.
+    pub op: RegOp,
+    /// Element datatype.
+    pub dtype: DType,
+    /// Destination register.
+    pub dst: RegId,
+    /// Source registers (unused slots zeroed).
+    pub srcs: [RegId; 3],
+    /// Parallelism mode the routine was compiled for.
+    pub mode: ParallelismMode,
+}
+
+/// Cache of compiled routines.
+///
+/// This is the reason the *software* host driver is not a bottleneck
+/// (§V-B, Figure 13): after the first use of an `(op, dtype, registers)`
+/// combination, "translation" of a macro-instruction is an iteration over a
+/// precompiled `Arc<Routine>` — no gate-level compilation on the hot path.
+#[derive(Debug, Default)]
+pub struct RoutineCache {
+    map: HashMap<RoutineKey, Arc<Routine>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RoutineCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RoutineCache::default()
+    }
+
+    /// Returns the routine for `key`, compiling it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors (unsupported op, scratch exhaustion).
+    pub fn get_or_compile(
+        &mut self,
+        cfg: &PimConfig,
+        key: RoutineKey,
+    ) -> Result<Arc<Routine>, DriverError> {
+        if let Some(r) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(r));
+        }
+        self.misses += 1;
+        let arity = key.op.arity();
+        let routine = routines::compile_rtype(
+            cfg,
+            key.mode,
+            key.op,
+            key.dtype,
+            key.dst,
+            &key.srcs[..arity],
+        )?;
+        let arc = Arc::new(routine);
+        self.map.insert(key, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Number of cached routines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dst: RegId) -> RoutineKey {
+        RoutineKey {
+            op: RegOp::Add,
+            dtype: DType::Int32,
+            dst,
+            srcs: [0, 1, 0],
+            mode: ParallelismMode::BitSerial,
+        }
+    }
+
+    #[test]
+    fn caches_by_key() {
+        let cfg = PimConfig::small();
+        let mut cache = RoutineCache::new();
+        let a = cache.get_or_compile(&cfg, key(2)).unwrap();
+        let b = cache.get_or_compile(&cfg, key(2)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        let c = cache.get_or_compile(&cfg, key(3)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+}

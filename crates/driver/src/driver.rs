@@ -1,0 +1,545 @@
+use crate::cache::{RoutineCache, RoutineKey};
+use crate::DriverError;
+use pim_arch::{encode, htree, Backend, MicroOp, MoveOp, PimConfig, RangeMask, VGate};
+use pim_isa::Instruction;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which arithmetic implementation the driver compiles where both exist
+/// (§II-B): bit-serial element-parallel or bit-parallel element-parallel
+/// (partition-exploiting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParallelismMode {
+    /// Serial gate sequences (one gate per row per cycle).
+    BitSerial,
+    /// Partition-parallel algorithms (up to `N` gates per row per cycle) —
+    /// the default for the partition-enabled microarchitecture.
+    #[default]
+    BitParallel,
+}
+
+/// Cycles the driver has *issued*, split into the pure-logic component
+/// (the theoretical-PIM baseline for whatever program ran) and the total
+/// (including stateful-init overhead and mask operations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IssuedCycles {
+    /// Logic (`NOT`/`NOR`/move/write/read) cycles — the theoretical
+    /// lower bound of the issued program.
+    pub logic: u64,
+    /// All issued micro-operations.
+    pub total: u64,
+}
+
+impl IssuedCycles {
+    /// Measured-over-theoretical ratio (≥ 1).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.total as f64 / self.logic as f64
+    }
+}
+
+/// The host driver (§V-B): translates ISA macro-instructions into
+/// micro-operations and feeds them to a [`Backend`] (the simulator, a
+/// physical chip, or the measurement sink).
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Driver<B> {
+    backend: B,
+    cache: RoutineCache,
+    mode: ParallelismMode,
+    cfg: PimConfig,
+    issued: IssuedCycles,
+    encoded_cache: HashMap<RoutineKey, Arc<Vec<u64>>>,
+    /// Masks currently stored in the memory (the driver is the sole
+    /// micro-operation source, so it can elide redundant mask operations).
+    cur_xb: Option<RangeMask>,
+    cur_rows: Option<RangeMask>,
+}
+
+impl<B: Backend> Driver<B> {
+    /// Creates a driver over `backend` with the default (partition-enabled)
+    /// parallelism mode.
+    pub fn new(backend: B) -> Self {
+        let cfg = backend.config().clone();
+        Driver {
+            backend,
+            cache: RoutineCache::new(),
+            mode: ParallelismMode::default(),
+            cfg,
+            issued: IssuedCycles::default(),
+            encoded_cache: HashMap::new(),
+            cur_xb: None,
+            cur_rows: None,
+        }
+    }
+
+    /// Creates a driver with an explicit parallelism mode.
+    pub fn with_mode(backend: B, mode: ParallelismMode) -> Self {
+        let mut d = Driver::new(backend);
+        d.mode = mode;
+        d
+    }
+
+    /// The configuration the driver compiles for.
+    pub fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    /// The active parallelism mode.
+    pub fn mode(&self) -> ParallelismMode {
+        self.mode
+    }
+
+    /// Access to the backend (e.g. the simulator's profiler).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Consumes the driver, returning the backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Routine-cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Cycles issued so far (logic vs total) — the driver-side counterpart
+    /// of the simulator's profiler, used to derive the theoretical-PIM
+    /// baseline of arbitrary programs.
+    pub fn issued(&self) -> IssuedCycles {
+        self.issued
+    }
+
+    /// Resets the issued-cycle counters.
+    pub fn reset_issued(&mut self) {
+        self.issued = IssuedCycles::default();
+    }
+
+    /// Emits crossbar/row mask operations, eliding ones that match the
+    /// masks already stored in the memory. Returns the number of
+    /// micro-operations issued (0..=2).
+    fn set_masks(
+        &mut self,
+        warps: Option<RangeMask>,
+        rows: Option<RangeMask>,
+    ) -> Result<u64, DriverError> {
+        let mut ops: [MicroOp; 2] = [
+            MicroOp::Read { index: 0 }, // placeholder, never sent
+            MicroOp::Read { index: 0 },
+        ];
+        let mut n = 0;
+        if let Some(w) = warps {
+            if self.cur_xb != Some(w) {
+                ops[n] = MicroOp::XbMask(w);
+                n += 1;
+                self.cur_xb = Some(w);
+            }
+        }
+        if let Some(r) = rows {
+            if self.cur_rows != Some(r) {
+                ops[n] = MicroOp::RowMask(r);
+                n += 1;
+                self.cur_rows = Some(r);
+            }
+        }
+        if n > 0 {
+            self.backend.execute_batch(&ops[..n])?;
+        }
+        Ok(n as u64)
+    }
+
+    /// Executes one macro-instruction, returning the value for
+    /// [`Instruction::Read`] and `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] on invalid instructions, unsupported
+    /// operation/datatype combinations, or backend failures.
+    pub fn execute(&mut self, instr: &Instruction) -> Result<Option<u32>, DriverError> {
+        instr.validate(&self.cfg)?;
+        match instr {
+            Instruction::RType { op, dtype, dst, srcs, target } => {
+                let key = RoutineKey {
+                    op: *op,
+                    dtype: *dtype,
+                    dst: *dst,
+                    srcs: {
+                        let mut s = [0; 3];
+                        s[..op.arity()].copy_from_slice(&srcs[..op.arity()]);
+                        s
+                    },
+                    mode: self.mode,
+                };
+                let routine = self.cache.get_or_compile(&self.cfg, key)?;
+                let masks = self.set_masks(Some(target.warps), Some(target.rows))?;
+                self.backend.execute_batch(&routine.ops)?;
+                self.issued.logic += routine.stats.logic_cycles;
+                self.issued.total += routine.stats.total_cycles() + masks;
+                Ok(None)
+            }
+            Instruction::Write { reg, value, target } => {
+                let masks = self.set_masks(Some(target.warps), Some(target.rows))?;
+                self.backend.execute(&MicroOp::Write { index: *reg, value: *value })?;
+                self.issued.logic += 1;
+                self.issued.total += 1 + masks;
+                Ok(None)
+            }
+            Instruction::Read { reg, warp, row } => {
+                let masks = self.set_masks(
+                    Some(RangeMask::single(*warp)),
+                    Some(RangeMask::single(*row)),
+                )?;
+                let v = self.backend.execute(&MicroOp::Read { index: *reg })?;
+                self.issued.logic += 1;
+                self.issued.total += 1 + masks;
+                Ok(v)
+            }
+            Instruction::MoveRows { src, dst, src_rows, dst_rows, warps } => {
+                let before = self.cur_xb;
+                let ops = self.lower_move_rows(*src, *dst, src_rows, dst_rows, warps)?;
+                let elide = before == Some(*warps);
+                let ops = if elide { &ops[1..] } else { &ops[..] };
+                self.backend.execute_batch(ops)?;
+                self.cur_xb = Some(*warps);
+                self.cur_rows = Some(*dst_rows);
+                // Theoretical: one vertical transfer per pair plus the
+                // horizontal complement chain.
+                self.issued.logic += src_rows.len() as u64 + 4;
+                self.issued.total += ops.len() as u64;
+                Ok(None)
+            }
+            Instruction::MoveWarps { src, dst, row_src, row_dst, warps, dist } => {
+                let masks = self.set_masks(Some(*warps), None)?;
+                self.backend.execute(&MicroOp::Move(MoveOp {
+                    dist: *dist,
+                    row_src: *row_src,
+                    row_dst: *row_dst,
+                    index_src: *src,
+                    index_dst: *dst,
+                }))?;
+                let plan = htree::plan_move(
+                    warps,
+                    &MoveOp {
+                        dist: *dist,
+                        row_src: *row_src,
+                        row_dst: *row_dst,
+                        index_src: *src,
+                        index_dst: *dst,
+                    },
+                    &self.cfg,
+                )?;
+                // H-tree serialization is intrinsic to the communication
+                // pattern, so it belongs to the theoretical baseline too.
+                self.issued.logic += plan.cycles;
+                self.issued.total += plan.cycles + masks;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Executes one R-type macro-instruction by *streaming* its cached
+    /// pre-encoded 64-bit words to the backend — the production-driver hot
+    /// path whose rate the Figure 13 "Host Driver" series measures.
+    ///
+    /// # Errors
+    ///
+    /// See [`execute`](Self::execute).
+    pub fn execute_streamed(&mut self, instr: &Instruction) -> Result<(), DriverError> {
+        let Instruction::RType { op, dtype, dst, srcs, target } = instr else {
+            self.execute(instr)?;
+            return Ok(());
+        };
+        let key = RoutineKey {
+            op: *op,
+            dtype: *dtype,
+            dst: *dst,
+            srcs: {
+                let mut s = [0; 3];
+                s[..op.arity()].copy_from_slice(&srcs[..op.arity()]);
+                s
+            },
+            mode: self.mode,
+        };
+        if !self.encoded_cache.contains_key(&key) {
+            let routine = self.cache.get_or_compile(&self.cfg, key)?;
+            let mut words = vec![
+                encode::encode(&MicroOp::XbMask(target.warps)),
+                encode::encode(&MicroOp::RowMask(target.rows)),
+            ];
+            words.extend(routine.encode_ops());
+            self.issued.logic += routine.stats.logic_cycles;
+            self.issued.total += routine.stats.total_cycles() + 2;
+            self.encoded_cache.insert(key, Arc::new(words));
+            let cached = Arc::clone(&self.encoded_cache[&key]);
+            self.backend.stream(&cached)?;
+            self.cur_xb = Some(target.warps);
+            self.cur_rows = Some(target.rows);
+            return Ok(());
+        }
+        let cached = Arc::clone(&self.encoded_cache[&key]);
+        self.backend.stream(&cached)?;
+        self.cur_xb = Some(target.warps);
+        self.cur_rows = Some(target.rows);
+        Ok(())
+    }
+
+    /// Executes a sequence of macro-instructions (non-read).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first erroring instruction.
+    pub fn execute_all(&mut self, instrs: &[Instruction]) -> Result<(), DriverError> {
+        for i in instrs {
+            self.execute(i)?;
+        }
+        Ok(())
+    }
+
+    /// Lowers a warp-parallel thread-serial move (Figure 11b): the source
+    /// register is complemented once for all source rows (2 horizontal
+    /// micro-ops), each row pair transfers through one vertical INIT+NOT
+    /// pair (un-complementing in the process), and the value lands in the
+    /// destination register through two more horizontal NOTs.
+    fn lower_move_rows(
+        &mut self,
+        src: u8,
+        dst: u8,
+        src_rows: &RangeMask,
+        dst_rows: &RangeMask,
+        warps: &RangeMask,
+    ) -> Result<Vec<MicroOp>, DriverError> {
+        if self.cfg.scratch_regs() < 2 {
+            return Err(DriverError::Unsupported {
+                what: "row moves require at least 2 scratch registers".into(),
+            });
+        }
+        let t1 = self.cfg.user_regs as u8;
+        let t2 = t1 + 1;
+        let mut ops = Vec::with_capacity(8 + 2 * src_rows.len());
+        ops.push(MicroOp::XbMask(*warps));
+        // t1 = !src on all source rows.
+        ops.push(MicroOp::RowMask(*src_rows));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(true, t1, &self.cfg)?));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::parallel(
+            pim_arch::GateKind::Not,
+            src,
+            src,
+            t1,
+            &self.cfg,
+        )?));
+        // Vertical transfer per pair: t1[dst_row] = !t1[src_row] = value.
+        // When the row sets overlap (a uniform shift), order the
+        // thread-serial transfers so each source row is read before any
+        // pair overwrites it: descending for an upward shift, ascending
+        // for a downward one.
+        let pairs: Vec<(u32, u32)> = src_rows.iter().zip(dst_rows.iter()).collect();
+        let upward = dst_rows.start() > src_rows.start();
+        let ordered: Box<dyn Iterator<Item = &(u32, u32)>> =
+            if upward { Box::new(pairs.iter().rev()) } else { Box::new(pairs.iter()) };
+        for &(s, d) in ordered {
+            ops.push(MicroOp::LogicV { gate: VGate::Init1, row_in: s, row_out: d, index: t1 });
+            ops.push(MicroOp::LogicV { gate: VGate::Not, row_in: s, row_out: d, index: t1 });
+        }
+        // dst = !!t1 on all destination rows.
+        ops.push(MicroOp::RowMask(*dst_rows));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(true, t2, &self.cfg)?));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::parallel(
+            pim_arch::GateKind::Not,
+            t1,
+            t1,
+            t2,
+            &self.cfg,
+        )?));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(true, dst, &self.cfg)?));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::parallel(
+            pim_arch::GateKind::Not,
+            t2,
+            t2,
+            dst,
+            &self.cfg,
+        )?));
+        Ok(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_isa::{DType, RegOp, ThreadRange};
+    use pim_sim::PimSimulator;
+
+    fn driver() -> Driver<PimSimulator> {
+        let cfg = PimConfig::small();
+        Driver::new(PimSimulator::new(cfg).unwrap())
+    }
+
+    fn all(cfg: &PimConfig) -> ThreadRange {
+        ThreadRange::all(cfg)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut d = driver();
+        let cfg = d.config().clone();
+        d.execute(&Instruction::Write { reg: 3, value: 0x42, target: all(&cfg) }).unwrap();
+        let got = d.execute(&Instruction::Read { reg: 3, warp: 7, row: 13 }).unwrap();
+        assert_eq!(got, Some(0x42));
+    }
+
+    #[test]
+    fn rtype_add_across_all_threads() {
+        let mut d = driver();
+        let cfg = d.config().clone();
+        d.execute(&Instruction::Write { reg: 0, value: 30, target: all(&cfg) }).unwrap();
+        d.execute(&Instruction::Write { reg: 1, value: 12, target: all(&cfg) }).unwrap();
+        d.execute(&Instruction::RType {
+            op: RegOp::Add,
+            dtype: DType::Int32,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target: all(&cfg),
+        })
+        .unwrap();
+        for (w, r) in [(0u32, 0u32), (15, 63), (8, 31)] {
+            let got = d.execute(&Instruction::Read { reg: 2, warp: w, row: r }).unwrap();
+            assert_eq!(got, Some(42), "warp {w} row {r}");
+        }
+    }
+
+    #[test]
+    fn rtype_respects_thread_ranges() {
+        let mut d = driver();
+        let cfg = d.config().clone();
+        d.execute(&Instruction::Write { reg: 0, value: 5, target: all(&cfg) }).unwrap();
+        d.execute(&Instruction::Write { reg: 1, value: 6, target: all(&cfg) }).unwrap();
+        d.execute(&Instruction::Write { reg: 2, value: 999, target: all(&cfg) }).unwrap();
+        // Multiply only even rows of warp 2.
+        let target = ThreadRange::new(
+            RangeMask::single(2),
+            RangeMask::new(0, 62, 2).unwrap(),
+        );
+        d.execute(&Instruction::RType {
+            op: RegOp::Mul,
+            dtype: DType::Int32,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target,
+        })
+        .unwrap();
+        assert_eq!(
+            d.execute(&Instruction::Read { reg: 2, warp: 2, row: 4 }).unwrap(),
+            Some(30)
+        );
+        assert_eq!(
+            d.execute(&Instruction::Read { reg: 2, warp: 2, row: 5 }).unwrap(),
+            Some(999)
+        );
+        assert_eq!(
+            d.execute(&Instruction::Read { reg: 2, warp: 3, row: 4 }).unwrap(),
+            Some(999)
+        );
+    }
+
+    #[test]
+    fn cache_hits_on_repeat() {
+        let mut d = driver();
+        let cfg = d.config().clone();
+        let add = Instruction::RType {
+            op: RegOp::Add,
+            dtype: DType::Int32,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target: all(&cfg),
+        };
+        d.execute(&add).unwrap();
+        d.execute(&add).unwrap();
+        d.execute(&add).unwrap();
+        assert_eq!(d.cache_stats(), (2, 1));
+    }
+
+    #[test]
+    fn move_rows_transfers_registers() {
+        let mut d = driver();
+        let cfg = d.config().clone();
+        // Value v = 100 + row in register 0 of every row.
+        for row in 0..cfg.rows as u32 {
+            d.execute(&Instruction::Write {
+                reg: 0,
+                value: 100 + row,
+                target: ThreadRange::new(
+                    RangeMask::dense(0, cfg.crossbars as u32).unwrap(),
+                    RangeMask::single(row),
+                ),
+            })
+            .unwrap();
+        }
+        // Move register 0 of odd rows into register 1 of even rows.
+        d.execute(&Instruction::MoveRows {
+            src: 0,
+            dst: 1,
+            src_rows: RangeMask::new(1, 63, 2).unwrap(),
+            dst_rows: RangeMask::new(0, 62, 2).unwrap(),
+            warps: RangeMask::dense(0, cfg.crossbars as u32).unwrap(),
+        })
+        .unwrap();
+        for (warp, row) in [(0u32, 0u32), (5, 10), (15, 62)] {
+            let got = d.execute(&Instruction::Read { reg: 1, warp, row }).unwrap();
+            assert_eq!(got, Some(100 + row + 1), "warp {warp} row {row}");
+            // Source register unchanged.
+            let src = d.execute(&Instruction::Read { reg: 0, warp, row }).unwrap();
+            assert_eq!(src, Some(100 + row));
+        }
+    }
+
+    #[test]
+    fn move_warps_transfers_between_crossbars() {
+        let mut d = driver();
+        let cfg = d.config().clone();
+        for warp in 0..cfg.crossbars as u32 {
+            d.execute(&Instruction::Write {
+                reg: 0,
+                value: 1000 + warp,
+                target: ThreadRange::new(
+                    RangeMask::single(warp),
+                    RangeMask::dense(0, cfg.rows as u32).unwrap(),
+                ),
+            })
+            .unwrap();
+        }
+        // Upper half -> lower half (the reduction pattern).
+        d.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 1,
+            row_src: 3,
+            row_dst: 3,
+            warps: RangeMask::new(8, 15, 1).unwrap(),
+            dist: -8,
+        })
+        .unwrap();
+        for w in 0..8u32 {
+            let got = d.execute(&Instruction::Read { reg: 1, warp: w, row: 3 }).unwrap();
+            assert_eq!(got, Some(1000 + w + 8), "warp {w}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_instructions() {
+        let mut d = driver();
+        let cfg = d.config().clone();
+        let bad = Instruction::RType {
+            op: RegOp::Mod,
+            dtype: DType::Float32,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target: all(&cfg),
+        };
+        assert!(d.execute(&bad).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+use pim_arch::ArchError;
+use std::fmt;
+
+/// Errors raised by the host driver while compiling or executing
+/// macro-instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DriverError {
+    /// An error bubbled up from the micro-operation layer (validation or
+    /// backend execution).
+    Arch(ArchError),
+    /// A routine needed more scratch cells than the driver-reserved
+    /// registers provide; raise `PimConfig::regs - PimConfig::user_regs`.
+    ScratchExhausted {
+        /// Scratch cells available in the configuration.
+        available: usize,
+    },
+    /// The requested operation/datatype combination is not supported
+    /// (Table II).
+    Unsupported {
+        /// Human-readable description of the unsupported request.
+        what: String,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Arch(e) => write!(f, "{e}"),
+            DriverError::ScratchExhausted { available } => write!(
+                f,
+                "routine exhausted the {available} driver scratch cells; reduce user_regs \
+                 to reserve more scratch space"
+            ),
+            DriverError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for DriverError {
+    fn from(e: ArchError) -> Self {
+        DriverError::Arch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DriverError::from(ArchError::DecodeError { opcode: 9 });
+        assert!(!e.to_string().is_empty());
+        assert!(std::error::Error::source(&e).is_some());
+        let e = DriverError::ScratchExhausted { available: 512 };
+        assert!(e.to_string().contains("512"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Bitwise routines on raw words (Table II "Bitwise", both datatypes):
+//! fully partition-parallel — a handful of whole-register micro-operations
+//! regardless of the word width, the cheapest operations in the ISA.
+
+use crate::builder::CircuitBuilder;
+use crate::DriverError;
+use pim_arch::RegId;
+use pim_isa::RegOp;
+
+/// Compiles `not`/`and`/`or`/`xor`. All variants defer writing `dst` until
+/// every source read has happened, so aliasing only matters for the
+/// single-input `not` (where the input would also be the gate output).
+pub fn compile(
+    b: &mut CircuitBuilder,
+    op: RegOp,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+    aliased: bool,
+) -> Result<(), DriverError> {
+    match op {
+        RegOp::Not => {
+            if aliased {
+                // dst == a: route through a temporary complement.
+                let t = b.alloc_reg()?;
+                let t2 = b.alloc_reg()?;
+                b.init_reg(t, true);
+                b.par_not(a, t); // !a
+                b.init_reg(t2, true);
+                b.par_not(t, t2); // a
+                b.init_reg(dst, true);
+                b.par_not(t2, dst); // !a
+                b.release_reg(t);
+                b.release_reg(t2);
+            } else {
+                b.init_reg(dst, true);
+                b.par_not(a, dst);
+            }
+        }
+        RegOp::Or => {
+            let t = b.alloc_reg()?;
+            b.init_reg(t, true);
+            b.par_nor(a, x, t);
+            b.init_reg(dst, true);
+            b.par_not(t, dst);
+            b.release_reg(t);
+        }
+        RegOp::And => {
+            let t1 = b.alloc_reg()?;
+            let t2 = b.alloc_reg()?;
+            b.init_reg(t1, true);
+            b.par_not(a, t1);
+            b.init_reg(t2, true);
+            b.par_not(x, t2);
+            b.init_reg(dst, true);
+            b.par_nor(t1, t2, dst);
+            b.release_reg(t1);
+            b.release_reg(t2);
+        }
+        RegOp::Xor => {
+            let t1 = b.alloc_reg()?;
+            let t2 = b.alloc_reg()?;
+            let t3 = b.alloc_reg()?;
+            b.init_reg(t1, true);
+            b.par_nor(a, x, t1); // !(a | x)
+            b.init_reg(t2, true);
+            b.par_nor(a, t1, t2); // !a & x
+            b.init_reg(t3, true);
+            b.par_nor(x, t1, t3); // a & !x
+            b.init_reg(t1, true);
+            b.par_nor(t2, t3, t1); // xnor
+            b.init_reg(dst, true);
+            b.par_not(t1, dst); // xor
+            b.release_reg(t1);
+            b.release_reg(t2);
+            b.release_reg(t3);
+        }
+        _ => unreachable!("bitwise::compile only handles not/and/or/xor"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::routines::testutil::{eval_binop, eval_binop_aliased, eval_unop, int_pairs};
+    use crate::ParallelismMode;
+    use pim_isa::{DType, RegOp};
+
+    #[test]
+    fn bitwise_matches() {
+        let ops: [(RegOp, fn(u32, u32) -> u32); 3] = [
+            (RegOp::And, |a, b| a & b),
+            (RegOp::Or, |a, b| a | b),
+            (RegOp::Xor, |a, b| a ^ b),
+        ];
+        for (op, native) in ops {
+            for (a, x) in int_pairs(12) {
+                for dtype in [DType::Int32, DType::Float32] {
+                    let got = eval_binop(op, dtype, ParallelismMode::BitSerial, a, x);
+                    assert_eq!(got, native(a, x), "{op}({a:#x}, {x:#x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_matches() {
+        for (a, _) in int_pairs(8) {
+            assert_eq!(eval_unop(RegOp::Not, DType::Int32, a), !a);
+        }
+    }
+
+    #[test]
+    fn aliased_destinations() {
+        for (a, x) in int_pairs(6) {
+            assert_eq!(eval_binop_aliased(RegOp::And, DType::Int32, a, x), a & x);
+            assert_eq!(eval_binop_aliased(RegOp::Xor, DType::Int32, a, x), a ^ x);
+            assert_eq!(eval_binop_aliased(RegOp::Add, DType::Int32, a, x), a.wrapping_add(x));
+            assert_eq!(eval_binop_aliased(RegOp::Sub, DType::Int32, a, x), a.wrapping_sub(x));
+            assert_eq!(eval_binop_aliased(RegOp::Mul, DType::Int32, a, x), a.wrapping_mul(x));
+        }
+        // Unary alias: dst == src.
+        let c = crate::routines::testutil::eval_unop_aliased(RegOp::Not, DType::Int32, 0xF0F0_1234);
+        assert_eq!(c, !0xF0F0_1234u32);
+        let c = crate::routines::testutil::eval_unop_aliased(RegOp::Neg, DType::Int32, 77);
+        assert_eq!(c as i32, -77);
+    }
+
+    #[test]
+    fn bitwise_is_cheap() {
+        // Bitwise ops must cost O(1) micro-operations, not O(N).
+        let cfg = pim_arch::PimConfig::small();
+        let r = crate::routines::compile_rtype(
+            &cfg,
+            crate::ParallelismMode::BitSerial,
+            RegOp::Xor,
+            DType::Int32,
+            2,
+            &[0, 1],
+        )
+        .unwrap();
+        assert!(r.ops.len() <= 12, "xor took {} micro-operations", r.ops.len());
+    }
+}

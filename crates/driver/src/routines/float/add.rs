@@ -1,0 +1,146 @@
+//! IEEE-754 `binary32` addition and subtraction.
+
+use super::pack::{self, EXP_BITS};
+use crate::builder::{Bits, CircuitBuilder};
+use crate::routines::{common, write_word};
+use crate::DriverError;
+use pim_arch::RegId;
+
+/// `dst = a + x` (or `a - x` when `negate_x`): magnitude-sorted operands,
+/// guard/round/sticky alignment shift, a single add/subtract datapath, full
+/// renormalization, and the shared round-and-pack epilogue.
+pub fn add(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+    negate_x: bool,
+) -> Result<(), DriverError> {
+    let ua = pack::unpack(b, a)?;
+    let ux = pack::unpack(b, x)?;
+    let sa = ua.sign;
+    // Subtraction = addition with x's sign flipped (resolved at compile
+    // time, so it costs a single NOT gate).
+    let sx = if negate_x { b.not(ux.sign)? } else { ux.sign };
+
+    // Magnitude order on the raw biased representation (IEEE magnitudes
+    // order like 31-bit integers).
+    let a_bits = b.reg_bits(a);
+    let x_bits = b.reg_bits(x);
+    let a_ge = common::ge_unsigned(b, &a_bits[..31], &x_bits[..31])?;
+
+    // Sort into big/small.
+    let ea = ua.exp_eff(b)?;
+    let ex = ux.exp_eff(b)?;
+    let ma = ua.mant24();
+    let mx = ux.mant24();
+    let e_big = common::mux_bits(b, a_ge, &ea, &ex)?;
+    let e_small = common::mux_bits(b, a_ge, &ex, &ea)?;
+    let m_big = common::mux_bits(b, a_ge, &ma, &mx)?;
+    let m_small = common::mux_bits(b, a_ge, &mx, &ma)?;
+    let s_big = b.mux(a_ge, sa, sx)?;
+    b.release(ea[0]);
+    b.release(ex[0]);
+
+    // Alignment distance d = e_big - e_small (8 bits, non-negative).
+    let (d, d_carry) = common::ripple_sub(b, &e_big, &e_small)?;
+    b.release(d_carry);
+    b.release_all(e_small);
+
+    // Small significand in the 26-bit working format [R, G, mant24].
+    let zero = b.zero()?;
+    let mut w_small: Bits = vec![zero, zero];
+    w_small.extend(m_small.iter().copied());
+    let (mut small_shifted, mut sticky) =
+        common::shift_right_sticky(b, &w_small, &d[..5], None)?;
+    // d >= 32 drains the significand entirely.
+    let d_hi = b.or_many(&d[5..])?;
+    let m_any = b.or_many(&m_small)?;
+    let lost = b.and(m_any, d_hi)?;
+    let sticky2 = b.or(sticky, lost)?;
+    b.release_all([m_any, lost, sticky]);
+    sticky = sticky2;
+    for c in &mut small_shifted {
+        let gated = b.and_not(*c, d_hi)?;
+        b.release(*c);
+        *c = gated;
+    }
+    b.release(d_hi);
+    b.release_all(d);
+    b.release_all(m_small);
+
+    // 27-bit operands with the sticky bit as the small operand's LSB
+    // (the classic GRS construction preserves rounding decisions).
+    let mut big27: Bits = vec![zero, zero, zero];
+    big27.extend(m_big.iter().copied());
+    let mut small27: Bits = vec![sticky];
+    small27.extend(small_shifted.iter().copied());
+
+    // Effective operation: subtract when the (adjusted) signs differ.
+    let op_sub = b.xor(sa, sx)?;
+    // result = big + (small ^ op_sub) + op_sub; 28 bits with the carry
+    // masked out under subtraction (it is always 1 there).
+    let xs: Bits =
+        small27.iter().map(|&c| b.xor(c, op_sub)).collect::<Result<_, _>>()?;
+    let (sum27, carry) = common::ripple_add(b, &big27, &xs, Some(op_sub))?;
+    b.release_all(xs);
+    b.release_all(small_shifted);
+    b.release_all(m_big);
+    let top = b.and_not(carry, op_sub)?;
+    b.release(carry);
+    let mut sum28 = sum27;
+    sum28.push(top);
+
+    // Full renormalization (the underflow path of round_pack undoes any
+    // over-shift, so cancellation into subnormals stays exact).
+    let (norm, lzc) = common::normalize_left(b, &sum28)?;
+    let is_zero_sum = b.nor_many(&sum28)?;
+    b.release_all(sum28);
+
+    // Exponent: e = e_big + 1 - lzc (the big significand's MSB sat at bit
+    // 26 of the 28-bit window; the normalized MSB sits at bit 27).
+    let e_big11 = pack::zero_extend(b, &e_big, EXP_BITS)?;
+    let e_plus1 = common::add_const(b, &e_big11, 1)?;
+    let lzc11 = pack::zero_extend(b, &lzc, EXP_BITS)?;
+    let (e_res, ec) = common::ripple_sub(b, &e_plus1, &lzc11)?;
+    b.release(ec);
+    b.release_all(e_plus1);
+    b.release_all(lzc);
+    b.release_all(e_big);
+
+    // Round and pack: W26 = norm[2..28]; sticky = norm[0] | norm[1].
+    let sticky_final = b.or(norm[0], norm[1])?;
+    let packed = pack::round_pack(b, s_big, &e_res, &norm[2..28], sticky_final)?;
+    b.release(sticky_final);
+    b.release_all(e_res);
+    b.release_all(norm);
+
+    // Exact-zero result: +0, except (±0) + (±0) keeps the sign AND.
+    let both_zero = b.and(ua.is_zero, ux.is_zero)?;
+    let sign_and = b.and(sa, sx)?;
+    let zero_sign = b.and(both_zero, sign_and)?;
+    b.release_all([both_zero, sign_and]);
+    let packed = pack::override_zero(b, packed, is_zero_sum, zero_sign)?;
+    b.release_all([is_zero_sum, zero_sign]);
+
+    // Infinities: any infinite operand dominates; ∞ − ∞ is NaN.
+    let any_inf = b.or(ua.is_inf, ux.is_inf)?;
+    let inf_sign = b.mux(ua.is_inf, sa, sx)?;
+    let packed = pack::override_special(b, packed, any_inf, 0, Some(inf_sign))?;
+    let both_inf = b.and(ua.is_inf, ux.is_inf)?;
+    let inf_conflict = b.and(both_inf, op_sub)?;
+    let any_nan = b.or(ua.is_nan, ux.is_nan)?;
+    let nan = b.or(any_nan, inf_conflict)?;
+    let packed = pack::override_special(b, packed, nan, 0x40_0000, None)?;
+    b.release_all([any_inf, inf_sign, both_inf, inf_conflict, any_nan, nan, op_sub]);
+    b.release_all([a_ge, s_big]);
+    if negate_x {
+        b.release(sx);
+    }
+    ua.release(b);
+    ux.release(b);
+
+    write_word(b, dst, &packed)?;
+    b.release_all(packed);
+    Ok(())
+}

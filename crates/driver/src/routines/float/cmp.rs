@@ -1,0 +1,112 @@
+//! IEEE-754 comparisons: NaN is unordered (every comparison false except
+//! `!=`), and `-0 == +0`.
+
+use super::pack;
+use crate::builder::CircuitBuilder;
+use crate::routines::{common, write_bool};
+use crate::DriverError;
+use pim_arch::{ColAddr, RegId};
+use pim_isa::RegOp;
+
+/// Strict IEEE `a < x` as a cell (ignoring NaN, which the caller masks).
+fn lt_core(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    x: RegId,
+    sa: ColAddr,
+    sx: ColAddr,
+    both_zero: ColAddr,
+) -> Result<ColAddr, DriverError> {
+    let a_bits = b.reg_bits(a);
+    let x_bits = b.reg_bits(x);
+    // Magnitude comparisons on the 31-bit biased representation.
+    let mag_ge = common::ge_unsigned(b, &a_bits[..31], &x_bits[..31])?;
+    let mag_eq = common::eq_bits(b, &a_bits[..31], &x_bits[..31])?;
+    let mag_gt = b.and_not(mag_ge, mag_eq)?;
+    let mag_lt = b.not(mag_ge)?;
+    b.release_all([mag_ge, mag_eq]);
+    // a < x  ⇔  (sa & !sx) | (sa & sx & |a|>|x|) | (!sa & !sx & |a|<|x|),
+    // masked by "not both zero" (-0 < +0 is false).
+    let opp = b.and_not(sa, sx)?;
+    let s_eq = b.xnor(sa, sx)?;
+    let neg_branch = {
+        let t = b.and(s_eq, sa)?;
+        let r = b.and(t, mag_gt)?;
+        b.release(t);
+        r
+    };
+    let pos_branch = {
+        let nsa = b.not(sa)?;
+        let t = b.and(s_eq, nsa)?;
+        let r = b.and(t, mag_lt)?;
+        b.release_all([nsa, t]);
+        r
+    };
+    let any = b.or(opp, neg_branch)?;
+    let any2 = b.or(any, pos_branch)?;
+    let lt = b.and_not(any2, both_zero)?;
+    b.release_all([mag_gt, mag_lt, opp, s_eq, neg_branch, pos_branch, any, any2]);
+    Ok(lt)
+}
+
+/// Compiles a float comparison; the result is the integer 0/1.
+pub fn compare(
+    b: &mut CircuitBuilder,
+    op: RegOp,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+) -> Result<(), DriverError> {
+    let ua = pack::unpack(b, a)?;
+    let ux = pack::unpack(b, x)?;
+    let nan = b.or(ua.is_nan, ux.is_nan)?;
+    let both_zero = b.and(ua.is_zero, ux.is_zero)?;
+    let a_bits = b.reg_bits(a);
+    let x_bits = b.reg_bits(x);
+
+    let result = match op {
+        RegOp::Eq | RegOp::Ne => {
+            let bits_eq = common::eq_bits(b, &a_bits, &x_bits)?;
+            let eq_raw = b.or(bits_eq, both_zero)?; // -0 == +0
+            let eq = b.and_not(eq_raw, nan)?;
+            b.release_all([bits_eq, eq_raw]);
+            if op == RegOp::Eq {
+                eq
+            } else {
+                let ne = b.not(eq)?;
+                b.release(eq);
+                ne
+            }
+        }
+        RegOp::Lt | RegOp::Gt => {
+            let (p, q, sp, sq) = if op == RegOp::Lt {
+                (a, x, ua.sign, ux.sign)
+            } else {
+                (x, a, ux.sign, ua.sign)
+            };
+            let lt = lt_core(b, p, q, sp, sq, both_zero)?;
+            let r = b.and_not(lt, nan)?;
+            b.release(lt);
+            r
+        }
+        RegOp::Le | RegOp::Ge => {
+            // a <= x  ⇔  !(x < a) and no NaN.
+            let (p, q, sp, sq) = if op == RegOp::Le {
+                (x, a, ux.sign, ua.sign)
+            } else {
+                (a, x, ua.sign, ux.sign)
+            };
+            let gt = lt_core(b, p, q, sp, sq, both_zero)?;
+            let ngt = b.nor(gt, nan)?;
+            b.release(gt);
+            ngt
+        }
+        _ => unreachable!("compare() only handles comparisons"),
+    };
+    b.release_all([nan, both_zero]);
+    ua.release(b);
+    ux.release(b);
+    write_bool(b, dst, result)?;
+    b.release(result);
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Float sign manipulation: negation, absolute value, and `sign()`.
+
+use super::pack;
+use crate::builder::CircuitBuilder;
+use crate::DriverError;
+use pim_arch::{ColAddr, RegId};
+
+/// Copies register `a` to `dst` via two partition-parallel NOTs through a
+/// scratch register (alias-safe: `a` is only read by the first NOT).
+/// Returns the scratch register holding `!a` so sign fixups can read the
+/// complement of the original bits; the caller must release it.
+fn copy_via(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    dst: RegId,
+) -> Result<RegId, DriverError> {
+    let t = b.alloc_reg()?;
+    b.init_reg(t, true);
+    b.par_not(a, t);
+    b.init_reg(dst, true);
+    b.par_not(t, dst);
+    Ok(t)
+}
+
+/// `dst = -a`: bit copy with the sign flipped. Negating a NaN flips its
+/// sign bit, as with native `-f32::NAN`.
+pub fn neg(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<(), DriverError> {
+    let t = copy_via(b, a, dst)?;
+    // dst[31] currently equals a[31]; overwrite with t[31] = !a[31].
+    let dst_sign = ColAddr::new(31, dst);
+    b.init_cell(dst_sign, true);
+    b.copy_into(ColAddr::new(31, t), dst_sign)?;
+    b.release_reg(t);
+    Ok(())
+}
+
+/// `dst = |a|`: bit copy with the sign cleared.
+pub fn abs(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<(), DriverError> {
+    let t = copy_via(b, a, dst)?;
+    b.init_cell(ColAddr::new(31, dst), false);
+    b.release_reg(t);
+    Ok(())
+}
+
+/// `dst = sign(a)`: ±1.0 for nonzero finite/infinite values, ±0.0 for
+/// zeros, and the canonical quiet NaN for NaN inputs.
+pub fn sign(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<(), DriverError> {
+    let ua = pack::unpack(b, a)?;
+    let sa = ua.sign;
+    let nan = ua.is_nan;
+    let z = ua.is_zero;
+    // Build each output bit from the three masks (compile-time constants
+    // 1.0 = 0x3F80_0000, qNaN = 0x7FC0_0000).
+    let one_bits = 0x3F80_0000u32;
+    let qnan_bits = 0x7FC0_0000u32;
+    b.init_reg(dst, false);
+    let nz_or_nan = b.or(nan, z)?;
+    let finite_one = b.not(nz_or_nan)?; // nonzero non-NaN -> ±1.0
+    b.release(nz_or_nan);
+    for i in 0..31u8 {
+        let o = one_bits >> i & 1 == 1;
+        let q = qnan_bits >> i & 1 == 1;
+        let cell = ColAddr::new(i, dst);
+        match (o, q) {
+            (false, false) => {} // stays 0
+            (true, true) => {
+                // 1 when finite_one | nan.
+                let v = b.or(finite_one, nan)?;
+                b.init_cell(cell, true);
+                let nv = b.not(v)?;
+                b.not_into(nv, cell);
+                b.release_all([v, nv]);
+            }
+            (true, false) => {
+                b.init_cell(cell, true);
+                let nv = b.not(finite_one)?;
+                b.not_into(nv, cell);
+                b.release(nv);
+            }
+            (false, true) => {
+                b.init_cell(cell, true);
+                let nv = b.not(nan)?;
+                b.not_into(nv, cell);
+                b.release(nv);
+            }
+        }
+    }
+    // Sign bit: sa unless NaN (canonical qNaN is positive).
+    let s = b.and_not(sa, nan)?;
+    let cell = ColAddr::new(31, dst);
+    b.init_cell(cell, true);
+    let ns = b.not(s)?;
+    b.not_into(ns, cell);
+    b.release_all([s, ns]);
+    ua.release(b);
+    Ok(())
+}

@@ -1,0 +1,303 @@
+//! Shared IEEE-754 `binary32` gate-level machinery: operand unpacking and
+//! the round-and-pack epilogue (round-to-nearest-even, gradual underflow,
+//! overflow to infinity).
+
+use crate::builder::{Bits, CircuitBuilder};
+use crate::routines::common;
+use crate::DriverError;
+use pim_arch::ColAddr;
+
+/// Width of the signed biased-exponent working format. Intermediate
+/// exponents span roughly −175‥+382 for multiplication/division of
+/// subnormals, comfortably inside 11-bit two's complement.
+pub const EXP_BITS: usize = 11;
+
+/// An unpacked `binary32` operand: field bit cells plus classification
+/// flags. Field cells reference the source register directly; flags are
+/// owned scratch cells.
+pub struct Unpacked {
+    /// Sign bit (bit 31 of the source).
+    pub sign: ColAddr,
+    /// Exponent field, LSB first (bits 23..31).
+    pub exp: Bits,
+    /// Mantissa field, LSB first (bits 0..23).
+    pub man: Bits,
+    /// `exp != 0` — also the implicit mantissa bit.
+    pub exp_nz: ColAddr,
+    /// `exp == 0xFF`.
+    pub exp_all1: ColAddr,
+    /// `man != 0`.
+    pub man_nz: ColAddr,
+    /// Quiet or signaling NaN.
+    pub is_nan: ColAddr,
+    /// ±∞.
+    pub is_inf: ColAddr,
+    /// ±0.
+    pub is_zero: ColAddr,
+}
+
+/// Unpacks the register `reg` into fields and classification flags.
+pub fn unpack(b: &mut CircuitBuilder, reg: pim_arch::RegId) -> Result<Unpacked, DriverError> {
+    let bits = b.reg_bits(reg);
+    let sign = bits[31];
+    let exp: Bits = bits[23..31].to_vec();
+    let man: Bits = bits[..23].to_vec();
+    let exp_nz = {
+        let z = b.nor_many(&exp)?;
+        let nz = b.not(z)?;
+        b.release(z);
+        nz
+    };
+    let exp_all1 = b.and_many(&exp)?;
+    let man_nz = {
+        let z = b.nor_many(&man)?;
+        let nz = b.not(z)?;
+        b.release(z);
+        nz
+    };
+    let is_nan = b.and(exp_all1, man_nz)?;
+    let is_inf = b.and_not(exp_all1, man_nz)?;
+    let nz_any = b.or(exp_nz, man_nz)?;
+    let is_zero = b.not(nz_any)?;
+    b.release(nz_any);
+    Ok(Unpacked { sign, exp, man, exp_nz, exp_all1, man_nz, is_nan, is_inf, is_zero })
+}
+
+impl Unpacked {
+    /// Releases the owned flag cells.
+    pub fn release(self, b: &mut CircuitBuilder) {
+        b.release_all([
+            self.exp_nz,
+            self.exp_all1,
+            self.man_nz,
+            self.is_nan,
+            self.is_inf,
+            self.is_zero,
+        ]);
+    }
+
+    /// The *effective* biased exponent (8 bits): `max(exp, 1)`, i.e. the
+    /// exponent field with bit 0 forced when the operand is subnormal/zero.
+    /// Only bit 0 is a fresh cell; the rest reference the source register.
+    pub fn exp_eff(&self, b: &mut CircuitBuilder) -> Result<Bits, DriverError> {
+        let sub = b.not(self.exp_nz)?; // exp == 0
+        let bit0 = b.or(self.exp[0], sub)?;
+        b.release(sub);
+        let mut e = self.exp.clone();
+        e[0] = bit0;
+        Ok(e)
+    }
+
+    /// The 24-bit significand `[man, implicit]` where the implicit bit is
+    /// `exp != 0` (LSB first).
+    pub fn mant24(&self) -> Bits {
+        let mut m = self.man.clone();
+        m.push(self.exp_nz);
+        m
+    }
+}
+
+/// Increments `bits` by `cond` (0 or 1) into fresh bits — a half-adder
+/// chain with carry-in `cond`.
+pub fn inc_if(
+    b: &mut CircuitBuilder,
+    bits: &[ColAddr],
+    cond: ColAddr,
+) -> Result<Bits, DriverError> {
+    let mut out = Vec::with_capacity(bits.len());
+    let mut carry = cond;
+    let mut owned = false;
+    for &bit in bits {
+        let s = b.xor(bit, carry)?;
+        let c = b.and(bit, carry)?;
+        if owned {
+            b.release(carry);
+        }
+        carry = c;
+        owned = true;
+        out.push(s);
+    }
+    if owned {
+        b.release(carry);
+    }
+    Ok(out)
+}
+
+/// Zero-extends `bits` to `width` with the shared constant-0 cell.
+pub fn zero_extend(
+    b: &mut CircuitBuilder,
+    bits: &[ColAddr],
+    width: usize,
+) -> Result<Bits, DriverError> {
+    let z = b.zero()?;
+    let mut out = bits.to_vec();
+    while out.len() < width {
+        out.push(z);
+    }
+    Ok(out)
+}
+
+/// Rounds and packs a finite, normalized intermediate result:
+///
+/// * `sign` — result sign cell.
+/// * `e` — signed biased exponent ([`EXP_BITS`] bits, two's complement)
+///   *assuming* the significand MSB is `w26[25]` (the implicit-bit
+///   position). `e <= 0` triggers the gradual-underflow right shift.
+/// * `w26` — `[round, guard, mant24…]` LSB first, with the significand's
+///   MSB at index 25. For exact-zero significands the caller must gate the
+///   output separately (the exponent is meaningless then).
+/// * `sticky` — OR of all lower-order bits.
+///
+/// Returns the 32 owned result bits, handling round-to-nearest-even
+/// (with carry propagating from the mantissa into the exponent — which also
+/// realizes subnormal→normal and 254→∞ promotions, since the IEEE bit
+/// patterns are ordered), subnormal encoding, and overflow to ±∞.
+pub fn round_pack(
+    b: &mut CircuitBuilder,
+    sign: ColAddr,
+    e: &[ColAddr],
+    w26: &[ColAddr],
+    sticky: ColAddr,
+) -> Result<Bits, DriverError> {
+    assert_eq!(e.len(), EXP_BITS);
+    assert_eq!(w26.len(), 26);
+    let e_msb = e[EXP_BITS - 1];
+    // Underflow: e <= 0 (negative or zero).
+    let e_zero = b.nor_many(e)?;
+    let under = b.or(e_msb, e_zero)?;
+    b.release(e_zero);
+
+    // Right-shift amount for subnormals: 1 - e = !e + 2 (two's complement).
+    let ne: Bits = e.iter().map(|&c| b.not(c)).collect::<Result<_, _>>()?;
+    let amt = common::add_const(b, &ne, 2)?;
+    b.release_all(ne);
+    // Effective 5-bit amount, gated by `under`; shifts >= 32 drain fully.
+    let amt5: Bits = amt[..5]
+        .iter()
+        .map(|&c| b.and(c, under))
+        .collect::<Result<_, _>>()?;
+    let amt_hi = b.or_many(&amt[5..])?;
+    let big = b.and(amt_hi, under)?;
+    b.release(amt_hi);
+    b.release_all(amt);
+
+    let (shifted, sticky1) = common::shift_right_sticky(b, w26, &amt5, Some(sticky))?;
+    b.release_all(amt5);
+    // `big` drains everything into the sticky bit.
+    let all_w = b.or_many(w26)?;
+    let lost_big = b.and(all_w, big)?;
+    let sticky2 = b.or(sticky1, lost_big)?;
+    b.release_all([all_w, lost_big, sticky1]);
+    let w: Bits = shifted
+        .iter()
+        .map(|&c| b.and_not(c, big))
+        .collect::<Result<_, _>>()?;
+    b.release_all(shifted);
+    b.release(big);
+
+    // Exponent field: 0 when subnormal, else e[0..8].
+    let not_under = b.not(under)?;
+    let ef: Bits = e[..8]
+        .iter()
+        .map(|&c| b.and(c, not_under))
+        .collect::<Result<_, _>>()?;
+    // Pre-round overflow: e >= 255 (positive): e[8] | e[9] | (e[0..8] all 1).
+    let all_low = b.and_many(&e[..8])?;
+    let hi = b.or(e[8], e[9])?;
+    let big_e = b.or(all_low, hi)?;
+    let ovf = b.and(big_e, not_under)?;
+    b.release_all([all_low, hi, big_e, not_under]);
+
+    // Round to nearest even: W = [round, guard, mant24...]; the bit below
+    // the mantissa LSB is `guard = w[1]`, the rest is `round|sticky`.
+    let guard = w[1];
+    let rs = b.or(w[0], sticky2)?;
+    let lsb = w[2];
+    let rs_or_lsb = b.or(rs, lsb)?;
+    let round_up = b.and(guard, rs_or_lsb)?;
+    b.release_all([rs, rs_or_lsb, sticky2]);
+
+    // packed31 = [mant23, exp8] then increment by round_up. Mantissa
+    // overflow carries into the exponent — the IEEE-ordered bit pattern
+    // makes subnormal→normal and 254→inf promotions automatic.
+    let mut packed: Bits = w[2..25].to_vec();
+    packed.extend(ef.iter().copied());
+    let rounded = inc_if(b, &packed, round_up)?;
+    b.release(round_up);
+    b.release_all(ef);
+
+    // Overflow to infinity: force exponent 255, mantissa 0.
+    let mut out: Bits = Vec::with_capacity(32);
+    for (i, &c) in rounded.iter().enumerate() {
+        if i < 23 {
+            out.push(b.and_not(c, ovf)?);
+        } else {
+            out.push(b.or(c, ovf)?);
+        }
+    }
+    b.release_all(rounded);
+    b.release_all(w);
+    b.release(ovf);
+    b.release(under);
+    // Sign: copy so the caller owns every returned cell.
+    let ns = b.not(sign)?;
+    let s = b.not(ns)?;
+    b.release(ns);
+    out.push(s);
+    Ok(out)
+}
+
+/// Overrides `bits` with an IEEE special pattern where `cond` holds:
+/// `cond ? pattern(sign_cell) : bits`. The pattern has exponent 255 and a
+/// compile-time mantissa (`0` for ∞, `0x40_0000` for the canonical quiet
+/// NaN); pass `None` as `sign_cell` for a positive pattern. Consumes and
+/// replaces the owned `bits`.
+pub fn override_special(
+    b: &mut CircuitBuilder,
+    bits: Bits,
+    cond: ColAddr,
+    man_pattern: u32,
+    sign_cell: Option<ColAddr>,
+) -> Result<Bits, DriverError> {
+    let mut out: Bits = Vec::with_capacity(32);
+    for (i, &c) in bits.iter().enumerate() {
+        let new = if i == 31 {
+            match sign_cell {
+                Some(s) => {
+                    let sel = b.mux(cond, s, c)?;
+                    sel
+                }
+                None => b.and_not(c, cond)?,
+            }
+        } else if i >= 23 || (man_pattern >> i) & 1 == 1 {
+            // Exponent bits and set mantissa-pattern bits -> 1 under cond.
+            b.or(c, cond)?
+        } else {
+            // Cleared mantissa bits -> 0 under cond.
+            b.and_not(c, cond)?
+        };
+        out.push(new);
+    }
+    b.release_all(bits);
+    Ok(out)
+}
+
+/// Zeroes `bits` where `cond` holds, with sign `zero_sign`:
+/// `cond ? (zero_sign << 31) : bits`. Consumes and replaces `bits`.
+pub fn override_zero(
+    b: &mut CircuitBuilder,
+    bits: Bits,
+    cond: ColAddr,
+    zero_sign: ColAddr,
+) -> Result<Bits, DriverError> {
+    let mut out: Bits = Vec::with_capacity(32);
+    for (i, &c) in bits.iter().enumerate() {
+        if i == 31 {
+            out.push(b.mux(cond, zero_sign, c)?);
+        } else {
+            out.push(b.and_not(c, cond)?);
+        }
+    }
+    b.release_all(bits);
+    Ok(out)
+}

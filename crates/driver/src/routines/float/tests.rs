@@ -1,0 +1,180 @@
+//! Correctness of the gate-level IEEE-754 routines against the host's
+//! native `f32` arithmetic (round-to-nearest-even), which is the same
+//! oracle the paper uses via NumPy (§VI-A). Tests run element-parallel:
+//! one test vector per simulated row.
+
+use crate::routines::testutil::{
+    assert_float_bits_eq, eval_binop_vec, eval_unop_vec, float_edge_values, float_random,
+};
+use pim_isa::{DType, RegOp};
+
+/// Cross product of the edge values with themselves plus random pairs.
+fn binop_vectors(seed: u64, extra: usize) -> (Vec<u32>, Vec<u32>) {
+    let edges = float_edge_values();
+    let mut a = Vec::new();
+    let mut x = Vec::new();
+    for &p in &edges {
+        for &q in &edges {
+            a.push(p);
+            x.push(q);
+        }
+    }
+    a.extend(float_random(extra, seed));
+    x.extend(float_random(extra, seed ^ 0xFFFF_FFFF));
+    (a, x)
+}
+
+fn check_binop(op: RegOp, native: impl Fn(f32, f32) -> f32, seed: u64, extra: usize) {
+    let (a, x) = binop_vectors(seed, extra);
+    let got = eval_binop_vec(op, DType::Float32, &a, &x);
+    for i in 0..a.len() {
+        let expect = native(f32::from_bits(a[i]), f32::from_bits(x[i])).to_bits();
+        assert_float_bits_eq(
+            got[i],
+            expect,
+            &format!(
+                "{op}({} [{:#010x}], {} [{:#010x}])",
+                f32::from_bits(a[i]),
+                a[i],
+                f32::from_bits(x[i]),
+                x[i]
+            ),
+        );
+    }
+}
+
+#[test]
+fn fadd_matches_native() {
+    check_binop(RegOp::Add, |p, q| p + q, 101, 400);
+}
+
+#[test]
+fn fsub_matches_native() {
+    check_binop(RegOp::Sub, |p, q| p - q, 202, 400);
+}
+
+#[test]
+fn fmul_matches_native() {
+    check_binop(RegOp::Mul, |p, q| p * q, 303, 250);
+}
+
+#[test]
+fn fdiv_matches_native() {
+    check_binop(RegOp::Div, |p, q| p / q, 404, 150);
+}
+
+#[test]
+fn fadd_cancellation_paths() {
+    // Near-equal operands of opposite sign: massive cancellation, exact
+    // subnormal results, and the x + (-x) = +0 rule.
+    let mut a = Vec::new();
+    let mut x = Vec::new();
+    for bits in float_random(300, 77) {
+        let f = f32::from_bits(bits);
+        a.push(bits);
+        x.push((-f).to_bits());
+        // One-ulp neighbors.
+        a.push(bits);
+        x.push((-f32::from_bits(bits.wrapping_add(1))).to_bits());
+    }
+    let got = eval_binop_vec(RegOp::Add, DType::Float32, &a, &x);
+    for i in 0..a.len() {
+        let expect = (f32::from_bits(a[i]) + f32::from_bits(x[i])).to_bits();
+        assert_float_bits_eq(got[i], expect, &format!("cancel {:#010x} {:#010x}", a[i], x[i]));
+    }
+}
+
+#[test]
+fn fmul_subnormal_underflow() {
+    // Products that underflow into (or below) the subnormal range.
+    let mut a = Vec::new();
+    let mut x = Vec::new();
+    for bits in float_random(200, 88) {
+        let small = (bits & 0x80FF_FFFF) | (5 << 23); // exponent 5
+        a.push(small);
+        x.push((bits & 0x80FF_FFFF) | (60 << 23)); // exponent 60
+        a.push(small);
+        x.push(bits & 0x807F_FFFF); // subnormal operand
+    }
+    let got = eval_binop_vec(RegOp::Mul, DType::Float32, &a, &x);
+    for i in 0..a.len() {
+        let expect = (f32::from_bits(a[i]) * f32::from_bits(x[i])).to_bits();
+        assert_float_bits_eq(got[i], expect, &format!("underflow {:#010x} {:#010x}", a[i], x[i]));
+    }
+}
+
+#[test]
+fn fdiv_specials() {
+    let cases: [(f32, f32); 12] = [
+        (1.0, 0.0),
+        (-1.0, 0.0),
+        (0.0, 0.0),
+        (0.0, -0.0),
+        (f32::INFINITY, f32::INFINITY),
+        (f32::INFINITY, 2.0),
+        (2.0, f32::INFINITY),
+        (0.0, 5.0),
+        (f32::NAN, 1.0),
+        (1.0, f32::NAN),
+        (f32::MAX, f32::MIN_POSITIVE),
+        (f32::MIN_POSITIVE, f32::MAX),
+    ];
+    let a: Vec<u32> = cases.iter().map(|(p, _)| p.to_bits()).collect();
+    let x: Vec<u32> = cases.iter().map(|(_, q)| q.to_bits()).collect();
+    let got = eval_binop_vec(RegOp::Div, DType::Float32, &a, &x);
+    for (i, (p, q)) in cases.iter().enumerate() {
+        assert_float_bits_eq(got[i], (p / q).to_bits(), &format!("{p} / {q}"));
+    }
+}
+
+#[test]
+fn fcmp_matches_native() {
+    let ops: [(RegOp, fn(f32, f32) -> bool); 6] = [
+        (RegOp::Lt, |a, b| a < b),
+        (RegOp::Le, |a, b| a <= b),
+        (RegOp::Gt, |a, b| a > b),
+        (RegOp::Ge, |a, b| a >= b),
+        (RegOp::Eq, |a, b| a == b),
+        (RegOp::Ne, |a, b| a != b),
+    ];
+    let (a, x) = binop_vectors(909, 100);
+    for (op, native) in ops {
+        let got = eval_binop_vec(op, DType::Float32, &a, &x);
+        for i in 0..a.len() {
+            let (p, q) = (f32::from_bits(a[i]), f32::from_bits(x[i]));
+            assert_eq!(got[i], native(p, q) as u32, "{op}({p}, {q})");
+        }
+    }
+}
+
+#[test]
+fn fneg_fabs_match_native() {
+    let mut vals = float_edge_values();
+    vals.extend(float_random(150, 55));
+    let neg = eval_unop_vec(RegOp::Neg, DType::Float32, &vals);
+    let abs = eval_unop_vec(RegOp::Abs, DType::Float32, &vals);
+    for (i, &v) in vals.iter().enumerate() {
+        // Negation/abs are bit operations even on NaN: compare bit-exactly.
+        assert_eq!(neg[i], v ^ 0x8000_0000, "neg({v:#010x})");
+        assert_eq!(abs[i], v & 0x7FFF_FFFF, "abs({v:#010x})");
+    }
+}
+
+#[test]
+fn fsign_matches_definition() {
+    let mut vals = float_edge_values();
+    vals.extend(float_random(100, 66));
+    let got = eval_unop_vec(RegOp::Sign, DType::Float32, &vals);
+    for (i, &v) in vals.iter().enumerate() {
+        let f = f32::from_bits(v);
+        if f.is_nan() {
+            assert!(f32::from_bits(got[i]).is_nan(), "sign({v:#010x})");
+        } else if f == 0.0 {
+            // ±0 keeps its sign.
+            assert_eq!(got[i], v & 0x8000_0000, "sign({v:#010x})");
+        } else {
+            let expect = if f > 0.0 { 1.0f32 } else { -1.0 };
+            assert_eq!(got[i], expect.to_bits(), "sign({f})");
+        }
+    }
+}

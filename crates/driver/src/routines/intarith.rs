@@ -1,0 +1,407 @@
+//! Fixed-point (32-bit two's-complement) arithmetic routines: the AritPIM
+//! bit-serial suite plus the partition-parallel prefix adder.
+
+use super::{common, src_bits, write_word, StreamOut};
+use crate::builder::{Bits, CircuitBuilder};
+use crate::DriverError;
+use pim_arch::RegId;
+
+/// Bit-serial ripple-carry addition (`9N` NOR gates, §II-B): streams sums
+/// into `dst` as each bit's inputs are consumed.
+pub fn add_serial(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+    aliased: bool,
+) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let xb = src_bits(b, x);
+    let out = StreamOut::new(b, dst, aliased);
+    let carry =
+        common::ripple_add_into(b, &ab, &xb, None, &mut |b, i| Ok(out.target(b, i)))?;
+    b.release(carry);
+    Ok(())
+}
+
+/// Bit-serial subtraction `a - x` (`10N` gates): per-bit input complement
+/// followed by the ripple adder with carry-in 1.
+pub fn sub_serial(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+    aliased: bool,
+) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let xb = src_bits(b, x);
+    let out = StreamOut::new(b, dst, aliased);
+    let one = b.one()?;
+    let mut carry = one;
+    let mut carry_owned = false;
+    for i in 0..ab.len() {
+        let nx = b.not(xb[i])?;
+        let pending = b.full_adder_prep(ab[i], nx, carry)?;
+        let target = out.target(b, i);
+        let cout = b.full_adder_finish(pending, target)?;
+        b.release(nx);
+        if carry_owned {
+            b.release(carry);
+        }
+        carry = cout;
+        carry_owned = true;
+    }
+    if carry_owned {
+        b.release(carry);
+    }
+    Ok(())
+}
+
+/// Bit-serial negation `-a = !a + 1` (streamed).
+pub fn neg(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    dst: RegId,
+    aliased: bool,
+) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let out = StreamOut::new(b, dst, aliased);
+    let zero = b.zero()?;
+    let one = b.one()?;
+    let mut carry = one;
+    let mut carry_owned = false;
+    for i in 0..ab.len() {
+        let na = b.not(ab[i])?;
+        let pending = b.full_adder_prep(na, zero, carry)?;
+        let target = out.target(b, i);
+        let cout = b.full_adder_finish(pending, target)?;
+        b.release(na);
+        if carry_owned {
+            b.release(carry);
+        }
+        carry = cout;
+        carry_owned = true;
+    }
+    if carry_owned {
+        b.release(carry);
+    }
+    Ok(())
+}
+
+/// Partition-parallel (bit-parallel element-parallel) Kogge–Stone prefix
+/// adder: whole-register half-gate operations with cross-partition shifts,
+/// ~2.2× fewer cycles than the ripple adder. Alias-safe because the
+/// destination is written only after every source read.
+pub fn add_parallel(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+) -> Result<(), DriverError> {
+    let n_levels = [1i32, 2, 4, 8, 16];
+    // Working registers.
+    let ta = b.alloc_reg()?; // !a
+    let tb = b.alloc_reg()?; // !x
+    let g = b.alloc_reg()?; // generate (prefix)
+    let p0 = b.alloc_reg()?; // xor(a, x), kept for the sum
+    let p = b.alloc_reg()?; // propagate (prefix)
+    let t1 = b.alloc_reg()?;
+    let t2 = b.alloc_reg()?;
+    let t3 = b.alloc_reg()?;
+    let t4 = b.alloc_reg()?;
+    let t5 = b.alloc_reg()?;
+
+    // Initial generate/propagate.
+    b.init_reg(ta, true);
+    b.par_not(a, ta);
+    b.init_reg(tb, true);
+    b.par_not(x, tb);
+    b.init_reg(g, true);
+    b.par_nor(ta, tb, g); // a & x
+    b.init_reg(t1, true);
+    b.par_nor(ta, x, t1); // a & !x... (ta = !a): !( !a | x ) = a & !x
+    b.init_reg(t2, true);
+    b.par_nor(a, tb, t2); // !a & x
+    b.init_reg(t3, true);
+    b.par_nor(t1, t2, t3); // xnor
+    b.init_reg(p0, true);
+    b.par_not(t3, p0); // xor
+    // P starts as a copy of P0 (complement twice through t4).
+    b.init_reg(t4, true);
+    b.par_not(p0, t4);
+    b.init_reg(p, true);
+    b.par_not(t4, p);
+
+    // Kogge–Stone levels: G |= P & (G << d); P &= (P << d).
+    for d in n_levels {
+        b.init_reg(t1, true);
+        b.par_shift_not(g, t1, d); // t1[i] = !G[i-d] (1 below)
+        b.init_reg(t2, true);
+        b.par_not(p, t2); // !P
+        b.init_reg(t3, true);
+        b.par_nor(t1, t2, t3); // P & G[i-d]
+        b.init_reg(t4, true);
+        b.par_nor(g, t3, t4); // !(G | t3)
+        b.init_reg(g, true);
+        b.par_not(t4, g); // new G
+        b.init_reg(t5, true);
+        b.par_shift_not(p, t5, d); // !P[i-d] (1 below)
+        b.init_reg(p, true);
+        b.par_nor(t2, t5, p); // P & P[i-d] (0 below)
+    }
+
+    // Carries into bit i are G[i-1]; sum = P0 ^ (G << 1).
+    b.init_reg(t1, true);
+    b.par_shift_not(g, t1, 1); // t1 = !C (1 at bit 0: carry-in 0)
+    b.init_reg(t2, true);
+    b.par_not(t1, t2); // C
+    b.init_reg(t3, true);
+    b.par_not(p0, t3); // !P0
+    b.init_reg(t4, true);
+    b.par_nor(t3, t2, t4); // P0 & !C
+    b.init_reg(t5, true);
+    b.par_nor(p0, t1, t5); // !P0 & C
+    b.init_reg(t1, true);
+    b.par_nor(t4, t5, t1); // xnor(P0, C)
+    b.init_reg(dst, true);
+    b.par_not(t1, dst); // sum
+
+    for r in [ta, tb, g, p0, p, t1, t2, t3, t4, t5] {
+        b.release_reg(r);
+    }
+    Ok(())
+}
+
+/// Truncated 32-bit multiplication (shift-and-add; low half of the 64-bit
+/// product — identical for signed and unsigned operands, per the §V-C
+/// truncation footnote).
+pub fn mul(b: &mut CircuitBuilder, a: RegId, x: RegId, dst: RegId) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let xb = src_bits(b, x);
+    let n = ab.len();
+    // acc starts as the first partial product: a_0 ? x : 0.
+    let mut acc: Bits = Vec::with_capacity(n);
+    for j in 0..n {
+        acc.push(b.and(xb[j], ab[0])?);
+    }
+    for i in 1..n {
+        // partial_j = x_j & a_i for j in 0..n-i, added into acc[i..].
+        let width = n - i;
+        let mut carry: Option<pim_arch::ColAddr> = None;
+        for j in 0..width {
+            let pp = b.and(xb[j], ab[i])?;
+            let c_in = match carry {
+                Some(c) => c,
+                None => b.zero()?,
+            };
+            let (s, cout) = b.full_adder(acc[i + j], pp, c_in)?;
+            b.release(pp);
+            if let Some(c) = carry {
+                b.release(c);
+            }
+            b.release(acc[i + j]);
+            acc[i + j] = s;
+            carry = Some(cout);
+        }
+        if let Some(c) = carry {
+            b.release(c); // truncation: carry out of bit 31 is dropped
+        }
+    }
+    write_word(b, dst, &acc)?;
+    b.release_all(acc);
+    Ok(())
+}
+
+/// Unsigned restoring division of `n / d`: returns `(quotient, remainder)`
+/// as fresh bit vectors of the operand width. For `d == 0` the raw result
+/// is `q = !0, r = n` (masked by the signed wrapper).
+pub fn divmod_unsigned(
+    b: &mut CircuitBuilder,
+    n_bits: &Bits,
+    d_bits: &Bits,
+) -> Result<(Bits, Bits), DriverError> {
+    let w = n_bits.len();
+    let zero = b.zero()?;
+    // Remainder register (owned cells, w bits).
+    let mut r: Bits = common::owned_zeros(b, w)?;
+    let mut q_rev: Bits = Vec::with_capacity(w);
+    // Extended divisor: d with a 0 MSB (shared zero as input only).
+    let mut d_ext: Bits = d_bits.clone();
+    d_ext.push(zero);
+    for i in (0..w).rev() {
+        // shifted = (r << 1) | n_i, width w+1.
+        let mut shifted: Bits = Vec::with_capacity(w + 1);
+        shifted.push(n_bits[i]);
+        shifted.extend(r.iter().copied());
+        // t = shifted - d (w+1 bits); carry == 1 iff shifted >= d.
+        let (t, carry) = common::ripple_sub(b, &shifted, &d_ext)?;
+        // r_new = carry ? t[0..w] : shifted[0..w].
+        let mut r_new: Bits = Vec::with_capacity(w);
+        for j in 0..w {
+            r_new.push(b.mux(carry, t[j], shifted[j])?);
+        }
+        b.release_all(t);
+        b.release_all(r); // old remainder cells (shifted[1..] were these)
+        r = r_new;
+        q_rev.push(carry);
+    }
+    q_rev.reverse();
+    Ok((q_rev, r))
+}
+
+/// Signed division / modulo with truncation toward zero. Defined semantics:
+/// division by zero yields quotient 0 and remainder = dividend;
+/// `i32::MIN / -1` wraps. `want_mod` selects which result is written.
+pub fn divmod(
+    b: &mut CircuitBuilder,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+    want_mod: bool,
+) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let xb = src_bits(b, x);
+    let sa = ab[31];
+    let sx = xb[31];
+    let abs_a = common::negate_if(b, sa, &ab)?;
+    let abs_x = common::negate_if(b, sx, &xb)?;
+    let (q_u, r_u) = divmod_unsigned(b, &abs_a, &abs_x)?;
+    b.release_all(abs_x);
+    let result = if want_mod {
+        // Remainder takes the dividend's sign (truncation semantics).
+        let r_signed = common::negate_if(b, sa, &r_u)?;
+        // x == 0 -> remainder = a.
+        let x_zero = b.nor_many(&xb)?;
+        let sel = common::mux_bits(b, x_zero, &ab, &r_signed)?;
+        b.release_all(r_signed);
+        b.release(x_zero);
+        sel
+    } else {
+        let q_sign = b.xor(sa, sx)?;
+        let q_signed = common::negate_if(b, q_sign, &q_u)?;
+        b.release(q_sign);
+        // x == 0 -> quotient = 0 (bitwise and-not with the zero flag).
+        let x_zero = b.nor_many(&xb)?;
+        let mut sel: Bits = Vec::with_capacity(32);
+        for &c in &q_signed {
+            sel.push(b.and_not(c, x_zero)?);
+        }
+        b.release_all(q_signed);
+        b.release(x_zero);
+        sel
+    };
+    b.release_all(abs_a);
+    b.release_all(q_u);
+    b.release_all(r_u);
+    write_word(b, dst, &result)?;
+    b.release_all(result);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::routines::testutil::{eval_binop, eval_unop, int_edge_values, int_pairs};
+    use crate::ParallelismMode;
+    use pim_isa::{DType, RegOp};
+
+    #[test]
+    fn add_serial_matches() {
+        for (a, x) in int_pairs(24) {
+            let got = eval_binop(RegOp::Add, DType::Int32, ParallelismMode::BitSerial, a, x);
+            assert_eq!(got as i32, (a as i32).wrapping_add(x as i32), "{a} + {x}");
+        }
+    }
+
+    #[test]
+    fn add_parallel_matches() {
+        for (a, x) in int_pairs(24) {
+            let got = eval_binop(RegOp::Add, DType::Int32, ParallelismMode::BitParallel, a, x);
+            assert_eq!(got as i32, (a as i32).wrapping_add(x as i32), "{a} + {x}");
+        }
+    }
+
+    #[test]
+    fn sub_matches() {
+        for (a, x) in int_pairs(24) {
+            let got = eval_binop(RegOp::Sub, DType::Int32, ParallelismMode::BitSerial, a, x);
+            assert_eq!(got as i32, (a as i32).wrapping_sub(x as i32), "{a} - {x}");
+        }
+    }
+
+    #[test]
+    fn neg_matches() {
+        for a in int_edge_values() {
+            let got = eval_unop(RegOp::Neg, DType::Int32, a);
+            assert_eq!(got as i32, (a as i32).wrapping_neg(), "-{a}");
+        }
+    }
+
+    #[test]
+    fn mul_matches() {
+        for (a, x) in int_pairs(16) {
+            let got = eval_binop(RegOp::Mul, DType::Int32, ParallelismMode::BitSerial, a, x);
+            assert_eq!(got as i32, (a as i32).wrapping_mul(x as i32), "{a} * {x}");
+        }
+    }
+
+    #[test]
+    fn div_matches() {
+        for (a, x) in int_pairs(10) {
+            let (ai, xi) = (a as i32, x as i32);
+            let got = eval_binop(RegOp::Div, DType::Int32, ParallelismMode::BitSerial, a, x) as i32;
+            let expect = if xi == 0 { 0 } else { ai.wrapping_div(xi) };
+            assert_eq!(got, expect, "{ai} / {xi}");
+        }
+    }
+
+    #[test]
+    fn div_edge_cases() {
+        let cases = [
+            (7i32, 2i32, 3i32),
+            (-7, 2, -3),
+            (7, -2, -3),
+            (-7, -2, 3),
+            (5, 0, 0),
+            (-5, 0, 0),
+            (i32::MIN, -1, i32::MIN), // wrapping
+            (i32::MIN, 1, i32::MIN),
+            (i32::MAX, 1, i32::MAX),
+            (0, 9, 0),
+        ];
+        for (a, x, expect) in cases {
+            let got = eval_binop(
+                RegOp::Div,
+                DType::Int32,
+                ParallelismMode::BitSerial,
+                a as u32,
+                x as u32,
+            ) as i32;
+            assert_eq!(got, expect, "{a} / {x}");
+        }
+    }
+
+    #[test]
+    fn mod_matches() {
+        for (a, x) in int_pairs(10) {
+            let (ai, xi) = (a as i32, x as i32);
+            let got = eval_binop(RegOp::Mod, DType::Int32, ParallelismMode::BitSerial, a, x) as i32;
+            let expect = if xi == 0 { ai } else { ai.wrapping_rem(xi) };
+            assert_eq!(got, expect, "{ai} % {xi}");
+        }
+    }
+
+    #[test]
+    fn mod_signs_follow_dividend() {
+        let cases = [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)];
+        for (a, x, expect) in cases {
+            let got = eval_binop(
+                RegOp::Mod,
+                DType::Int32,
+                ParallelismMode::BitSerial,
+                a as u32,
+                x as u32,
+            ) as i32;
+            assert_eq!(got, expect, "{a} % {x}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Signed integer comparison routines (Table II "Comparison"): the result
+//! is the integer 0/1 in the destination register.
+
+use super::{common, src_bits, write_bool};
+use crate::builder::{Bits, CircuitBuilder};
+use crate::DriverError;
+use pim_arch::RegId;
+use pim_isa::RegOp;
+
+/// Signed ordered comparisons (`<`, `<=`, `>`, `>=`) via the classic
+/// flip-the-sign-bit trick: `a <s b ⇔ (a ^ MSB) <u (b ^ MSB)`, evaluated
+/// with a 6-gate-per-bit carry-only chain.
+pub fn ordered(
+    b: &mut CircuitBuilder,
+    op: RegOp,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+) -> Result<(), DriverError> {
+    let mut ab = src_bits(b, a);
+    let mut xb = src_bits(b, x);
+    // Flip both sign bits (map signed order onto unsigned order).
+    let na = b.not(ab[31])?;
+    let nx = b.not(xb[31])?;
+    ab[31] = na;
+    xb[31] = nx;
+    // lt(a, x) = !(a >= x); swap operands for gt/le.
+    let (lhs, rhs): (&Bits, &Bits) = match op {
+        RegOp::Lt | RegOp::Ge => (&ab, &xb),
+        RegOp::Gt | RegOp::Le => (&xb, &ab),
+        _ => unreachable!("ordered() only handles <, <=, >, >="),
+    };
+    let ge = common::ge_unsigned(b, lhs, rhs)?;
+    let result = match op {
+        RegOp::Ge | RegOp::Le => {
+            // a >= x (resp. a <= x via swap) is the carry directly.
+            ge
+        }
+        RegOp::Lt | RegOp::Gt => {
+            let lt = b.not(ge)?;
+            b.release(ge);
+            lt
+        }
+        _ => unreachable!(),
+    };
+    write_bool(b, dst, result)?;
+    b.release(result);
+    b.release(na);
+    b.release(nx);
+    Ok(())
+}
+
+/// Equality / inequality via an XNOR-AND tree.
+pub fn equality(
+    b: &mut CircuitBuilder,
+    op: RegOp,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let xb = src_bits(b, x);
+    let eq = common::eq_bits(b, &ab, &xb)?;
+    let result = match op {
+        RegOp::Eq => eq,
+        RegOp::Ne => {
+            let ne = b.not(eq)?;
+            b.release(eq);
+            ne
+        }
+        _ => unreachable!("equality() only handles == and !="),
+    };
+    write_bool(b, dst, result)?;
+    b.release(result);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::routines::testutil::{eval_binop, int_pairs};
+    use crate::ParallelismMode;
+    use pim_isa::{DType, RegOp};
+
+    #[test]
+    fn signed_comparisons_match() {
+        let ops: [(RegOp, fn(i32, i32) -> bool); 6] = [
+            (RegOp::Lt, |a, b| a < b),
+            (RegOp::Le, |a, b| a <= b),
+            (RegOp::Gt, |a, b| a > b),
+            (RegOp::Ge, |a, b| a >= b),
+            (RegOp::Eq, |a, b| a == b),
+            (RegOp::Ne, |a, b| a != b),
+        ];
+        let mut pairs = int_pairs(10);
+        pairs.extend([(5, 5), (0x8000_0000, 0x7FFF_FFFF), (0x7FFF_FFFF, 0x8000_0000)]);
+        for (op, native) in ops {
+            for &(a, x) in &pairs {
+                let got = eval_binop(op, DType::Int32, ParallelismMode::BitSerial, a, x);
+                let expect = native(a as i32, x as i32) as u32;
+                assert_eq!(got, expect, "{op}({}, {})", a as i32, x as i32);
+            }
+        }
+    }
+}

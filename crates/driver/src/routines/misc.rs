@@ -1,0 +1,153 @@
+//! Miscellaneous routines (Table II): sign, zero-test, absolute value, and
+//! the three-operand multiplexer PyPIM adds to complement the AritPIM suite.
+
+use super::{common, src_bits, write_bool, write_word};
+use crate::builder::CircuitBuilder;
+use crate::DriverError;
+use pim_arch::{ColAddr, RegId};
+
+/// Integer `sign(a)`: −1, 0, or +1.
+pub fn sign(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let s = ab[31];
+    let nz = b.or_many(&ab)?;
+    // Result bits: bit0 = s | nz? No: sign = -1 (all ones) when s;
+    // +1 (bit0 only) when !s && nz; 0 otherwise.
+    // bit0 = s | nz; bits 1..32 = s.
+    let bit0 = b.or(s, nz)?;
+    b.release(nz);
+    b.init_reg(dst, true);
+    b.copy_into(bit0, ColAddr::new(0, dst))?;
+    b.release(bit0);
+    let ns = b.not(s)?;
+    for i in 1..32u8 {
+        b.not_into(ns, ColAddr::new(i, dst));
+    }
+    b.release(ns);
+    Ok(())
+}
+
+/// Integer zero test: `dst = (a == 0) as int32`.
+pub fn zero_int(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let z = b.nor_many(&ab)?;
+    write_bool(b, dst, z)?;
+    b.release(z);
+    Ok(())
+}
+
+/// Float zero test: `dst = 1.0f32` when `a == ±0.0`, else `0.0`.
+pub fn zero_float(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    // ±0: all bits except the sign are zero.
+    let z = b.nor_many(&ab[..31])?;
+    b.init_reg(dst, false);
+    // 1.0f32 = 0x3F80_0000: bits 23..=29 set when z.
+    let nz = b.not(z)?;
+    for bit in 23..=29u8 {
+        let cell = ColAddr::new(bit, dst);
+        b.init_cell(cell, true);
+        b.not_into(nz, cell);
+    }
+    b.release(nz);
+    b.release(z);
+    Ok(())
+}
+
+/// Integer absolute value: `|a|` (streams; `|i32::MIN|` wraps to itself).
+pub fn abs(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<(), DriverError> {
+    let ab = src_bits(b, a);
+    let s = ab[31];
+    let neg = common::negate(b, &ab)?;
+    let sel = common::mux_bits(b, s, &neg, &ab)?;
+    b.release_all(neg);
+    write_word(b, dst, &sel)?;
+    b.release_all(sel);
+    Ok(())
+}
+
+/// Three-operand multiplexer: `dst = (cond != 0) ? a : x`, bitwise select.
+/// Works for both datatypes (pure bit routing). The nonzero test is hoisted
+/// so the per-bit phase reads only `a_i`/`x_i`, making the routine
+/// alias-safe for all three sources.
+pub fn mux(
+    b: &mut CircuitBuilder,
+    cond: RegId,
+    a: RegId,
+    x: RegId,
+    dst: RegId,
+    aliased: bool,
+) -> Result<(), DriverError> {
+    let cb = src_bits(b, cond);
+    let ab = src_bits(b, a);
+    let xb = src_bits(b, x);
+    // The nonzero test is hoisted, so the per-bit phase below reads only
+    // a_i and x_i before writing dst_i — streaming is alias-safe for all
+    // three sources.
+    let nz = b.or_many(&cb)?;
+    let out = super::StreamOut::new(b, dst, aliased);
+    for i in 0..32 {
+        // Compute into scratch first: the (lazily initialized) target may
+        // alias this bit's inputs.
+        let v = b.mux(nz, ab[i], xb[i])?;
+        let t = out.target(b, i);
+        b.copy_into(v, t)?;
+        b.release(v);
+    }
+    b.release(nz);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::routines::testutil::{eval_mux, eval_unop, int_edge_values};
+    use pim_isa::DType;
+    use pim_isa::RegOp;
+
+    #[test]
+    fn sign_matches() {
+        for a in int_edge_values() {
+            let got = eval_unop(RegOp::Sign, DType::Int32, a) as i32;
+            assert_eq!(got, (a as i32).signum(), "sign({})", a as i32);
+        }
+    }
+
+    #[test]
+    fn zero_matches() {
+        for a in int_edge_values() {
+            let got = eval_unop(RegOp::Zero, DType::Int32, a);
+            assert_eq!(got, (a == 0) as u32, "zero({a})");
+        }
+    }
+
+    #[test]
+    fn zero_float_matches() {
+        for (bits, expect) in [
+            (0.0f32.to_bits(), 1.0f32),
+            ((-0.0f32).to_bits(), 1.0),
+            (1.5f32.to_bits(), 0.0),
+            (f32::NAN.to_bits(), 0.0),
+            (f32::MIN_POSITIVE.to_bits() >> 1, 0.0), // subnormal
+        ] {
+            let got = eval_unop(RegOp::Zero, DType::Float32, bits);
+            assert_eq!(f32::from_bits(got), expect, "zero({bits:#x})");
+        }
+    }
+
+    #[test]
+    fn abs_matches() {
+        for a in int_edge_values() {
+            let got = eval_unop(RegOp::Abs, DType::Int32, a) as i32;
+            assert_eq!(got, (a as i32).wrapping_abs(), "abs({})", a as i32);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        for cond in [0u32, 1, 0xFFFF_FFFF, 0x8000_0000] {
+            let got = eval_mux(cond, 0x1234_5678, 0x9ABC_DEF0);
+            let expect = if cond != 0 { 0x1234_5678 } else { 0x9ABC_DEF0 };
+            assert_eq!(got, expect, "mux({cond:#x})");
+        }
+    }
+}

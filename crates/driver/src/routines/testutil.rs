@@ -1,0 +1,186 @@
+//! Test harness shared by the routine unit tests: compiles a routine and
+//! evaluates it on the bit-accurate simulator (strict mode), one value per
+//! row so a whole batch of test vectors runs element-parallel — exactly the
+//! paper's correctness methodology (§VI-A).
+
+use crate::routines::compile_rtype;
+use crate::ParallelismMode;
+use pim_arch::{Backend, MicroOp, PimConfig, RangeMask};
+use pim_isa::{DType, RegOp};
+use pim_sim::PimSimulator;
+
+/// Geometry used by routine tests: one crossbar, `rows` threads.
+fn test_cfg(rows: usize) -> PimConfig {
+    PimConfig::small().with_crossbars(1).with_rows(rows.max(1))
+}
+
+/// Evaluates `op` element-parallel over input columns (one source register
+/// per input vector), returning the destination values. Scratch starts
+/// dirty; the simulator runs in strict mode, so missing initializations
+/// fail loudly.
+pub fn eval_vec(
+    op: RegOp,
+    dtype: DType,
+    mode: ParallelismMode,
+    inputs: &[&[u32]],
+    dst: u8,
+    srcs: &[u8],
+) -> Vec<u32> {
+    let n = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == n));
+    let cfg = test_cfg(n);
+    let routine = compile_rtype(&cfg, mode, op, dtype, dst, srcs).expect("compile");
+    let mut sim = PimSimulator::new(cfg.clone()).expect("sim");
+    for reg in cfg.user_regs..cfg.regs {
+        for row in 0..cfg.rows {
+            sim.poke(0, row, reg, 0xBAD_C0DE);
+        }
+    }
+    for (slot, vals) in inputs.iter().enumerate() {
+        for (row, v) in vals.iter().enumerate() {
+            sim.poke(0, row, srcs[slot] as usize, *v);
+        }
+    }
+    sim.execute(&MicroOp::XbMask(RangeMask::single(0))).unwrap();
+    sim.execute(&MicroOp::RowMask(RangeMask::dense(0, n as u32).unwrap())).unwrap();
+    sim.execute_batch(&routine.ops).unwrap();
+    (0..n).map(|row| sim.peek(0, row, dst as usize)).collect()
+}
+
+/// Binary operation on a single pair.
+pub fn eval_binop(op: RegOp, dtype: DType, mode: ParallelismMode, a: u32, x: u32) -> u32 {
+    eval_vec(op, dtype, mode, &[&[a], &[x]], 2, &[0, 1])[0]
+}
+
+/// Binary operation over vectors (element-parallel).
+pub fn eval_binop_vec(op: RegOp, dtype: DType, a: &[u32], x: &[u32]) -> Vec<u32> {
+    eval_vec(op, dtype, ParallelismMode::BitSerial, &[a, x], 2, &[0, 1])
+}
+
+/// Binary operation with `dst == src0` (aliased destination).
+pub fn eval_binop_aliased(op: RegOp, dtype: DType, a: u32, x: u32) -> u32 {
+    eval_vec(op, dtype, ParallelismMode::BitSerial, &[&[a], &[x]], 0, &[0, 1])[0]
+}
+
+/// Unary operation on a single value.
+pub fn eval_unop(op: RegOp, dtype: DType, a: u32) -> u32 {
+    eval_vec(op, dtype, ParallelismMode::BitSerial, &[&[a]], 2, &[0])[0]
+}
+
+/// Unary operation over a vector.
+pub fn eval_unop_vec(op: RegOp, dtype: DType, a: &[u32]) -> Vec<u32> {
+    eval_vec(op, dtype, ParallelismMode::BitSerial, &[a], 2, &[0])
+}
+
+/// Unary operation with `dst == src` (aliased destination).
+pub fn eval_unop_aliased(op: RegOp, dtype: DType, a: u32) -> u32 {
+    eval_vec(op, dtype, ParallelismMode::BitSerial, &[&[a]], 0, &[0])[0]
+}
+
+/// Three-operand multiplexer.
+pub fn eval_mux(cond: u32, a: u32, x: u32) -> u32 {
+    eval_vec(
+        RegOp::Mux,
+        DType::Int32,
+        ParallelismMode::BitSerial,
+        &[&[cond], &[a], &[x]],
+        3,
+        &[0, 1, 2],
+    )[0]
+}
+
+/// Deterministic pseudo-random pairs plus hand-picked integer edge cases.
+pub fn int_pairs(n: usize) -> Vec<(u32, u32)> {
+    use rand::{Rng, SeedableRng};
+    let mut r = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    let mut v: Vec<(u32, u32)> = (0..n).map(|_| (r.gen(), r.gen())).collect();
+    v.extend([
+        (0, 0),
+        (1, u32::MAX),
+        (u32::MAX, u32::MAX),
+        (0x8000_0000, 0x7FFF_FFFF),
+        (0x8000_0000, 0xFFFF_FFFF),
+        (12345, 678),
+    ]);
+    v
+}
+
+/// Integer edge values for unary tests.
+pub fn int_edge_values() -> Vec<u32> {
+    vec![0, 1, 2, 0xFFFF_FFFF, 0x8000_0000, 0x7FFF_FFFF, 42, (-42i32) as u32, 0x0000_FFFF]
+}
+
+/// Float edge values (as bit patterns) for float tests.
+pub fn float_edge_values() -> Vec<u32> {
+    [
+        0.0f32,
+        -0.0,
+        1.0,
+        -1.0,
+        1.5,
+        0.5,
+        2.0,
+        -2.5,
+        f32::MAX,
+        f32::MIN,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        f32::EPSILON,
+        1e-40,  // subnormal
+        -1e-42, // subnormal
+        3.4028235e38,
+        1.1754942e-38, // largest subnormal
+        std::f32::consts::PI,
+        -std::f32::consts::E,
+    ]
+    .iter()
+    .map(|f| f.to_bits())
+    .collect()
+}
+
+/// Deterministic random float bit patterns spanning all classes.
+pub fn float_random(n: usize, seed: u64) -> Vec<u32> {
+    use rand::{Rng, SeedableRng};
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match i % 5 {
+            // Fully random bit patterns (includes NaNs/infs/subnormals).
+            0 => r.gen::<u32>(),
+            // Moderate-magnitude normals (exercise alignment paths).
+            1 => {
+                let exp = r.gen_range(110u32..145) << 23;
+                exp | (r.gen::<u32>() & 0x807F_FFFF)
+            }
+            // Near-equal exponents (cancellation paths).
+            2 => {
+                let exp = 127u32 << 23;
+                exp | (r.gen::<u32>() & 0x807F_FFFF)
+            }
+            // Subnormals.
+            3 => r.gen::<u32>() & 0x807F_FFFF,
+            // Extreme exponents (overflow/underflow paths).
+            _ => {
+                let exp = if r.gen() { r.gen_range(245u32..255) } else { r.gen_range(1u32..12) }
+                    << 23;
+                exp | (r.gen::<u32>() & 0x807F_FFFF)
+            }
+        })
+        .collect()
+}
+
+/// Asserts two float bit patterns represent the same IEEE result (all NaNs
+/// are considered equal; zeros keep their sign).
+pub fn assert_float_bits_eq(got: u32, expect: u32, ctx: &str) {
+    let (g, e) = (f32::from_bits(got), f32::from_bits(expect));
+    if e.is_nan() {
+        assert!(g.is_nan(), "{ctx}: expected NaN, got {g} ({got:#010x})");
+    } else {
+        assert_eq!(
+            got, expect,
+            "{ctx}: got {g} ({got:#010x}), expected {e} ({expect:#010x})"
+        );
+    }
+}

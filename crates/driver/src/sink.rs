@@ -1,0 +1,111 @@
+use pim_arch::{encode, ArchError, Backend, MicroOp, PimConfig};
+
+/// A backend that reroutes micro-operations to a memory buffer instead of a
+/// simulator — the paper's methodology for measuring the *maximal PIM
+/// throughput the host driver can sustain* (Artifact Appendix E: `OPS[...]
+/// = x` replacing `perform(x)`).
+///
+/// Every operation is encoded to its 64-bit wire format and written into a
+/// fixed ring buffer, so the measurement includes the full translation and
+/// encoding cost while excluding simulation time. Reads return 0.
+#[derive(Debug)]
+pub struct SinkBackend {
+    cfg: PimConfig,
+    buffer: Vec<u64>,
+    cursor: usize,
+    total: u64,
+}
+
+impl SinkBackend {
+    /// Buffer length used by the paper's benchmark (`OPS[100000]`).
+    pub const BUFFER_LEN: usize = 100_000;
+
+    /// Creates a sink for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if `cfg` fails validation.
+    pub fn new(cfg: PimConfig) -> Result<Self, ArchError> {
+        cfg.validate()?;
+        Ok(SinkBackend { cfg, buffer: vec![0; Self::BUFFER_LEN], cursor: 0, total: 0 })
+    }
+
+    /// Total micro-operations swallowed.
+    pub fn total_ops(&self) -> u64 {
+        self.total
+    }
+
+    /// XOR digest over the buffer, preventing the encode work from being
+    /// optimized away in benchmarks.
+    pub fn digest(&self) -> u64 {
+        self.buffer.iter().fold(0, |acc, &w| acc ^ w)
+    }
+
+    #[inline]
+    fn push(&mut self, op: &MicroOp) {
+        let word = encode::encode(op);
+        // SAFETY-free ring write: cursor always in range.
+        self.buffer[self.cursor] = word;
+        self.cursor += 1;
+        if self.cursor == self.buffer.len() {
+            self.cursor = 0;
+        }
+        self.total += 1;
+    }
+}
+
+impl Backend for SinkBackend {
+    fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    fn execute(&mut self, op: &MicroOp) -> Result<Option<u32>, ArchError> {
+        self.push(op);
+        Ok(if matches!(op, MicroOp::Read { .. }) { Some(0) } else { None })
+    }
+
+    fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
+        for op in ops {
+            self.push(op);
+        }
+        Ok(())
+    }
+
+    fn stream(&mut self, words: &[u64]) -> Result<(), ArchError> {
+        // The controller-bound DMA: copy the pre-encoded words into the
+        // ring buffer (Appendix E's `OPS[...] = x` with the translation
+        // already cached).
+        let mut remaining = words;
+        while !remaining.is_empty() {
+            let space = self.buffer.len() - self.cursor;
+            let chunk = remaining.len().min(space);
+            self.buffer[self.cursor..self.cursor + chunk].copy_from_slice(&remaining[..chunk]);
+            self.cursor += chunk;
+            if self.cursor == self.buffer.len() {
+                self.cursor = 0;
+            }
+            remaining = &remaining[chunk..];
+        }
+        self.total += words.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::RangeMask;
+
+    #[test]
+    fn swallows_and_counts() {
+        let mut s = SinkBackend::new(PimConfig::small()).unwrap();
+        let op = MicroOp::XbMask(RangeMask::single(3));
+        for _ in 0..250_000 {
+            s.execute(&op).unwrap();
+        }
+        assert_eq!(s.total_ops(), 250_000);
+        assert_eq!(s.execute(&MicroOp::Read { index: 0 }).unwrap(), Some(0));
+        // Digest sees the encoded words.
+        assert_ne!(s.digest(), u64::MAX);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pim-isa
+//!
+//! The general-purpose PIM instruction-set architecture of PyPIM (§IV).
+//!
+//! The ISA abstracts a digital memristive PIM memory as **warps of
+//! threads**: each crossbar array is a warp, each row is a thread, and each
+//! thread owns `R` word registers — which *are* the memory itself (the
+//! registers of the threads are the stored data, so arithmetic happens in
+//! place rather than after a copy to a compute unit).
+//!
+//! Macro-instructions come in four kinds:
+//!
+//! * **R-type** ([`Instruction::RType`]): a register operation from
+//!   Table II (arithmetic / comparison / bitwise / miscellaneous, on `int32`
+//!   or `float32`) applied in parallel across all threads selected by a
+//!   warp range and a row range (both follow the flexible `start:stop:step`
+//!   pattern of §III).
+//! * **Intra-warp moves** ([`Instruction::MoveRows`]): warp-parallel,
+//!   thread-serial transfers of a register between threads of the same warp.
+//! * **Inter-warp moves** ([`Instruction::MoveWarps`]): distributed
+//!   transfers between warp pairs following the H-tree pattern of §III-F.
+//! * **Read/Write** ([`Instruction::Read`], [`Instruction::Write`]): scalar
+//!   access; writes may broadcast across a thread range (typically used for
+//!   constants).
+//!
+//! The host driver (`pim-driver`) lowers these macro-instructions to
+//! micro-operations.
+
+mod instruction;
+mod ops;
+
+pub use instruction::{Instruction, ThreadRange};
+pub use ops::{DType, RegOp};

@@ -1,0 +1,216 @@
+use std::fmt;
+
+/// Element datatypes supported by the ISA (Table II): 32-bit two's-complement
+/// integers and IEEE-754 single-precision floats. The word size matches the
+/// architectural `N = 32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit signed integer (wrapping arithmetic).
+    Int32,
+    /// IEEE-754 binary32 with round-to-nearest-even.
+    Float32,
+}
+
+impl DType {
+    /// All supported datatypes.
+    pub const ALL: [DType; 2] = [DType::Int32, DType::Float32];
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DType::Int32 => "int32",
+            DType::Float32 => "float32",
+        })
+    }
+}
+
+/// The R-type register operations of Table II.
+///
+/// Comparison operations produce an `int32` register holding 0 or 1
+/// regardless of the operand datatype (float comparisons follow IEEE-754:
+/// `NaN` is unordered and `-0 == +0`).
+///
+/// Defined semantics beyond the paper's table (documented substitutions):
+///
+/// * Integer division/modulo truncate toward zero; division by zero yields
+///   quotient 0 and remainder = dividend; `i32::MIN / -1` wraps.
+/// * [`Sign`](RegOp::Sign) returns −1/0/+1 (or −1.0/0.0/+1.0); the sign of
+///   `NaN` is `NaN`.
+/// * [`Zero`](RegOp::Zero) returns 1 (or 1.0) when the operand equals zero
+///   (both float zeros count).
+/// * [`Mux`](RegOp::Mux) selects the second operand where the first
+///   (condition) register is nonzero, else the third.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegOp {
+    /// `dst = a + b`.
+    Add,
+    /// `dst = a - b`.
+    Sub,
+    /// `dst = a * b` (integer result truncated to 32 bits, as in the
+    /// paper's §V-C footnote).
+    Mul,
+    /// `dst = a / b`.
+    Div,
+    /// `dst = a % b` (integer only).
+    Mod,
+    /// `dst = -a`.
+    Neg,
+    /// `dst = (a < b) as int32`.
+    Lt,
+    /// `dst = (a <= b) as int32`.
+    Le,
+    /// `dst = (a > b) as int32`.
+    Gt,
+    /// `dst = (a >= b) as int32`.
+    Ge,
+    /// `dst = (a == b) as int32`.
+    Eq,
+    /// `dst = (a != b) as int32`.
+    Ne,
+    /// `dst = !a` (bitwise complement of the raw word).
+    Not,
+    /// `dst = a & b` (raw words).
+    And,
+    /// `dst = a | b` (raw words).
+    Or,
+    /// `dst = a ^ b` (raw words).
+    Xor,
+    /// `dst = sign(a)`.
+    Sign,
+    /// `dst = (a == 0) as the operand dtype`.
+    Zero,
+    /// `dst = |a|`.
+    Abs,
+    /// `dst = cond ? a : b` (three-operand multiplexer).
+    Mux,
+}
+
+impl RegOp {
+    /// Every R-type operation, in Table II order.
+    pub const ALL: [RegOp; 20] = [
+        RegOp::Add,
+        RegOp::Sub,
+        RegOp::Mul,
+        RegOp::Div,
+        RegOp::Mod,
+        RegOp::Neg,
+        RegOp::Lt,
+        RegOp::Le,
+        RegOp::Gt,
+        RegOp::Ge,
+        RegOp::Eq,
+        RegOp::Ne,
+        RegOp::Not,
+        RegOp::And,
+        RegOp::Or,
+        RegOp::Xor,
+        RegOp::Sign,
+        RegOp::Zero,
+        RegOp::Abs,
+        RegOp::Mux,
+    ];
+
+    /// Number of source registers this operation reads.
+    pub fn arity(self) -> usize {
+        match self {
+            RegOp::Neg | RegOp::Not | RegOp::Sign | RegOp::Zero | RegOp::Abs => 1,
+            RegOp::Mux => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether Table II marks this operation as supported for `dtype`.
+    /// Only [`Mod`](RegOp::Mod) is integer-only.
+    pub fn supports(self, dtype: DType) -> bool {
+        match self {
+            RegOp::Mod => dtype == DType::Int32,
+            _ => true,
+        }
+    }
+
+    /// Whether this is a comparison producing an `int32` 0/1 result.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, RegOp::Lt | RegOp::Le | RegOp::Gt | RegOp::Ge | RegOp::Eq | RegOp::Ne)
+    }
+
+    /// The Table II category this operation belongs to.
+    pub fn category(self) -> &'static str {
+        match self {
+            RegOp::Add | RegOp::Sub | RegOp::Mul | RegOp::Div | RegOp::Mod | RegOp::Neg => {
+                "arithmetic"
+            }
+            RegOp::Lt | RegOp::Le | RegOp::Gt | RegOp::Ge | RegOp::Eq | RegOp::Ne => "comparison",
+            RegOp::Not | RegOp::And | RegOp::Or | RegOp::Xor => "bitwise",
+            RegOp::Sign | RegOp::Zero | RegOp::Abs | RegOp::Mux => "miscellaneous",
+        }
+    }
+}
+
+impl fmt::Display for RegOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RegOp::Add => "add",
+            RegOp::Sub => "sub",
+            RegOp::Mul => "mul",
+            RegOp::Div => "div",
+            RegOp::Mod => "mod",
+            RegOp::Neg => "neg",
+            RegOp::Lt => "lt",
+            RegOp::Le => "le",
+            RegOp::Gt => "gt",
+            RegOp::Ge => "ge",
+            RegOp::Eq => "eq",
+            RegOp::Ne => "ne",
+            RegOp::Not => "not",
+            RegOp::And => "and",
+            RegOp::Or => "or",
+            RegOp::Xor => "xor",
+            RegOp::Sign => "sign",
+            RegOp::Zero => "zero",
+            RegOp::Abs => "abs",
+            RegOp::Mux => "mux",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_support_matrix() {
+        // Table II: every operation supports int32; all but Mod support
+        // float32.
+        for op in RegOp::ALL {
+            assert!(op.supports(DType::Int32), "{op} must support int32");
+            assert_eq!(op.supports(DType::Float32), op != RegOp::Mod, "{op} float support");
+        }
+    }
+
+    #[test]
+    fn arity_partition() {
+        let unary: Vec<_> = RegOp::ALL.iter().filter(|o| o.arity() == 1).collect();
+        assert_eq!(unary.len(), 5); // neg, not, sign, zero, abs
+        let ternary: Vec<_> = RegOp::ALL.iter().filter(|o| o.arity() == 3).collect();
+        assert_eq!(ternary.len(), 1); // mux
+    }
+
+    #[test]
+    fn categories_match_table2_sections() {
+        let count = |cat: &str| RegOp::ALL.iter().filter(|o| o.category() == cat).count();
+        assert_eq!(count("arithmetic"), 6);
+        assert_eq!(count("comparison"), 6);
+        assert_eq!(count("bitwise"), 4);
+        assert_eq!(count("miscellaneous"), 4);
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let mut names: Vec<String> = RegOp::ALL.iter().map(|o| o.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), RegOp::ALL.len());
+    }
+}

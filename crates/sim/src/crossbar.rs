@@ -1,0 +1,391 @@
+use pim_arch::{ArchError, GateKind, HLogic, RangeMask, VGate};
+
+/// One simulated memristive crossbar array in the condensed 32-bit row
+/// format (§VI "Memory" optimization).
+///
+/// The logical state of row `r` is stored as `regs` words, where word `k`
+/// packs the 32 bits at intra-partition offset `k` across all partitions —
+/// bit `j` of word `k` is the cell at partition `j`, offset `k`. Under the
+/// strided data format of §III-C this means word `k` *is* the value of
+/// register `k`.
+/// (The per-crossbar activation bit of §III-B is represented by the
+/// simulator's stored crossbar mask; iterating the mask's range pattern is
+/// equivalent to — and faster than — testing a bit in every crossbar.)
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    regs: usize,
+    /// Row-major storage: `words[row * regs + reg]`.
+    words: Vec<u32>,
+}
+
+/// Shifts word bits from input partitions to output partitions: positive
+/// `s` moves bit `p` to bit `p + s`.
+#[inline]
+fn part_shift(x: u32, s: i32) -> u32 {
+    if s >= 0 {
+        x << s
+    } else {
+        x >> (-s)
+    }
+}
+
+impl Crossbar {
+    /// Creates a crossbar with `rows × regs` words, all cells at logical 0.
+    pub fn new(rows: usize, regs: usize) -> Self {
+        Crossbar { regs, words: vec![0; rows * regs] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.words.len() / self.regs
+    }
+
+    /// Words per row (= registers per thread).
+    pub fn regs(&self) -> usize {
+        self.regs
+    }
+
+    /// The word at `(row, reg)` — register `reg` of thread `row`.
+    #[inline]
+    pub fn word(&self, row: usize, reg: usize) -> u32 {
+        self.words[row * self.regs + reg]
+    }
+
+    /// Overwrites the word at `(row, reg)` (memory write semantics — not a
+    /// stateful-logic gate).
+    #[inline]
+    pub fn set_word(&mut self, row: usize, reg: usize, value: u32) {
+        self.words[row * self.regs + reg] = value;
+    }
+
+    /// Reads the single cell at `(row, partition, offset)`.
+    pub fn cell(&self, row: usize, part: u8, offset: u8) -> bool {
+        self.word(row, offset as usize) >> part & 1 == 1
+    }
+
+    /// Writes the single cell at `(row, partition, offset)`.
+    pub fn set_cell(&mut self, row: usize, part: u8, offset: u8, value: bool) {
+        let w = &mut self.words[row * self.regs + offset as usize];
+        if value {
+            *w |= 1 << part;
+        } else {
+            *w &= !(1 << part);
+        }
+    }
+
+    /// Applies a horizontal stateful-logic operation to every row selected
+    /// by `row_mask`, using the word-level evaluation (three bitwise ops per
+    /// row instead of per-partition iteration).
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`ArchError::Protocol`] if a `NOT`/`NOR`
+    /// output cell does not hold logical 1 when the gate fires (a missing
+    /// initialization in the driver).
+    pub fn apply_hlogic(
+        &mut self,
+        op: &HLogic,
+        row_mask: &RangeMask,
+        strict: bool,
+    ) -> Result<(), ArchError> {
+        let out_bits = op.out_bits();
+        let out_reg = op.out.offset as usize;
+        let a_reg = op.in_a.offset as usize;
+        let b_reg = op.in_b.offset as usize;
+        let (sa, sb) = (op.shift_a(), op.shift_b());
+        for row in row_mask.iter() {
+            let base = row as usize * self.regs;
+            match op.gate {
+                GateKind::Init0 => self.words[base + out_reg] &= !out_bits,
+                GateKind::Init1 => self.words[base + out_reg] |= out_bits,
+                GateKind::Not => {
+                    let a = part_shift(self.words[base + a_reg], sa);
+                    let out = &mut self.words[base + out_reg];
+                    if strict && *out & out_bits != out_bits {
+                        return Err(uninitialized(row, op));
+                    }
+                    *out &= !(a & out_bits);
+                }
+                GateKind::Nor => {
+                    let a = part_shift(self.words[base + a_reg], sa);
+                    let b = part_shift(self.words[base + b_reg], sb);
+                    let out = &mut self.words[base + out_reg];
+                    if strict && *out & out_bits != out_bits {
+                        return Err(uninitialized(row, op));
+                    }
+                    *out &= !((a | b) & out_bits);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a vertical stateful-logic operation: gate from `row_in` to
+    /// `row_out` at the columns whose intra-partition index equals `index`
+    /// (i.e. one whole register — 32 cells — per operation).
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`ArchError::Protocol`] if a `NOT` output
+    /// cell does not hold logical 1.
+    pub fn apply_vlogic(
+        &mut self,
+        gate: VGate,
+        row_in: usize,
+        row_out: usize,
+        index: usize,
+        strict: bool,
+    ) -> Result<(), ArchError> {
+        match gate {
+            VGate::Init0 => self.set_word(row_out, index, 0),
+            VGate::Init1 => self.set_word(row_out, index, u32::MAX),
+            VGate::Not => {
+                let src = self.word(row_in, index);
+                let dst = self.word(row_out, index);
+                if strict && dst != u32::MAX {
+                    return Err(ArchError::Protocol {
+                        reason: format!(
+                            "vertical NOT into row {row_out}, register {index}: output cells \
+                             not initialized to 1 (found {dst:#010x})"
+                        ),
+                    });
+                }
+                self.set_word(row_out, index, dst & !src);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn uninitialized(row: u32, op: &HLogic) -> ArchError {
+    ArchError::Protocol {
+        reason: format!(
+            "stateful {:?} gate in row {row} writes to partition bits {:#010x} of register \
+             {} that were not initialized to 1",
+            op.gate, op.out_bits(), op.out.offset
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::{ColAddr, PimConfig};
+    use proptest::prelude::*;
+
+    fn cfg() -> PimConfig {
+        PimConfig::small()
+    }
+
+    fn full_rows(cfg: &PimConfig) -> RangeMask {
+        RangeMask::dense(0, cfg.rows as u32).unwrap()
+    }
+
+    #[test]
+    fn word_layout_matches_cells() {
+        let mut xb = Crossbar::new(4, 32);
+        xb.set_word(2, 5, 0b1010);
+        assert!(!xb.cell(2, 0, 5));
+        assert!(xb.cell(2, 1, 5));
+        assert!(!xb.cell(2, 2, 5));
+        assert!(xb.cell(2, 3, 5));
+        xb.set_cell(2, 0, 5, true);
+        assert_eq!(xb.word(2, 5), 0b1011);
+        xb.set_cell(2, 3, 5, false);
+        assert_eq!(xb.word(2, 5), 0b0011);
+    }
+
+    #[test]
+    fn init_gates_set_whole_register() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let rows = full_rows(&c);
+        let init1 = HLogic::init_reg(true, 3, &c).unwrap();
+        xb.apply_hlogic(&init1, &rows, true).unwrap();
+        assert!(xb.word(0, 3) == u32::MAX && xb.word(c.rows - 1, 3) == u32::MAX);
+        let init0 = HLogic::init_reg(false, 3, &c).unwrap();
+        xb.apply_hlogic(&init0, &rows, true).unwrap();
+        assert_eq!(xb.word(5, 3), 0);
+    }
+
+    #[test]
+    fn parallel_nor_computes_per_partition() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let rows = full_rows(&c);
+        xb.set_word(1, 0, 0x0F0F_3355);
+        xb.set_word(1, 1, 0x00FF_0F55);
+        xb.apply_hlogic(&HLogic::init_reg(true, 2, &c).unwrap(), &rows, true).unwrap();
+        xb.apply_hlogic(
+            &HLogic::parallel(GateKind::Nor, 0, 1, 2, &c).unwrap(),
+            &rows,
+            true,
+        )
+        .unwrap();
+        assert_eq!(xb.word(1, 2), !(0x0F0F_3355u32 | 0x00FF_0F55));
+        // Unselected rows saw the same ops (full mask) — NOR of zeros is 1.
+        assert_eq!(xb.word(0, 2), u32::MAX);
+    }
+
+    #[test]
+    fn row_mask_limits_logic() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let even = RangeMask::new(0, c.rows as u32 - 2, 2).unwrap();
+        xb.apply_hlogic(&HLogic::init_reg(true, 0, &c).unwrap(), &even, true).unwrap();
+        assert_eq!(xb.word(0, 0), u32::MAX);
+        assert_eq!(xb.word(1, 0), 0);
+        assert_eq!(xb.word(2, 0), u32::MAX);
+    }
+
+    #[test]
+    fn strict_mode_catches_missing_init() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let rows = full_rows(&c);
+        let not = HLogic::parallel(GateKind::Not, 0, 0, 1, &c).unwrap();
+        let err = xb.apply_hlogic(&not, &rows, true).unwrap_err();
+        assert!(matches!(err, ArchError::Protocol { .. }));
+        // Non-strict mode performs the (possibly wrong) stateful update.
+        xb.apply_hlogic(&not, &rows, false).unwrap();
+    }
+
+    #[test]
+    fn stateful_not_only_clears() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let rows = full_rows(&c);
+        xb.set_word(0, 0, 0xAAAA_AAAA);
+        xb.apply_hlogic(&HLogic::init_reg(true, 1, &c).unwrap(), &rows, true).unwrap();
+        let not = HLogic::parallel(GateKind::Not, 0, 0, 1, &c).unwrap();
+        xb.apply_hlogic(&not, &rows, true).unwrap();
+        assert_eq!(xb.word(0, 1), 0x5555_5555);
+        // Applying the same NOT again (non-strict: outputs now partially 0)
+        // cannot switch any cell back to 1.
+        xb.apply_hlogic(&not, &rows, false).unwrap();
+        assert_eq!(xb.word(0, 1), 0x5555_5555);
+    }
+
+    #[test]
+    fn cross_partition_shift_pattern() {
+        // NOT from partition p to p+1 for even p: out bits odd partitions.
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let rows = full_rows(&c);
+        xb.set_word(0, 0, 0x0000_FFFF);
+        xb.apply_hlogic(&HLogic::init_reg(true, 1, &c).unwrap(), &rows, true).unwrap();
+        let op = HLogic::strided(
+            GateKind::Not,
+            ColAddr::new(0, 0),
+            ColAddr::new(0, 0),
+            ColAddr::new(1, 1),
+            31,
+            2,
+            &c,
+        )
+        .unwrap();
+        xb.apply_hlogic(&op, &rows, true).unwrap();
+        // Output bits: odd partitions p+1 receive NOT(bit p).
+        // Input bits 0,2,..,14 are 1 -> outputs 1,3,..,15 become 0.
+        // Input bits 16,18,..,30 are 0 -> outputs 17,..,31 stay 1.
+        // Even output bits untouched (still 1 from init).
+        let w = xb.word(0, 1);
+        for p in 0..32u32 {
+            let expect = if p % 2 == 1 { p >= 16 } else { true };
+            assert_eq!(w >> p & 1 == 1, expect, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn vertical_ops_move_registers_between_rows() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        xb.set_word(7, 4, 0x1234_5678);
+        xb.apply_vlogic(VGate::Init1, 0, 9, 4, true).unwrap();
+        xb.apply_vlogic(VGate::Not, 7, 9, 4, true).unwrap();
+        assert_eq!(xb.word(9, 4), !0x1234_5678);
+        // Second NOT through another register restores the value.
+        xb.apply_vlogic(VGate::Init1, 0, 11, 4, true).unwrap();
+        xb.apply_vlogic(VGate::Not, 9, 11, 4, true).unwrap();
+        assert_eq!(xb.word(11, 4), 0x1234_5678);
+        // Strict vertical NOT without init fails.
+        assert!(xb.apply_vlogic(VGate::Not, 7, 12, 4, true).is_err());
+        xb.apply_vlogic(VGate::Init0, 0, 12, 4, true).unwrap();
+        assert_eq!(xb.word(12, 4), 0);
+    }
+
+    /// The fast word-level evaluation must agree with the reference
+    /// semantics: every expanded gate applied simultaneously (reading the
+    /// pre-operation state).
+    #[test]
+    fn word_level_matches_expanded_gates() {
+        let c = cfg();
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(
+                &(
+                    0u8..8,
+                    0u8..4,
+                    0u8..8,
+                    1u8..8,
+                    0u8..4,
+                    (0u8..8, 0u8..8, 0u8..8),
+                    proptest::collection::vec(any::<u32>(), 8),
+                    0u8..4,
+                ),
+                |(pa, pbd, pod, step, reps, (oa, ob, oo), data, code)| {
+                    let gate = GateKind::from_code(code).unwrap();
+                    let in_a = ColAddr::new(pa, oa);
+                    let in_b = ColAddr::new(pa + pbd, ob);
+                    let out = ColAddr::new(pod, oo);
+                    let p_end = pod as u32 + reps as u32 * step as u32;
+                    prop_assume!(p_end < 32);
+                    let op = HLogic::strided(gate, in_a, in_b, out, p_end as u8, step, &c);
+                    let op = match op {
+                        Ok(op) => op,
+                        Err(_) => return Ok(()), // invalid pattern — skip
+                    };
+                    // Load one row with random words; snapshot it.
+                    let mut fast = Crossbar::new(1, c.regs);
+                    for (k, w) in data.iter().enumerate() {
+                        fast.set_word(0, k, *w);
+                    }
+                    let mut slow = fast.clone();
+                    let pre = fast.clone();
+                    fast.apply_hlogic(&op, &RangeMask::single(0), false).unwrap();
+                    // Reference: per-gate stateful update from the snapshot.
+                    for g in op.expand_gates() {
+                        let inputs_high = match gate {
+                            GateKind::Init0 => true, // out := 0
+                            GateKind::Init1 => false,
+                            GateKind::Not => pre.cell(0, g.a.part, g.a.offset),
+                            GateKind::Nor => {
+                                pre.cell(0, g.a.part, g.a.offset)
+                                    || pre.cell(0, g.b.part, g.b.offset)
+                            }
+                        };
+                        match gate {
+                            GateKind::Init0 => slow.set_cell(0, g.out.part, g.out.offset, false),
+                            GateKind::Init1 => slow.set_cell(0, g.out.part, g.out.offset, true),
+                            _ => {
+                                if inputs_high {
+                                    slow.set_cell(0, g.out.part, g.out.offset, false);
+                                }
+                            }
+                        }
+                    }
+                    for k in 0..c.regs {
+                        prop_assert_eq!(
+                            fast.word(0, k),
+                            slow.word(0, k),
+                            "register {} differs for {:?}",
+                            k,
+                            &op
+                        );
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+/// Per-type micro-operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTypeCounts {
+    /// Crossbar-mask operations.
+    pub xb_mask: u64,
+    /// Row-mask operations.
+    pub row_mask: u64,
+    /// Write operations.
+    pub write: u64,
+    /// Read operations.
+    pub read: u64,
+    /// Horizontal logic operations.
+    pub logic_h: u64,
+    /// Vertical logic operations.
+    pub logic_v: u64,
+    /// Inter-crossbar move operations.
+    pub mv: u64,
+}
+
+impl OpTypeCounts {
+    /// Total micro-operations across all types.
+    pub fn total(&self) -> u64 {
+        self.xb_mask + self.row_mask + self.write + self.read + self.logic_h + self.logic_v + self.mv
+    }
+}
+
+/// Profiling metrics kept by the simulator (§VI: "the simulator keeps track
+/// of basic profiling metrics (e.g., the number of micro-operations
+/// performed from each micro-operation type)").
+///
+/// Under the microarchitectural model, each micro-operation occupies one PIM
+/// clock cycle, except distributed moves whose transfers share H-tree links
+/// (those serialize — see [`pim_arch::htree::plan_move`]). [`cycles`]
+/// therefore measures latency directly; throughput follows from the paper's
+/// Eq. (1).
+///
+/// [`cycles`]: Profiler::cycles
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    /// PIM cycles consumed.
+    pub cycles: u64,
+    /// Micro-operations executed, by type.
+    pub ops: OpTypeCounts,
+    /// Individual logic-gate instances fired (summed over the partition
+    /// pattern, but not over rows/crossbars).
+    pub gates: u64,
+    /// Gate instances × active rows × active crossbars — a proxy for
+    /// switching energy.
+    pub row_gates: u64,
+    /// Source→destination pairs moved over the H-tree.
+    pub move_pairs: u64,
+    /// Highest H-tree level climbed by any move.
+    pub max_move_level: u32,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = Profiler::default();
+    }
+
+    /// Difference between `self` and an earlier `snapshot` — used to
+    /// attribute cycles to a region of execution (the library's `Profiler`
+    /// scope in the paper's Figure 12 example).
+    pub fn since(&self, snapshot: &Profiler) -> Profiler {
+        Profiler {
+            cycles: self.cycles - snapshot.cycles,
+            ops: OpTypeCounts {
+                xb_mask: self.ops.xb_mask - snapshot.ops.xb_mask,
+                row_mask: self.ops.row_mask - snapshot.ops.row_mask,
+                write: self.ops.write - snapshot.ops.write,
+                read: self.ops.read - snapshot.ops.read,
+                logic_h: self.ops.logic_h - snapshot.ops.logic_h,
+                logic_v: self.ops.logic_v - snapshot.ops.logic_v,
+                mv: self.ops.mv - snapshot.ops.mv,
+            },
+            gates: self.gates - snapshot.gates,
+            row_gates: self.row_gates - snapshot.row_gates,
+            move_pairs: self.move_pairs - snapshot.move_pairs,
+            max_move_level: self.max_move_level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_reset() {
+        let mut p = Profiler::new();
+        p.ops.logic_h = 10;
+        p.ops.write = 2;
+        p.cycles = 12;
+        assert_eq!(p.ops.total(), 12);
+        p.reset();
+        assert_eq!(p.ops.total(), 0);
+        assert_eq!(p.cycles, 0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut p = Profiler::new();
+        p.cycles = 5;
+        p.ops.logic_h = 5;
+        let snap = p.clone();
+        p.cycles += 7;
+        p.ops.logic_h += 6;
+        p.ops.read += 1;
+        let d = p.since(&snap);
+        assert_eq!(d.cycles, 7);
+        assert_eq!(d.ops.logic_h, 6);
+        assert_eq!(d.ops.read, 1);
+    }
+}

@@ -1,0 +1,642 @@
+use crate::{Crossbar, Profiler};
+use pim_arch::{htree, ArchError, Backend, MicroOp, PimConfig, RangeMask};
+
+/// Minimum amount of per-batch work (crossbars × operations) before the
+/// simulator fans a batch out across threads.
+const PARALLEL_WORK_THRESHOLD: usize = 1 << 14;
+
+/// The bit-accurate digital PIM simulator (§VI) — a drop-in replacement for
+/// a physical chip behind the [`Backend`] micro-operation interface.
+///
+/// State: one [`Crossbar`] per array, the stored crossbar mask, and the
+/// stored row mask (start/stop/step, §III-B). A [`Profiler`] records
+/// micro-operation counts per type; under the 1-op/cycle model these are
+/// latency measurements.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct PimSimulator {
+    cfg: PimConfig,
+    xbars: Vec<Crossbar>,
+    xb_mask: RangeMask,
+    row_mask: RangeMask,
+    strict: bool,
+    profiler: Profiler,
+    threads: usize,
+}
+
+impl PimSimulator {
+    /// Creates a simulator with all cells at logical 0, both masks covering
+    /// the whole memory, and strict stateful-logic checking enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if `cfg` fails validation.
+    pub fn new(cfg: PimConfig) -> Result<Self, ArchError> {
+        cfg.validate()?;
+        let xbars = (0..cfg.crossbars).map(|_| Crossbar::new(cfg.rows, cfg.regs)).collect();
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16);
+        Ok(PimSimulator {
+            xb_mask: RangeMask::dense(0, cfg.crossbars as u32).expect("validated nonzero"),
+            row_mask: RangeMask::dense(0, cfg.rows as u32).expect("validated nonzero"),
+            cfg,
+            xbars,
+            strict: true,
+            profiler: Profiler::new(),
+            threads,
+        })
+    }
+
+    /// Enables or disables strict stateful-logic checking (output cells of
+    /// `NOT`/`NOR` gates must be 1 when the gate fires). Strict mode is on
+    /// by default; benchmarks may disable it for speed.
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Whether strict stateful-logic checking is enabled.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The profiling counters accumulated so far.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Resets the profiling counters.
+    pub fn reset_profiler(&mut self) {
+        self.profiler.reset();
+    }
+
+    /// Direct state inspection for tests and debugging: the word (register
+    /// value) at `(crossbar, row, reg)`. Bypasses the micro-operation
+    /// interface — production code must use [`MicroOp::Read`].
+    pub fn peek(&self, xb: usize, row: usize, reg: usize) -> u32 {
+        self.xbars[xb].word(row, reg)
+    }
+
+    /// Direct state mutation for tests and debugging; see [`peek`].
+    ///
+    /// [`peek`]: PimSimulator::peek
+    pub fn poke(&mut self, xb: usize, row: usize, reg: usize, value: u32) {
+        self.xbars[xb].set_word(row, reg, value);
+    }
+
+    /// The crossbar state, for test inspection.
+    pub fn crossbar(&self, xb: usize) -> &Crossbar {
+        &self.xbars[xb]
+    }
+
+    /// Accounts profiling metadata for one operation given the mask state
+    /// in effect, returning the operation's cycle cost.
+    fn account(&mut self, op: &MicroOp) -> Result<u64, ArchError> {
+        let p = &mut self.profiler;
+        let cycles = match op {
+            MicroOp::XbMask(_) => {
+                p.ops.xb_mask += 1;
+                1
+            }
+            MicroOp::RowMask(_) => {
+                p.ops.row_mask += 1;
+                1
+            }
+            MicroOp::Write { .. } => {
+                p.ops.write += 1;
+                1
+            }
+            MicroOp::Read { .. } => {
+                p.ops.read += 1;
+                1
+            }
+            MicroOp::LogicH(l) => {
+                p.ops.logic_h += 1;
+                p.gates += l.gate_count();
+                p.row_gates += l.gate_count()
+                    * self.row_mask.len() as u64
+                    * self.xb_mask.len() as u64;
+                1
+            }
+            MicroOp::LogicV { .. } => {
+                p.ops.logic_v += 1;
+                p.gates += 1;
+                p.row_gates += self.xb_mask.len() as u64;
+                1
+            }
+            MicroOp::Move(mv) => {
+                let plan = htree::plan_move(&self.xb_mask, mv, &self.cfg)?;
+                p.ops.mv += 1;
+                p.move_pairs += plan.pairs;
+                p.max_move_level = p.max_move_level.max(plan.tree_level);
+                plan.cycles
+            }
+        };
+        p.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Applies a non-read, non-move operation to the crossbars in
+    /// `chunk` (crossbar ids `chunk_base..`), given mask state.
+    fn apply_local(
+        chunk: &mut [Crossbar],
+        chunk_base: u32,
+        op: &MicroOp,
+        xb_mask: &RangeMask,
+        row_mask: &RangeMask,
+        strict: bool,
+    ) -> Result<(), ArchError> {
+        let chunk_len = chunk.len() as u32;
+        let mut for_each_xb = |f: &mut dyn FnMut(&mut Crossbar) -> Result<(), ArchError>| {
+            for xb in xb_mask.iter() {
+                if xb >= chunk_base && xb < chunk_base + chunk_len {
+                    f(&mut chunk[(xb - chunk_base) as usize])?;
+                }
+            }
+            Ok(())
+        };
+        match op {
+            MicroOp::Write { index, value } => for_each_xb(&mut |xb| {
+                for row in row_mask.iter() {
+                    xb.set_word(row as usize, *index as usize, *value);
+                }
+                Ok(())
+            }),
+            MicroOp::LogicH(l) => {
+                for_each_xb(&mut |xb| xb.apply_hlogic(l, row_mask, strict))
+            }
+            MicroOp::LogicV { gate, row_in, row_out, index } => for_each_xb(&mut |xb| {
+                xb.apply_vlogic(*gate, *row_in as usize, *row_out as usize, *index as usize, strict)
+            }),
+            MicroOp::XbMask(_) | MicroOp::RowMask(_) | MicroOp::Read { .. } | MicroOp::Move(_) => {
+                unreachable!("mask/read/move ops are handled by the dispatcher")
+            }
+        }
+    }
+
+    fn execute_move(&mut self, mv: &pim_arch::MoveOp) -> Result<(), ArchError> {
+        // Validation already done by `account` via plan_move.
+        let transfers: Vec<(usize, u32)> = self
+            .xb_mask
+            .iter()
+            .map(|src| {
+                let value =
+                    self.xbars[src as usize].word(mv.row_src as usize, mv.index_src as usize);
+                ((src as i64 + mv.dist as i64) as usize, value)
+            })
+            .collect();
+        for (dst, value) in transfers {
+            self.xbars[dst].set_word(mv.row_dst as usize, mv.index_dst as usize, value);
+        }
+        Ok(())
+    }
+
+    fn execute_read(&mut self, index: u8) -> Result<u32, ArchError> {
+        if !self.xb_mask.is_single() || !self.row_mask.is_single() {
+            return Err(ArchError::Protocol {
+                reason: format!(
+                    "read requires masks selecting a single row of a single crossbar \
+                     (crossbar mask selects {}, row mask selects {})",
+                    self.xb_mask.len(),
+                    self.row_mask.len()
+                ),
+            });
+        }
+        Ok(self.xbars[self.xb_mask.start() as usize]
+            .word(self.row_mask.start() as usize, index as usize))
+    }
+
+    /// Executes a run of mask/write/logic operations in parallel across
+    /// crossbar chunks. Each worker replays the mask operations locally so
+    /// the mask state evolves identically in every chunk.
+    fn execute_run_parallel(&mut self, run: &[MicroOp]) -> Result<(), ArchError> {
+        let strict = self.strict;
+        let threads = self.threads;
+        let chunk_size = self.cfg.crossbars.div_ceil(threads);
+        let xb_mask0 = self.xb_mask;
+        let row_mask0 = self.row_mask;
+        let results: Vec<Result<(), ArchError>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, chunk) in self.xbars.chunks_mut(chunk_size).enumerate() {
+                let base = (ci * chunk_size) as u32;
+                handles.push(scope.spawn(move |_| {
+                    let mut xb_mask = xb_mask0;
+                    let mut row_mask = row_mask0;
+                    for op in run {
+                        match op {
+                            MicroOp::XbMask(m) => xb_mask = *m,
+                            MicroOp::RowMask(m) => row_mask = *m,
+                            other => Self::apply_local(
+                                chunk, base, other, &xb_mask, &row_mask, strict,
+                            )?,
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("scope panicked");
+        for r in results {
+            r?;
+        }
+        // Replay mask updates on the dispatcher state.
+        for op in run {
+            match op {
+                MicroOp::XbMask(m) => self.xb_mask = *m,
+                MicroOp::RowMask(m) => self.row_mask = *m,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_serial(&mut self, op: &MicroOp) -> Result<Option<u32>, ArchError> {
+        match op {
+            MicroOp::XbMask(m) => {
+                self.xb_mask = *m;
+                Ok(None)
+            }
+            MicroOp::RowMask(m) => {
+                self.row_mask = *m;
+                Ok(None)
+            }
+            MicroOp::Read { index } => self.execute_read(*index).map(Some),
+            MicroOp::Move(mv) => {
+                self.execute_move(mv)?;
+                Ok(None)
+            }
+            other => {
+                let n = self.xbars.len() as u32;
+                Self::apply_local(
+                    &mut self.xbars,
+                    0,
+                    other,
+                    &self.xb_mask,
+                    &self.row_mask,
+                    self.strict,
+                )?;
+                debug_assert!(n as usize == self.xbars.len());
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Backend for PimSimulator {
+    fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    fn execute(&mut self, op: &MicroOp) -> Result<Option<u32>, ArchError> {
+        op.validate(&self.cfg)?;
+        self.account(op)?;
+        self.execute_serial(op)
+    }
+
+    fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
+        // Validate and account first (profiling replays the mask state).
+        let (xb_mask0, row_mask0) = (self.xb_mask, self.row_mask);
+        for op in ops {
+            if matches!(op, MicroOp::Read { .. }) {
+                // Restore mask state consumed by accounting before failing.
+                self.xb_mask = xb_mask0;
+                self.row_mask = row_mask0;
+                return Err(ArchError::Protocol {
+                    reason: "read operations cannot be batched".into(),
+                });
+            }
+            op.validate(&self.cfg)?;
+            // `account` uses the mask state in effect at this op.
+            match op {
+                MicroOp::XbMask(m) => {
+                    self.account(op)?;
+                    self.xb_mask = *m;
+                }
+                MicroOp::RowMask(m) => {
+                    self.account(op)?;
+                    self.row_mask = *m;
+                }
+                _ => {
+                    self.account(op)?;
+                }
+            }
+        }
+        self.xb_mask = xb_mask0;
+        self.row_mask = row_mask0;
+
+        // Execute: split into parallel runs at move boundaries.
+        let mut start = 0;
+        let parallel_ok = self.threads > 1
+            && self.cfg.crossbars >= 2 * self.threads
+            && ops.len() * self.cfg.crossbars >= PARALLEL_WORK_THRESHOLD;
+        for i in 0..=ops.len() {
+            let boundary = i == ops.len() || matches!(ops[i], MicroOp::Move(_));
+            if !boundary {
+                continue;
+            }
+            let run = &ops[start..i];
+            if !run.is_empty() {
+                if parallel_ok {
+                    self.execute_run_parallel(run)?;
+                } else {
+                    for op in run {
+                        self.execute_serial(op)?;
+                    }
+                }
+            }
+            if i < ops.len() {
+                self.execute_serial(&ops[i])?;
+            }
+            start = i + 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::{GateKind, HLogic, MoveOp, VGate};
+
+    fn sim() -> PimSimulator {
+        PimSimulator::new(PimConfig::small()).unwrap()
+    }
+
+    fn ops_write_all(value: u32, index: u8) -> Vec<MicroOp> {
+        vec![MicroOp::Write { index, value }]
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut s = sim();
+        s.execute(&MicroOp::XbMask(RangeMask::single(2))).unwrap();
+        s.execute(&MicroOp::RowMask(RangeMask::single(5))).unwrap();
+        s.execute(&MicroOp::Write { index: 3, value: 0xCAFE_BABE }).unwrap();
+        assert_eq!(s.execute(&MicroOp::Read { index: 3 }).unwrap(), Some(0xCAFE_BABE));
+        // Other crossbars and rows untouched.
+        assert_eq!(s.peek(1, 5, 3), 0);
+        assert_eq!(s.peek(2, 4, 3), 0);
+    }
+
+    #[test]
+    fn read_requires_single_masks() {
+        let mut s = sim();
+        let err = s.execute(&MicroOp::Read { index: 0 }).unwrap_err();
+        assert!(matches!(err, ArchError::Protocol { .. }));
+    }
+
+    #[test]
+    fn masked_write_covers_pattern() {
+        let mut s = sim();
+        s.execute(&MicroOp::XbMask(RangeMask::new(0, 8, 4).unwrap())).unwrap();
+        s.execute(&MicroOp::RowMask(RangeMask::new(1, 61, 4).unwrap())).unwrap();
+        s.execute(&MicroOp::Write { index: 7, value: 42 }).unwrap();
+        for xb in 0..16 {
+            for row in 0..64 {
+                let expect = [0, 4, 8].contains(&xb) && row % 4 == 1;
+                assert_eq!(s.peek(xb, row, 7) == 42, expect, "xb {xb} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn logic_runs_on_masked_crossbars_only() {
+        let mut s = sim();
+        let cfg = s.config().clone();
+        s.execute(&MicroOp::XbMask(RangeMask::single(3))).unwrap();
+        s.execute(&MicroOp::LogicH(HLogic::init_reg(true, 0, &cfg).unwrap())).unwrap();
+        assert_eq!(s.peek(3, 0, 0), u32::MAX);
+        assert_eq!(s.peek(2, 0, 0), 0);
+    }
+
+    #[test]
+    fn move_transfers_between_crossbars() {
+        let mut s = sim();
+        s.poke(1, 9, 4, 0x1111_2222);
+        s.poke(5, 9, 4, 0x3333_4444);
+        // Sources {1, 5}, step 4 (power of 4), dist +1.
+        s.execute(&MicroOp::XbMask(RangeMask::new(1, 5, 4).unwrap())).unwrap();
+        s.execute(&MicroOp::Move(MoveOp {
+            dist: 1,
+            row_src: 9,
+            row_dst: 11,
+            index_src: 4,
+            index_dst: 6,
+        }))
+        .unwrap();
+        assert_eq!(s.peek(2, 11, 6), 0x1111_2222);
+        assert_eq!(s.peek(6, 11, 6), 0x3333_4444);
+        assert_eq!(s.profiler().move_pairs, 2);
+        // Parallel within leaf groups: one cycle.
+        assert_eq!(s.profiler().cycles, 2); // 1 mask + 1 move
+    }
+
+    #[test]
+    fn move_rejects_bad_patterns() {
+        let mut s = sim();
+        s.execute(&MicroOp::XbMask(RangeMask::new(0, 6, 2).unwrap())).unwrap();
+        let err = s
+            .execute(&MicroOp::Move(MoveOp {
+                dist: 1,
+                row_src: 0,
+                row_dst: 0,
+                index_src: 0,
+                index_dst: 0,
+            }))
+            .unwrap_err();
+        assert!(matches!(err, ArchError::InvalidMove { .. }));
+    }
+
+    #[test]
+    fn profiler_counts_types_and_gates() {
+        let mut s = sim();
+        let cfg = s.config().clone();
+        s.execute(&MicroOp::XbMask(RangeMask::dense(0, 16).unwrap())).unwrap();
+        s.execute(&MicroOp::RowMask(RangeMask::dense(0, 64).unwrap())).unwrap();
+        s.execute(&MicroOp::LogicH(HLogic::init_reg(true, 1, &cfg).unwrap())).unwrap();
+        s.execute(&MicroOp::LogicH(
+            HLogic::parallel(GateKind::Not, 0, 0, 1, &cfg).unwrap(),
+        ))
+        .unwrap();
+        let p = s.profiler();
+        assert_eq!(p.ops.xb_mask, 1);
+        assert_eq!(p.ops.row_mask, 1);
+        assert_eq!(p.ops.logic_h, 2);
+        assert_eq!(p.gates, 64); // two 32-gate partition-parallel ops
+        assert_eq!(p.row_gates, 64 * 64 * 16);
+        assert_eq!(p.cycles, 4);
+    }
+
+    #[test]
+    fn vertical_logic_applies_across_masked_crossbars() {
+        let mut s = sim();
+        s.poke(0, 3, 2, 77);
+        s.poke(9, 3, 2, 0xFF);
+        s.execute(&MicroOp::LogicV { gate: VGate::Init1, row_in: 0, row_out: 8, index: 2 })
+            .unwrap();
+        s.execute(&MicroOp::LogicV { gate: VGate::Not, row_in: 3, row_out: 8, index: 2 })
+            .unwrap();
+        assert_eq!(s.peek(0, 8, 2), !77);
+        assert_eq!(s.peek(9, 8, 2), !0xFF);
+    }
+
+    #[test]
+    fn batch_matches_serial_execution() {
+        let cfg = PimConfig::small().with_crossbars(64); // enough for threads
+        let mut batch_ops: Vec<MicroOp> = Vec::new();
+        batch_ops.push(MicroOp::XbMask(RangeMask::new(0, 62, 2).unwrap()));
+        batch_ops.push(MicroOp::RowMask(RangeMask::new(0, 60, 4).unwrap()));
+        batch_ops.extend(ops_write_all(0xF0F0_F0F0, 0));
+        batch_ops.push(MicroOp::LogicH(HLogic::init_reg(true, 1, &cfg).unwrap()));
+        batch_ops
+            .push(MicroOp::LogicH(HLogic::parallel(GateKind::Not, 0, 0, 1, &cfg).unwrap()));
+        batch_ops.push(MicroOp::XbMask(RangeMask::new(1, 33, 4).unwrap()));
+        batch_ops.push(MicroOp::Move(MoveOp {
+            dist: 2,
+            row_src: 0,
+            row_dst: 1,
+            index_src: 1,
+            index_dst: 2,
+        }));
+        batch_ops.push(MicroOp::LogicH(HLogic::init_reg(false, 3, &cfg).unwrap()));
+        // Duplicate the logic tail to cross the parallel work threshold.
+        for _ in 0..600 {
+            batch_ops.push(MicroOp::LogicH(HLogic::init_reg(true, 4, &cfg).unwrap()));
+            batch_ops
+                .push(MicroOp::LogicH(HLogic::parallel(GateKind::Not, 0, 0, 4, &cfg).unwrap()));
+        }
+
+        let mut serial = PimSimulator::new(cfg.clone()).unwrap();
+        let mut batch = PimSimulator::new(cfg.clone()).unwrap();
+        for op in &batch_ops {
+            serial.execute(op).unwrap();
+        }
+        batch.execute_batch(&batch_ops).unwrap();
+        for xb in 0..cfg.crossbars {
+            for row in 0..cfg.rows {
+                for reg in 0..8 {
+                    assert_eq!(
+                        serial.peek(xb, row, reg),
+                        batch.peek(xb, row, reg),
+                        "mismatch at xb {xb} row {row} reg {reg}"
+                    );
+                }
+            }
+        }
+        assert_eq!(serial.profiler().cycles, batch.profiler().cycles);
+        assert_eq!(serial.profiler().ops, batch.profiler().ops);
+        assert_eq!(serial.profiler().gates, batch.profiler().gates);
+    }
+
+    #[test]
+    fn batch_rejects_reads() {
+        let mut s = sim();
+        let err = s.execute_batch(&[MicroOp::Read { index: 0 }]).unwrap_err();
+        assert!(matches!(err, ArchError::Protocol { .. }));
+    }
+
+    #[test]
+    fn strict_mode_propagates_from_batches() {
+        let mut s = sim();
+        let cfg = s.config().clone();
+        let not = MicroOp::LogicH(HLogic::parallel(GateKind::Not, 0, 0, 1, &cfg).unwrap());
+        assert!(s.execute_batch(std::slice::from_ref(&not)).is_err());
+        s.set_strict(false);
+        assert!(s.execute_batch(std::slice::from_ref(&not)).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_geometry_ops() {
+        let mut s = sim();
+        assert!(s.execute(&MicroOp::Write { index: 32, value: 0 }).is_err());
+        assert!(s.execute(&MicroOp::XbMask(RangeMask::single(99))).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pim_arch::{ColAddr, GateKind, HLogic};
+    use proptest::prelude::*;
+
+    fn arbitrary_op(cfg: &PimConfig, seed: (u8, u8, u8, u8, u8, u8, u8)) -> Option<MicroOp> {
+        let (kind, a, b, c, d, e, f) = seed;
+        let regs = cfg.regs as u8;
+        let rows = cfg.rows as u32;
+        let xbs = cfg.crossbars as u32;
+        Some(match kind % 5 {
+            0 => MicroOp::XbMask(RangeMask::strided(
+                a as u32 % xbs,
+                1 + b as u32 % 3,
+                1 + c as u32 % 2,
+            )
+            .ok()
+            .filter(|m| m.stop() < xbs)?),
+            1 => MicroOp::RowMask(
+                RangeMask::strided(a as u32 % rows, 1 + b as u32 % 4, 1 + c as u32 % 3)
+                    .ok()
+                    .filter(|m| m.stop() < rows)?,
+            ),
+            2 => MicroOp::Write { index: a % regs, value: u32::from_le_bytes([b, c, d, e]) },
+            3 => MicroOp::LogicH(
+                HLogic::strided(
+                    [GateKind::Init0, GateKind::Init1, GateKind::Not, GateKind::Nor]
+                        [f as usize % 4],
+                    ColAddr::new(a % 8, b % regs),
+                    ColAddr::new(a % 8 + c % 4, d % regs),
+                    ColAddr::new(a % 8 + e % 4, f % regs),
+                    (a % 8 + e % 4) + (c % 3) * 8,
+                    8,
+                    cfg,
+                )
+                .ok()?,
+            ),
+            _ => MicroOp::LogicV {
+                gate: [VGate::Init0, VGate::Init1, pim_arch::VGate::Not][a as usize % 3],
+                row_in: b as u32 % rows,
+                row_out: c as u32 % rows,
+                index: d % regs,
+            },
+        })
+    }
+
+    use pim_arch::VGate;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random micro-operation programs: batched (parallel) execution
+        /// leaves the memory in exactly the same state as serial execution,
+        /// with identical profiling counters.
+        #[test]
+        fn batch_equals_serial_fuzz(
+            seeds in proptest::collection::vec(any::<(u8, u8, u8, u8, u8, u8, u8)>(), 1..40),
+        ) {
+            let cfg = PimConfig::small().with_crossbars(32).with_rows(16);
+            let ops: Vec<MicroOp> =
+                seeds.iter().filter_map(|&s| arbitrary_op(&cfg, s)).collect();
+            prop_assume!(!ops.is_empty());
+            let mut serial = PimSimulator::new(cfg.clone()).unwrap();
+            let mut batch = PimSimulator::new(cfg.clone()).unwrap();
+            serial.set_strict(false); // random gates may hit uninitialized cells
+            batch.set_strict(false);
+            for op in &ops {
+                serial.execute(op).unwrap();
+            }
+            batch.execute_batch(&ops).unwrap();
+            for xb in 0..cfg.crossbars {
+                for row in 0..cfg.rows {
+                    for reg in 0..cfg.regs {
+                        prop_assert_eq!(
+                            serial.peek(xb, row, reg),
+                            batch.peek(xb, row, reg),
+                            "xb {} row {} reg {}", xb, row, reg
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(serial.profiler().cycles, batch.profiler().cycles);
+            prop_assert_eq!(serial.profiler().ops, batch.profiler().ops);
+        }
+    }
+}

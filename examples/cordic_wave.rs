@@ -1,0 +1,47 @@
+//! CORDIC trigonometry inside the memory (§VI-A "CORDIC Sine/Cosine"):
+//! computes a sine table for a full wave using only PIM tensor operations
+//! and renders it as ASCII art, comparing against the host's `sin`.
+//!
+//! Run with: `cargo run --release --example cordic_wave`
+
+use pypim::{Device, PimConfig, Result};
+
+fn main() -> Result<()> {
+    let dev = Device::new(PimConfig::small())?;
+    let n = 64;
+    // Angles across [-pi/2, pi/2] (the CORDIC convergence domain).
+    let angles: Vec<f32> = (0..n)
+        .map(|i| -std::f32::consts::FRAC_PI_2 + std::f32::consts::PI * i as f32 / (n - 1) as f32)
+        .collect();
+    let theta = dev.from_slice_f32(&angles)?;
+
+    dev.reset_counters();
+    let (sin_t, cos_t) = theta.sin_cos()?;
+    let cycles = dev.cycles();
+
+    let sin_v = sin_t.to_vec_f32()?;
+    let cos_v = cos_t.to_vec_f32()?;
+
+    println!("CORDIC sine across [-π/2, π/2] ({n} angles, {cycles} PIM cycles):\n");
+    let width = 41;
+    for (i, &a) in angles.iter().enumerate() {
+        let col = ((sin_v[i] + 1.0) / 2.0 * (width - 1) as f32).round() as usize;
+        let mut line = vec![b' '; width];
+        line[width / 2] = b'|';
+        line[col] = b'*';
+        println!("{:>6.2} {}", a, String::from_utf8(line).expect("ascii"));
+    }
+
+    // Accuracy report vs the host libm.
+    let mut max_err = 0f32;
+    for (i, &a) in angles.iter().enumerate() {
+        max_err = max_err.max((sin_v[i] - a.sin()).abs());
+        max_err = max_err.max((cos_v[i] - a.cos()).abs());
+    }
+    println!("\nmax |error| vs host sin/cos: {max_err:.2e}");
+    println!("identity check: sin²+cos² ∈ [{:.6}, {:.6}]",
+        sin_v.iter().zip(&cos_v).map(|(s, c)| s * s + c * c).fold(f32::MAX, f32::min),
+        sin_v.iter().zip(&cos_v).map(|(s, c)| s * s + c * c).fold(f32::MIN, f32::max),
+    );
+    Ok(())
+}

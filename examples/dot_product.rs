@@ -1,0 +1,58 @@
+//! Hybrid CPU–PIM development (§V-A): a dot product where the
+//! element-parallel multiply and the logarithmic reduction run inside the
+//! memory, composed with ordinary Rust control flow — plus a comparison
+//! tensor workload (counting elements above a threshold) mixing dtypes.
+//!
+//! Run with: `cargo run --release --example dot_product`
+
+use pypim::{Device, PimConfig, RegOp, Result};
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<()> {
+    let dev = Device::new(PimConfig::small())?;
+    let n = 512;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let av: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let bv: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+
+    let a = dev.from_slice_f32(&av)?;
+    let b = dev.from_slice_f32(&bv)?;
+
+    // dot(a, b): element-parallel multiply, then log-time sum.
+    dev.reset_counters();
+    let dot = (&a * &b)?.sum_f32()?;
+    println!("dot(a, b) = {dot:.4}  ({} PIM cycles)", dev.cycles());
+
+    // Host-side reference using the same pairwise reduction order (float
+    // addition is not associative, so mirror the in-memory tree).
+    let mut tree: Vec<f32> = av.iter().zip(&bv).map(|(x, y)| x * y).collect();
+    tree.resize(tree.len().next_power_of_two(), 0.0);
+    while tree.len() > 1 {
+        let half = tree.len() / 2;
+        tree = (0..half).map(|i| tree[i] + tree[i + half]).collect();
+    }
+    println!("host pairwise reference = {:.4}", tree[0]);
+    assert_eq!(dot, tree[0], "in-memory reduction must match the host tree");
+
+    // Count elements above a threshold: comparison produces an int32 0/1
+    // tensor that sums directly.
+    let threshold = dev.full_f32(n, 1.0)?;
+    let above = a.gt(&threshold)?; // int32 zeros/ones
+    let count = above.sum_i32()?;
+    let expect = av.iter().filter(|&&x| x > 1.0).count() as i32;
+    println!("elements > 1.0: {count} (host: {expect})");
+    assert_eq!(count, expect);
+
+    // The same mask drives a select: clamp a to at most 1.0.
+    let clamped = above.select(&threshold, &a)?;
+    let cv = clamped.to_vec_f32()?;
+    assert!(cv.iter().all(|&x| x <= 1.0));
+    println!("clamp via mux: max = {:.4}", cv.iter().fold(f32::MIN, |m, &x| m.max(x)));
+
+    // Integer path: parity count via bitwise ops.
+    let ints = dev.from_slice_i32(&(0..n as i32).map(|i| i * 7 + 3).collect::<Vec<_>>())?;
+    let one = dev.full_i32(n, 1)?;
+    let odd_mask = ints.binary(RegOp::And, &one)?;
+    println!("odd values: {} / {n}", odd_mask.sum_i32()?);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Data-analytics flavored demo: min–max normalization, polynomial
+//! evaluation (Horner form), and running totals — all element-parallel in
+//! the simulated PIM memory, composing the library's reductions, scans,
+//! and arithmetic.
+//!
+//! Run with: `cargo run --release --example normalize`
+
+use pypim::{Device, PimConfig, Result, Tensor};
+use rand::{Rng, SeedableRng};
+
+/// Evaluates `c0 + c1·x + c2·x² + …` with Horner's method — one fused
+/// multiply-add chain of element-parallel tensor ops.
+fn horner(x: &Tensor, coeffs: &[f32]) -> Result<Tensor> {
+    let dev = x.device().clone();
+    let mut acc = dev.full_f32(x.len(), *coeffs.last().expect("nonempty"))?;
+    for &c in coeffs.iter().rev().skip(1) {
+        acc = (&(&acc * x)? + c)?;
+    }
+    Ok(acc)
+}
+
+fn main() -> Result<()> {
+    let dev = Device::new(PimConfig::small())?;
+    let n = 256;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let raw: Vec<f32> = (0..n).map(|_| rng.gen_range(-40.0f32..120.0)).collect();
+    let x = dev.from_slice_f32(&raw)?;
+
+    // Min–max normalization: (x - min) / (max - min), computed with
+    // logarithmic reductions and broadcast scalars.
+    let (lo, hi) = (x.min_f32()?, x.max_f32()?);
+    let norm = (&(&x - lo)? * (1.0 / (hi - lo)))?;
+    let nv = norm.to_vec_f32()?;
+    println!("normalized {n} samples: min {lo:.2}, max {hi:.2}");
+    println!(
+        "  normalized range: [{:.4}, {:.4}]",
+        nv.iter().fold(f32::MAX, |a, &b| a.min(b)),
+        nv.iter().fold(f32::MIN, |a, &b| a.max(b)),
+    );
+    assert!(nv.iter().all(|&v| (-1e-6..=1.0 + 1e-6).contains(&v)));
+
+    // Polynomial evaluation on the normalized data: a smooth-step curve
+    // 3t² - 2t³ applied to every element at once.
+    let smooth = horner(&norm, &[0.0, 0.0, 3.0, -2.0])?;
+    let sv = smooth.to_vec_f32()?;
+    for (i, &t) in nv.iter().enumerate().take(4) {
+        println!("  smoothstep({t:.3}) = {:.4}", sv[i]);
+        let expect = 3.0 * t * t + -2.0 * t * t * t;
+        assert!((sv[i] - expect).abs() < 1e-5);
+    }
+
+    // Running totals via the in-memory Hillis–Steele scan.
+    let firsts = x.slice(0, 8)?;
+    let totals = firsts.cumsum()?.to_vec_f32()?;
+    println!("\nfirst 8 samples:   {:?}", &raw[..8].iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!("running totals:    {:?}", totals.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>());
+
+    println!("\ntotal PIM cycles: {}", dev.cycles());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # pypim
+//!
+//! End-to-end digital processing-in-memory (PIM) stack in Rust — a
+//! reproduction of *PyPIM: Integrating Digital Processing-in-Memory from
+//! Microarchitectural Design to Python Tensors* (MICRO 2024).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`arch`] — micro-operation model: configuration, range masks,
+//!   half-gate partition encoding, 64-bit wire format, H-tree addressing.
+//! * [`sim`] — bit-accurate PIM simulator (drop-in replacement for a chip).
+//! * [`isa`] — warps-of-threads instruction set architecture.
+//! * [`driver`] — host driver translating macro-instructions into
+//!   micro-operations (gate-level AritPIM arithmetic, IEEE-754 floats).
+//! * The development library ([`Tensor`], [`Device`], …) — NumPy-like
+//!   tensors with views, reductions, sorting, and CORDIC routines.
+//!
+//! # Quickstart
+//!
+//! The example program from Figure 12 of the paper:
+//!
+//! ```
+//! use pypim::{Device, PimConfig, Tensor};
+//!
+//! fn my_func(a: &Tensor, b: &Tensor) -> pypim::Result<Tensor> {
+//!     // Parallel multiplication and addition across every element.
+//!     Ok((&(a * b)? + a)?)
+//! }
+//!
+//! # fn main() -> pypim::Result<()> {
+//! let dev = Device::new(PimConfig::small())?;
+//! let mut x = dev.zeros_f32(64)?;
+//! let mut y = dev.zeros_f32(64)?;
+//! x.set_f32(4, 8.0)?;  y.set_f32(4, 0.5)?;
+//! x.set_f32(5, 20.0)?; y.set_f32(5, 1.0)?;
+//! x.set_f32(8, 10.0)?; y.set_f32(8, 1.0)?;
+//!
+//! let z = my_func(&x, &y)?;
+//! // Logarithmic-time reduction of the even indices.
+//! assert_eq!(z.slice_step(0, 64, 2)?.sum_f32()?, 32.0); // 8*1.5 + 10*2
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pim_arch as arch;
+pub use pim_driver as driver;
+pub use pim_isa as isa;
+pub use pim_sim as sim;
+
+pub use pim_arch::{PimConfig, RangeMask};
+pub use pypim_core::*;

@@ -1,0 +1,228 @@
+//! The `tests/unit.py` analog of the paper's artifact (§VI-A): every
+//! Table II operation on randomly generated integer and floating-point
+//! tensors, executed through the whole stack (tensor library → ISA → host
+//! driver → micro-operations → bit-accurate simulator, strict mode) and
+//! compared element-wise against native Rust semantics — the same IEEE-754
+//! oracle the paper uses via NumPy.
+
+use pypim::{Device, PimConfig, RegOp, Tensor};
+use rand::{Rng, SeedableRng};
+
+fn device() -> Device {
+    // Tiny geometry keeps the bit-accurate simulation fast; results are
+    // geometry-independent.
+    Device::new(PimConfig::small().with_crossbars(2).with_rows(16)).unwrap()
+}
+
+const N: usize = 24;
+
+fn int_inputs(seed: u64) -> Vec<i32> {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut v: Vec<i32> = (0..N - 4).map(|_| r.gen()).collect();
+    v.extend([0, -1, i32::MIN, i32::MAX]);
+    v
+}
+
+fn float_inputs(seed: u64) -> Vec<f32> {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut v: Vec<f32> = (0..N - 6)
+        .map(|_| f32::from_bits(r.gen::<u32>()))
+        .map(|f| if f.is_nan() { 1.5 } else { f })
+        .collect();
+    v.extend([0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, 1e-40, f32::MAX]);
+    v
+}
+
+fn pim_int(dev: &Device, v: &[i32]) -> Tensor {
+    dev.from_slice_i32(v).unwrap()
+}
+
+fn pim_float(dev: &Device, v: &[f32]) -> Tensor {
+    dev.from_slice_f32(v).unwrap()
+}
+
+#[test]
+fn int_arithmetic_matches_native() {
+    let dev = device();
+    let (av, bv) = (int_inputs(1), int_inputs(2));
+    let (a, b) = (pim_int(&dev, &av), pim_int(&dev, &bv));
+    let cases: [(RegOp, fn(i32, i32) -> i32); 5] = [
+        (RegOp::Add, |x, y| x.wrapping_add(y)),
+        (RegOp::Sub, |x, y| x.wrapping_sub(y)),
+        (RegOp::Mul, |x, y| x.wrapping_mul(y)),
+        (RegOp::Div, |x, y| if y == 0 { 0 } else { x.wrapping_div(y) }),
+        (RegOp::Mod, |x, y| if y == 0 { x } else { x.wrapping_rem(y) }),
+    ];
+    for (op, native) in cases {
+        let got = a.binary(op, &b).unwrap().to_vec_i32().unwrap();
+        for i in 0..N {
+            assert_eq!(got[i], native(av[i], bv[i]), "{op}({}, {})", av[i], bv[i]);
+        }
+    }
+}
+
+#[test]
+fn int_unary_matches_native() {
+    let dev = device();
+    let av = int_inputs(3);
+    let a = pim_int(&dev, &av);
+    let neg = (-&a).unwrap().to_vec_i32().unwrap();
+    let abs = a.abs().unwrap().to_vec_i32().unwrap();
+    let sign = a.sign().unwrap().to_vec_i32().unwrap();
+    let zero = a.zero_mask().unwrap().to_vec_i32().unwrap();
+    for i in 0..N {
+        assert_eq!(neg[i], av[i].wrapping_neg(), "neg({})", av[i]);
+        assert_eq!(abs[i], av[i].wrapping_abs(), "abs({})", av[i]);
+        assert_eq!(sign[i], av[i].signum(), "sign({})", av[i]);
+        assert_eq!(zero[i], (av[i] == 0) as i32, "zero({})", av[i]);
+    }
+}
+
+#[test]
+fn int_comparisons_match_native() {
+    let dev = device();
+    let (mut av, bv) = (int_inputs(4), int_inputs(5));
+    av[0] = bv[0]; // force an equal pair
+    let (a, b) = (pim_int(&dev, &av), pim_int(&dev, &bv));
+    let cases: [(RegOp, fn(i32, i32) -> bool); 6] = [
+        (RegOp::Lt, |x, y| x < y),
+        (RegOp::Le, |x, y| x <= y),
+        (RegOp::Gt, |x, y| x > y),
+        (RegOp::Ge, |x, y| x >= y),
+        (RegOp::Eq, |x, y| x == y),
+        (RegOp::Ne, |x, y| x != y),
+    ];
+    for (op, native) in cases {
+        let got = a.binary(op, &b).unwrap().to_vec_i32().unwrap();
+        for i in 0..N {
+            assert_eq!(got[i], native(av[i], bv[i]) as i32, "{op}({}, {})", av[i], bv[i]);
+        }
+    }
+}
+
+#[test]
+fn float_arithmetic_matches_ieee() {
+    let dev = device();
+    let (av, bv) = (float_inputs(6), float_inputs(7));
+    let (a, b) = (pim_float(&dev, &av), pim_float(&dev, &bv));
+    let cases: [(RegOp, fn(f32, f32) -> f32); 4] = [
+        (RegOp::Add, |x, y| x + y),
+        (RegOp::Sub, |x, y| x - y),
+        (RegOp::Mul, |x, y| x * y),
+        (RegOp::Div, |x, y| x / y),
+    ];
+    for (op, native) in cases {
+        let got = a.binary(op, &b).unwrap().to_vec_f32().unwrap();
+        for i in 0..N {
+            let expect = native(av[i], bv[i]);
+            if expect.is_nan() {
+                assert!(got[i].is_nan(), "{op}({}, {}) should be NaN", av[i], bv[i]);
+            } else {
+                assert_eq!(
+                    got[i].to_bits(),
+                    expect.to_bits(),
+                    "{op}({}, {}): got {} expected {}",
+                    av[i],
+                    bv[i],
+                    got[i],
+                    expect
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn float_comparisons_follow_ieee() {
+    let dev = device();
+    let mut av = float_inputs(8);
+    let mut bv = float_inputs(9);
+    av[0] = f32::NAN; // NaN is unordered
+    bv[1] = f32::NAN;
+    av[2] = 0.0;
+    bv[2] = -0.0; // -0 == +0
+    let (a, b) = (pim_float(&dev, &av), pim_float(&dev, &bv));
+    let cases: [(RegOp, fn(f32, f32) -> bool); 6] = [
+        (RegOp::Lt, |x, y| x < y),
+        (RegOp::Le, |x, y| x <= y),
+        (RegOp::Gt, |x, y| x > y),
+        (RegOp::Ge, |x, y| x >= y),
+        (RegOp::Eq, |x, y| x == y),
+        (RegOp::Ne, |x, y| x != y),
+    ];
+    for (op, native) in cases {
+        let got = a.binary(op, &b).unwrap().to_vec_i32().unwrap();
+        for i in 0..N {
+            assert_eq!(got[i], native(av[i], bv[i]) as i32, "{op}({}, {})", av[i], bv[i]);
+        }
+    }
+}
+
+#[test]
+fn bitwise_ops_match_native() {
+    let dev = device();
+    let (av, bv) = (int_inputs(10), int_inputs(11));
+    let (a, b) = (pim_int(&dev, &av), pim_int(&dev, &bv));
+    let and = a.bit_and(&b).unwrap().to_vec_i32().unwrap();
+    let or = a.bit_or(&b).unwrap().to_vec_i32().unwrap();
+    let xor = a.bit_xor(&b).unwrap().to_vec_i32().unwrap();
+    let not = a.bit_not().unwrap().to_vec_i32().unwrap();
+    for i in 0..N {
+        assert_eq!(and[i], av[i] & bv[i]);
+        assert_eq!(or[i], av[i] | bv[i]);
+        assert_eq!(xor[i], av[i] ^ bv[i]);
+        assert_eq!(not[i], !av[i]);
+    }
+}
+
+#[test]
+fn mux_selects_per_element() {
+    let dev = device();
+    let cond_v: Vec<i32> = (0..N as i32).map(|i| i % 3 - 1).collect(); // -1, 0, 1, ...
+    let (av, bv) = (float_inputs(12), float_inputs(13));
+    let cond = pim_int(&dev, &cond_v);
+    let (a, b) = (pim_float(&dev, &av), pim_float(&dev, &bv));
+    let got = cond.select(&a, &b).unwrap().to_vec_f32().unwrap();
+    for i in 0..N {
+        let expect = if cond_v[i] != 0 { av[i] } else { bv[i] };
+        assert_eq!(got[i].to_bits(), expect.to_bits(), "mux[{i}]");
+    }
+}
+
+#[test]
+fn scalar_operands_broadcast() {
+    let dev = device();
+    let av = float_inputs(14);
+    let a = pim_float(&dev, &av);
+    let got = (&a * 2.5f32).unwrap().to_vec_f32().unwrap();
+    for i in 0..N {
+        let expect = av[i] * 2.5;
+        if expect.is_nan() {
+            assert!(got[i].is_nan());
+        } else {
+            assert_eq!(got[i].to_bits(), expect.to_bits(), "{} * 2.5", av[i]);
+        }
+    }
+    let iv = int_inputs(15);
+    let t = pim_int(&dev, &iv);
+    let got = (&t + 1000i32).unwrap().to_vec_i32().unwrap();
+    for i in 0..N {
+        assert_eq!(got[i], iv[i].wrapping_add(1000));
+    }
+}
+
+#[test]
+fn float_sign_and_zero() {
+    let dev = device();
+    let av = vec![3.5f32, -2.0, 0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, 1e-40, -1e-40];
+    let a = pim_float(&dev, &av);
+    let sign = a.sign().unwrap().to_vec_f32().unwrap();
+    let zero = a.zero_mask().unwrap().to_vec_f32().unwrap();
+    let abs = a.abs().unwrap().to_vec_f32().unwrap();
+    let expect_sign = [1.0f32, -1.0, 0.0, -0.0, 1.0, -1.0, 1.0, -1.0];
+    for i in 0..av.len() {
+        assert_eq!(sign[i].to_bits(), expect_sign[i].to_bits(), "sign({})", av[i]);
+        assert_eq!(zero[i], (av[i] == 0.0) as i32 as f32, "zero({})", av[i]);
+        assert_eq!(abs[i].to_bits(), av[i].abs().to_bits(), "abs({})", av[i]);
+    }
+}

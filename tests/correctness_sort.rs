@@ -1,0 +1,99 @@
+//! The `tests/sort.py` analog (§VI-A "Sorting"): bitonic sorting of random
+//! tensors — floats and ints, power-of-two and ragged sizes, dense tensors
+//! and strided views, intra-warp and multi-warp — validated against the
+//! host's sort.
+
+use pypim::{Device, PimConfig};
+use rand::{Rng, SeedableRng};
+
+fn device() -> Device {
+    Device::new(PimConfig::small().with_crossbars(8).with_rows(16)).unwrap()
+}
+
+#[test]
+fn sorts_floats_of_many_sizes() {
+    let dev = device();
+    let mut r = rand::rngs::StdRng::seed_from_u64(7);
+    for n in [1usize, 2, 3, 5, 8, 17, 32, 63, 64, 100] {
+        let vals: Vec<f32> = (0..n).map(|_| r.gen_range(-1e6f32..1e6)).collect();
+        let t = dev.from_slice_f32(&vals).unwrap();
+        let got = t.sorted().unwrap().to_vec_f32().unwrap();
+        let mut expect = vals.clone();
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(got, expect, "sort of {n} floats");
+        // The input tensor is untouched (sorted() is out-of-place).
+        assert_eq!(t.to_vec_f32().unwrap(), vals);
+    }
+}
+
+#[test]
+fn sorts_ints() {
+    let dev = device();
+    let mut r = rand::rngs::StdRng::seed_from_u64(8);
+    for n in [4usize, 16, 50, 128] {
+        let vals: Vec<i32> = (0..n).map(|_| r.gen()).collect();
+        let t = dev.from_slice_i32(&vals).unwrap();
+        let got = t.sorted().unwrap().to_vec_i32().unwrap();
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "sort of {n} ints");
+    }
+}
+
+#[test]
+fn sorts_with_duplicates_and_specials() {
+    let dev = device();
+    let vals = vec![
+        2.5f32, -0.0, 2.5, 0.0, f32::INFINITY, -1.0, f32::NEG_INFINITY, 2.5, -1.0, 1e-40,
+    ];
+    let t = dev.from_slice_f32(&vals).unwrap();
+    let got = t.sorted().unwrap().to_vec_f32().unwrap();
+    let mut expect = vals.clone();
+    expect.sort_by(f32::total_cmp);
+    // -0.0 and +0.0 compare equal under IEEE; accept either order.
+    for (g, e) in got.iter().zip(&expect) {
+        assert_eq!(g.partial_cmp(e), Some(std::cmp::Ordering::Equal), "{got:?}");
+    }
+    assert_eq!(got[0], f32::NEG_INFINITY);
+    assert_eq!(*got.last().unwrap(), f32::INFINITY);
+}
+
+#[test]
+fn sorts_views_in_place() {
+    // The paper's interactive session: x[::2].sort() touches only the
+    // even-indexed elements.
+    let dev = device();
+    let vals: Vec<f32> = vec![9.0, 1.0, 7.0, 2.0, 5.0, 3.0, 3.0, 4.0, 1.0, 5.0];
+    let x = dev.from_slice_f32(&vals).unwrap();
+    let mut even = x.even().unwrap();
+    even.sort().unwrap();
+    let after = x.to_vec_f32().unwrap();
+    assert_eq!(after, vec![1.0, 1.0, 3.0, 2.0, 5.0, 3.0, 7.0, 4.0, 9.0, 5.0]);
+}
+
+#[test]
+fn sorts_multi_warp_tensors() {
+    // Sorting across all 8 warps exercises inter-crossbar movement.
+    let dev = device();
+    let n = 128; // all threads
+    let mut r = rand::rngs::StdRng::seed_from_u64(9);
+    let vals: Vec<f32> = (0..n).map(|_| r.gen_range(-50.0f32..50.0)).collect();
+    let t = dev.from_slice_f32(&vals).unwrap();
+    dev.reset_counters();
+    let got = t.sorted().unwrap().to_vec_f32().unwrap();
+    let mut expect = vals.clone();
+    expect.sort_by(f32::total_cmp);
+    assert_eq!(got, expect);
+    assert!(dev.profiler().ops.mv > 0, "multi-warp sort must move data between crossbars");
+}
+
+#[test]
+fn sorted_already_sorted_and_reverse() {
+    let dev = device();
+    let asc: Vec<i32> = (0..32).collect();
+    let desc: Vec<i32> = (0..32).rev().collect();
+    for vals in [asc.clone(), desc] {
+        let t = dev.from_slice_i32(&vals).unwrap();
+        assert_eq!(t.sorted().unwrap().to_vec_i32().unwrap(), asc);
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end integration (§V-C): the paper's Figure 12 program, the
+//! interactive artifact session (Appendix G), CORDIC trigonometry, the
+//! profiler, the routine cache, and cross-mode consistency.
+
+use pypim::{Device, ParallelismMode, PimConfig, Result, Tensor};
+
+fn my_func(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    // return a * b + a
+    &(a * b)? + a
+}
+
+#[test]
+fn figure12_program() {
+    let dev = Device::new(PimConfig::small()).unwrap();
+    let n = 1024; // scaled-down 2^20
+    let mut x = dev.zeros_f32(n).unwrap();
+    let mut y = dev.zeros_f32(n).unwrap();
+    x.set_f32(4, 8.0).unwrap();
+    y.set_f32(4, 0.5).unwrap();
+    x.set_f32(5, 20.0).unwrap();
+    y.set_f32(5, 1.0).unwrap();
+    x.set_f32(8, 10.0).unwrap();
+    y.set_f32(8, 1.0).unwrap();
+    let z = my_func(&x, &y).unwrap();
+    assert_eq!(z.get_f32(4).unwrap(), 12.0); // 8*0.5 + 8
+    assert_eq!(z.get_f32(5).unwrap(), 40.0); // 20*1 + 20
+    assert_eq!(z.get_f32(8).unwrap(), 20.0); // 10*1 + 10
+    assert_eq!(z.get_f32(0).unwrap(), 0.0);
+    // print(z[::2].sum())  ->  32.0 = 8 * 1.5 + 10 * 2
+    assert_eq!(z.slice_step(0, n, 2).unwrap().sum_f32().unwrap(), 32.0);
+}
+
+#[test]
+fn appendix_interactive_session() {
+    // >>> x = pim.zeros(8, dtype=pim.float32)
+    let dev = Device::new(PimConfig::small()).unwrap();
+    let mut x = dev.zeros_f32(8).unwrap();
+    assert_eq!(x.to_vec_f32().unwrap(), vec![0.0; 8]);
+    // >>> x[2] = 2.5; x[3] = 1.25; x[4] = 2.25
+    x.set_f32(2, 2.5).unwrap();
+    x.set_f32(3, 1.25).unwrap();
+    x.set_f32(4, 2.25).unwrap();
+    assert_eq!(
+        x.to_vec_f32().unwrap(),
+        vec![0.0, 0.0, 2.5, 1.25, 2.25, 0.0, 0.0, 0.0]
+    );
+    // >>> x[::2]
+    let view = x.even().unwrap();
+    assert_eq!(view.to_vec_f32().unwrap(), vec![0.0, 2.5, 2.25, 0.0]);
+    // >>> x[::2].sum()  ->  4.75
+    assert_eq!(view.sum_f32().unwrap(), 4.75);
+    // >>> x[::2].sort()  ->  [0.0, 0.0, 2.25, 2.5]
+    let mut view = x.even().unwrap();
+    view.sort().unwrap();
+    assert_eq!(view.to_vec_f32().unwrap(), vec![0.0, 0.0, 2.25, 2.5]);
+    // Odd elements untouched.
+    assert_eq!(x.get_f32(3).unwrap(), 1.25);
+}
+
+#[test]
+fn cordic_sine_cosine_accuracy() {
+    let dev = Device::new(PimConfig::small()).unwrap();
+    let angles: Vec<f32> = (0..33).map(|i| -1.57 + 0.098 * i as f32).collect();
+    let t = dev.from_slice_f32(&angles).unwrap();
+    let (sin_t, cos_t) = t.sin_cos().unwrap();
+    let sv = sin_t.to_vec_f32().unwrap();
+    let cv = cos_t.to_vec_f32().unwrap();
+    for (i, &a) in angles.iter().enumerate() {
+        assert!(
+            (sv[i] - a.sin()).abs() < 1e-5,
+            "sin({a}) = {} (host {})",
+            sv[i],
+            a.sin()
+        );
+        assert!(
+            (cv[i] - a.cos()).abs() < 1e-5,
+            "cos({a}) = {} (host {})",
+            cv[i],
+            a.cos()
+        );
+    }
+}
+
+#[test]
+fn profiler_reports_cycles_and_distance() {
+    let dev = Device::new(PimConfig::small()).unwrap();
+    let a = dev.full_i32(64, 3).unwrap();
+    let b = dev.full_i32(64, 4).unwrap();
+    dev.reset_counters();
+    let _ = (&a * &b).unwrap();
+    let p = dev.profiler();
+    assert!(p.cycles > 5000, "int multiply should cost thousands of cycles");
+    assert_eq!(p.ops.total(), p.cycles, "1 cycle per micro-op when no moves serialize");
+    let issued = dev.issued();
+    assert!(issued.logic <= issued.total);
+    assert_eq!(issued.total, p.cycles);
+    // Measured within ~10% of the pure-logic bound for multiplication.
+    assert!(issued.overhead_ratio() < 1.10, "ratio {}", issued.overhead_ratio());
+}
+
+#[test]
+fn routine_cache_hits_across_tensors() {
+    let dev = Device::new(PimConfig::small()).unwrap();
+    let a = dev.full_f32(32, 1.5).unwrap();
+    let b = dev.full_f32(32, 2.0).unwrap();
+    let _ = (&a + &b).unwrap();
+    let (h0, m0) = dev.cache_stats();
+    // Same registers again: pure cache hit.
+    let _ = (&a + &b).unwrap();
+    let (h1, m1) = dev.cache_stats();
+    assert_eq!(m1, m0, "no new compilation expected");
+    assert!(h1 > h0);
+}
+
+#[test]
+fn both_parallelism_modes_agree() {
+    for mode in [ParallelismMode::BitSerial, ParallelismMode::BitParallel] {
+        let dev = Device::with_mode(PimConfig::small(), mode).unwrap();
+        let a = dev.from_slice_i32(&[1, -5, 100, i32::MAX, -77, 0]).unwrap();
+        let b = dev.from_slice_i32(&[9, 5, -100, 1, 77, 0]).unwrap();
+        let sum = (&a + &b).unwrap().to_vec_i32().unwrap();
+        assert_eq!(sum, vec![10, 0, 0, i32::MIN, 0, 0], "{mode:?}");
+    }
+}
+
+#[test]
+fn parallel_mode_is_faster() {
+    let cycles = |mode| {
+        let dev = Device::with_mode(PimConfig::small(), mode).unwrap();
+        let a = dev.full_i32(64, 3).unwrap();
+        let b = dev.full_i32(64, 4).unwrap();
+        dev.reset_counters();
+        let _ = (&a + &b).unwrap();
+        dev.cycles()
+    };
+    let serial = cycles(ParallelismMode::BitSerial);
+    let parallel = cycles(ParallelismMode::BitParallel);
+    assert!(
+        parallel * 3 < serial * 2,
+        "partitions should speed addition up by >1.5x ({serial} vs {parallel})"
+    );
+}
+
+#[test]
+fn chained_expression_graph() {
+    chained_expression_graph_impl().unwrap();
+}
+
+fn chained_expression_graph_impl() -> Result<()> {
+    // A larger expression: ((a*b) + (c-d)) / (a + 1), element-wise.
+    let dev = Device::new(PimConfig::small()).unwrap();
+    let av = [1.5f32, -2.0, 1e10, 0.25];
+    let bv = [2.0f32, 3.0, 1e-10, -8.0];
+    let cv = [10.0f32, 0.5, 1.0, 2.0];
+    let dv = [1.0f32, 0.25, -1.0, 6.5];
+    let a = dev.from_slice_f32(&av).unwrap();
+    let b = dev.from_slice_f32(&bv).unwrap();
+    let c = dev.from_slice_f32(&cv).unwrap();
+    let d = dev.from_slice_f32(&dv).unwrap();
+    let out = (&(&(&a * &b)? + &(&c - &d)?)? / &(&a + 1.0f32)?)?;
+    let got = out.to_vec_f32()?;
+    for i in 0..4 {
+        let expect = (av[i] * bv[i] + (cv[i] - dv[i])) / (av[i] + 1.0);
+        assert_eq!(got[i].to_bits(), expect.to_bits(), "element {i}");
+    }
+    Ok(())
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let dev = Device::new(PimConfig::small()).unwrap();
+    let a = dev.zeros_f32(8).unwrap();
+    let b = dev.zeros_f32(9).unwrap();
+    assert!((&a + &b).is_err(), "shape mismatch");
+    let i = dev.zeros_i32(8).unwrap();
+    assert!((&a + &i).is_err(), "dtype mismatch");
+    assert!(a.get_f32(8).is_err(), "index out of bounds");
+    assert!(a.get_i32(0).is_err(), "dtype-checked accessor");
+    let dev2 = Device::new(PimConfig::small()).unwrap();
+    let c = dev2.zeros_f32(8).unwrap();
+    assert!((&a + &c).is_err(), "device mismatch");
+    // Modulo on floats is unsupported (Table II).
+    assert!((&a % &a).is_err());
+}

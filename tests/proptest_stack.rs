@@ -1,0 +1,143 @@
+//! Property-based tests over the whole stack: random programs of tensor
+//! operations executed on the bit-accurate simulator (strict mode) must
+//! match a host-side shadow interpreter bit-for-bit.
+
+use proptest::prelude::*;
+use pypim::{Device, PimConfig, RegOp};
+
+fn device() -> Device {
+    Device::new(PimConfig::small().with_crossbars(2).with_rows(8)).unwrap()
+}
+
+fn apply_int(op: RegOp, a: i32, b: i32) -> i32 {
+    match op {
+        RegOp::Add => a.wrapping_add(b),
+        RegOp::Sub => a.wrapping_sub(b),
+        RegOp::Mul => a.wrapping_mul(b),
+        RegOp::And => a & b,
+        RegOp::Or => a | b,
+        RegOp::Xor => a ^ b,
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random binary-op chains on int tensors match the host.
+    #[test]
+    fn int_op_chains_match(
+        a in proptest::collection::vec(any::<i32>(), 6),
+        b in proptest::collection::vec(any::<i32>(), 6),
+        ops in proptest::collection::vec(0usize..6, 1..5),
+    ) {
+        let table = [RegOp::Add, RegOp::Sub, RegOp::Mul, RegOp::And, RegOp::Or, RegOp::Xor];
+        let dev = device();
+        let mut t = dev.from_slice_i32(&a).unwrap();
+        let rhs = dev.from_slice_i32(&b).unwrap();
+        let mut shadow = a.clone();
+        for &o in &ops {
+            let op = table[o];
+            t = t.binary(op, &rhs).unwrap();
+            for i in 0..shadow.len() {
+                shadow[i] = apply_int(op, shadow[i], b[i]);
+            }
+        }
+        prop_assert_eq!(t.to_vec_i32().unwrap(), shadow);
+    }
+
+    /// Float add/mul on arbitrary bit patterns matches IEEE bit-for-bit
+    /// through the whole stack.
+    #[test]
+    fn float_ops_match_ieee(
+        a_bits in proptest::collection::vec(any::<u32>(), 8),
+        b_bits in proptest::collection::vec(any::<u32>(), 8),
+        which in 0usize..4,
+    ) {
+        let op = [RegOp::Add, RegOp::Sub, RegOp::Mul, RegOp::Div][which];
+        let native: fn(f32, f32) -> f32 = match op {
+            RegOp::Add => |x, y| x + y,
+            RegOp::Sub => |x, y| x - y,
+            RegOp::Mul => |x, y| x * y,
+            _ => |x, y| x / y,
+        };
+        let av: Vec<f32> = a_bits.iter().map(|&x| f32::from_bits(x)).collect();
+        let bv: Vec<f32> = b_bits.iter().map(|&x| f32::from_bits(x)).collect();
+        let dev = device();
+        let a = dev.from_slice_f32(&av).unwrap();
+        let b = dev.from_slice_f32(&bv).unwrap();
+        let got = a.binary(op, &b).unwrap().to_vec_f32().unwrap();
+        for i in 0..8 {
+            let expect = native(av[i], bv[i]);
+            if expect.is_nan() {
+                prop_assert!(got[i].is_nan(), "{op}({:#x}, {:#x})", a_bits[i], b_bits[i]);
+            } else {
+                prop_assert_eq!(got[i].to_bits(), expect.to_bits(),
+                    "{}({:#x}, {:#x})", op, a_bits[i], b_bits[i]);
+            }
+        }
+    }
+
+    /// Slicing a tensor and reading it back equals slicing the host vector.
+    #[test]
+    fn slices_match_host(
+        vals in proptest::collection::vec(any::<i32>(), 1..16),
+        start in 0usize..8,
+        extra in 1usize..16,
+        step in 1usize..5,
+    ) {
+        let dev = device();
+        let t = dev.from_slice_i32(&vals).unwrap();
+        let stop = start + extra;
+        let host: Vec<i32> =
+            vals.iter().copied().skip(start).take(stop.min(vals.len()).saturating_sub(start))
+                .step_by(step).collect();
+        match t.slice_step(start, stop, step) {
+            Ok(v) => prop_assert_eq!(v.to_vec_i32().unwrap(), host),
+            Err(_) => prop_assert!(host.is_empty()),
+        }
+    }
+
+    /// Sorting matches the host sort for arbitrary finite floats.
+    #[test]
+    fn sort_matches_host(vals in proptest::collection::vec(-1000.0f32..1000.0, 1..14)) {
+        let dev = device();
+        let t = dev.from_slice_f32(&vals).unwrap();
+        let got = t.sorted().unwrap().to_vec_f32().unwrap();
+        let mut expect = vals.clone();
+        expect.sort_by(f32::total_cmp);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Int summation matches the host tree exactly (wrapping).
+    #[test]
+    fn int_sum_matches_host(vals in proptest::collection::vec(any::<i32>(), 1..16)) {
+        let dev = device();
+        let t = dev.from_slice_i32(&vals).unwrap();
+        let mut tree = vals.clone();
+        tree.resize(vals.len().next_power_of_two(), 0);
+        while tree.len() > 1 {
+            let half = tree.len() / 2;
+            tree = (0..half).map(|i| tree[i].wrapping_add(tree[i + half])).collect();
+        }
+        prop_assert_eq!(t.sum_i32().unwrap(), tree[0]);
+    }
+
+    /// Select routes bits per element without corruption.
+    #[test]
+    fn select_matches_host(
+        c in proptest::collection::vec(any::<i32>(), 6),
+        a in proptest::collection::vec(any::<u32>(), 6),
+        b in proptest::collection::vec(any::<u32>(), 6),
+    ) {
+        let dev = device();
+        let cond = dev.from_slice_i32(&c).unwrap();
+        let at = dev.from_slice_f32(&a.iter().map(|&x| f32::from_bits(x)).collect::<Vec<_>>()).unwrap();
+        let bt = dev.from_slice_f32(&b.iter().map(|&x| f32::from_bits(x)).collect::<Vec<_>>()).unwrap();
+        let got = cond.select(&at, &bt).unwrap();
+        for i in 0..6 {
+            let expect = if c[i] != 0 { a[i] } else { b[i] };
+            prop_assert_eq!(got.get_raw(i).unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Tensor views and the automatic move-based alignment of §V-A: slicing
+//! semantics, operations between misaligned views (the library's fall-back
+//! copy), shifted materialization, and the memory manager's alignment
+//! behavior.
+
+use pypim::{copy, materialize_like, shifted, Device, PimConfig};
+
+fn device() -> Device {
+    Device::new(PimConfig::small().with_crossbars(4).with_rows(16)).unwrap()
+}
+
+#[test]
+fn slice_semantics_match_python() {
+    let dev = device();
+    let vals: Vec<i32> = (0..20).collect();
+    let t = dev.from_slice_i32(&vals).unwrap();
+    // x[3:17:4]
+    let v = t.slice_step(3, 17, 4).unwrap();
+    assert_eq!(v.to_vec_i32().unwrap(), vec![3, 7, 11, 15]);
+    // Slice of a slice: x[2::2][1::3]
+    let v2 = t.slice_step(2, 20, 2).unwrap().slice_step(1, 9, 3).unwrap();
+    assert_eq!(v2.to_vec_i32().unwrap(), vec![4, 10, 16]);
+    // stop clamps to the length.
+    let v3 = t.slice_step(18, 99, 1).unwrap();
+    assert_eq!(v3.to_vec_i32().unwrap(), vec![18, 19]);
+    // Empty slices error.
+    assert!(t.slice(5, 5).is_err());
+    assert!(t.slice_step(0, 10, 0).is_err());
+}
+
+#[test]
+fn writes_through_views_hit_the_base() {
+    let dev = device();
+    let mut t = dev.zeros_i32(16).unwrap();
+    let mut view = t.slice_step(1, 16, 2).unwrap(); // odd indices
+    for i in 0..view.len() {
+        view.set_i32(i, 100 + i as i32).unwrap();
+    }
+    let base = t.to_vec_i32().unwrap();
+    for i in 0..16 {
+        let expect = if i % 2 == 1 { 100 + (i as i32 - 1) / 2 } else { 0 };
+        assert_eq!(base[i as usize], expect, "index {i}");
+    }
+    // And a direct write through the base is visible in the view.
+    t.set_i32(3, -7).unwrap();
+    assert_eq!(view.get_i32(1).unwrap(), -7);
+}
+
+#[test]
+fn misaligned_views_fall_back_to_copies() {
+    // x[::2] + x[1::2]: the operands live in the same register at
+    // different rows, so the library must move one next to the other.
+    let dev = device();
+    let vals: Vec<f32> = (0..32).map(|i| i as f32).collect();
+    let x = dev.from_slice_f32(&vals).unwrap();
+    let sum = (&x.even().unwrap() + &x.odd().unwrap()).unwrap();
+    let got = sum.to_vec_f32().unwrap();
+    for i in 0..16 {
+        assert_eq!(got[i], (2 * i + 2 * i + 1) as f32, "pair {i}");
+    }
+}
+
+#[test]
+fn operations_between_different_allocations() {
+    // Tensors allocated at different times share the warp window thanks to
+    // the malloc alignment policy — but force a misalignment via slicing.
+    let dev = device();
+    let a = dev.from_slice_i32(&(0..24).collect::<Vec<_>>()).unwrap();
+    let b = dev.from_slice_i32(&(100..124).collect::<Vec<_>>()).unwrap();
+    let shifted_view = b.slice(4, 20).unwrap(); // offset 4: misaligned
+    let head = a.slice(0, 16).unwrap();
+    let sum = (&head + &shifted_view).unwrap().to_vec_i32().unwrap();
+    for i in 0..16 {
+        assert_eq!(sum[i], i as i32 + 104 + i as i32);
+    }
+}
+
+#[test]
+fn copy_between_arbitrary_views() {
+    let dev = device();
+    let src_vals: Vec<i32> = (0..12).map(|i| i * 11).collect();
+    let src = dev.from_slice_i32(&src_vals).unwrap();
+    let dst = dev.zeros_i32(40).unwrap();
+    // Copy into a strided destination view.
+    let dst_view = dst.slice_step(2, 26, 2).unwrap();
+    copy(&src, &dst_view).unwrap();
+    let out = dst.to_vec_i32().unwrap();
+    for i in 0..12 {
+        assert_eq!(out[2 + 2 * i], src_vals[i], "element {i}");
+    }
+    assert_eq!(out[0], 0);
+    assert_eq!(out[3], 0);
+}
+
+#[test]
+fn materialize_like_aligns_threads() {
+    let dev = device();
+    let a = dev.from_slice_i32(&(0..16).collect::<Vec<_>>()).unwrap();
+    let b = dev.from_slice_i32(&(50..66).collect::<Vec<_>>()).unwrap();
+    let b_shift = b.slice(1, 13).unwrap();
+    let a_head = a.slice(0, 12).unwrap();
+    let m = materialize_like(&b_shift, &a_head).unwrap();
+    assert_eq!(m.to_vec_i32().unwrap(), (51..63).collect::<Vec<_>>());
+    // Now the two are directly operable.
+    let s = (&a_head + &m).unwrap().to_vec_i32().unwrap();
+    for i in 0..12 {
+        assert_eq!(s[i], i as i32 + 51 + i as i32);
+    }
+}
+
+#[test]
+fn shifted_materialization() {
+    let dev = device();
+    let vals: Vec<i32> = (0..48).collect(); // spans 3 warps of 16 rows
+    let t = dev.from_slice_i32(&vals).unwrap();
+    for dist in [1i64, -1, 5, -5, 16, -16, 20, -20, 47] {
+        let s = shifted(&t, dist).unwrap();
+        let out = s.to_vec_i32().unwrap();
+        for i in 0..48i64 {
+            let j = i + dist;
+            if (0..48).contains(&j) {
+                assert_eq!(out[i as usize], j as i32, "dist {dist}, index {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn allocation_alignment_avoids_copies() {
+    // Consecutive allocations of equal size share a warp window, so binary
+    // operations issue no move micro-operations.
+    let dev = device();
+    let a = dev.from_slice_i32(&(0..32).collect::<Vec<_>>()).unwrap();
+    let b = dev.from_slice_i32(&(0..32).map(|i| i * 2).collect::<Vec<_>>()).unwrap();
+    dev.reset_counters();
+    let _ = (&a + &b).unwrap();
+    let p = dev.profiler();
+    assert_eq!(p.ops.mv, 0, "aligned operands should not move data");
+    assert_eq!(p.ops.logic_v, 0);
+}
+
+#[test]
+fn dropping_tensors_frees_memory() {
+    let dev = device(); // 4 warps x 16 user regs worth of stripes
+    // Exhaust the memory, drop, and re-allocate.
+    let mut keep = Vec::new();
+    for _ in 0..16 {
+        keep.push(dev.zeros_i32(64).unwrap()); // 4 warps each: full stripe
+    }
+    assert!(dev.zeros_i32(1).is_err(), "memory should be exhausted");
+    keep.truncate(8);
+    for _ in 0..8 {
+        keep.push(dev.zeros_i32(64).unwrap());
+    }
+    assert!(dev.zeros_i32(1).is_err());
+}
