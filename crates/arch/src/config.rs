@@ -60,13 +60,27 @@ impl PimConfig {
     /// A small geometry suitable for unit tests: 16 crossbars of `64 × 1024`
     /// bits (64 rows, 32 registers), 32 partitions.
     pub fn small() -> Self {
-        PimConfig { crossbars: 16, rows: 64, partitions: WORD_BITS, regs: 32, user_regs: 16, clock_hz: 300e6 }
+        PimConfig {
+            crossbars: 16,
+            rows: 64,
+            partitions: WORD_BITS,
+            regs: 32,
+            user_regs: 16,
+            clock_hz: 300e6,
+        }
     }
 
     /// A medium geometry for integration tests and quick benchmarks:
     /// 64 crossbars × 256 rows (16k threads).
     pub fn medium() -> Self {
-        PimConfig { crossbars: 64, rows: 256, partitions: WORD_BITS, regs: 32, user_regs: 16, clock_hz: 300e6 }
+        PimConfig {
+            crossbars: 64,
+            rows: 256,
+            partitions: WORD_BITS,
+            regs: 32,
+            user_regs: 16,
+            clock_hz: 300e6,
+        }
     }
 
     /// Returns a copy with a different number of crossbars.
@@ -114,10 +128,16 @@ impl PimConfig {
             ));
         }
         if self.regs > 32 {
-            return fail(format!("regs ({}) exceeds the 5-bit index field of the wire format", self.regs));
+            return fail(format!(
+                "regs ({}) exceeds the 5-bit index field of the wire format",
+                self.regs
+            ));
         }
         if self.rows > 1 << 16 {
-            return fail(format!("rows ({}) exceeds the 16-bit row field of the wire format", self.rows));
+            return fail(format!(
+                "rows ({}) exceeds the 16-bit row field of the wire format",
+                self.rows
+            ));
         }
         if self.crossbars > 1 << 20 {
             return fail(format!(
@@ -126,7 +146,10 @@ impl PimConfig {
             ));
         }
         if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
-            return fail(format!("clock_hz ({}) must be a positive, finite frequency", self.clock_hz));
+            return fail(format!(
+                "clock_hz ({}) must be a positive, finite frequency",
+                self.clock_hz
+            ));
         }
         Ok(())
     }
@@ -251,7 +274,10 @@ mod tests {
 
     #[test]
     fn builder_style_modifiers() {
-        let cfg = PimConfig::small().with_crossbars(4).with_rows(16).with_user_regs(8);
+        let cfg = PimConfig::small()
+            .with_crossbars(4)
+            .with_rows(16)
+            .with_user_regs(8);
         assert_eq!(cfg.crossbars, 4);
         assert_eq!(cfg.rows, 16);
         assert_eq!(cfg.user_regs, 8);

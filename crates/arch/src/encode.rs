@@ -24,7 +24,9 @@
 //! in the low [`COL_OFFSET_BITS`] bits. Round-tripping is lossless for every
 //! valid micro-operation (property-tested below).
 
-use crate::{ArchError, ColAddr, GateKind, HLogic, MicroOp, MoveOp, PartId, RangeMask, RegId, VGate};
+use crate::{
+    ArchError, ColAddr, GateKind, HLogic, MicroOp, MoveOp, PartId, RangeMask, RegId, VGate,
+};
 
 /// Bits used for the intra-partition offset inside a 10-bit column field
 /// (`log2(w/N)` for the evaluated geometry).
@@ -47,7 +49,10 @@ fn pack_col(c: ColAddr) -> u64 {
 }
 
 fn unpack_col(v: u64) -> ColAddr {
-    ColAddr::new((v >> COL_OFFSET_BITS) as PartId, (v & ((1 << COL_OFFSET_BITS) - 1)) as RegId)
+    ColAddr::new(
+        (v >> COL_OFFSET_BITS) as PartId,
+        (v & ((1 << COL_OFFSET_BITS) - 1)) as RegId,
+    )
 }
 
 fn pack_mask(m: &RangeMask) -> u64 {
@@ -85,7 +90,12 @@ pub fn encode(op: &MicroOp) -> u64 {
                 | ((l.p_step as u64) << 35)
                 | ((l.gate.code() as u64) << 58)
         }
-        MicroOp::LogicV { gate, row_in, row_out, index } => {
+        MicroOp::LogicV {
+            gate,
+            row_in,
+            row_out,
+            index,
+        } => {
             debug_assert!(*row_in < (1 << 16) && *row_out < (1 << 16));
             (T_LOGIC_V << TYPE_SHIFT)
                 | (*row_in as u64)
@@ -124,7 +134,9 @@ pub fn decode(word: u64) -> Result<MicroOp, ArchError> {
             value: (word & 0xFFFF_FFFF) as u32,
             index: ((word >> 32) & 0xFF) as RegId,
         },
-        T_READ => MicroOp::Read { index: ((word >> 32) & 0xFF) as RegId },
+        T_READ => MicroOp::Read {
+            index: ((word >> 32) & 0xFF) as RegId,
+        },
         T_LOGIC_H => {
             let gate = GateKind::from_code(((word >> 58) & 0b11) as u8)
                 .expect("2-bit gate code is always valid");
@@ -154,7 +166,11 @@ pub fn decode(word: u64) -> Result<MicroOp, ArchError> {
             index_src: ((word >> 40) & 0x1F) as RegId,
             index_dst: ((word >> 45) & 0x1F) as RegId,
         }),
-        other => return Err(ArchError::DecodeError { opcode: other as u8 }),
+        other => {
+            return Err(ArchError::DecodeError {
+                opcode: other as u8,
+            })
+        }
     })
 }
 
@@ -162,7 +178,7 @@ pub fn decode(word: u64) -> Result<MicroOp, ArchError> {
 /// paper's §III-D3 budget. Exposed for the Table I / §III-D3 regression
 /// test and the `table1_encoding` bench.
 pub fn hlogic_payload_bits(w: usize, n: usize) -> u32 {
-    let log2 = |x: usize| (usize::BITS - 1 - x.leading_zeros()) as u32;
+    let log2 = |x: usize| usize::BITS - 1 - x.leading_zeros();
     2 + 3 * log2(w) + 2 * log2(n)
 }
 
@@ -187,10 +203,18 @@ mod tests {
         let ops = vec![
             MicroOp::XbMask(RangeMask::new(0, 12, 4).unwrap()),
             MicroOp::RowMask(RangeMask::new(1, 63, 2).unwrap()),
-            MicroOp::Write { index: 7, value: 0xDEAD_BEEF },
+            MicroOp::Write {
+                index: 7,
+                value: 0xDEAD_BEEF,
+            },
             MicroOp::Read { index: 31 },
             MicroOp::LogicH(HLogic::parallel(GateKind::Nor, 0, 1, 2, &cfg).unwrap()),
-            MicroOp::LogicV { gate: VGate::Not, row_in: 3, row_out: 60, index: 5 },
+            MicroOp::LogicV {
+                gate: VGate::Not,
+                row_in: 3,
+                row_out: 60,
+                index: 5,
+            },
             MicroOp::Move(MoveOp {
                 dist: -12,
                 row_src: 1,
@@ -207,8 +231,14 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_type() {
-        assert!(matches!(decode(0xF << 60), Err(ArchError::DecodeError { .. })));
-        assert!(matches!(decode(7 << 60), Err(ArchError::DecodeError { .. })));
+        assert!(matches!(
+            decode(0xF << 60),
+            Err(ArchError::DecodeError { .. })
+        ));
+        assert!(matches!(
+            decode(7 << 60),
+            Err(ArchError::DecodeError { .. })
+        ));
     }
 
     #[test]
@@ -280,6 +310,53 @@ mod tests {
         ) {
             let op = MicroOp::Move(MoveOp { dist, row_src, row_dst, index_src, index_dst });
             prop_assert_eq!(decode(encode(&op)).unwrap(), op);
+        }
+
+        /// Unified round-trip over *arbitrary* micro-operations: every
+        /// variant the wire format can carry decodes back to exactly the
+        /// operation that was encoded.
+        #[test]
+        fn roundtrip_any_microop(
+            kind in 0u8..7,
+            a in 0u32..1 << 16, b in 1u32..256, c in 1u32..64,
+            d in any::<u32>(), e in 0u8..32, f in 0u8..32,
+            g in 0u8..8, h in 1u8..16, i in 0u8..4,
+        ) {
+            let mask = RangeMask::strided(a & 0x3FFF, b.min(64), c).unwrap();
+            prop_assume!(mask.stop() < 1 << 20);
+            let op = match kind {
+                0 => MicroOp::XbMask(mask),
+                1 => MicroOp::RowMask(mask),
+                2 => MicroOp::Write { index: e, value: d },
+                3 => MicroOp::Read { index: e },
+                4 => {
+                    let p_end = g as u32 + (i as u32) * h as u32;
+                    prop_assume!(p_end < 32);
+                    MicroOp::LogicH(HLogic {
+                        gate: GateKind::from_code(i).unwrap(),
+                        in_a: ColAddr::new(g, e),
+                        in_b: ColAddr::new(g, f),
+                        out: ColAddr::new(p_end as u8, f),
+                        p_end: p_end as u8,
+                        p_step: h,
+                    })
+                }
+                5 => MicroOp::LogicV {
+                    gate: VGate::from_code(i.min(2)).unwrap(),
+                    row_in: a & 0xFFFF,
+                    row_out: (a ^ d) & 0xFFFF,
+                    index: e,
+                },
+                _ => MicroOp::Move(MoveOp {
+                    dist: (d as i32 % (1 << 18)) | 1,
+                    row_src: a & 0x3FF,
+                    row_dst: (a ^ d) & 0x3FF,
+                    index_src: e,
+                    index_dst: f,
+                }),
+            };
+            let word = encode(&op);
+            prop_assert_eq!(decode(word).unwrap(), op);
         }
     }
 }

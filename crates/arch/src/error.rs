@@ -62,7 +62,10 @@ impl fmt::Display for ArchError {
             ArchError::InvalidRange { reason } => write!(f, "invalid range mask: {reason}"),
             ArchError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             ArchError::AddressOutOfBounds { what, value, bound } => {
-                write!(f, "{what} address {value} out of bounds (must be < {bound})")
+                write!(
+                    f,
+                    "{what} address {value} out of bounds (must be < {bound})"
+                )
             }
             ArchError::InvalidPartitionPattern { reason } => {
                 write!(f, "invalid partition pattern: {reason}")
@@ -85,11 +88,23 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            ArchError::InvalidRange { reason: "zero step".into() },
-            ArchError::InvalidConfig { reason: "no rows".into() },
-            ArchError::AddressOutOfBounds { what: "partition", value: 40, bound: 32 },
-            ArchError::InvalidPartitionPattern { reason: "sections overlap".into() },
-            ArchError::InvalidMove { reason: "step not a power of 4".into() },
+            ArchError::InvalidRange {
+                reason: "zero step".into(),
+            },
+            ArchError::InvalidConfig {
+                reason: "no rows".into(),
+            },
+            ArchError::AddressOutOfBounds {
+                what: "partition",
+                value: 40,
+                bound: 32,
+            },
+            ArchError::InvalidPartitionPattern {
+                reason: "sections overlap".into(),
+            },
+            ArchError::InvalidMove {
+                reason: "step not a power of 4".into(),
+            },
             ArchError::DecodeError { opcode: 15 },
         ];
         for e in errs {

@@ -179,7 +179,14 @@ impl HLogic {
         cfg: &PimConfig,
     ) -> Result<Self, ArchError> {
         let (in_a, in_b) = canonical_inputs(gate, in_a, in_b, out);
-        let op = HLogic { gate, in_a, in_b, out, p_end: out.part, p_step: 1 };
+        let op = HLogic {
+            gate,
+            in_a,
+            in_b,
+            out,
+            p_end: out.part,
+            p_step: 1,
+        };
         op.validate(cfg)?;
         Ok(op)
     }
@@ -201,8 +208,14 @@ impl HLogic {
         let out = ColAddr::new(0, off_out);
         let (in_a, in_b) =
             canonical_inputs(gate, ColAddr::new(0, off_a), ColAddr::new(0, off_b), out);
-        let op =
-            HLogic { gate, in_a, in_b, out, p_end: cfg.partitions as PartId - 1, p_step: 1 };
+        let op = HLogic {
+            gate,
+            in_a,
+            in_b,
+            out,
+            p_end: cfg.partitions as PartId - 1,
+            p_step: 1,
+        };
         op.validate(cfg)?;
         Ok(op)
     }
@@ -226,7 +239,14 @@ impl HLogic {
         cfg: &PimConfig,
     ) -> Result<Self, ArchError> {
         let (in_a, in_b) = canonical_inputs(gate, in_a, in_b, out);
-        let op = HLogic { gate, in_a, in_b, out, p_end, p_step };
+        let op = HLogic {
+            gate,
+            in_a,
+            in_b,
+            out,
+            p_end,
+            p_step,
+        };
         op.validate(cfg)?;
         Ok(op)
     }
@@ -239,7 +259,11 @@ impl HLogic {
     ///
     /// Returns an error if `offset` is out of bounds for `cfg`.
     pub fn init_reg(value: bool, offset: RegId, cfg: &PimConfig) -> Result<Self, ArchError> {
-        let gate = if value { GateKind::Init1 } else { GateKind::Init0 };
+        let gate = if value {
+            GateKind::Init1
+        } else {
+            GateKind::Init0
+        };
         HLogic::parallel(gate, offset, offset, offset, cfg)
     }
 
@@ -289,7 +313,7 @@ impl HLogic {
                 bound: n as u64,
             });
         }
-        if (self.p_end - self.out.part) % self.p_step != 0 {
+        if !(self.p_end - self.out.part).is_multiple_of(self.p_step) {
             return bad(format!(
                 "p_step ({}) must divide the output span ({})",
                 self.p_step,
@@ -411,9 +435,7 @@ impl HLogic {
             };
             let lo = *parts.iter().min().expect("nonempty") as usize;
             let hi = *parts.iter().max().expect("nonempty") as usize;
-            for t in lo..hi {
-                conducting[t] = true;
-            }
+            conducting[lo..hi].fill(true);
         }
         conducting
     }
@@ -517,8 +539,8 @@ mod tests {
         // Transistors: conducting inside each (even, odd) section, open
         // between sections.
         let sel = op.transistor_selects(32);
-        for i in 0..31 {
-            assert_eq!(sel[i], i % 2 == 0, "transistor {i}");
+        for (i, &s) in sel.iter().enumerate().take(31) {
+            assert_eq!(s, i % 2 == 0, "transistor {i}");
         }
     }
 

@@ -37,7 +37,7 @@ pub fn level(a: XbId, b: XbId) -> u32 {
 /// Whether `x` is a power of four (the required crossbar-mask step for
 /// distributed moves, §III-F).
 pub fn is_power_of_four(x: u32) -> bool {
-    x.is_power_of_two() && x.trailing_zeros() % 2 == 0
+    x.is_power_of_two() && x.trailing_zeros().is_multiple_of(2)
 }
 
 /// Validation and cost summary for one distributed move micro-operation.
@@ -72,7 +72,10 @@ pub fn plan_move(mask: &RangeMask, mv: &MoveOp, cfg: &PimConfig) -> Result<MoveP
         return bad("move distance must be nonzero".into());
     }
     if !is_power_of_four(mask.step()) && !mask.is_single() {
-        return bad(format!("crossbar mask step ({}) must be a power of 4", mask.step()));
+        return bad(format!(
+            "crossbar mask step ({}) must be a power of 4",
+            mask.step()
+        ));
     }
     mask.check_bound("crossbar", cfg.crossbars as u64)?;
     // Destination bounds.
@@ -101,10 +104,14 @@ pub fn plan_move(mask: &RangeMask, mv: &MoveOp, cfg: &PimConfig) -> Result<MoveP
     let tree_level = level(mask.start(), first_dst as u32);
     // Disjoint groups: each pair stays inside one group of `step` crossbars.
     let disjoint = (mv.dist.unsigned_abs() as u64) < mask.step() as u64
-        && (mask.start() as u64 / mask.step() as u64
-            == first_dst as u64 / mask.step() as u64 || mask.is_single());
+        && (mask.start() as u64 / mask.step() as u64 == first_dst as u64 / mask.step() as u64
+            || mask.is_single());
     let cycles = if disjoint || pairs == 1 { 1 } else { pairs };
-    Ok(MovePlan { pairs, tree_level, cycles })
+    Ok(MovePlan {
+        pairs,
+        tree_level,
+        cycles,
+    })
 }
 
 #[cfg(test)]
@@ -116,7 +123,13 @@ mod tests {
     }
 
     fn mv(dist: i32) -> MoveOp {
-        MoveOp { dist, row_src: 0, row_dst: 0, index_src: 0, index_dst: 0 }
+        MoveOp {
+            dist,
+            row_src: 0,
+            row_dst: 0,
+            index_src: 0,
+            index_dst: 0,
+        }
     }
 
     #[test]

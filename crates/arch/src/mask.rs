@@ -37,14 +37,16 @@ impl RangeMask {
     /// or `step` does not divide `stop - start`.
     pub fn new(start: u32, stop: u32, step: u32) -> Result<Self, ArchError> {
         if step == 0 {
-            return Err(ArchError::InvalidRange { reason: "step must be nonzero".into() });
+            return Err(ArchError::InvalidRange {
+                reason: "step must be nonzero".into(),
+            });
         }
         if stop < start {
             return Err(ArchError::InvalidRange {
                 reason: format!("stop ({stop}) must be >= start ({start})"),
             });
         }
-        if (stop - start) % step != 0 {
+        if !(stop - start).is_multiple_of(step) {
             return Err(ArchError::InvalidRange {
                 reason: format!("step ({step}) must divide stop - start ({})", stop - start),
             });
@@ -54,7 +56,11 @@ impl RangeMask {
 
     /// Mask selecting a single element.
     pub fn single(index: u32) -> Self {
-        RangeMask { start: index, stop: index, step: 1 }
+        RangeMask {
+            start: index,
+            stop: index,
+            step: 1,
+        }
     }
 
     /// Mask selecting the dense range `start..stop` (exclusive stop, step 1).
@@ -79,10 +85,14 @@ impl RangeMask {
     /// Returns [`ArchError::InvalidRange`] if `count == 0` or `step == 0`.
     pub fn strided(start: u32, count: u32, step: u32) -> Result<Self, ArchError> {
         if count == 0 {
-            return Err(ArchError::InvalidRange { reason: "count must be nonzero".into() });
+            return Err(ArchError::InvalidRange {
+                reason: "count must be nonzero".into(),
+            });
         }
         if step == 0 {
-            return Err(ArchError::InvalidRange { reason: "step must be nonzero".into() });
+            return Err(ArchError::InvalidRange {
+                reason: "step must be nonzero".into(),
+            });
         }
         RangeMask::new(start, start + (count - 1) * step, step)
     }
@@ -120,12 +130,16 @@ impl RangeMask {
 
     /// Whether `index` is selected by this mask.
     pub fn contains(&self, index: u32) -> bool {
-        index >= self.start && index <= self.stop && (index - self.start) % self.step == 0
+        index >= self.start && index <= self.stop && (index - self.start).is_multiple_of(self.step)
     }
 
     /// Iterates over the selected indices in ascending order.
     pub fn iter(&self) -> Iter {
-        Iter { next: Some(self.start), stop: self.stop, step: self.step }
+        Iter {
+            next: Some(self.start),
+            stop: self.stop,
+            step: self.step,
+        }
     }
 
     /// Checks that every selected index is below `bound`.
@@ -138,7 +152,11 @@ impl RangeMask {
         if (self.stop as u64) < bound {
             Ok(())
         } else {
-            Err(ArchError::AddressOutOfBounds { what, value: self.stop as u64, bound })
+            Err(ArchError::AddressOutOfBounds {
+                what,
+                value: self.stop as u64,
+                bound,
+            })
         }
     }
 }
@@ -241,7 +259,10 @@ mod tests {
         m.check_bound("row", 63).unwrap();
         m.check_bound("row", 64).unwrap();
         let err = m.check_bound("row", 62).unwrap_err();
-        assert!(matches!(err, ArchError::AddressOutOfBounds { what: "row", .. }));
+        assert!(matches!(
+            err,
+            ArchError::AddressOutOfBounds { what: "row", .. }
+        ));
     }
 
     #[test]

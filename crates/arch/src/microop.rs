@@ -146,7 +146,12 @@ impl MicroOp {
             MicroOp::RowMask(m) => m.check_bound("row", cfg.rows as u64),
             MicroOp::Write { index, .. } | MicroOp::Read { index } => check_reg(*index),
             MicroOp::LogicH(op) => op.validate(cfg),
-            MicroOp::LogicV { row_in, row_out, index, .. } => {
+            MicroOp::LogicV {
+                row_in,
+                row_out,
+                index,
+                ..
+            } => {
                 check_row(*row_in)?;
                 check_row(*row_out)?;
                 check_reg(*index)
@@ -169,22 +174,62 @@ mod tests {
     #[test]
     fn validate_bounds() {
         let cfg = PimConfig::small(); // 16 crossbars, 64 rows, 32 regs
-        assert!(MicroOp::Write { index: 31, value: 0 }.validate(&cfg).is_ok());
-        assert!(MicroOp::Write { index: 32, value: 0 }.validate(&cfg).is_err());
+        assert!(MicroOp::Write {
+            index: 31,
+            value: 0
+        }
+        .validate(&cfg)
+        .is_ok());
+        assert!(MicroOp::Write {
+            index: 32,
+            value: 0
+        }
+        .validate(&cfg)
+        .is_err());
         assert!(MicroOp::Read { index: 31 }.validate(&cfg).is_ok());
-        assert!(MicroOp::XbMask(RangeMask::single(15)).validate(&cfg).is_ok());
-        assert!(MicroOp::XbMask(RangeMask::single(16)).validate(&cfg).is_err());
-        assert!(MicroOp::RowMask(RangeMask::single(63)).validate(&cfg).is_ok());
-        assert!(MicroOp::RowMask(RangeMask::single(64)).validate(&cfg).is_err());
-        assert!(MicroOp::LogicV { gate: VGate::Not, row_in: 0, row_out: 63, index: 0 }
+        assert!(MicroOp::XbMask(RangeMask::single(15))
             .validate(&cfg)
             .is_ok());
-        assert!(MicroOp::LogicV { gate: VGate::Not, row_in: 64, row_out: 0, index: 0 }
+        assert!(MicroOp::XbMask(RangeMask::single(16))
             .validate(&cfg)
             .is_err());
-        let mv = MoveOp { dist: 4, row_src: 0, row_dst: 63, index_src: 0, index_dst: 31 };
+        assert!(MicroOp::RowMask(RangeMask::single(63))
+            .validate(&cfg)
+            .is_ok());
+        assert!(MicroOp::RowMask(RangeMask::single(64))
+            .validate(&cfg)
+            .is_err());
+        assert!(MicroOp::LogicV {
+            gate: VGate::Not,
+            row_in: 0,
+            row_out: 63,
+            index: 0
+        }
+        .validate(&cfg)
+        .is_ok());
+        assert!(MicroOp::LogicV {
+            gate: VGate::Not,
+            row_in: 64,
+            row_out: 0,
+            index: 0
+        }
+        .validate(&cfg)
+        .is_err());
+        let mv = MoveOp {
+            dist: 4,
+            row_src: 0,
+            row_dst: 63,
+            index_src: 0,
+            index_dst: 31,
+        };
         assert!(MicroOp::Move(mv).validate(&cfg).is_ok());
-        let mv_bad = MoveOp { dist: 4, row_src: 0, row_dst: 64, index_src: 0, index_dst: 0 };
+        let mv_bad = MoveOp {
+            dist: 4,
+            row_src: 0,
+            row_dst: 64,
+            index_src: 0,
+            index_dst: 0,
+        };
         assert!(MicroOp::Move(mv_bad).validate(&cfg).is_err());
     }
 

@@ -1,0 +1,113 @@
+//! Sharded-cluster element throughput: the same element-parallel workload
+//! on 1, 2, and 4 chips. Per-shard geometry is fixed, so the tensor grows
+//! with the shard count — ideal scaling is constant wall time per
+//! invocation, i.e. element-throughput proportional to the shard count.
+//!
+//! Besides the criterion groups, the bench prints an explicit 4-vs-1 shard
+//! scaling summary with per-shard issued-cycle and routine-cache telemetry
+//! (the production observability of the cluster subsystem).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_arch::PimConfig;
+use pim_bench::random_ints;
+use pim_isa::RegOp;
+use pypim_core::{Device, Tensor};
+
+/// Per-chip geometry: 16 crossbars × 64 rows (1024 threads per shard).
+fn shard_cfg() -> PimConfig {
+    PimConfig::small()
+}
+
+fn inputs(dev: &Device) -> (Tensor, Tensor) {
+    let n = dev.config().total_threads() as usize;
+    let a = dev.from_slice_i32(&random_ints(n, 1)).unwrap();
+    let b = dev.from_slice_i32(&random_ints(n, 2)).unwrap();
+    (a, b)
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_throughput");
+    for shards in [1usize, 2, 4] {
+        let dev = Device::cluster(shard_cfg(), shards).unwrap();
+        let (a, b) = inputs(&dev);
+        group.throughput(Throughput::Elements(a.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("int_add", format!("{shards}-shard")),
+            &shards,
+            |bench, _| {
+                bench.iter(|| a.binary(RegOp::Add, &b).unwrap());
+            },
+        );
+    }
+    group.finish();
+    scaling_summary();
+}
+
+/// Manual 4-vs-1 shard measurement with telemetry, printed after the
+/// criterion groups.
+///
+/// Shard workers are OS threads, so the achievable element-throughput
+/// speedup is `min(shards, host cores)`: a 4-shard cluster needs 4 cores
+/// to show its ~4x; on fewer cores the workers time-slice and the ratio
+/// degrades toward 1x (with only per-shard queueing overhead on top).
+fn scaling_summary() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\nhost parallelism: {cores} core(s); ideal 4-shard speedup = min(4, cores)");
+    let reps = 20;
+    let mut rates = Vec::new();
+    for shards in [1usize, 4] {
+        let dev = Device::cluster(shard_cfg(), shards).unwrap();
+        let (a, b) = inputs(&dev);
+        a.binary(RegOp::Add, &b).unwrap(); // warm routine caches
+        dev.reset_counters();
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            a.binary(RegOp::Add, &b).unwrap();
+        }
+        let dt = start.elapsed().as_secs_f64();
+        let elems = (a.len() * reps) as f64;
+        let rate = elems / dt;
+        rates.push(rate);
+        println!("\n== {shards}-shard cluster: {rate:.3e} elements/s ==");
+        if let Some(stats) = dev.cluster_stats() {
+            let (hits, misses) = stats.cache_stats();
+            println!(
+                "   issued cycles (all shards): logic {} / total {}; \
+                 routine cache {hits} hits / {misses} misses",
+                stats.issued().logic,
+                stats.issued().total,
+            );
+            for s in &stats.shards {
+                println!(
+                    "   shard {}: {} chip cycles, issued {} ({} logic), \
+                     cache {}h/{}m, {} sim thread(s)",
+                    s.shard,
+                    s.profiler.cycles,
+                    s.issued.total,
+                    s.issued.logic,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.sim_threads,
+                );
+            }
+        }
+    }
+    let speedup = rates[1] / rates[0];
+    println!("\n== element-throughput scaling, 4 shards vs 1: {speedup:.2}x ==");
+    if cores < 4 {
+        // 4 workers time-slicing on `cores` core(s): the interesting
+        // number is how little the sharding layer costs, not the speedup.
+        println!(
+            "   ({cores}-core host serializes the shard workers; \
+             sharding overhead vs perfect time-slicing: {:.1}%)\n",
+            (1.0 / speedup.max(f64::EPSILON) - 1.0).max(0.0) * 100.0 / 4.0
+        );
+    } else {
+        println!();
+    }
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -9,11 +9,25 @@ fn sample_ops(cfg: &PimConfig) -> Vec<MicroOp> {
     vec![
         MicroOp::XbMask(RangeMask::new(0, 12, 4).unwrap()),
         MicroOp::RowMask(RangeMask::new(1, 63, 2).unwrap()),
-        MicroOp::Write { index: 7, value: 0xDEAD_BEEF },
+        MicroOp::Write {
+            index: 7,
+            value: 0xDEAD_BEEF,
+        },
         MicroOp::LogicH(HLogic::parallel(GateKind::Nor, 0, 1, 2, cfg).unwrap()),
         MicroOp::LogicH(HLogic::init_reg(true, 5, cfg).unwrap()),
-        MicroOp::LogicV { gate: VGate::Not, row_in: 3, row_out: 60, index: 5 },
-        MicroOp::Move(MoveOp { dist: -12, row_src: 1, row_dst: 2, index_src: 3, index_dst: 4 }),
+        MicroOp::LogicV {
+            gate: VGate::Not,
+            row_in: 3,
+            row_out: 60,
+            index: 5,
+        },
+        MicroOp::Move(MoveOp {
+            dist: -12,
+            row_src: 1,
+            row_dst: 2,
+            index_src: 3,
+            index_dst: 4,
+        }),
     ]
 }
 

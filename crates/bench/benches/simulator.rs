@@ -25,7 +25,11 @@ fn bench_simulator(c: &mut Criterion) {
     for strict in [true, false] {
         let mut sim = PimSimulator::new(cfg.clone()).unwrap();
         sim.set_strict(strict);
-        let name = if strict { "int_add_strict" } else { "int_add_fast" };
+        let name = if strict {
+            "int_add_strict"
+        } else {
+            "int_add_fast"
+        };
         group.bench_function(name, |b| {
             b.iter(|| sim.execute_batch(&routine.ops).unwrap());
         });

@@ -22,14 +22,7 @@ fn print_panel(title: &str, rows: &[BenchResult], paper_threads: u64, threads: u
     println!("{:-<100}", "");
     println!(
         "{:<16} {:>12} {:>12} {:>11} {:>11} {:>11} {:>8} {:>11}",
-        "Benchmark",
-        "cycles",
-        "theory cyc",
-        "PyPIM",
-        "Theo. PIM",
-        "Driver",
-        "dist.",
-        "@TableIII"
+        "Benchmark", "cycles", "theory cyc", "PyPIM", "Theo. PIM", "Driver", "dist.", "@TableIII"
     );
     for r in rows {
         let scale = paper_threads as f64 / threads as f64;
@@ -84,12 +77,21 @@ fn main() {
         eprintln!("  measured {}", r.name);
         top.push(r);
     }
-    print_panel("Throughput Comparison (Figure 13, top)", &top, paper_threads, threads);
+    print_panel(
+        "Throughput Comparison (Figure 13, top)",
+        &top,
+        paper_threads,
+        threads,
+    );
 
     // ---- Bottom panel: library-level benchmarks ---------------------------
     let sort_sizes: &[usize] = if full { &[1024, 65536] } else { &[1024, 4096] };
     let mut bottom = Vec::new();
-    for w in [Workload::CordicSine, Workload::SumReduce, Workload::MulReduce] {
+    for w in [
+        Workload::CordicSine,
+        Workload::SumReduce,
+        Workload::MulReduce,
+    ] {
         let r = run_workload(&dev, w, n).expect("workload");
         eprintln!("  measured {}", r.name);
         bottom.push(r);
@@ -108,10 +110,11 @@ fn main() {
 
     // ---- §VI-B summary -----------------------------------------------------
     let all: Vec<&BenchResult> = top.iter().chain(bottom.iter()).collect();
-    let avg_dist =
-        all.iter().map(|r| r.distance_from_theory()).sum::<f64>() / all.len() as f64;
-    let worst_dist =
-        all.iter().map(|r| r.distance_from_theory()).fold(f64::MIN, f64::max);
+    let avg_dist = all.iter().map(|r| r.distance_from_theory()).sum::<f64>() / all.len() as f64;
+    let worst_dist = all
+        .iter()
+        .map(|r| r.distance_from_theory())
+        .fold(f64::MIN, f64::max);
     println!("\nSummary (paper §VI-B claims: avg 5%, worst 16% from theoretical PIM;");
     println!("         host driver avg 9.5x / worst-case 6.8x faster than PyPIM)");
     println!(
@@ -130,8 +133,7 @@ fn main() {
     }
 
     // ---- Ablation -----------------------------------------------------------
-    let (serial, parallel) =
-        pim_bench::ablation_add_cycles(&cfg).expect("ablation");
+    let (serial, parallel) = pim_bench::ablation_add_cycles(&cfg).expect("ablation");
     println!(
         "\nPartition ablation (int add): bit-serial {serial} cycles vs \
          bit-parallel {parallel} cycles ({:.2}x speedup from partitions)",

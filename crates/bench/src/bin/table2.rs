@@ -19,8 +19,7 @@ fn main() {
     );
     for op in RegOp::ALL {
         let int = theory::rtype_stats(&cfg, ParallelismMode::BitSerial, op, DType::Int32).ok();
-        let flt =
-            theory::rtype_stats(&cfg, ParallelismMode::BitSerial, op, DType::Float32).ok();
+        let flt = theory::rtype_stats(&cfg, ParallelismMode::BitSerial, op, DType::Float32).ok();
         let fmt = |s: Option<&pim_driver::RoutineStats>, which: usize| match s {
             Some(st) => {
                 if which == 0 {

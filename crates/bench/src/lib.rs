@@ -52,7 +52,8 @@ impl BenchResult {
     /// one micro-operation per cycle, so a driver streaming `R` ops/s
     /// supports `elements × R / measured_cycles`.
     pub fn driver_tput(&self) -> Option<f64> {
-        self.driver_rate.map(|r| self.elements as f64 * r / self.measured_cycles as f64)
+        self.driver_rate
+            .map(|r| self.elements as f64 * r / self.measured_cycles as f64)
     }
 
     /// Distance from theoretical PIM (`measured/theoretical − 1`).
@@ -100,7 +101,7 @@ impl Workload {
 }
 
 fn human(n: usize) -> String {
-    if n % 1024 == 0 {
+    if n.is_multiple_of(1024) {
         format!("{}k", n / 1024)
     } else {
         n.to_string()
@@ -241,13 +242,9 @@ pub fn full_config() -> PimConfig {
 ///
 /// Propagates compilation errors.
 pub fn ablation_add_cycles(cfg: &PimConfig) -> Result<(u64, u64)> {
-    let serial = pim_driver::theory::rtype_stats(
-        cfg,
-        ParallelismMode::BitSerial,
-        RegOp::Add,
-        DType::Int32,
-    )
-    .map_err(pypim_core::CoreError::from)?;
+    let serial =
+        pim_driver::theory::rtype_stats(cfg, ParallelismMode::BitSerial, RegOp::Add, DType::Int32)
+            .map_err(pypim_core::CoreError::from)?;
     let parallel = pim_driver::theory::rtype_stats(
         cfg,
         ParallelismMode::BitParallel,
@@ -272,11 +269,14 @@ mod tests {
         // Bit-serial mode: the AritPIM-style logic-cycle bound is tight
         // (the partition-parallel adder trades extra INIT cycles for fewer
         // logic cycles, so its distance metric is larger by construction).
-        let dev =
-            Device::with_mode(PimConfig::small(), ParallelismMode::BitSerial).unwrap();
+        let dev = Device::with_mode(PimConfig::small(), ParallelismMode::BitSerial).unwrap();
         let r = run_workload(&dev, Workload::RType(RegOp::Add, DType::Int32), 64).unwrap();
         assert!(r.measured_cycles >= r.theoretical_cycles);
-        assert!(r.distance_from_theory() < 0.25, "distance {}", r.distance_from_theory());
+        assert!(
+            r.distance_from_theory() < 0.25,
+            "distance {}",
+            r.distance_from_theory()
+        );
         assert!(r.pypim_tput() <= r.theoretical_tput());
     }
 

@@ -1,0 +1,1116 @@
+//! The sharded execution engine: one host-driver + simulated-chip pair per
+//! shard, each on its own worker thread, fed through batched job channels.
+
+use crate::{ClusterError, ShardPlan};
+use pim_arch::{Backend, MicroOp, PimConfig};
+use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode};
+use pim_isa::Instruction;
+use pim_sim::{PimSimulator, Profiler};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Telemetry snapshot of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard simulator's profiling counters (chip-side cycles).
+    pub profiler: Profiler,
+    /// Driver-issued cycle counters (logic vs total) of this shard.
+    pub issued: IssuedCycles,
+    /// Routine-cache hits of this shard's driver.
+    pub cache_hits: u64,
+    /// Routine-cache misses of this shard's driver.
+    pub cache_misses: u64,
+    /// Host threads the shard simulator uses internally.
+    pub sim_threads: usize,
+}
+
+/// Aggregated telemetry across every shard — the production observability
+/// for the §V-B "driver is not the bottleneck" claim at cluster scale.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ClusterStats {
+    /// Driver-issued cycles summed over shards.
+    pub fn issued(&self) -> IssuedCycles {
+        self.shards.iter().map(|s| s.issued).sum()
+    }
+
+    /// Routine-cache `(hits, misses)` summed over shards.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shards
+            .iter()
+            .fold((0, 0), |(h, m), s| (h + s.cache_hits, m + s.cache_misses))
+    }
+
+    /// Chip cycles summed over shards (total simulated work).
+    pub fn total_cycles(&self) -> u64 {
+        self.shards.iter().map(|s| s.profiler.cycles).sum()
+    }
+
+    /// Chip cycles of the busiest shard — the wall-clock latency of the
+    /// cluster under the chips-run-in-parallel model.
+    pub fn critical_path_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.profiler.cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A merged profiler: operation/gate/move counters are summed across
+    /// shards ([`Profiler::absorb`]), while `cycles` holds the critical
+    /// path (chips execute concurrently, so wall-clock latency is the
+    /// busiest shard's).
+    pub fn merged_profiler(&self) -> Profiler {
+        let mut out = Profiler::new();
+        for s in &self.shards {
+            out.absorb(&s.profiler);
+        }
+        out.cycles = self.critical_path_cycles();
+        out
+    }
+}
+
+/// Host-side fold applied to gathered shard values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Summation (wrapping for int32).
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Folds float values in order. Returns `None` for an empty input.
+pub fn fold_f32(op: Combine, values: impl IntoIterator<Item = f32>) -> Option<f32> {
+    values.into_iter().reduce(|a, b| match op {
+        Combine::Sum => a + b,
+        Combine::Min => a.min(b),
+        Combine::Max => a.max(b),
+    })
+}
+
+/// Folds int values in order (wrapping sum). Returns `None` for an empty
+/// input.
+pub fn fold_i32(op: Combine, values: impl IntoIterator<Item = i32>) -> Option<i32> {
+    values.into_iter().reduce(|a, b| match op {
+        Combine::Sum => a.wrapping_add(b),
+        Combine::Min => a.min(b),
+        Combine::Max => a.max(b),
+    })
+}
+
+/// A global memory location: `(warp, row, register)` in cluster-wide warp
+/// numbering.
+pub type GlobalLoc = (u32, u32, u8);
+
+type ShardReply = Result<Vec<Option<u32>>, ClusterError>;
+
+/// Shard-local sub-moves of a routed `MoveWarps`.
+type LocalMoves = Vec<(usize, pim_arch::RangeMask)>;
+/// Cross-shard `(source, destination)` global warp pairs.
+type CrossPairs = Vec<(u32, u32)>;
+
+enum Job {
+    /// Execute macro-instructions in order, collecting per-instruction
+    /// results (values for reads, `None` otherwise).
+    Macro {
+        instrs: Vec<Instruction>,
+        reply: Sender<ShardReply>,
+    },
+    /// Execute a batch of raw micro-operations through the shard backend's
+    /// [`pim_arch::Backend::execute_batch`] (subject to its no-read
+    /// protocol).
+    Micro {
+        ops: Vec<MicroOp>,
+        reply: Sender<Result<(), ClusterError>>,
+    },
+    Stats {
+        reply: Sender<ShardStats>,
+    },
+    ResetProfiler {
+        reply: Sender<()>,
+    },
+    ResetIssued {
+        reply: Sender<()>,
+    },
+    SetStrict {
+        strict: bool,
+        reply: Sender<()>,
+    },
+}
+
+struct Worker {
+    tx: Option<Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pending batch submitted to one shard; [`wait`](JobTicket::wait) blocks
+/// until the shard worker has executed it.
+#[derive(Debug)]
+pub struct JobTicket {
+    shard: usize,
+    rx: Receiver<ShardReply>,
+}
+
+impl JobTicket {
+    /// The shard this job was submitted to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Blocks until the batch completes, returning per-instruction results
+    /// (the read value for [`Instruction::Read`], `None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard error, or [`ClusterError::Disconnected`] if
+    /// the worker died.
+    pub fn wait(self) -> Result<Vec<Option<u32>>, ClusterError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(ClusterError::Disconnected { shard: self.shard }))
+    }
+}
+
+/// A sharded multi-chip PIM execution engine.
+///
+/// `N` shards, each a [`Driver`] over its own bit-accurate [`PimSimulator`]
+/// running on a dedicated worker thread, present one flat address space of
+/// `N × crossbars` warps. Logical instructions addressed to global warps are
+/// split along shard boundaries (see [`ShardPlan`]) and stream to all
+/// affected shards concurrently; inter-warp moves that cross a chip
+/// boundary fall back to host-mediated gather/scatter, standing in for a
+/// chip-to-chip interconnect.
+///
+/// All methods take `&self`; the cluster may be driven from many client
+/// threads at once (each shard serializes its own job queue).
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::PimConfig;
+/// use pim_cluster::PimCluster;
+/// use pim_isa::{Instruction, ThreadRange};
+///
+/// # fn main() -> Result<(), pim_cluster::ClusterError> {
+/// let cluster = PimCluster::new(PimConfig::small().with_crossbars(4), 4)?;
+/// assert_eq!(cluster.logical_config().crossbars, 16);
+///
+/// // Write to a warp on shard 2 through the flat address space.
+/// cluster.execute(&Instruction::Write {
+///     reg: 0,
+///     value: 42,
+///     target: ThreadRange::single(9, 5),
+/// })?;
+/// let got = cluster.execute(&Instruction::Read { reg: 0, warp: 9, row: 5 })?;
+/// assert_eq!(got, Some(42));
+/// # Ok(())
+/// # }
+/// ```
+pub struct PimCluster {
+    plan: ShardPlan,
+    shard_cfg: PimConfig,
+    logical_cfg: PimConfig,
+    workers: Vec<Worker>,
+}
+
+impl std::fmt::Debug for PimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimCluster")
+            .field("shards", &self.plan.shards())
+            .field("shard_config", &self.shard_cfg)
+            .finish()
+    }
+}
+
+impl PimCluster {
+    /// Spawns a cluster of `shards` chips of geometry `cfg` with the default
+    /// (partition-parallel) driver mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero shard count or an invalid configuration.
+    pub fn new(cfg: PimConfig, shards: usize) -> Result<Self, ClusterError> {
+        PimCluster::with_mode(cfg, shards, ParallelismMode::default())
+    }
+
+    /// Spawns a cluster with an explicit driver parallelism mode.
+    ///
+    /// Each shard simulator is pinned to a single internal thread
+    /// ([`PimSimulator::set_threads`]) — parallelism comes from the shard
+    /// workers themselves, so the host is not oversubscribed.
+    ///
+    /// # Errors
+    ///
+    /// See [`new`](PimCluster::new).
+    pub fn with_mode(
+        cfg: PimConfig,
+        shards: usize,
+        mode: ParallelismMode,
+    ) -> Result<Self, ClusterError> {
+        let plan = ShardPlan::new(&cfg, shards)?;
+        let logical_cfg = cfg.clone().with_crossbars(cfg.crossbars * shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut sim = PimSimulator::new(cfg.clone()).map_err(|e| ClusterError::Shard {
+                shard,
+                source: DriverError::from(e),
+            })?;
+            sim.set_threads(1);
+            let driver = Driver::with_mode(sim, mode);
+            let (tx, rx) = channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("pim-shard-{shard}"))
+                .spawn(move || run_worker(shard, driver, rx))
+                .expect("spawn shard worker");
+            workers.push(Worker {
+                tx: Some(tx),
+                handle: Some(handle),
+            });
+        }
+        Ok(PimCluster {
+            plan,
+            shard_cfg: cfg,
+            logical_cfg,
+            workers,
+        })
+    }
+
+    /// Number of shards (chips).
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// The partition plan mapping global warps/elements to shards.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Geometry of each individual chip.
+    pub fn shard_config(&self) -> &PimConfig {
+        &self.shard_cfg
+    }
+
+    /// The aggregate geometry the cluster presents: the per-chip
+    /// configuration with `shards × crossbars` warps.
+    pub fn logical_config(&self) -> &PimConfig {
+        &self.logical_cfg
+    }
+
+    fn sender(&self, shard: usize) -> Result<&Sender<Job>, ClusterError> {
+        self.workers
+            .get(shard)
+            .and_then(|w| w.tx.as_ref())
+            .ok_or(ClusterError::ShardIndex {
+                shard,
+                shards: self.workers.len(),
+            })
+    }
+
+    fn send(&self, shard: usize, job: Job) -> Result<(), ClusterError> {
+        self.sender(shard)?
+            .send(job)
+            .map_err(|_| ClusterError::Disconnected { shard })
+    }
+
+    /// Submits a batch of *local* (shard-addressed) macro-instructions to
+    /// one shard and returns immediately; many submissions to different
+    /// shards (or the same shard) proceed concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardIndex`] or
+    /// [`ClusterError::Disconnected`]; execution errors surface from
+    /// [`JobTicket::wait`].
+    pub fn submit(
+        &self,
+        shard: usize,
+        instrs: Vec<Instruction>,
+    ) -> Result<JobTicket, ClusterError> {
+        let (reply, rx) = channel();
+        self.send(shard, Job::Macro { instrs, reply })?;
+        Ok(JobTicket { shard, rx })
+    }
+
+    fn submit_all_wait(&self, jobs: Vec<(usize, Vec<Instruction>)>) -> Result<(), ClusterError> {
+        let mut tickets = Vec::with_capacity(jobs.len());
+        for (shard, instrs) in jobs {
+            if !instrs.is_empty() {
+                tickets.push(self.submit(shard, instrs)?);
+            }
+        }
+        for t in tickets {
+            t.wait()?;
+        }
+        Ok(())
+    }
+
+    /// Executes one *logical* macro-instruction addressed in global warp
+    /// space, splitting it across the affected shards and blocking until
+    /// all of them finish. Returns the value for [`Instruction::Read`].
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors against the aggregate geometry and shard
+    /// execution errors.
+    pub fn execute(&self, instr: &Instruction) -> Result<Option<u32>, ClusterError> {
+        match instr {
+            Instruction::Read { reg, warp, row } => {
+                instr.validate(&self.logical_cfg)?;
+                let shard = self.plan.shard_of_warp(*warp);
+                let local = Instruction::Read {
+                    reg: *reg,
+                    warp: self.plan.local_warp(*warp),
+                    row: *row,
+                };
+                let out = self.submit(shard, vec![local])?.wait()?;
+                Ok(out[0])
+            }
+            // All non-read instructions share the batched routing, so the
+            // shard-splitting rules live in exactly one place.
+            _ => {
+                self.execute_batch(std::slice::from_ref(instr))?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Executes a sequence of non-read logical instructions, streaming
+    /// shard-local work to all shards concurrently. Consecutive
+    /// instructions accumulate into one job per shard; only inter-warp
+    /// moves that cross a chip boundary force a synchronization barrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] for reads (which return data and
+    /// must go through [`execute`](PimCluster::execute)), plus validation
+    /// and shard errors.
+    pub fn execute_batch(&self, instrs: &[Instruction]) -> Result<(), ClusterError> {
+        // Validate the whole batch before queueing anything: a validation
+        // or protocol error must mean *nothing* ran (a mid-batch failure
+        // would otherwise leave earlier instructions applied on some
+        // shards and discard ones still queued).
+        for instr in instrs {
+            instr.validate(&self.logical_cfg)?;
+            if matches!(instr, Instruction::Read { .. }) {
+                return Err(ClusterError::Protocol {
+                    reason: "read instructions cannot be batched (they return data)".into(),
+                });
+            }
+        }
+        let mut queues: Vec<Vec<Instruction>> = vec![Vec::new(); self.shards()];
+        for instr in instrs {
+            match instr {
+                Instruction::Read { .. } => unreachable!("rejected by the validation pass"),
+                Instruction::RType {
+                    op,
+                    dtype,
+                    dst,
+                    srcs,
+                    target,
+                } => {
+                    for (s, t) in self.plan.split_target(target) {
+                        queues[s].push(Instruction::RType {
+                            op: *op,
+                            dtype: *dtype,
+                            dst: *dst,
+                            srcs: *srcs,
+                            target: t,
+                        });
+                    }
+                }
+                Instruction::Write { reg, value, target } => {
+                    for (s, t) in self.plan.split_target(target) {
+                        queues[s].push(Instruction::Write {
+                            reg: *reg,
+                            value: *value,
+                            target: t,
+                        });
+                    }
+                }
+                Instruction::MoveRows {
+                    src,
+                    dst,
+                    src_rows,
+                    dst_rows,
+                    warps,
+                } => {
+                    for (s, w) in self.plan.split_warps(warps) {
+                        queues[s].push(Instruction::MoveRows {
+                            src: *src,
+                            dst: *dst,
+                            src_rows: *src_rows,
+                            dst_rows: *dst_rows,
+                            warps: w,
+                        });
+                    }
+                }
+                Instruction::MoveWarps {
+                    src,
+                    dst,
+                    row_src,
+                    row_dst,
+                    warps,
+                    dist,
+                } => {
+                    let (local, cross) = self.route_move_warps(warps, *dist);
+                    for (s, w) in local {
+                        queues[s].push(Instruction::MoveWarps {
+                            src: *src,
+                            dst: *dst,
+                            row_src: *row_src,
+                            row_dst: *row_dst,
+                            warps: w,
+                            dist: *dist,
+                        });
+                    }
+                    if !cross.is_empty() {
+                        // Barrier: flush pending shard work, then perform
+                        // the host-mediated inter-chip transfer.
+                        self.flush(&mut queues)?;
+                        self.cross_move(&cross, *src, *dst, *row_src, *row_dst)?;
+                    }
+                }
+            }
+        }
+        self.flush(&mut queues)
+    }
+
+    fn flush(&self, queues: &mut [Vec<Instruction>]) -> Result<(), ClusterError> {
+        let jobs: Vec<(usize, Vec<Instruction>)> = queues
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(s, q)| (s, std::mem::take(q)))
+            .collect();
+        self.submit_all_wait(jobs)
+    }
+
+    /// Partitions a `MoveWarps` into shard-local sub-moves and cross-shard
+    /// `(source, destination)` global warp pairs.
+    fn route_move_warps(&self, warps: &pim_arch::RangeMask, dist: i32) -> (LocalMoves, CrossPairs) {
+        let c = self.plan.warps_per_shard() as i64;
+        let mut local = Vec::new();
+        let mut cross = Vec::new();
+        for (shard, lmask) in self.plan.split_warps(warps) {
+            let base = shard as i64 * c;
+            let d_first = base + lmask.start() as i64 + dist as i64;
+            let d_last = base + lmask.stop() as i64 + dist as i64;
+            if d_first >= 0 && d_first / c == shard as i64 && d_last / c == shard as i64 {
+                local.push((shard, lmask));
+            } else {
+                for w in lmask.iter() {
+                    let g = base as u32 + w;
+                    cross.push((g, (g as i64 + dist as i64) as u32));
+                }
+            }
+        }
+        (local, cross)
+    }
+
+    /// Host-mediated inter-chip transfer: gather every source word, then
+    /// scatter to the destinations. Source and destination warp sets are
+    /// disjoint (H-tree rule), so the two phases cannot conflict.
+    fn cross_move(
+        &self,
+        pairs: &[(u32, u32)],
+        src: u8,
+        dst: u8,
+        row_src: u32,
+        row_dst: u32,
+    ) -> Result<(), ClusterError> {
+        let locs: Vec<GlobalLoc> = pairs.iter().map(|&(s, _)| (s, row_src, src)).collect();
+        let values = self.gather(&locs)?;
+        let writes: Vec<(u32, u32, u8, u32)> = pairs
+            .iter()
+            .zip(values)
+            .map(|(&(_, d), v)| (d, row_dst, dst, v))
+            .collect();
+        self.scatter(&writes)
+    }
+
+    /// Reads many global `(warp, row, register)` locations, one shard job
+    /// per involved shard, all in flight concurrently. Results come back in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns addressing or shard errors.
+    pub fn gather(&self, locs: &[GlobalLoc]) -> Result<Vec<u32>, ClusterError> {
+        let mut per: Vec<(Vec<usize>, Vec<Instruction>)> = (0..self.shards())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for (i, &(warp, row, reg)) in locs.iter().enumerate() {
+            let shard = self.plan.shard_of_warp(warp);
+            if shard >= self.shards() {
+                return Err(ClusterError::ShardIndex {
+                    shard,
+                    shards: self.shards(),
+                });
+            }
+            per[shard].0.push(i);
+            per[shard].1.push(Instruction::Read {
+                reg,
+                warp: self.plan.local_warp(warp),
+                row,
+            });
+        }
+        let mut tickets = Vec::new();
+        for (shard, (indices, instrs)) in per.into_iter().enumerate() {
+            if !instrs.is_empty() {
+                tickets.push((indices, self.submit(shard, instrs)?));
+            }
+        }
+        let mut out = vec![0u32; locs.len()];
+        for (indices, ticket) in tickets {
+            let values = ticket.wait()?;
+            for (i, v) in indices.into_iter().zip(values) {
+                out[i] = v.expect("read returns a value");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes many global `(warp, row, register, value)` locations, one
+    /// shard job per involved shard, all in flight concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns addressing or shard errors.
+    pub fn scatter(&self, writes: &[(u32, u32, u8, u32)]) -> Result<(), ClusterError> {
+        let mut per: Vec<Vec<Instruction>> = vec![Vec::new(); self.shards()];
+        for &(warp, row, reg, value) in writes {
+            let shard = self.plan.shard_of_warp(warp);
+            if shard >= self.shards() {
+                return Err(ClusterError::ShardIndex {
+                    shard,
+                    shards: self.shards(),
+                });
+            }
+            per[shard].push(Instruction::Write {
+                reg,
+                value,
+                target: pim_isa::ThreadRange::single(self.plan.local_warp(warp), row),
+            });
+        }
+        self.submit_all_wait(per.into_iter().enumerate().collect())
+    }
+
+    /// Gathers float words from `locs` and folds them on the host — the
+    /// cross-shard combining step of a sharded reduction.
+    ///
+    /// # Errors
+    ///
+    /// Fails for an empty location list or on gather errors.
+    pub fn reduce_f32(&self, locs: &[GlobalLoc], op: Combine) -> Result<f32, ClusterError> {
+        let bits = self.gather(locs)?;
+        fold_f32(op, bits.into_iter().map(f32::from_bits)).ok_or_else(|| ClusterError::Protocol {
+            reason: "reduction over an empty location set".into(),
+        })
+    }
+
+    /// Gathers int words from `locs` and folds them on the host.
+    ///
+    /// # Errors
+    ///
+    /// See [`reduce_f32`](PimCluster::reduce_f32).
+    pub fn reduce_i32(&self, locs: &[GlobalLoc], op: Combine) -> Result<i32, ClusterError> {
+        let bits = self.gather(locs)?;
+        fold_i32(op, bits.into_iter().map(|b| b as i32)).ok_or_else(|| ClusterError::Protocol {
+            reason: "reduction over an empty location set".into(),
+        })
+    }
+
+    /// Executes a batch of raw micro-operations on one shard through the
+    /// backend's [`pim_arch::Backend::execute_batch`] — the multi-chip
+    /// equivalent of direct micro-operation access. Subject to the same
+    /// protocol: batches must not contain reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns shard and protocol errors.
+    pub fn execute_micro_batch(&self, shard: usize, ops: Vec<MicroOp>) -> Result<(), ClusterError> {
+        let (reply, rx) = channel();
+        self.send(shard, Job::Micro { ops, reply })?;
+        rx.recv()
+            .unwrap_or(Err(ClusterError::Disconnected { shard }))
+    }
+
+    fn control<R: Send + 'static>(
+        &self,
+        make: impl Fn(Sender<R>) -> Job,
+    ) -> Result<Vec<R>, ClusterError> {
+        let mut rxs = Vec::with_capacity(self.shards());
+        for shard in 0..self.shards() {
+            let (reply, rx) = channel();
+            self.send(shard, make(reply))?;
+            rxs.push((shard, rx));
+        }
+        rxs.into_iter()
+            .map(|(shard, rx)| rx.recv().map_err(|_| ClusterError::Disconnected { shard }))
+            .collect()
+    }
+
+    /// Snapshots per-shard telemetry (profiler, issued cycles, routine-cache
+    /// hit/miss counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] if a worker died.
+    pub fn stats(&self) -> Result<ClusterStats, ClusterError> {
+        let mut shards = self.control(|reply| Job::Stats { reply })?;
+        shards.sort_by_key(|s| s.shard);
+        Ok(ClusterStats { shards })
+    }
+
+    /// Resets every shard simulator's profiling counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] if a worker died.
+    pub fn reset_profilers(&self) -> Result<(), ClusterError> {
+        self.control(|reply| Job::ResetProfiler { reply })
+            .map(|_| ())
+    }
+
+    /// Resets every shard driver's issued-cycle counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] if a worker died.
+    pub fn reset_issued(&self) -> Result<(), ClusterError> {
+        self.control(|reply| Job::ResetIssued { reply }).map(|_| ())
+    }
+
+    /// Enables/disables strict stateful-logic checking on every shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] if a worker died.
+    pub fn set_strict(&self, strict: bool) -> Result<(), ClusterError> {
+        self.control(|reply| Job::SetStrict { strict, reply })
+            .map(|_| ())
+    }
+}
+
+impl Drop for PimCluster {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; then reap the threads.
+        for w in &mut self.workers {
+            w.tx = None;
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn run_worker(shard: usize, mut driver: Driver<PimSimulator>, rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Macro { instrs, reply } => {
+                let mut out = Vec::with_capacity(instrs.len());
+                let mut failure = None;
+                for instr in &instrs {
+                    match driver.execute(instr) {
+                        Ok(v) => out.push(v),
+                        Err(e) => {
+                            failure = Some(ClusterError::Shard { shard, source: e });
+                            break;
+                        }
+                    }
+                }
+                let _ = reply.send(match failure {
+                    None => Ok(out),
+                    Some(e) => Err(e),
+                });
+            }
+            Job::Micro { ops, reply } => {
+                let result =
+                    driver
+                        .backend_mut()
+                        .execute_batch(&ops)
+                        .map_err(|e| ClusterError::Shard {
+                            shard,
+                            source: DriverError::from(e),
+                        });
+                // Raw micro-operations may have changed the stored masks
+                // behind the driver's mask-elision cache.
+                driver.invalidate_masks();
+                let _ = reply.send(result);
+            }
+            Job::Stats { reply } => {
+                let (cache_hits, cache_misses) = driver.cache_stats();
+                let _ = reply.send(ShardStats {
+                    shard,
+                    profiler: driver.backend().profiler().clone(),
+                    issued: driver.issued(),
+                    cache_hits,
+                    cache_misses,
+                    sim_threads: driver.backend().threads(),
+                });
+            }
+            Job::ResetProfiler { reply } => {
+                driver.backend_mut().reset_profiler();
+                let _ = reply.send(());
+            }
+            Job::ResetIssued { reply } => {
+                driver.reset_issued();
+                let _ = reply.send(());
+            }
+            Job::SetStrict { strict, reply } => {
+                driver.backend_mut().set_strict(strict);
+                let _ = reply.send(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::RangeMask;
+    use pim_isa::{DType, Instruction, RegOp, ThreadRange};
+
+    /// 4 chips x 4 crossbars x 64 rows.
+    fn cluster4() -> PimCluster {
+        PimCluster::new(PimConfig::small().with_crossbars(4), 4).unwrap()
+    }
+
+    #[test]
+    fn flat_address_space_write_read() {
+        let c = cluster4();
+        assert_eq!(c.shards(), 4);
+        assert_eq!(c.logical_config().crossbars, 16);
+        // One location per shard.
+        for (warp, value) in [(0u32, 10u32), (5, 20), (10, 30), (15, 40)] {
+            c.execute(&Instruction::Write {
+                reg: 1,
+                value,
+                target: ThreadRange::single(warp, 3),
+            })
+            .unwrap();
+        }
+        for (warp, value) in [(0u32, 10u32), (5, 20), (10, 30), (15, 40)] {
+            let got = c
+                .execute(&Instruction::Read {
+                    reg: 1,
+                    warp,
+                    row: 3,
+                })
+                .unwrap();
+            assert_eq!(got, Some(value), "warp {warp}");
+        }
+    }
+
+    #[test]
+    fn rtype_spans_all_shards() {
+        let c = cluster4();
+        let all = ThreadRange::all(c.logical_config());
+        c.execute_batch(&[
+            Instruction::Write {
+                reg: 0,
+                value: 30,
+                target: all,
+            },
+            Instruction::Write {
+                reg: 1,
+                value: 12,
+                target: all,
+            },
+            Instruction::RType {
+                op: RegOp::Add,
+                dtype: DType::Int32,
+                dst: 2,
+                srcs: [0, 1, 0],
+                target: all,
+            },
+        ])
+        .unwrap();
+        for warp in [0u32, 3, 4, 9, 15] {
+            let got = c
+                .execute(&Instruction::Read {
+                    reg: 2,
+                    warp,
+                    row: 63,
+                })
+                .unwrap();
+            assert_eq!(got, Some(42), "warp {warp}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_move_matches_gather_scatter() {
+        let c = cluster4();
+        // Seed distinct values in register 0, row 2 of every warp.
+        let writes: Vec<(u32, u32, u8, u32)> = (0..16).map(|w| (w, 2, 0, 1000 + w)).collect();
+        c.scatter(&writes).unwrap();
+        // Upper half -> lower half: every pair crosses a shard boundary.
+        c.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 1,
+            row_src: 2,
+            row_dst: 2,
+            warps: RangeMask::new(8, 15, 1).unwrap(),
+            dist: -8,
+        })
+        .unwrap();
+        let locs: Vec<GlobalLoc> = (0..8).map(|w| (w, 2, 1)).collect();
+        assert_eq!(
+            c.gather(&locs).unwrap(),
+            (0..8).map(|w| 1008 + w).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn intra_shard_move_stays_native() {
+        let c = cluster4();
+        c.scatter(&[(4, 0, 0, 7777)]).unwrap();
+        // Warp 4 -> warp 5: both on shard 1, no host transfer.
+        c.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 0,
+            row_src: 0,
+            row_dst: 1,
+            warps: RangeMask::single(4),
+            dist: 1,
+        })
+        .unwrap();
+        assert_eq!(c.gather(&[(5, 1, 0)]).unwrap(), vec![7777]);
+        // A native move executes zero reads on any chip.
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats
+                .shards
+                .iter()
+                .map(|s| s.profiler.ops.read)
+                .sum::<u64>(),
+            1, // only the gather's read
+        );
+    }
+
+    #[test]
+    fn submit_streams_concurrently() {
+        let c = cluster4();
+        // One pending batch per shard before any wait.
+        let tickets: Vec<JobTicket> = (0..4)
+            .map(|s| {
+                c.submit(
+                    s,
+                    vec![Instruction::Write {
+                        reg: 0,
+                        value: s as u32,
+                        target: ThreadRange::single(0, 0),
+                    }],
+                )
+                .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let vals = c
+            .gather(&[(0, 0, 0), (4, 0, 0), (8, 0, 0), (12, 0, 0)])
+            .unwrap();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn micro_batch_rejects_reads_on_shard_path() {
+        // The Backend::execute_batch protocol holds through the cluster.
+        let c = cluster4();
+        let err = c
+            .execute_micro_batch(2, vec![MicroOp::Read { index: 0 }])
+            .unwrap_err();
+        assert!(
+            matches!(&err, ClusterError::Shard { shard: 2, .. }),
+            "unexpected error {err:?}"
+        );
+        // Non-read micro batches execute.
+        c.execute_micro_batch(2, vec![MicroOp::Write { index: 0, value: 5 }])
+            .unwrap();
+    }
+
+    #[test]
+    fn batch_rejects_macro_reads() {
+        let c = cluster4();
+        let err = c
+            .execute_batch(&[Instruction::Read {
+                reg: 0,
+                warp: 0,
+                row: 0,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol { .. }));
+    }
+
+    #[test]
+    fn micro_batch_does_not_poison_mask_elision() {
+        // Raw micro-operations change the stored masks behind the shard
+        // driver's back; the worker must invalidate the driver's
+        // mask-elision cache or later macro-instructions execute under
+        // stale masks.
+        let c = cluster4();
+        let all = ThreadRange::all(c.logical_config());
+        c.execute(&Instruction::Write {
+            reg: 0,
+            value: 1,
+            target: all,
+        })
+        .unwrap();
+        c.execute_micro_batch(
+            0,
+            vec![
+                MicroOp::XbMask(RangeMask::single(0)),
+                MicroOp::RowMask(RangeMask::single(0)),
+            ],
+        )
+        .unwrap();
+        c.execute(&Instruction::Write {
+            reg: 0,
+            value: 2,
+            target: all,
+        })
+        .unwrap();
+        // Without invalidation this read returns the stale value 1.
+        assert_eq!(
+            c.execute(&Instruction::Read {
+                reg: 0,
+                warp: 3,
+                row: 5
+            })
+            .unwrap(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn batch_errors_are_all_or_nothing() {
+        let c = cluster4();
+        let err = c
+            .execute_batch(&[
+                Instruction::Write {
+                    reg: 0,
+                    value: 7,
+                    target: ThreadRange::single(0, 0),
+                },
+                Instruction::Read {
+                    reg: 0,
+                    warp: 0,
+                    row: 0,
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol { .. }));
+        // The write preceding the rejected read must not have run.
+        assert_eq!(c.gather(&[(0, 0, 0)]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn stats_aggregate_cache_and_cycles() {
+        let c = cluster4();
+        let all = ThreadRange::all(c.logical_config());
+        let add = Instruction::RType {
+            op: RegOp::Add,
+            dtype: DType::Int32,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target: all,
+        };
+        c.execute(&add).unwrap();
+        c.execute(&add).unwrap();
+        let stats = c.stats().unwrap();
+        // Every shard compiled the routine once and hit once.
+        assert_eq!(stats.cache_stats(), (4, 4));
+        assert!(stats.total_cycles() > 0);
+        assert!(stats.critical_path_cycles() <= stats.total_cycles());
+        assert_eq!(stats.merged_profiler().cycles, stats.critical_path_cycles());
+        assert_eq!(
+            stats.issued().total,
+            stats.shards.iter().map(|s| s.issued.total).sum()
+        );
+        for s in &stats.shards {
+            assert_eq!(s.sim_threads, 1, "shard sims must be pinned to 1 thread");
+        }
+    }
+
+    #[test]
+    fn reduce_combines_across_shards() {
+        let c = cluster4();
+        let writes: Vec<(u32, u32, u8, u32)> = (0..16u32)
+            .map(|w| (w, 0, 0, (w as f32 + 1.0).to_bits()))
+            .collect();
+        c.scatter(&writes).unwrap();
+        let locs: Vec<GlobalLoc> = (0..16u32).map(|w| (w, 0, 0)).collect();
+        assert_eq!(c.reduce_f32(&locs, Combine::Sum).unwrap(), 136.0);
+        assert_eq!(c.reduce_f32(&locs, Combine::Min).unwrap(), 1.0);
+        assert_eq!(c.reduce_f32(&locs, Combine::Max).unwrap(), 16.0);
+        let iwrites: Vec<(u32, u32, u8, u32)> =
+            (0..16u32).map(|w| (w, 1, 1, w.wrapping_sub(8))).collect();
+        c.scatter(&iwrites).unwrap();
+        let ilocs: Vec<GlobalLoc> = (0..16u32).map(|w| (w, 1, 1)).collect();
+        assert_eq!(c.reduce_i32(&ilocs, Combine::Min).unwrap(), -8);
+        assert_eq!(c.reduce_i32(&ilocs, Combine::Max).unwrap(), 7);
+        assert_eq!(c.reduce_i32(&ilocs, Combine::Sum).unwrap(), -8);
+    }
+
+    #[test]
+    fn invalid_logical_instruction_rejected() {
+        let c = cluster4();
+        // Warp 16 is out of the 16-warp logical space.
+        let err = c
+            .execute(&Instruction::Read {
+                reg: 0,
+                warp: 16,
+                row: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Invalid(_)));
+        let err = c.submit(9, vec![]).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::ShardIndex {
+                shard: 9,
+                shards: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn single_shard_cluster_behaves_like_one_chip() {
+        let c = PimCluster::new(PimConfig::small(), 1).unwrap();
+        assert_eq!(c.logical_config(), c.shard_config());
+        let all = ThreadRange::all(c.logical_config());
+        c.execute(&Instruction::Write {
+            reg: 3,
+            value: 9,
+            target: all,
+        })
+        .unwrap();
+        assert_eq!(
+            c.execute(&Instruction::Read {
+                reg: 3,
+                warp: 15,
+                row: 63
+            })
+            .unwrap(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn cluster_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PimCluster>();
+    }
+}

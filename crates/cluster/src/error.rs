@@ -1,0 +1,77 @@
+use pim_arch::ArchError;
+use pim_driver::DriverError;
+use std::fmt;
+
+/// Errors raised by the sharded execution engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A shard's host driver rejected or failed an instruction.
+    Shard {
+        /// Shard that produced the error.
+        shard: usize,
+        /// Underlying driver error.
+        source: DriverError,
+    },
+    /// A logical instruction failed validation against the cluster's
+    /// aggregate geometry before routing.
+    Invalid(ArchError),
+    /// The cluster was built with an unusable shard count.
+    InvalidShardCount {
+        /// Requested number of shards.
+        shards: usize,
+    },
+    /// A shard index was out of range.
+    ShardIndex {
+        /// Offending index.
+        shard: usize,
+        /// Number of shards in the cluster.
+        shards: usize,
+    },
+    /// A shard worker thread is gone (its channel is closed).
+    Disconnected {
+        /// Shard whose worker disconnected.
+        shard: usize,
+    },
+    /// A cluster-level protocol rule was violated (e.g. a read inside a
+    /// batched submission).
+    Protocol {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+            ClusterError::Invalid(e) => write!(f, "invalid logical instruction: {e}"),
+            ClusterError::InvalidShardCount { shards } => {
+                write!(f, "invalid shard count {shards} (need at least 1)")
+            }
+            ClusterError::ShardIndex { shard, shards } => {
+                write!(f, "shard index {shard} out of range for {shards} shards")
+            }
+            ClusterError::Disconnected { shard } => {
+                write!(f, "shard {shard} worker disconnected")
+            }
+            ClusterError::Protocol { reason } => write!(f, "cluster protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Shard { source, .. } => Some(source),
+            ClusterError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ClusterError {
+    fn from(e: ArchError) -> Self {
+        ClusterError::Invalid(e)
+    }
+}

@@ -1,0 +1,75 @@
+//! # pim-cluster
+//!
+//! A sharded multi-chip execution engine for the PyPIM stack: `N` simulated
+//! PIM chips — each a [`pim_driver::Driver`] over its own bit-accurate
+//! [`pim_sim::PimSimulator`] — run on dedicated worker threads behind
+//! batched job channels and present one flat address space of
+//! `N × crossbars` warps.
+//!
+//! The paper (conf_micro_LeitersdorfRK24) models a *single* memory chip
+//! behind the micro-operation interface; this crate composes many of them
+//! the way a production deployment would rack chips behind one host:
+//!
+//! * [`ShardPlan`] — partitions the flat warp/element range across shards.
+//!   Every ISA mask is an arithmetic progression, so a logical thread range
+//!   splits into at most one local range per shard.
+//! * [`PimCluster::submit`]/[`JobTicket::wait`] — batched job submission:
+//!   many macro-instruction batches stream to all shards concurrently, from
+//!   any number of client threads.
+//! * [`PimCluster::execute`]/[`PimCluster::execute_batch`] — transparent
+//!   routing of logical instructions, including inter-warp moves: moves
+//!   within a chip stay native, moves crossing a chip boundary fall back to
+//!   host-mediated [`PimCluster::gather`]/[`PimCluster::scatter`] (standing
+//!   in for a chip-to-chip interconnect).
+//! * [`Combine`]/[`PimCluster::reduce_f32`]/[`PimCluster::reduce_i32`] —
+//!   cross-shard combining: gather per-shard partials and fold on the host.
+//! * [`PimCluster::stats`] — per-shard telemetry (simulator profiler,
+//!   driver issued cycles, routine-cache hit/miss counters), aggregated by
+//!   [`ClusterStats`] — the observability behind the §V-B "driver is not
+//!   the bottleneck" claim at cluster scale.
+//!
+//! The development library (`pypim-core`) builds on this crate:
+//! `Device::cluster(cfg, shards)` runs every tensor program unchanged on
+//! 1 or N chips with bit-identical results.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_arch::PimConfig;
+//! use pim_cluster::PimCluster;
+//! use pim_isa::{DType, Instruction, RegOp, ThreadRange};
+//!
+//! # fn main() -> Result<(), pim_cluster::ClusterError> {
+//! // Four chips of 4 crossbars each: one flat space of 16 warps.
+//! let cluster = PimCluster::new(PimConfig::small().with_crossbars(4), 4)?;
+//! let all = ThreadRange::all(cluster.logical_config());
+//!
+//! // One logical instruction fans out to all four chips concurrently.
+//! cluster.execute_batch(&[
+//!     Instruction::Write { reg: 0, value: 30, target: all },
+//!     Instruction::Write { reg: 1, value: 12, target: all },
+//!     Instruction::RType {
+//!         op: RegOp::Add,
+//!         dtype: DType::Int32,
+//!         dst: 2,
+//!         srcs: [0, 1, 0],
+//!         target: all,
+//!     },
+//! ])?;
+//!
+//! // Warp 13 lives on shard 3; the flat address space hides that.
+//! let got = cluster.execute(&Instruction::Read { reg: 2, warp: 13, row: 7 })?;
+//! assert_eq!(got, Some(42));
+//! # Ok(())
+//! # }
+//! ```
+
+mod cluster;
+mod error;
+mod plan;
+
+pub use cluster::{
+    fold_f32, fold_i32, ClusterStats, Combine, GlobalLoc, JobTicket, PimCluster, ShardStats,
+};
+pub use error::ClusterError;
+pub use plan::ShardPlan;

@@ -1,0 +1,236 @@
+//! Shard partitioning: how the cluster's flat logical address space (warps,
+//! threads, tensor elements) maps onto per-chip local addresses.
+//!
+//! The cluster presents `shards × crossbars` warps as one contiguous warp
+//! space; shard `s` owns global warps `s·crossbars .. (s+1)·crossbars`.
+//! Because every ISA mask is an arithmetic progression
+//! (`{start, start+step, …, stop}`, §III-B), its intersection with a shard's
+//! warp interval is again an arithmetic progression with the same step — so
+//! any logical thread range splits into at most one local range per shard.
+
+use crate::ClusterError;
+use pim_arch::{PimConfig, RangeMask};
+use pim_isa::ThreadRange;
+use std::ops::Range;
+
+/// Partition of the cluster's flat element/warp range across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    /// Crossbars (warps) per shard.
+    crossbars: usize,
+    /// Rows (threads) per warp.
+    rows: usize,
+}
+
+impl ShardPlan {
+    /// Creates the plan for `shards` chips of geometry `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidShardCount`] for zero shards and
+    /// [`ClusterError::Invalid`] if `cfg` fails validation.
+    pub fn new(cfg: &PimConfig, shards: usize) -> Result<Self, ClusterError> {
+        if shards == 0 {
+            return Err(ClusterError::InvalidShardCount { shards });
+        }
+        cfg.validate()?;
+        Ok(ShardPlan {
+            shards,
+            crossbars: cfg.crossbars,
+            rows: cfg.rows,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Warps owned by each shard.
+    pub fn warps_per_shard(&self) -> usize {
+        self.crossbars
+    }
+
+    /// Threads (elements at stride 1) owned by each shard.
+    pub fn threads_per_shard(&self) -> usize {
+        self.crossbars * self.rows
+    }
+
+    /// Total warps across the cluster.
+    pub fn total_warps(&self) -> usize {
+        self.shards * self.crossbars
+    }
+
+    /// Total threads across the cluster.
+    pub fn total_threads(&self) -> usize {
+        self.shards * self.crossbars * self.rows
+    }
+
+    /// Shard owning global warp `warp`.
+    pub fn shard_of_warp(&self, warp: u32) -> usize {
+        warp as usize / self.crossbars
+    }
+
+    /// Local (per-chip) index of global warp `warp`.
+    pub fn local_warp(&self, warp: u32) -> u32 {
+        (warp as usize % self.crossbars) as u32
+    }
+
+    /// Splits a flat element range `[0, n)` (thread-dense, stride 1 from
+    /// thread 0) into per-shard sub-ranges — the unit of data-parallel batch
+    /// placement. Shards past the data hold empty ranges.
+    pub fn partition_elements(&self, n: usize) -> Vec<Range<usize>> {
+        let per = self.threads_per_shard();
+        (0..self.shards)
+            .map(|s| {
+                let lo = (s * per).min(n);
+                let hi = ((s + 1) * per).min(n);
+                lo..hi
+            })
+            .collect()
+    }
+
+    /// Splits a global warp mask into `(shard, local mask)` pairs, covering
+    /// exactly the same warp set. Shards the mask does not touch are absent.
+    pub fn split_warps(&self, mask: &RangeMask) -> Vec<(usize, RangeMask)> {
+        let c = self.crossbars as u32;
+        let first = (mask.start() / c) as usize;
+        let last = ((mask.stop() / c) as usize).min(self.shards - 1);
+        let mut out = Vec::with_capacity(last.saturating_sub(first) + 1);
+        for shard in first..=last {
+            let lo = shard as u32 * c;
+            if let Some(local) = intersect_rebase(mask, lo, lo + c) {
+                out.push((shard, local));
+            }
+        }
+        out
+    }
+
+    /// Splits a logical thread range into per-shard local thread ranges
+    /// (rows are per-warp and pass through unchanged).
+    pub fn split_target(&self, t: &ThreadRange) -> Vec<(usize, ThreadRange)> {
+        self.split_warps(&t.warps)
+            .into_iter()
+            .map(|(s, warps)| (s, ThreadRange::new(warps, t.rows)))
+            .collect()
+    }
+}
+
+/// Intersects an arithmetic progression with `[lo, hi)` and rebases it to
+/// `lo`; `None` when the intersection is empty.
+fn intersect_rebase(mask: &RangeMask, lo: u32, hi: u32) -> Option<RangeMask> {
+    let (start, stop, step) = (mask.start(), mask.stop(), mask.step());
+    let first = if lo > start {
+        start + (lo - start).div_ceil(step) * step
+    } else {
+        start
+    };
+    if first > stop || first >= hi {
+        return None;
+    }
+    let last = stop.min(hi - 1);
+    let count = (last - first) / step + 1;
+    Some(RangeMask::strided(first - lo, count, step).expect("subset of a valid mask is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn plan4() -> ShardPlan {
+        ShardPlan::new(&PimConfig::small().with_crossbars(4), 4).unwrap()
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let p = plan4();
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.warps_per_shard(), 4);
+        assert_eq!(p.total_warps(), 16);
+        assert_eq!(p.threads_per_shard(), 4 * 64);
+        assert_eq!(p.total_threads(), 16 * 64);
+        assert_eq!(p.shard_of_warp(0), 0);
+        assert_eq!(p.shard_of_warp(7), 1);
+        assert_eq!(p.local_warp(7), 3);
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        assert!(matches!(
+            ShardPlan::new(&PimConfig::small(), 0),
+            Err(ClusterError::InvalidShardCount { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_mask_splits_per_shard() {
+        let p = plan4();
+        let m = RangeMask::dense(0, 16).unwrap();
+        let parts = p.split_warps(&m);
+        assert_eq!(parts.len(), 4);
+        for (s, local) in parts {
+            assert_eq!(local.start(), 0);
+            assert_eq!(local.len(), 4, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn strided_mask_keeps_step() {
+        let p = plan4();
+        // Warps {1, 4, 7, 10, 13}: shards 0..=3.
+        let m = RangeMask::strided(1, 5, 3).unwrap();
+        let parts = p.split_warps(&m);
+        let mut covered = Vec::new();
+        for (s, local) in &parts {
+            assert_eq!(local.step(), 3);
+            for w in local.iter() {
+                covered.push(*s as u32 * 4 + w);
+            }
+        }
+        assert_eq!(covered, vec![1, 4, 7, 10, 13]);
+    }
+
+    #[test]
+    fn partition_elements_covers_range() {
+        let p = plan4();
+        let parts = p.partition_elements(700);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], 0..256);
+        assert_eq!(parts[1], 256..512);
+        assert_eq!(parts[2], 512..700);
+        assert_eq!(parts[3], 700..700);
+    }
+
+    proptest! {
+        /// Splitting never loses, duplicates, or invents warps. Mask
+        /// parameters are derived to always fit the geometry, so every
+        /// generated case is exercised (no rejection).
+        #[test]
+        fn split_is_exact_cover(
+            start_raw in 0u32..1024, count_raw in 0u32..1024, step in 1u32..9,
+            crossbars in 1usize..9, shards in 1usize..6,
+        ) {
+            let total = (crossbars * shards) as u32;
+            let start = start_raw % total;
+            // Largest count keeping start + (count-1)*step < total.
+            let max_count = (total - 1 - start) / step + 1;
+            let count = 1 + count_raw % max_count;
+            let mask = RangeMask::strided(start, count, step).unwrap();
+            prop_assert!(mask.stop() < total);
+            let cfg = PimConfig::small().with_crossbars(crossbars);
+            let p = ShardPlan::new(&cfg, shards).unwrap();
+            let mut covered: Vec<u32> = Vec::new();
+            for (s, local) in p.split_warps(&mask) {
+                prop_assert!(s < shards);
+                prop_assert!(local.stop() < crossbars as u32);
+                for w in local.iter() {
+                    covered.push(s as u32 * crossbars as u32 + w);
+                }
+            }
+            let expect: Vec<u32> = mask.iter().collect();
+            prop_assert_eq!(covered, expect);
+        }
+    }
+}

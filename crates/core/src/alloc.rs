@@ -57,11 +57,7 @@ impl Intervals {
 
     /// Claims the first free range of `len` warps.
     fn claim_first(&mut self, len: u32) -> Option<u32> {
-        let start = self
-            .free
-            .iter()
-            .find(|(_, &l)| l >= len)
-            .map(|(&s, _)| s)?;
+        let start = self.free.iter().find(|(_, &l)| l >= len).map(|(&s, _)| s)?;
         self.claim_exact(start, len).then_some(start)
     }
 
@@ -105,7 +101,9 @@ impl MemoryManager {
     /// Creates a manager for `cfg` (one interval set per ISA register).
     pub fn new(cfg: &PimConfig) -> Self {
         MemoryManager {
-            per_reg: (0..cfg.user_regs).map(|_| Intervals::new(cfg.crossbars as u32)).collect(),
+            per_reg: (0..cfg.user_regs)
+                .map(|_| Intervals::new(cfg.crossbars as u32))
+                .collect(),
             total_warps: cfg.crossbars as u32,
             last_window: None,
         }
@@ -122,7 +120,9 @@ impl MemoryManager {
     pub fn alloc(&mut self, warps: u32, near: Option<Stripe>) -> Result<Stripe> {
         assert!(warps > 0);
         if warps > self.total_warps {
-            return Err(CoreError::OutOfMemory { elements: warps as usize });
+            return Err(CoreError::OutOfMemory {
+                elements: warps as usize,
+            });
         }
         // 1. Exact window of the reference stripe, any register.
         let windows: Vec<(u32, u32)> = [near.map(|s| (s.warp_start, s.warps)), self.last_window]
@@ -133,7 +133,11 @@ impl MemoryManager {
         for (start, _) in windows {
             for (reg, iv) in self.per_reg.iter_mut().enumerate() {
                 if iv.claim_exact(start, warps) {
-                    let s = Stripe { reg: reg as u8, warp_start: start, warps };
+                    let s = Stripe {
+                        reg: reg as u8,
+                        warp_start: start,
+                        warps,
+                    };
                     self.last_window = Some((start, warps));
                     return Ok(s);
                 }
@@ -142,12 +146,18 @@ impl MemoryManager {
         // 2. First fit across registers.
         for (reg, iv) in self.per_reg.iter_mut().enumerate() {
             if let Some(start) = iv.claim_first(warps) {
-                let s = Stripe { reg: reg as u8, warp_start: start, warps };
+                let s = Stripe {
+                    reg: reg as u8,
+                    warp_start: start,
+                    warps,
+                };
                 self.last_window = Some((start, warps));
                 return Ok(s);
             }
         }
-        Err(CoreError::OutOfMemory { elements: warps as usize })
+        Err(CoreError::OutOfMemory {
+            elements: warps as usize,
+        })
     }
 
     /// Allocates a stripe covering exactly the window of `like` (any free
@@ -160,10 +170,16 @@ impl MemoryManager {
     pub fn alloc_like(&mut self, like: Stripe) -> Result<Stripe> {
         for (reg, iv) in self.per_reg.iter_mut().enumerate() {
             if iv.claim_exact(like.warp_start, like.warps) {
-                return Ok(Stripe { reg: reg as u8, warp_start: like.warp_start, warps: like.warps });
+                return Ok(Stripe {
+                    reg: reg as u8,
+                    warp_start: like.warp_start,
+                    warps: like.warps,
+                });
             }
         }
-        Err(CoreError::OutOfMemory { elements: like.warps as usize })
+        Err(CoreError::OutOfMemory {
+            elements: like.warps as usize,
+        })
     }
 
     /// Returns a stripe to the free pool.
@@ -173,7 +189,10 @@ impl MemoryManager {
 
     /// Total free warp-stripes summed over registers (for tests).
     pub fn free_capacity(&self) -> u64 {
-        self.per_reg.iter().map(|iv| iv.free.values().map(|&l| l as u64).sum::<u64>()).sum()
+        self.per_reg
+            .iter()
+            .map(|iv| iv.free.values().map(|&l| l as u64).sum::<u64>())
+            .sum()
     }
 }
 
@@ -234,7 +253,10 @@ mod tests {
         for _ in 0..16 {
             stripes.push(m.alloc(16, None).unwrap());
         }
-        assert!(matches!(m.alloc(1, None), Err(CoreError::OutOfMemory { .. })));
+        assert!(matches!(
+            m.alloc(1, None),
+            Err(CoreError::OutOfMemory { .. })
+        ));
         m.free(stripes.pop().unwrap());
         assert!(m.alloc(16, None).is_ok());
     }
@@ -246,8 +268,7 @@ mod tests {
         let b = m.alloc(5, None).unwrap();
         let c = m.alloc(6, None).unwrap();
         // a, b, c may be on different regs; force same-reg fragmentation:
-        let on_same_reg: Vec<Stripe> =
-            [a, b, c].into_iter().filter(|s| s.reg == a.reg).collect();
+        let on_same_reg: Vec<Stripe> = [a, b, c].into_iter().filter(|s| s.reg == a.reg).collect();
         for s in on_same_reg {
             m.free(s);
         }

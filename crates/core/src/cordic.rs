@@ -97,7 +97,12 @@ mod tests {
     fn known_angles() {
         let dev = Device::new(PimConfig::small().with_crossbars(1).with_rows(8)).unwrap();
         let t = dev
-            .from_slice_f32(&[0.0, std::f32::consts::FRAC_PI_2, -std::f32::consts::FRAC_PI_2, std::f32::consts::FRAC_PI_6])
+            .from_slice_f32(&[
+                0.0,
+                std::f32::consts::FRAC_PI_2,
+                -std::f32::consts::FRAC_PI_2,
+                std::f32::consts::FRAC_PI_6,
+            ])
             .unwrap();
         let (s, c) = t.sin_cos().unwrap();
         let sv = s.to_vec_f32().unwrap();

@@ -3,13 +3,21 @@ use crate::tensor::{AllocGuard, Tensor};
 use crate::{CoreError, Result};
 use parking_lot::Mutex;
 use pim_arch::PimConfig;
+use pim_cluster::{ClusterStats, PimCluster};
 use pim_driver::{Driver, ParallelismMode};
 use pim_isa::{DType, Instruction};
 use pim_sim::{PimSimulator, Profiler};
 use std::sync::Arc;
 
+/// The execution engine behind a device: a single simulated chip driven
+/// in-process, or a sharded multi-chip cluster (`pim-cluster`).
+pub(crate) enum Engine {
+    Single(Box<Mutex<Driver<PimSimulator>>>),
+    Cluster(PimCluster),
+}
+
 pub(crate) struct DeviceInner {
-    pub(crate) driver: Mutex<Driver<PimSimulator>>,
+    pub(crate) engine: Engine,
     pub(crate) mem: Mutex<MemoryManager>,
     pub(crate) cfg: PimConfig,
 }
@@ -42,7 +50,9 @@ pub struct Device {
 
 impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Device").field("config", &self.inner.cfg).finish()
+        f.debug_struct("Device")
+            .field("config", &self.inner.cfg)
+            .finish()
     }
 }
 
@@ -67,16 +77,71 @@ impl Device {
         let driver = Driver::with_mode(sim, mode);
         Ok(Device {
             inner: Arc::new(DeviceInner {
-                driver: Mutex::new(driver),
+                engine: Engine::Single(Box::new(Mutex::new(driver))),
                 mem: Mutex::new(MemoryManager::new(&cfg)),
                 cfg,
             }),
         })
     }
 
-    /// The device geometry.
+    /// Creates a device backed by a sharded multi-chip cluster: `shards`
+    /// simulated chips of geometry `cfg`, presented as one memory with
+    /// `shards × cfg.crossbars` warps. Every tensor program runs unchanged
+    /// — and bit-identically — on 1 or N chips; element-parallel work fans
+    /// out across the shard workers concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cfg` fails validation or `shards` is zero.
+    pub fn cluster(cfg: PimConfig, shards: usize) -> Result<Self> {
+        Device::cluster_with_mode(cfg, shards, ParallelismMode::default())
+    }
+
+    /// Creates a cluster-backed device with an explicit driver parallelism
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`cluster`](Device::cluster).
+    pub fn cluster_with_mode(cfg: PimConfig, shards: usize, mode: ParallelismMode) -> Result<Self> {
+        let cluster = PimCluster::with_mode(cfg, shards, mode)?;
+        let logical = cluster.logical_config().clone();
+        Ok(Device {
+            inner: Arc::new(DeviceInner {
+                engine: Engine::Cluster(cluster),
+                mem: Mutex::new(MemoryManager::new(&logical)),
+                cfg: logical,
+            }),
+        })
+    }
+
+    /// The device geometry (for a cluster: the aggregate geometry across
+    /// all shards).
     pub fn config(&self) -> &PimConfig {
         &self.inner.cfg
+    }
+
+    /// Number of chips backing this device (1 unless built with
+    /// [`Device::cluster`]).
+    pub fn shards(&self) -> usize {
+        match &self.inner.engine {
+            Engine::Single(_) => 1,
+            Engine::Cluster(c) => c.shards(),
+        }
+    }
+
+    /// Per-shard telemetry when this device is cluster-backed, `None` for a
+    /// single-chip device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker thread has died — zeroed telemetry would
+    /// silently misreport a broken cluster.
+    pub fn cluster_stats(&self) -> Option<ClusterStats> {
+        match &self.inner.engine {
+            Engine::Single(_) => None,
+            Engine::Cluster(c) => Some(c.stats().expect("cluster shard worker died")),
+        }
     }
 
     /// Whether two handles refer to the same device.
@@ -86,8 +151,24 @@ impl Device {
 
     /// Snapshot of the simulator's profiling counters (cycles,
     /// micro-operation counts) — the paper's `pim.Profiler()` facility.
+    ///
+    /// For a cluster, operation/gate counters are summed across shards and
+    /// `cycles` is the busiest shard (chips run concurrently, so that is
+    /// the wall-clock latency); see [`Device::cluster_stats`] for the
+    /// per-shard breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster shard worker thread has died (see
+    /// [`Device::cluster_stats`]).
     pub fn profiler(&self) -> Profiler {
-        self.inner.driver.lock().backend().profiler().clone()
+        match &self.inner.engine {
+            Engine::Single(d) => d.lock().backend().profiler().clone(),
+            Engine::Cluster(c) => c
+                .stats()
+                .expect("cluster shard worker died")
+                .merged_profiler(),
+        }
     }
 
     /// PIM cycles consumed so far.
@@ -96,37 +177,133 @@ impl Device {
     }
 
     /// Resets the profiling counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster shard worker thread has died.
     pub fn reset_profiler(&self) {
-        self.inner.driver.lock().backend_mut().reset_profiler();
+        match &self.inner.engine {
+            Engine::Single(d) => d.lock().backend_mut().reset_profiler(),
+            Engine::Cluster(c) => c.reset_profilers().expect("cluster shard worker died"),
+        }
     }
 
     /// Enables/disables the simulator's strict stateful-logic checking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster shard worker thread has died.
     pub fn set_strict(&self, strict: bool) {
-        self.inner.driver.lock().backend_mut().set_strict(strict);
+        match &self.inner.engine {
+            Engine::Single(d) => d.lock().backend_mut().set_strict(strict),
+            Engine::Cluster(c) => c.set_strict(strict).expect("cluster shard worker died"),
+        }
     }
 
-    /// Routine-cache statistics `(hits, misses)` of the host driver.
+    /// Routine-cache statistics `(hits, misses)` of the host driver (for a
+    /// cluster: summed over the per-shard drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster shard worker thread has died (see
+    /// [`Device::cluster_stats`]).
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.inner.driver.lock().cache_stats()
+        match &self.inner.engine {
+            Engine::Single(d) => d.lock().cache_stats(),
+            Engine::Cluster(c) => c.stats().expect("cluster shard worker died").cache_stats(),
+        }
     }
 
     /// Driver-issued cycle counters (logic vs total) — the theoretical-PIM
-    /// baseline of everything executed so far.
+    /// baseline of everything executed so far (for a cluster: summed over
+    /// shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster shard worker thread has died (see
+    /// [`Device::cluster_stats`]).
     pub fn issued(&self) -> pim_driver::IssuedCycles {
-        self.inner.driver.lock().issued()
+        match &self.inner.engine {
+            Engine::Single(d) => d.lock().issued(),
+            Engine::Cluster(c) => c.stats().expect("cluster shard worker died").issued(),
+        }
     }
 
     /// Resets both the simulator profiler and the driver's issued-cycle
     /// counters (the start of a measurement region).
     pub fn reset_counters(&self) {
-        let mut d = self.inner.driver.lock();
-        d.backend_mut().reset_profiler();
-        d.reset_issued();
+        match &self.inner.engine {
+            Engine::Single(d) => {
+                let mut d = d.lock();
+                d.backend_mut().reset_profiler();
+                d.reset_issued();
+            }
+            Engine::Cluster(c) => {
+                c.reset_profilers().expect("cluster shard worker died");
+                c.reset_issued().expect("cluster shard worker died");
+            }
+        }
     }
 
     /// Executes one macro-instruction on the device.
     pub(crate) fn exec(&self, instr: &Instruction) -> Result<Option<u32>> {
-        Ok(self.inner.driver.lock().execute(instr)?)
+        match &self.inner.engine {
+            Engine::Single(d) => Ok(d.lock().execute(instr)?),
+            Engine::Cluster(c) => Ok(c.execute(instr)?),
+        }
+    }
+
+    /// Executes a sequence of non-read macro-instructions. On a cluster the
+    /// whole batch is split per shard up front and streams to all shards
+    /// concurrently (one job per shard between cross-chip barriers).
+    pub(crate) fn exec_batch(&self, instrs: &[Instruction]) -> Result<()> {
+        match &self.inner.engine {
+            Engine::Single(d) => {
+                let mut d = d.lock();
+                for i in instrs {
+                    d.execute(i)?;
+                }
+                Ok(())
+            }
+            Engine::Cluster(c) => Ok(c.execute_batch(instrs)?),
+        }
+    }
+
+    /// Reads many `(warp, row, register)` locations, returning values in
+    /// input order. Cluster-backed devices gather with one concurrent job
+    /// per shard.
+    pub(crate) fn read_many(&self, locs: &[(u32, u32, u8)]) -> Result<Vec<u32>> {
+        match &self.inner.engine {
+            Engine::Single(d) => {
+                let mut d = d.lock();
+                locs.iter()
+                    .map(|&(warp, row, reg)| {
+                        Ok(d.execute(&Instruction::Read { reg, warp, row })?
+                            .expect("read returns a value"))
+                    })
+                    .collect()
+            }
+            Engine::Cluster(c) => Ok(c.gather(locs)?),
+        }
+    }
+
+    /// Writes many `(warp, row, register, value)` locations. Cluster-backed
+    /// devices scatter with one concurrent job per shard.
+    pub(crate) fn write_many(&self, writes: &[(u32, u32, u8, u32)]) -> Result<()> {
+        match &self.inner.engine {
+            Engine::Single(d) => {
+                let mut d = d.lock();
+                for &(warp, row, reg, value) in writes {
+                    d.execute(&Instruction::Write {
+                        reg,
+                        value,
+                        target: pim_isa::ThreadRange::single(warp, row),
+                    })?;
+                }
+                Ok(())
+            }
+            Engine::Cluster(c) => Ok(c.scatter(writes)?),
+        }
     }
 
     /// Allocates an uninitialized tensor of `capacity` elements (rounded up
@@ -138,13 +315,18 @@ impl Device {
         near: Option<Stripe>,
     ) -> Result<Tensor> {
         if capacity == 0 {
-            return Err(CoreError::InvalidSlice { what: "zero-length tensor".into() });
+            return Err(CoreError::InvalidSlice {
+                what: "zero-length tensor".into(),
+            });
         }
         let rows = self.inner.cfg.rows;
         let warps = capacity.div_ceil(rows) as u32;
         let stripe = self.inner.mem.lock().alloc(warps, near)?;
         Ok(Tensor::from_stripe(
-            Arc::new(AllocGuard { stripe, device: self.clone() }),
+            Arc::new(AllocGuard {
+                stripe,
+                device: self.clone(),
+            }),
             dtype,
             capacity,
         ))
@@ -152,10 +334,18 @@ impl Device {
 
     /// Allocates a tensor occupying exactly the warp window of `like` on a
     /// fresh register (the fallback-copy/allocation-alignment path).
-    pub(crate) fn empty_like_window(&self, like: Stripe, dtype: DType, len: usize) -> Result<Tensor> {
+    pub(crate) fn empty_like_window(
+        &self,
+        like: Stripe,
+        dtype: DType,
+        len: usize,
+    ) -> Result<Tensor> {
         let stripe = self.inner.mem.lock().alloc_like(like)?;
         Ok(Tensor::from_stripe(
-            Arc::new(AllocGuard { stripe, device: self.clone() }),
+            Arc::new(AllocGuard {
+                stripe,
+                device: self.clone(),
+            }),
             dtype,
             len,
         ))
@@ -211,9 +401,7 @@ impl Device {
     /// [`CoreError::InvalidSlice`] for empty input.
     pub fn from_slice_f32(&self, data: &[f32]) -> Result<Tensor> {
         let t = self.empty(data.len(), DType::Float32, None)?;
-        for (i, v) in data.iter().enumerate() {
-            t.set_raw(i, v.to_bits())?;
-        }
+        t.store_raw(data.iter().map(|v| v.to_bits()))?;
         Ok(t)
     }
 
@@ -224,9 +412,7 @@ impl Device {
     /// See [`from_slice_f32`](Device::from_slice_f32).
     pub fn from_slice_i32(&self, data: &[i32]) -> Result<Tensor> {
         let t = self.empty(data.len(), DType::Int32, None)?;
-        for (i, v) in data.iter().enumerate() {
-            t.set_raw(i, *v as u32)?;
-        }
+        t.store_raw(data.iter().map(|v| *v as u32))?;
         Ok(t)
     }
 
@@ -238,9 +424,7 @@ impl Device {
     /// See [`from_slice_f32`](Device::from_slice_f32).
     pub fn arange_i32(&self, n: usize) -> Result<Tensor> {
         let t = self.empty(n, DType::Int32, None)?;
-        for i in 0..n {
-            t.set_raw(i, i as u32)?;
-        }
+        t.store_raw((0..n).map(|i| i as u32))?;
         Ok(t)
     }
 }

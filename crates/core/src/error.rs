@@ -1,3 +1,4 @@
+use pim_cluster::ClusterError;
 use pim_driver::DriverError;
 use std::fmt;
 
@@ -10,6 +11,8 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub enum CoreError {
     /// An error from the host driver or micro-operation layer.
     Driver(DriverError),
+    /// An error from the sharded multi-chip execution engine.
+    Cluster(ClusterError),
     /// Operand shapes differ.
     ShapeMismatch {
         /// Left-hand length.
@@ -48,6 +51,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Driver(e) => write!(f, "{e}"),
+            CoreError::Cluster(e) => write!(f, "{e}"),
             CoreError::ShapeMismatch { lhs, rhs } => {
                 write!(f, "shape mismatch: {lhs} elements vs {rhs} elements")
             }
@@ -68,6 +72,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Driver(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -76,6 +81,12 @@ impl std::error::Error for CoreError {
 impl From<DriverError> for CoreError {
     fn from(e: DriverError) -> Self {
         CoreError::Driver(e)
+    }
+}
+
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
     }
 }
 
@@ -96,9 +107,13 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         for e in [
             CoreError::ShapeMismatch { lhs: 3, rhs: 4 },
-            CoreError::DTypeMismatch { what: "int32 vs float32".into() },
+            CoreError::DTypeMismatch {
+                what: "int32 vs float32".into(),
+            },
             CoreError::OutOfMemory { elements: 10 },
-            CoreError::InvalidSlice { what: "empty".into() },
+            CoreError::InvalidSlice {
+                what: "empty".into(),
+            },
             CoreError::DeviceMismatch,
             CoreError::IndexOutOfBounds { index: 9, len: 4 },
         ] {

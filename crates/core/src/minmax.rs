@@ -47,15 +47,22 @@ impl Tensor {
 
     fn reduce_extreme(&self, want_max: bool) -> Result<u32> {
         let n2 = self.len().next_power_of_two();
-        let pad =
-            if want_max { neutral_max_bits(self.dtype) } else { neutral_min_bits(self.dtype) };
+        let pad = if want_max {
+            neutral_max_bits(self.dtype)
+        } else {
+            neutral_min_bits(self.dtype)
+        };
         let mut t = movement::compact_with_padding(self, n2, pad)?;
         while t.len() > 1 {
             let half = t.len() / 2;
             let lo = t.slice(0, half)?;
             let hi = t.slice(half, t.len())?;
             let hi_aligned = movement::materialize_like(&hi, &lo)?;
-            t = if want_max { lo.max_elem(&hi_aligned)? } else { lo.min_elem(&hi_aligned)? };
+            t = if want_max {
+                lo.max_elem(&hi_aligned)?
+            } else {
+                lo.min_elem(&hi_aligned)?
+            };
         }
         t.get_raw(0)
     }

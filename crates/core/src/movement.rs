@@ -84,7 +84,10 @@ pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
         return Err(CoreError::DeviceMismatch);
     }
     if src.len() != dst.len() {
-        return Err(CoreError::ShapeMismatch { lhs: src.len(), rhs: dst.len() });
+        return Err(CoreError::ShapeMismatch {
+            lhs: src.len(),
+            rhs: dst.len(),
+        });
     }
     let dev = src.device().clone();
     // Fast path 1: same threads, different register.
@@ -100,8 +103,7 @@ pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
     if srs.len() == 1 && drs.len() == 1 {
         let (s, d) = (srs[0], drs[0]);
         // Fast path 2: same row pattern, constant warp distance.
-        if s.rows == d.rows && s.warps.len() == d.warps.len() && s.warps.step() == d.warps.step()
-        {
+        if s.rows == d.rows && s.warps.len() == d.warps.len() && s.warps.step() == d.warps.step() {
             let dist = d.warps.start() as i64 - s.warps.start() as i64;
             if dist != 0 && i32::try_from(dist).is_ok() {
                 let mut moved = true;
@@ -299,14 +301,16 @@ mod tests {
         // A whole-warp shift must cost O(rows) micro-ops, not O(n).
         let d = dev();
         let n = 32; // 4 warps x 8 rows
-        let t = d.from_slice_i32(&(0..n as i32).collect::<Vec<_>>()).unwrap();
+        let t = d
+            .from_slice_i32(&(0..n as i32).collect::<Vec<_>>())
+            .unwrap();
         d.reset_counters();
         let s = shifted(&t, 8).unwrap(); // exactly one warp
         let p = d.profiler();
         assert!(p.ops.mv <= 8 * 4, "warp shift used {} move ops", p.ops.mv);
         let out = s.to_vec_i32().unwrap();
-        for i in 0..n - 8 {
-            assert_eq!(out[i], (i + 8) as i32);
+        for (i, &v) in out.iter().enumerate().take(n - 8) {
+            assert_eq!(v, (i + 8) as i32);
         }
     }
 
@@ -325,11 +329,13 @@ mod tests {
         // phases — and still move every value.
         let d = dev();
         let n = 32;
-        let t = d.from_slice_i32(&(100..100 + n as i32).collect::<Vec<_>>()).unwrap();
+        let t = d
+            .from_slice_i32(&(100..100 + n).collect::<Vec<_>>())
+            .unwrap();
         let s = shifted(&t, -8).unwrap();
         let out = s.to_vec_i32().unwrap();
-        for i in 8..n {
-            assert_eq!(out[i], 100 + (i - 8) as i32, "element {i}");
+        for (i, &v) in out.iter().enumerate().skip(8) {
+            assert_eq!(v, 100 + (i - 8) as i32, "element {i}");
         }
     }
 

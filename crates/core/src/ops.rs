@@ -16,7 +16,10 @@ impl Tensor {
             return Err(CoreError::DeviceMismatch);
         }
         if self.len() != rhs.len() {
-            return Err(CoreError::ShapeMismatch { lhs: self.len(), rhs: rhs.len() });
+            return Err(CoreError::ShapeMismatch {
+                lhs: self.len(),
+                rhs: rhs.len(),
+            });
         }
         Ok(())
     }
@@ -48,7 +51,8 @@ impl Tensor {
         })
     }
 
-    /// Issues an R-type operation over this view's thread ranges.
+    /// Issues an R-type operation over this view's thread ranges as one
+    /// batch, so sharded devices run all chips concurrently.
     pub(crate) fn issue_rtype(
         &self,
         op: RegOp,
@@ -56,10 +60,18 @@ impl Tensor {
         dst: u8,
         srcs: [u8; 3],
     ) -> Result<()> {
-        for target in self.thread_ranges() {
-            self.device().exec(&Instruction::RType { op, dtype, dst, srcs, target })?;
-        }
-        Ok(())
+        let instrs: Vec<Instruction> = self
+            .thread_ranges()
+            .into_iter()
+            .map(|target| Instruction::RType {
+                op,
+                dtype,
+                dst,
+                srcs,
+                target,
+            })
+            .collect();
+        self.device().exec_batch(&instrs)
     }
 
     /// Element-parallel binary operation.
@@ -75,7 +87,11 @@ impl Tensor {
             });
         }
         let rhs = self.aligned_operand(rhs)?;
-        let out_dtype = if op.is_comparison() { DType::Int32 } else { self.dtype() };
+        let out_dtype = if op.is_comparison() {
+            DType::Int32
+        } else {
+            self.dtype()
+        };
         let out = self.alloc_result(out_dtype)?;
         self.issue_rtype(op, self.dtype(), out.reg(), [self.reg(), rhs.reg(), 0])?;
         Ok(out)
@@ -238,7 +254,12 @@ impl Tensor {
         let a = self.aligned_operand(a)?;
         let b = self.aligned_operand(b)?;
         let out = self.alloc_result(a.dtype())?;
-        self.issue_rtype(RegOp::Mux, a.dtype(), out.reg(), [self.reg(), a.reg(), b.reg()])?;
+        self.issue_rtype(
+            RegOp::Mux,
+            a.dtype(),
+            out.reg(),
+            [self.reg(), a.reg(), b.reg()],
+        )?;
         Ok(out)
     }
 }

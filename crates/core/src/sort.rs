@@ -50,10 +50,14 @@ impl Tensor {
         let mut k = 2usize;
         while k <= n2 {
             // 1 where bit k of the index is clear (ascending block).
-            let zk = iota.binary_scalar(pim_isa::RegOp::And, k as u32)?.zero_mask()?;
+            let zk = iota
+                .binary_scalar(pim_isa::RegOp::And, k as u32)?
+                .zero_mask()?;
             let mut j = k / 2;
             while j >= 1 {
-                let zj = iota.binary_scalar(pim_isa::RegOp::And, j as u32)?.zero_mask()?;
+                let zj = iota
+                    .binary_scalar(pim_isa::RegOp::And, j as u32)?
+                    .zero_mask()?;
                 // Partner values: above for the lower pair element, below
                 // for the upper one. Out-of-range lanes are never selected.
                 let up = movement::shifted(&t, j as i64)?;

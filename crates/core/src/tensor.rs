@@ -54,7 +54,13 @@ impl std::fmt::Debug for Tensor {
 
 impl Tensor {
     pub(crate) fn from_stripe(alloc: Arc<AllocGuard>, dtype: DType, len: usize) -> Tensor {
-        Tensor { alloc, dtype, offset: 0, stride: 1, len }
+        Tensor {
+            alloc,
+            dtype,
+            offset: 0,
+            stride: 1,
+            len,
+        }
     }
 
     /// Number of elements in this tensor/view.
@@ -114,7 +120,9 @@ impl Tensor {
     /// slices.
     pub fn slice_step(&self, start: usize, stop: usize, step: usize) -> Result<Tensor> {
         if step == 0 {
-            return Err(CoreError::InvalidSlice { what: "step must be nonzero".into() });
+            return Err(CoreError::InvalidSlice {
+                what: "step must be nonzero".into(),
+            });
         }
         let stop = stop.min(self.len);
         if start >= stop {
@@ -194,7 +202,7 @@ impl Tensor {
         }
         // Case C: stride divides the row count — per-warp periodic pattern
         // with optional partial head/tail warps.
-        if rows % s == 0 {
+        if rows.is_multiple_of(s) {
             let per = rows / s; // elements per full warp
             let phase = t0 % s;
             let mut ranges = Vec::new();
@@ -246,12 +254,19 @@ impl Tensor {
     /// Returns [`CoreError::IndexOutOfBounds`] when `i >= len`.
     pub fn get_raw(&self, i: usize) -> Result<u32> {
         if i >= self.len {
-            return Err(CoreError::IndexOutOfBounds { index: i, len: self.len });
+            return Err(CoreError::IndexOutOfBounds {
+                index: i,
+                len: self.len,
+            });
         }
         let (warp, row) = self.warp_row(i);
         let v = self
             .device()
-            .exec(&Instruction::Read { reg: self.reg(), warp, row })?
+            .exec(&Instruction::Read {
+                reg: self.reg(),
+                warp,
+                row,
+            })?
             .expect("read returns a value");
         Ok(v)
     }
@@ -263,7 +278,10 @@ impl Tensor {
     /// Returns [`CoreError::IndexOutOfBounds`] when `i >= len`.
     pub fn set_raw(&self, i: usize, bits: u32) -> Result<()> {
         if i >= self.len {
-            return Err(CoreError::IndexOutOfBounds { index: i, len: self.len });
+            return Err(CoreError::IndexOutOfBounds {
+                index: i,
+                len: self.len,
+            });
         }
         let (warp, row) = self.warp_row(i);
         self.device().exec(&Instruction::Write {
@@ -306,12 +324,39 @@ impl Tensor {
     }
 
     /// Broadcast-writes `bits` to every element (one write instruction per
-    /// thread range — the ISA's range-repeated write for constants).
+    /// thread range — the ISA's range-repeated write for constants). The
+    /// ranges go out as one batch so sharded devices fill all chips
+    /// concurrently.
     pub(crate) fn fill_raw(&self, bits: u32) -> Result<()> {
-        for target in self.thread_ranges() {
-            self.device().exec(&Instruction::Write { reg: self.reg(), value: bits, target })?;
-        }
-        Ok(())
+        let instrs: Vec<Instruction> = self
+            .thread_ranges()
+            .into_iter()
+            .map(|target| Instruction::Write {
+                reg: self.reg(),
+                value: bits,
+                target,
+            })
+            .collect();
+        self.device().exec_batch(&instrs)
+    }
+
+    /// Writes the whole view from an iterator of raw words (exactly one
+    /// value per element, in order) as a single bulk scatter.
+    pub(crate) fn store_raw(&self, values: impl IntoIterator<Item = u32>) -> Result<()> {
+        let writes: Vec<(u32, u32, u8, u32)> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, bits)| {
+                let (warp, row) = self.warp_row(i);
+                (warp, row, self.reg(), bits)
+            })
+            .collect();
+        assert_eq!(
+            writes.len(),
+            self.len,
+            "store_raw requires exactly one value per element"
+        );
+        self.device().write_many(&writes)
     }
 
     /// Float element access (`x[4]`).
@@ -354,13 +399,20 @@ impl Tensor {
         self.set_raw(i, v as u32)
     }
 
-    /// Reads the whole tensor back as raw words.
+    /// Reads the whole tensor back as raw words — a single bulk gather, so
+    /// sharded devices read all chips concurrently.
     ///
     /// # Errors
     ///
     /// Propagates read failures.
     pub fn to_raw_vec(&self) -> Result<Vec<u32>> {
-        (0..self.len).map(|i| self.get_raw(i)).collect()
+        let locs: Vec<(u32, u32, u8)> = (0..self.len)
+            .map(|i| {
+                let (warp, row) = self.warp_row(i);
+                (warp, row, self.reg())
+            })
+            .collect();
+        self.device().read_many(&locs)
     }
 
     /// Reads the whole tensor back as floats.
@@ -401,7 +453,9 @@ mod tests {
 
     fn dev(crossbars: usize, rows: usize) -> Device {
         Device::new(
-            pim_arch::PimConfig::small().with_crossbars(crossbars).with_rows(rows),
+            pim_arch::PimConfig::small()
+                .with_crossbars(crossbars)
+                .with_rows(rows),
         )
         .unwrap()
     }
@@ -439,9 +493,16 @@ mod tests {
         let ranges = v.thread_ranges();
         assert_eq!(ranges.len(), 1);
         let got = enumerate(&ranges, 16);
-        assert_eq!(got, vec![
-            v.thread(0), v.thread(1), v.thread(2), v.thread(3), v.thread(4)
-        ]);
+        assert_eq!(
+            got,
+            vec![
+                v.thread(0),
+                v.thread(1),
+                v.thread(2),
+                v.thread(3),
+                v.thread(4)
+            ]
+        );
     }
 
     #[test]

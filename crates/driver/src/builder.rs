@@ -127,7 +127,10 @@ impl<'c> CircuitBuilder<'c> {
 
     /// Consumes the builder, producing the compiled routine.
     pub fn finish(self) -> Routine {
-        Routine { ops: self.ops, stats: self.stats }
+        Routine {
+            ops: self.ops,
+            stats: self.stats,
+        }
     }
 
     /// Number of scratch cells currently live.
@@ -236,10 +239,15 @@ impl<'c> CircuitBuilder<'c> {
     /// Panics if `c` is not a live scratch cell (double free or foreign
     /// address) — these are driver bugs, not runtime conditions.
     pub fn release(&mut self, c: ColAddr) {
-        let i = self.scratch_index(c).expect("release of a non-scratch cell");
+        let i = self
+            .scratch_index(c)
+            .expect("release of a non-scratch cell");
         let bit = 1u32 << c.part;
         assert_eq!(self.free[i] & bit, 0, "double free of scratch cell {c:?}");
-        assert!(!self.reserved[i], "release of a cell inside a reserved register");
+        assert!(
+            !self.reserved[i],
+            "release of a cell inside a reserved register"
+        );
         self.free[i] |= bit;
         if self.written[i] & bit == 0 {
             self.clean[i] |= bit;
@@ -292,7 +300,10 @@ impl<'c> CircuitBuilder<'c> {
             .checked_sub(self.cfg.user_regs)
             .filter(|&i| i < self.reserved.len())
             .expect("release of a non-scratch register");
-        assert!(self.reserved[i], "release of a register that was not reserved");
+        assert!(
+            self.reserved[i],
+            "release of a register that was not reserved"
+        );
         self.reserved[i] = false;
         self.free[i] = ALL;
         self.clean[i] = 0;
@@ -599,7 +610,15 @@ impl<'c> CircuitBuilder<'c> {
         let t5 = self.nor(t4, c)?; // !(xnor | c)
         let t6 = self.nor(t4, t5)?; // xor & c
         let t7 = self.nor(c, t5)?; // xnor & !c
-        Ok(PendingAdder { t1, t2, t3, t4, t5, t6, t7 })
+        Ok(PendingAdder {
+            t1,
+            t2,
+            t3,
+            t4,
+            t5,
+            t6,
+            t7,
+        })
     }
 
     /// Second phase of the full adder: 2 NOR gates writing the sum into
@@ -620,8 +639,8 @@ impl<'c> CircuitBuilder<'c> {
     /// Partition-parallel `NOT` of a whole register: one micro-operation for
     /// all 32 gates. `dst` must be initialized to all-ones.
     pub fn par_not(&mut self, src: RegId, dst: RegId) {
-        let op = HLogic::parallel(GateKind::Not, src, src, dst, self.cfg)
-            .expect("validated registers");
+        let op =
+            HLogic::parallel(GateKind::Not, src, src, dst, self.cfg).expect("validated registers");
         self.ops.push(MicroOp::LogicH(op));
         self.stats.logic_cycles += 1;
     }
@@ -629,8 +648,7 @@ impl<'c> CircuitBuilder<'c> {
     /// Partition-parallel `NOR` of two whole registers into `dst` (one
     /// micro-operation; `dst` must be all-ones).
     pub fn par_nor(&mut self, a: RegId, b: RegId, dst: RegId) {
-        let op =
-            HLogic::parallel(GateKind::Nor, a, b, dst, self.cfg).expect("validated registers");
+        let op = HLogic::parallel(GateKind::Nor, a, b, dst, self.cfg).expect("validated registers");
         self.ops.push(MicroOp::LogicH(op));
         self.stats.logic_cycles += 1;
     }
@@ -652,7 +670,11 @@ impl<'c> CircuitBuilder<'c> {
         let step = width + 1;
         for class in 0..step {
             // Output partitions congruent to `first_out` mod `step`.
-            let first_out = if shift > 0 { class as i32 + shift } else { class as i32 };
+            let first_out = if shift > 0 {
+                class as i32 + shift
+            } else {
+                class as i32
+            };
             let first_in = first_out - shift;
             if first_out >= n || first_in < 0 || first_in >= n {
                 continue;
@@ -682,7 +704,9 @@ impl<'c> CircuitBuilder<'c> {
 
     /// The cells of a register, least-significant (partition 0) first.
     pub fn reg_bits(&self, reg: RegId) -> Bits {
-        (0..self.cfg.partitions as u8).map(|p| ColAddr::new(p, reg)).collect()
+        (0..self.cfg.partitions as u8)
+            .map(|p| ColAddr::new(p, reg))
+            .collect()
     }
 }
 
@@ -717,13 +741,20 @@ mod tests {
         for (cell, v) in inputs {
             for row in 0..c.rows {
                 let w = sim.peek(0, row, cell.offset as usize);
-                let w = if *v { w | 1 << cell.part } else { w & !(1 << cell.part) };
+                let w = if *v {
+                    w | 1 << cell.part
+                } else {
+                    w & !(1 << cell.part)
+                };
                 sim.poke(0, row, cell.offset as usize, w);
             }
         }
-        sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0))).unwrap();
-        sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::dense(0, c.rows as u32).unwrap()))
+        sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0)))
             .unwrap();
+        sim.execute(&pim_arch::MicroOp::RowMask(
+            RangeMask::dense(0, c.rows as u32).unwrap(),
+        ))
+        .unwrap();
         sim.execute_batch(&routine.ops).unwrap();
         probes
             .iter()
@@ -811,8 +842,11 @@ mod tests {
         let c = cfg();
         let cells: Vec<ColAddr> = (0..5).map(in_cell).collect();
         for pattern in 0..32u32 {
-            let inputs: Vec<(ColAddr, bool)> =
-                cells.iter().enumerate().map(|(i, &c)| (c, pattern >> i & 1 == 1)).collect();
+            let inputs: Vec<(ColAddr, bool)> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, pattern >> i & 1 == 1))
+                .collect();
             let cs = cells.clone();
             let got = run(&c, &inputs, |b| {
                 vec![
@@ -869,7 +903,10 @@ mod tests {
             }
             probes
         });
-        assert!(got.iter().all(|&v| v), "allocated cells must hold 1: {got:?}");
+        assert!(
+            got.iter().all(|&v| v),
+            "allocated cells must hold 1: {got:?}"
+        );
     }
 
     #[test]
@@ -885,8 +922,10 @@ mod tests {
         let mut sim = PimSimulator::new(c.clone()).unwrap();
         sim.poke(0, 0, 0, 0x1234_5678);
         sim.poke(0, 0, 1, 0x0F0F_0F0F);
-        sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0))).unwrap();
-        sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::single(0))).unwrap();
+        sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0)))
+            .unwrap();
+        sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::single(0)))
+            .unwrap();
         sim.execute_batch(&routine.ops).unwrap();
         assert_eq!(sim.peek(0, 0, 2), !0x1234_5678u32);
         assert_eq!(sim.peek(0, 0, 3), !(0x1234_5678u32 | 0x0F0F_0F0F));
@@ -911,8 +950,10 @@ mod tests {
             let mut sim = PimSimulator::new(c.clone()).unwrap();
             let input = 0x9E37_79B9u32;
             sim.poke(0, 0, 0, input);
-            sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0))).unwrap();
-            sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::single(0))).unwrap();
+            sim.execute(&pim_arch::MicroOp::XbMask(RangeMask::single(0)))
+                .unwrap();
+            sim.execute(&pim_arch::MicroOp::RowMask(RangeMask::single(0)))
+                .unwrap();
             sim.execute_batch(&routine.ops).unwrap();
             let got = sim.peek(0, 0, 2);
             for p in 0..32i32 {
@@ -935,7 +976,10 @@ mod tests {
         for _ in 0..total {
             b.alloc().unwrap();
         }
-        assert!(matches!(b.alloc(), Err(DriverError::ScratchExhausted { .. })));
+        assert!(matches!(
+            b.alloc(),
+            Err(DriverError::ScratchExhausted { .. })
+        ));
     }
 
     #[test]

@@ -37,6 +37,30 @@ impl IssuedCycles {
     }
 }
 
+impl std::ops::Add for IssuedCycles {
+    type Output = IssuedCycles;
+
+    fn add(self, rhs: IssuedCycles) -> IssuedCycles {
+        IssuedCycles {
+            logic: self.logic + rhs.logic,
+            total: self.total + rhs.total,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IssuedCycles {
+    fn add_assign(&mut self, rhs: IssuedCycles) {
+        *self = *self + rhs;
+    }
+}
+
+/// Aggregation across drivers (e.g. the per-shard drivers of a cluster).
+impl std::iter::Sum for IssuedCycles {
+    fn sum<I: Iterator<Item = IssuedCycles>>(iter: I) -> IssuedCycles {
+        iter.fold(IssuedCycles::default(), |a, b| a + b)
+    }
+}
+
 /// The host driver (§V-B): translates ISA macro-instructions into
 /// micro-operations and feeds them to a [`Backend`] (the simulator, a
 /// physical chip, or the measurement sink).
@@ -110,6 +134,18 @@ impl<B: Backend> Driver<B> {
         self.cache.stats()
     }
 
+    /// Forgets the masks the driver believes are stored in the memory.
+    ///
+    /// The driver elides redundant mask micro-operations because it is
+    /// normally the sole micro-operation source. Call this after issuing
+    /// micro-operations to the backend directly (e.g. through
+    /// [`backend_mut`](Self::backend_mut)), so the next instruction
+    /// re-issues its masks instead of trusting a stale cache.
+    pub fn invalidate_masks(&mut self) {
+        self.cur_xb = None;
+        self.cur_rows = None;
+    }
+
     /// Cycles issued so far (logic vs total) — the driver-side counterpart
     /// of the simulator's profiler, used to derive the theoretical-PIM
     /// baseline of arbitrary programs.
@@ -165,7 +201,13 @@ impl<B: Backend> Driver<B> {
     pub fn execute(&mut self, instr: &Instruction) -> Result<Option<u32>, DriverError> {
         instr.validate(&self.cfg)?;
         match instr {
-            Instruction::RType { op, dtype, dst, srcs, target } => {
+            Instruction::RType {
+                op,
+                dtype,
+                dst,
+                srcs,
+                target,
+            } => {
                 let key = RoutineKey {
                     op: *op,
                     dtype: *dtype,
@@ -186,7 +228,10 @@ impl<B: Backend> Driver<B> {
             }
             Instruction::Write { reg, value, target } => {
                 let masks = self.set_masks(Some(target.warps), Some(target.rows))?;
-                self.backend.execute(&MicroOp::Write { index: *reg, value: *value })?;
+                self.backend.execute(&MicroOp::Write {
+                    index: *reg,
+                    value: *value,
+                })?;
                 self.issued.logic += 1;
                 self.issued.total += 1 + masks;
                 Ok(None)
@@ -201,7 +246,13 @@ impl<B: Backend> Driver<B> {
                 self.issued.total += 1 + masks;
                 Ok(v)
             }
-            Instruction::MoveRows { src, dst, src_rows, dst_rows, warps } => {
+            Instruction::MoveRows {
+                src,
+                dst,
+                src_rows,
+                dst_rows,
+                warps,
+            } => {
                 let before = self.cur_xb;
                 let ops = self.lower_move_rows(*src, *dst, src_rows, dst_rows, warps)?;
                 let elide = before == Some(*warps);
@@ -215,7 +266,14 @@ impl<B: Backend> Driver<B> {
                 self.issued.total += ops.len() as u64;
                 Ok(None)
             }
-            Instruction::MoveWarps { src, dst, row_src, row_dst, warps, dist } => {
+            Instruction::MoveWarps {
+                src,
+                dst,
+                row_src,
+                row_dst,
+                warps,
+                dist,
+            } => {
                 let masks = self.set_masks(Some(*warps), None)?;
                 self.backend.execute(&MicroOp::Move(MoveOp {
                     dist: *dist,
@@ -252,7 +310,14 @@ impl<B: Backend> Driver<B> {
     ///
     /// See [`execute`](Self::execute).
     pub fn execute_streamed(&mut self, instr: &Instruction) -> Result<(), DriverError> {
-        let Instruction::RType { op, dtype, dst, srcs, target } = instr else {
+        let Instruction::RType {
+            op,
+            dtype,
+            dst,
+            srcs,
+            target,
+        } = instr
+        else {
             self.execute(instr)?;
             return Ok(());
         };
@@ -326,7 +391,9 @@ impl<B: Backend> Driver<B> {
         ops.push(MicroOp::XbMask(*warps));
         // t1 = !src on all source rows.
         ops.push(MicroOp::RowMask(*src_rows));
-        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(true, t1, &self.cfg)?));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(
+            true, t1, &self.cfg,
+        )?));
         ops.push(MicroOp::LogicH(pim_arch::HLogic::parallel(
             pim_arch::GateKind::Not,
             src,
@@ -341,15 +408,30 @@ impl<B: Backend> Driver<B> {
         // for a downward one.
         let pairs: Vec<(u32, u32)> = src_rows.iter().zip(dst_rows.iter()).collect();
         let upward = dst_rows.start() > src_rows.start();
-        let ordered: Box<dyn Iterator<Item = &(u32, u32)>> =
-            if upward { Box::new(pairs.iter().rev()) } else { Box::new(pairs.iter()) };
+        let ordered: Box<dyn Iterator<Item = &(u32, u32)>> = if upward {
+            Box::new(pairs.iter().rev())
+        } else {
+            Box::new(pairs.iter())
+        };
         for &(s, d) in ordered {
-            ops.push(MicroOp::LogicV { gate: VGate::Init1, row_in: s, row_out: d, index: t1 });
-            ops.push(MicroOp::LogicV { gate: VGate::Not, row_in: s, row_out: d, index: t1 });
+            ops.push(MicroOp::LogicV {
+                gate: VGate::Init1,
+                row_in: s,
+                row_out: d,
+                index: t1,
+            });
+            ops.push(MicroOp::LogicV {
+                gate: VGate::Not,
+                row_in: s,
+                row_out: d,
+                index: t1,
+            });
         }
         // dst = !!t1 on all destination rows.
         ops.push(MicroOp::RowMask(*dst_rows));
-        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(true, t2, &self.cfg)?));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(
+            true, t2, &self.cfg,
+        )?));
         ops.push(MicroOp::LogicH(pim_arch::HLogic::parallel(
             pim_arch::GateKind::Not,
             t1,
@@ -357,7 +439,9 @@ impl<B: Backend> Driver<B> {
             t2,
             &self.cfg,
         )?));
-        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(true, dst, &self.cfg)?));
+        ops.push(MicroOp::LogicH(pim_arch::HLogic::init_reg(
+            true, dst, &self.cfg,
+        )?));
         ops.push(MicroOp::LogicH(pim_arch::HLogic::parallel(
             pim_arch::GateKind::Not,
             t2,
@@ -388,8 +472,19 @@ mod tests {
     fn write_read_roundtrip() {
         let mut d = driver();
         let cfg = d.config().clone();
-        d.execute(&Instruction::Write { reg: 3, value: 0x42, target: all(&cfg) }).unwrap();
-        let got = d.execute(&Instruction::Read { reg: 3, warp: 7, row: 13 }).unwrap();
+        d.execute(&Instruction::Write {
+            reg: 3,
+            value: 0x42,
+            target: all(&cfg),
+        })
+        .unwrap();
+        let got = d
+            .execute(&Instruction::Read {
+                reg: 3,
+                warp: 7,
+                row: 13,
+            })
+            .unwrap();
         assert_eq!(got, Some(0x42));
     }
 
@@ -397,8 +492,18 @@ mod tests {
     fn rtype_add_across_all_threads() {
         let mut d = driver();
         let cfg = d.config().clone();
-        d.execute(&Instruction::Write { reg: 0, value: 30, target: all(&cfg) }).unwrap();
-        d.execute(&Instruction::Write { reg: 1, value: 12, target: all(&cfg) }).unwrap();
+        d.execute(&Instruction::Write {
+            reg: 0,
+            value: 30,
+            target: all(&cfg),
+        })
+        .unwrap();
+        d.execute(&Instruction::Write {
+            reg: 1,
+            value: 12,
+            target: all(&cfg),
+        })
+        .unwrap();
         d.execute(&Instruction::RType {
             op: RegOp::Add,
             dtype: DType::Int32,
@@ -408,7 +513,13 @@ mod tests {
         })
         .unwrap();
         for (w, r) in [(0u32, 0u32), (15, 63), (8, 31)] {
-            let got = d.execute(&Instruction::Read { reg: 2, warp: w, row: r }).unwrap();
+            let got = d
+                .execute(&Instruction::Read {
+                    reg: 2,
+                    warp: w,
+                    row: r,
+                })
+                .unwrap();
             assert_eq!(got, Some(42), "warp {w} row {r}");
         }
     }
@@ -417,14 +528,26 @@ mod tests {
     fn rtype_respects_thread_ranges() {
         let mut d = driver();
         let cfg = d.config().clone();
-        d.execute(&Instruction::Write { reg: 0, value: 5, target: all(&cfg) }).unwrap();
-        d.execute(&Instruction::Write { reg: 1, value: 6, target: all(&cfg) }).unwrap();
-        d.execute(&Instruction::Write { reg: 2, value: 999, target: all(&cfg) }).unwrap();
+        d.execute(&Instruction::Write {
+            reg: 0,
+            value: 5,
+            target: all(&cfg),
+        })
+        .unwrap();
+        d.execute(&Instruction::Write {
+            reg: 1,
+            value: 6,
+            target: all(&cfg),
+        })
+        .unwrap();
+        d.execute(&Instruction::Write {
+            reg: 2,
+            value: 999,
+            target: all(&cfg),
+        })
+        .unwrap();
         // Multiply only even rows of warp 2.
-        let target = ThreadRange::new(
-            RangeMask::single(2),
-            RangeMask::new(0, 62, 2).unwrap(),
-        );
+        let target = ThreadRange::new(RangeMask::single(2), RangeMask::new(0, 62, 2).unwrap());
         d.execute(&Instruction::RType {
             op: RegOp::Mul,
             dtype: DType::Int32,
@@ -434,15 +557,30 @@ mod tests {
         })
         .unwrap();
         assert_eq!(
-            d.execute(&Instruction::Read { reg: 2, warp: 2, row: 4 }).unwrap(),
+            d.execute(&Instruction::Read {
+                reg: 2,
+                warp: 2,
+                row: 4
+            })
+            .unwrap(),
             Some(30)
         );
         assert_eq!(
-            d.execute(&Instruction::Read { reg: 2, warp: 2, row: 5 }).unwrap(),
+            d.execute(&Instruction::Read {
+                reg: 2,
+                warp: 2,
+                row: 5
+            })
+            .unwrap(),
             Some(999)
         );
         assert_eq!(
-            d.execute(&Instruction::Read { reg: 2, warp: 3, row: 4 }).unwrap(),
+            d.execute(&Instruction::Read {
+                reg: 2,
+                warp: 3,
+                row: 4
+            })
+            .unwrap(),
             Some(999)
         );
     }
@@ -524,9 +662,51 @@ mod tests {
         })
         .unwrap();
         for w in 0..8u32 {
-            let got = d.execute(&Instruction::Read { reg: 1, warp: w, row: 3 }).unwrap();
+            let got = d
+                .execute(&Instruction::Read {
+                    reg: 1,
+                    warp: w,
+                    row: 3,
+                })
+                .unwrap();
             assert_eq!(got, Some(1000 + w + 8), "warp {w}");
         }
+    }
+
+    #[test]
+    fn driver_is_send() {
+        // The cluster moves whole driver+simulator pairs onto shard worker
+        // threads; this locks in that capability at compile time.
+        fn assert_send<T: Send>() {}
+        assert_send::<Driver<PimSimulator>>();
+        assert_send::<Driver<crate::SinkBackend>>();
+    }
+
+    #[test]
+    fn issued_cycles_aggregate() {
+        let a = IssuedCycles {
+            logic: 10,
+            total: 15,
+        };
+        let b = IssuedCycles { logic: 1, total: 2 };
+        assert_eq!(
+            a + b,
+            IssuedCycles {
+                logic: 11,
+                total: 17
+            }
+        );
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        let s: IssuedCycles = [a, b, b].into_iter().sum();
+        assert_eq!(
+            s,
+            IssuedCycles {
+                logic: 12,
+                total: 19
+            }
+        );
     }
 
     #[test]

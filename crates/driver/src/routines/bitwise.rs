@@ -88,7 +88,8 @@ mod tests {
 
     #[test]
     fn bitwise_matches() {
-        let ops: [(RegOp, fn(u32, u32) -> u32); 3] = [
+        type BitCase = (RegOp, fn(u32, u32) -> u32);
+        let ops: [BitCase; 3] = [
             (RegOp::And, |a, b| a & b),
             (RegOp::Or, |a, b| a | b),
             (RegOp::Xor, |a, b| a ^ b),
@@ -115,9 +116,18 @@ mod tests {
         for (a, x) in int_pairs(6) {
             assert_eq!(eval_binop_aliased(RegOp::And, DType::Int32, a, x), a & x);
             assert_eq!(eval_binop_aliased(RegOp::Xor, DType::Int32, a, x), a ^ x);
-            assert_eq!(eval_binop_aliased(RegOp::Add, DType::Int32, a, x), a.wrapping_add(x));
-            assert_eq!(eval_binop_aliased(RegOp::Sub, DType::Int32, a, x), a.wrapping_sub(x));
-            assert_eq!(eval_binop_aliased(RegOp::Mul, DType::Int32, a, x), a.wrapping_mul(x));
+            assert_eq!(
+                eval_binop_aliased(RegOp::Add, DType::Int32, a, x),
+                a.wrapping_add(x)
+            );
+            assert_eq!(
+                eval_binop_aliased(RegOp::Sub, DType::Int32, a, x),
+                a.wrapping_sub(x)
+            );
+            assert_eq!(
+                eval_binop_aliased(RegOp::Mul, DType::Int32, a, x),
+                a.wrapping_mul(x)
+            );
         }
         // Unary alias: dst == src.
         let c = crate::routines::testutil::eval_unop_aliased(RegOp::Not, DType::Int32, 0xF0F0_1234);
@@ -139,6 +149,10 @@ mod tests {
             &[0, 1],
         )
         .unwrap();
-        assert!(r.ops.len() <= 12, "xor took {} micro-operations", r.ops.len());
+        assert!(
+            r.ops.len() <= 12,
+            "xor took {} micro-operations",
+            r.ops.len()
+        );
     }
 }

@@ -204,11 +204,7 @@ pub fn negate_if(
 /// Adds an unsigned constant to `a` into fresh bits (dropping the carry).
 /// Cheaper than a full adder chain: 5–8 gates per bit depending on the
 /// constant bit.
-pub fn add_const(
-    b: &mut CircuitBuilder,
-    a: &[ColAddr],
-    mut k: u64,
-) -> Result<Bits, DriverError> {
+pub fn add_const(b: &mut CircuitBuilder, a: &[ColAddr], mut k: u64) -> Result<Bits, DriverError> {
     let mut out = Vec::with_capacity(a.len());
     let mut carry: Option<ColAddr> = None; // None = 0
     for &bit in a {
@@ -388,7 +384,8 @@ mod tests {
             sim.poke(0, 0, reg, *v);
         }
         sim.execute(&MicroOp::XbMask(RangeMask::single(0))).unwrap();
-        sim.execute(&MicroOp::RowMask(RangeMask::single(0))).unwrap();
+        sim.execute(&MicroOp::RowMask(RangeMask::single(0)))
+            .unwrap();
         sim.execute_batch(&routine.ops).unwrap();
         let mut out = 0u64;
         for (i, p) in probes.iter().enumerate() {
@@ -402,7 +399,13 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut r = rand::rngs::StdRng::seed_from_u64(42);
         let mut v: Vec<(u32, u32)> = (0..12).map(|_| (r.gen(), r.gen())).collect();
-        v.extend([(0, 0), (u32::MAX, 1), (u32::MAX, u32::MAX), (1, u32::MAX), (0x8000_0000, 0x8000_0000)]);
+        v.extend([
+            (0, 0),
+            (u32::MAX, 1),
+            (u32::MAX, u32::MAX),
+            (1, u32::MAX),
+            (0x8000_0000, 0x8000_0000),
+        ]);
         v
     }
 
@@ -477,8 +480,11 @@ mod tests {
                     let c = ColAddr::new(0, 1);
                     negate_if(b, c, &ab).unwrap()
                 });
-                let expect =
-                    if cond == 1 { (a as i32).wrapping_neg() as u32 } else { a };
+                let expect = if cond == 1 {
+                    (a as i32).wrapping_neg() as u32
+                } else {
+                    a
+                };
                 assert_eq!(got as u32, expect, "negate_if({cond}, {a})");
             }
         }
@@ -523,8 +529,7 @@ mod tests {
                 let bits: Bits = b.reg_bits(0)[..27].to_vec();
                 let amount: Bits = b.reg_bits(1)[..5].to_vec();
                 let s_in = ColAddr::new(0, 2);
-                let (shifted, sticky) =
-                    shift_right_sticky(b, &bits, &amount, Some(s_in)).unwrap();
+                let (shifted, sticky) = shift_right_sticky(b, &bits, &amount, Some(s_in)).unwrap();
                 let mut probes = shifted;
                 probes.push(sticky);
                 probes

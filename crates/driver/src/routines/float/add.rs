@@ -51,8 +51,7 @@ pub fn add(
     let zero = b.zero()?;
     let mut w_small: Bits = vec![zero, zero];
     w_small.extend(m_small.iter().copied());
-    let (mut small_shifted, mut sticky) =
-        common::shift_right_sticky(b, &w_small, &d[..5], None)?;
+    let (mut small_shifted, mut sticky) = common::shift_right_sticky(b, &w_small, &d[..5], None)?;
     // d >= 32 drains the significand entirely.
     let d_hi = b.or_many(&d[5..])?;
     let m_any = b.or_many(&m_small)?;
@@ -80,8 +79,10 @@ pub fn add(
     let op_sub = b.xor(sa, sx)?;
     // result = big + (small ^ op_sub) + op_sub; 28 bits with the carry
     // masked out under subtraction (it is always 1 there).
-    let xs: Bits =
-        small27.iter().map(|&c| b.xor(c, op_sub)).collect::<Result<_, _>>()?;
+    let xs: Bits = small27
+        .iter()
+        .map(|&c| b.xor(c, op_sub))
+        .collect::<Result<_, _>>()?;
     let (sum27, carry) = common::ripple_add(b, &big27, &xs, Some(op_sub))?;
     b.release_all(xs);
     b.release_all(small_shifted);
@@ -132,7 +133,15 @@ pub fn add(
     let any_nan = b.or(ua.is_nan, ux.is_nan)?;
     let nan = b.or(any_nan, inf_conflict)?;
     let packed = pack::override_special(b, packed, nan, 0x40_0000, None)?;
-    b.release_all([any_inf, inf_sign, both_inf, inf_conflict, any_nan, nan, op_sub]);
+    b.release_all([
+        any_inf,
+        inf_sign,
+        both_inf,
+        inf_conflict,
+        any_nan,
+        nan,
+        op_sub,
+    ]);
     b.release_all([a_ge, s_big]);
     if negate_x {
         b.release(sx);

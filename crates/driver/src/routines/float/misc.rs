@@ -9,11 +9,7 @@ use pim_arch::{ColAddr, RegId};
 /// scratch register (alias-safe: `a` is only read by the first NOT).
 /// Returns the scratch register holding `!a` so sign fixups can read the
 /// complement of the original bits; the caller must release it.
-fn copy_via(
-    b: &mut CircuitBuilder,
-    a: RegId,
-    dst: RegId,
-) -> Result<RegId, DriverError> {
+fn copy_via(b: &mut CircuitBuilder, a: RegId, dst: RegId) -> Result<RegId, DriverError> {
     let t = b.alloc_reg()?;
     b.init_reg(t, true);
     b.par_not(a, t);

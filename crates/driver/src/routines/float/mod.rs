@@ -5,12 +5,12 @@
 //! and signed zeros.
 
 mod add;
-#[cfg(test)]
-mod tests;
 mod cmp;
 mod misc;
 mod muldiv;
 mod pack;
+#[cfg(test)]
+mod tests;
 
 pub use add::add;
 pub use cmp::compare;

@@ -15,8 +15,8 @@ fn mant_product(
     let n = ma.len();
     let mut acc: Bits = Vec::with_capacity(2 * n);
     // First partial product: mx & ma[0], upper half zeroes.
-    for j in 0..n {
-        acc.push(b.and(mx[j], ma[0])?);
+    for &x in mx.iter().take(n) {
+        acc.push(b.and(x, ma[0])?);
     }
     for _ in n..2 * n {
         acc.push(common::owned_zero(b)?);
@@ -207,10 +207,7 @@ pub fn div(b: &mut CircuitBuilder, a: RegId, x: RegId, dst: RegId) -> Result<(),
 
     // Specials: 0/0 and ∞/∞ are NaN; x/0 = ±∞; finite/∞ = ±0; 0/finite = ±0;
     // ∞/finite = ±∞.
-    let zero_result = {
-        let t = b.or(ua.is_zero, ux.is_inf)?;
-        t
-    };
+    let zero_result = { b.or(ua.is_zero, ux.is_inf)? };
     let packed = pack::override_zero(b, packed, zero_result, sign)?;
     let inf_result = {
         let div_by_zero = b.and_not(ux.is_zero, ua.is_zero)?;
@@ -225,7 +222,16 @@ pub fn div(b: &mut CircuitBuilder, a: RegId, x: RegId, dst: RegId) -> Result<(),
     let conflict = b.or(both_zero, both_inf)?;
     let nan = b.or(any_nan, conflict)?;
     let packed = pack::override_special(b, packed, nan, 0x40_0000, None)?;
-    b.release_all([zero_result, inf_result, both_zero, both_inf, any_nan, conflict, nan, sign]);
+    b.release_all([
+        zero_result,
+        inf_result,
+        both_zero,
+        both_inf,
+        any_nan,
+        conflict,
+        nan,
+        sign,
+    ]);
     ua.release(b);
     ux.release(b);
 

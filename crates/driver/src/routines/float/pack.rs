@@ -60,7 +60,17 @@ pub fn unpack(b: &mut CircuitBuilder, reg: pim_arch::RegId) -> Result<Unpacked, 
     let nz_any = b.or(exp_nz, man_nz)?;
     let is_zero = b.not(nz_any)?;
     b.release(nz_any);
-    Ok(Unpacked { sign, exp, man, exp_nz, exp_all1, man_nz, is_nan, is_inf, is_zero })
+    Ok(Unpacked {
+        sign,
+        exp,
+        man,
+        exp_nz,
+        exp_all1,
+        man_nz,
+        is_nan,
+        is_inf,
+        is_zero,
+    })
 }
 
 impl Unpacked {
@@ -263,10 +273,7 @@ pub fn override_special(
     for (i, &c) in bits.iter().enumerate() {
         let new = if i == 31 {
             match sign_cell {
-                Some(s) => {
-                    let sel = b.mux(cond, s, c)?;
-                    sel
-                }
+                Some(s) => b.mux(cond, s, c)?,
                 None => b.and_not(c, cond)?,
             }
         } else if i >= 23 || (man_pattern >> i) & 1 == 1 {

@@ -80,7 +80,11 @@ fn fadd_cancellation_paths() {
     let got = eval_binop_vec(RegOp::Add, DType::Float32, &a, &x);
     for i in 0..a.len() {
         let expect = (f32::from_bits(a[i]) + f32::from_bits(x[i])).to_bits();
-        assert_float_bits_eq(got[i], expect, &format!("cancel {:#010x} {:#010x}", a[i], x[i]));
+        assert_float_bits_eq(
+            got[i],
+            expect,
+            &format!("cancel {:#010x} {:#010x}", a[i], x[i]),
+        );
     }
 }
 
@@ -99,7 +103,11 @@ fn fmul_subnormal_underflow() {
     let got = eval_binop_vec(RegOp::Mul, DType::Float32, &a, &x);
     for i in 0..a.len() {
         let expect = (f32::from_bits(a[i]) * f32::from_bits(x[i])).to_bits();
-        assert_float_bits_eq(got[i], expect, &format!("underflow {:#010x} {:#010x}", a[i], x[i]));
+        assert_float_bits_eq(
+            got[i],
+            expect,
+            &format!("underflow {:#010x} {:#010x}", a[i], x[i]),
+        );
     }
 }
 
@@ -129,7 +137,8 @@ fn fdiv_specials() {
 
 #[test]
 fn fcmp_matches_native() {
-    let ops: [(RegOp, fn(f32, f32) -> bool); 6] = [
+    type CmpCase = (RegOp, fn(f32, f32) -> bool);
+    let ops: [CmpCase; 6] = [
         (RegOp::Lt, |a, b| a < b),
         (RegOp::Le, |a, b| a <= b),
         (RegOp::Gt, |a, b| a > b),

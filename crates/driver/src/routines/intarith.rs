@@ -18,8 +18,7 @@ pub fn add_serial(
     let ab = src_bits(b, a);
     let xb = src_bits(b, x);
     let out = StreamOut::new(b, dst, aliased);
-    let carry =
-        common::ripple_add_into(b, &ab, &xb, None, &mut |b, i| Ok(out.target(b, i)))?;
+    let carry = common::ripple_add_into(b, &ab, &xb, None, &mut |b, i| Ok(out.target(b, i)))?;
     b.release(carry);
     Ok(())
 }
@@ -58,20 +57,15 @@ pub fn sub_serial(
 }
 
 /// Bit-serial negation `-a = !a + 1` (streamed).
-pub fn neg(
-    b: &mut CircuitBuilder,
-    a: RegId,
-    dst: RegId,
-    aliased: bool,
-) -> Result<(), DriverError> {
+pub fn neg(b: &mut CircuitBuilder, a: RegId, dst: RegId, aliased: bool) -> Result<(), DriverError> {
     let ab = src_bits(b, a);
     let out = StreamOut::new(b, dst, aliased);
     let zero = b.zero()?;
     let one = b.one()?;
     let mut carry = one;
     let mut carry_owned = false;
-    for i in 0..ab.len() {
-        let na = b.not(ab[i])?;
+    for (i, &abit) in ab.iter().enumerate() {
+        let na = b.not(abit)?;
         let pending = b.full_adder_prep(na, zero, carry)?;
         let target = out.target(b, i);
         let cout = b.full_adder_finish(pending, target)?;
@@ -126,7 +120,7 @@ pub fn add_parallel(
     b.par_nor(t1, t2, t3); // xnor
     b.init_reg(p0, true);
     b.par_not(t3, p0); // xor
-    // P starts as a copy of P0 (complement twice through t4).
+                       // P starts as a copy of P0 (complement twice through t4).
     b.init_reg(t4, true);
     b.par_not(p0, t4);
     b.init_reg(p, true);
@@ -181,8 +175,8 @@ pub fn mul(b: &mut CircuitBuilder, a: RegId, x: RegId, dst: RegId) -> Result<(),
     let n = ab.len();
     // acc starts as the first partial product: a_0 ? x : 0.
     let mut acc: Bits = Vec::with_capacity(n);
-    for j in 0..n {
-        acc.push(b.and(xb[j], ab[0])?);
+    for &x in xb.iter().take(n) {
+        acc.push(b.and(x, ab[0])?);
     }
     for i in 1..n {
         // partial_j = x_j & a_i for j in 0..n-i, added into acc[i..].

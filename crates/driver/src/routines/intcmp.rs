@@ -83,7 +83,8 @@ mod tests {
 
     #[test]
     fn signed_comparisons_match() {
-        let ops: [(RegOp, fn(i32, i32) -> bool); 6] = [
+        type CmpCase = (RegOp, fn(i32, i32) -> bool);
+        let ops: [CmpCase; 6] = [
             (RegOp::Lt, |a, b| a < b),
             (RegOp::Le, |a, b| a <= b),
             (RegOp::Gt, |a, b| a > b),
@@ -92,7 +93,11 @@ mod tests {
             (RegOp::Ne, |a, b| a != b),
         ];
         let mut pairs = int_pairs(10);
-        pairs.extend([(5, 5), (0x8000_0000, 0x7FFF_FFFF), (0x7FFF_FFFF, 0x8000_0000)]);
+        pairs.extend([
+            (5, 5),
+            (0x8000_0000, 0x7FFF_FFFF),
+            (0x7FFF_FFFF, 0x8000_0000),
+        ]);
         for (op, native) in ops {
             for &(a, x) in &pairs {
                 let got = eval_binop(op, DType::Int32, ParallelismMode::BitSerial, a, x);

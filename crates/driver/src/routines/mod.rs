@@ -45,9 +45,14 @@ pub fn compile_rtype(
     srcs: &[RegId],
 ) -> Result<Routine, DriverError> {
     if !op.supports(dtype) {
-        return Err(DriverError::Unsupported { what: format!("{op} on {dtype}") });
+        return Err(DriverError::Unsupported {
+            what: format!("{op} on {dtype}"),
+        });
     }
-    assert!(srcs.len() >= op.arity(), "missing source registers for {op}");
+    assert!(
+        srcs.len() >= op.arity(),
+        "missing source registers for {op}"
+    );
     let mut b = CircuitBuilder::new(cfg);
     let aliased = srcs[..op.arity()].contains(&dst);
     let (s0, s1, s2) = (
@@ -88,7 +93,9 @@ pub fn compile_rtype(
             float::compare(&mut b, op, s0, s1, dst)?
         }
         (RegOp::Mod, DType::Float32) => {
-            return Err(DriverError::Unsupported { what: format!("{op} on {dtype}") })
+            return Err(DriverError::Unsupported {
+                what: format!("{op} on {dtype}"),
+            })
         }
     }
     Ok(b.finish())
@@ -108,7 +115,10 @@ impl StreamOut {
         if !aliased {
             b.init_reg(dst, true);
         }
-        StreamOut { reg: dst, lazy: aliased }
+        StreamOut {
+            reg: dst,
+            lazy: aliased,
+        }
     }
 
     /// The destination cell for bit `i`, initialized to 1.

@@ -42,7 +42,8 @@ pub fn eval_vec(
         }
     }
     sim.execute(&MicroOp::XbMask(RangeMask::single(0))).unwrap();
-    sim.execute(&MicroOp::RowMask(RangeMask::dense(0, n as u32).unwrap())).unwrap();
+    sim.execute(&MicroOp::RowMask(RangeMask::dense(0, n as u32).unwrap()))
+        .unwrap();
     sim.execute_batch(&routine.ops).unwrap();
     (0..n).map(|row| sim.peek(0, row, dst as usize)).collect()
 }
@@ -59,7 +60,14 @@ pub fn eval_binop_vec(op: RegOp, dtype: DType, a: &[u32], x: &[u32]) -> Vec<u32>
 
 /// Binary operation with `dst == src0` (aliased destination).
 pub fn eval_binop_aliased(op: RegOp, dtype: DType, a: u32, x: u32) -> u32 {
-    eval_vec(op, dtype, ParallelismMode::BitSerial, &[&[a], &[x]], 0, &[0, 1])[0]
+    eval_vec(
+        op,
+        dtype,
+        ParallelismMode::BitSerial,
+        &[&[a], &[x]],
+        0,
+        &[0, 1],
+    )[0]
 }
 
 /// Unary operation on a single value.
@@ -107,7 +115,17 @@ pub fn int_pairs(n: usize) -> Vec<(u32, u32)> {
 
 /// Integer edge values for unary tests.
 pub fn int_edge_values() -> Vec<u32> {
-    vec![0, 1, 2, 0xFFFF_FFFF, 0x8000_0000, 0x7FFF_FFFF, 42, (-42i32) as u32, 0x0000_FFFF]
+    vec![
+        0,
+        1,
+        2,
+        0xFFFF_FFFF,
+        0x8000_0000,
+        0x7FFF_FFFF,
+        42,
+        (-42i32) as u32,
+        0x0000_FFFF,
+    ]
 }
 
 /// Float edge values (as bit patterns) for float tests.
@@ -163,8 +181,11 @@ pub fn float_random(n: usize, seed: u64) -> Vec<u32> {
             3 => r.gen::<u32>() & 0x807F_FFFF,
             // Extreme exponents (overflow/underflow paths).
             _ => {
-                let exp = if r.gen() { r.gen_range(245u32..255) } else { r.gen_range(1u32..12) }
-                    << 23;
+                let exp = if r.gen() {
+                    r.gen_range(245u32..255)
+                } else {
+                    r.gen_range(1u32..12)
+                } << 23;
                 exp | (r.gen::<u32>() & 0x807F_FFFF)
             }
         })

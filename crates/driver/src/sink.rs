@@ -27,7 +27,12 @@ impl SinkBackend {
     /// Returns [`ArchError::InvalidConfig`] if `cfg` fails validation.
     pub fn new(cfg: PimConfig) -> Result<Self, ArchError> {
         cfg.validate()?;
-        Ok(SinkBackend { cfg, buffer: vec![0; Self::BUFFER_LEN], cursor: 0, total: 0 })
+        Ok(SinkBackend {
+            cfg,
+            buffer: vec![0; Self::BUFFER_LEN],
+            cursor: 0,
+            total: 0,
+        })
     }
 
     /// Total micro-operations swallowed.
@@ -61,7 +66,11 @@ impl Backend for SinkBackend {
 
     fn execute(&mut self, op: &MicroOp) -> Result<Option<u32>, ArchError> {
         self.push(op);
-        Ok(if matches!(op, MicroOp::Read { .. }) { Some(0) } else { None })
+        Ok(if matches!(op, MicroOp::Read { .. }) {
+            Some(0)
+        } else {
+            None
+        })
     }
 
     fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {

@@ -84,7 +84,11 @@ mod tests {
             rtype_stats(&cfg, ParallelismMode::BitSerial, RegOp::Add, DType::Int32).unwrap();
         assert_eq!(stats.logic_cycles, ripple_add_gates(32));
         // Measured within ~6% of theoretical (the §VI-B claim's origin).
-        assert!(stats.overhead_fraction() < 0.06, "overhead {}", stats.overhead_fraction());
+        assert!(
+            stats.overhead_fraction() < 0.06,
+            "overhead {}",
+            stats.overhead_fraction()
+        );
     }
 
     #[test]
@@ -120,14 +124,17 @@ mod tests {
         assert!(xor < add && add < mul && mul < div);
         let fadd = rtype_cycles(&cfg, m, RegOp::Add, DType::Float32).unwrap();
         let fmul = rtype_cycles(&cfg, m, RegOp::Mul, DType::Float32).unwrap();
-        assert!(fadd < fmul, "fadd {fadd} should be cheaper than fmul {fmul}");
+        assert!(
+            fadd < fmul,
+            "fadd {fadd} should be cheaper than fmul {fmul}"
+        );
     }
 
     #[test]
     fn throughput_uses_eq1() {
         let cfg = PimConfig::paper();
-        let t = rtype_throughput(&cfg, ParallelismMode::BitSerial, RegOp::Add, DType::Int32)
-            .unwrap();
+        let t =
+            rtype_throughput(&cfg, ParallelismMode::BitSerial, RegOp::Add, DType::Int32).unwrap();
         let cycles =
             rtype_cycles(&cfg, ParallelismMode::BitSerial, RegOp::Add, DType::Int32).unwrap();
         let manual = cfg.total_threads() as f64 / cycles as f64 * cfg.clock_hz;

@@ -30,7 +30,10 @@ impl ThreadRange {
 
     /// A single thread.
     pub fn single(warp: XbId, row: RowId) -> Self {
-        ThreadRange { warps: RangeMask::single(warp), rows: RangeMask::single(row) }
+        ThreadRange {
+            warps: RangeMask::single(warp),
+            rows: RangeMask::single(row),
+        }
     }
 
     /// Number of threads selected.
@@ -150,7 +153,13 @@ impl Instruction {
             }
         };
         match self {
-            Instruction::RType { op, dtype, dst, srcs, target } => {
+            Instruction::RType {
+                op,
+                dtype,
+                dst,
+                srcs,
+                target,
+            } => {
                 if !op.supports(*dtype) {
                     return Err(ArchError::InvalidConfig {
                         reason: format!("operation {op} does not support {dtype}"),
@@ -162,7 +171,13 @@ impl Instruction {
                 }
                 target.validate(cfg)
             }
-            Instruction::MoveRows { src, dst, src_rows, dst_rows, warps } => {
+            Instruction::MoveRows {
+                src,
+                dst,
+                src_rows,
+                dst_rows,
+                warps,
+            } => {
                 check_reg(*src)?;
                 check_reg(*dst)?;
                 warps.check_bound("warp", cfg.crossbars as u64)?;
@@ -190,7 +205,14 @@ impl Instruction {
                 }
                 Ok(())
             }
-            Instruction::MoveWarps { src, dst, row_src, row_dst, warps, dist } => {
+            Instruction::MoveWarps {
+                src,
+                dst,
+                row_src,
+                row_dst,
+                warps,
+                dist,
+            } => {
                 check_reg(*src)?;
                 check_reg(*dst)?;
                 warps.check_bound("warp", cfg.crossbars as u64)?;
@@ -226,34 +248,58 @@ mod tests {
     }
 
     fn rtype(op: RegOp, dtype: DType, dst: RegId, srcs: [RegId; 3]) -> Instruction {
-        Instruction::RType { op, dtype, dst, srcs, target: ThreadRange::all(&cfg()) }
+        Instruction::RType {
+            op,
+            dtype,
+            dst,
+            srcs,
+            target: ThreadRange::all(&cfg()),
+        }
     }
 
     #[test]
     fn accepts_valid_rtype() {
-        rtype(RegOp::Add, DType::Int32, 2, [0, 1, 0]).validate(&cfg()).unwrap();
-        rtype(RegOp::Mux, DType::Float32, 3, [0, 1, 2]).validate(&cfg()).unwrap();
+        rtype(RegOp::Add, DType::Int32, 2, [0, 1, 0])
+            .validate(&cfg())
+            .unwrap();
+        rtype(RegOp::Mux, DType::Float32, 3, [0, 1, 2])
+            .validate(&cfg())
+            .unwrap();
     }
 
     #[test]
     fn rejects_float_modulo() {
-        let err = rtype(RegOp::Mod, DType::Float32, 2, [0, 1, 0]).validate(&cfg()).unwrap_err();
+        let err = rtype(RegOp::Mod, DType::Float32, 2, [0, 1, 0])
+            .validate(&cfg())
+            .unwrap_err();
         assert!(matches!(err, ArchError::InvalidConfig { .. }));
     }
 
     #[test]
     fn rejects_scratch_register_access() {
         // Registers 16..32 exist physically but are driver scratch.
-        let err = rtype(RegOp::Add, DType::Int32, 16, [0, 1, 0]).validate(&cfg()).unwrap_err();
-        assert!(matches!(err, ArchError::AddressOutOfBounds { what: "ISA register", .. }));
-        let err = rtype(RegOp::Add, DType::Int32, 2, [16, 1, 0]).validate(&cfg()).unwrap_err();
+        let err = rtype(RegOp::Add, DType::Int32, 16, [0, 1, 0])
+            .validate(&cfg())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ArchError::AddressOutOfBounds {
+                what: "ISA register",
+                ..
+            }
+        ));
+        let err = rtype(RegOp::Add, DType::Int32, 2, [16, 1, 0])
+            .validate(&cfg())
+            .unwrap_err();
         assert!(matches!(err, ArchError::AddressOutOfBounds { .. }));
     }
 
     #[test]
     fn unused_sources_are_not_validated() {
         // Unary op: srcs[1..] may hold garbage.
-        rtype(RegOp::Neg, DType::Int32, 2, [0, 99, 99]).validate(&cfg()).unwrap();
+        rtype(RegOp::Neg, DType::Int32, 2, [0, 99, 99])
+            .validate(&cfg())
+            .unwrap();
     }
 
     #[test]
@@ -331,11 +377,27 @@ mod tests {
     #[test]
     fn read_write_validation() {
         let c = cfg();
-        Instruction::Read { reg: 0, warp: 15, row: 63 }.validate(&c).unwrap();
-        assert!(Instruction::Read { reg: 0, warp: 16, row: 0 }.validate(&c).is_err());
-        Instruction::Write { reg: 1, value: 7, target: ThreadRange::all(&c) }
-            .validate(&c)
-            .unwrap();
+        Instruction::Read {
+            reg: 0,
+            warp: 15,
+            row: 63,
+        }
+        .validate(&c)
+        .unwrap();
+        assert!(Instruction::Read {
+            reg: 0,
+            warp: 16,
+            row: 0
+        }
+        .validate(&c)
+        .is_err());
+        Instruction::Write {
+            reg: 1,
+            value: 7,
+            target: ThreadRange::all(&c),
+        }
+        .validate(&c)
+        .unwrap();
         assert!(Instruction::Write {
             reg: 31,
             value: 7,

@@ -131,7 +131,10 @@ impl RegOp {
 
     /// Whether this is a comparison producing an `int32` 0/1 result.
     pub fn is_comparison(self) -> bool {
-        matches!(self, RegOp::Lt | RegOp::Le | RegOp::Gt | RegOp::Ge | RegOp::Eq | RegOp::Ne)
+        matches!(
+            self,
+            RegOp::Lt | RegOp::Le | RegOp::Gt | RegOp::Ge | RegOp::Eq | RegOp::Ne
+        )
     }
 
     /// The Table II category this operation belongs to.
@@ -185,7 +188,11 @@ mod tests {
         // float32.
         for op in RegOp::ALL {
             assert!(op.supports(DType::Int32), "{op} must support int32");
-            assert_eq!(op.supports(DType::Float32), op != RegOp::Mod, "{op} float support");
+            assert_eq!(
+                op.supports(DType::Float32),
+                op != RegOp::Mod,
+                "{op} float support"
+            );
         }
     }
 

@@ -32,7 +32,10 @@ fn part_shift(x: u32, s: i32) -> u32 {
 impl Crossbar {
     /// Creates a crossbar with `rows × regs` words, all cells at logical 0.
     pub fn new(rows: usize, regs: usize) -> Self {
-        Crossbar { regs, words: vec![0; rows * regs] }
+        Crossbar {
+            regs,
+            words: vec![0; rows * regs],
+        }
     }
 
     /// Number of rows.
@@ -162,7 +165,9 @@ fn uninitialized(row: u32, op: &HLogic) -> ArchError {
         reason: format!(
             "stateful {:?} gate in row {row} writes to partition bits {:#010x} of register \
              {} that were not initialized to 1",
-            op.gate, op.out_bits(), op.out.offset
+            op.gate,
+            op.out_bits(),
+            op.out.offset
         ),
     }
 }
@@ -215,7 +220,8 @@ mod tests {
         let rows = full_rows(&c);
         xb.set_word(1, 0, 0x0F0F_3355);
         xb.set_word(1, 1, 0x00FF_0F55);
-        xb.apply_hlogic(&HLogic::init_reg(true, 2, &c).unwrap(), &rows, true).unwrap();
+        xb.apply_hlogic(&HLogic::init_reg(true, 2, &c).unwrap(), &rows, true)
+            .unwrap();
         xb.apply_hlogic(
             &HLogic::parallel(GateKind::Nor, 0, 1, 2, &c).unwrap(),
             &rows,
@@ -232,7 +238,8 @@ mod tests {
         let c = cfg();
         let mut xb = Crossbar::new(c.rows, c.regs);
         let even = RangeMask::new(0, c.rows as u32 - 2, 2).unwrap();
-        xb.apply_hlogic(&HLogic::init_reg(true, 0, &c).unwrap(), &even, true).unwrap();
+        xb.apply_hlogic(&HLogic::init_reg(true, 0, &c).unwrap(), &even, true)
+            .unwrap();
         assert_eq!(xb.word(0, 0), u32::MAX);
         assert_eq!(xb.word(1, 0), 0);
         assert_eq!(xb.word(2, 0), u32::MAX);
@@ -256,7 +263,8 @@ mod tests {
         let mut xb = Crossbar::new(c.rows, c.regs);
         let rows = full_rows(&c);
         xb.set_word(0, 0, 0xAAAA_AAAA);
-        xb.apply_hlogic(&HLogic::init_reg(true, 1, &c).unwrap(), &rows, true).unwrap();
+        xb.apply_hlogic(&HLogic::init_reg(true, 1, &c).unwrap(), &rows, true)
+            .unwrap();
         let not = HLogic::parallel(GateKind::Not, 0, 0, 1, &c).unwrap();
         xb.apply_hlogic(&not, &rows, true).unwrap();
         assert_eq!(xb.word(0, 1), 0x5555_5555);
@@ -273,7 +281,8 @@ mod tests {
         let mut xb = Crossbar::new(c.rows, c.regs);
         let rows = full_rows(&c);
         xb.set_word(0, 0, 0x0000_FFFF);
-        xb.apply_hlogic(&HLogic::init_reg(true, 1, &c).unwrap(), &rows, true).unwrap();
+        xb.apply_hlogic(&HLogic::init_reg(true, 1, &c).unwrap(), &rows, true)
+            .unwrap();
         let op = HLogic::strided(
             GateKind::Not,
             ColAddr::new(0, 0),
@@ -352,7 +361,8 @@ mod tests {
                     }
                     let mut slow = fast.clone();
                     let pre = fast.clone();
-                    fast.apply_hlogic(&op, &RangeMask::single(0), false).unwrap();
+                    fast.apply_hlogic(&op, &RangeMask::single(0), false)
+                        .unwrap();
                     // Reference: per-gate stateful update from the snapshot.
                     for g in op.expand_gates() {
                         let inputs_high = match gate {

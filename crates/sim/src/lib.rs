@@ -15,7 +15,7 @@
 //! * **Logic**: partition-parallel stateful logic evaluates as three bitwise
 //!   word operations (shift, mask, and-not) instead of iterating over
 //!   partitions, and batches execute in parallel across crossbars
-//!   (crossbeam scoped threads stand in for the paper's CUDA kernel).
+//!   (std scoped threads stand in for the paper's CUDA kernel).
 //!
 //! A *strict mode* (default on) additionally checks the stateful-logic
 //! discipline: every `NOT`/`NOR` output cell must hold logical 1 when the

@@ -20,7 +20,13 @@ pub struct OpTypeCounts {
 impl OpTypeCounts {
     /// Total micro-operations across all types.
     pub fn total(&self) -> u64 {
-        self.xb_mask + self.row_mask + self.write + self.read + self.logic_h + self.logic_v + self.mv
+        self.xb_mask
+            + self.row_mask
+            + self.write
+            + self.read
+            + self.logic_h
+            + self.logic_v
+            + self.mv
     }
 }
 
@@ -64,6 +70,33 @@ impl Profiler {
         *self = Profiler::default();
     }
 
+    /// Adds `other`'s counters into `self` — aggregation across simulators
+    /// (e.g. the per-shard chips of `pim-cluster`). All counters sum;
+    /// `max_move_level` takes the maximum. Lives next to the struct so a
+    /// new counter cannot be forgotten by an external aggregator.
+    pub fn absorb(&mut self, other: &Profiler) {
+        let Profiler {
+            cycles,
+            ops,
+            gates,
+            row_gates,
+            move_pairs,
+            max_move_level,
+        } = other;
+        self.cycles += cycles;
+        self.ops.xb_mask += ops.xb_mask;
+        self.ops.row_mask += ops.row_mask;
+        self.ops.write += ops.write;
+        self.ops.read += ops.read;
+        self.ops.logic_h += ops.logic_h;
+        self.ops.logic_v += ops.logic_v;
+        self.ops.mv += ops.mv;
+        self.gates += gates;
+        self.row_gates += row_gates;
+        self.move_pairs += move_pairs;
+        self.max_move_level = self.max_move_level.max(*max_move_level);
+    }
+
     /// Difference between `self` and an earlier `snapshot` — used to
     /// attribute cycles to a region of execution (the library's `Profiler`
     /// scope in the paper's Figure 12 example).
@@ -101,6 +134,26 @@ mod tests {
         p.reset();
         assert_eq!(p.ops.total(), 0);
         assert_eq!(p.cycles, 0);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = Profiler::new();
+        a.cycles = 5;
+        a.ops.logic_h = 3;
+        a.max_move_level = 2;
+        let mut b = Profiler::new();
+        b.cycles = 7;
+        b.ops.logic_h = 4;
+        b.ops.read = 1;
+        b.gates = 9;
+        b.max_move_level = 1;
+        a.absorb(&b);
+        assert_eq!(a.cycles, 12);
+        assert_eq!(a.ops.logic_h, 7);
+        assert_eq!(a.ops.read, 1);
+        assert_eq!(a.gates, 9);
+        assert_eq!(a.max_move_level, 2);
     }
 
     #[test]

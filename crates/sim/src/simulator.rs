@@ -34,8 +34,13 @@ impl PimSimulator {
     /// Returns [`ArchError::InvalidConfig`] if `cfg` fails validation.
     pub fn new(cfg: PimConfig) -> Result<Self, ArchError> {
         cfg.validate()?;
-        let xbars = (0..cfg.crossbars).map(|_| Crossbar::new(cfg.rows, cfg.regs)).collect();
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16);
+        let xbars = (0..cfg.crossbars)
+            .map(|_| Crossbar::new(cfg.rows, cfg.regs))
+            .collect();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
         Ok(PimSimulator {
             xb_mask: RangeMask::dense(0, cfg.crossbars as u32).expect("validated nonzero"),
             row_mask: RangeMask::dense(0, cfg.rows as u32).expect("validated nonzero"),
@@ -52,6 +57,21 @@ impl PimSimulator {
     /// by default; benchmarks may disable it for speed.
     pub fn set_strict(&mut self, strict: bool) {
         self.strict = strict;
+    }
+
+    /// Overrides the number of worker threads used for batch execution.
+    ///
+    /// [`new`](PimSimulator::new) defaults to the host's available
+    /// parallelism capped at 16; callers embedding many simulators in one
+    /// process (e.g. the shard workers of `pim-cluster`) pin this to 1 so
+    /// the host is not oversubscribed. Values are clamped to at least 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The effective number of worker threads used for batch execution.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Whether strict stateful-logic checking is enabled.
@@ -112,9 +132,8 @@ impl PimSimulator {
             MicroOp::LogicH(l) => {
                 p.ops.logic_h += 1;
                 p.gates += l.gate_count();
-                p.row_gates += l.gate_count()
-                    * self.row_mask.len() as u64
-                    * self.xb_mask.len() as u64;
+                p.row_gates +=
+                    l.gate_count() * self.row_mask.len() as u64 * self.xb_mask.len() as u64;
                 1
             }
             MicroOp::LogicV { .. } => {
@@ -161,11 +180,20 @@ impl PimSimulator {
                 }
                 Ok(())
             }),
-            MicroOp::LogicH(l) => {
-                for_each_xb(&mut |xb| xb.apply_hlogic(l, row_mask, strict))
-            }
-            MicroOp::LogicV { gate, row_in, row_out, index } => for_each_xb(&mut |xb| {
-                xb.apply_vlogic(*gate, *row_in as usize, *row_out as usize, *index as usize, strict)
+            MicroOp::LogicH(l) => for_each_xb(&mut |xb| xb.apply_hlogic(l, row_mask, strict)),
+            MicroOp::LogicV {
+                gate,
+                row_in,
+                row_out,
+                index,
+            } => for_each_xb(&mut |xb| {
+                xb.apply_vlogic(
+                    *gate,
+                    *row_in as usize,
+                    *row_out as usize,
+                    *index as usize,
+                    strict,
+                )
             }),
             MicroOp::XbMask(_) | MicroOp::RowMask(_) | MicroOp::Read { .. } | MicroOp::Move(_) => {
                 unreachable!("mask/read/move ops are handled by the dispatcher")
@@ -214,33 +242,58 @@ impl PimSimulator {
         let chunk_size = self.cfg.crossbars.div_ceil(threads);
         let xb_mask0 = self.xb_mask;
         let row_mask0 = self.row_mask;
-        let results: Vec<Result<(), ArchError>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Result<(), ArchError>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (ci, chunk) in self.xbars.chunks_mut(chunk_size).enumerate() {
                 let base = (ci * chunk_size) as u32;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut xb_mask = xb_mask0;
                     let mut row_mask = row_mask0;
                     for op in run {
                         match op {
                             MicroOp::XbMask(m) => xb_mask = *m,
                             MicroOp::RowMask(m) => row_mask = *m,
-                            other => Self::apply_local(
-                                chunk, base, other, &xb_mask, &row_mask, strict,
-                            )?,
+                            other => {
+                                Self::apply_local(chunk, base, other, &xb_mask, &row_mask, strict)?
+                            }
                         }
                     }
                     Ok(())
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         for r in results {
             r?;
         }
         // Replay mask updates on the dispatcher state.
         for op in run {
+            match op {
+                MicroOp::XbMask(m) => self.xb_mask = *m,
+                MicroOp::RowMask(m) => self.row_mask = *m,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The validation/accounting pass of a batch: checks every operation,
+    /// charges the profiler, and tracks the evolving mask state. Mutates
+    /// masks and profiler; the caller restores them (always for masks,
+    /// on error for the profiler).
+    fn account_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
+        for op in ops {
+            if matches!(op, MicroOp::Read { .. }) {
+                return Err(ArchError::Protocol {
+                    reason: "read operations cannot be batched".into(),
+                });
+            }
+            op.validate(&self.cfg)?;
+            // `account` uses the mask state in effect at this op.
+            self.account(op)?;
             match op {
                 MicroOp::XbMask(m) => self.xb_mask = *m,
                 MicroOp::RowMask(m) => self.row_mask = *m,
@@ -295,31 +348,15 @@ impl Backend for PimSimulator {
 
     fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
         // Validate and account first (profiling replays the mask state).
+        // On any rejection the masks and profiler roll back, so a failed
+        // batch leaves the simulator exactly as it was.
         let (xb_mask0, row_mask0) = (self.xb_mask, self.row_mask);
-        for op in ops {
-            if matches!(op, MicroOp::Read { .. }) {
-                // Restore mask state consumed by accounting before failing.
-                self.xb_mask = xb_mask0;
-                self.row_mask = row_mask0;
-                return Err(ArchError::Protocol {
-                    reason: "read operations cannot be batched".into(),
-                });
-            }
-            op.validate(&self.cfg)?;
-            // `account` uses the mask state in effect at this op.
-            match op {
-                MicroOp::XbMask(m) => {
-                    self.account(op)?;
-                    self.xb_mask = *m;
-                }
-                MicroOp::RowMask(m) => {
-                    self.account(op)?;
-                    self.row_mask = *m;
-                }
-                _ => {
-                    self.account(op)?;
-                }
-            }
+        let profiler0 = self.profiler.clone();
+        if let Err(e) = self.account_batch(ops) {
+            self.xb_mask = xb_mask0;
+            self.row_mask = row_mask0;
+            self.profiler = profiler0;
+            return Err(e);
         }
         self.xb_mask = xb_mask0;
         self.row_mask = row_mask0;
@@ -371,8 +408,15 @@ mod tests {
         let mut s = sim();
         s.execute(&MicroOp::XbMask(RangeMask::single(2))).unwrap();
         s.execute(&MicroOp::RowMask(RangeMask::single(5))).unwrap();
-        s.execute(&MicroOp::Write { index: 3, value: 0xCAFE_BABE }).unwrap();
-        assert_eq!(s.execute(&MicroOp::Read { index: 3 }).unwrap(), Some(0xCAFE_BABE));
+        s.execute(&MicroOp::Write {
+            index: 3,
+            value: 0xCAFE_BABE,
+        })
+        .unwrap();
+        assert_eq!(
+            s.execute(&MicroOp::Read { index: 3 }).unwrap(),
+            Some(0xCAFE_BABE)
+        );
         // Other crossbars and rows untouched.
         assert_eq!(s.peek(1, 5, 3), 0);
         assert_eq!(s.peek(2, 4, 3), 0);
@@ -388,9 +432,15 @@ mod tests {
     #[test]
     fn masked_write_covers_pattern() {
         let mut s = sim();
-        s.execute(&MicroOp::XbMask(RangeMask::new(0, 8, 4).unwrap())).unwrap();
-        s.execute(&MicroOp::RowMask(RangeMask::new(1, 61, 4).unwrap())).unwrap();
-        s.execute(&MicroOp::Write { index: 7, value: 42 }).unwrap();
+        s.execute(&MicroOp::XbMask(RangeMask::new(0, 8, 4).unwrap()))
+            .unwrap();
+        s.execute(&MicroOp::RowMask(RangeMask::new(1, 61, 4).unwrap()))
+            .unwrap();
+        s.execute(&MicroOp::Write {
+            index: 7,
+            value: 42,
+        })
+        .unwrap();
         for xb in 0..16 {
             for row in 0..64 {
                 let expect = [0, 4, 8].contains(&xb) && row % 4 == 1;
@@ -404,7 +454,8 @@ mod tests {
         let mut s = sim();
         let cfg = s.config().clone();
         s.execute(&MicroOp::XbMask(RangeMask::single(3))).unwrap();
-        s.execute(&MicroOp::LogicH(HLogic::init_reg(true, 0, &cfg).unwrap())).unwrap();
+        s.execute(&MicroOp::LogicH(HLogic::init_reg(true, 0, &cfg).unwrap()))
+            .unwrap();
         assert_eq!(s.peek(3, 0, 0), u32::MAX);
         assert_eq!(s.peek(2, 0, 0), 0);
     }
@@ -415,7 +466,8 @@ mod tests {
         s.poke(1, 9, 4, 0x1111_2222);
         s.poke(5, 9, 4, 0x3333_4444);
         // Sources {1, 5}, step 4 (power of 4), dist +1.
-        s.execute(&MicroOp::XbMask(RangeMask::new(1, 5, 4).unwrap())).unwrap();
+        s.execute(&MicroOp::XbMask(RangeMask::new(1, 5, 4).unwrap()))
+            .unwrap();
         s.execute(&MicroOp::Move(MoveOp {
             dist: 1,
             row_src: 9,
@@ -434,7 +486,8 @@ mod tests {
     #[test]
     fn move_rejects_bad_patterns() {
         let mut s = sim();
-        s.execute(&MicroOp::XbMask(RangeMask::new(0, 6, 2).unwrap())).unwrap();
+        s.execute(&MicroOp::XbMask(RangeMask::new(0, 6, 2).unwrap()))
+            .unwrap();
         let err = s
             .execute(&MicroOp::Move(MoveOp {
                 dist: 1,
@@ -451,9 +504,12 @@ mod tests {
     fn profiler_counts_types_and_gates() {
         let mut s = sim();
         let cfg = s.config().clone();
-        s.execute(&MicroOp::XbMask(RangeMask::dense(0, 16).unwrap())).unwrap();
-        s.execute(&MicroOp::RowMask(RangeMask::dense(0, 64).unwrap())).unwrap();
-        s.execute(&MicroOp::LogicH(HLogic::init_reg(true, 1, &cfg).unwrap())).unwrap();
+        s.execute(&MicroOp::XbMask(RangeMask::dense(0, 16).unwrap()))
+            .unwrap();
+        s.execute(&MicroOp::RowMask(RangeMask::dense(0, 64).unwrap()))
+            .unwrap();
+        s.execute(&MicroOp::LogicH(HLogic::init_reg(true, 1, &cfg).unwrap()))
+            .unwrap();
         s.execute(&MicroOp::LogicH(
             HLogic::parallel(GateKind::Not, 0, 0, 1, &cfg).unwrap(),
         ))
@@ -472,10 +528,20 @@ mod tests {
         let mut s = sim();
         s.poke(0, 3, 2, 77);
         s.poke(9, 3, 2, 0xFF);
-        s.execute(&MicroOp::LogicV { gate: VGate::Init1, row_in: 0, row_out: 8, index: 2 })
-            .unwrap();
-        s.execute(&MicroOp::LogicV { gate: VGate::Not, row_in: 3, row_out: 8, index: 2 })
-            .unwrap();
+        s.execute(&MicroOp::LogicV {
+            gate: VGate::Init1,
+            row_in: 0,
+            row_out: 8,
+            index: 2,
+        })
+        .unwrap();
+        s.execute(&MicroOp::LogicV {
+            gate: VGate::Not,
+            row_in: 3,
+            row_out: 8,
+            index: 2,
+        })
+        .unwrap();
         assert_eq!(s.peek(0, 8, 2), !77);
         assert_eq!(s.peek(9, 8, 2), !0xFF);
     }
@@ -488,8 +554,9 @@ mod tests {
         batch_ops.push(MicroOp::RowMask(RangeMask::new(0, 60, 4).unwrap()));
         batch_ops.extend(ops_write_all(0xF0F0_F0F0, 0));
         batch_ops.push(MicroOp::LogicH(HLogic::init_reg(true, 1, &cfg).unwrap()));
-        batch_ops
-            .push(MicroOp::LogicH(HLogic::parallel(GateKind::Not, 0, 0, 1, &cfg).unwrap()));
+        batch_ops.push(MicroOp::LogicH(
+            HLogic::parallel(GateKind::Not, 0, 0, 1, &cfg).unwrap(),
+        ));
         batch_ops.push(MicroOp::XbMask(RangeMask::new(1, 33, 4).unwrap()));
         batch_ops.push(MicroOp::Move(MoveOp {
             dist: 2,
@@ -502,8 +569,9 @@ mod tests {
         // Duplicate the logic tail to cross the parallel work threshold.
         for _ in 0..600 {
             batch_ops.push(MicroOp::LogicH(HLogic::init_reg(true, 4, &cfg).unwrap()));
-            batch_ops
-                .push(MicroOp::LogicH(HLogic::parallel(GateKind::Not, 0, 0, 4, &cfg).unwrap()));
+            batch_ops.push(MicroOp::LogicH(
+                HLogic::parallel(GateKind::Not, 0, 0, 4, &cfg).unwrap(),
+            ));
         }
 
         let mut serial = PimSimulator::new(cfg.clone()).unwrap();
@@ -536,6 +604,29 @@ mod tests {
     }
 
     #[test]
+    fn failed_batch_rolls_back_masks_and_profiler() {
+        let mut s = sim();
+        let cycles0 = s.profiler().cycles;
+        // Valid mask op followed by an invalid write: the batch must fail
+        // without leaving the narrowed mask or phantom cycles behind.
+        let err = s
+            .execute_batch(&[
+                MicroOp::XbMask(RangeMask::single(2)),
+                MicroOp::Write {
+                    index: 99,
+                    value: 0,
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ArchError::AddressOutOfBounds { .. }));
+        assert_eq!(s.profiler().cycles, cycles0);
+        // Masks still cover the whole memory.
+        s.execute(&MicroOp::Write { index: 0, value: 7 }).unwrap();
+        assert_eq!(s.peek(0, 0, 0), 7);
+        assert_eq!(s.peek(15, 63, 0), 7);
+    }
+
+    #[test]
     fn strict_mode_propagates_from_batches() {
         let mut s = sim();
         let cfg = s.config().clone();
@@ -548,7 +639,12 @@ mod tests {
     #[test]
     fn rejects_out_of_geometry_ops() {
         let mut s = sim();
-        assert!(s.execute(&MicroOp::Write { index: 32, value: 0 }).is_err());
+        assert!(s
+            .execute(&MicroOp::Write {
+                index: 32,
+                value: 0
+            })
+            .is_err());
         assert!(s.execute(&MicroOp::XbMask(RangeMask::single(99))).is_err());
     }
 }
@@ -565,23 +661,28 @@ mod proptests {
         let rows = cfg.rows as u32;
         let xbs = cfg.crossbars as u32;
         Some(match kind % 5 {
-            0 => MicroOp::XbMask(RangeMask::strided(
-                a as u32 % xbs,
-                1 + b as u32 % 3,
-                1 + c as u32 % 2,
-            )
-            .ok()
-            .filter(|m| m.stop() < xbs)?),
+            0 => MicroOp::XbMask(
+                RangeMask::strided(a as u32 % xbs, 1 + b as u32 % 3, 1 + c as u32 % 2)
+                    .ok()
+                    .filter(|m| m.stop() < xbs)?,
+            ),
             1 => MicroOp::RowMask(
                 RangeMask::strided(a as u32 % rows, 1 + b as u32 % 4, 1 + c as u32 % 3)
                     .ok()
                     .filter(|m| m.stop() < rows)?,
             ),
-            2 => MicroOp::Write { index: a % regs, value: u32::from_le_bytes([b, c, d, e]) },
+            2 => MicroOp::Write {
+                index: a % regs,
+                value: u32::from_le_bytes([b, c, d, e]),
+            },
             3 => MicroOp::LogicH(
                 HLogic::strided(
-                    [GateKind::Init0, GateKind::Init1, GateKind::Not, GateKind::Nor]
-                        [f as usize % 4],
+                    [
+                        GateKind::Init0,
+                        GateKind::Init1,
+                        GateKind::Not,
+                        GateKind::Nor,
+                    ][f as usize % 4],
                     ColAddr::new(a % 8, b % regs),
                     ColAddr::new(a % 8 + c % 4, d % regs),
                     ColAddr::new(a % 8 + e % 4, f % regs),

@@ -20,7 +20,10 @@ fn main() -> Result<()> {
     let sorted = t.sorted()?;
     let cycles = dev.cycles();
     let out = sorted.to_vec_f32()?;
-    assert!(out.windows(2).all(|w| w[0] <= w[1]), "output must be ascending");
+    assert!(
+        out.windows(2).all(|w| w[0] <= w[1]),
+        "output must be ascending"
+    );
     println!("sorted {n} floats in {cycles} PIM cycles");
     println!("  first: {:?}", &out[..4]);
     println!("  last:  {:?}", &out[n - 4..]);

@@ -1,0 +1,132 @@
+//! Request serving on a sharded multi-chip cluster: many concurrent client
+//! threads submit tensor-program "requests" against one `Device::cluster`,
+//! whose shard workers execute element-parallel work on all chips at once.
+//!
+//! Run with: `cargo run --release --example cluster_serve`
+
+use pypim::{Device, PimConfig, Result, Tensor};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+const SHARDS: usize = 4;
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 2;
+/// Whole-memory requests: each spans every chip, so one request's
+/// element-parallel work runs on all shard workers at once.
+const REQUEST_ELEMS: usize = 4096;
+/// Admission control: requests in flight at once. PIM registers are the
+/// scarce serving resource — each in-flight request holds a handful of
+/// register stripes in its warp window, so a production front end bounds
+/// concurrency to what the memory can host and queues the rest.
+const MAX_IN_FLIGHT: usize = 2;
+
+/// A minimal counting semaphore (std has none).
+struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock().unwrap();
+        while *p == 0 {
+            p = self.available.wait(p).unwrap();
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap() += 1;
+        self.available.notify_one();
+    }
+}
+
+/// The per-request program: the paper's Figure 12 function plus a
+/// logarithmic reduction — `sum(x * y + x)`.
+fn serve_request(dev: &Device, values: &[f32]) -> Result<f32> {
+    let x = dev.from_slice_f32(values)?;
+    let y = dev.full_f32(values.len(), 2.0)?;
+    let z: Tensor = (&(&x * &y)? + &x)?;
+    z.sum_f32()
+}
+
+/// Deterministic request payload for client `cid`, request `req`. Values
+/// are small dyadic rationals, so float sums are exact in any order and the
+/// host-side check below is bit-exact.
+fn payload(cid: usize, req: usize) -> Vec<f32> {
+    (0..REQUEST_ELEMS)
+        .map(|i| ((cid * 31 + req * 7 + i) % 13) as f32 * 0.25)
+        .collect()
+}
+
+fn main() -> Result<()> {
+    let dev = Device::cluster(PimConfig::small(), SHARDS)?;
+    println!(
+        "cluster: {} chips x {} crossbars x {} rows = {} logical threads",
+        dev.shards(),
+        dev.config().crossbars / dev.shards(),
+        dev.config().rows,
+        dev.config().total_threads(),
+    );
+
+    let start = std::time::Instant::now();
+    let admission = Arc::new(Semaphore::new(MAX_IN_FLIGHT));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|cid| {
+            let dev = dev.clone();
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || -> Result<f32> {
+                let mut acc = 0.0f32;
+                for req in 0..REQUESTS_PER_CLIENT {
+                    admission.acquire();
+                    let result = serve_request(&dev, &payload(cid, req));
+                    admission.release();
+                    acc += result?;
+                }
+                Ok(acc)
+            })
+        })
+        .collect();
+
+    let mut total = 0.0f32;
+    for (cid, h) in handles.into_iter().enumerate() {
+        let got = h.join().expect("client thread panicked")?;
+        let want: f32 = (0..REQUESTS_PER_CLIENT)
+            .map(|req| payload(cid, req).iter().map(|v| v * 2.0 + v).sum::<f32>())
+            .sum();
+        assert_eq!(got, want, "client {cid} result mismatch");
+        total += got;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "served {} requests x {} elements from {} clients in {:.1} ms (sum {total})",
+        CLIENTS * REQUESTS_PER_CLIENT,
+        REQUEST_ELEMS,
+        CLIENTS,
+        elapsed.as_secs_f64() * 1e3,
+    );
+
+    if let Some(stats) = dev.cluster_stats() {
+        let (hits, misses) = stats.cache_stats();
+        println!(
+            "telemetry: {} total chip cycles ({} on the busiest shard), \
+             routine cache {hits} hits / {misses} misses",
+            stats.total_cycles(),
+            stats.critical_path_cycles(),
+        );
+        for s in &stats.shards {
+            println!(
+                "  shard {}: {} chip cycles, {} issued micro-op cycles, cache {}h/{}m",
+                s.shard, s.profiler.cycles, s.issued.total, s.cache_hits, s.cache_misses,
+            );
+        }
+    }
+    Ok(())
+}

@@ -39,9 +39,18 @@ fn main() -> Result<()> {
         max_err = max_err.max((cos_v[i] - a.cos()).abs());
     }
     println!("\nmax |error| vs host sin/cos: {max_err:.2e}");
-    println!("identity check: sin²+cos² ∈ [{:.6}, {:.6}]",
-        sin_v.iter().zip(&cos_v).map(|(s, c)| s * s + c * c).fold(f32::MAX, f32::min),
-        sin_v.iter().zip(&cos_v).map(|(s, c)| s * s + c * c).fold(f32::MIN, f32::max),
+    println!(
+        "identity check: sin²+cos² ∈ [{:.6}, {:.6}]",
+        sin_v
+            .iter()
+            .zip(&cos_v)
+            .map(|(s, c)| s * s + c * c)
+            .fold(f32::MAX, f32::min),
+        sin_v
+            .iter()
+            .zip(&cos_v)
+            .map(|(s, c)| s * s + c * c)
+            .fold(f32::MIN, f32::max),
     );
     Ok(())
 }

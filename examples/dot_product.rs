@@ -47,7 +47,10 @@ fn main() -> Result<()> {
     let clamped = above.select(&threshold, &a)?;
     let cv = clamped.to_vec_f32()?;
     assert!(cv.iter().all(|&x| x <= 1.0));
-    println!("clamp via mux: max = {:.4}", cv.iter().fold(f32::MIN, |m, &x| m.max(x)));
+    println!(
+        "clamp via mux: max = {:.4}",
+        cv.iter().fold(f32::MIN, |m, &x| m.max(x))
+    );
 
     // Integer path: parity count via bitwise ops.
     let ints = dev.from_slice_i32(&(0..n as i32).map(|i| i * 7 + 3).collect::<Vec<_>>())?;

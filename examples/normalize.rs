@@ -52,8 +52,20 @@ fn main() -> Result<()> {
     // Running totals via the in-memory Hillis–Steele scan.
     let firsts = x.slice(0, 8)?;
     let totals = firsts.cumsum()?.to_vec_f32()?;
-    println!("\nfirst 8 samples:   {:?}", &raw[..8].iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>());
-    println!("running totals:    {:?}", totals.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "\nfirst 8 samples:   {:?}",
+        &raw[..8]
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "running totals:    {:?}",
+        totals
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 
     println!("\ntotal PIM cycles: {}", dev.cycles());
     Ok(())

@@ -12,6 +12,9 @@
 //! * [`isa`] — warps-of-threads instruction set architecture.
 //! * [`driver`] — host driver translating macro-instructions into
 //!   micro-operations (gate-level AritPIM arithmetic, IEEE-754 floats).
+//! * [`cluster`] — sharded multi-chip execution engine: `N` driver+chip
+//!   pairs on worker threads behind one flat address space, with batched
+//!   job submission and cross-shard gather/scatter/reduce.
 //! * The development library ([`Tensor`], [`Device`], …) — NumPy-like
 //!   tensors with views, reductions, sorting, and CORDIC routines.
 //!
@@ -41,11 +44,42 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Sharded quickstart
+//!
+//! [`Device::cluster`] swaps the single simulated chip for a sharded
+//! multi-chip cluster (`pim-cluster`): the same tensor program runs
+//! unchanged — and bit-identically — while element-parallel work fans out
+//! across one worker thread per chip. The device is `Send + Sync`, so many
+//! client threads can serve requests against one cluster concurrently (see
+//! `examples/cluster_serve.rs`).
+//!
+//! ```
+//! use pypim::{Device, PimConfig};
+//!
+//! # fn main() -> pypim::Result<()> {
+//! // Four chips of 16 crossbars each: one 4096-thread logical memory.
+//! let dev = Device::cluster(PimConfig::small(), 4)?;
+//! assert_eq!(dev.shards(), 4);
+//!
+//! let x = dev.from_slice_f32(&[1.5; 1024])?;
+//! let y = dev.full_f32(1024, 2.0)?;
+//! let z = (&x * &y)?; // each chip multiplies its slice concurrently
+//! assert_eq!(z.sum_f32()?, 3072.0);
+//!
+//! // Per-shard telemetry: chip cycles, issued cycles, cache hit rates.
+//! let stats = dev.cluster_stats().expect("cluster-backed");
+//! assert_eq!(stats.shards.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use pim_arch as arch;
+pub use pim_cluster as cluster;
 pub use pim_driver as driver;
 pub use pim_isa as isa;
 pub use pim_sim as sim;
 
 pub use pim_arch::{PimConfig, RangeMask};
+pub use pim_cluster::{ClusterStats, Combine, PimCluster, ShardPlan};
 pub use pypim_core::*;

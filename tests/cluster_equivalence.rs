@@ -1,0 +1,177 @@
+//! Sharded correctness: the same tensor programs on a single-chip device
+//! (`Device::new`) and a 4-shard cluster presenting the identical logical
+//! geometry (`Device::cluster`) must produce bit-identical results —
+//! including non-associative float reductions (the cluster preserves the
+//! logical combine tree rather than re-associating per shard) and sorted
+//! output.
+
+use pypim::{Device, PimConfig, Result, Tensor};
+
+/// Single chip: 16 crossbars × 64 rows.
+fn single() -> Device {
+    Device::new(PimConfig::small()).unwrap()
+}
+
+/// Four chips of 4 crossbars each — the same 16-warp logical geometry.
+fn sharded() -> Device {
+    Device::cluster(PimConfig::small().with_crossbars(4), 4).unwrap()
+}
+
+/// Awkward float inputs: subnormals, extremes, negative zero, non-dyadic
+/// fractions — anything where re-associated summation would diverge.
+fn float_inputs(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| match i % 7 {
+            0 => 0.1 + i as f32,
+            1 => -3.75e-3 * i as f32,
+            2 => 1.0e-40, // subnormal
+            3 => 3.4e37,
+            4 => -0.0,
+            5 => -7.25e-9 * i as f32,
+            _ => (i as f32).sin() * 100.0,
+        })
+        .collect()
+}
+
+fn int_inputs(n: usize) -> Vec<i32> {
+    (0..n)
+        .map(|i| (i as i32).wrapping_mul(0x9E37_79B9u32 as i32) ^ (i as i32) << 7)
+        .collect()
+}
+
+/// Runs `program` on both devices and asserts bit-identical raw output.
+fn assert_equivalent(program: impl Fn(&Device) -> Result<Vec<u32>>) {
+    let on_single = program(&single()).unwrap();
+    let on_cluster = program(&sharded()).unwrap();
+    assert_eq!(
+        on_single, on_cluster,
+        "cluster output diverged from single chip"
+    );
+}
+
+#[test]
+fn arithmetic_chain_is_bit_identical() {
+    assert_equivalent(|dev| {
+        let a = dev.from_slice_f32(&float_inputs(300))?;
+        let b = dev.full_f32(300, 1.0625)?;
+        let z: Tensor = (&(&(&a * &b)? + &a)? - &b)?;
+        let d = (&z / &b)?;
+        d.to_raw_vec()
+    });
+}
+
+#[test]
+fn int_ops_and_comparisons_are_bit_identical() {
+    assert_equivalent(|dev| {
+        let a = dev.from_slice_i32(&int_inputs(200))?;
+        let b =
+            dev.from_slice_i32(&int_inputs(200).iter().map(|v| v ^ 0x55).collect::<Vec<_>>())?;
+        let sum = (&a + &b)?;
+        let prod = (&a * &b)?;
+        let cmp = a.lt(&b)?;
+        let sel = cmp.select(&sum, &prod)?;
+        let mixed = sel.bit_xor(&a)?;
+        mixed.to_raw_vec()
+    });
+}
+
+#[test]
+fn float_reduction_is_bit_identical() {
+    // Non-associative sums: the cluster must reproduce the exact combine
+    // tree of the single chip, not a per-shard re-association.
+    assert_equivalent(|dev| {
+        let t = dev.from_slice_f32(&float_inputs(333))?;
+        let s = t.sum_f32()?;
+        let p = t.slice_step(0, 333, 3)?.prod_f32()?;
+        Ok(vec![s.to_bits(), p.to_bits()])
+    });
+}
+
+#[test]
+fn int_reduction_and_minmax_are_bit_identical() {
+    assert_equivalent(|dev| {
+        let t = dev.from_slice_i32(&int_inputs(250))?;
+        Ok(vec![
+            t.sum_i32()? as u32,
+            t.prod_i32()? as u32,
+            t.min_i32()? as u32,
+            t.max_i32()? as u32,
+        ])
+    });
+}
+
+#[test]
+fn sorted_output_is_bit_identical() {
+    assert_equivalent(|dev| {
+        let t = dev.from_slice_f32(&float_inputs(96))?;
+        let s = t.sorted()?;
+        s.to_raw_vec()
+    });
+}
+
+#[test]
+fn views_and_movement_are_bit_identical() {
+    assert_equivalent(|dev| {
+        let t = dev.from_slice_i32(&int_inputs(256))?;
+        // Misaligned operands force the move-based alignment fallback,
+        // which on the cluster exercises cross-chip transfers.
+        let even = t.even()?;
+        let odd = t.odd()?;
+        let mixed = (&even + &odd)?;
+        let shifted = pypim::shifted(&t, 64)?; // one whole shard's worth
+        let head = shifted.slice(0, 128)?;
+        let mut out = mixed.to_raw_vec()?;
+        out.extend(head.to_raw_vec()?);
+        Ok(out)
+    });
+}
+
+#[test]
+fn scan_is_bit_identical() {
+    assert_equivalent(|dev| {
+        let t = dev.from_slice_f32(&float_inputs(120))?;
+        let c = t.cumsum()?;
+        c.to_raw_vec()
+    });
+}
+
+#[test]
+fn figure12_program_on_cluster() {
+    // The paper's example program, straight on a 4-chip cluster.
+    let dev = sharded();
+    let n = 1024;
+    let mut x = dev.zeros_f32(n).unwrap();
+    let mut y = dev.zeros_f32(n).unwrap();
+    x.set_f32(4, 8.0).unwrap();
+    y.set_f32(4, 0.5).unwrap();
+    x.set_f32(5, 20.0).unwrap();
+    y.set_f32(5, 1.0).unwrap();
+    x.set_f32(8, 10.0).unwrap();
+    y.set_f32(8, 1.0).unwrap();
+    let z = (&(&x * &y).unwrap() + &x).unwrap();
+    assert_eq!(z.slice_step(0, n, 2).unwrap().sum_f32().unwrap(), 32.0);
+    // Telemetry exists and shows multi-shard activity.
+    let stats = dev.cluster_stats().unwrap();
+    assert_eq!(stats.shards.len(), 4);
+    assert!(stats.shards.iter().all(|s| s.profiler.cycles > 0));
+    let (hits, misses) = stats.cache_stats();
+    assert!(hits + misses > 0);
+}
+
+#[test]
+fn execute_batch_protocol_rejects_reads_on_both_engines() {
+    // The no-reads-in-batches protocol of Backend::execute_batch holds on
+    // the single chip and through the cluster shard path.
+    use pypim::arch::{Backend, MicroOp};
+    use pypim::sim::PimSimulator;
+
+    let mut sim = PimSimulator::new(PimConfig::small()).unwrap();
+    assert!(sim.execute_batch(&[MicroOp::Read { index: 0 }]).is_err());
+
+    let cluster = pypim::PimCluster::new(PimConfig::small().with_crossbars(4), 4).unwrap();
+    for shard in 0..4 {
+        assert!(cluster
+            .execute_micro_batch(shard, vec![MicroOp::Read { index: 0 }])
+            .is_err());
+    }
+}

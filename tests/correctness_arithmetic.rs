@@ -8,6 +8,10 @@
 use pypim::{Device, PimConfig, RegOp, Tensor};
 use rand::{Rng, SeedableRng};
 
+/// A Table II operation paired with its host-side reference semantics.
+type IntCase<R> = (RegOp, fn(i32, i32) -> R);
+type FloatCase<R> = (RegOp, fn(f32, f32) -> R);
+
 fn device() -> Device {
     // Tiny geometry keeps the bit-accurate simulation fast; results are
     // geometry-independent.
@@ -46,12 +50,18 @@ fn int_arithmetic_matches_native() {
     let dev = device();
     let (av, bv) = (int_inputs(1), int_inputs(2));
     let (a, b) = (pim_int(&dev, &av), pim_int(&dev, &bv));
-    let cases: [(RegOp, fn(i32, i32) -> i32); 5] = [
+    let cases: [IntCase<i32>; 5] = [
         (RegOp::Add, |x, y| x.wrapping_add(y)),
         (RegOp::Sub, |x, y| x.wrapping_sub(y)),
         (RegOp::Mul, |x, y| x.wrapping_mul(y)),
-        (RegOp::Div, |x, y| if y == 0 { 0 } else { x.wrapping_div(y) }),
-        (RegOp::Mod, |x, y| if y == 0 { x } else { x.wrapping_rem(y) }),
+        (
+            RegOp::Div,
+            |x, y| if y == 0 { 0 } else { x.wrapping_div(y) },
+        ),
+        (
+            RegOp::Mod,
+            |x, y| if y == 0 { x } else { x.wrapping_rem(y) },
+        ),
     ];
     for (op, native) in cases {
         let got = a.binary(op, &b).unwrap().to_vec_i32().unwrap();
@@ -84,7 +94,7 @@ fn int_comparisons_match_native() {
     let (mut av, bv) = (int_inputs(4), int_inputs(5));
     av[0] = bv[0]; // force an equal pair
     let (a, b) = (pim_int(&dev, &av), pim_int(&dev, &bv));
-    let cases: [(RegOp, fn(i32, i32) -> bool); 6] = [
+    let cases: [IntCase<bool>; 6] = [
         (RegOp::Lt, |x, y| x < y),
         (RegOp::Le, |x, y| x <= y),
         (RegOp::Gt, |x, y| x > y),
@@ -95,7 +105,13 @@ fn int_comparisons_match_native() {
     for (op, native) in cases {
         let got = a.binary(op, &b).unwrap().to_vec_i32().unwrap();
         for i in 0..N {
-            assert_eq!(got[i], native(av[i], bv[i]) as i32, "{op}({}, {})", av[i], bv[i]);
+            assert_eq!(
+                got[i],
+                native(av[i], bv[i]) as i32,
+                "{op}({}, {})",
+                av[i],
+                bv[i]
+            );
         }
     }
 }
@@ -105,7 +121,7 @@ fn float_arithmetic_matches_ieee() {
     let dev = device();
     let (av, bv) = (float_inputs(6), float_inputs(7));
     let (a, b) = (pim_float(&dev, &av), pim_float(&dev, &bv));
-    let cases: [(RegOp, fn(f32, f32) -> f32); 4] = [
+    let cases: [FloatCase<f32>; 4] = [
         (RegOp::Add, |x, y| x + y),
         (RegOp::Sub, |x, y| x - y),
         (RegOp::Mul, |x, y| x * y),
@@ -142,7 +158,7 @@ fn float_comparisons_follow_ieee() {
     av[2] = 0.0;
     bv[2] = -0.0; // -0 == +0
     let (a, b) = (pim_float(&dev, &av), pim_float(&dev, &bv));
-    let cases: [(RegOp, fn(f32, f32) -> bool); 6] = [
+    let cases: [FloatCase<bool>; 6] = [
         (RegOp::Lt, |x, y| x < y),
         (RegOp::Le, |x, y| x <= y),
         (RegOp::Gt, |x, y| x > y),
@@ -153,7 +169,13 @@ fn float_comparisons_follow_ieee() {
     for (op, native) in cases {
         let got = a.binary(op, &b).unwrap().to_vec_i32().unwrap();
         for i in 0..N {
-            assert_eq!(got[i], native(av[i], bv[i]) as i32, "{op}({}, {})", av[i], bv[i]);
+            assert_eq!(
+                got[i],
+                native(av[i], bv[i]) as i32,
+                "{op}({}, {})",
+                av[i],
+                bv[i]
+            );
         }
     }
 }
@@ -214,14 +236,28 @@ fn scalar_operands_broadcast() {
 #[test]
 fn float_sign_and_zero() {
     let dev = device();
-    let av = vec![3.5f32, -2.0, 0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, 1e-40, -1e-40];
+    let av = vec![
+        3.5f32,
+        -2.0,
+        0.0,
+        -0.0,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        1e-40,
+        -1e-40,
+    ];
     let a = pim_float(&dev, &av);
     let sign = a.sign().unwrap().to_vec_f32().unwrap();
     let zero = a.zero_mask().unwrap().to_vec_f32().unwrap();
     let abs = a.abs().unwrap().to_vec_f32().unwrap();
     let expect_sign = [1.0f32, -1.0, 0.0, -0.0, 1.0, -1.0, 1.0, -1.0];
     for i in 0..av.len() {
-        assert_eq!(sign[i].to_bits(), expect_sign[i].to_bits(), "sign({})", av[i]);
+        assert_eq!(
+            sign[i].to_bits(),
+            expect_sign[i].to_bits(),
+            "sign({})",
+            av[i]
+        );
         assert_eq!(zero[i], (av[i] == 0.0) as i32 as f32, "zero({})", av[i]);
         assert_eq!(abs[i].to_bits(), av[i].abs().to_bits(), "abs({})", av[i]);
     }

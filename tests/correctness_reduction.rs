@@ -118,7 +118,10 @@ fn multi_warp_reduction_uses_htree() {
     let expect = tree_reduce_f32(&vals, 0.0, |a, b| a + b);
     assert_eq!(got.to_bits(), expect.to_bits());
     let p = dev.profiler();
-    assert!(p.ops.mv > 0, "multi-warp reduction must issue inter-crossbar moves");
+    assert!(
+        p.ops.mv > 0,
+        "multi-warp reduction must issue inter-crossbar moves"
+    );
     assert!(p.move_pairs > 0);
 }
 

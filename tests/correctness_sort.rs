@@ -44,7 +44,16 @@ fn sorts_ints() {
 fn sorts_with_duplicates_and_specials() {
     let dev = device();
     let vals = vec![
-        2.5f32, -0.0, 2.5, 0.0, f32::INFINITY, -1.0, f32::NEG_INFINITY, 2.5, -1.0, 1e-40,
+        2.5f32,
+        -0.0,
+        2.5,
+        0.0,
+        f32::INFINITY,
+        -1.0,
+        f32::NEG_INFINITY,
+        2.5,
+        -1.0,
+        1e-40,
     ];
     let t = dev.from_slice_f32(&vals).unwrap();
     let got = t.sorted().unwrap().to_vec_f32().unwrap();
@@ -68,7 +77,10 @@ fn sorts_views_in_place() {
     let mut even = x.even().unwrap();
     even.sort().unwrap();
     let after = x.to_vec_f32().unwrap();
-    assert_eq!(after, vec![1.0, 1.0, 3.0, 2.0, 5.0, 3.0, 7.0, 4.0, 9.0, 5.0]);
+    assert_eq!(
+        after,
+        vec![1.0, 1.0, 3.0, 2.0, 5.0, 3.0, 7.0, 4.0, 9.0, 5.0]
+    );
 }
 
 #[test]
@@ -84,7 +96,10 @@ fn sorts_multi_warp_tensors() {
     let mut expect = vals.clone();
     expect.sort_by(f32::total_cmp);
     assert_eq!(got, expect);
-    assert!(dev.profiler().ops.mv > 0, "multi-warp sort must move data between crossbars");
+    assert!(
+        dev.profiler().ops.mv > 0,
+        "multi-warp sort must move data between crossbars"
+    );
 }
 
 #[test]

@@ -82,12 +82,17 @@ fn strict_mode_catches_missing_initialization() {
     let cfg = PimConfig::small();
     let mut sim = PimSimulator::new(cfg.clone()).unwrap();
     // Put a 1 somewhere and NOR into an uninitialized register.
-    sim.execute(&MicroOp::Write { index: 0, value: u32::MAX }).unwrap();
+    sim.execute(&MicroOp::Write {
+        index: 0,
+        value: u32::MAX,
+    })
+    .unwrap();
     let bad = MicroOp::LogicH(HLogic::parallel(GateKind::Nor, 0, 0, 5, &cfg).unwrap());
     let err = sim.execute(&bad).unwrap_err();
     assert!(err.to_string().contains("initialized"), "{err}");
     // After an INIT1 the same gate succeeds.
-    sim.execute(&MicroOp::LogicH(HLogic::init_reg(true, 5, &cfg).unwrap())).unwrap();
+    sim.execute(&MicroOp::LogicH(HLogic::init_reg(true, 5, &cfg).unwrap()))
+        .unwrap();
     sim.execute(&bad).unwrap();
     assert_eq!(sim.peek(0, 0, 5), 0);
 }
@@ -104,10 +109,26 @@ fn compiled_routines_respect_the_stateful_discipline() {
     assert!(driver.backend().strict());
     let all = ThreadRange::all(&cfg);
     driver
-        .execute(&Instruction::Write { reg: 0, value: 0xDEAD_BEEF, target: all })
+        .execute(&Instruction::Write {
+            reg: 0,
+            value: 0xDEAD_BEEF,
+            target: all,
+        })
         .unwrap();
-    driver.execute(&Instruction::Write { reg: 1, value: 0x0BAD_F00D, target: all }).unwrap();
-    driver.execute(&Instruction::Write { reg: 2, value: 3, target: all }).unwrap();
+    driver
+        .execute(&Instruction::Write {
+            reg: 1,
+            value: 0x0BAD_F00D,
+            target: all,
+        })
+        .unwrap();
+    driver
+        .execute(&Instruction::Write {
+            reg: 2,
+            value: 3,
+            target: all,
+        })
+        .unwrap();
     for op in RegOp::ALL {
         for dtype in DType::ALL {
             if !op.supports(dtype) {
@@ -131,8 +152,20 @@ fn driver_issued_total_matches_simulator_cycles() {
     let cfg = PimConfig::small().with_crossbars(4).with_rows(16);
     let mut driver = Driver::new(PimSimulator::new(cfg.clone()).unwrap());
     let all = ThreadRange::all(&cfg);
-    driver.execute(&Instruction::Write { reg: 0, value: 7, target: all }).unwrap();
-    driver.execute(&Instruction::Write { reg: 1, value: 9, target: all }).unwrap();
+    driver
+        .execute(&Instruction::Write {
+            reg: 0,
+            value: 7,
+            target: all,
+        })
+        .unwrap();
+    driver
+        .execute(&Instruction::Write {
+            reg: 1,
+            value: 9,
+            target: all,
+        })
+        .unwrap();
     for op in [RegOp::Add, RegOp::Mul, RegOp::Xor, RegOp::Lt] {
         driver
             .execute(&Instruction::RType {
@@ -156,8 +189,20 @@ fn mask_elision_is_transparent() {
     let cfg = PimConfig::small().with_crossbars(2).with_rows(8);
     let mut driver = Driver::new(PimSimulator::new(cfg.clone()).unwrap());
     let all = ThreadRange::all(&cfg);
-    driver.execute(&Instruction::Write { reg: 0, value: 5, target: all }).unwrap();
-    driver.execute(&Instruction::Write { reg: 1, value: 6, target: all }).unwrap();
+    driver
+        .execute(&Instruction::Write {
+            reg: 0,
+            value: 5,
+            target: all,
+        })
+        .unwrap();
+    driver
+        .execute(&Instruction::Write {
+            reg: 1,
+            value: 6,
+            target: all,
+        })
+        .unwrap();
     let add = Instruction::RType {
         op: RegOp::Add,
         dtype: DType::Int32,
@@ -169,9 +214,18 @@ fn mask_elision_is_transparent() {
     let masks_before = driver.backend().profiler().ops.xb_mask;
     driver.execute(&add).unwrap();
     let masks_after = driver.backend().profiler().ops.xb_mask;
-    assert_eq!(masks_before, masks_after, "same-range repeat should elide masks");
     assert_eq!(
-        driver.execute(&Instruction::Read { reg: 2, warp: 1, row: 7 }).unwrap(),
+        masks_before, masks_after,
+        "same-range repeat should elide masks"
+    );
+    assert_eq!(
+        driver
+            .execute(&Instruction::Read {
+                reg: 2,
+                warp: 1,
+                row: 7
+            })
+            .unwrap(),
         Some(11)
     );
 }
@@ -186,7 +240,11 @@ fn scratch_register_contract() {
     let all = ThreadRange::all(&cfg);
     for reg in 0..cfg.user_regs as u8 {
         driver
-            .execute(&Instruction::Write { reg, value: 0x1000 + reg as u32, target: all })
+            .execute(&Instruction::Write {
+                reg,
+                value: 0x1000 + reg as u32,
+                target: all,
+            })
             .unwrap();
     }
     driver
@@ -202,8 +260,18 @@ fn scratch_register_contract() {
         if reg == 5 {
             continue;
         }
-        let got = driver.execute(&Instruction::Read { reg, warp: 0, row: 2 }).unwrap();
-        assert_eq!(got, Some(0x1000 + reg as u32), "register {reg} was clobbered");
+        let got = driver
+            .execute(&Instruction::Read {
+                reg,
+                warp: 0,
+                row: 2,
+            })
+            .unwrap();
+        assert_eq!(
+            got,
+            Some(0x1000 + reg as u32),
+            "register {reg} was clobbered"
+        );
     }
 }
 
@@ -215,8 +283,16 @@ fn streamed_execution_matches_structured_on_the_simulator() {
     let cfg = PimConfig::small().with_crossbars(2).with_rows(8);
     let all = ThreadRange::all(&cfg);
     let program = [
-        Instruction::Write { reg: 0, value: 0x7FFF_0003, target: all },
-        Instruction::Write { reg: 1, value: 19, target: all },
+        Instruction::Write {
+            reg: 0,
+            value: 0x7FFF_0003,
+            target: all,
+        },
+        Instruction::Write {
+            reg: 1,
+            value: 19,
+            target: all,
+        },
         Instruction::RType {
             op: RegOp::Mul,
             dtype: DType::Int32,
@@ -243,7 +319,12 @@ fn streamed_execution_matches_structured_on_the_simulator() {
     let expect = 0x7FFF_0003u32.wrapping_mul(19).wrapping_add(19);
     for d in [&mut structured, &mut streamed] {
         assert_eq!(
-            d.execute(&Instruction::Read { reg: 3, warp: 1, row: 5 }).unwrap(),
+            d.execute(&Instruction::Read {
+                reg: 3,
+                warp: 1,
+                row: 5
+            })
+            .unwrap(),
             Some(expect)
         );
     }

@@ -89,13 +89,24 @@ fn profiler_reports_cycles_and_distance() {
     dev.reset_counters();
     let _ = (&a * &b).unwrap();
     let p = dev.profiler();
-    assert!(p.cycles > 5000, "int multiply should cost thousands of cycles");
-    assert_eq!(p.ops.total(), p.cycles, "1 cycle per micro-op when no moves serialize");
+    assert!(
+        p.cycles > 5000,
+        "int multiply should cost thousands of cycles"
+    );
+    assert_eq!(
+        p.ops.total(),
+        p.cycles,
+        "1 cycle per micro-op when no moves serialize"
+    );
     let issued = dev.issued();
     assert!(issued.logic <= issued.total);
     assert_eq!(issued.total, p.cycles);
     // Measured within ~10% of the pure-logic bound for multiplication.
-    assert!(issued.overhead_ratio() < 1.10, "ratio {}", issued.overhead_ratio());
+    assert!(
+        issued.overhead_ratio() < 1.10,
+        "ratio {}",
+        issued.overhead_ratio()
+    );
 }
 
 #[test]

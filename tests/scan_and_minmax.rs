@@ -17,8 +17,9 @@ fn hillis_steele_f32(vals: &[f32], op: impl Fn(f32, f32) -> f32, identity: f32) 
     let mut t = vals.to_vec();
     let mut d = 1;
     while d < n {
-        let prev: Vec<f32> =
-            (0..n).map(|i| if i >= d { t[i - d] } else { identity }).collect();
+        let prev: Vec<f32> = (0..n)
+            .map(|i| if i >= d { t[i - d] } else { identity })
+            .collect();
         t = (0..n).map(|i| op(t[i], prev[i])).collect();
         d *= 2;
     }
@@ -111,8 +112,16 @@ fn minmax_reductions() {
 
         let iv: Vec<i32> = (0..n).map(|_| r.gen()).collect();
         let t = dev.from_slice_i32(&iv).unwrap();
-        assert_eq!(t.max_i32().unwrap(), *iv.iter().max().unwrap(), "int max of {n}");
-        assert_eq!(t.min_i32().unwrap(), *iv.iter().min().unwrap(), "int min of {n}");
+        assert_eq!(
+            t.max_i32().unwrap(),
+            *iv.iter().max().unwrap(),
+            "int max of {n}"
+        );
+        assert_eq!(
+            t.min_i32().unwrap(),
+            *iv.iter().min().unwrap(),
+            "int min of {n}"
+        );
     }
 }
 

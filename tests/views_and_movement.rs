@@ -38,7 +38,7 @@ fn writes_through_views_hit_the_base() {
     }
     let base = t.to_vec_i32().unwrap();
     for i in 0..16 {
-        let expect = if i % 2 == 1 { 100 + (i as i32 - 1) / 2 } else { 0 };
+        let expect = if i % 2 == 1 { 100 + (i - 1) / 2 } else { 0 };
         assert_eq!(base[i as usize], expect, "index {i}");
     }
     // And a direct write through the base is visible in the view.
@@ -55,8 +55,8 @@ fn misaligned_views_fall_back_to_copies() {
     let x = dev.from_slice_f32(&vals).unwrap();
     let sum = (&x.even().unwrap() + &x.odd().unwrap()).unwrap();
     let got = sum.to_vec_f32().unwrap();
-    for i in 0..16 {
-        assert_eq!(got[i], (2 * i + 2 * i + 1) as f32, "pair {i}");
+    for (i, &v) in got.iter().enumerate() {
+        assert_eq!(v, (2 * i + 2 * i + 1) as f32, "pair {i}");
     }
 }
 
@@ -70,8 +70,8 @@ fn operations_between_different_allocations() {
     let shifted_view = b.slice(4, 20).unwrap(); // offset 4: misaligned
     let head = a.slice(0, 16).unwrap();
     let sum = (&head + &shifted_view).unwrap().to_vec_i32().unwrap();
-    for i in 0..16 {
-        assert_eq!(sum[i], i as i32 + 104 + i as i32);
+    for (i, &v) in sum.iter().enumerate() {
+        assert_eq!(v, i as i32 + 104 + i as i32);
     }
 }
 
@@ -103,8 +103,8 @@ fn materialize_like_aligns_threads() {
     assert_eq!(m.to_vec_i32().unwrap(), (51..63).collect::<Vec<_>>());
     // Now the two are directly operable.
     let s = (&a_head + &m).unwrap().to_vec_i32().unwrap();
-    for i in 0..12 {
-        assert_eq!(s[i], i as i32 + 51 + i as i32);
+    for (i, &v) in s.iter().enumerate() {
+        assert_eq!(v, i as i32 + 51 + i as i32);
     }
 }
 
@@ -131,7 +131,9 @@ fn allocation_alignment_avoids_copies() {
     // operations issue no move micro-operations.
     let dev = device();
     let a = dev.from_slice_i32(&(0..32).collect::<Vec<_>>()).unwrap();
-    let b = dev.from_slice_i32(&(0..32).map(|i| i * 2).collect::<Vec<_>>()).unwrap();
+    let b = dev
+        .from_slice_i32(&(0..32).map(|i| i * 2).collect::<Vec<_>>())
+        .unwrap();
     dev.reset_counters();
     let _ = (&a + &b).unwrap();
     let p = dev.profiler();
@@ -142,7 +144,7 @@ fn allocation_alignment_avoids_copies() {
 #[test]
 fn dropping_tensors_frees_memory() {
     let dev = device(); // 4 warps x 16 user regs worth of stripes
-    // Exhaust the memory, drop, and re-allocate.
+                        // Exhaust the memory, drop, and re-allocate.
     let mut keep = Vec::new();
     for _ in 0..16 {
         keep.push(dev.zeros_i32(64).unwrap()); // 4 warps each: full stripe

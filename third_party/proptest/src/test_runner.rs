@@ -1,0 +1,231 @@
+//! The case-execution harness: configuration, RNG, and runner.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// Runner configuration (`cases` is the number of *accepted* cases).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the stub trades coverage for CI
+        // speed (no shrinking means failures replay instantly anyway).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator feeding the strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` below `bound` (must be nonzero).
+    pub fn next_usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (assumption not met) with `reason`.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// A property failure: the message plus a debug rendering of the inputs.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    /// Assertion message.
+    pub message: String,
+    /// Debug rendering of the generated inputs for the failing case.
+    pub input: String,
+}
+
+impl std::fmt::Display for TestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (input: {})", self.message, self.input)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Executes a property over many generated cases. No shrinking: a failure
+/// reports the exact generated input.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+}
+
+impl TestRunner {
+    /// A runner with `config` and the default seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(0x00C0_FFEE),
+        }
+    }
+
+    /// A runner seeded from a test name, so distinct properties explore
+    /// distinct sequences while staying reproducible.
+    pub fn new_with_name(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(seed),
+        }
+    }
+
+    /// Runs `test` over generated inputs until the configured number of
+    /// cases is accepted (rejections retry, bounded at 20× the case count).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing case with its input rendering, or an
+    /// error if `prop_assume!` rejected *every* attempt — a property that
+    /// verified nothing must not pass silently.
+    pub fn run<S>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), TestError>
+    where
+        S: Strategy,
+        S::Value: Debug,
+    {
+        let mut accepted = 0u32;
+        let mut attempts = 0u32;
+        let max_attempts = self.config.cases.saturating_mul(20).max(20);
+        while accepted < self.config.cases && attempts < max_attempts {
+            attempts += 1;
+            let value = strategy.generate(&mut self.rng);
+            let rendering = format!("{value:?}");
+            match test(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(TestError {
+                        message,
+                        input: rendering,
+                    });
+                }
+            }
+        }
+        // Mirror real proptest's too-many-global-rejects failure: a
+        // property that mostly rejects is silently under-tested.
+        if accepted < self.config.cases.div_ceil(2) {
+            return Err(TestError {
+                message: format!(
+                    "prop_assume! rejected too many cases (accepted {accepted} of \
+                     {} over {attempts} attempts) — loosen the assumption or \
+                     constrain the strategy",
+                    self.config.cases
+                ),
+                input: String::new(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_rejects_vacuous_properties() {
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(0u32..10,), |(_v,)| {
+                Err(TestCaseError::reject("always rejected"))
+            })
+            .unwrap_err();
+        assert!(err.message.contains("rejected too many"), "{}", err.message);
+    }
+
+    #[test]
+    fn runner_reports_failing_input() {
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(0u32..1000,), |(v,)| {
+                prop_assert!(v < 990, "value {v} too big");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.message.contains("too big"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(a in 3u32..17, v in crate::collection::vec(0i32..5, 2..6)) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assume!(a != 5);
+            prop_assert_ne!(a, 5);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stub for `rand` 0.8: a deterministic SplitMix64 generator behind
+//! the `StdRng`/`Rng`/`SeedableRng` API surface this workspace uses
+//! (`seed_from_u64`, `gen`, `gen_range` over integer and float ranges).
+//!
+//! The statistical quality is adequate for test-vector generation; swap in
+//! the real crate for anything security- or distribution-sensitive.
+
+use std::ops::Range;
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible directly by [`Rng::gen`] from one 64-bit draw.
+pub trait Standard: Sized {
+    /// Derives a value from a raw 64-bit random word.
+    fn from_u64(word: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),+) => {
+        $(impl Standard for $t {
+            fn from_u64(word: u64) -> Self {
+                word as $t
+            }
+        })+
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64(word: u64) -> Self {
+        (word >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(word: u64) -> Self {
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types uniformly sampleable from a half-open range.
+pub trait UniformSampled: Sized {
+    /// Uniform sample from `range` given a raw 64-bit random word.
+    fn uniform(range: Range<Self>, word: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),+) => {
+        $(impl UniformSampled for $t {
+            fn uniform(range: Range<Self>, word: u64) -> Self {
+                let span = (range.end as i128 - range.start as i128) as u128;
+                assert!(span > 0, "gen_range over an empty range");
+                (range.start as i128 + (word as u128 % span) as i128) as $t
+            }
+        })+
+    };
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSampled for f32 {
+    fn uniform(range: Range<Self>, word: u64) -> Self {
+        let unit = (word >> 40) as f32 / (1u64 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl UniformSampled for f64 {
+    fn uniform(range: Range<Self>, word: u64) -> Self {
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// The generation API surface of rand 0.8 used by this workspace.
+pub trait Rng {
+    /// Produces the next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform sample from the half-open `range`.
+    fn gen_range<T: UniformSampled>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::uniform(range, self.next_u64())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = r.gen_range(-50i32..-40);
+            assert!((-50..-40).contains(&i));
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stub for `serde`: marker traits plus the no-op derives from the
+//! sibling `serde_derive` stub. Nothing in this workspace serializes yet;
+//! when it does, point `[workspace.dependencies]` back at the real crates.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
