@@ -122,6 +122,22 @@ impl RangeMask {
         self.start == self.stop
     }
 
+    /// `true` when the mask selects a contiguous run of indices (step 1).
+    ///
+    /// Dense masks are the common case on hot paths (whole-memory and
+    /// whole-tensor operations), and consumers exploit them: the simulator
+    /// applies horizontal gates to contiguous word slices instead of
+    /// iterating rows.
+    pub fn is_dense(&self) -> bool {
+        self.step == 1
+    }
+
+    /// The selected indices as a contiguous `usize` range when the mask is
+    /// dense (step 1); `None` otherwise.
+    pub fn as_dense_range(&self) -> Option<std::ops::Range<usize>> {
+        (self.step == 1).then(|| self.start as usize..self.stop as usize + 1)
+    }
+
     /// Always `false`: a valid mask selects at least one index. Provided for
     /// API completeness alongside [`len`](Self::len).
     pub fn is_empty(&self) -> bool {
@@ -236,6 +252,19 @@ mod tests {
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 3, 5, 7]);
         assert!(RangeMask::strided(0, 0, 1).is_err());
         assert!(RangeMask::strided(0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn dense_accessors() {
+        let d = RangeMask::dense(3, 9).unwrap();
+        assert!(d.is_dense());
+        assert_eq!(d.as_dense_range(), Some(3..9));
+        let s = RangeMask::new(0, 8, 2).unwrap();
+        assert!(!s.is_dense());
+        assert_eq!(s.as_dense_range(), None);
+        let single = RangeMask::single(7);
+        assert!(single.is_dense());
+        assert_eq!(single.as_dense_range(), Some(7..8));
     }
 
     #[test]

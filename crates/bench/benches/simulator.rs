@@ -4,10 +4,38 @@
 //! crossbars) path and the strict checker on/off.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pim_arch::{Backend, PimConfig};
+use pim_arch::{Backend, MicroOp, PimConfig, RangeMask};
+use pim_bench::hlogic_ops;
 use pim_driver::routines;
 use pim_isa::{DType, RegOp};
 use pim_sim::PimSimulator;
+
+/// The simulator's horizontal-logic kernel in isolation (single-threaded,
+/// strict on): dense row masks versus the strided fall-back, comparable
+/// before/after any kernel change through BENCH_simulator.json.
+fn bench_hlogic(c: &mut Criterion) {
+    let cfg = PimConfig::small().with_crossbars(64).with_rows(256);
+    let ops = hlogic_ops(&cfg, 256);
+    let mut group = c.benchmark_group("hlogic");
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    let masks = [
+        ("dense", RangeMask::dense(0, cfg.rows as u32).unwrap()),
+        (
+            "strided",
+            RangeMask::new(0, cfg.rows as u32 - 2, 2).unwrap(),
+        ),
+    ];
+    for (name, row_mask) in masks {
+        let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+        sim.set_threads(1);
+        let mut batch = vec![MicroOp::RowMask(row_mask)];
+        batch.extend(ops.iter().cloned());
+        group.bench_function(name, |b| {
+            b.iter(|| sim.execute_batch(&batch).unwrap());
+        });
+    }
+    group.finish();
+}
 
 fn bench_simulator(c: &mut Criterion) {
     let cfg = PimConfig::small().with_crossbars(64).with_rows(256);
@@ -37,5 +65,5 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+criterion_group!(benches, bench_simulator, bench_hlogic);
 criterion_main!(benches);

@@ -120,6 +120,23 @@ pub fn random_ints(n: usize, seed: u64) -> Vec<i32> {
     (0..n).map(|_| r.gen()).collect()
 }
 
+/// A strict-safe horizontal-logic batch: `pairs` repetitions of
+/// whole-register INIT1 followed by a partition-parallel NOR — the
+/// micro-operation mix dominating every compiled routine. Shared by the
+/// `simulator` and `cluster` benches so their `hlogic` groups stay
+/// comparable.
+pub fn hlogic_ops(cfg: &PimConfig, pairs: usize) -> Vec<pim_arch::MicroOp> {
+    use pim_arch::{GateKind, HLogic, MicroOp};
+    let mut ops = Vec::with_capacity(2 * pairs);
+    for _ in 0..pairs {
+        ops.push(MicroOp::LogicH(HLogic::init_reg(true, 2, cfg).unwrap()));
+        ops.push(MicroOp::LogicH(
+            HLogic::parallel(GateKind::Nor, 0, 1, 2, cfg).unwrap(),
+        ));
+    }
+    ops
+}
+
 fn input_tensors(dev: &Device, w: &Workload, n: usize) -> Result<(Tensor, Option<Tensor>)> {
     match w {
         Workload::RType(_, DType::Int32) => Ok((

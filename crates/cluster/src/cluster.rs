@@ -3,7 +3,7 @@
 
 use crate::{ClusterError, ShardPlan};
 use pim_arch::{Backend, MicroOp, PimConfig};
-use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode};
+use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode, RoutineCache};
 use pim_isa::Instruction;
 use pim_sim::{PimSimulator, Profiler};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -247,6 +247,11 @@ impl PimCluster {
     /// ([`PimSimulator::set_threads`]) — parallelism comes from the shard
     /// workers themselves, so the host is not oversubscribed.
     ///
+    /// Every shard driver receives a [`RoutineCache::share`] of one
+    /// cluster-wide compilation map: a routine compiles once per cluster
+    /// (the first shard to need it misses; the rest hit), while hit/miss
+    /// telemetry stays per shard in [`ShardStats`].
+    ///
     /// # Errors
     ///
     /// See [`new`](PimCluster::new).
@@ -257,6 +262,7 @@ impl PimCluster {
     ) -> Result<Self, ClusterError> {
         let plan = ShardPlan::new(&cfg, shards)?;
         let logical_cfg = cfg.clone().with_crossbars(cfg.crossbars * shards);
+        let shared_cache = RoutineCache::new();
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let mut sim = PimSimulator::new(cfg.clone()).map_err(|e| ClusterError::Shard {
@@ -264,7 +270,7 @@ impl PimCluster {
                 source: DriverError::from(e),
             })?;
             sim.set_threads(1);
-            let driver = Driver::with_mode(sim, mode);
+            let driver = Driver::with_cache(sim, mode, shared_cache.share());
             let (tx, rx) = channel();
             let handle = std::thread::Builder::new()
                 .name(format!("pim-shard-{shard}"))
@@ -494,23 +500,19 @@ impl PimCluster {
     }
 
     /// Partitions a `MoveWarps` into shard-local sub-moves and cross-shard
-    /// `(source, destination)` global warp pairs.
+    /// `(source, destination)` global warp pairs. A sub-move that only
+    /// partially crosses its shard boundary is split at the boundary
+    /// ([`ShardPlan::split_move`]): the in-shard part stays a native
+    /// single-cycle move; only the crossing warps pay for host staging.
     fn route_move_warps(&self, warps: &pim_arch::RangeMask, dist: i32) -> (LocalMoves, CrossPairs) {
-        let c = self.plan.warps_per_shard() as i64;
         let mut local = Vec::new();
         let mut cross = Vec::new();
         for (shard, lmask) in self.plan.split_warps(warps) {
-            let base = shard as i64 * c;
-            let d_first = base + lmask.start() as i64 + dist as i64;
-            let d_last = base + lmask.stop() as i64 + dist as i64;
-            if d_first >= 0 && d_first / c == shard as i64 && d_last / c == shard as i64 {
-                local.push((shard, lmask));
-            } else {
-                for w in lmask.iter() {
-                    let g = base as u32 + w;
-                    cross.push((g, (g as i64 + dist as i64) as u32));
-                }
+            let (native, crossing) = self.plan.split_move(shard, &lmask, dist);
+            if let Some(mask) = native {
+                local.push((shard, mask));
             }
+            cross.extend(crossing);
         }
         (local, cross)
     }
@@ -900,6 +902,41 @@ mod tests {
     }
 
     #[test]
+    fn partially_crossing_move_splits_at_boundary() {
+        let c = cluster4();
+        // Warps {1, 2} shift by +2: warp 1 -> 3 stays on shard 0 (native
+        // move), warp 2 -> 4 crosses into shard 1 (host staging).
+        c.scatter(&[(1, 0, 0, 111), (2, 0, 0, 222)]).unwrap();
+        c.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 1,
+            row_src: 0,
+            row_dst: 0,
+            warps: RangeMask::new(1, 2, 1).unwrap(),
+            dist: 2,
+        })
+        .unwrap();
+        // Only the crossing pair was staged through the host: one chip
+        // read (the gather of warp 2), not two.
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats
+                .shards
+                .iter()
+                .map(|s| s.profiler.ops.read)
+                .sum::<u64>(),
+            1,
+            "in-shard prefix must stay a native move"
+        );
+        // And exactly one native move ran (on shard 0).
+        assert_eq!(
+            stats.shards.iter().map(|s| s.profiler.ops.mv).sum::<u64>(),
+            1
+        );
+        assert_eq!(c.gather(&[(3, 0, 1), (4, 0, 1)]).unwrap(), vec![111, 222]);
+    }
+
+    #[test]
     fn submit_streams_concurrently() {
         let c = cluster4();
         // One pending batch per shard before any wait.
@@ -1030,8 +1067,9 @@ mod tests {
         c.execute(&add).unwrap();
         c.execute(&add).unwrap();
         let stats = c.stats().unwrap();
-        // Every shard compiled the routine once and hit once.
-        assert_eq!(stats.cache_stats(), (4, 4));
+        // The compilation map is shared: exactly one shard compiled the
+        // routine; the other seven lookups across both executions hit.
+        assert_eq!(stats.cache_stats(), (7, 1));
         assert!(stats.total_cycles() > 0);
         assert!(stats.critical_path_cycles() <= stats.total_cycles());
         assert_eq!(stats.merged_profiler().cycles, stats.critical_path_cycles());
@@ -1041,6 +1079,49 @@ mod tests {
         );
         for s in &stats.shards {
             assert_eq!(s.sim_threads, 1, "shard sims must be pinned to 1 thread");
+        }
+    }
+
+    #[test]
+    fn routine_compiles_once_per_cluster() {
+        // The shard drivers share one compilation map: for every distinct
+        // routine key the cluster records exactly one miss (the compiling
+        // shard), and every other shard that runs the routine hits.
+        let c = cluster4();
+        let all = ThreadRange::all(c.logical_config());
+        let ops = [
+            (RegOp::Add, 2u8),
+            (RegOp::Sub, 3),
+            (RegOp::And, 4),
+            (RegOp::Or, 5),
+        ];
+        for (op, dst) in ops {
+            c.execute(&Instruction::RType {
+                op,
+                dtype: DType::Int32,
+                dst,
+                srcs: [0, 1, 0],
+                target: all,
+            })
+            .unwrap();
+        }
+        let stats = c.stats().unwrap();
+        let (hits, misses) = stats.cache_stats();
+        assert_eq!(
+            misses,
+            ops.len() as u64,
+            "one compile per routine key cluster-wide"
+        );
+        assert_eq!(hits, (c.shards() as u64 - 1) * ops.len() as u64);
+        // Per-shard telemetry survives sharing: every shard ran every
+        // routine, so its own hit+miss count is the number of routines.
+        for s in &stats.shards {
+            assert_eq!(
+                s.cache_hits + s.cache_misses,
+                ops.len() as u64,
+                "shard {}",
+                s.shard
+            );
         }
     }
 

@@ -115,6 +115,57 @@ impl ShardPlan {
             .map(|(s, warps)| (s, ThreadRange::new(warps, t.rows)))
             .collect()
     }
+
+    /// Splits one shard's local sub-move at the chip boundary.
+    ///
+    /// Warps whose destination `w + dist` stays inside
+    /// `[0, warps_per_shard)` keep native single-micro-op movement; because
+    /// the in-shard condition is an interval in `w`, they form one
+    /// sub-progression of `local` (same step), so the native part is again
+    /// a single [`RangeMask`] — and a same-step subset of a valid H-tree
+    /// move pattern is itself valid. The remaining warps cross the chip
+    /// boundary and come back as global `(source, destination)` warp pairs
+    /// for host-mediated staging.
+    pub fn split_move(
+        &self,
+        shard: usize,
+        local: &RangeMask,
+        dist: i32,
+    ) -> (Option<RangeMask>, Vec<(u32, u32)>) {
+        let c = self.crossbars as i64;
+        let base = (shard * self.crossbars) as i64;
+        let dist = dist as i64;
+        let step = local.step() as i64;
+        let (start, stop) = (local.start() as i64, local.stop() as i64);
+        // In-shard destinations: max(0, -dist) <= w <= min(c-1, c-1-dist).
+        let lo = 0i64.max(-dist);
+        let hi = (c - 1).min(c - 1 - dist);
+        // First/last mask elements inside [lo, hi] (operands of the
+        // round-up divisions are nonnegative in their branches).
+        let round_up = |x: i64| (x + step - 1) / step;
+        let first = if lo > start {
+            start + round_up(lo - start) * step
+        } else {
+            start
+        };
+        let last = if hi < stop {
+            stop - round_up(stop - hi) * step
+        } else {
+            stop
+        };
+        let native = (first <= last && first <= stop && last >= start).then(|| {
+            RangeMask::new(first as u32, last as u32, local.step())
+                .expect("same-step sub-progression of a valid mask is valid")
+        });
+        let mut cross = Vec::new();
+        for w in local.iter() {
+            let w = w as i64;
+            if native.is_none() || w < first || w > last {
+                cross.push(((base + w) as u32, (base + w + dist) as u32));
+            }
+        }
+        (native, cross)
+    }
 }
 
 /// Intersects an arithmetic progression with `[lo, hi)` and rebases it to
@@ -190,6 +241,56 @@ mod tests {
             }
         }
         assert_eq!(covered, vec![1, 4, 7, 10, 13]);
+    }
+
+    #[test]
+    fn split_move_keeps_in_shard_prefix_native() {
+        let p = plan4(); // 4 shards x 4 warps
+                         // Shard 0, local warps {1, 2}, dist +2: warp 1 -> 3 stays on the
+                         // shard; warp 2 -> 4 crosses into shard 1.
+        let (native, cross) = p.split_move(0, &RangeMask::new(1, 2, 1).unwrap(), 2);
+        assert_eq!(native, Some(RangeMask::single(1)));
+        assert_eq!(cross, vec![(2, 4)]);
+        // Same shape on shard 2 reports global warp ids.
+        let (native, cross) = p.split_move(2, &RangeMask::new(1, 2, 1).unwrap(), 2);
+        assert_eq!(native, Some(RangeMask::single(1)));
+        assert_eq!(cross, vec![(10, 12)]);
+    }
+
+    #[test]
+    fn split_move_negative_dist_keeps_suffix_native() {
+        let p = plan4();
+        // Local warps {0..3}, dist -2: warps {2, 3} land in-shard, {0, 1}
+        // cross down into the previous shard.
+        let (native, cross) = p.split_move(1, &RangeMask::dense(0, 4).unwrap(), -2);
+        assert_eq!(native, Some(RangeMask::new(2, 3, 1).unwrap()));
+        assert_eq!(cross, vec![(4, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn split_move_all_native_and_all_cross() {
+        let p = plan4();
+        let (native, cross) = p.split_move(0, &RangeMask::new(0, 1, 1).unwrap(), 2);
+        assert_eq!(native, Some(RangeMask::new(0, 1, 1).unwrap()));
+        assert!(cross.is_empty());
+        // |dist| >= warps_per_shard: nothing can stay native.
+        let (native, cross) = p.split_move(0, &RangeMask::new(0, 3, 1).unwrap(), 4);
+        assert_eq!(native, None);
+        assert_eq!(cross, vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+    }
+
+    #[test]
+    fn split_move_preserves_step() {
+        // 8 warps per shard so a strided local mask fits.
+        let p = ShardPlan::new(&PimConfig::small().with_crossbars(8), 2).unwrap();
+        // Local warps {1, 5} (step 4), dist +3: 1 -> 4 native, 5 -> 8
+        // crosses. The native sub-mask keeps the step-4 pattern.
+        let (native, cross) = p.split_move(0, &RangeMask::new(1, 5, 4).unwrap(), 3);
+        assert_eq!(native, Some(RangeMask::new(1, 1, 4).unwrap()));
+        assert_eq!(cross, vec![(5, 8)]);
+        let (native, cross) = p.split_move(1, &RangeMask::new(1, 5, 4).unwrap(), 3);
+        assert_eq!(native, Some(RangeMask::new(1, 1, 4).unwrap()));
+        assert_eq!(cross, vec![(13, 16)]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use crate::builder::Routine;
 use crate::{routines, DriverError, ParallelismMode};
+use parking_lot::RwLock;
 use pim_arch::{PimConfig, RegId};
 use pim_isa::{DType, RegOp};
 use std::collections::HashMap;
@@ -28,20 +29,42 @@ pub struct RoutineKey {
 /// (§V-B, Figure 13): after the first use of an `(op, dtype, registers)`
 /// combination, "translation" of a macro-instruction is an iteration over a
 /// precompiled `Arc<Routine>` — no gate-level compilation on the hot path.
+///
+/// The compiled-routine map lives behind an `Arc<RwLock<…>>`, so a cache
+/// can be [`share`d](RoutineCache::share) between many drivers: the
+/// cluster hands every shard driver a handle onto one map, and a routine
+/// compiles **once per cluster** instead of once per shard. Hit/miss
+/// counters stay per handle, so per-shard telemetry survives sharing. The
+/// steady-state cost of sharing is one uncontended read-lock acquisition
+/// per macro-instruction.
 #[derive(Debug, Default)]
 pub struct RoutineCache {
-    map: HashMap<RoutineKey, Arc<Routine>>,
+    map: Arc<RwLock<HashMap<RoutineKey, Arc<Routine>>>>,
     hits: u64,
     misses: u64,
 }
 
 impl RoutineCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with its own routine map.
     pub fn new() -> Self {
         RoutineCache::default()
     }
 
+    /// A new handle onto the same routine map, with fresh hit/miss
+    /// counters. Compilations through any handle are visible to all.
+    pub fn share(&self) -> Self {
+        RoutineCache {
+            map: Arc::clone(&self.map),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
     /// Returns the routine for `key`, compiling it on first use.
+    ///
+    /// Compilation happens under the write lock, so concurrent sharers of
+    /// one map compile a given key exactly once — every other caller
+    /// blocks briefly, then takes the hit path.
     ///
     /// # Errors
     ///
@@ -51,7 +74,14 @@ impl RoutineCache {
         cfg: &PimConfig,
         key: RoutineKey,
     ) -> Result<Arc<Routine>, DriverError> {
-        if let Some(r) = self.map.get(&key) {
+        if let Some(r) = self.map.read().get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(r));
+        }
+        let mut map = self.map.write();
+        // Double-check: another sharer may have compiled it while this
+        // thread waited for the write lock.
+        if let Some(r) = map.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(r));
         }
@@ -66,21 +96,21 @@ impl RoutineCache {
             &key.srcs[..arity],
         )?;
         let arc = Arc::new(routine);
-        self.map.insert(key, Arc::clone(&arc));
+        map.insert(key, Arc::clone(&arc));
         Ok(arc)
     }
 
-    /// Number of cached routines.
+    /// Number of cached routines (across all sharers of the map).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.read().len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.read().is_empty()
     }
 
-    /// `(hits, misses)` counters.
+    /// `(hits, misses)` counters of *this handle*.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
@@ -113,5 +143,46 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn shared_handles_compile_once() {
+        let cfg = PimConfig::small();
+        let mut first = RoutineCache::new();
+        let mut second = first.share();
+        let a = first.get_or_compile(&cfg, key(2)).unwrap();
+        let b = second.get_or_compile(&cfg, key(2)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one compilation serves both handles");
+        // Telemetry is per handle: the first missed, the second hit.
+        assert_eq!(first.stats(), (0, 1));
+        assert_eq!(second.stats(), (1, 0));
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_sharers_miss_exactly_once_per_key() {
+        let cfg = PimConfig::small();
+        let root = RoutineCache::new();
+        let handles: Vec<RoutineCache> = (0..8).map(|_| root.share()).collect();
+        let stats: Vec<(u64, u64)> = std::thread::scope(|scope| {
+            handles
+                .into_iter()
+                .map(|mut h| {
+                    let cfg = cfg.clone();
+                    scope.spawn(move || {
+                        h.get_or_compile(&cfg, key(2)).unwrap();
+                        h.stats()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .collect()
+        });
+        let misses: u64 = stats.iter().map(|&(_, m)| m).sum();
+        let hits: u64 = stats.iter().map(|&(h, _)| h).sum();
+        assert_eq!(misses, 1, "exactly one sharer compiles: {stats:?}");
+        assert_eq!(hits, 7);
     }
 }

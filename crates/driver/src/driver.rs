@@ -104,6 +104,16 @@ impl<B: Backend> Driver<B> {
         d
     }
 
+    /// Creates a driver with an explicit parallelism mode and an injected
+    /// routine cache — the seam the cluster uses to hand every shard
+    /// driver a [`share`](RoutineCache::share) of one compilation map, so
+    /// a routine compiles once per cluster instead of once per shard.
+    pub fn with_cache(backend: B, mode: ParallelismMode, cache: RoutineCache) -> Self {
+        let mut d = Driver::with_mode(backend, mode);
+        d.cache = cache;
+        d
+    }
+
     /// The configuration the driver compiles for.
     pub fn config(&self) -> &PimConfig {
         &self.cfg

@@ -8,13 +8,22 @@ use pim_arch::{ArchError, GateKind, HLogic, RangeMask, VGate};
 /// bit `j` of word `k` is the cell at partition `j`, offset `k`. Under the
 /// strided data format of §III-C this means word `k` *is* the value of
 /// register `k`.
+///
+/// Storage is **register-major**: `words[reg * rows + row]`. A horizontal
+/// micro-operation touches the *same* one, two, or three registers of every
+/// selected row, so each register is one contiguous column slice and a
+/// dense row mask turns the gate into straight-line loops over `&[u32]`
+/// slices — the shape LLVM autovectorizes (see [`apply_hlogic`]).
+///
 /// (The per-crossbar activation bit of §III-B is represented by the
 /// simulator's stored crossbar mask; iterating the mask's range pattern is
 /// equivalent to — and faster than — testing a bit in every crossbar.)
+///
+/// [`apply_hlogic`]: Crossbar::apply_hlogic
 #[derive(Debug, Clone)]
 pub struct Crossbar {
-    regs: usize,
-    /// Row-major storage: `words[row * regs + reg]`.
+    rows: usize,
+    /// Register-major storage: `words[reg * rows + row]`.
     words: Vec<u32>,
 }
 
@@ -33,32 +42,32 @@ impl Crossbar {
     /// Creates a crossbar with `rows × regs` words, all cells at logical 0.
     pub fn new(rows: usize, regs: usize) -> Self {
         Crossbar {
-            regs,
+            rows,
             words: vec![0; rows * regs],
         }
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.words.len() / self.regs
+        self.rows
     }
 
     /// Words per row (= registers per thread).
     pub fn regs(&self) -> usize {
-        self.regs
+        self.words.len() / self.rows
     }
 
     /// The word at `(row, reg)` — register `reg` of thread `row`.
     #[inline]
     pub fn word(&self, row: usize, reg: usize) -> u32 {
-        self.words[row * self.regs + reg]
+        self.words[reg * self.rows + row]
     }
 
     /// Overwrites the word at `(row, reg)` (memory write semantics — not a
     /// stateful-logic gate).
     #[inline]
     pub fn set_word(&mut self, row: usize, reg: usize, value: u32) {
-        self.words[row * self.regs + reg] = value;
+        self.words[reg * self.rows + row] = value;
     }
 
     /// Reads the single cell at `(row, partition, offset)`.
@@ -68,7 +77,7 @@ impl Crossbar {
 
     /// Writes the single cell at `(row, partition, offset)`.
     pub fn set_cell(&mut self, row: usize, part: u8, offset: u8, value: bool) {
-        let w = &mut self.words[row * self.regs + offset as usize];
+        let w = &mut self.words[offset as usize * self.rows + row];
         if value {
             *w |= 1 << part;
         } else {
@@ -76,47 +85,222 @@ impl Crossbar {
         }
     }
 
+    /// The contiguous column of register `reg` (one word per row).
+    #[inline]
+    fn col(&self, reg: usize) -> &[u32] {
+        &self.words[reg * self.rows..(reg + 1) * self.rows]
+    }
+
+    /// Mutable contiguous column of register `reg`.
+    #[inline]
+    fn col_mut(&mut self, reg: usize) -> &mut [u32] {
+        &mut self.words[reg * self.rows..(reg + 1) * self.rows]
+    }
+
+    /// The mutable output column plus the shared input columns for a fused
+    /// gate kernel. An input equal to `out` comes back as `None` — the
+    /// kernel then reads the output word itself, which is exactly the
+    /// pre-gate value because each row is read before it is written.
+    #[allow(clippy::type_complexity)]
+    fn out_and_inputs(
+        &mut self,
+        out: usize,
+        a: usize,
+        b: usize,
+    ) -> (&mut [u32], Option<&[u32]>, Option<&[u32]>) {
+        let rows = self.rows;
+        let mut dst: Option<&mut [u32]> = None;
+        let mut col_a: Option<&[u32]> = None;
+        let mut col_b: Option<&[u32]> = None;
+        for (i, chunk) in self.words.chunks_exact_mut(rows).enumerate() {
+            if i == out {
+                dst = Some(chunk);
+            } else if i == a || i == b {
+                let shared: &[u32] = chunk;
+                if i == a {
+                    col_a = Some(shared);
+                }
+                if i == b {
+                    col_b = Some(shared);
+                }
+            }
+        }
+        let dst = dst.expect("output register validated in bounds");
+        (
+            dst,
+            if a == out { None } else { col_a },
+            if b == out { None } else { col_b },
+        )
+    }
+
+    /// Writes `value` to register `reg` of every row selected by
+    /// `row_mask` (memory write semantics). Dense masks fill a contiguous
+    /// column slice in one pass.
+    pub fn write_rows(&mut self, reg: usize, row_mask: &RangeMask, value: u32) {
+        let col = self.col_mut(reg);
+        if let Some(r) = row_mask.as_dense_range() {
+            col[r].fill(value);
+        } else {
+            for row in row_mask.iter() {
+                col[row as usize] = value;
+            }
+        }
+    }
+
     /// Applies a horizontal stateful-logic operation to every row selected
     /// by `row_mask`, using the word-level evaluation (three bitwise ops per
     /// row instead of per-partition iteration).
+    ///
+    /// Dense row masks take the fast path: per-gate fused kernels over
+    /// contiguous column slices, with the strict-mode check hoisted out of
+    /// the gate loop as a separate pre-scan. Strided masks fall back to the
+    /// row-indexed loop.
     ///
     /// # Errors
     ///
     /// In strict mode, returns [`ArchError::Protocol`] if a `NOT`/`NOR`
     /// output cell does not hold logical 1 when the gate fires (a missing
-    /// initialization in the driver).
+    /// initialization in the driver). On the dense path this check runs
+    /// *before* any cell changes, so a strict failure leaves the crossbar
+    /// untouched; the strided path reports the first offending row in mask
+    /// order, with earlier rows already updated.
     pub fn apply_hlogic(
         &mut self,
         op: &HLogic,
         row_mask: &RangeMask,
         strict: bool,
     ) -> Result<(), ArchError> {
-        let out_bits = op.out_bits();
+        debug_assert!((row_mask.stop() as usize) < self.rows);
+        match row_mask.as_dense_range() {
+            Some(range) => self.apply_hlogic_dense(op, range, strict),
+            None => self.apply_hlogic_strided(op, row_mask, strict),
+        }
+    }
+
+    /// Dense-mask kernels: one straight-line loop per gate/alias shape over
+    /// contiguous `&[u32]` slices.
+    fn apply_hlogic_dense(
+        &mut self,
+        op: &HLogic,
+        range: std::ops::Range<usize>,
+        strict: bool,
+    ) -> Result<(), ArchError> {
+        let bits = op.out_bits();
         let out_reg = op.out.offset as usize;
         let a_reg = op.in_a.offset as usize;
         let b_reg = op.in_b.offset as usize;
         let (sa, sb) = (op.shift_a(), op.shift_b());
-        for row in row_mask.iter() {
-            let base = row as usize * self.regs;
-            match op.gate {
-                GateKind::Init0 => self.words[base + out_reg] &= !out_bits,
-                GateKind::Init1 => self.words[base + out_reg] |= out_bits,
-                GateKind::Not => {
-                    let a = part_shift(self.words[base + a_reg], sa);
-                    let out = &mut self.words[base + out_reg];
-                    if strict && *out & out_bits != out_bits {
-                        return Err(uninitialized(row, op));
+        match op.gate {
+            GateKind::Init0 => {
+                for w in &mut self.col_mut(out_reg)[range] {
+                    *w &= !bits;
+                }
+            }
+            GateKind::Init1 => {
+                for w in &mut self.col_mut(out_reg)[range] {
+                    *w |= bits;
+                }
+            }
+            GateKind::Not => {
+                if strict {
+                    self.strict_prescan(op, range.clone())?;
+                }
+                let (dst, col_a, _) = self.out_and_inputs(out_reg, a_reg, a_reg);
+                let dst = &mut dst[range.clone()];
+                match col_a {
+                    Some(a) => {
+                        for (d, &av) in dst.iter_mut().zip(&a[range]) {
+                            *d &= !(part_shift(av, sa) & bits);
+                        }
                     }
-                    *out &= !(a & out_bits);
+                    None => {
+                        for d in dst.iter_mut() {
+                            *d &= !(part_shift(*d, sa) & bits);
+                        }
+                    }
+                }
+            }
+            GateKind::Nor => {
+                if strict {
+                    self.strict_prescan(op, range.clone())?;
+                }
+                let (dst, col_a, col_b) = self.out_and_inputs(out_reg, a_reg, b_reg);
+                let dst = &mut dst[range.clone()];
+                match (col_a, col_b) {
+                    (Some(a), Some(b)) => {
+                        let (a, b) = (&a[range.clone()], &b[range]);
+                        for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(b) {
+                            *d &= !((part_shift(av, sa) | part_shift(bv, sb)) & bits);
+                        }
+                    }
+                    (None, Some(b)) => {
+                        for (d, &bv) in dst.iter_mut().zip(&b[range]) {
+                            *d &= !((part_shift(*d, sa) | part_shift(bv, sb)) & bits);
+                        }
+                    }
+                    (Some(a), None) => {
+                        for (d, &av) in dst.iter_mut().zip(&a[range]) {
+                            *d &= !((part_shift(av, sa) | part_shift(*d, sb)) & bits);
+                        }
+                    }
+                    (None, None) => {
+                        for d in dst.iter_mut() {
+                            *d &= !((part_shift(*d, sa) | part_shift(*d, sb)) & bits);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The strict stateful-logic check for a dense range, hoisted out of
+    /// the gate loop: every output cell the gate touches must hold 1.
+    fn strict_prescan(&self, op: &HLogic, range: std::ops::Range<usize>) -> Result<(), ArchError> {
+        let bits = op.out_bits();
+        let start = range.start;
+        let col = &self.col(op.out.offset as usize)[range];
+        if let Some(pos) = col.iter().position(|&w| w & bits != bits) {
+            return Err(uninitialized((start + pos) as u32, op));
+        }
+        Ok(())
+    }
+
+    /// Strided fall-back: the row-indexed loop of the seed implementation,
+    /// with the register bases hoisted.
+    fn apply_hlogic_strided(
+        &mut self,
+        op: &HLogic,
+        row_mask: &RangeMask,
+        strict: bool,
+    ) -> Result<(), ArchError> {
+        let bits = op.out_bits();
+        let rows = self.rows;
+        let out_base = op.out.offset as usize * rows;
+        let a_base = op.in_a.offset as usize * rows;
+        let b_base = op.in_b.offset as usize * rows;
+        let (sa, sb) = (op.shift_a(), op.shift_b());
+        for row in row_mask.iter() {
+            let row = row as usize;
+            match op.gate {
+                GateKind::Init0 => self.words[out_base + row] &= !bits,
+                GateKind::Init1 => self.words[out_base + row] |= bits,
+                GateKind::Not => {
+                    let a = part_shift(self.words[a_base + row], sa);
+                    let out = &mut self.words[out_base + row];
+                    if strict && *out & bits != bits {
+                        return Err(uninitialized(row as u32, op));
+                    }
+                    *out &= !(a & bits);
                 }
                 GateKind::Nor => {
-                    let a = part_shift(self.words[base + a_reg], sa);
-                    let b = part_shift(self.words[base + b_reg], sb);
-                    let out = &mut self.words[base + out_reg];
-                    if strict && *out & out_bits != out_bits {
-                        return Err(uninitialized(row, op));
+                    let a = part_shift(self.words[a_base + row], sa);
+                    let b = part_shift(self.words[b_base + row], sb);
+                    let out = &mut self.words[out_base + row];
+                    if strict && *out & bits != bits {
+                        return Err(uninitialized(row as u32, op));
                     }
-                    *out &= !((a | b) & out_bits);
+                    *out &= !((a | b) & bits);
                 }
             }
         }
@@ -246,6 +430,20 @@ mod tests {
     }
 
     #[test]
+    fn partial_dense_mask_limits_logic() {
+        // A dense sub-range must only touch its rows (fast-path bounds).
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let mid = RangeMask::dense(10, 20).unwrap();
+        xb.apply_hlogic(&HLogic::init_reg(true, 0, &c).unwrap(), &mid, true)
+            .unwrap();
+        for row in 0..c.rows {
+            let expect = (10..20).contains(&row);
+            assert_eq!(xb.word(row, 0) == u32::MAX, expect, "row {row}");
+        }
+    }
+
+    #[test]
     fn strict_mode_catches_missing_init() {
         let c = cfg();
         let mut xb = Crossbar::new(c.rows, c.regs);
@@ -253,8 +451,28 @@ mod tests {
         let not = HLogic::parallel(GateKind::Not, 0, 0, 1, &c).unwrap();
         let err = xb.apply_hlogic(&not, &rows, true).unwrap_err();
         assert!(matches!(err, ArchError::Protocol { .. }));
+        // The dense pre-scan fails *before* mutating: state is untouched.
+        assert!((0..c.rows).all(|r| xb.word(r, 1) == 0));
         // Non-strict mode performs the (possibly wrong) stateful update.
         xb.apply_hlogic(&not, &rows, false).unwrap();
+    }
+
+    #[test]
+    fn strict_prescan_reports_first_bad_row() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        let rows = full_rows(&c);
+        xb.apply_hlogic(&HLogic::init_reg(true, 1, &c).unwrap(), &rows, true)
+            .unwrap();
+        xb.set_word(13, 1, 0x7FFF_FFFF); // one cleared output cell
+        let not = HLogic::parallel(GateKind::Not, 0, 0, 1, &c).unwrap();
+        let err = xb.apply_hlogic(&not, &rows, true).unwrap_err();
+        match err {
+            ArchError::Protocol { reason } => {
+                assert!(reason.contains("row 13"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -306,6 +524,52 @@ mod tests {
     }
 
     #[test]
+    fn self_aliased_gates_read_pre_gate_state() {
+        // Output register == input register (different partitions): every
+        // row must read its own pre-gate word. Exercises the in-place
+        // kernels of the dense path against the strided reference.
+        let c = cfg();
+        let op = HLogic::strided(
+            GateKind::Not,
+            ColAddr::new(0, 4),
+            ColAddr::new(0, 4),
+            ColAddr::new(1, 4), // same offset 4: out aliases in_a
+            31,
+            2,
+            &c,
+        )
+        .unwrap();
+        let mut dense = Crossbar::new(c.rows, c.regs);
+        for row in 0..c.rows {
+            dense.set_word(row, 4, 0x9E37_79B9u32.wrapping_mul(row as u32 + 1));
+        }
+        let mut strided = dense.clone();
+        dense
+            .apply_hlogic(&op, &RangeMask::dense(0, c.rows as u32).unwrap(), false)
+            .unwrap();
+        // Equivalent two-step strided cover of the same rows.
+        let half = (c.rows / 2) as u32;
+        strided
+            .apply_hlogic(
+                &op,
+                &RangeMask::new(0, c.rows as u32 - 2, 2).unwrap(),
+                false,
+            )
+            .unwrap();
+        strided
+            .apply_hlogic(
+                &op,
+                &RangeMask::new(1, c.rows as u32 - 1, 2).unwrap(),
+                false,
+            )
+            .unwrap();
+        assert_eq!(half * 2, c.rows as u32);
+        for row in 0..c.rows {
+            assert_eq!(dense.word(row, 4), strided.word(row, 4), "row {row}");
+        }
+    }
+
+    #[test]
     fn vertical_ops_move_registers_between_rows() {
         let c = cfg();
         let mut xb = Crossbar::new(c.rows, c.regs);
@@ -323,9 +587,23 @@ mod tests {
         assert_eq!(xb.word(12, 4), 0);
     }
 
+    #[test]
+    fn write_rows_covers_dense_and_strided() {
+        let c = cfg();
+        let mut xb = Crossbar::new(c.rows, c.regs);
+        xb.write_rows(3, &RangeMask::dense(4, 10).unwrap(), 0xAB);
+        xb.write_rows(5, &RangeMask::new(1, 61, 4).unwrap(), 0xCD);
+        for row in 0..c.rows {
+            assert_eq!(xb.word(row, 3) == 0xAB, (4..10).contains(&row), "row {row}");
+            assert_eq!(xb.word(row, 5) == 0xCD, row % 4 == 1, "row {row}");
+        }
+    }
+
     /// The fast word-level evaluation must agree with the reference
     /// semantics: every expanded gate applied simultaneously (reading the
-    /// pre-operation state).
+    /// pre-operation state). Both the dense fast path and the strided
+    /// fall-back run on the same inputs and must match the reference and
+    /// each other.
     #[test]
     fn word_level_matches_expanded_gates() {
         let c = cfg();
@@ -354,15 +632,23 @@ mod tests {
                         Ok(op) => op,
                         Err(_) => return Ok(()), // invalid pattern — skip
                     };
-                    // Load one row with random words; snapshot it.
-                    let mut fast = Crossbar::new(1, c.regs);
+                    // Load rows 0 and 1 with the same random words. Row 0 is
+                    // exercised through the dense kernel (step-1 single-row
+                    // mask), row 1 through the strided fall-back (a step-2
+                    // mask selecting only row 1).
+                    let mut fast = Crossbar::new(4, c.regs);
                     for (k, w) in data.iter().enumerate() {
                         fast.set_word(0, k, *w);
+                        fast.set_word(1, k, *w);
                     }
                     let mut slow = fast.clone();
                     let pre = fast.clone();
-                    fast.apply_hlogic(&op, &RangeMask::single(0), false)
-                        .unwrap();
+                    let dense_mask = RangeMask::dense(0, 1).unwrap();
+                    assert!(dense_mask.is_dense());
+                    let strided_mask = RangeMask::strided(1, 1, 2).unwrap();
+                    assert!(!strided_mask.is_dense());
+                    fast.apply_hlogic(&op, &dense_mask, false).unwrap();
+                    fast.apply_hlogic(&op, &strided_mask, false).unwrap();
                     // Reference: per-gate stateful update from the snapshot.
                     for g in op.expand_gates() {
                         let inputs_high = match gate {
@@ -374,24 +660,37 @@ mod tests {
                                     || pre.cell(0, g.b.part, g.b.offset)
                             }
                         };
-                        match gate {
-                            GateKind::Init0 => slow.set_cell(0, g.out.part, g.out.offset, false),
-                            GateKind::Init1 => slow.set_cell(0, g.out.part, g.out.offset, true),
-                            _ => {
-                                if inputs_high {
-                                    slow.set_cell(0, g.out.part, g.out.offset, false);
+                        for row in [0, 1] {
+                            match gate {
+                                GateKind::Init0 => {
+                                    slow.set_cell(row, g.out.part, g.out.offset, false)
+                                }
+                                GateKind::Init1 => {
+                                    slow.set_cell(row, g.out.part, g.out.offset, true)
+                                }
+                                _ => {
+                                    if inputs_high {
+                                        slow.set_cell(row, g.out.part, g.out.offset, false);
+                                    }
                                 }
                             }
                         }
                     }
+                    for row in 0..4 {
+                        for k in 0..c.regs {
+                            prop_assert_eq!(
+                                fast.word(row, k),
+                                slow.word(row, k),
+                                "row {} register {} differs for {:?}",
+                                row,
+                                k,
+                                &op
+                            );
+                        }
+                    }
+                    // Dense and strided paths agree with each other.
                     for k in 0..c.regs {
-                        prop_assert_eq!(
-                            fast.word(0, k),
-                            slow.word(0, k),
-                            "register {} differs for {:?}",
-                            k,
-                            &op
-                        );
+                        prop_assert_eq!(fast.word(0, k), fast.word(1, k));
                     }
                     Ok(())
                 },

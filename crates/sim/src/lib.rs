@@ -11,10 +11,20 @@
 //!
 //! * **Memory**: rows are stored in a condensed 32-bit format defined by the
 //!   strided data layout — word `k` of a row holds the 32 bits at
-//!   intra-partition offset `k`, i.e. word `k` *is* register `k`.
+//!   intra-partition offset `k`, i.e. word `k` *is* register `k`. Storage
+//!   is **register-major** (`words[reg * rows + row]`): a horizontal
+//!   micro-operation reads/writes the *same* registers of many rows, so
+//!   each register is one contiguous column slice in host memory.
 //! * **Logic**: partition-parallel stateful logic evaluates as three bitwise
 //!   word operations (shift, mask, and-not) instead of iterating over
-//!   partitions, and batches execute in parallel across crossbars
+//!   partitions. Under a **dense row mask** (step 1 — the shape of
+//!   whole-tensor operations) a gate is a straight-line loop over one, two,
+//!   or three contiguous `&[u32]` slices with the strict-mode check hoisted
+//!   out as a pre-scan; LLVM autovectorizes these loops, so the host
+//!   exploits the same row-parallelism the chip executes in a single cycle.
+//!   Strided masks take a row-indexed fall-back. Batches replay
+//!   **crossbar-major** (each crossbar runs the whole micro-op run while
+//!   its words are cache-hot) and execute in parallel across crossbars
 //!   (std scoped threads stand in for the paper's CUDA kernel).
 //!
 //! A *strict mode* (default on) additionally checks the stateful-logic

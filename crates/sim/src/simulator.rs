@@ -1,5 +1,5 @@
 use crate::{Crossbar, Profiler};
-use pim_arch::{htree, ArchError, Backend, MicroOp, PimConfig, RangeMask};
+use pim_arch::{htree, ArchError, Backend, HLogic, MicroOp, PimConfig, RangeMask, VGate};
 
 /// Minimum amount of per-batch work (crossbars × operations) before the
 /// simulator fans a batch out across threads.
@@ -154,51 +154,20 @@ impl PimSimulator {
         Ok(cycles)
     }
 
-    /// Applies a non-read, non-move operation to the crossbars in
-    /// `chunk` (crossbar ids `chunk_base..`), given mask state.
+    /// Applies a non-read, non-move operation to every crossbar selected by
+    /// `xb_mask`, given mask state.
     fn apply_local(
-        chunk: &mut [Crossbar],
-        chunk_base: u32,
+        xbars: &mut [Crossbar],
         op: &MicroOp,
         xb_mask: &RangeMask,
         row_mask: &RangeMask,
         strict: bool,
     ) -> Result<(), ArchError> {
-        let chunk_len = chunk.len() as u32;
-        let mut for_each_xb = |f: &mut dyn FnMut(&mut Crossbar) -> Result<(), ArchError>| {
-            for xb in xb_mask.iter() {
-                if xb >= chunk_base && xb < chunk_base + chunk_len {
-                    f(&mut chunk[(xb - chunk_base) as usize])?;
-                }
-            }
-            Ok(())
-        };
-        match op {
-            MicroOp::Write { index, value } => for_each_xb(&mut |xb| {
-                for row in row_mask.iter() {
-                    xb.set_word(row as usize, *index as usize, *value);
-                }
-                Ok(())
-            }),
-            MicroOp::LogicH(l) => for_each_xb(&mut |xb| xb.apply_hlogic(l, row_mask, strict)),
-            MicroOp::LogicV {
-                gate,
-                row_in,
-                row_out,
-                index,
-            } => for_each_xb(&mut |xb| {
-                xb.apply_vlogic(
-                    *gate,
-                    *row_in as usize,
-                    *row_out as usize,
-                    *index as usize,
-                    strict,
-                )
-            }),
-            MicroOp::XbMask(_) | MicroOp::RowMask(_) | MicroOp::Read { .. } | MicroOp::Move(_) => {
-                unreachable!("mask/read/move ops are handled by the dispatcher")
-            }
+        let local = LocalOp::prepare(op);
+        for xb in xb_mask.iter() {
+            local.apply(&mut xbars[xb as usize], row_mask, strict)?;
         }
+        Ok(())
     }
 
     fn execute_move(&mut self, mv: &pim_arch::MoveOp) -> Result<(), ArchError> {
@@ -233,41 +202,42 @@ impl PimSimulator {
             .word(self.row_mask.start() as usize, index as usize))
     }
 
-    /// Executes a run of mask/write/logic operations in parallel across
-    /// crossbar chunks. Each worker replays the mask operations locally so
-    /// the mask state evolves identically in every chunk.
-    fn execute_run_parallel(&mut self, run: &[MicroOp]) -> Result<(), ArchError> {
+    /// Executes a run of mask/write/logic operations, dispatched **per
+    /// crossbar**: the run is decoded once ([`LocalOp::prepare`]), then each
+    /// crossbar replays the whole run with mask operations resolved to a
+    /// local `selected` flag — no per-operation re-setup, and one
+    /// crossbar's storage stays cache-hot across the entire run. With
+    /// `parallel`, crossbar chunks replay on scoped worker threads.
+    fn execute_run(&mut self, run: &[MicroOp], parallel: bool) -> Result<(), ArchError> {
         let strict = self.strict;
-        let threads = self.threads;
-        let chunk_size = self.cfg.crossbars.div_ceil(threads);
-        let xb_mask0 = self.xb_mask;
-        let row_mask0 = self.row_mask;
-        let results: Vec<Result<(), ArchError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ci, chunk) in self.xbars.chunks_mut(chunk_size).enumerate() {
-                let base = (ci * chunk_size) as u32;
-                handles.push(scope.spawn(move || {
-                    let mut xb_mask = xb_mask0;
-                    let mut row_mask = row_mask0;
-                    for op in run {
-                        match op {
-                            MicroOp::XbMask(m) => xb_mask = *m,
-                            MicroOp::RowMask(m) => row_mask = *m,
-                            other => {
-                                Self::apply_local(chunk, base, other, &xb_mask, &row_mask, strict)?
-                            }
+        let prepared: Vec<LocalOp<'_>> = run.iter().map(LocalOp::prepare).collect();
+        let (xb_mask0, row_mask0) = (self.xb_mask, self.row_mask);
+        if parallel {
+            let chunk_size = self.cfg.crossbars.div_ceil(self.threads);
+            let prepared = &prepared;
+            let results: Vec<Result<(), ArchError>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (ci, chunk) in self.xbars.chunks_mut(chunk_size).enumerate() {
+                    let base = (ci * chunk_size) as u32;
+                    handles.push(scope.spawn(move || {
+                        for (i, xb) in chunk.iter_mut().enumerate() {
+                            replay_run(xb, base + i as u32, prepared, xb_mask0, row_mask0, strict)?;
                         }
-                    }
-                    Ok(())
-                }));
+                        Ok(())
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        for r in results {
-            r?;
+        } else {
+            for (i, xb) in self.xbars.iter_mut().enumerate() {
+                replay_run(xb, i as u32, &prepared, xb_mask0, row_mask0, strict)?;
+            }
         }
         // Replay mask updates on the dispatcher state.
         for op in run {
@@ -319,16 +289,13 @@ impl PimSimulator {
                 Ok(None)
             }
             other => {
-                let n = self.xbars.len() as u32;
                 Self::apply_local(
                     &mut self.xbars,
-                    0,
                     other,
                     &self.xb_mask,
                     &self.row_mask,
                     self.strict,
                 )?;
-                debug_assert!(n as usize == self.xbars.len());
                 Ok(None)
             }
         }
@@ -373,13 +340,7 @@ impl Backend for PimSimulator {
             }
             let run = &ops[start..i];
             if !run.is_empty() {
-                if parallel_ok {
-                    self.execute_run_parallel(run)?;
-                } else {
-                    for op in run {
-                        self.execute_serial(op)?;
-                    }
-                }
+                self.execute_run(run, parallel_ok)?;
             }
             if i < ops.len() {
                 self.execute_serial(&ops[i])?;
@@ -388,6 +349,103 @@ impl Backend for PimSimulator {
         }
         Ok(())
     }
+}
+
+/// A batch operation prepared for per-crossbar replay: the mask-independent
+/// decode of a [`MicroOp`] (address widening, variant narrowing) done once
+/// per run instead of once per operation × crossbar.
+enum LocalOp<'a> {
+    XbMask(RangeMask),
+    RowMask(RangeMask),
+    Write {
+        index: usize,
+        value: u32,
+    },
+    LogicH(&'a HLogic),
+    LogicV {
+        gate: VGate,
+        row_in: usize,
+        row_out: usize,
+        index: usize,
+    },
+}
+
+impl<'a> LocalOp<'a> {
+    fn prepare(op: &'a MicroOp) -> Self {
+        match op {
+            MicroOp::XbMask(m) => LocalOp::XbMask(*m),
+            MicroOp::RowMask(m) => LocalOp::RowMask(*m),
+            MicroOp::Write { index, value } => LocalOp::Write {
+                index: *index as usize,
+                value: *value,
+            },
+            MicroOp::LogicH(l) => LocalOp::LogicH(l),
+            MicroOp::LogicV {
+                gate,
+                row_in,
+                row_out,
+                index,
+            } => LocalOp::LogicV {
+                gate: *gate,
+                row_in: *row_in as usize,
+                row_out: *row_out as usize,
+                index: *index as usize,
+            },
+            MicroOp::Read { .. } | MicroOp::Move(_) => {
+                unreachable!("read/move ops are handled by the dispatcher")
+            }
+        }
+    }
+
+    fn apply(
+        &self,
+        xb: &mut Crossbar,
+        row_mask: &RangeMask,
+        strict: bool,
+    ) -> Result<(), ArchError> {
+        match self {
+            LocalOp::Write { index, value } => {
+                xb.write_rows(*index, row_mask, *value);
+                Ok(())
+            }
+            LocalOp::LogicH(l) => xb.apply_hlogic(l, row_mask, strict),
+            LocalOp::LogicV {
+                gate,
+                row_in,
+                row_out,
+                index,
+            } => xb.apply_vlogic(*gate, *row_in, *row_out, *index, strict),
+            LocalOp::XbMask(_) | LocalOp::RowMask(_) => {
+                unreachable!("mask ops are tracked by the replay loop")
+            }
+        }
+    }
+}
+
+/// Replays a prepared run on one crossbar. Mask operations update the local
+/// selection state (`selected` flag, row mask); data operations apply when
+/// this crossbar is selected. Crossbar-major iteration keeps one crossbar's
+/// storage hot in cache across the whole run and turns per-operation mask
+/// iteration into an O(1) membership test.
+fn replay_run(
+    xb: &mut Crossbar,
+    global_idx: u32,
+    run: &[LocalOp<'_>],
+    xb_mask0: RangeMask,
+    row_mask0: RangeMask,
+    strict: bool,
+) -> Result<(), ArchError> {
+    let mut selected = xb_mask0.contains(global_idx);
+    let mut row_mask = row_mask0;
+    for op in run {
+        match op {
+            LocalOp::XbMask(m) => selected = m.contains(global_idx),
+            LocalOp::RowMask(m) => row_mask = *m,
+            data if selected => data.apply(xb, &row_mask, strict)?,
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

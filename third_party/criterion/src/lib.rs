@@ -1,12 +1,25 @@
 //! Offline stub for `criterion`: the group/bench API surface this
-//! workspace uses, backed by a plain wall-clock timer. No statistics,
-//! baselines, or plots — each benchmark warms up briefly, then reports the
-//! mean iteration time (and throughput when configured).
+//! workspace uses, backed by a plain wall-clock timer. No plots or
+//! baselines, but each benchmark is measured as a series of samples whose
+//! min/median/mean land both on stdout and in a machine-readable
+//! `BENCH_<binary>.json` at the workspace root, so the perf trajectory of
+//! a kernel is diffable across commits.
+//!
+//! Smoke mode: passing `--quick` (or setting `CRITERION_QUICK=1`) caps the
+//! measurement at a handful of iterations per benchmark — enough for CI to
+//! notice a kernel that stopped compiling or slowed by an order of
+//! magnitude, without burning minutes of runner time.
 
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` callers work.
 pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark (each sample runs one or more
+/// iterations).
+const SAMPLES: usize = 20;
+/// Target wall time across all samples of one benchmark.
+const MEASURE_FOR: Duration = Duration::from_millis(200);
 
 /// Throughput annotation for a benchmark group.
 #[derive(Debug, Clone, Copy)]
@@ -45,31 +58,79 @@ impl std::fmt::Display for BenchmarkId {
     }
 }
 
+/// Seconds-per-iteration summary statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleStats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample.
+    pub median: f64,
+    /// Mean over all samples.
+    pub mean: f64,
+    /// Total iterations across every sample.
+    pub iters: u64,
+}
+
+impl SampleStats {
+    fn from_samples(per_iter: &mut [f64], iters: u64) -> Option<Self> {
+        if per_iter.is_empty() {
+            return None;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        Some(SampleStats {
+            min: per_iter[0],
+            median: per_iter[per_iter.len() / 2],
+            mean: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            iters,
+        })
+    }
+}
+
+/// One finished benchmark: group/id plus its statistics.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    id: String,
+    stats: SampleStats,
+    throughput: Option<Throughput>,
+}
+
 /// Per-iteration timing driver handed to benchmark closures.
 pub struct Bencher {
+    samples: Vec<f64>,
     iters_done: u64,
-    elapsed: Duration,
-    measure_for: Duration,
+    quick: bool,
 }
 
 impl Bencher {
-    /// Times `routine` repeatedly for the measurement window.
+    /// Times `routine` repeatedly, collecting per-sample iteration times.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
-        // Warmup.
-        for _ in 0..3 {
-            black_box(routine());
-        }
-        let start = Instant::now();
-        let mut iters = 0u64;
+        // Warmup + calibration: how many iterations fit one sample window.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
         loop {
             black_box(routine());
-            iters += 1;
-            let elapsed = start.elapsed();
-            if elapsed >= self.measure_for && iters >= 10 {
-                self.iters_done = iters;
-                self.elapsed = elapsed;
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= MEASURE_FOR / 10 || warmup_iters >= 1_000_000 {
                 break;
             }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let samples = if self.quick { 3 } else { SAMPLES };
+        let sample_window = MEASURE_FOR.as_secs_f64() / samples as f64;
+        let iters_per_sample = if self.quick {
+            1
+        } else {
+            ((sample_window / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000)
+        };
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+            self.iters_done += iters_per_sample;
         }
     }
 }
@@ -78,7 +139,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -90,12 +151,23 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark.
     pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
         let mut b = Bencher {
+            samples: Vec::new(),
             iters_done: 0,
-            elapsed: Duration::ZERO,
-            measure_for: Duration::from_millis(200),
+            quick: self.criterion.quick,
         };
         f(&mut b);
-        self.report(&id.to_string(), &b);
+        let Some(stats) = SampleStats::from_samples(&mut b.samples, b.iters_done) else {
+            println!("{}/{id}: no iterations measured", self.name);
+            return;
+        };
+        let record = Record {
+            group: self.name.clone(),
+            id: id.to_string(),
+            stats,
+            throughput: self.throughput,
+        };
+        report(&record);
+        self.criterion.records.push(record);
     }
 
     /// Runs one benchmark parameterized by `input`.
@@ -110,30 +182,28 @@ impl BenchmarkGroup<'_> {
 
     /// Ends the group (reports are printed as benchmarks run).
     pub fn finish(self) {}
+}
 
-    fn report(&self, id: &str, b: &Bencher) {
-        if b.iters_done == 0 {
-            println!("{}/{id}: no iterations measured", self.name);
-            return;
+fn report(r: &Record) {
+    let mut line = format!(
+        "{}/{}: {:>12} per iter (median; min {}, mean {}, {} iters)",
+        r.group,
+        r.id,
+        format_time(r.stats.median),
+        format_time(r.stats.min),
+        format_time(r.stats.mean),
+        r.stats.iters
+    );
+    match r.throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!(", {:.3e} elem/s", n as f64 / r.stats.median));
         }
-        let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
-        let mut line = format!(
-            "{}/{id}: {:>12} per iter ({} iters)",
-            self.name,
-            format_time(per_iter),
-            b.iters_done
-        );
-        match self.throughput {
-            Some(Throughput::Elements(n)) => {
-                line.push_str(&format!(", {:.3e} elem/s", n as f64 / per_iter));
-            }
-            Some(Throughput::Bytes(n)) => {
-                line.push_str(&format!(", {:.3e} B/s", n as f64 / per_iter));
-            }
-            None => {}
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(", {:.3e} B/s", n as f64 / r.stats.median));
         }
-        println!("{line}");
+        None => {}
     }
+    println!("{line}");
 }
 
 fn format_time(seconds: f64) -> String {
@@ -150,12 +220,18 @@ fn format_time(seconds: f64) -> String {
 
 /// Top-level benchmark context.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    records: Vec<Record>,
+    quick: bool,
+}
 
 impl Criterion {
-    /// Applies command-line configuration (no-op in the stub; accepts and
-    /// ignores criterion's CLI arguments, including `--bench`).
-    pub fn configure_from_args(self) -> Self {
+    /// Applies command-line configuration. The stub understands `--quick`
+    /// (and the `CRITERION_QUICK=1` environment equivalent) and ignores the
+    /// rest of criterion's CLI, including `--bench`.
+    pub fn configure_from_args(mut self) -> Self {
+        self.quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
         self
     }
 
@@ -164,7 +240,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             throughput: None,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -175,17 +251,95 @@ impl Criterion {
         group.finish();
     }
 
-    /// Final summary hook (no-op).
-    pub fn final_summary(&mut self) {}
+    /// Final summary hook: writes `BENCH_<name>.json` at the workspace root
+    /// (the nearest ancestor directory holding a `Cargo.lock`), where
+    /// `<name>` is the benchmark binary's name with cargo's `-<hash>`
+    /// suffix stripped. Each entry records seconds-per-iteration
+    /// min/median/mean plus the throughput annotation.
+    ///
+    /// `--quick` smoke runs skip the write: their few-iteration timings
+    /// are noise and must not clobber the committed perf trajectory.
+    pub fn final_summary(&mut self) {
+        if self.records.is_empty() || self.quick {
+            return;
+        }
+        let Some(name) = bench_binary_name() else {
+            return;
+        };
+        let dir = workspace_root().unwrap_or_else(|| std::path::PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{name}.json"));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let (tp_kind, tp_per_iter) = match r.throughput {
+                Some(Throughput::Elements(n)) => ("\"elements\"", n),
+                Some(Throughput::Bytes(n)) => ("\"bytes\"", n),
+                None => ("null", 0),
+            };
+            out.push_str(&format!(
+                "    {{\"group\": {:?}, \"id\": {:?}, \"min_s\": {:e}, \"median_s\": {:e}, \
+                 \"mean_s\": {:e}, \"iters\": {}, \"throughput_kind\": {}, \
+                 \"throughput_per_iter\": {}, \"per_sec_median\": {:e}}}{}\n",
+                r.group,
+                r.id,
+                r.stats.min,
+                r.stats.median,
+                r.stats.mean,
+                r.stats.iters,
+                tp_kind,
+                tp_per_iter,
+                tp_per_iter as f64 / r.stats.median,
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The benchmark binary's logical name: the executable stem minus the
+/// `-<16 hex digits>` disambiguation hash cargo appends.
+fn bench_binary_name() -> Option<String> {
+    let exe = std::env::args().next()?;
+    let stem = std::path::Path::new(&exe).file_stem()?.to_str()?;
+    Some(strip_cargo_hash(stem).to_string())
+}
+
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base
+        }
+        _ => stem,
+    }
+}
+
+/// The nearest ancestor of the current directory containing a `Cargo.lock`
+/// — the workspace root when run through `cargo bench`.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
 }
 
 /// Declares a benchmark group function, as in the real crate.
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        fn $group() {
-            let mut criterion = $crate::Criterion::default().configure_from_args();
-            $($target(&mut criterion);)+
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
         }
     };
 }
@@ -195,7 +349,43 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $($group();)+
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_order_and_json_shape() {
+        let mut samples = vec![3.0, 1.0, 2.0];
+        let stats = SampleStats::from_samples(&mut samples, 30).unwrap();
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.median, 2.0);
+        assert_eq!(stats.mean, 2.0);
+        let c = Criterion {
+            records: vec![Record {
+                group: "g".into(),
+                id: "dense".into(),
+                stats,
+                throughput: Some(Throughput::Elements(10)),
+            }],
+            quick: false,
+        };
+        let json = c.to_json();
+        assert!(json.contains("\"group\": \"g\""), "{json}");
+        assert!(json.contains("\"median_s\": 2e0"), "{json}");
+        assert!(json.contains("\"throughput_kind\": \"elements\""), "{json}");
+    }
+
+    #[test]
+    fn binary_name_strips_cargo_hash() {
+        assert_eq!(strip_cargo_hash("simulator-0123456789abcdef"), "simulator");
+        assert_eq!(strip_cargo_hash("cluster"), "cluster");
+        assert_eq!(strip_cargo_hash("routine-compile"), "routine-compile");
+    }
 }

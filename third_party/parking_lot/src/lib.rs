@@ -1,10 +1,16 @@
-//! Offline stub for `parking_lot`: the `Mutex` API this workspace uses,
-//! implemented over `std::sync::Mutex`. `lock()` never returns a poison
-//! error (a poisoned lock yields the inner data, matching parking_lot's
-//! no-poisoning semantics).
+//! Offline stub for `parking_lot`: the `Mutex` and `RwLock` API this
+//! workspace uses, implemented over the std primitives. Locking never
+//! returns a poison error (a poisoned lock yields the inner data, matching
+//! parking_lot's no-poisoning semantics).
 
 /// Guard type; identical to the std guard.
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Shared-read guard; identical to the std guard.
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive-write guard; identical to the std guard.
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
 
 /// A mutual-exclusion lock with parking_lot's panic-free `lock()`.
 #[derive(Debug, Default)]
@@ -34,5 +40,61 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(e) => e.into_inner(),
         }
+    }
+}
+
+/// A reader-writer lock with parking_lot's panic-free `read()`/`write()`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available. Poisoning is
+    /// ignored.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    /// Poisoning is ignored.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(5);
+        {
+            let a = lock.read();
+            let b = lock.read();
+            assert_eq!((*a, *b), (5, 5));
+        }
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 6);
+        assert_eq!(lock.into_inner(), 6);
     }
 }

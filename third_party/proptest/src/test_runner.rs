@@ -25,26 +25,33 @@ impl Default for ProptestConfig {
     }
 }
 
-/// Deterministic SplitMix64 generator feeding the strategies.
+/// Deterministic generator feeding the strategies — the rand stub's
+/// SplitMix64 (`rand::rngs::StdRng`) behind a proptest-shaped API, so the
+/// workspace has exactly one SplitMix64 core.
 #[derive(Debug, Clone)]
 pub struct TestRng {
-    state: u64,
+    rng: rand::rngs::StdRng,
 }
 
 impl TestRng {
     fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng;
+        // Historical sequence compatibility: this runner used to start
+        // SplitMix64 at state `seed ^ 0x5851…7F2D`. `StdRng::seed_from_u64`
+        // adds the SplitMix64 golden constant during construction, so
+        // subtract it here to land on the same initial state — existing
+        // proptest regressions replay unchanged.
         TestRng {
-            state: seed ^ 0x5851_F42D_4C95_7F2D,
+            rng: rand::rngs::StdRng::seed_from_u64(
+                (seed ^ 0x5851_F42D_4C95_7F2D).wrapping_sub(0x9E37_79B9_7F4A_7C15),
+            ),
         }
     }
 
     /// Next raw 64-bit word.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        use rand::Rng;
+        self.rng.gen::<u64>()
     }
 
     /// Uniform `usize` below `bound` (must be nonzero).
@@ -193,6 +200,23 @@ impl TestRunner {
 mod tests {
     use super::*;
     use crate::prelude::*;
+
+    #[test]
+    fn rng_sequence_matches_historical_splitmix() {
+        // The delegation to the rand stub must reproduce the sequence of
+        // the runner's original inline SplitMix64 (state = seed ^ const,
+        // add-then-mix per draw) bit for bit, so recorded proptest
+        // failures replay unchanged.
+        let mut rng = TestRng::from_seed(0x00C0_FFEE);
+        let mut state = 0x00C0_FFEEu64 ^ 0x5851_F42D_4C95_7F2D;
+        for i in 0..64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            assert_eq!(rng.next_u64(), z ^ (z >> 31), "draw {i}");
+        }
+    }
 
     #[test]
     fn runner_rejects_vacuous_properties() {
