@@ -1,7 +1,9 @@
 //! The sharded execution engine: one host-driver + simulated-chip pair per
 //! shard, each on its own worker thread, fed through batched job channels.
 
-use crate::{ClusterError, ShardPlan};
+use crate::interconnect::{DrainPolicy, Staging};
+use crate::sched::BatchScheduler;
+use crate::{ClusterError, Interconnect, InterconnectConfig, ShardPlan, TrafficStats};
 use pim_arch::{Backend, MicroOp, PimConfig};
 use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode, RoutineCache};
 use pim_isa::Instruction;
@@ -32,6 +34,9 @@ pub struct ShardStats {
 pub struct ClusterStats {
     /// Per-shard snapshots, indexed by shard.
     pub shards: Vec<ShardStats>,
+    /// Interconnect/scheduler traffic: cross-chip messages and words moved,
+    /// modeled link cycles, barriers hit and shard queues drained by them.
+    pub traffic: TrafficStats,
 }
 
 impl ClusterStats {
@@ -60,6 +65,13 @@ impl ClusterStats {
             .map(|s| s.profiler.cycles)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Modeled end-to-end latency: the busiest chip plus the interconnect's
+    /// link cycles (an upper bound — transfers that overlapped untouched
+    /// shards' streaming are charged serially here).
+    pub fn modeled_latency_cycles(&self) -> u64 {
+        self.critical_path_cycles() + self.traffic.link_cycles
     }
 
     /// A merged profiler: operation/gate/move counters are summed across
@@ -107,15 +119,44 @@ pub fn fold_i32(op: Combine, values: impl IntoIterator<Item = i32>) -> Option<i3
 }
 
 /// A global memory location: `(warp, row, register)` in cluster-wide warp
-/// numbering.
+/// numbering. [`GlobalWrite`] is the named, value-carrying counterpart used
+/// by [`PimCluster::scatter`].
 pub type GlobalLoc = (u32, u32, u8);
 
-type ShardReply = Result<Vec<Option<u32>>, ClusterError>;
+/// A global write: the word to deposit at one cluster-wide memory cell.
+///
+/// Field-for-field parity with [`GlobalLoc`] — `(warp, row, reg)` address a
+/// cell exactly as a gather location does — plus the `value` to store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalWrite {
+    /// Global warp (cluster-wide numbering).
+    pub warp: u32,
+    /// Row within the warp.
+    pub row: u32,
+    /// Register to write.
+    pub reg: u8,
+    /// Raw word value (for floats, the IEEE-754 bit pattern).
+    pub value: u32,
+}
 
-/// Shard-local sub-moves of a routed `MoveWarps`.
-type LocalMoves = Vec<(usize, pim_arch::RangeMask)>;
-/// Cross-shard `(source, destination)` global warp pairs.
-type CrossPairs = Vec<(u32, u32)>;
+impl GlobalWrite {
+    /// Builds a write in [`GlobalLoc`] field order plus the value.
+    pub fn new(warp: u32, row: u32, reg: u8, value: u32) -> Self {
+        GlobalWrite {
+            warp,
+            row,
+            reg,
+            value,
+        }
+    }
+
+    /// The cell this write addresses, as a gather location.
+    pub fn loc(&self) -> GlobalLoc {
+        (self.warp, self.row, self.reg)
+    }
+}
+
+type ShardReply = Result<Vec<Option<u32>>, ClusterError>;
 
 enum Job {
     /// Execute macro-instructions in order, collecting per-instruction
@@ -186,8 +227,11 @@ impl JobTicket {
 /// `N × crossbars` warps. Logical instructions addressed to global warps are
 /// split along shard boundaries (see [`ShardPlan`]) and stream to all
 /// affected shards concurrently; inter-warp moves that cross a chip
-/// boundary fall back to host-mediated gather/scatter, standing in for a
-/// chip-to-chip interconnect.
+/// boundary go over a modeled chip-to-chip [`Interconnect`]: crossing word
+/// pairs are batched into one message per `(source, destination)` shard
+/// pair, charged a configurable per-link cycle cost, and only the shards a
+/// transfer touches are drained — untouched shards keep streaming (the
+/// drain rule; see the crate-level docs).
 ///
 /// All methods take `&self`; the cluster may be driven from many client
 /// threads at once (each shard serializes its own job queue).
@@ -218,6 +262,7 @@ pub struct PimCluster {
     plan: ShardPlan,
     shard_cfg: PimConfig,
     logical_cfg: PimConfig,
+    interconnect: Interconnect,
     workers: Vec<Worker>,
 }
 
@@ -260,6 +305,29 @@ impl PimCluster {
         shards: usize,
         mode: ParallelismMode,
     ) -> Result<Self, ClusterError> {
+        PimCluster::with_interconnect(cfg, shards, mode, InterconnectConfig::default())
+    }
+
+    /// Spawns a cluster with explicit driver parallelism and chip-to-chip
+    /// interconnect models. The interconnect's link width/latency set the
+    /// modeled cycle cost of cross-chip transfers ([`TrafficStats`]); its
+    /// staging and drain policies select the transfer batching and the
+    /// scheduler's barrier scope (the defaults — batched bursts, drain only
+    /// touched shards — are what production wants; the per-word/global
+    /// alternatives exist for A/B measurement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidInterconnect`] for an unusable link
+    /// model, plus everything [`new`](PimCluster::new) returns.
+    pub fn with_interconnect(
+        cfg: PimConfig,
+        shards: usize,
+        mode: ParallelismMode,
+        icfg: InterconnectConfig,
+    ) -> Result<Self, ClusterError> {
+        icfg.validate()
+            .map_err(|reason| ClusterError::InvalidInterconnect { reason })?;
         let plan = ShardPlan::new(&cfg, shards)?;
         let logical_cfg = cfg.clone().with_crossbars(cfg.crossbars * shards);
         let shared_cache = RoutineCache::new();
@@ -285,8 +353,15 @@ impl PimCluster {
             plan,
             shard_cfg: cfg,
             logical_cfg,
+            interconnect: Interconnect::new(icfg),
             workers,
         })
+    }
+
+    /// The modeled chip-to-chip interconnect (configuration and live
+    /// traffic counters).
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
     }
 
     /// Number of shards (chips).
@@ -390,8 +465,13 @@ impl PimCluster {
 
     /// Executes a sequence of non-read logical instructions, streaming
     /// shard-local work to all shards concurrently. Consecutive
-    /// instructions accumulate into one job per shard; only inter-warp
-    /// moves that cross a chip boundary force a synchronization barrier.
+    /// instructions accumulate into per-shard queues; an inter-warp move
+    /// that crosses a chip boundary drains only the shards it touches
+    /// (source + destination warp owners), while every untouched shard
+    /// keeps streaming its queued instructions concurrently with the
+    /// transfer (the drain rule; see the crate-level docs —
+    /// [`DrainPolicy::Global`] restores the PR-1 all-shard barrier for A/B
+    /// measurement).
     ///
     /// # Errors
     ///
@@ -411,7 +491,7 @@ impl PimCluster {
                 });
             }
         }
-        let mut queues: Vec<Vec<Instruction>> = vec![Vec::new(); self.shards()];
+        let mut sched = BatchScheduler::new(self);
         for instr in instrs {
             match instr {
                 Instruction::Read { .. } => unreachable!("rejected by the validation pass"),
@@ -423,22 +503,28 @@ impl PimCluster {
                     target,
                 } => {
                     for (s, t) in self.plan.split_target(target) {
-                        queues[s].push(Instruction::RType {
-                            op: *op,
-                            dtype: *dtype,
-                            dst: *dst,
-                            srcs: *srcs,
-                            target: t,
-                        });
+                        sched.enqueue(
+                            s,
+                            Instruction::RType {
+                                op: *op,
+                                dtype: *dtype,
+                                dst: *dst,
+                                srcs: *srcs,
+                                target: t,
+                            },
+                        );
                     }
                 }
                 Instruction::Write { reg, value, target } => {
                     for (s, t) in self.plan.split_target(target) {
-                        queues[s].push(Instruction::Write {
-                            reg: *reg,
-                            value: *value,
-                            target: t,
-                        });
+                        sched.enqueue(
+                            s,
+                            Instruction::Write {
+                                reg: *reg,
+                                value: *value,
+                                target: t,
+                            },
+                        );
                     }
                 }
                 Instruction::MoveRows {
@@ -449,13 +535,16 @@ impl PimCluster {
                     warps,
                 } => {
                     for (s, w) in self.plan.split_warps(warps) {
-                        queues[s].push(Instruction::MoveRows {
-                            src: *src,
-                            dst: *dst,
-                            src_rows: *src_rows,
-                            dst_rows: *dst_rows,
-                            warps: w,
-                        });
+                        sched.enqueue(
+                            s,
+                            Instruction::MoveRows {
+                                src: *src,
+                                dst: *dst,
+                                src_rows: *src_rows,
+                                dst_rows: *dst_rows,
+                                warps: w,
+                            },
+                        );
                     }
                 }
                 Instruction::MoveWarps {
@@ -466,60 +555,41 @@ impl PimCluster {
                     warps,
                     dist,
                 } => {
-                    let (local, cross) = self.route_move_warps(warps, *dist);
-                    for (s, w) in local {
-                        queues[s].push(Instruction::MoveWarps {
-                            src: *src,
-                            dst: *dst,
-                            row_src: *row_src,
-                            row_dst: *row_dst,
-                            warps: w,
-                            dist: *dist,
-                        });
+                    let route = self.plan.route_move_warps(warps, *dist);
+                    for &(s, w) in &route.local {
+                        sched.enqueue(
+                            s,
+                            Instruction::MoveWarps {
+                                src: *src,
+                                dst: *dst,
+                                row_src: *row_src,
+                                row_dst: *row_dst,
+                                warps: w,
+                                dist: *dist,
+                            },
+                        );
                     }
-                    if !cross.is_empty() {
-                        // Barrier: flush pending shard work, then perform
-                        // the host-mediated inter-chip transfer.
-                        self.flush(&mut queues)?;
-                        self.cross_move(&cross, *src, *dst, *row_src, *row_dst)?;
+                    if !route.cross.is_empty() {
+                        let touched = match self.interconnect.config().drain {
+                            DrainPolicy::Touched => route.touched_shards(&self.plan),
+                            DrainPolicy::Global => vec![true; self.shards()],
+                        };
+                        self.interconnect.record_barrier(sched.busy(&touched));
+                        sched.barrier(&touched)?;
+                        self.cross_move(&route.cross, *src, *dst, *row_src, *row_dst)?;
                     }
                 }
             }
         }
-        self.flush(&mut queues)
+        sched.finish()
     }
 
-    fn flush(&self, queues: &mut [Vec<Instruction>]) -> Result<(), ClusterError> {
-        let jobs: Vec<(usize, Vec<Instruction>)> = queues
-            .iter_mut()
-            .enumerate()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(s, q)| (s, std::mem::take(q)))
-            .collect();
-        self.submit_all_wait(jobs)
-    }
-
-    /// Partitions a `MoveWarps` into shard-local sub-moves and cross-shard
-    /// `(source, destination)` global warp pairs. A sub-move that only
-    /// partially crosses its shard boundary is split at the boundary
-    /// ([`ShardPlan::split_move`]): the in-shard part stays a native
-    /// single-cycle move; only the crossing warps pay for host staging.
-    fn route_move_warps(&self, warps: &pim_arch::RangeMask, dist: i32) -> (LocalMoves, CrossPairs) {
-        let mut local = Vec::new();
-        let mut cross = Vec::new();
-        for (shard, lmask) in self.plan.split_warps(warps) {
-            let (native, crossing) = self.plan.split_move(shard, &lmask, dist);
-            if let Some(mask) = native {
-                local.push((shard, mask));
-            }
-            cross.extend(crossing);
-        }
-        (local, cross)
-    }
-
-    /// Host-mediated inter-chip transfer: gather every source word, then
-    /// scatter to the destinations. Source and destination warp sets are
-    /// disjoint (H-tree rule), so the two phases cannot conflict.
+    /// Inter-chip transfer over the modeled interconnect: crossing pairs
+    /// are grouped into one message per `(source, destination)` shard pair
+    /// — one gathered read burst and one scattered write burst each — with
+    /// every burst's cycle cost accounted to [`TrafficStats`]. Source and
+    /// destination warp sets are disjoint (H-tree rule), so the gather and
+    /// scatter phases cannot conflict.
     fn cross_move(
         &self,
         pairs: &[(u32, u32)],
@@ -528,14 +598,29 @@ impl PimCluster {
         row_src: u32,
         row_dst: u32,
     ) -> Result<(), ClusterError> {
-        let locs: Vec<GlobalLoc> = pairs.iter().map(|&(s, _)| (s, row_src, src)).collect();
-        let values = self.gather(&locs)?;
-        let writes: Vec<(u32, u32, u8, u32)> = pairs
-            .iter()
-            .zip(values)
-            .map(|(&(_, d), v)| (d, row_dst, dst, v))
-            .collect();
-        self.scatter(&writes)
+        match self.interconnect.config().staging {
+            Staging::Batched => {
+                self.interconnect.record_transfer(&self.plan, pairs);
+                let locs: Vec<GlobalLoc> = pairs.iter().map(|&(s, _)| (s, row_src, src)).collect();
+                let values = self.gather(&locs)?;
+                let writes: Vec<GlobalWrite> = pairs
+                    .iter()
+                    .zip(values)
+                    .map(|(&(_, d), v)| GlobalWrite::new(d, row_dst, dst, v))
+                    .collect();
+                self.scatter(&writes)
+            }
+            Staging::PerWord => {
+                // The PR-1 path: one host round trip per crossing word pair,
+                // each its own single-word message.
+                for &(s, d) in pairs {
+                    self.interconnect.record_burst(1);
+                    let value = self.gather(&[(s, row_src, src)])?[0];
+                    self.scatter(&[GlobalWrite::new(d, row_dst, dst, value)])?;
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Reads many global `(warp, row, register)` locations, one shard job
@@ -580,16 +665,16 @@ impl PimCluster {
         Ok(out)
     }
 
-    /// Writes many global `(warp, row, register, value)` locations, one
-    /// shard job per involved shard, all in flight concurrently.
+    /// Writes many [`GlobalWrite`] cells, one shard job per involved shard,
+    /// all in flight concurrently.
     ///
     /// # Errors
     ///
     /// Returns addressing or shard errors.
-    pub fn scatter(&self, writes: &[(u32, u32, u8, u32)]) -> Result<(), ClusterError> {
+    pub fn scatter(&self, writes: &[GlobalWrite]) -> Result<(), ClusterError> {
         let mut per: Vec<Vec<Instruction>> = vec![Vec::new(); self.shards()];
-        for &(warp, row, reg, value) in writes {
-            let shard = self.plan.shard_of_warp(warp);
+        for w in writes {
+            let shard = self.plan.shard_of_warp(w.warp);
             if shard >= self.shards() {
                 return Err(ClusterError::ShardIndex {
                     shard,
@@ -597,9 +682,9 @@ impl PimCluster {
                 });
             }
             per[shard].push(Instruction::Write {
-                reg,
-                value,
-                target: pim_isa::ThreadRange::single(self.plan.local_warp(warp), row),
+                reg: w.reg,
+                value: w.value,
+                target: pim_isa::ThreadRange::single(self.plan.local_warp(w.warp), w.row),
             });
         }
         self.submit_all_wait(per.into_iter().enumerate().collect())
@@ -669,15 +754,21 @@ impl PimCluster {
     pub fn stats(&self) -> Result<ClusterStats, ClusterError> {
         let mut shards = self.control(|reply| Job::Stats { reply })?;
         shards.sort_by_key(|s| s.shard);
-        Ok(ClusterStats { shards })
+        Ok(ClusterStats {
+            shards,
+            traffic: self.interconnect.traffic(),
+        })
     }
 
-    /// Resets every shard simulator's profiling counters.
+    /// Resets every shard simulator's profiling counters, along with the
+    /// interconnect's traffic counters (chip cycles and link cycles bound
+    /// the same measurement region).
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::Disconnected`] if a worker died.
     pub fn reset_profilers(&self) -> Result<(), ClusterError> {
+        self.interconnect.reset();
         self.control(|reply| Job::ResetProfiler { reply })
             .map(|_| ())
     }
@@ -855,7 +946,9 @@ mod tests {
     fn cross_shard_move_matches_gather_scatter() {
         let c = cluster4();
         // Seed distinct values in register 0, row 2 of every warp.
-        let writes: Vec<(u32, u32, u8, u32)> = (0..16).map(|w| (w, 2, 0, 1000 + w)).collect();
+        let writes: Vec<GlobalWrite> = (0..16)
+            .map(|w| GlobalWrite::new(w, 2, 0, 1000 + w))
+            .collect();
         c.scatter(&writes).unwrap();
         // Upper half -> lower half: every pair crosses a shard boundary.
         c.execute(&Instruction::MoveWarps {
@@ -877,7 +970,7 @@ mod tests {
     #[test]
     fn intra_shard_move_stays_native() {
         let c = cluster4();
-        c.scatter(&[(4, 0, 0, 7777)]).unwrap();
+        c.scatter(&[GlobalWrite::new(4, 0, 0, 7777)]).unwrap();
         // Warp 4 -> warp 5: both on shard 1, no host transfer.
         c.execute(&Instruction::MoveWarps {
             src: 0,
@@ -906,7 +999,11 @@ mod tests {
         let c = cluster4();
         // Warps {1, 2} shift by +2: warp 1 -> 3 stays on shard 0 (native
         // move), warp 2 -> 4 crosses into shard 1 (host staging).
-        c.scatter(&[(1, 0, 0, 111), (2, 0, 0, 222)]).unwrap();
+        c.scatter(&[
+            GlobalWrite::new(1, 0, 0, 111),
+            GlobalWrite::new(2, 0, 0, 222),
+        ])
+        .unwrap();
         c.execute(&Instruction::MoveWarps {
             src: 0,
             dst: 1,
@@ -1128,16 +1225,17 @@ mod tests {
     #[test]
     fn reduce_combines_across_shards() {
         let c = cluster4();
-        let writes: Vec<(u32, u32, u8, u32)> = (0..16u32)
-            .map(|w| (w, 0, 0, (w as f32 + 1.0).to_bits()))
+        let writes: Vec<GlobalWrite> = (0..16u32)
+            .map(|w| GlobalWrite::new(w, 0, 0, (w as f32 + 1.0).to_bits()))
             .collect();
         c.scatter(&writes).unwrap();
         let locs: Vec<GlobalLoc> = (0..16u32).map(|w| (w, 0, 0)).collect();
         assert_eq!(c.reduce_f32(&locs, Combine::Sum).unwrap(), 136.0);
         assert_eq!(c.reduce_f32(&locs, Combine::Min).unwrap(), 1.0);
         assert_eq!(c.reduce_f32(&locs, Combine::Max).unwrap(), 16.0);
-        let iwrites: Vec<(u32, u32, u8, u32)> =
-            (0..16u32).map(|w| (w, 1, 1, w.wrapping_sub(8))).collect();
+        let iwrites: Vec<GlobalWrite> = (0..16u32)
+            .map(|w| GlobalWrite::new(w, 1, 1, w.wrapping_sub(8)))
+            .collect();
         c.scatter(&iwrites).unwrap();
         let ilocs: Vec<GlobalLoc> = (0..16u32).map(|w| (w, 1, 1)).collect();
         assert_eq!(c.reduce_i32(&ilocs, Combine::Min).unwrap(), -8);
@@ -1193,5 +1291,215 @@ mod tests {
     fn cluster_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PimCluster>();
+    }
+
+    /// Builds a 4-chip cluster with explicit interconnect policies.
+    fn cluster4_with(staging: Staging, drain: DrainPolicy) -> PimCluster {
+        PimCluster::with_interconnect(
+            PimConfig::small().with_crossbars(4),
+            4,
+            ParallelismMode::default(),
+            InterconnectConfig {
+                staging,
+                drain,
+                ..InterconnectConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_interconnect_rejected() {
+        let err = PimCluster::with_interconnect(
+            PimConfig::small().with_crossbars(4),
+            4,
+            ParallelismMode::default(),
+            InterconnectConfig {
+                link_bits: 0,
+                ..InterconnectConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidInterconnect { .. }));
+    }
+
+    #[test]
+    fn cross_move_records_traffic() {
+        let c = cluster4();
+        // Warps 8..=15 -> 0..=7: 8 crossing pairs over two (src, dst) shard
+        // pairs, (2,0) and (3,1).
+        c.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 1,
+            row_src: 0,
+            row_dst: 0,
+            warps: RangeMask::new(8, 15, 1).unwrap(),
+            dist: -8,
+        })
+        .unwrap();
+        let t = c.stats().unwrap().traffic;
+        assert_eq!(t.messages, 2, "one burst per (src, dst) shard pair");
+        assert_eq!(t.cross_words, 8);
+        // Default link: 128 bits wide, latency 8 -> 8 + ceil(4*32/128) = 9
+        // cycles per 4-word burst.
+        assert_eq!(t.link_cycles, 2 * (8 + 1));
+        assert_eq!(t.barriers, 1);
+        // Nothing was queued ahead of the move, so no queues drained.
+        assert_eq!(t.drained_queues, 0);
+        // Counters reset with the profilers (one measurement region).
+        c.reset_profilers().unwrap();
+        assert_eq!(c.stats().unwrap().traffic, TrafficStats::default());
+    }
+
+    #[test]
+    fn intra_shard_move_records_no_traffic() {
+        let c = cluster4();
+        c.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 0,
+            row_src: 0,
+            row_dst: 1,
+            warps: RangeMask::single(4),
+            dist: 1,
+        })
+        .unwrap();
+        assert_eq!(c.stats().unwrap().traffic, TrafficStats::default());
+    }
+
+    #[test]
+    fn barrier_drains_only_touched_shards() {
+        let c = cluster4();
+        // Queue work on every shard, then cross between shards 0 and 1
+        // only: exactly two queues drain. Under the global policy all four
+        // (busy) queues drain.
+        let all = ThreadRange::all(c.logical_config());
+        let batch = [
+            Instruction::Write {
+                reg: 0,
+                value: 3,
+                target: all,
+            },
+            Instruction::MoveWarps {
+                src: 0,
+                dst: 1,
+                row_src: 0,
+                row_dst: 0,
+                warps: RangeMask::new(2, 3, 1).unwrap(),
+                dist: 2,
+            },
+        ];
+        c.execute_batch(&batch).unwrap();
+        let t = c.stats().unwrap().traffic;
+        assert_eq!(t.barriers, 1);
+        assert_eq!(t.drained_queues, 2, "only shards 0 and 1 are touched");
+
+        let g = cluster4_with(Staging::Batched, DrainPolicy::Global);
+        g.execute_batch(&batch).unwrap();
+        let t = g.stats().unwrap().traffic;
+        assert_eq!(t.barriers, 1);
+        assert_eq!(t.drained_queues, 4, "global policy drains every shard");
+    }
+
+    #[test]
+    fn staging_and_drain_policies_are_equivalent() {
+        // The same cross-heavy batch must leave identical memory under
+        // every staging x drain combination; only the traffic model
+        // differs.
+        let batch = |c: &PimCluster| {
+            let all = ThreadRange::all(c.logical_config());
+            let writes: Vec<GlobalWrite> = (0..16)
+                .map(|w| GlobalWrite::new(w, 0, 0, 100 + w))
+                .collect();
+            c.scatter(&writes).unwrap();
+            c.execute_batch(&[
+                Instruction::Write {
+                    reg: 1,
+                    value: 5,
+                    target: all,
+                },
+                // Shift the lower half up by 8 (every pair crosses chips).
+                Instruction::MoveWarps {
+                    src: 0,
+                    dst: 2,
+                    row_src: 0,
+                    row_dst: 0,
+                    warps: RangeMask::new(0, 7, 1).unwrap(),
+                    dist: 8,
+                },
+                Instruction::RType {
+                    op: RegOp::Add,
+                    dtype: DType::Int32,
+                    dst: 3,
+                    srcs: [1, 2, 0],
+                    target: ThreadRange::new(
+                        RangeMask::new(8, 15, 1).unwrap(),
+                        RangeMask::single(0),
+                    ),
+                },
+            ])
+            .unwrap();
+            let locs: Vec<GlobalLoc> = (8..16).map(|w| (w, 0, 3)).collect();
+            c.gather(&locs).unwrap()
+        };
+        let reference = batch(&cluster4());
+        assert_eq!(reference, (0..8).map(|w| 105 + w).collect::<Vec<u32>>());
+        for staging in [Staging::Batched, Staging::PerWord] {
+            for drain in [DrainPolicy::Touched, DrainPolicy::Global] {
+                let c = cluster4_with(staging, drain);
+                assert_eq!(
+                    batch(&c),
+                    reference,
+                    "{staging:?}/{drain:?} diverged from the default policy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_word_staging_counts_one_message_per_pair() {
+        let c = cluster4_with(Staging::PerWord, DrainPolicy::Touched);
+        c.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 1,
+            row_src: 0,
+            row_dst: 0,
+            warps: RangeMask::new(8, 15, 1).unwrap(),
+            dist: -8,
+        })
+        .unwrap();
+        let t = c.stats().unwrap().traffic;
+        assert_eq!(t.messages, 8, "per-word staging sends one message per pair");
+        assert_eq!(t.cross_words, 8);
+        // Each single-word message pays the full latency: 8 x (8 + 1).
+        assert_eq!(t.link_cycles, 8 * (8 + 1));
+    }
+
+    #[test]
+    fn global_write_loc_parity() {
+        let w = GlobalWrite::new(9, 5, 2, 42);
+        assert_eq!(w.loc(), (9, 5, 2));
+        let c = cluster4();
+        c.scatter(&[w]).unwrap();
+        assert_eq!(c.gather(&[w.loc()]).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn modeled_latency_includes_link_cycles() {
+        let c = cluster4();
+        c.execute(&Instruction::MoveWarps {
+            src: 0,
+            dst: 1,
+            row_src: 0,
+            row_dst: 0,
+            warps: RangeMask::new(8, 15, 1).unwrap(),
+            dist: -8,
+        })
+        .unwrap();
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats.modeled_latency_cycles(),
+            stats.critical_path_cycles() + stats.traffic.link_cycles
+        );
+        assert!(stats.traffic.link_cycles > 0);
     }
 }

@@ -21,6 +21,12 @@ pub enum ClusterError {
         /// Requested number of shards.
         shards: usize,
     },
+    /// The chip-to-chip interconnect model was configured with unusable
+    /// parameters (e.g. a zero-width link).
+    InvalidInterconnect {
+        /// Human-readable description.
+        reason: String,
+    },
     /// A shard index was out of range.
     ShardIndex {
         /// Offending index.
@@ -48,6 +54,9 @@ impl fmt::Display for ClusterError {
             ClusterError::Invalid(e) => write!(f, "invalid logical instruction: {e}"),
             ClusterError::InvalidShardCount { shards } => {
                 write!(f, "invalid shard count {shards} (need at least 1)")
+            }
+            ClusterError::InvalidInterconnect { reason } => {
+                write!(f, "invalid interconnect model: {reason}")
             }
             ClusterError::ShardIndex { shard, shards } => {
                 write!(f, "shard index {shard} out of range for {shards} shards")

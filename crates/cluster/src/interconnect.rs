@@ -1,0 +1,306 @@
+//! Modeled chip-to-chip interconnect.
+//!
+//! PR 1 staged every cross-chip `MoveWarps` through the host one
+//! gather/scatter word pair at a time. This module models the links a real
+//! multi-chip deployment would have: crossing word pairs are grouped into
+//! one *message* per `(source shard, destination shard)` pair — one
+//! gathered read burst and one scattered write burst — and every burst is
+//! charged a modeled cycle cost
+//!
+//! ```text
+//! cost(n words) = latency + ceil(n · WORD_BITS / link_bits)
+//! ```
+//!
+//! accumulated into [`TrafficStats::link_cycles`]. The per-word path is
+//! kept behind [`Staging::PerWord`] so benchmarks can A/B the two
+//! (`BENCH_cluster.json`, group `move_cross`), and the scheduler's global
+//! barrier survives behind [`DrainPolicy::Global`] for the same reason.
+
+use crate::ShardPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits per transferred word (`u32` cells).
+pub const WORD_BITS: u64 = 32;
+
+/// How crossing word pairs are staged over the links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Staging {
+    /// One message per `(source shard, destination shard)` pair carrying
+    /// every word the pair exchanges: one gathered read burst on the source
+    /// chip and one scattered write burst on the destination chip.
+    #[default]
+    Batched,
+    /// One message — and one host round trip — per word pair: the PR-1
+    /// behaviour, kept for A/B benchmarking against [`Staging::Batched`].
+    PerWord,
+}
+
+/// Which shard queues a crossing move forces to drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainPolicy {
+    /// Only shards owning a crossing source or destination warp drain;
+    /// untouched shards keep streaming their queued instructions while the
+    /// transfer is in flight.
+    #[default]
+    Touched,
+    /// Every shard queue drains at every crossing move: the PR-1 global
+    /// barrier, kept for A/B benchmarking against [`DrainPolicy::Touched`].
+    Global,
+}
+
+/// Geometry and policy of the modeled chip-to-chip interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterconnectConfig {
+    /// Link width: bits moved per link cycle (default 128).
+    pub link_bits: u32,
+    /// Fixed per-message latency in link cycles (default 8).
+    pub latency: u64,
+    /// Message granularity (default [`Staging::Batched`]).
+    pub staging: Staging,
+    /// Barrier scope at crossing moves (default [`DrainPolicy::Touched`]).
+    pub drain: DrainPolicy,
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        InterconnectConfig {
+            link_bits: 128,
+            latency: 8,
+            staging: Staging::default(),
+            drain: DrainPolicy::default(),
+        }
+    }
+}
+
+impl InterconnectConfig {
+    /// Checks the configuration is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a parameter is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.link_bits == 0 {
+            return Err("interconnect link width must be at least 1 bit".into());
+        }
+        Ok(())
+    }
+
+    /// Modeled cycle cost of one burst of `words` words over a link.
+    pub fn burst_cycles(&self, words: u64) -> u64 {
+        self.latency + (words * WORD_BITS).div_ceil(u64::from(self.link_bits))
+    }
+}
+
+/// One burst over a directed chip-to-chip link: every crossing word pair a
+/// `MoveWarps` exchanges between one source and one destination shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageGroup {
+    /// Shard the words are gathered from.
+    pub src_shard: usize,
+    /// Shard the words are scattered to.
+    pub dst_shard: usize,
+    /// Global `(source, destination)` warp pairs carried by this burst.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// Interconnect and scheduler traffic counters, aggregated cluster-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bursts sent over the links (in [`Staging::PerWord`] mode every word
+    /// pair is its own message).
+    pub messages: u64,
+    /// Cross-chip words moved.
+    pub cross_words: u64,
+    /// Modeled link cycles spent on those messages
+    /// ([`InterconnectConfig::burst_cycles`] summed over bursts).
+    pub link_cycles: u64,
+    /// Crossing moves that forced shard queues to drain.
+    pub barriers: u64,
+    /// Shard queues those barriers actually drained: shards inside the
+    /// barrier's scope ([`DrainPolicy::Global`] = all shards,
+    /// [`DrainPolicy::Touched`] = the crossing pairs' owners) that had
+    /// pending or in-flight work to wait for. A barrier hitting only idle
+    /// shards drains zero queues — the gap between the two policies on a
+    /// busy cluster is the scheduler's win.
+    pub drained_queues: u64,
+}
+
+/// The modeled interconnect: configuration plus live traffic accounting.
+///
+/// Counters are host-side atomics — recording from the cluster's `&self`
+/// execution paths needs no locking.
+#[derive(Debug, Default)]
+pub struct Interconnect {
+    cfg: InterconnectConfig,
+    messages: AtomicU64,
+    cross_words: AtomicU64,
+    link_cycles: AtomicU64,
+    barriers: AtomicU64,
+    drained_queues: AtomicU64,
+}
+
+impl Interconnect {
+    /// Builds an interconnect with the given geometry/policy.
+    pub fn new(cfg: InterconnectConfig) -> Self {
+        Interconnect {
+            cfg,
+            ..Interconnect::default()
+        }
+    }
+
+    /// The interconnect's configuration.
+    pub fn config(&self) -> &InterconnectConfig {
+        &self.cfg
+    }
+
+    /// Groups crossing `(source, destination)` global warp pairs into one
+    /// [`MessageGroup`] per `(source shard, destination shard)` pair, in
+    /// first-appearance order (deterministic for a deterministic input).
+    pub fn group(&self, plan: &ShardPlan, pairs: &[(u32, u32)]) -> Vec<MessageGroup> {
+        let mut groups: Vec<MessageGroup> = Vec::new();
+        for &(src, dst) in pairs {
+            let key = (plan.shard_of_warp(src), plan.shard_of_warp(dst));
+            match groups
+                .iter_mut()
+                .find(|g| (g.src_shard, g.dst_shard) == key)
+            {
+                Some(g) => g.pairs.push((src, dst)),
+                None => groups.push(MessageGroup {
+                    src_shard: key.0,
+                    dst_shard: key.1,
+                    pairs: vec![(src, dst)],
+                }),
+            }
+        }
+        groups
+    }
+
+    /// Accounts one batched transfer: one burst per
+    /// [`MessageGroup`](Interconnect::group) present in `pairs`, sized by
+    /// that group's word count.
+    pub fn record_transfer(&self, plan: &ShardPlan, pairs: &[(u32, u32)]) {
+        for g in self.group(plan, pairs) {
+            self.record_burst(g.pairs.len() as u64);
+        }
+    }
+
+    /// Accounts one burst of `words` words; returns its modeled cycle cost.
+    pub fn record_burst(&self, words: u64) -> u64 {
+        let cycles = self.cfg.burst_cycles(words);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.cross_words.fetch_add(words, Ordering::Relaxed);
+        self.link_cycles.fetch_add(cycles, Ordering::Relaxed);
+        cycles
+    }
+
+    /// Accounts one crossing-move barrier that drained `drained` shard
+    /// queues.
+    pub fn record_barrier(&self, drained: u64) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+        self.drained_queues.fetch_add(drained, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn traffic(&self) -> TrafficStats {
+        TrafficStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            cross_words: self.cross_words.load(Ordering::Relaxed),
+            link_cycles: self.link_cycles.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            drained_queues: self.drained_queues.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the traffic counters (the start of a measurement region).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.cross_words.store(0, Ordering::Relaxed);
+        self.link_cycles.store(0, Ordering::Relaxed);
+        self.barriers.store(0, Ordering::Relaxed);
+        self.drained_queues.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::PimConfig;
+
+    #[test]
+    fn burst_cost_model() {
+        let cfg = InterconnectConfig::default();
+        // 128-bit link moves 4 words per cycle on top of the fixed latency.
+        assert_eq!(cfg.burst_cycles(1), 8 + 1);
+        assert_eq!(cfg.burst_cycles(4), 8 + 1);
+        assert_eq!(cfg.burst_cycles(5), 8 + 2);
+        let narrow = InterconnectConfig {
+            link_bits: 8,
+            latency: 2,
+            ..InterconnectConfig::default()
+        };
+        assert_eq!(narrow.burst_cycles(3), 2 + 12);
+    }
+
+    #[test]
+    fn validate_rejects_zero_width_link() {
+        let cfg = InterconnectConfig {
+            link_bits: 0,
+            ..InterconnectConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        assert!(InterconnectConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn groups_by_shard_pair_in_first_appearance_order() {
+        let plan = ShardPlan::new(&PimConfig::small().with_crossbars(4), 4).unwrap();
+        let ic = Interconnect::default();
+        // Shard pairs (0,1), (0,1), (1,2), (0,1), (3,0): three groups.
+        let pairs = [(0, 5), (1, 6), (4, 9), (2, 7), (15, 0)];
+        let groups = ic.group(&plan, &pairs);
+        assert_eq!(groups.len(), 3);
+        assert_eq!((groups[0].src_shard, groups[0].dst_shard), (0, 1));
+        assert_eq!(groups[0].pairs, vec![(0, 5), (1, 6), (2, 7)]);
+        assert_eq!((groups[1].src_shard, groups[1].dst_shard), (1, 2));
+        assert_eq!(groups[1].pairs, vec![(4, 9)]);
+        assert_eq!((groups[2].src_shard, groups[2].dst_shard), (3, 0));
+        assert_eq!(groups[2].pairs, vec![(15, 0)]);
+        // Grouping is pure planning: no traffic recorded yet.
+        assert_eq!(ic.traffic(), TrafficStats::default());
+    }
+
+    #[test]
+    fn record_transfer_matches_group_accounting() {
+        let plan = ShardPlan::new(&PimConfig::small().with_crossbars(4), 4).unwrap();
+        let pairs = [(0, 5), (1, 6), (4, 9), (2, 7), (15, 0)];
+        let by_groups = Interconnect::default();
+        for g in by_groups.group(&plan, &pairs) {
+            by_groups.record_burst(g.pairs.len() as u64);
+        }
+        let aggregated = Interconnect::default();
+        aggregated.record_transfer(&plan, &pairs);
+        assert_eq!(aggregated.traffic(), by_groups.traffic());
+        assert_eq!(aggregated.traffic().messages, 3);
+        assert_eq!(aggregated.traffic().cross_words, 5);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let ic = Interconnect::new(InterconnectConfig {
+            link_bits: 32,
+            latency: 4,
+            ..InterconnectConfig::default()
+        });
+        assert_eq!(ic.record_burst(8), 4 + 8);
+        assert_eq!(ic.record_burst(1), 4 + 1);
+        ic.record_barrier(2);
+        let t = ic.traffic();
+        assert_eq!(t.messages, 2);
+        assert_eq!(t.cross_words, 9);
+        assert_eq!(t.link_cycles, 17);
+        assert_eq!(t.barriers, 1);
+        assert_eq!(t.drained_queues, 2);
+        ic.reset();
+        assert_eq!(ic.traffic(), TrafficStats::default());
+    }
+}

@@ -18,9 +18,25 @@
 //!   any number of client threads.
 //! * [`PimCluster::execute`]/[`PimCluster::execute_batch`] — transparent
 //!   routing of logical instructions, including inter-warp moves: moves
-//!   within a chip stay native, moves crossing a chip boundary fall back to
-//!   host-mediated [`PimCluster::gather`]/[`PimCluster::scatter`] (standing
-//!   in for a chip-to-chip interconnect).
+//!   within a chip stay native, moves crossing a chip boundary go over the
+//!   modeled [`Interconnect`].
+//! * [`Interconnect`]/[`InterconnectConfig`] — the chip-to-chip link model:
+//!   crossing word pairs batch into one message per
+//!   `(source, destination)` shard pair (one gathered read burst + one
+//!   scattered write burst), each charged
+//!   `latency + ceil(words × 32 / link_bits)` link cycles into
+//!   [`TrafficStats`].
+//! * Dependency-aware scheduling — **the drain rule**: a crossing move
+//!   drains only the shards owning its crossing source/destination warps
+//!   (their queued work is submitted and awaited before the transfer);
+//!   every untouched shard's queue is launched asynchronously and keeps
+//!   streaming *during* the transfer. This is sound because the H-tree
+//!   move rule keeps a move's source and destination warp sets disjoint,
+//!   and each shard's job channel is FIFO — concurrent work can only live
+//!   on shards whose cells the transfer neither reads nor writes.
+//!   [`DrainPolicy::Global`] and [`Staging::PerWord`] preserve the PR-1
+//!   behaviours for A/B benchmarks (`BENCH_cluster.json`, groups
+//!   `move_cross` and `move_mixed`).
 //! * [`Combine`]/[`PimCluster::reduce_f32`]/[`PimCluster::reduce_i32`] —
 //!   cross-shard combining: gather per-shard partials and fold on the host.
 //! * [`PimCluster::stats`] — per-shard telemetry (simulator profiler,
@@ -66,10 +82,16 @@
 
 mod cluster;
 mod error;
+mod interconnect;
 mod plan;
+pub(crate) mod sched;
 
 pub use cluster::{
-    fold_f32, fold_i32, ClusterStats, Combine, GlobalLoc, JobTicket, PimCluster, ShardStats,
+    fold_f32, fold_i32, ClusterStats, Combine, GlobalLoc, GlobalWrite, JobTicket, PimCluster,
+    ShardStats,
 };
 pub use error::ClusterError;
-pub use plan::ShardPlan;
+pub use interconnect::{
+    DrainPolicy, Interconnect, InterconnectConfig, MessageGroup, Staging, TrafficStats, WORD_BITS,
+};
+pub use plan::{MoveRoute, ShardPlan};

@@ -13,6 +13,43 @@ use pim_arch::{PimConfig, RangeMask};
 use pim_isa::ThreadRange;
 use std::ops::Range;
 
+/// A routed `MoveWarps`: the shard-local native sub-moves plus the global
+/// warp pairs that cross a chip boundary, as produced by
+/// [`ShardPlan::route_move_warps`]. Together they cover every
+/// `(source, destination)` pair of the logical move exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveRoute {
+    /// Shard-local sub-moves `(shard, local warp mask)` whose destinations
+    /// stay on the same chip: these keep native single-cycle movement.
+    pub local: Vec<(usize, RangeMask)>,
+    /// Cross-shard `(source, destination)` global warp pairs: these go over
+    /// the interconnect.
+    pub cross: Vec<(u32, u32)>,
+}
+
+impl MoveRoute {
+    /// Marks the shards the crossing pairs touch — the owners of their
+    /// source and destination warps. This is exactly the set a
+    /// dependency-aware scheduler must drain before staging the transfer;
+    /// every other shard may keep streaming.
+    ///
+    /// Warps outside the plan's geometry are ignored: routing an
+    /// *unvalidated* move whose destinations fall off the cluster yields
+    /// pairs no shard owns (the cluster's execute paths validate against
+    /// the logical geometry before routing, so they never see such pairs).
+    pub fn touched_shards(&self, plan: &ShardPlan) -> Vec<bool> {
+        let mut touched = vec![false; plan.shards()];
+        for &(src, dst) in &self.cross {
+            for warp in [src, dst] {
+                if let Some(t) = touched.get_mut(plan.shard_of_warp(warp)) {
+                    *t = true;
+                }
+            }
+        }
+        touched
+    }
+}
+
 /// Partition of the cluster's flat element/warp range across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
@@ -114,6 +151,25 @@ impl ShardPlan {
             .into_iter()
             .map(|(s, warps)| (s, ThreadRange::new(warps, t.rows)))
             .collect()
+    }
+
+    /// Partitions a logical `MoveWarps` (global warp mask + uniform
+    /// distance) into shard-local native sub-moves and cross-shard warp
+    /// pairs. A sub-move that only partially crosses its shard boundary is
+    /// split at the boundary ([`ShardPlan::split_move`]): the in-shard part
+    /// stays a native single-cycle move; only the crossing warps go over
+    /// the interconnect.
+    pub fn route_move_warps(&self, warps: &RangeMask, dist: i32) -> MoveRoute {
+        let mut local = Vec::new();
+        let mut cross = Vec::new();
+        for (shard, lmask) in self.split_warps(warps) {
+            let (native, crossing) = self.split_move(shard, &lmask, dist);
+            if let Some(mask) = native {
+                local.push((shard, mask));
+            }
+            cross.extend(crossing);
+        }
+        MoveRoute { local, cross }
     }
 
     /// Splits one shard's local sub-move at the chip boundary.
@@ -294,6 +350,18 @@ mod tests {
     }
 
     #[test]
+    fn touched_shards_ignores_out_of_range_destinations() {
+        // An unvalidated move off the end of the cluster must not panic
+        // the planning helper: warp 15 + 4 has no owner and is skipped.
+        let p = plan4();
+        let route = p.route_move_warps(&RangeMask::single(15), 4);
+        assert_eq!(route.touched_shards(&p), vec![false, false, false, true]);
+        // Negative overflow (warp 0 - 1 wraps in u32 space) likewise.
+        let route = p.route_move_warps(&RangeMask::single(0), -1);
+        assert_eq!(route.touched_shards(&p), vec![true, false, false, false]);
+    }
+
+    #[test]
     fn partition_elements_covers_range() {
         let p = plan4();
         let parts = p.partition_elements(700);
@@ -332,6 +400,63 @@ mod tests {
             }
             let expect: Vec<u32> = mask.iter().collect();
             prop_assert_eq!(covered, expect);
+        }
+
+        /// For an arbitrary warp mask and distance, the local + cross
+        /// partition of [`ShardPlan::route_move_warps`] covers every
+        /// `(source, destination)` pair of the logical move exactly once,
+        /// and no native sub-move straddles a shard boundary (every local
+        /// destination stays inside `[0, warps_per_shard)`).
+        #[test]
+        fn route_move_is_exact_pair_cover(
+            start_raw in 0u32..1024, count_raw in 0u32..1024, step in 1u32..9,
+            crossbars in 1usize..9, shards in 1usize..6, dist_raw in 0i64..2048,
+        ) {
+            let total = (crossbars * shards) as u32;
+            let start = start_raw % total;
+            let max_count = (total - 1 - start) / step + 1;
+            let count = 1 + count_raw % max_count;
+            let mask = RangeMask::strided(start, count, step).unwrap();
+            // Distances keeping every destination inside [0, total).
+            let lo = -(mask.start() as i64);
+            let hi = (total - 1 - mask.stop()) as i64;
+            let dist = (lo + dist_raw % (hi - lo + 1)) as i32;
+            let cfg = PimConfig::small().with_crossbars(crossbars);
+            let p = ShardPlan::new(&cfg, shards).unwrap();
+            let route = p.route_move_warps(&mask, dist);
+            let mut pairs: Vec<(u32, u32)> = route.cross.clone();
+            for &(s, d) in &route.cross {
+                // Crossing pairs are the ones that change chips (unless the
+                // move is degenerate, dist 0, which can never cross).
+                prop_assert!(p.shard_of_warp(s) != p.shard_of_warp(d) || dist == 0);
+            }
+            for (shard, local) in &route.local {
+                let base = (*shard * crossbars) as u32;
+                prop_assert_eq!(local.step(), mask.step());
+                for w in local.iter() {
+                    let ld = w as i64 + dist as i64;
+                    prop_assert!(
+                        (0..crossbars as i64).contains(&ld),
+                        "native sub-move straddles the shard boundary"
+                    );
+                    pairs.push((base + w, base + ld as u32));
+                }
+            }
+            pairs.sort_unstable();
+            let mut expect: Vec<(u32, u32)> = mask
+                .iter()
+                .map(|w| (w, (w as i64 + dist as i64) as u32))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(pairs, expect);
+            // The touched-shard set is exactly the crossing pairs' owners.
+            let touched = route.touched_shards(&p);
+            for (s, t) in touched.iter().enumerate() {
+                let expect_touched = route.cross.iter().any(|&(src, dst)| {
+                    p.shard_of_warp(src) == s || p.shard_of_warp(dst) == s
+                });
+                prop_assert_eq!(*t, expect_touched, "shard {}", s);
+            }
         }
     }
 }

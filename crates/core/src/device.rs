@@ -3,7 +3,7 @@ use crate::tensor::{AllocGuard, Tensor};
 use crate::{CoreError, Result};
 use parking_lot::Mutex;
 use pim_arch::PimConfig;
-use pim_cluster::{ClusterStats, PimCluster};
+use pim_cluster::{ClusterStats, GlobalWrite, InterconnectConfig, PimCluster};
 use pim_driver::{Driver, ParallelismMode};
 use pim_isa::{DType, Instruction};
 use pim_sim::{PimSimulator, Profiler};
@@ -98,13 +98,34 @@ impl Device {
     }
 
     /// Creates a cluster-backed device with an explicit driver parallelism
-    /// mode.
+    /// mode and the default chip-to-chip interconnect model.
     ///
     /// # Errors
     ///
     /// See [`cluster`](Device::cluster).
     pub fn cluster_with_mode(cfg: PimConfig, shards: usize, mode: ParallelismMode) -> Result<Self> {
-        let cluster = PimCluster::with_mode(cfg, shards, mode)?;
+        Device::cluster_with_interconnect(cfg, shards, mode, InterconnectConfig::default())
+    }
+
+    /// Creates a cluster-backed device with explicit driver parallelism and
+    /// chip-to-chip interconnect models. The interconnect's link
+    /// width/latency set the modeled cycle cost of cross-chip transfers;
+    /// its staging/drain policies select transfer batching and the
+    /// scheduler's barrier scope (see [`pim_cluster::InterconnectConfig`]).
+    /// The resulting traffic counters surface through
+    /// [`Device::cluster_stats`] as [`ClusterStats::traffic`].
+    ///
+    /// # Errors
+    ///
+    /// See [`cluster`](Device::cluster); additionally fails for an unusable
+    /// interconnect model (e.g. a zero-width link).
+    pub fn cluster_with_interconnect(
+        cfg: PimConfig,
+        shards: usize,
+        mode: ParallelismMode,
+        icfg: InterconnectConfig,
+    ) -> Result<Self> {
+        let cluster = PimCluster::with_interconnect(cfg, shards, mode, icfg)?;
         let logical = cluster.logical_config().clone();
         Ok(Device {
             inner: Arc::new(DeviceInner {
@@ -131,7 +152,9 @@ impl Device {
     }
 
     /// Per-shard telemetry when this device is cluster-backed, `None` for a
-    /// single-chip device.
+    /// single-chip device. Includes the interconnect's traffic counters
+    /// ([`ClusterStats::traffic`]): cross-chip messages/words, modeled link
+    /// cycles, barriers hit and shard queues drained.
     ///
     /// # Panics
     ///
@@ -287,17 +310,17 @@ impl Device {
         }
     }
 
-    /// Writes many `(warp, row, register, value)` locations. Cluster-backed
-    /// devices scatter with one concurrent job per shard.
-    pub(crate) fn write_many(&self, writes: &[(u32, u32, u8, u32)]) -> Result<()> {
+    /// Writes many [`GlobalWrite`] cells. Cluster-backed devices scatter
+    /// with one concurrent job per shard.
+    pub(crate) fn write_many(&self, writes: &[GlobalWrite]) -> Result<()> {
         match &self.inner.engine {
             Engine::Single(d) => {
                 let mut d = d.lock();
-                for &(warp, row, reg, value) in writes {
+                for w in writes {
                     d.execute(&Instruction::Write {
-                        reg,
-                        value,
-                        target: pim_isa::ThreadRange::single(warp, row),
+                        reg: w.reg,
+                        value: w.value,
+                        target: pim_isa::ThreadRange::single(w.warp, w.row),
                     })?;
                 }
                 Ok(())

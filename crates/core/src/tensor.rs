@@ -343,12 +343,12 @@ impl Tensor {
     /// Writes the whole view from an iterator of raw words (exactly one
     /// value per element, in order) as a single bulk scatter.
     pub(crate) fn store_raw(&self, values: impl IntoIterator<Item = u32>) -> Result<()> {
-        let writes: Vec<(u32, u32, u8, u32)> = values
+        let writes: Vec<pim_cluster::GlobalWrite> = values
             .into_iter()
             .enumerate()
             .map(|(i, bits)| {
                 let (warp, row) = self.warp_row(i);
-                (warp, row, self.reg(), bits)
+                pim_cluster::GlobalWrite::new(warp, row, self.reg(), bits)
             })
             .collect();
         assert_eq!(

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --release --example cluster_serve`
 
-use pypim::{Device, PimConfig, Result, Tensor};
+use pypim::driver::ParallelismMode;
+use pypim::{Device, InterconnectConfig, PimConfig, Result, Tensor};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
@@ -67,7 +68,16 @@ fn payload(cid: usize, req: usize) -> Vec<f32> {
 }
 
 fn main() -> Result<()> {
-    let dev = Device::cluster(PimConfig::small(), SHARDS)?;
+    // Explicit interconnect model: a 128-bit chip-to-chip link with 8
+    // cycles of per-message latency, batched-burst staging, and the
+    // dependency-aware drain rule (only shards a transfer touches wait).
+    let icfg = InterconnectConfig::default();
+    let dev = Device::cluster_with_interconnect(
+        PimConfig::small(),
+        SHARDS,
+        ParallelismMode::default(),
+        icfg,
+    )?;
     println!(
         "cluster: {} chips x {} crossbars x {} rows = {} logical threads",
         dev.shards(),
@@ -127,6 +137,40 @@ fn main() -> Result<()> {
                 s.shard, s.profiler.cycles, s.issued.total, s.cache_hits, s.cache_misses,
             );
         }
+    }
+
+    // Cross-chip traffic demo: shift a whole-memory tensor by one shard's
+    // worth of elements, so every moved warp crosses a chip boundary and
+    // goes over the modeled interconnect.
+    dev.reset_counters();
+    let t = dev.arange_i32(REQUEST_ELEMS)?;
+    let rolled = pypim::shifted(&t, (REQUEST_ELEMS / SHARDS) as i64)?;
+    assert_eq!(
+        rolled.get_i32(0)?,
+        (REQUEST_ELEMS / SHARDS) as i32,
+        "cross-chip shift must preserve values"
+    );
+    if let Some(stats) = dev.cluster_stats() {
+        let t = stats.traffic;
+        println!(
+            "interconnect ({}-bit links, {} cycle latency): {} messages, \
+             {} cross-chip words, {} link cycles; {} barriers drained {} \
+             shard queues",
+            icfg.link_bits,
+            icfg.latency,
+            t.messages,
+            t.cross_words,
+            t.link_cycles,
+            t.barriers,
+            t.drained_queues,
+        );
+        println!(
+            "modeled end-to-end latency: {} cycles ({} chip critical path + \
+             {} link)",
+            stats.modeled_latency_cycles(),
+            stats.critical_path_cycles(),
+            t.link_cycles,
+        );
     }
     Ok(())
 }

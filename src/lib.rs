@@ -81,5 +81,8 @@ pub use pim_isa as isa;
 pub use pim_sim as sim;
 
 pub use pim_arch::{PimConfig, RangeMask};
-pub use pim_cluster::{ClusterStats, Combine, PimCluster, ShardPlan};
+pub use pim_cluster::{
+    ClusterStats, Combine, DrainPolicy, GlobalWrite, Interconnect, InterconnectConfig, PimCluster,
+    ShardPlan, Staging, TrafficStats,
+};
 pub use pypim_core::*;

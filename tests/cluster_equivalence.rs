@@ -127,6 +127,42 @@ fn views_and_movement_are_bit_identical() {
 }
 
 #[test]
+fn cross_heavy_moves_are_bit_identical() {
+    // Whole-shard shifts: every moved warp crosses a chip boundary on the
+    // 4-shard device, so this exercises the interconnect's batched staging
+    // and the dependency-aware drain end to end, in both directions and
+    // mixed with element work between the crossings.
+    assert_equivalent(|dev| {
+        let t = dev.from_slice_i32(&int_inputs(1024))?;
+        let up = pypim::shifted(&t, 256)?; // one whole shard upward
+        let down = pypim::shifted(&t, -256)?; // one whole shard downward
+        let mixed = (&up + &down)?;
+        let far = pypim::shifted(&mixed, 512)?; // two shards at once
+        let mut out = mixed.to_raw_vec()?;
+        out.extend(far.to_raw_vec()?);
+        Ok(out)
+    });
+}
+
+#[test]
+fn cross_shard_rotate_chain_is_bit_identical() {
+    // A rotate built from two opposing shifts plus a partial (boundary
+    // splitting) shift: sub-moves that only partially cross a chip edge
+    // must split into a native part and an interconnect part.
+    assert_equivalent(|dev| {
+        let t = dev.from_slice_f32(&float_inputs(512))?;
+        let k = 192; // not a multiple of the 256-element shard: splits
+        let hi = pypim::shifted(&t, k as i64)?;
+        let lo = pypim::shifted(&t, k as i64 - 512)?;
+        let rot = (&hi + &lo)?; // rotation by k (each element from one side)
+        let s = rot.sum_f32()?;
+        let mut out = rot.to_raw_vec()?;
+        out.push(s.to_bits());
+        Ok(out)
+    });
+}
+
+#[test]
 fn scan_is_bit_identical() {
     assert_equivalent(|dev| {
         let t = dev.from_slice_f32(&float_inputs(120))?;
