@@ -1,0 +1,200 @@
+//! Serving-gateway throughput: the same multi-client request workload
+//! driven (a) concurrently through the `pim-serve` gateway — one host
+//! thread, every session in flight at once, each fused request pipeline in
+//! its own chip-local placement window — and (b) sequentially, one request
+//! at a time through the blocking tensor API.
+//!
+//! The headline numbers are **modeled-clock** (`PimConfig::clock_hz`,
+//! 300 MHz): requests/s against the cluster's modeled end-to-end latency
+//! (`ClusterStats::modeled_latency_cycles` — the busiest chip plus link
+//! cycles). Under the model the chips genuinely run in parallel, so
+//! concurrent chip-local sessions finish in ~1/shards the cycles of a
+//! sequential client that drives one chip at a time; the wall-clock groups
+//! (`wall_*`) track host overhead and show real speedups only on hosts
+//! with enough cores to run the shard workers concurrently (see the
+//! cluster bench's scaling note).
+//!
+//! Per-request modeled latency percentiles (p50/p99) model all requests
+//! arriving at once: request `j` of the `R` hosted on a chip whose run
+//! took `C` cycles completes at `(j+1)·C/R` — queueing included, so
+//! oversubscribing chips (8 sessions on 4 chips) visibly stretches p99.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use futures::executor::block_on;
+use futures::future::join_all;
+use pim_arch::PimConfig;
+use pim_serve::{ClusterClient, DeviceServeExt, ServeConfig};
+use pypim_core::{Device, RegOp, Result, Tensor};
+
+const SHARDS: usize = 4;
+const REQUESTS_PER_SESSION: usize = 2;
+
+/// Per-chip geometry: 4 crossbars x 64 rows -> a 16-warp, 1024-thread
+/// cluster (small enough for the full sampling loop).
+fn shard_cfg() -> PimConfig {
+    PimConfig::small().with_crossbars(4)
+}
+
+fn cluster_dev() -> Device {
+    Device::cluster(shard_cfg(), SHARDS).unwrap()
+}
+
+fn payload(cid: usize, req: usize, elems: usize) -> Vec<f32> {
+    (0..elems)
+        .map(|i| ((cid * 31 + req * 7 + i) % 13) as f32 * 0.25)
+        .collect()
+}
+
+/// The request program, fused into one gateway submission plus one read:
+/// `sum(x * y + x)` (Figure 12 plus a reduction).
+async fn request_fused(client: &ClusterClient, values: &[f32]) -> Result<f32> {
+    let mut plan = client.plan();
+    let x = plan.upload_f32(values)?;
+    let y = plan.full_f32(values.len(), 2.0)?;
+    let xy = plan.mul(&x, &y)?;
+    let z = plan.add(&xy, &x)?;
+    let s = plan.reduce(&z, RegOp::Add)?;
+    plan.run().await?;
+    Ok(client.to_vec_f32(&s).await?[0])
+}
+
+fn request_sync(dev: &Device, values: &[f32]) -> Result<f32> {
+    let x = dev.from_slice_f32(values)?;
+    let y = dev.full_f32(values.len(), 2.0)?;
+    let z: Tensor = (&(&x * &y)? + &x)?;
+    z.sum_f32()
+}
+
+/// Serves `sessions x REQUESTS_PER_SESSION` requests concurrently through
+/// the gateway.
+fn run_gateway(clients: &[ClusterClient], elems: usize) {
+    block_on(join_all(clients.iter().enumerate().map(
+        |(cid, client)| async move {
+            for req in 0..REQUESTS_PER_SESSION {
+                let sum = request_fused(client, &payload(cid, req, elems))
+                    .await
+                    .unwrap();
+                assert!(sum.is_finite());
+            }
+        },
+    )));
+}
+
+fn run_sequential(dev: &Device, sessions: usize, elems: usize) {
+    for cid in 0..sessions {
+        for req in 0..REQUESTS_PER_SESSION {
+            let sum = request_sync(dev, &payload(cid, req, elems)).unwrap();
+            assert!(sum.is_finite());
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Per-request modeled completion latencies (seconds) given each chip's
+/// cycle count for the run: the `R_k` requests hosted on chip `k` complete
+/// at `(j+1)·C_k/R_k` cycles, `j = 0..R_k` (all requests arrive at once).
+fn modeled_latencies(shard_cycles: &[(u64, usize)], clock_hz: f64) -> Vec<f64> {
+    let mut lats = Vec::new();
+    for &(cycles, hosted) in shard_cycles {
+        for j in 0..hosted {
+            let done = cycles as f64 * (j + 1) as f64 / hosted as f64;
+            lats.push(done / clock_hz);
+        }
+    }
+    lats.sort_by(|a, b| a.total_cmp(b));
+    lats
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let clock_hz = shard_cfg().clock_hz;
+    let mut group = c.benchmark_group("serve");
+    for sessions in [4usize, 8] {
+        let dev = cluster_dev();
+        let total_warps = dev.config().crossbars as u32;
+        let session_warps = total_warps / sessions as u32;
+        let warps_per_shard = (total_warps as usize / SHARDS) as u32;
+        let elems = session_warps as usize * dev.config().rows;
+        let requests = (sessions * REQUESTS_PER_SESSION) as u64;
+
+        // --- Concurrent serving through the gateway (fused pipelines,
+        //     chip-local session windows).
+        let gateway = dev.serve(ServeConfig {
+            session_warps,
+            ..ServeConfig::default()
+        });
+        let clients: Vec<ClusterClient> =
+            (0..sessions).map(|_| gateway.session().unwrap()).collect();
+        run_gateway(&clients, elems); // warm routine caches
+        dev.reset_counters();
+        run_gateway(&clients, elems);
+        let stats = dev.cluster_stats().unwrap();
+        let gw_modeled_s = stats.modeled_latency_cycles() as f64 / clock_hz;
+
+        // --- The same workload, one request at a time, blocking API.
+        let seq_dev = cluster_dev();
+        run_sequential(&seq_dev, 1, elems); // warm routine caches
+        seq_dev.reset_counters();
+        run_sequential(&seq_dev, sessions, elems);
+        let seq_stats = seq_dev.cluster_stats().unwrap();
+        let seq_modeled_s = seq_stats.modeled_latency_cycles() as f64 / clock_hz;
+
+        // Modeled-clock headline: requests/s on the modeled machine.
+        group.report_metric(
+            BenchmarkId::new("gateway", format!("{sessions}-sessions")),
+            gw_modeled_s,
+            Some(Throughput::Elements(requests)),
+        );
+        group.report_metric(
+            BenchmarkId::new("sequential", format!("{sessions}-sessions")),
+            seq_modeled_s,
+            Some(Throughput::Elements(requests)),
+        );
+
+        // Modeled per-request latency percentiles under full concurrency.
+        // Map each session to the chip hosting its window, count requests
+        // per chip, then spread each chip's cycles over its requests.
+        let mut hosted = [0usize; SHARDS];
+        for client in &clients {
+            hosted[(client.window().warp_start / warps_per_shard) as usize] += REQUESTS_PER_SESSION;
+        }
+        let per_shard: Vec<(u64, usize)> = stats
+            .shards
+            .iter()
+            .map(|s| (s.profiler.cycles, hosted[s.shard]))
+            .filter(|&(_, h)| h > 0)
+            .collect();
+        let lats = modeled_latencies(&per_shard, clock_hz);
+        group.report_metric(
+            BenchmarkId::new("latency_p50", format!("{sessions}-sessions")),
+            percentile(&lats, 0.50),
+            None,
+        );
+        group.report_metric(
+            BenchmarkId::new("latency_p99", format!("{sessions}-sessions")),
+            percentile(&lats, 0.99),
+            None,
+        );
+
+        // --- Wall-clock trajectory (host-bound; shard workers need real
+        //     cores to overlap — see the module docs).
+        group.throughput(Throughput::Elements(requests));
+        group.bench_with_input(
+            BenchmarkId::new("wall_gateway", format!("{sessions}-sessions")),
+            &sessions,
+            |b, _| b.iter(|| run_gateway(&clients, elems)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wall_sequential", format!("{sessions}-sessions")),
+            &sessions,
+            |b, _| b.iter(|| run_sequential(&seq_dev, sessions, elems)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

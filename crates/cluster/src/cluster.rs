@@ -8,7 +8,11 @@ use pim_arch::{Backend, MicroOp, PimConfig};
 use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode, RoutineCache};
 use pim_isa::Instruction;
 use pim_sim::{PimSimulator, Profiler};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
 use std::thread::JoinHandle;
 
 /// Telemetry snapshot of one shard.
@@ -158,12 +162,68 @@ impl GlobalWrite {
 
 type ShardReply = Result<Vec<Option<u32>>, ClusterError>;
 
+/// Shared completion slot between a [`JobTicket`] and the shard worker
+/// executing its batch: the worker deposits the result, notifies blocking
+/// waiters ([`JobTicket::wait`]), and fires the waker a pending poll
+/// registered ([`JobTicket` as `Future`]).
+#[derive(Debug, Default)]
+struct TicketShared {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct TicketState {
+    result: Option<ShardReply>,
+    waker: Option<Waker>,
+}
+
+impl TicketShared {
+    fn deliver(&self, result: ShardReply) {
+        let waker = {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.result = Some(result);
+            self.cv.notify_all();
+            st.waker.take()
+        };
+        // Outside the lock: waking may immediately poll the ticket.
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Worker-side handle of a completion slot. Completing consumes it; if it
+/// is dropped un-completed (worker death, channel teardown mid-job), the
+/// drop guard delivers [`ClusterError::Disconnected`] so no waiter hangs.
+struct Completion {
+    shard: usize,
+    shared: Arc<TicketShared>,
+    done: bool,
+}
+
+impl Completion {
+    fn complete(mut self, result: ShardReply) {
+        self.done = true;
+        self.shared.deliver(result);
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if !self.done {
+            self.shared
+                .deliver(Err(ClusterError::Disconnected { shard: self.shard }));
+        }
+    }
+}
+
 enum Job {
     /// Execute macro-instructions in order, collecting per-instruction
     /// results (values for reads, `None` otherwise).
     Macro {
         instrs: Vec<Instruction>,
-        reply: Sender<ShardReply>,
+        reply: Completion,
     },
     /// Execute a batch of raw micro-operations through the shard backend's
     /// [`pim_arch::Backend::execute_batch`] (subject to its no-read
@@ -192,18 +252,46 @@ struct Worker {
     handle: Option<JoinHandle<()>>,
 }
 
-/// A pending batch submitted to one shard; [`wait`](JobTicket::wait) blocks
-/// until the shard worker has executed it.
+/// The chip-crossing remainder of a routed `MoveWarps`: the route (for its
+/// crossing pairs and touched-shard set) plus the move's register/row
+/// parameters.
+struct CrossSegment {
+    route: crate::MoveRoute,
+    src: u8,
+    dst: u8,
+    row_src: u32,
+    row_dst: u32,
+}
+
+/// A pending batch submitted to one shard.
+///
+/// The ticket is both a blocking handle ([`wait`](JobTicket::wait)) and a
+/// pollable [`Future`]: polling registers the task's waker in the
+/// completion slot, and the shard worker fires it the moment the batch
+/// finishes — no spinning, no blocked host thread. This is what lets one
+/// host thread keep many client batches in flight (see the `pim-serve`
+/// gateway).
 #[derive(Debug)]
 pub struct JobTicket {
     shard: usize,
-    rx: Receiver<ShardReply>,
+    shared: Arc<TicketShared>,
 }
 
 impl JobTicket {
     /// The shard this job was submitted to.
     pub fn shard(&self) -> usize {
         self.shard
+    }
+
+    /// Whether the shard worker has completed the batch (the result is
+    /// ready to collect without blocking).
+    pub fn is_done(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .result
+            .is_some()
     }
 
     /// Blocks until the batch completes, returning per-instruction results
@@ -214,9 +302,179 @@ impl JobTicket {
     /// Returns the first shard error, or [`ClusterError::Disconnected`] if
     /// the worker died.
     pub fn wait(self) -> Result<Vec<Option<u32>>, ClusterError> {
-        self.rx
-            .recv()
-            .unwrap_or(Err(ClusterError::Disconnected { shard: self.shard }))
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = st.result.take() {
+                return result;
+            }
+            st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Future for JobTicket {
+    type Output = ShardReply;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(result) = st.result.take() {
+            return Poll::Ready(result);
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// A set of in-flight per-shard jobs treated as one unit of work — the
+/// asynchronous counterpart of submit-all-then-wait. Produced by
+/// [`PimCluster::submit_batch`] and [`PimCluster::submit_scatter`].
+#[derive(Debug, Default)]
+pub struct JobSet {
+    pending: Vec<JobTicket>,
+    failed: Option<ClusterError>,
+}
+
+impl JobSet {
+    fn new(tickets: Vec<JobTicket>) -> Self {
+        JobSet {
+            pending: tickets,
+            failed: None,
+        }
+    }
+
+    /// An already-completed set (no shard work was needed).
+    pub fn ready() -> Self {
+        JobSet::default()
+    }
+
+    /// Blocks until every job completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard error.
+    pub fn wait(mut self) -> Result<(), ClusterError> {
+        for ticket in self.pending.drain(..) {
+            ticket.wait()?;
+        }
+        Ok(())
+    }
+}
+
+impl Future for JobSet {
+    type Output = Result<(), ClusterError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut still_pending = Vec::with_capacity(this.pending.len());
+        for mut ticket in this.pending.drain(..) {
+            match Pin::new(&mut ticket).poll(cx) {
+                Poll::Ready(Ok(_)) => {}
+                Poll::Ready(Err(e)) => {
+                    if this.failed.is_none() {
+                        this.failed = Some(e);
+                    }
+                }
+                Poll::Pending => still_pending.push(ticket),
+            }
+        }
+        this.pending = still_pending;
+        if this.pending.is_empty() {
+            Poll::Ready(match this.failed.take() {
+                None => Ok(()),
+                Some(e) => Err(e),
+            })
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// An in-flight cross-shard gather: per-shard read jobs plus the index
+/// mapping that reassembles their values in input order. Produced by
+/// [`PimCluster::submit_gather`].
+#[derive(Debug)]
+pub struct GatherTicket {
+    parts: Vec<(Vec<usize>, JobTicket)>,
+    out: Vec<u32>,
+    failed: Option<ClusterError>,
+}
+
+impl GatherTicket {
+    fn place(out: &mut [u32], indices: Vec<usize>, values: Vec<Option<u32>>) {
+        for (i, v) in indices.into_iter().zip(values) {
+            out[i] = v.expect("read returns a value");
+        }
+    }
+
+    /// Blocks until every shard's reads complete, returning the gathered
+    /// values in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard error.
+    pub fn wait(mut self) -> Result<Vec<u32>, ClusterError> {
+        for (indices, ticket) in self.parts.drain(..) {
+            let values = ticket.wait()?;
+            Self::place(&mut self.out, indices, values);
+        }
+        Ok(std::mem::take(&mut self.out))
+    }
+}
+
+impl Future for GatherTicket {
+    type Output = Result<Vec<u32>, ClusterError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut still_pending = Vec::with_capacity(this.parts.len());
+        for (indices, mut ticket) in this.parts.drain(..) {
+            match Pin::new(&mut ticket).poll(cx) {
+                Poll::Ready(Ok(values)) => Self::place(&mut this.out, indices, values),
+                Poll::Ready(Err(e)) => {
+                    if this.failed.is_none() {
+                        this.failed = Some(e);
+                    }
+                }
+                Poll::Pending => still_pending.push((indices, ticket)),
+            }
+        }
+        this.parts = still_pending;
+        if this.parts.is_empty() {
+            Poll::Ready(match this.failed.take() {
+                None => Ok(std::mem::take(&mut this.out)),
+                Some(e) => Err(e),
+            })
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Outcome of [`PimCluster::submit_batch`]: either every instruction was
+/// shard-local and the per-shard jobs are now in flight, or the batch
+/// contained a chip-crossing move (which needs host staging and scheduler
+/// barriers) and was executed inline before returning.
+#[derive(Debug)]
+pub enum Submission {
+    /// Per-shard jobs in flight; await or wait the [`JobSet`].
+    Tickets(JobSet),
+    /// The batch required cross-chip transfers and already executed
+    /// synchronously (a completed submission).
+    Inline,
+}
+
+impl Submission {
+    /// Blocks until the submission completes (no-op for [`Inline`]
+    /// submissions, which completed before they were returned).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard error.
+    pub fn wait(self) -> Result<(), ClusterError> {
+        match self {
+            Submission::Tickets(set) => set.wait(),
+            Submission::Inline => Ok(()),
+        }
     }
 }
 
@@ -415,22 +673,14 @@ impl PimCluster {
         shard: usize,
         instrs: Vec<Instruction>,
     ) -> Result<JobTicket, ClusterError> {
-        let (reply, rx) = channel();
+        let shared = Arc::new(TicketShared::default());
+        let reply = Completion {
+            shard,
+            shared: Arc::clone(&shared),
+            done: false,
+        };
         self.send(shard, Job::Macro { instrs, reply })?;
-        Ok(JobTicket { shard, rx })
-    }
-
-    fn submit_all_wait(&self, jobs: Vec<(usize, Vec<Instruction>)>) -> Result<(), ClusterError> {
-        let mut tickets = Vec::with_capacity(jobs.len());
-        for (shard, instrs) in jobs {
-            if !instrs.is_empty() {
-                tickets.push(self.submit(shard, instrs)?);
-            }
-        }
-        for t in tickets {
-            t.wait()?;
-        }
-        Ok(())
+        Ok(JobTicket { shard, shared })
     }
 
     /// Executes one *logical* macro-instruction addressed in global warp
@@ -479,10 +729,15 @@ impl PimCluster {
     /// must go through [`execute`](PimCluster::execute)), plus validation
     /// and shard errors.
     pub fn execute_batch(&self, instrs: &[Instruction]) -> Result<(), ClusterError> {
-        // Validate the whole batch before queueing anything: a validation
-        // or protocol error must mean *nothing* ran (a mid-batch failure
-        // would otherwise leave earlier instructions applied on some
-        // shards and discard ones still queued).
+        self.validate_batch(instrs)?;
+        self.execute_batch_validated(instrs)
+    }
+
+    /// Validates a whole non-read batch before anything is queued: a
+    /// validation or protocol error must mean *nothing* ran (a mid-batch
+    /// failure would otherwise leave earlier instructions applied on some
+    /// shards and discard ones still queued).
+    fn validate_batch(&self, instrs: &[Instruction]) -> Result<(), ClusterError> {
         for instr in instrs {
             instr.validate(&self.logical_cfg)?;
             if matches!(instr, Instruction::Read { .. }) {
@@ -491,97 +746,181 @@ impl PimCluster {
                 });
             }
         }
-        let mut sched = BatchScheduler::new(self);
-        for instr in instrs {
-            match instr {
-                Instruction::Read { .. } => unreachable!("rejected by the validation pass"),
-                Instruction::RType {
-                    op,
-                    dtype,
-                    dst,
-                    srcs,
-                    target,
-                } => {
-                    for (s, t) in self.plan.split_target(target) {
-                        sched.enqueue(
-                            s,
-                            Instruction::RType {
-                                op: *op,
-                                dtype: *dtype,
-                                dst: *dst,
-                                srcs: *srcs,
-                                target: t,
-                            },
-                        );
-                    }
+        Ok(())
+    }
+
+    /// Splits one validated logical instruction into its shard-local pieces
+    /// (emitted through `sink` as `(shard, local instruction)` pairs) and
+    /// returns the chip-crossing remainder of a `MoveWarps`, if any — the
+    /// one routing decision [`execute_batch`](PimCluster::execute_batch)
+    /// and [`submit_batch`](PimCluster::submit_batch) share.
+    fn split_local(
+        &self,
+        instr: &Instruction,
+        mut sink: impl FnMut(usize, Instruction),
+    ) -> Option<CrossSegment> {
+        match instr {
+            Instruction::Read { .. } => unreachable!("rejected by the validation pass"),
+            Instruction::RType {
+                op,
+                dtype,
+                dst,
+                srcs,
+                target,
+            } => {
+                for (s, t) in self.plan.split_target(target) {
+                    sink(
+                        s,
+                        Instruction::RType {
+                            op: *op,
+                            dtype: *dtype,
+                            dst: *dst,
+                            srcs: *srcs,
+                            target: t,
+                        },
+                    );
                 }
-                Instruction::Write { reg, value, target } => {
-                    for (s, t) in self.plan.split_target(target) {
-                        sched.enqueue(
-                            s,
-                            Instruction::Write {
-                                reg: *reg,
-                                value: *value,
-                                target: t,
-                            },
-                        );
-                    }
+                None
+            }
+            Instruction::Write { reg, value, target } => {
+                for (s, t) in self.plan.split_target(target) {
+                    sink(
+                        s,
+                        Instruction::Write {
+                            reg: *reg,
+                            value: *value,
+                            target: t,
+                        },
+                    );
                 }
-                Instruction::MoveRows {
-                    src,
-                    dst,
-                    src_rows,
-                    dst_rows,
-                    warps,
-                } => {
-                    for (s, w) in self.plan.split_warps(warps) {
-                        sched.enqueue(
-                            s,
-                            Instruction::MoveRows {
-                                src: *src,
-                                dst: *dst,
-                                src_rows: *src_rows,
-                                dst_rows: *dst_rows,
-                                warps: w,
-                            },
-                        );
-                    }
+                None
+            }
+            Instruction::MoveRows {
+                src,
+                dst,
+                src_rows,
+                dst_rows,
+                warps,
+            } => {
+                for (s, w) in self.plan.split_warps(warps) {
+                    sink(
+                        s,
+                        Instruction::MoveRows {
+                            src: *src,
+                            dst: *dst,
+                            src_rows: *src_rows,
+                            dst_rows: *dst_rows,
+                            warps: w,
+                        },
+                    );
                 }
-                Instruction::MoveWarps {
-                    src,
-                    dst,
-                    row_src,
-                    row_dst,
-                    warps,
-                    dist,
-                } => {
-                    let route = self.plan.route_move_warps(warps, *dist);
-                    for &(s, w) in &route.local {
-                        sched.enqueue(
-                            s,
-                            Instruction::MoveWarps {
-                                src: *src,
-                                dst: *dst,
-                                row_src: *row_src,
-                                row_dst: *row_dst,
-                                warps: w,
-                                dist: *dist,
-                            },
-                        );
-                    }
-                    if !route.cross.is_empty() {
-                        let touched = match self.interconnect.config().drain {
-                            DrainPolicy::Touched => route.touched_shards(&self.plan),
-                            DrainPolicy::Global => vec![true; self.shards()],
-                        };
-                        self.interconnect.record_barrier(sched.busy(&touched));
-                        sched.barrier(&touched)?;
-                        self.cross_move(&route.cross, *src, *dst, *row_src, *row_dst)?;
-                    }
+                None
+            }
+            Instruction::MoveWarps {
+                src,
+                dst,
+                row_src,
+                row_dst,
+                warps,
+                dist,
+            } => {
+                let route = self.plan.route_move_warps(warps, *dist);
+                for &(s, w) in &route.local {
+                    sink(
+                        s,
+                        Instruction::MoveWarps {
+                            src: *src,
+                            dst: *dst,
+                            row_src: *row_src,
+                            row_dst: *row_dst,
+                            warps: w,
+                            dist: *dist,
+                        },
+                    );
+                }
+                if route.cross.is_empty() {
+                    None
+                } else {
+                    Some(CrossSegment {
+                        route,
+                        src: *src,
+                        dst: *dst,
+                        row_src: *row_src,
+                        row_dst: *row_dst,
+                    })
                 }
             }
         }
+    }
+
+    fn execute_batch_validated(&self, instrs: &[Instruction]) -> Result<(), ClusterError> {
+        let mut sched = BatchScheduler::new(self);
+        for instr in instrs {
+            let cross = self.split_local(instr, |s, i| sched.enqueue(s, i));
+            if let Some(seg) = cross {
+                let touched = match self.interconnect.config().drain {
+                    DrainPolicy::Touched => seg.route.touched_shards(&self.plan),
+                    DrainPolicy::Global => vec![true; self.shards()],
+                };
+                self.interconnect.record_barrier(sched.busy(&touched));
+                sched.barrier(&touched)?;
+                self.cross_move(&seg.route.cross, seg.src, seg.dst, seg.row_src, seg.row_dst)?;
+            }
+        }
         sched.finish()
+    }
+
+    /// Whether [`submit_batch`](PimCluster::submit_batch) would stream this
+    /// batch asynchronously (`true`) or execute it inline because it
+    /// contains a chip-crossing move (`false`). Invalid batches report
+    /// `true` — their submission fails fast without executing anything.
+    pub fn batch_streams_async(&self, instrs: &[Instruction]) -> bool {
+        if self.validate_batch(instrs).is_err() {
+            return true;
+        }
+        instrs.iter().all(|i| match i {
+            Instruction::MoveWarps { warps, dist, .. } => {
+                self.plan.route_move_warps(warps, *dist).cross.is_empty()
+            }
+            _ => true,
+        })
+    }
+
+    /// Submits a batch of non-read logical instructions *without waiting*:
+    /// shard-local work is split per shard and one job per involved shard
+    /// goes in flight, observable through the returned [`JobSet`] — the
+    /// asynchronous counterpart of [`execute_batch`](PimCluster::execute_batch),
+    /// and the primitive the `pim-serve` gateway coalesces client batches
+    /// onto.
+    ///
+    /// A batch containing a chip-crossing move cannot stream asynchronously
+    /// (host staging needs scheduler barriers), so it executes inline and
+    /// the call returns [`Submission::Inline`] after it completed —
+    /// semantics are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] for reads, plus validation and
+    /// shard errors. Nothing runs if validation fails.
+    pub fn submit_batch(&self, instrs: &[Instruction]) -> Result<Submission, ClusterError> {
+        self.validate_batch(instrs)?;
+        let mut per: Vec<Vec<Instruction>> = vec![Vec::new(); self.shards()];
+        for instr in instrs {
+            let cross = self.split_local(instr, |s, i| per[s].push(i));
+            if cross.is_some() {
+                // Discard the split and run the whole batch through the
+                // barrier-aware scheduler instead.
+                self.execute_batch_validated(instrs)?;
+                return Ok(Submission::Inline);
+            }
+        }
+        let mut tickets = Vec::new();
+        for (shard, instrs) in per.into_iter().enumerate() {
+            if !instrs.is_empty() {
+                tickets.push(self.submit(shard, instrs)?);
+            }
+        }
+        Ok(Submission::Tickets(JobSet::new(tickets)))
     }
 
     /// Inter-chip transfer over the modeled interconnect: crossing pairs
@@ -631,6 +970,18 @@ impl PimCluster {
     ///
     /// Returns addressing or shard errors.
     pub fn gather(&self, locs: &[GlobalLoc]) -> Result<Vec<u32>, ClusterError> {
+        self.submit_gather(locs)?.wait()
+    }
+
+    /// Submits the per-shard read jobs of a gather *without waiting*; the
+    /// returned [`GatherTicket`] reassembles values in input order when
+    /// waited or awaited.
+    ///
+    /// # Errors
+    ///
+    /// Returns addressing or shard errors (on submission failure nothing is
+    /// partially observable — reads have no side effects).
+    pub fn submit_gather(&self, locs: &[GlobalLoc]) -> Result<GatherTicket, ClusterError> {
         let mut per: Vec<(Vec<usize>, Vec<Instruction>)> = (0..self.shards())
             .map(|_| (Vec::new(), Vec::new()))
             .collect();
@@ -649,20 +1000,17 @@ impl PimCluster {
                 row,
             });
         }
-        let mut tickets = Vec::new();
+        let mut parts = Vec::new();
         for (shard, (indices, instrs)) in per.into_iter().enumerate() {
             if !instrs.is_empty() {
-                tickets.push((indices, self.submit(shard, instrs)?));
+                parts.push((indices, self.submit(shard, instrs)?));
             }
         }
-        let mut out = vec![0u32; locs.len()];
-        for (indices, ticket) in tickets {
-            let values = ticket.wait()?;
-            for (i, v) in indices.into_iter().zip(values) {
-                out[i] = v.expect("read returns a value");
-            }
-        }
-        Ok(out)
+        Ok(GatherTicket {
+            parts,
+            out: vec![0u32; locs.len()],
+            failed: None,
+        })
     }
 
     /// Writes many [`GlobalWrite`] cells, one shard job per involved shard,
@@ -672,6 +1020,15 @@ impl PimCluster {
     ///
     /// Returns addressing or shard errors.
     pub fn scatter(&self, writes: &[GlobalWrite]) -> Result<(), ClusterError> {
+        self.submit_scatter(writes)?.wait()
+    }
+
+    /// Submits the per-shard write jobs of a scatter *without waiting*.
+    ///
+    /// # Errors
+    ///
+    /// Returns addressing or shard errors.
+    pub fn submit_scatter(&self, writes: &[GlobalWrite]) -> Result<JobSet, ClusterError> {
         let mut per: Vec<Vec<Instruction>> = vec![Vec::new(); self.shards()];
         for w in writes {
             let shard = self.plan.shard_of_warp(w.warp);
@@ -687,7 +1044,13 @@ impl PimCluster {
                 target: pim_isa::ThreadRange::single(self.plan.local_warp(w.warp), w.row),
             });
         }
-        self.submit_all_wait(per.into_iter().enumerate().collect())
+        let mut tickets = Vec::new();
+        for (shard, instrs) in per.into_iter().enumerate() {
+            if !instrs.is_empty() {
+                tickets.push(self.submit(shard, instrs)?);
+            }
+        }
+        Ok(JobSet::new(tickets))
     }
 
     /// Gathers float words from `locs` and folds them on the host — the
@@ -761,8 +1124,10 @@ impl PimCluster {
     }
 
     /// Resets every shard simulator's profiling counters, along with the
-    /// interconnect's traffic counters (chip cycles and link cycles bound
-    /// the same measurement region).
+    /// interconnect's traffic counters and every shard driver's
+    /// routine-cache hit/miss telemetry (chip cycles, link cycles, and
+    /// cache hit rates bound the same measurement region; compiled
+    /// routines themselves are kept).
     ///
     /// # Errors
     ///
@@ -823,7 +1188,7 @@ fn run_worker(shard: usize, mut driver: Driver<PimSimulator>, rx: Receiver<Job>)
                         }
                     }
                 }
-                let _ = reply.send(match failure {
+                reply.complete(match failure {
                     None => Ok(out),
                     Some(e) => Err(e),
                 });
@@ -855,6 +1220,10 @@ fn run_worker(shard: usize, mut driver: Driver<PimSimulator>, rx: Receiver<Job>)
             }
             Job::ResetProfiler { reply } => {
                 driver.backend_mut().reset_profiler();
+                // Hit/miss telemetry belongs to the same measurement
+                // region as the chip cycle counters; serving benchmarks
+                // must start from a clean slate.
+                driver.reset_cache_stats();
                 let _ = reply.send(());
             }
             Job::ResetIssued { reply } => {
@@ -1180,6 +1549,31 @@ mod tests {
     }
 
     #[test]
+    fn reset_profilers_clears_cache_telemetry() {
+        let c = cluster4();
+        let all = ThreadRange::all(c.logical_config());
+        let add = Instruction::RType {
+            op: RegOp::Add,
+            dtype: DType::Int32,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target: all,
+        };
+        c.execute(&add).unwrap();
+        assert_ne!(c.stats().unwrap().cache_stats(), (0, 0));
+        c.reset_profilers().unwrap();
+        assert_eq!(
+            c.stats().unwrap().cache_stats(),
+            (0, 0),
+            "hit/miss telemetry must reset with the profilers"
+        );
+        // The compiled-routine map survives: re-running the same routine
+        // hits on every shard, zero misses.
+        c.execute(&add).unwrap();
+        assert_eq!(c.stats().unwrap().cache_stats(), (c.shards() as u64, 0));
+    }
+
+    #[test]
     fn routine_compiles_once_per_cluster() {
         // The shard drivers share one compilation map: for every distinct
         // routine key the cluster records exactly one miss (the compiling
@@ -1291,6 +1685,137 @@ mod tests {
     fn cluster_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PimCluster>();
+        assert_send_sync::<JobTicket>();
+        assert_send_sync::<JobSet>();
+        assert_send_sync::<GatherTicket>();
+    }
+
+    /// Polls a future once with a flag-setting waker, returning the result
+    /// if ready plus whether the waker has fired so far.
+    fn poll_once<F: Future + Unpin>(
+        fut: &mut F,
+        fired: &Arc<std::sync::atomic::AtomicBool>,
+    ) -> Option<F::Output> {
+        struct Flag(Arc<std::sync::atomic::AtomicBool>);
+        impl std::task::Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let waker = std::task::Waker::from(Arc::new(Flag(Arc::clone(fired))));
+        let mut cx = Context::from_waker(&waker);
+        match Pin::new(fut).poll(&mut cx) {
+            Poll::Ready(out) => Some(out),
+            Poll::Pending => None,
+        }
+    }
+
+    #[test]
+    fn ticket_future_wakes_on_completion() {
+        let c = cluster4();
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut ticket = c
+            .submit(
+                1,
+                vec![Instruction::Write {
+                    reg: 0,
+                    value: 77,
+                    target: ThreadRange::single(0, 0),
+                }],
+            )
+            .unwrap();
+        // Poll until ready; completion must fire the registered waker
+        // rather than being silently dropped (no spinning needed in real
+        // executors — this loop only tolerates the race where the job
+        // finishes before the first poll registers a waker).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let result = loop {
+            if let Some(r) = poll_once(&mut ticket, &fired) {
+                break r;
+            }
+            while !fired.load(std::sync::atomic::Ordering::SeqCst) {
+                assert!(std::time::Instant::now() < deadline, "waker never fired");
+                std::thread::yield_now();
+            }
+            fired.store(false, std::sync::atomic::Ordering::SeqCst);
+        };
+        assert_eq!(result.unwrap(), vec![None]);
+        assert_eq!(c.gather(&[(4, 0, 0)]).unwrap(), vec![77]);
+    }
+
+    #[test]
+    fn submit_batch_streams_local_instructions() {
+        let c = cluster4();
+        let all = ThreadRange::all(c.logical_config());
+        let sub = c
+            .submit_batch(&[
+                Instruction::Write {
+                    reg: 0,
+                    value: 30,
+                    target: all,
+                },
+                Instruction::Write {
+                    reg: 1,
+                    value: 12,
+                    target: all,
+                },
+                Instruction::RType {
+                    op: RegOp::Add,
+                    dtype: DType::Int32,
+                    dst: 2,
+                    srcs: [0, 1, 0],
+                    target: all,
+                },
+            ])
+            .unwrap();
+        assert!(matches!(sub, Submission::Tickets(_)), "all shard-local");
+        sub.wait().unwrap();
+        assert_eq!(c.gather(&[(0, 0, 2), (15, 63, 2)]).unwrap(), vec![42, 42]);
+    }
+
+    #[test]
+    fn submit_batch_crossing_move_executes_inline() {
+        let c = cluster4();
+        c.scatter(&[GlobalWrite::new(8, 2, 0, 555)]).unwrap();
+        let sub = c
+            .submit_batch(&[Instruction::MoveWarps {
+                src: 0,
+                dst: 1,
+                row_src: 2,
+                row_dst: 2,
+                warps: RangeMask::single(8),
+                dist: -8,
+            }])
+            .unwrap();
+        // Crossing moves need host staging: the submission completed
+        // before returning.
+        assert!(matches!(sub, Submission::Inline));
+        assert_eq!(c.gather(&[(0, 2, 1)]).unwrap(), vec![555]);
+    }
+
+    #[test]
+    fn submit_gather_and_scatter_roundtrip_async() {
+        let c = cluster4();
+        let writes: Vec<GlobalWrite> = (0..16)
+            .map(|w| GlobalWrite::new(w, 1, 3, 900 + w))
+            .collect();
+        c.submit_scatter(&writes).unwrap().wait().unwrap();
+        let locs: Vec<GlobalLoc> = (0..16).map(|w| (w, 1, 3)).collect();
+        // Drive the gather ticket as a future to completion.
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut ticket = c.submit_gather(&locs).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let values = loop {
+            if let Some(r) = poll_once(&mut ticket, &fired) {
+                break r.unwrap();
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "gather never completed"
+            );
+            std::thread::yield_now();
+        };
+        assert_eq!(values, (900..916).collect::<Vec<u32>>());
     }
 
     /// Builds a 4-chip cluster with explicit interconnect policies.

@@ -87,8 +87,8 @@ mod plan;
 pub(crate) mod sched;
 
 pub use cluster::{
-    fold_f32, fold_i32, ClusterStats, Combine, GlobalLoc, GlobalWrite, JobTicket, PimCluster,
-    ShardStats,
+    fold_f32, fold_i32, ClusterStats, Combine, GatherTicket, GlobalLoc, GlobalWrite, JobSet,
+    JobTicket, PimCluster, ShardStats, Submission,
 };
 pub use error::ClusterError;
 pub use interconnect::{

@@ -22,6 +22,40 @@ pub struct Stripe {
     pub warps: u32,
 }
 
+/// A preferred warp window for allocations — the per-client placement of
+/// the serving gateway (§V-A dynamic memory management under concurrent
+/// clients).
+///
+/// Allocations carrying a hint are confined to the window first (any
+/// register), so one client's tensors co-locate with each other instead of
+/// with every other client's. Windows reserved through
+/// [`MemoryManager::reserve_window`] are *hard*: no other allocation —
+/// hinted elsewhere or unhinted — ever lands inside one, which both keeps
+/// concurrent sessions from exhausting each other's registers and
+/// guarantees that stripes an in-flight instruction plan references cannot
+/// be claimed by a different client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementHint {
+    /// First warp of the window.
+    pub warp_start: u32,
+    /// Number of consecutive warps.
+    pub warps: u32,
+}
+
+impl PlacementHint {
+    /// Whether two windows share any warp.
+    pub fn overlaps(&self, other: &PlacementHint) -> bool {
+        self.warp_start < other.warp_start + other.warps
+            && other.warp_start < self.warp_start + self.warps
+    }
+
+    /// Whether the warp range `[start, start + len)` lies inside the
+    /// window.
+    pub fn contains(&self, start: u32, len: u32) -> bool {
+        start >= self.warp_start && start + len <= self.warp_start + self.warps
+    }
+}
+
 /// Free-interval bookkeeping for one register index.
 #[derive(Debug, Default, Clone)]
 struct Intervals {
@@ -61,6 +95,38 @@ impl Intervals {
         self.claim_exact(start, len).then_some(start)
     }
 
+    /// Claims the first free range of `len` warps lying entirely within
+    /// `[lo, hi)`.
+    fn claim_first_within(&mut self, lo: u32, hi: u32, len: u32) -> Option<u32> {
+        let start = self.free.iter().find_map(|(&s, &l)| {
+            let cand = s.max(lo);
+            (cand + len <= (s + l).min(hi)).then_some(cand)
+        })?;
+        self.claim_exact(start, len).then_some(start)
+    }
+
+    /// Claims the first free range of `len` warps that avoids every
+    /// reserved window — the headroom rule for unhinted allocations.
+    fn claim_first_avoiding(&mut self, len: u32, reserved: &[PlacementHint]) -> Option<u32> {
+        let start = self.free.iter().find_map(|(&s, &l)| {
+            let end = s + l;
+            let mut pos = s;
+            while pos + len <= end {
+                match reserved
+                    .iter()
+                    .filter(|r| r.warp_start < pos + len && pos < r.warp_start + r.warps)
+                    .map(|r| r.warp_start + r.warps)
+                    .max()
+                {
+                    None => return Some(pos),
+                    Some(next) => pos = next,
+                }
+            }
+            None
+        })?;
+        self.claim_exact(start, len).then_some(start)
+    }
+
     /// Returns `[start, start+len)` to the free set, merging neighbors.
     fn release(&mut self, start: u32, len: u32) {
         let mut start = start;
@@ -95,6 +161,19 @@ pub struct MemoryManager {
     /// Rotating hint so consecutive allocations land in the same warp
     /// window on different registers (maximizing alignment).
     last_window: Option<(u32, u32)>,
+    /// Active per-client placement windows ([`reserve_window`]).
+    ///
+    /// [`reserve_window`]: MemoryManager::reserve_window
+    reserved: Vec<PlacementHint>,
+    /// Per-placement-window co-location hints: the most recent allocation
+    /// window *inside* each client window, so a session's consecutive
+    /// equal-sized allocations stack across registers (thread-aligned)
+    /// exactly like unhinted ones do globally.
+    hint_last: Vec<(PlacementHint, (u32, u32))>,
+    /// Rotating cursor spreading successive reservations across the warp
+    /// space — on a sharded device that naturally lands different clients
+    /// on different chips.
+    next_window: u32,
 }
 
 impl MemoryManager {
@@ -106,58 +185,185 @@ impl MemoryManager {
                 .collect(),
             total_warps: cfg.crossbars as u32,
             last_window: None,
+            reserved: Vec::new(),
+            hint_last: Vec::new(),
+            next_window: 0,
         }
     }
 
-    /// Allocates a stripe of `warps` warps, preferring the exact window of
-    /// `near` (so the new tensor is thread-aligned with the reference
-    /// tensor), then the most recent allocation window, then first fit.
+    /// Reserves a `warps`-warp window for one client session: the window is
+    /// window-aligned (its start is a multiple of `warps`), disjoint from
+    /// every other active reservation, and — while it stays reserved —
+    /// off-limits to every other allocation (see [`alloc`]'s hard-window
+    /// rule). Successive reservations rotate through the warp space.
+    /// Stripes that were already allocated inside the window stay valid;
+    /// only future foreign allocations are excluded.
+    ///
+    /// [`alloc`]: MemoryManager::alloc
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::OutOfMemory`] when no register has a
-    /// sufficiently large free range.
-    pub fn alloc(&mut self, warps: u32, near: Option<Stripe>) -> Result<Stripe> {
+    /// Returns [`CoreError::OutOfMemory`] when no disjoint window is left.
+    pub fn reserve_window(&mut self, warps: u32) -> Result<PlacementHint> {
         assert!(warps > 0);
         if warps > self.total_warps {
             return Err(CoreError::OutOfMemory {
                 elements: warps as usize,
             });
         }
-        // 1. Exact window of the reference stripe, any register.
-        let windows: Vec<(u32, u32)> = [near.map(|s| (s.warp_start, s.warps)), self.last_window]
-            .into_iter()
-            .flatten()
-            .filter(|&(_, w)| w == warps)
-            .collect();
-        for (start, _) in windows {
-            for (reg, iv) in self.per_reg.iter_mut().enumerate() {
-                if iv.claim_exact(start, warps) {
-                    let s = Stripe {
-                        reg: reg as u8,
-                        warp_start: start,
-                        warps,
-                    };
-                    self.last_window = Some((start, warps));
-                    return Ok(s);
-                }
-            }
-        }
-        // 2. First fit across registers.
-        for (reg, iv) in self.per_reg.iter_mut().enumerate() {
-            if let Some(start) = iv.claim_first(warps) {
-                let s = Stripe {
-                    reg: reg as u8,
-                    warp_start: start,
-                    warps,
-                };
-                self.last_window = Some((start, warps));
-                return Ok(s);
+        let slots = self.total_warps / warps;
+        let first_slot = (self.next_window / warps).min(slots - 1);
+        for i in 0..slots {
+            let start = ((first_slot + i) % slots) * warps;
+            let cand = PlacementHint {
+                warp_start: start,
+                warps,
+            };
+            if self.reserved.iter().all(|r| !r.overlaps(&cand)) {
+                self.reserved.push(cand);
+                self.next_window = (start + warps) % self.total_warps;
+                return Ok(cand);
             }
         }
         Err(CoreError::OutOfMemory {
             elements: warps as usize,
         })
+    }
+
+    /// Drops a window reservation (allocations inside it stay valid and
+    /// free normally; only the headroom claim ends).
+    pub fn release_window(&mut self, window: PlacementHint) {
+        if let Some(i) = self.reserved.iter().position(|r| *r == window) {
+            self.reserved.swap_remove(i);
+        }
+        if let Some(i) = self.hint_last.iter().position(|(h, _)| *h == window) {
+            self.hint_last.swap_remove(i);
+        }
+    }
+
+    /// Active window reservations (for telemetry and tests).
+    pub fn reserved_windows(&self) -> &[PlacementHint] {
+        &self.reserved
+    }
+
+    /// Allocates a stripe of `warps` warps.
+    ///
+    /// Preference order without a placement hint: the exact window of
+    /// `near` (so the new tensor is thread-aligned with the reference
+    /// tensor), then the most recent allocation window, then first fit.
+    ///
+    /// With a placement hint the search is: the `near` window, then the
+    /// session's own most recent window (so its tensors stack across
+    /// registers), then inside the hinted window (any register), then
+    /// outside it — and the global last-window hint is neither consulted
+    /// nor updated, so concurrent clients stop funneling into one shared
+    /// window.
+    ///
+    /// Reserved windows are **hard**: no allocation — hinted to a
+    /// different window, or unhinted — ever lands inside another client's
+    /// reservation; the request fails with `OutOfMemory` instead. (A
+    /// serving client clobbering a concurrent session's stripes — possibly
+    /// ones an in-flight instruction plan still references — would corrupt
+    /// both, so failing fast is the only safe answer.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no register has a
+    /// sufficiently large free range outside other clients' reservations.
+    pub fn alloc(
+        &mut self,
+        warps: u32,
+        near: Option<Stripe>,
+        hint: Option<PlacementHint>,
+    ) -> Result<Stripe> {
+        assert!(warps > 0);
+        if warps > self.total_warps {
+            return Err(CoreError::OutOfMemory {
+                elements: warps as usize,
+            });
+        }
+        // Windows of *other* clients: out of bounds for this allocation.
+        let foreign: Vec<PlacementHint> = self
+            .reserved
+            .iter()
+            .copied()
+            .filter(|r| hint != Some(*r))
+            .collect();
+        let permitted = |start: u32| {
+            foreign
+                .iter()
+                .all(|r| !(r.warp_start < start + warps && start < r.warp_start + r.warps))
+        };
+        // 1. Exact window of the reference stripe and of the most recent
+        //    allocation (global for unhinted callers, per client window
+        //    for hinted ones), any register.
+        let recent = match hint {
+            None => self.last_window,
+            Some(h) => self
+                .hint_last
+                .iter()
+                .find(|(hw, _)| *hw == h)
+                .map(|&(_, w)| w),
+        };
+        let windows: Vec<(u32, u32)> = [near.map(|s| (s.warp_start, s.warps)), recent]
+            .into_iter()
+            .flatten()
+            .filter(|&(start, w)| w == warps && permitted(start))
+            .collect();
+        for (start, _) in windows {
+            for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+                if iv.claim_exact(start, warps) {
+                    return Ok(self.note(reg, start, warps, hint));
+                }
+            }
+        }
+        // 2. Hinted: first fit inside the client's window (reservations
+        //    are disjoint, so the window cannot overlap a foreign one).
+        if let Some(h) = hint {
+            let (lo, hi) = (h.warp_start, h.warp_start + h.warps);
+            for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+                if let Some(start) = iv.claim_first_within(lo, hi, warps) {
+                    return Ok(self.note(reg, start, warps, hint));
+                }
+            }
+        }
+        // 3. First fit across registers, never inside a foreign window.
+        if foreign.is_empty() {
+            for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+                if let Some(start) = iv.claim_first(warps) {
+                    return Ok(self.note(reg, start, warps, hint));
+                }
+            }
+        } else {
+            for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+                if let Some(start) = iv.claim_first_avoiding(warps, &foreign) {
+                    return Ok(self.note(reg, start, warps, hint));
+                }
+            }
+        }
+        Err(CoreError::OutOfMemory {
+            elements: warps as usize,
+        })
+    }
+
+    /// Records the appropriate co-location hint (global or per client
+    /// window) and builds the stripe.
+    fn note(&mut self, reg: usize, start: u32, warps: u32, hint: Option<PlacementHint>) -> Stripe {
+        match hint {
+            None => self.last_window = Some((start, warps)),
+            Some(h) => {
+                if let Some(entry) = self.hint_last.iter_mut().find(|(hw, _)| *hw == h) {
+                    entry.1 = (start, warps);
+                } else {
+                    self.hint_last.push((h, (start, warps)));
+                }
+            }
+        }
+        Stripe {
+            reg: reg as u8,
+            warp_start: start,
+            warps,
+        }
     }
 
     /// Allocates a stripe covering exactly the window of `like` (any free
@@ -208,8 +414,8 @@ mod tests {
     fn alloc_free_roundtrip() {
         let mut m = mgr();
         let total = m.free_capacity();
-        let a = m.alloc(4, None).unwrap();
-        let b = m.alloc(4, None).unwrap();
+        let a = m.alloc(4, None, None).unwrap();
+        let b = m.alloc(4, None, None).unwrap();
         assert_eq!(m.free_capacity(), total - 8);
         m.free(a);
         m.free(b);
@@ -219,8 +425,8 @@ mod tests {
     #[test]
     fn consecutive_allocations_align() {
         let mut m = mgr();
-        let a = m.alloc(4, None).unwrap();
-        let b = m.alloc(4, None).unwrap();
+        let a = m.alloc(4, None, None).unwrap();
+        let b = m.alloc(4, None, None).unwrap();
         // Same warp window, different registers (the malloc behavior §V-A
         // describes for enabling parallelism).
         assert_eq!(a.warp_start, b.warp_start);
@@ -230,16 +436,16 @@ mod tests {
     #[test]
     fn reference_tensor_alignment() {
         let mut m = mgr();
-        let a = m.alloc(2, None).unwrap();
-        let _filler = m.alloc(8, None).unwrap();
-        let c = m.alloc(2, Some(a)).unwrap();
+        let a = m.alloc(2, None, None).unwrap();
+        let _filler = m.alloc(8, None, None).unwrap();
+        let c = m.alloc(2, Some(a), None).unwrap();
         assert_eq!(c.warp_start, a.warp_start);
     }
 
     #[test]
     fn alloc_like_claims_exact_window() {
         let mut m = mgr();
-        let a = m.alloc(3, None).unwrap();
+        let a = m.alloc(3, None, None).unwrap();
         let b = m.alloc_like(a).unwrap();
         assert_eq!((b.warp_start, b.warps), (a.warp_start, a.warps));
         assert_ne!(b.reg, a.reg);
@@ -251,22 +457,22 @@ mod tests {
         // 16 regs x 16 warps; take everything.
         let mut stripes = Vec::new();
         for _ in 0..16 {
-            stripes.push(m.alloc(16, None).unwrap());
+            stripes.push(m.alloc(16, None, None).unwrap());
         }
         assert!(matches!(
-            m.alloc(1, None),
+            m.alloc(1, None, None),
             Err(CoreError::OutOfMemory { .. })
         ));
         m.free(stripes.pop().unwrap());
-        assert!(m.alloc(16, None).is_ok());
+        assert!(m.alloc(16, None, None).is_ok());
     }
 
     #[test]
     fn interval_merging() {
         let mut m = mgr();
-        let a = m.alloc(5, None).unwrap();
-        let b = m.alloc(5, None).unwrap();
-        let c = m.alloc(6, None).unwrap();
+        let a = m.alloc(5, None, None).unwrap();
+        let b = m.alloc(5, None, None).unwrap();
+        let c = m.alloc(6, None, None).unwrap();
         // a, b, c may be on different regs; force same-reg fragmentation:
         let on_same_reg: Vec<Stripe> = [a, b, c].into_iter().filter(|s| s.reg == a.reg).collect();
         for s in on_same_reg {
@@ -276,7 +482,7 @@ mod tests {
         // three were on reg 0; otherwise at least the capacity accounting
         // holds.
         let cap = m.free_capacity();
-        let big = m.alloc(16, None).unwrap();
+        let big = m.alloc(16, None, None).unwrap();
         m.free(big);
         assert_eq!(m.free_capacity(), cap);
     }
@@ -284,6 +490,124 @@ mod tests {
     #[test]
     fn rejects_oversized() {
         let mut m = mgr();
-        assert!(m.alloc(17, None).is_err());
+        assert!(m.alloc(17, None, None).is_err());
+    }
+
+    #[test]
+    fn reservations_rotate_and_stay_disjoint() {
+        let mut m = mgr(); // 16 warps
+        let a = m.reserve_window(4).unwrap();
+        let b = m.reserve_window(4).unwrap();
+        let c = m.reserve_window(4).unwrap();
+        let d = m.reserve_window(4).unwrap();
+        for (i, w) in [a, b, c, d].iter().enumerate() {
+            assert_eq!(w.warp_start % 4, 0, "window {i} must be aligned");
+            for (j, o) in [a, b, c, d].iter().enumerate() {
+                if i != j {
+                    assert!(!w.overlaps(o), "windows {i} and {j} alias");
+                }
+            }
+        }
+        // The space is fully tiled: a fifth same-size session fails...
+        assert!(m.reserve_window(4).is_err());
+        // ...until one releases its window.
+        m.release_window(b);
+        let e = m.reserve_window(4).unwrap();
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn hinted_allocations_confine_to_window() {
+        let mut m = mgr();
+        let w = m.reserve_window(4).unwrap();
+        // Smaller-than-window allocations still land inside it.
+        for _ in 0..8 {
+            let s = m.alloc(2, None, Some(w)).unwrap();
+            assert!(
+                w.contains(s.warp_start, s.warps),
+                "stripe {s:?} escaped window {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hinted_allocations_stack_within_their_window() {
+        // Consecutive equal-sized session allocations must share a warp
+        // window on different registers (thread alignment), mirroring the
+        // global co-location rule — but tracked per client window.
+        let mut m = mgr();
+        let w1 = m.reserve_window(4).unwrap();
+        let w2 = m.reserve_window(4).unwrap();
+        let a1 = m.alloc(2, None, Some(w1)).unwrap();
+        let b1 = m.alloc(2, None, Some(w2)).unwrap();
+        let a2 = m.alloc(2, None, Some(w1)).unwrap();
+        let b2 = m.alloc(2, None, Some(w2)).unwrap();
+        assert_eq!(a1.warp_start, a2.warp_start, "session 1 stacks");
+        assert_ne!(a1.reg, a2.reg);
+        assert_eq!(b1.warp_start, b2.warp_start, "session 2 stacks");
+        assert_ne!(b1.reg, b2.reg);
+    }
+
+    #[test]
+    fn hinted_allocation_spills_when_window_full() {
+        let mut m = mgr();
+        let w = m.reserve_window(4).unwrap();
+        // Fill the window on every register, then one more must spill
+        // outside rather than fail.
+        for _ in 0..16 {
+            m.alloc(4, None, Some(w)).unwrap();
+        }
+        let s = m.alloc(4, None, Some(w)).unwrap();
+        assert!(!w.overlaps(&PlacementHint {
+            warp_start: s.warp_start,
+            warps: s.warps,
+        }));
+    }
+
+    #[test]
+    fn reserved_windows_are_hard_for_foreign_allocations() {
+        let mut m = mgr();
+        let w = m.reserve_window(8).unwrap();
+        // Plain allocations steer clear of the session's window.
+        let mut outside = Vec::new();
+        for _ in 0..16 {
+            let s = m.alloc(8, None, None).unwrap();
+            assert!(
+                !w.overlaps(&PlacementHint {
+                    warp_start: s.warp_start,
+                    warps: s.warps,
+                }),
+                "unhinted stripe {s:?} invaded reserved window {w:?}"
+            );
+            outside.push(s);
+        }
+        // Everything outside is taken: the reservation is a hard boundary,
+        // so the next unhinted allocation fails instead of invading window
+        // stripes an in-flight plan might still reference...
+        assert!(matches!(
+            m.alloc(8, None, None),
+            Err(CoreError::OutOfMemory { .. })
+        ));
+        // ...until the session releases its window.
+        m.release_window(w);
+        let spill = m.alloc(8, None, None).unwrap();
+        assert!(w.contains(spill.warp_start, spill.warps));
+    }
+
+    #[test]
+    fn hinted_allocations_skip_the_global_window_hint() {
+        let mut m = mgr();
+        let w = m.reserve_window(4).unwrap();
+        // An unhinted allocation avoids the reservation and seeds the
+        // global co-location hint with its own window...
+        let plain = m.alloc(4, None, None).unwrap();
+        assert_ne!(plain.warp_start, w.warp_start);
+        // ...but a hinted allocation must ignore that hint and stay in its
+        // own window (the funneling bug the serving gateway fixes)...
+        let s = m.alloc(4, None, Some(w)).unwrap();
+        assert_eq!(s.warp_start, w.warp_start);
+        // ...without redirecting the next unhinted allocation either.
+        let plain2 = m.alloc(4, None, None).unwrap();
+        assert_eq!(plain2.warp_start, plain.warp_start);
     }
 }

@@ -1,13 +1,18 @@
-use crate::alloc::{MemoryManager, Stripe};
+use crate::alloc::{MemoryManager, PlacementHint, Stripe};
 use crate::tensor::{AllocGuard, Tensor};
 use crate::{CoreError, Result};
 use parking_lot::Mutex;
 use pim_arch::PimConfig;
-use pim_cluster::{ClusterStats, GlobalWrite, InterconnectConfig, PimCluster};
+use pim_cluster::{
+    ClusterStats, GatherTicket, GlobalWrite, InterconnectConfig, JobSet, PimCluster, Submission,
+};
 use pim_driver::{Driver, ParallelismMode};
 use pim_isa::{DType, Instruction};
 use pim_sim::{PimSimulator, Profiler};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 
 /// The execution engine behind a device: a single simulated chip driven
 /// in-process, or a sharded multi-chip cluster (`pim-cluster`).
@@ -20,6 +25,91 @@ pub(crate) struct DeviceInner {
     pub(crate) engine: Engine,
     pub(crate) mem: Mutex<MemoryManager>,
     pub(crate) cfg: PimConfig,
+}
+
+/// An in-flight non-read instruction batch submitted through
+/// [`Device::submit_instrs`]: a blocking handle ([`wait`](StepTicket::wait))
+/// and a pollable [`Future`] in one. On a cluster device the per-shard jobs
+/// stream concurrently and the shard workers wake the registered waker on
+/// completion; on a single-chip device (and for batches containing
+/// chip-crossing moves, which need host staging) execution happened inline
+/// and the ticket is born ready.
+#[derive(Debug)]
+pub struct StepTicket(StepInner);
+
+#[derive(Debug)]
+enum StepInner {
+    Done,
+    Cluster(JobSet),
+}
+
+impl StepTicket {
+    /// A completed submission.
+    pub fn ready() -> Self {
+        StepTicket(StepInner::Done)
+    }
+
+    /// Blocks until the batch completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard error.
+    pub fn wait(self) -> Result<()> {
+        match self.0 {
+            StepInner::Done => Ok(()),
+            StepInner::Cluster(set) => Ok(set.wait()?),
+        }
+    }
+}
+
+impl Future for StepTicket {
+    type Output = Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &mut self.get_mut().0 {
+            StepInner::Done => Poll::Ready(Ok(())),
+            StepInner::Cluster(set) => Pin::new(set).poll(cx).map(|r| Ok(r?)),
+        }
+    }
+}
+
+/// An in-flight bulk read submitted through [`Device::submit_reads`];
+/// yields the values in input order. Like [`StepTicket`], both blocking and
+/// pollable; single-chip devices read inline and return a ready ticket.
+#[derive(Debug)]
+pub struct ReadTicket(ReadInner);
+
+#[derive(Debug)]
+enum ReadInner {
+    Done(Option<Vec<u32>>),
+    Cluster(GatherTicket),
+}
+
+impl ReadTicket {
+    /// Blocks until every read completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard error.
+    pub fn wait(self) -> Result<Vec<u32>> {
+        match self.0 {
+            ReadInner::Done(values) => Ok(values.expect("ready ticket holds its values")),
+            ReadInner::Cluster(t) => Ok(t.wait()?),
+        }
+    }
+}
+
+impl Future for ReadTicket {
+    type Output = Result<Vec<u32>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &mut self.get_mut().0 {
+            ReadInner::Done(values) => {
+                Poll::Ready(Ok(values.take().expect("ready ticket polled twice")))
+            }
+            ReadInner::Cluster(t) => Pin::new(t).poll(cx).map(|r| Ok(r?)),
+        }
+    }
 }
 
 /// A handle to a PIM memory: the entry point of the development library
@@ -46,12 +136,19 @@ pub(crate) struct DeviceInner {
 #[derive(Clone)]
 pub struct Device {
     pub(crate) inner: Arc<DeviceInner>,
+    /// Default placement window of allocations made through this handle —
+    /// `None` for the plain device, set on session handles produced by
+    /// [`Device::with_placement`]. Cloning a handle keeps its placement, so
+    /// tensors created through a session handle allocate their temporaries
+    /// in the session's window too.
+    placement: Option<PlacementHint>,
 }
 
 impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Device")
             .field("config", &self.inner.cfg)
+            .field("placement", &self.placement)
             .finish()
     }
 }
@@ -81,6 +178,7 @@ impl Device {
                 mem: Mutex::new(MemoryManager::new(&cfg)),
                 cfg,
             }),
+            placement: None,
         })
     }
 
@@ -133,6 +231,7 @@ impl Device {
                 mem: Mutex::new(MemoryManager::new(&logical)),
                 cfg: logical,
             }),
+            placement: None,
         })
     }
 
@@ -172,6 +271,42 @@ impl Device {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// Reserves a warp window for one client session (see
+    /// [`MemoryManager::reserve_window`]): disjoint from every other active
+    /// reservation and avoided by unhinted allocations while it lasts.
+    /// Pair with [`Device::with_placement`] to get a session handle whose
+    /// allocations are confined to the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no disjoint window is left.
+    pub fn reserve_placement(&self, warps: u32) -> Result<PlacementHint> {
+        self.inner.mem.lock().reserve_window(warps)
+    }
+
+    /// Releases a window reservation made by
+    /// [`reserve_placement`](Device::reserve_placement). Tensors allocated
+    /// inside it stay valid; only the headroom claim ends.
+    pub fn release_placement(&self, window: PlacementHint) {
+        self.inner.mem.lock().release_window(window);
+    }
+
+    /// A handle onto the same device whose allocations prefer `window` —
+    /// the per-client placement of the serving gateway. Tensors created
+    /// through the returned handle (and their operation results and
+    /// temporaries) allocate inside the window while it has space.
+    pub fn with_placement(&self, window: PlacementHint) -> Device {
+        Device {
+            inner: Arc::clone(&self.inner),
+            placement: Some(window),
+        }
+    }
+
+    /// The placement window of this handle, if any.
+    pub fn placement(&self) -> Option<PlacementHint> {
+        self.placement
+    }
+
     /// Snapshot of the simulator's profiling counters (cycles,
     /// micro-operation counts) — the paper's `pim.Profiler()` facility.
     ///
@@ -199,14 +334,20 @@ impl Device {
         self.profiler().cycles
     }
 
-    /// Resets the profiling counters.
+    /// Resets the profiling counters, including the routine-cache hit/miss
+    /// telemetry (compiled routines are kept — a fresh measurement region
+    /// should not pay recompilation).
     ///
     /// # Panics
     ///
     /// Panics if a cluster shard worker thread has died.
     pub fn reset_profiler(&self) {
         match &self.inner.engine {
-            Engine::Single(d) => d.lock().backend_mut().reset_profiler(),
+            Engine::Single(d) => {
+                let mut d = d.lock();
+                d.backend_mut().reset_profiler();
+                d.reset_cache_stats();
+            }
             Engine::Cluster(c) => c.reset_profilers().expect("cluster shard worker died"),
         }
     }
@@ -259,6 +400,7 @@ impl Device {
             Engine::Single(d) => {
                 let mut d = d.lock();
                 d.backend_mut().reset_profiler();
+                d.reset_cache_stats();
                 d.reset_issued();
             }
             Engine::Cluster(c) => {
@@ -329,6 +471,69 @@ impl Device {
         }
     }
 
+    /// Submits a batch of non-read macro-instructions *without waiting*,
+    /// returning a [`StepTicket`] that is both a blocking handle and a
+    /// pollable future — the primitive the async serving gateway coalesces
+    /// client work onto. On a cluster the batch splits per shard and
+    /// streams; chip-crossing moves (which need host staging barriers) and
+    /// single-chip devices execute inline and return a ready ticket, with
+    /// identical semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Protocol`] for read instructions, plus
+    /// validation errors; deferred shard errors surface when the ticket is
+    /// waited or awaited.
+    pub fn submit_instrs(&self, instrs: &[Instruction]) -> Result<StepTicket> {
+        if instrs.iter().any(|i| matches!(i, Instruction::Read { .. })) {
+            return Err(CoreError::Protocol {
+                reason: "read instructions cannot be submitted asynchronously \
+                         (use submit_reads)"
+                    .into(),
+            });
+        }
+        match &self.inner.engine {
+            Engine::Single(d) => {
+                let mut d = d.lock();
+                for i in instrs {
+                    d.execute(i)?;
+                }
+                Ok(StepTicket::ready())
+            }
+            Engine::Cluster(c) => match c.submit_batch(instrs)? {
+                Submission::Tickets(set) => Ok(StepTicket(StepInner::Cluster(set))),
+                Submission::Inline => Ok(StepTicket::ready()),
+            },
+        }
+    }
+
+    /// Whether [`submit_instrs`](Device::submit_instrs) would stream this
+    /// batch asynchronously (`true`) or execute it inline on the calling
+    /// thread (`false`: single-chip devices always, cluster batches with
+    /// chip-crossing moves). The serving gateway uses this to keep inline
+    /// work off shard-worker threads.
+    pub fn instrs_stream_async(&self, instrs: &[Instruction]) -> bool {
+        match &self.inner.engine {
+            Engine::Single(_) => false,
+            Engine::Cluster(c) => c.batch_streams_async(instrs),
+        }
+    }
+
+    /// Submits a bulk read of `(warp, row, register)` locations *without
+    /// waiting* (see [`submit_instrs`](Device::submit_instrs)); the
+    /// [`ReadTicket`] yields values in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns addressing errors; deferred shard errors surface on
+    /// wait/await.
+    pub fn submit_reads(&self, locs: &[(u32, u32, u8)]) -> Result<ReadTicket> {
+        match &self.inner.engine {
+            Engine::Single(_) => Ok(ReadTicket(ReadInner::Done(Some(self.read_many(locs)?)))),
+            Engine::Cluster(c) => Ok(ReadTicket(ReadInner::Cluster(c.submit_gather(locs)?))),
+        }
+    }
+
     /// Allocates an uninitialized tensor of `capacity` elements (rounded up
     /// to whole warps), optionally thread-aligned with `near`.
     pub(crate) fn empty(
@@ -344,7 +549,7 @@ impl Device {
         }
         let rows = self.inner.cfg.rows;
         let warps = capacity.div_ceil(rows) as u32;
-        let stripe = self.inner.mem.lock().alloc(warps, near)?;
+        let stripe = self.inner.mem.lock().alloc(warps, near, self.placement)?;
         Ok(Tensor::from_stripe(
             Arc::new(AllocGuard {
                 stripe,
@@ -372,6 +577,18 @@ impl Device {
             dtype,
             len,
         ))
+    }
+
+    /// Allocates a tensor of `n` elements with *undefined contents* —
+    /// callers that plan their own initialization (the async serving path
+    /// batches the fill/store instructions with the rest of a request)
+    /// write every element before reading any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no stripe is free.
+    pub fn uninit(&self, n: usize, dtype: DType) -> Result<Tensor> {
+        self.empty(n, dtype, None)
     }
 
     /// A tensor of `n` zeros (float32) — `pim.zeros(n, dtype=pim.float32)`.

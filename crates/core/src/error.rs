@@ -45,6 +45,19 @@ pub enum CoreError {
         /// Tensor length.
         len: usize,
     },
+    /// An operation that requires thread-aligned operands got misaligned
+    /// ones (the planning API does not run the move-based alignment
+    /// fallback implicitly).
+    Misaligned {
+        /// Human-readable description.
+        what: String,
+    },
+    /// A submission protocol violation (e.g. read instructions in an
+    /// asynchronous non-read batch).
+    Protocol {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -64,6 +77,8 @@ impl fmt::Display for CoreError {
             CoreError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for tensor of length {len}")
             }
+            CoreError::Misaligned { what } => write!(f, "misaligned operands: {what}"),
+            CoreError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
         }
     }
 }
@@ -116,6 +131,12 @@ mod tests {
             },
             CoreError::DeviceMismatch,
             CoreError::IndexOutOfBounds { index: 9, len: 4 },
+            CoreError::Misaligned {
+                what: "operands".into(),
+            },
+            CoreError::Protocol {
+                reason: "reads".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -50,11 +50,12 @@ mod scan;
 mod sort;
 mod tensor;
 
-pub use alloc::{MemoryManager, Stripe};
+pub use alloc::{MemoryManager, PlacementHint, Stripe};
 pub use cordic::CORDIC_ITERS;
-pub use device::Device;
+pub use device::{Device, ReadTicket, StepTicket};
 pub use error::{CoreError, Result};
-pub use movement::{compact_with_padding, copy, materialize_like, shifted};
+pub use movement::{compact_with_padding, copy, materialize_like, plan_copy, shifted};
+pub use reduce::identity_bits;
 pub use tensor::Tensor;
 
 pub use pim_driver::ParallelismMode;

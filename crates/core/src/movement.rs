@@ -5,22 +5,22 @@
 
 use crate::tensor::Tensor;
 use crate::{CoreError, Result};
-use pim_arch::RangeMask;
+use pim_arch::{PimConfig, RangeMask};
 use pim_isa::{Instruction, RegOp};
 
-/// Issues a `MoveWarps` over `warps` with distance `dist`, splitting into
+/// Plans a `MoveWarps` over `warps` with distance `dist`, splitting into
 /// power-of-4 strided phases when source and destination warp sets overlap
 /// (the H-tree requires them disjoint within one micro-operation).
-/// Returns `false` when the move cannot be expressed (caller falls back).
-fn move_warps_split(
-    dev: &crate::Device,
+/// Returns `None` when the move cannot be expressed (caller falls back).
+fn plan_move_warps_split(
+    cfg: &PimConfig,
     src_reg: u8,
     dst_reg: u8,
     row_src: u32,
     row_dst: u32,
     warps: RangeMask,
     dist: i32,
-) -> Result<bool> {
+) -> Result<Option<Vec<Instruction>>> {
     let direct = Instruction::MoveWarps {
         src: src_reg,
         dst: dst_reg,
@@ -29,12 +29,11 @@ fn move_warps_split(
         warps,
         dist,
     };
-    if direct.validate(dev.config()).is_ok() {
-        dev.exec(&direct)?;
-        return Ok(true);
+    if direct.validate(cfg).is_ok() {
+        return Ok(Some(vec![direct]));
     }
     if warps.step() != 1 || dist == 0 {
-        return Ok(false);
+        return Ok(None);
     }
     // Phase split: stride 4^k > |dist| makes dist % step != 0, so each
     // phase's source and destination sets are disjoint.
@@ -43,6 +42,7 @@ fn move_warps_split(
         step *= 4;
     }
     let count = warps.len() as u32;
+    let mut plan = Vec::new();
     for phase in 0..step.min(count) {
         let phase_count = (count - phase).div_ceil(step);
         if phase_count == 0 {
@@ -57,29 +57,35 @@ fn move_warps_split(
             warps: mask,
             dist,
         };
-        if instr.validate(dev.config()).is_err() {
-            return Ok(false);
+        if instr.validate(cfg).is_err() {
+            return Ok(None);
         }
-        dev.exec(&instr)?;
+        plan.push(instr);
     }
-    Ok(true)
+    Ok(Some(plan))
 }
 
-/// Copies `src`'s elements into `dst` (same length, any layouts).
+/// Plans the instruction sequence copying `src`'s elements into `dst`
+/// (same length, any layouts) without executing anything — the single
+/// source of truth behind both the blocking [`copy`] and the async serving
+/// path, which submits the plan itself.
 ///
-/// Fast paths:
+/// Fast paths, in order:
 /// 1. identical thread sets, different registers → a register-to-register
 ///    `OR` (thread-local, fully parallel);
 /// 2. identical row patterns at a constant warp distance → one `MoveWarps`
 ///    per distinct row (parallel across warp pairs);
 /// 3. identical warp sets with differing row patterns → one `MoveRows`
-///    (warp-parallel, thread-serial);
-/// 4. anything else → element-by-element read/write (correct but slow).
+///    (warp-parallel, thread-serial).
+///
+/// Returns `Ok(None)` when no move-based plan exists (pathological
+/// layouts); callers fall back to element-by-element read/write, which
+/// cannot be expressed as a non-read instruction batch.
 ///
 /// # Errors
 ///
 /// Fails on shape or device mismatches.
-pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
+pub fn plan_copy(src: &Tensor, dst: &Tensor) -> Result<Option<Vec<Instruction>>> {
     if !src.device().same_device(dst.device()) {
         return Err(CoreError::DeviceMismatch);
     }
@@ -89,14 +95,19 @@ pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
             rhs: dst.len(),
         });
     }
-    let dev = src.device().clone();
+    let cfg = src.device().config();
     // Fast path 1: same threads, different register.
     if src.aligned_with(dst) {
         if src.reg() == dst.reg() {
-            return Ok(()); // same memory
+            return Ok(Some(Vec::new())); // same memory
         }
         // dst = src | src (thread-local copy).
-        return dst.issue_rtype(RegOp::Or, src.dtype(), dst.reg(), [src.reg(), src.reg(), 0]);
+        return Ok(Some(dst.rtype_instrs(
+            RegOp::Or,
+            src.dtype(),
+            dst.reg(),
+            [src.reg(), src.reg(), 0],
+        )));
     }
     let srs = src.thread_ranges();
     let drs = dst.thread_ranges();
@@ -106,10 +117,11 @@ pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
         if s.rows == d.rows && s.warps.len() == d.warps.len() && s.warps.step() == d.warps.step() {
             let dist = d.warps.start() as i64 - s.warps.start() as i64;
             if dist != 0 && i32::try_from(dist).is_ok() {
+                let mut plan = Vec::new();
                 let mut moved = true;
                 for row in s.rows.iter() {
-                    if !move_warps_split(
-                        &dev,
+                    match plan_move_warps_split(
+                        cfg,
                         src.reg(),
                         dst.reg(),
                         row,
@@ -117,12 +129,15 @@ pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
                         s.warps,
                         dist as i32,
                     )? {
-                        moved = false;
-                        break;
+                        Some(instrs) => plan.extend(instrs),
+                        None => {
+                            moved = false;
+                            break;
+                        }
                     }
                 }
                 if moved {
-                    return Ok(());
+                    return Ok(Some(plan));
                 }
             }
         }
@@ -135,17 +150,37 @@ pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
                 dst_rows: d.rows,
                 warps: s.warps,
             };
-            if instr.validate(dev.config()).is_ok() {
-                dev.exec(&instr)?;
-                return Ok(());
+            if instr.validate(cfg).is_ok() {
+                return Ok(Some(vec![instr]));
             }
         }
     }
-    // Fallback: element-by-element.
-    for i in 0..src.len() {
-        dst.set_raw(i, src.get_raw(i)?)?;
+    Ok(None)
+}
+
+/// Copies `src`'s elements into `dst` (same length, any layouts): executes
+/// the [`plan_copy`] fast paths as one batch, falling back to
+/// element-by-element read/write for layouts no move plan covers.
+///
+/// # Errors
+///
+/// Fails on shape or device mismatches.
+pub fn copy(src: &Tensor, dst: &Tensor) -> Result<()> {
+    match plan_copy(src, dst)? {
+        Some(plan) => {
+            if plan.is_empty() {
+                return Ok(());
+            }
+            src.device().exec_batch(&plan)
+        }
+        None => {
+            // Fallback: element-by-element.
+            for i in 0..src.len() {
+                dst.set_raw(i, src.get_raw(i)?)?;
+            }
+            Ok(())
+        }
     }
-    Ok(())
 }
 
 /// Builds a tensor aligned with `like` holding `src`'s values — the
@@ -250,7 +285,21 @@ fn copy_dense_shift(src: &Tensor, dst: &Tensor) -> Result<()> {
             }
             ok
         } else {
-            move_warps_split(&dev, src.reg(), dst.reg(), sr, dr, warps, dist as i32)?
+            match plan_move_warps_split(
+                dev.config(),
+                src.reg(),
+                dst.reg(),
+                sr,
+                dr,
+                warps,
+                dist as i32,
+            )? {
+                Some(plan) => {
+                    dev.exec_batch(&plan)?;
+                    true
+                }
+                None => false,
+            }
         };
         if !moved {
             // Per-element fallback for this row class.

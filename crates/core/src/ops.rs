@@ -51,6 +51,40 @@ impl Tensor {
         })
     }
 
+    /// Allocates an *uninitialized* tensor thread-aligned with `self` (same
+    /// warp window, offset, and stride, fresh register) — the public
+    /// counterpart of the internal result allocation, for callers that plan
+    /// and submit their own instructions (the async serving path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when every register of the window
+    /// is occupied.
+    pub fn empty_aligned(&self, dtype: DType) -> Result<Tensor> {
+        self.alloc_result(dtype)
+    }
+
+    /// The R-type instructions applying `op` over this view's thread
+    /// ranges.
+    pub(crate) fn rtype_instrs(
+        &self,
+        op: RegOp,
+        dtype: DType,
+        dst: u8,
+        srcs: [u8; 3],
+    ) -> Vec<Instruction> {
+        self.thread_ranges()
+            .into_iter()
+            .map(|target| Instruction::RType {
+                op,
+                dtype,
+                dst,
+                srcs,
+                target,
+            })
+            .collect()
+    }
+
     /// Issues an R-type operation over this view's thread ranges as one
     /// batch, so sharded devices run all chips concurrently.
     pub(crate) fn issue_rtype(
@@ -60,18 +94,54 @@ impl Tensor {
         dst: u8,
         srcs: [u8; 3],
     ) -> Result<()> {
-        let instrs: Vec<Instruction> = self
-            .thread_ranges()
-            .into_iter()
-            .map(|target| Instruction::RType {
-                op,
-                dtype,
-                dst,
-                srcs,
-                target,
-            })
-            .collect();
-        self.device().exec_batch(&instrs)
+        self.device()
+            .exec_batch(&self.rtype_instrs(op, dtype, dst, srcs))
+    }
+
+    /// Plans an element-parallel binary operation without executing it:
+    /// allocates the result tensor (thread-aligned with `self`) and returns
+    /// it together with the instructions that compute it — the async
+    /// serving path submits those itself. Unlike [`binary`](Tensor::binary),
+    /// no implicit alignment copy is run: misaligned operands are an error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape/dtype/device mismatches, on misaligned operands
+    /// ([`CoreError::Misaligned`]), or allocation failure.
+    pub fn plan_binary(&self, op: RegOp, rhs: &Tensor) -> Result<(Tensor, Vec<Instruction>)> {
+        self.check_binary(rhs)?;
+        if self.dtype() != rhs.dtype() {
+            return Err(CoreError::DTypeMismatch {
+                what: format!("{} vs {}", self.dtype(), rhs.dtype()),
+            });
+        }
+        if !self.aligned_with(rhs) {
+            return Err(CoreError::Misaligned {
+                what: "plan_binary requires thread-aligned operands (copy the \
+                       right-hand side next to the left first)"
+                    .into(),
+            });
+        }
+        let out_dtype = if op.is_comparison() {
+            DType::Int32
+        } else {
+            self.dtype()
+        };
+        let out = self.alloc_result(out_dtype)?;
+        let instrs = self.rtype_instrs(op, self.dtype(), out.reg(), [self.reg(), rhs.reg(), 0]);
+        Ok((out, instrs))
+    }
+
+    /// Plans an element-parallel unary operation without executing it (see
+    /// [`plan_binary`](Tensor::plan_binary)).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation failure.
+    pub fn plan_unary(&self, op: RegOp) -> Result<(Tensor, Vec<Instruction>)> {
+        let out = self.alloc_result(self.dtype())?;
+        let instrs = self.rtype_instrs(op, self.dtype(), out.reg(), [self.reg(), 0, 0]);
+        Ok((out, instrs))
     }
 
     /// Element-parallel binary operation.

@@ -9,7 +9,15 @@ use crate::tensor::Tensor;
 use crate::Result;
 use pim_isa::{DType, RegOp};
 
-fn identity_bits(op: RegOp, dtype: DType) -> u32 {
+/// The identity element of an associative reduction (`Add` or `Mul`), as
+/// the raw word reductions pad with — shared by the synchronous reduction
+/// here and the serving layer's async/fused reductions, so the padding
+/// (and therefore every rounding) cannot drift between them.
+///
+/// # Panics
+///
+/// Panics for non-reduction operations.
+pub fn identity_bits(op: RegOp, dtype: DType) -> u32 {
     match (op, dtype) {
         (RegOp::Add, DType::Int32) => 0,
         (RegOp::Add, DType::Float32) => 0.0f32.to_bits(),

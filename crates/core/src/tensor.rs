@@ -323,21 +323,64 @@ impl Tensor {
         self.fill_raw(v as u32)
     }
 
-    /// Broadcast-writes `bits` to every element (one write instruction per
-    /// thread range — the ISA's range-repeated write for constants). The
-    /// ranges go out as one batch so sharded devices fill all chips
-    /// concurrently.
-    pub(crate) fn fill_raw(&self, bits: u32) -> Result<()> {
-        let instrs: Vec<Instruction> = self
-            .thread_ranges()
+    /// The write instructions that broadcast `bits` to every element of
+    /// this view (one per thread range — the ISA's range-repeated write for
+    /// constants), for callers that batch or submit work themselves (the
+    /// async serving path).
+    pub fn plan_fill(&self, bits: u32) -> Vec<Instruction> {
+        self.thread_ranges()
             .into_iter()
             .map(|target| Instruction::Write {
                 reg: self.reg(),
                 value: bits,
                 target,
             })
+            .collect()
+    }
+
+    /// The write instructions that store one raw word per element, in
+    /// order — the plannable counterpart of a bulk upload.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values` yields exactly one word per element.
+    pub fn plan_store(&self, values: impl IntoIterator<Item = u32>) -> Vec<Instruction> {
+        let instrs: Vec<Instruction> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, bits)| {
+                let (warp, row) = self.warp_row(i);
+                Instruction::Write {
+                    reg: self.reg(),
+                    value: bits,
+                    target: ThreadRange::single(warp, row),
+                }
+            })
             .collect();
-        self.device().exec_batch(&instrs)
+        assert_eq!(
+            instrs.len(),
+            self.len,
+            "plan_store requires exactly one value per element"
+        );
+        instrs
+    }
+
+    /// The `(warp, row, register)` location of every element, in order —
+    /// the read side of the planning API (feed to
+    /// [`Device::submit_reads`](crate::Device::submit_reads)).
+    pub fn element_locs(&self) -> Vec<(u32, u32, u8)> {
+        (0..self.len)
+            .map(|i| {
+                let (warp, row) = self.warp_row(i);
+                (warp, row, self.reg())
+            })
+            .collect()
+    }
+
+    /// Broadcast-writes `bits` to every element. The ranges go out as one
+    /// batch so sharded devices fill all chips concurrently.
+    pub(crate) fn fill_raw(&self, bits: u32) -> Result<()> {
+        self.device().exec_batch(&self.plan_fill(bits))
     }
 
     /// Writes the whole view from an iterator of raw words (exactly one
@@ -406,13 +449,7 @@ impl Tensor {
     ///
     /// Propagates read failures.
     pub fn to_raw_vec(&self) -> Result<Vec<u32>> {
-        let locs: Vec<(u32, u32, u8)> = (0..self.len)
-            .map(|i| {
-                let (warp, row) = self.warp_row(i);
-                (warp, row, self.reg())
-            })
-            .collect();
-        self.device().read_many(&locs)
+        self.device().read_many(&self.element_locs())
     }
 
     /// Reads the whole tensor back as floats.

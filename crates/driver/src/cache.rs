@@ -114,6 +114,14 @@ impl RoutineCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Zeroes this handle's hit/miss counters (the compiled-routine map is
+    /// untouched — only the telemetry resets, so a measurement region can
+    /// start from a clean slate without recompiling anything).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
 }
 
 #[cfg(test)]

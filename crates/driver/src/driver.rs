@@ -144,6 +144,13 @@ impl<B: Backend> Driver<B> {
         self.cache.stats()
     }
 
+    /// Zeroes the routine-cache hit/miss telemetry (compiled routines are
+    /// kept) — part of starting a fresh measurement region alongside a
+    /// profiler reset.
+    pub fn reset_cache_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
     /// Forgets the masks the driver believes are stored in the memory.
     ///
     /// The driver elides redundant mask micro-operations because it is

@@ -1,0 +1,592 @@
+//! The serving gateway: admission control and batch coalescing between
+//! many client sessions and one [`Device`].
+//!
+//! Clients never talk to the device directly. Each session enqueues
+//! instruction batches into its own queue; the *pump* drains those queues
+//! fairly (round-robin, at most one batch per session per group), coalesces
+//! what it takes into one shared submission, and keeps a bounded number of
+//! such groups in flight. There is no background thread: pumping happens
+//! cooperatively on whichever thread polls a request future or completes a
+//! shard job, so a single `block_on(join_all(requests))` host thread drives
+//! the whole gateway.
+//!
+//! Safety of coalescing: sessions allocate in disjoint placement windows
+//! (see [`MemoryManager::reserve_window`](pypim_core::MemoryManager)), so
+//! instructions of different sessions touch disjoint stripes and commute;
+//! within one session the client awaits each step before planning the next,
+//! so a session never has two batches in flight — results are bit-identical
+//! to running every client sequentially.
+
+use crate::{ClusterClient, ServeConfig};
+use parking_lot::Mutex;
+use pim_isa::Instruction;
+use pypim_core::{CoreError, Device, Result, StepTicket};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Completion slot shared between one client batch's [`ExecFuture`] and the
+/// gateway (which fills it when the batch's group finishes).
+#[derive(Debug, Default)]
+pub(crate) struct BatchSlot {
+    state: Mutex<SlotState>,
+}
+
+#[derive(Debug, Default)]
+struct SlotState {
+    done: Option<Result<()>>,
+    waker: Option<Waker>,
+}
+
+impl BatchSlot {
+    fn take_done(&self) -> Option<Result<()>> {
+        self.state.lock().done.take()
+    }
+
+    fn set_waker(&self, waker: &Waker) {
+        self.state.lock().waker = Some(waker.clone());
+    }
+
+    fn take_waker(&self) -> Option<Waker> {
+        self.state.lock().waker.take()
+    }
+
+    fn complete(&self, result: Result<()>) {
+        let waker = {
+            let mut st = self.state.lock();
+            st.done = Some(result);
+            st.waker.take()
+        };
+        // Outside the lock: waking may immediately re-poll the future.
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// One client batch waiting in a session queue.
+struct PendingBatch {
+    instrs: Vec<Instruction>,
+    slot: Arc<BatchSlot>,
+    /// Whether the batch streams asynchronously (no chip-crossing moves),
+    /// computed once at enqueue time off the state lock — the pump's
+    /// worker-wake path consults this on every completion.
+    streams_async: bool,
+}
+
+/// Telemetry of the gateway's admission controller.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Coalesced submissions issued to the device.
+    pub groups: u64,
+    /// Client batches those submissions carried.
+    pub batches: u64,
+    /// Macro-instructions those submissions carried.
+    pub instructions: u64,
+    /// Most client batches ever coalesced into one submission.
+    pub max_coalesced: u64,
+    /// Most groups ever in flight at once.
+    pub peak_inflight: u64,
+    /// Groups deferred from a shard-worker thread to a client thread
+    /// because they contained chip-crossing moves (which execute inline).
+    pub deferred: u64,
+    /// Sessions opened so far.
+    pub sessions: u64,
+}
+
+#[derive(Default)]
+struct State {
+    queues: Vec<VecDeque<PendingBatch>>,
+    /// Queue slots of closed sessions, reused by the next `add_session`
+    /// so a long-running gateway with session churn stays bounded.
+    free_slots: Vec<usize>,
+    /// Round-robin cursor over session queues.
+    rr: usize,
+    /// Coalesced submissions currently in flight.
+    inflight: usize,
+    stats: GatewayStats,
+}
+
+pub(crate) struct GatewayInner {
+    pub(crate) dev: Device,
+    pub(crate) cfg: ServeConfig,
+    state: Mutex<State>,
+}
+
+/// What one pump iteration popped.
+enum Popped {
+    /// A group to submit (batches removed from their queues).
+    Submit(Vec<PendingBatch>),
+    /// The head group needs inline execution (chip-crossing moves) but the
+    /// pumping thread is a shard worker that must not block on its own
+    /// queue; the batches stay queued and these client wakers re-pump from
+    /// a safe thread.
+    Defer(Vec<Waker>),
+    /// Nothing to do (no pending work or no in-flight budget).
+    Idle,
+}
+
+impl GatewayInner {
+    /// Registers a new session queue (reusing a closed session's slot when
+    /// one is free), returning its id.
+    pub(crate) fn add_session(&self) -> usize {
+        let mut st = self.state.lock();
+        st.stats.sessions += 1;
+        match st.free_slots.pop() {
+            Some(id) => id,
+            None => {
+                st.queues.push(VecDeque::new());
+                st.queues.len() - 1
+            }
+        }
+    }
+
+    /// Returns a closed session's queue slot to the free pool. The queue is
+    /// necessarily empty: pending batches' futures borrow the session, so
+    /// it cannot drop while one is outstanding.
+    pub(crate) fn remove_session(&self, session: usize) {
+        let mut st = self.state.lock();
+        debug_assert!(
+            st.queues[session].is_empty(),
+            "dropped session had queued work"
+        );
+        st.queues[session].clear();
+        st.free_slots.push(session);
+    }
+
+    /// Enqueues one client batch and returns the future resolving when the
+    /// gateway has executed it.
+    pub(crate) fn enqueue(
+        self: &Arc<Self>,
+        session: usize,
+        instrs: Vec<Instruction>,
+    ) -> ExecFuture {
+        let slot = Arc::new(BatchSlot::default());
+        if instrs.is_empty() {
+            slot.complete(Ok(()));
+        } else {
+            // Route classification happens here, off the state lock, so
+            // the pump never re-validates batches on the completion path.
+            let streams_async = self.dev.instrs_stream_async(&instrs);
+            let mut st = self.state.lock();
+            st.queues[session].push_back(PendingBatch {
+                instrs,
+                slot: Arc::clone(&slot),
+                streams_async,
+            });
+        }
+        ExecFuture::new(Arc::clone(self), slot)
+    }
+
+    /// Pops the next coalesced group under the state lock (or decides to
+    /// defer/idle). `from_worker` marks calls arriving from a shard-worker
+    /// wake: those threads must never run an inline (chip-crossing)
+    /// submission, because blocking a worker on a job queued to itself
+    /// deadlocks the shard.
+    fn pop_group(&self, from_worker: bool) -> Popped {
+        let mut st = self.state.lock();
+        if st.inflight >= self.cfg.max_inflight {
+            return Popped::Idle;
+        }
+        let n = st.queues.len();
+        if n == 0 {
+            return Popped::Idle;
+        }
+        // Fair draining: scan sessions round-robin from the cursor, taking
+        // at most one batch per session.
+        let mut take: Vec<usize> = Vec::new();
+        for k in 0..n {
+            if take.len() >= self.cfg.max_coalesce {
+                break;
+            }
+            let s = (st.rr + k) % n;
+            if !st.queues[s].is_empty() {
+                take.push(s);
+            }
+        }
+        if take.is_empty() {
+            return Popped::Idle;
+        }
+        if from_worker {
+            let crossing = take
+                .iter()
+                .any(|&s| !st.queues[s].front().expect("non-empty queue").streams_async);
+            if crossing {
+                st.stats.deferred += 1;
+                let wakers = take
+                    .iter()
+                    .filter_map(|&s| st.queues[s].front().and_then(|b| b.slot.take_waker()))
+                    .collect();
+                return Popped::Defer(wakers);
+            }
+        }
+        let batches: Vec<PendingBatch> = take
+            .iter()
+            .map(|&s| st.queues[s].pop_front().expect("non-empty queue"))
+            .collect();
+        st.rr = (st.rr + 1) % n;
+        st.inflight += 1;
+        st.stats.groups += 1;
+        st.stats.batches += batches.len() as u64;
+        st.stats.instructions += batches.iter().map(|b| b.instrs.len() as u64).sum::<u64>();
+        st.stats.max_coalesced = st.stats.max_coalesced.max(batches.len() as u64);
+        st.stats.peak_inflight = st.stats.peak_inflight.max(st.inflight as u64);
+        Popped::Submit(batches)
+    }
+
+    /// Drains session queues into coalesced in-flight submissions until the
+    /// in-flight budget is exhausted or no work is pending. Runs on client
+    /// poll threads (`from_worker = false`) and on shard-worker completion
+    /// wakes (`from_worker = true`).
+    pub(crate) fn pump(self: &Arc<Self>, from_worker: bool) {
+        loop {
+            match self.pop_group(from_worker) {
+                Popped::Idle => return,
+                Popped::Defer(wakers) => {
+                    for w in wakers {
+                        w.wake();
+                    }
+                    return;
+                }
+                Popped::Submit(batches) => {
+                    let mut instrs = Vec::new();
+                    let mut slots = Vec::with_capacity(batches.len());
+                    for b in batches {
+                        instrs.extend(b.instrs);
+                        slots.push(b.slot);
+                    }
+                    match self.dev.submit_instrs(&instrs) {
+                        Err(e) => self.finish_group(slots, Err(e)),
+                        Ok(ticket) => Group::attach(Arc::clone(self), ticket, slots),
+                    }
+                    // Loop: budget may allow another group.
+                }
+            }
+        }
+    }
+
+    /// Delivers a finished group's outcome to its member batches and frees
+    /// its in-flight budget. Deliberately does *not* pump — the caller
+    /// decides (the pump loop continues by itself; a worker wake pumps
+    /// explicitly after completion).
+    fn finish_group(&self, slots: Vec<Arc<BatchSlot>>, result: Result<()>) {
+        self.state.lock().inflight -= 1;
+        for slot in slots {
+            slot.complete(result.clone());
+        }
+    }
+
+    pub(crate) fn stats(&self) -> GatewayStats {
+        self.state.lock().stats
+    }
+}
+
+/// Drives one in-flight coalesced submission: registered as the waker of
+/// the submission's shard tickets, it re-polls them on every shard
+/// completion and, once all are done, delivers the outcome and pumps the
+/// next group.
+struct Group {
+    gw: Arc<GatewayInner>,
+    inner: Mutex<Option<(StepTicket, Vec<Arc<BatchSlot>>)>>,
+}
+
+impl Group {
+    fn attach(gw: Arc<GatewayInner>, ticket: StepTicket, slots: Vec<Arc<BatchSlot>>) {
+        let group = Arc::new(Group {
+            gw,
+            inner: Mutex::new(Some((ticket, slots))),
+        });
+        // First poll registers the group as the tickets' waker (or
+        // completes immediately for ready tickets).
+        group.try_complete();
+    }
+
+    /// Polls the submission; on completion delivers results. Returns
+    /// whether the group finished.
+    fn try_complete(self: &Arc<Self>) -> bool {
+        let mut guard = self.inner.lock();
+        let Some((mut ticket, slots)) = guard.take() else {
+            return false; // already completed by another wake
+        };
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        match Pin::new(&mut ticket).poll(&mut cx) {
+            Poll::Pending => {
+                *guard = Some((ticket, slots));
+                false
+            }
+            Poll::Ready(result) => {
+                drop(guard);
+                self.gw.finish_group(slots, result);
+                true
+            }
+        }
+    }
+}
+
+impl Wake for Group {
+    fn wake(self: Arc<Self>) {
+        // Runs on the shard-worker thread that completed a ticket: finish
+        // the group if it is done, then pump follow-up work (never inline
+        // crossing batches from here — see `pop_group`).
+        if self.try_complete() {
+            self.gw.pump(true);
+        }
+    }
+}
+
+/// Future of one client batch moving through the gateway: registers its
+/// waker, pumps cooperatively, and resolves when the batch's coalesced
+/// group has executed. Groups pipeline rather than barrier: a session can
+/// run ahead of its peers as long as in-flight budget remains, and
+/// coalescing happens whenever multiple sessions' steps are queued at pump
+/// time (always under budget pressure).
+pub struct ExecFuture {
+    gw: Arc<GatewayInner>,
+    slot: Arc<BatchSlot>,
+}
+
+impl ExecFuture {
+    pub(crate) fn new(gw: Arc<GatewayInner>, slot: Arc<BatchSlot>) -> Self {
+        ExecFuture { gw, slot }
+    }
+}
+
+impl Future for ExecFuture {
+    type Output = Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(result) = self.slot.take_done() {
+            return Poll::Ready(result);
+        }
+        // Register before pumping: a group completing on a worker thread
+        // between the check above and the pump below must find the waker.
+        self.slot.set_waker(cx.waker());
+        self.gw.pump(false);
+        if let Some(result) = self.slot.take_done() {
+            return Poll::Ready(result);
+        }
+        Poll::Pending
+    }
+}
+
+/// The async multi-client serving gateway (see the crate docs).
+///
+/// Cloning is cheap; clones share the admission controller.
+#[derive(Clone)]
+pub struct Gateway {
+    pub(crate) inner: Arc<GatewayInner>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("config", &self.inner.cfg)
+            .field("stats", &self.inner.stats())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Builds a gateway over `dev` (typically a [`Device::cluster`] — a
+    /// single-chip device works too, executing submissions inline).
+    pub fn new(dev: Device, cfg: ServeConfig) -> Gateway {
+        Gateway {
+            inner: Arc::new(GatewayInner {
+                dev,
+                cfg,
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// The device behind the gateway.
+    pub fn device(&self) -> &Device {
+        &self.inner.dev
+    }
+
+    /// Opens a client session with its own placement window (sized by
+    /// [`ServeConfig::session_warps`], or an even share of the warp space
+    /// when 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no disjoint window is left.
+    pub fn session(&self) -> Result<ClusterClient> {
+        let warps = match self.inner.cfg.session_warps {
+            0 => {
+                let total = self.inner.dev.config().crossbars as u32;
+                (total / 8).max(1)
+            }
+            w => w,
+        };
+        self.session_with_warps(warps)
+    }
+
+    /// Opens a client session whose placement window spans `warps` warps.
+    ///
+    /// # Errors
+    ///
+    /// See [`session`](Gateway::session); additionally fails for zero
+    /// `warps`.
+    pub fn session_with_warps(&self, warps: u32) -> Result<ClusterClient> {
+        if warps == 0 {
+            return Err(CoreError::InvalidSlice {
+                what: "session window must span at least one warp".into(),
+            });
+        }
+        let window = self.inner.dev.reserve_placement(warps)?;
+        let id = self.inner.add_session();
+        Ok(ClusterClient::new(
+            Arc::clone(&self.inner),
+            id,
+            window,
+            self.inner.dev.with_placement(window),
+        ))
+    }
+
+    /// Telemetry of the admission controller (coalescing and in-flight
+    /// depth).
+    pub fn stats(&self) -> GatewayStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterClient, DeviceServeExt, ServeConfig};
+    use futures::executor::block_on;
+    use futures::future::join_all;
+    use pim_arch::PimConfig;
+    use pypim_core::Device;
+
+    /// 4 chips x 4 crossbars x 64 rows, 16 logical warps.
+    fn dev4() -> Device {
+        Device::cluster(PimConfig::small().with_crossbars(4), 4).unwrap()
+    }
+
+    async fn request(client: &ClusterClient, n: usize, seed: f32) -> Result<f32> {
+        let data: Vec<f32> = (0..n).map(|i| seed + i as f32).collect();
+        let x = client.upload_f32(&data).await?;
+        let y = client.full_f32(n, 2.0).await?;
+        let xy = client.mul(&x, &y).await?;
+        let z = client.add(&xy, &x).await?;
+        client.sum_f32(&z).await
+    }
+
+    fn expect(n: usize, seed: f32) -> f32 {
+        (0..n).map(|i| (seed + i as f32) * 3.0).sum()
+    }
+
+    #[test]
+    fn sessions_reserve_disjoint_windows_until_exhausted() {
+        let gw = dev4().serve(ServeConfig::default());
+        // 16 warps / auto window of 2 -> 8 sessions.
+        let sessions: Vec<ClusterClient> = (0..8).map(|_| gw.session().unwrap()).collect();
+        for (i, a) in sessions.iter().enumerate() {
+            for b in sessions.iter().skip(i + 1) {
+                assert!(!a.window().overlaps(&b.window()), "sessions alias");
+            }
+        }
+        assert!(gw.session().is_err(), "window space exhausted");
+        drop(sessions);
+        // Released windows become reservable again.
+        assert!(gw.session().is_ok());
+    }
+
+    #[test]
+    fn session_slots_are_reused_after_drop() {
+        let gw = dev4().serve(ServeConfig::default());
+        for i in 0..20 {
+            let client = gw.session_with_warps(4).unwrap();
+            block_on(request(&client, 8, i as f32)).unwrap();
+        }
+        assert_eq!(gw.stats().sessions, 20);
+        // Session churn must not grow the queue table: every closed
+        // session's slot is recycled.
+        assert_eq!(gw.inner.state.lock().queues.len(), 1);
+    }
+
+    #[test]
+    fn backpressure_bounds_inflight_groups() {
+        let gw = dev4().serve(ServeConfig {
+            max_inflight: 2,
+            ..ServeConfig::default()
+        });
+        let clients: Vec<ClusterClient> =
+            (0..6).map(|_| gw.session_with_warps(2).unwrap()).collect();
+        let results = block_on(join_all(clients.iter().map(|c| request(c, 16, 1.0))));
+        for r in results {
+            assert_eq!(r.unwrap(), expect(16, 1.0));
+        }
+        let stats = gw.stats();
+        assert!(stats.groups > 0);
+        assert!(
+            stats.peak_inflight <= 2,
+            "budget exceeded: {} in flight",
+            stats.peak_inflight
+        );
+    }
+
+    #[test]
+    fn budget_pressure_coalesces_batches() {
+        // With a single in-flight slot, batches of the waiting sessions
+        // accumulate and must go out as one coalesced submission.
+        let gw = dev4().serve(ServeConfig {
+            max_inflight: 1,
+            ..ServeConfig::default()
+        });
+        let clients: Vec<ClusterClient> =
+            (0..4).map(|_| gw.session_with_warps(2).unwrap()).collect();
+        let results = block_on(join_all(clients.iter().map(|c| request(c, 8, 2.0))));
+        for r in results {
+            assert_eq!(r.unwrap(), expect(8, 2.0));
+        }
+        let stats = gw.stats();
+        assert!(
+            stats.max_coalesced >= 2,
+            "no coalescing observed: {stats:?}"
+        );
+        assert_eq!(stats.peak_inflight, 1);
+        assert!(stats.batches >= stats.groups);
+    }
+
+    #[test]
+    fn single_chip_device_serves_inline() {
+        let gw = Device::new(PimConfig::small())
+            .unwrap()
+            .serve(ServeConfig::default());
+        let clients: Vec<ClusterClient> =
+            (0..3).map(|_| gw.session_with_warps(4).unwrap()).collect();
+        let results = block_on(join_all(clients.iter().map(|c| request(c, 12, 0.5))));
+        for r in results {
+            assert_eq!(r.unwrap(), expect(12, 0.5));
+        }
+    }
+
+    #[test]
+    fn protocol_violations_surface_to_the_client() {
+        let gw = dev4().serve(ServeConfig::default());
+        let client = gw.session().unwrap();
+        let err = block_on(client.exec(vec![pim_isa::Instruction::Read {
+            reg: 0,
+            warp: 0,
+            row: 0,
+        }]))
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Protocol { .. }), "{err:?}");
+        // The gateway survives the failed group.
+        assert_eq!(block_on(request(&client, 8, 3.0)).unwrap(), expect(8, 3.0));
+    }
+
+    #[test]
+    fn empty_batch_resolves_immediately() {
+        let gw = dev4().serve(ServeConfig::default());
+        let client = gw.session().unwrap();
+        block_on(client.exec(Vec::new())).unwrap();
+        assert_eq!(gw.stats().groups, 0, "empty batches skip the device");
+    }
+}

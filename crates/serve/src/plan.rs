@@ -1,0 +1,216 @@
+//! Fused request pipelines: a [`RequestPlan`] accumulates the instruction
+//! stream of a whole request — uploads, element-parallel ops, every level
+//! of a reduction — and submits it as **one** gateway batch, collapsing a
+//! request's ~2·log n admission round trips into a single submission plus
+//! one read.
+//!
+//! This is the structural advantage the planning API buys the gateway over
+//! the blocking tensor library: the blocking API must execute-and-wait per
+//! op (each result might be read next), while a session that declares its
+//! whole request up front lets dependent instructions ride one shard-FIFO
+//! stream. Fusing preserves bit-identical semantics: the instructions and
+//! their order are exactly the stepwise ones, and every data dependency in
+//! a session window is same-warp (element-wise ops) or same-shard
+//! (intra-window moves), which the per-shard FIFO job channels order
+//! correctly. A plan that would need a chip-crossing move still works —
+//! the submission falls back to inline barrier-aware execution.
+//!
+//! Memory discipline: planned tensors allocate at *plan* time, and
+//! intermediate stripes freed during planning may be reused by *later*
+//! instructions of the same plan (safe: planning order equals execution
+//! order, and the allocator's hard window reservations keep every other
+//! client out of the session's window, so nobody else can claim a
+//! recycled stripe while its instructions are in flight). The plan
+//! therefore needs its session window to hold only the simultaneously-live
+//! stripes, just like stepwise execution.
+
+use crate::ClusterClient;
+use pim_isa::{DType, Instruction, RegOp};
+use pypim_core::{identity_bits, plan_copy, CoreError, Result, Tensor};
+
+/// An unsubmitted request pipeline on one session (see the module docs).
+/// Build it with [`ClusterClient::plan`], chain ops, then
+/// [`run`](RequestPlan::run) once.
+///
+/// Plans on one session must be run in the order they were built: a later
+/// plan's allocations may recycle stripes an earlier unsubmitted plan
+/// still references, which is only correct if the earlier plan's
+/// instructions reach the shards first (sessions that `await` each plan
+/// before building the next — the normal pattern — get this for free).
+pub struct RequestPlan<'c> {
+    client: &'c ClusterClient,
+    instrs: Vec<Instruction>,
+}
+
+impl<'c> RequestPlan<'c> {
+    pub(crate) fn new(client: &'c ClusterClient) -> Self {
+        RequestPlan {
+            client,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Instructions planned so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether nothing has been planned yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Plans uploading a float slice into a fresh session tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation errors.
+    pub fn upload_f32(&mut self, data: &[f32]) -> Result<Tensor> {
+        let t = self.client.device().uninit(data.len(), DType::Float32)?;
+        self.instrs
+            .extend(t.plan_store(data.iter().map(|v| v.to_bits())));
+        Ok(t)
+    }
+
+    /// Plans uploading an int slice into a fresh session tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation errors.
+    pub fn upload_i32(&mut self, data: &[i32]) -> Result<Tensor> {
+        let t = self.client.device().uninit(data.len(), DType::Int32)?;
+        self.instrs
+            .extend(t.plan_store(data.iter().map(|v| *v as u32)));
+        Ok(t)
+    }
+
+    /// Plans a tensor of `n` copies of `value` (float32).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation errors.
+    pub fn full_f32(&mut self, n: usize, value: f32) -> Result<Tensor> {
+        let t = self.client.device().uninit(n, DType::Float32)?;
+        self.instrs.extend(t.plan_fill(value.to_bits()));
+        Ok(t)
+    }
+
+    /// Plans a tensor of `n` copies of `value` (int32).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation errors.
+    pub fn full_i32(&mut self, n: usize, value: i32) -> Result<Tensor> {
+        let t = self.client.device().uninit(n, DType::Int32)?;
+        self.instrs.extend(t.plan_fill(value as u32));
+        Ok(t)
+    }
+
+    /// Plans an element-parallel binary operation. Operands must be
+    /// thread-aligned (tensors of one session built over the same length
+    /// are); use the stepwise [`ClusterClient::binary`] for layouts that
+    /// need the move-based alignment fallback.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape/dtype/device mismatches, misalignment, or allocation
+    /// errors.
+    pub fn binary(&mut self, op: RegOp, lhs: &Tensor, rhs: &Tensor) -> Result<Tensor> {
+        let (out, instrs) = lhs.plan_binary(op, rhs)?;
+        self.instrs.extend(instrs);
+        Ok(out)
+    }
+
+    /// Plans an element-parallel unary operation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation errors.
+    pub fn unary(&mut self, op: RegOp, t: &Tensor) -> Result<Tensor> {
+        let (out, instrs) = t.plan_unary(op)?;
+        self.instrs.extend(instrs);
+        Ok(out)
+    }
+
+    /// `lhs + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`binary`](RequestPlan::binary).
+    pub fn add(&mut self, lhs: &Tensor, rhs: &Tensor) -> Result<Tensor> {
+        self.binary(RegOp::Add, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`binary`](RequestPlan::binary).
+    pub fn mul(&mut self, lhs: &Tensor, rhs: &Tensor) -> Result<Tensor> {
+        self.binary(RegOp::Mul, lhs, rhs)
+    }
+
+    /// Plans the whole logarithmic reduction of `t` with `op` (`Add` or
+    /// `Mul`), returning the one-element result tensor to read after
+    /// [`run`](RequestPlan::run). Same compact-then-halve loop as the
+    /// stepwise reduction — identical instructions, identical float
+    /// combine order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Misaligned`] for layouts whose alignment moves
+    /// have no instruction plan (use the stepwise
+    /// [`ClusterClient::reduce_raw`] there), plus allocation errors.
+    pub fn reduce(&mut self, t: &Tensor, op: RegOp) -> Result<Tensor> {
+        assert!(
+            matches!(op, RegOp::Add | RegOp::Mul),
+            "reduction requires an associative ALU operation"
+        );
+        let no_plan = || CoreError::Misaligned {
+            what: "this layout's alignment moves cannot be planned; use the \
+                   stepwise reduction"
+                .into(),
+        };
+        let n2 = t.len().next_power_of_two();
+        let c = self.client.device().uninit(n2, t.dtype())?;
+        self.instrs
+            .extend(c.plan_fill(identity_bits(op, t.dtype())));
+        let prefix = c.slice(0, t.len())?;
+        self.instrs
+            .extend(plan_copy(t, &prefix)?.ok_or_else(no_plan)?);
+        let mut cur = c;
+        while cur.len() > 1 {
+            let half = cur.len() / 2;
+            let lo = cur.slice(0, half)?;
+            let hi = cur.slice(half, cur.len())?;
+            let hi_aligned = lo.empty_aligned(hi.dtype())?;
+            self.instrs
+                .extend(plan_copy(&hi, &hi_aligned)?.ok_or_else(no_plan)?);
+            let (combined, bin) = lo.plan_binary(op, &hi_aligned)?;
+            self.instrs.extend(bin);
+            // Dropping the previous level's stripes here lets later plan
+            // allocations recycle them — safe because planning order is
+            // execution order within the session's shard streams.
+            cur = combined;
+        }
+        Ok(cur)
+    }
+
+    /// Submits the whole plan as one gateway batch and resolves when it
+    /// has executed. Read results afterwards with
+    /// [`ClusterClient::to_vec_f32`] / [`read_locs`](ClusterClient::read_locs).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces validation and shard errors.
+    pub async fn run(self) -> Result<()> {
+        self.client.exec(self.instrs).await
+    }
+}
+
+impl ClusterClient {
+    /// Starts a fused request pipeline (see [`RequestPlan`]).
+    pub fn plan(&self) -> RequestPlan<'_> {
+        RequestPlan::new(self)
+    }
+}

@@ -1,0 +1,327 @@
+//! Client sessions: a [`ClusterClient`] is one caller's handle onto the
+//! gateway, owning a private placement window in the device's warp space
+//! and an async tensor-op vocabulary whose every step flows through the
+//! gateway's admission controller.
+//!
+//! The op set mirrors the synchronous tensor library step for step
+//! (uploads are per-element stores, elementwise ops are the same R-type
+//! plans, reductions run the same compact-then-halve loop), so a request
+//! served through the gateway produces **bit-identical** results to the
+//! same program run synchronously — `tests/serve_contract.rs` holds the
+//! stack to that.
+
+use crate::gateway::GatewayInner;
+use pim_isa::{DType, Instruction, RegOp};
+use pypim_core::{identity_bits, plan_copy, CoreError, Device, PlacementHint, Result, Tensor};
+use std::sync::Arc;
+
+/// One client's session on the serving gateway.
+///
+/// Tensors created through the session allocate inside its private
+/// placement window (including operation results and temporaries), so
+/// concurrent sessions never contend for the same warp window's registers
+/// — the failure mode that used to force serving front ends to bound
+/// in-flight requests. Dropping the session releases the window's headroom
+/// reservation; tensors created through it stay valid.
+pub struct ClusterClient {
+    gw: Arc<GatewayInner>,
+    id: usize,
+    window: PlacementHint,
+    dev: Device,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("id", &self.id)
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        self.gw.dev.release_placement(self.window);
+        self.gw.remove_session(self.id);
+    }
+}
+
+impl ClusterClient {
+    pub(crate) fn new(
+        gw: Arc<GatewayInner>,
+        id: usize,
+        window: PlacementHint,
+        dev: Device,
+    ) -> Self {
+        ClusterClient {
+            gw,
+            id,
+            window,
+            dev,
+        }
+    }
+
+    /// This session's placement window.
+    pub fn window(&self) -> PlacementHint {
+        self.window
+    }
+
+    /// The session's device handle (allocations through it land in the
+    /// session window).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Submits one non-read instruction batch through the gateway's
+    /// admission controller and resolves when it has executed.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces validation and shard errors (a coalescing peer's failure in
+    /// the same group also surfaces here — groups share fate).
+    pub async fn exec(&self, instrs: Vec<Instruction>) -> Result<()> {
+        self.gw.enqueue(self.id, instrs).await
+    }
+
+    /// Reads raw words at `(warp, row, register)` locations, in order.
+    /// Reads bypass coalescing (they end a request's pipeline) but still
+    /// stream asynchronously.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces addressing and shard errors.
+    pub async fn read_locs(&self, locs: &[(u32, u32, u8)]) -> Result<Vec<u32>> {
+        self.gw.dev.submit_reads(locs)?.await
+    }
+
+    /// Uploads a float slice into a fresh session tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation or execution errors.
+    pub async fn upload_f32(&self, data: &[f32]) -> Result<Tensor> {
+        let t = self.dev.uninit(data.len(), DType::Float32)?;
+        self.exec(t.plan_store(data.iter().map(|v| v.to_bits())))
+            .await?;
+        Ok(t)
+    }
+
+    /// Uploads an int slice into a fresh session tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation or execution errors.
+    pub async fn upload_i32(&self, data: &[i32]) -> Result<Tensor> {
+        let t = self.dev.uninit(data.len(), DType::Int32)?;
+        self.exec(t.plan_store(data.iter().map(|v| *v as u32)))
+            .await?;
+        Ok(t)
+    }
+
+    /// A session tensor of `n` copies of `value` (float32).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation or execution errors.
+    pub async fn full_f32(&self, n: usize, value: f32) -> Result<Tensor> {
+        let t = self.dev.uninit(n, DType::Float32)?;
+        self.exec(t.plan_fill(value.to_bits())).await?;
+        Ok(t)
+    }
+
+    /// A session tensor of `n` copies of `value` (int32).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation or execution errors.
+    pub async fn full_i32(&self, n: usize, value: i32) -> Result<Tensor> {
+        let t = self.dev.uninit(n, DType::Int32)?;
+        self.exec(t.plan_fill(value as u32)).await?;
+        Ok(t)
+    }
+
+    /// Copies `src` into `dst` (same length, any layouts): the planned move
+    /// fast paths when one exists, a read-modify-write fallback otherwise —
+    /// value-identical to the synchronous [`pypim_core::copy`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape/device mismatches or execution errors.
+    pub async fn copy(&self, src: &Tensor, dst: &Tensor) -> Result<()> {
+        match plan_copy(src, dst)? {
+            Some(plan) => self.exec(plan).await,
+            None => {
+                let values = self.read_locs(&src.element_locs()).await?;
+                self.exec(dst.plan_store(values)).await
+            }
+        }
+    }
+
+    /// Element-parallel binary operation; a misaligned right-hand side is
+    /// first copied next to the left one (the library's alignment
+    /// fallback, run through the gateway).
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape/dtype/device mismatches or execution errors.
+    pub async fn binary(&self, op: RegOp, lhs: &Tensor, rhs: &Tensor) -> Result<Tensor> {
+        let (out, instrs) = match lhs.plan_binary(op, rhs) {
+            Ok(planned) => planned,
+            Err(CoreError::Misaligned { .. }) => {
+                let aligned = lhs.empty_aligned(rhs.dtype())?;
+                self.copy(rhs, &aligned).await?;
+                lhs.plan_binary(op, &aligned)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.exec(instrs).await?;
+        Ok(out)
+    }
+
+    /// Element-parallel unary operation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation or execution errors.
+    pub async fn unary(&self, op: RegOp, t: &Tensor) -> Result<Tensor> {
+        let (out, instrs) = t.plan_unary(op)?;
+        self.exec(instrs).await?;
+        Ok(out)
+    }
+
+    /// `lhs + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`binary`](ClusterClient::binary).
+    pub async fn add(&self, lhs: &Tensor, rhs: &Tensor) -> Result<Tensor> {
+        self.binary(RegOp::Add, lhs, rhs).await
+    }
+
+    /// `lhs * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`binary`](ClusterClient::binary).
+    pub async fn mul(&self, lhs: &Tensor, rhs: &Tensor) -> Result<Tensor> {
+        self.binary(RegOp::Mul, lhs, rhs).await
+    }
+
+    /// Logarithmic-time reduction with `op` (`Add` or `Mul`) — the same
+    /// compact-then-halve loop as the synchronous
+    /// [`Tensor::reduce_raw`](pypim_core::Tensor), every step awaited
+    /// through the gateway, so the combine order (and therefore every
+    /// float rounding) is identical.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation, movement, or execution errors.
+    pub async fn reduce_raw(&self, t: &Tensor, op: RegOp) -> Result<u32> {
+        assert!(
+            matches!(op, RegOp::Add | RegOp::Mul),
+            "reduction requires an associative ALU operation"
+        );
+        // Compact to a power-of-two dense layout padded with the identity.
+        // The pad fill and the data copy ride one submission when a move
+        // plan exists: the instruction order matches the synchronous
+        // `compact_with_padding` exactly (fill first, copy after), and
+        // dependent cells share warps, so shard-FIFO execution preserves
+        // the order — one admission cycle instead of two.
+        let n2 = t.len().next_power_of_two();
+        let c = self.dev.uninit(n2, t.dtype())?;
+        let prefix = c.slice(0, t.len())?;
+        let mut instrs = c.plan_fill(identity_bits(op, t.dtype()));
+        match plan_copy(t, &prefix)? {
+            Some(plan) => {
+                instrs.extend(plan);
+                self.exec(instrs).await?;
+            }
+            None => {
+                self.exec(instrs).await?;
+                self.copy(t, &prefix).await?;
+            }
+        }
+        // Halve: align the upper half with the lower, combine in parallel.
+        // Each level's align-move and combine fuse into one submission the
+        // same way.
+        let mut cur = c;
+        while cur.len() > 1 {
+            let half = cur.len() / 2;
+            let lo = cur.slice(0, half)?;
+            let hi = cur.slice(half, cur.len())?;
+            let hi_aligned = lo.empty_aligned(hi.dtype())?;
+            cur = match plan_copy(&hi, &hi_aligned)? {
+                Some(mut plan) => {
+                    let (combined, bin) = lo.plan_binary(op, &hi_aligned)?;
+                    plan.extend(bin);
+                    self.exec(plan).await?;
+                    combined
+                }
+                None => {
+                    self.copy(&hi, &hi_aligned).await?;
+                    self.binary(op, &lo, &hi_aligned).await?
+                }
+            };
+        }
+        let locs = cur.element_locs();
+        Ok(self.read_locs(&locs).await?[0])
+    }
+
+    /// Sum of all elements (float32).
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float tensors or on reduction errors.
+    pub async fn sum_f32(&self, t: &Tensor) -> Result<f32> {
+        if t.dtype() != DType::Float32 {
+            return Err(CoreError::DTypeMismatch {
+                what: format!("expected float32, tensor holds {}", t.dtype()),
+            });
+        }
+        Ok(f32::from_bits(self.reduce_raw(t, RegOp::Add).await?))
+    }
+
+    /// Sum of all elements (int32, wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-int tensors or on reduction errors.
+    pub async fn sum_i32(&self, t: &Tensor) -> Result<i32> {
+        if t.dtype() != DType::Int32 {
+            return Err(CoreError::DTypeMismatch {
+                what: format!("expected int32, tensor holds {}", t.dtype()),
+            });
+        }
+        Ok(self.reduce_raw(t, RegOp::Add).await? as i32)
+    }
+
+    /// Reads a whole tensor back as floats.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-float tensors or on read errors.
+    pub async fn to_vec_f32(&self, t: &Tensor) -> Result<Vec<f32>> {
+        if t.dtype() != DType::Float32 {
+            return Err(CoreError::DTypeMismatch {
+                what: format!("expected float32, tensor holds {}", t.dtype()),
+            });
+        }
+        let bits = self.read_locs(&t.element_locs()).await?;
+        Ok(bits.into_iter().map(f32::from_bits).collect())
+    }
+
+    /// Reads a whole tensor back as ints.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-int tensors or on read errors.
+    pub async fn to_vec_i32(&self, t: &Tensor) -> Result<Vec<i32>> {
+        if t.dtype() != DType::Int32 {
+            return Err(CoreError::DTypeMismatch {
+                what: format!("expected int32, tensor holds {}", t.dtype()),
+            });
+        }
+        let bits = self.read_locs(&t.element_locs()).await?;
+        Ok(bits.into_iter().map(|b| b as i32).collect())
+    }
+}

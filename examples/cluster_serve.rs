@@ -1,70 +1,55 @@
-//! Request serving on a sharded multi-chip cluster: many concurrent client
-//! threads submit tensor-program "requests" against one `Device::cluster`,
-//! whose shard workers execute element-parallel work on all chips at once.
+//! Request serving on a sharded multi-chip cluster through the `pim-serve`
+//! gateway: one host thread drives every client's requests concurrently —
+//! no thread per client, no semaphore bounding in-flight work.
+//!
+//! Each client session owns a private placement window in the warp space
+//! (`Gateway::session`), so concurrent requests allocate in disjoint
+//! stripes and the window-exhaustion failure mode that used to require a
+//! `MAX_IN_FLIGHT` admission bound is structurally gone; the gateway's
+//! in-flight budget is batching backpressure, not a memory-safety valve.
 //!
 //! Run with: `cargo run --release --example cluster_serve`
 
+use futures::executor::block_on;
+use futures::future::join_all;
 use pypim::driver::ParallelismMode;
-use pypim::{Device, InterconnectConfig, PimConfig, Result, Tensor};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread;
+use pypim::serve::ClusterClient;
+use pypim::{Device, DeviceServeExt, InterconnectConfig, PimConfig, Result, ServeConfig};
+use std::time::{Duration, Instant};
 
 const SHARDS: usize = 4;
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 2;
-/// Whole-memory requests: each spans every chip, so one request's
-/// element-parallel work runs on all shard workers at once.
-const REQUEST_ELEMS: usize = 4096;
-/// Admission control: requests in flight at once. PIM registers are the
-/// scarce serving resource — each in-flight request holds a handful of
-/// register stripes in its warp window, so a production front end bounds
-/// concurrency to what the memory can host and queues the rest.
-const MAX_IN_FLIGHT: usize = 2;
-
-/// A minimal counting semaphore (std has none).
-struct Semaphore {
-    permits: Mutex<usize>,
-    available: Condvar,
-}
-
-impl Semaphore {
-    fn new(permits: usize) -> Self {
-        Semaphore {
-            permits: Mutex::new(permits),
-            available: Condvar::new(),
-        }
-    }
-
-    fn acquire(&self) {
-        let mut p = self.permits.lock().unwrap();
-        while *p == 0 {
-            p = self.available.wait(p).unwrap();
-        }
-        *p -= 1;
-    }
-
-    fn release(&self) {
-        *self.permits.lock().unwrap() += 1;
-        self.available.notify_one();
-    }
-}
 
 /// The per-request program: the paper's Figure 12 function plus a
-/// logarithmic reduction — `sum(x * y + x)`.
-fn serve_request(dev: &Device, values: &[f32]) -> Result<f32> {
-    let x = dev.from_slice_f32(values)?;
-    let y = dev.full_f32(values.len(), 2.0)?;
-    let z: Tensor = (&(&x * &y)? + &x)?;
-    z.sum_f32()
+/// logarithmic reduction — `sum(x * y + x)` — as a *fused* pipeline: the
+/// upload, both element-parallel ops, and every reduction level ride one
+/// gateway submission, leaving a single read at the end. (The stepwise
+/// session API — `client.mul(&x, &y).await` etc. — serves the same
+/// programs one op per submission.)
+async fn serve_request(client: &ClusterClient, values: &[f32]) -> Result<f32> {
+    let mut plan = client.plan();
+    let x = plan.upload_f32(values)?;
+    let y = plan.full_f32(values.len(), 2.0)?;
+    let xy = plan.mul(&x, &y)?;
+    let z = plan.add(&xy, &x)?;
+    let sum = plan.reduce(&z, pypim::RegOp::Add)?;
+    plan.run().await?;
+    Ok(client.to_vec_f32(&sum).await?[0])
 }
 
 /// Deterministic request payload for client `cid`, request `req`. Values
 /// are small dyadic rationals, so float sums are exact in any order and the
 /// host-side check below is bit-exact.
-fn payload(cid: usize, req: usize) -> Vec<f32> {
-    (0..REQUEST_ELEMS)
+fn payload(cid: usize, req: usize, elems: usize) -> Vec<f32> {
+    (0..elems)
         .map(|i| ((cid * 31 + req * 7 + i) % 13) as f32 * 0.25)
         .collect()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
 }
 
 fn main() -> Result<()> {
@@ -86,41 +71,81 @@ fn main() -> Result<()> {
         dev.config().total_threads(),
     );
 
-    let start = std::time::Instant::now();
-    let admission = Arc::new(Semaphore::new(MAX_IN_FLIGHT));
-    let handles: Vec<_> = (0..CLIENTS)
-        .map(|cid| {
-            let dev = dev.clone();
-            let admission = Arc::clone(&admission);
-            thread::spawn(move || -> Result<f32> {
-                let mut acc = 0.0f32;
-                for req in 0..REQUESTS_PER_CLIENT {
-                    admission.acquire();
-                    let result = serve_request(&dev, &payload(cid, req));
-                    admission.release();
-                    acc += result?;
-                }
-                Ok(acc)
-            })
-        })
-        .collect();
+    // One gateway, one session per client. Window sizing: an even share of
+    // the warp space per client, so each request's tensors stay inside its
+    // own stripe set (here: 8 warps of 64 threads -> 512-element requests).
+    let total_warps = dev.config().crossbars as u32;
+    let session_warps = total_warps / CLIENTS as u32;
+    let request_elems = session_warps as usize * dev.config().rows;
+    let gateway = dev.serve(ServeConfig {
+        session_warps,
+        ..ServeConfig::default()
+    });
+    let clients: Vec<ClusterClient> = (0..CLIENTS)
+        .map(|_| gateway.session())
+        .collect::<Result<_>>()?;
+    println!(
+        "gateway: {CLIENTS} sessions x {session_warps}-warp windows, \
+         {request_elems}-element requests, no in-flight bound",
+    );
+
+    // One host thread drives all clients' requests concurrently.
+    let start = Instant::now();
+    let outcomes: Vec<Result<(f32, Vec<Duration>)>> = block_on(join_all(
+        clients.iter().enumerate().map(|(cid, client)| async move {
+            let mut acc = 0.0f32;
+            let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+            for req in 0..REQUESTS_PER_CLIENT {
+                let t0 = Instant::now();
+                acc += serve_request(client, &payload(cid, req, request_elems)).await?;
+                latencies.push(t0.elapsed());
+            }
+            Ok((acc, latencies))
+        }),
+    ));
 
     let mut total = 0.0f32;
-    for (cid, h) in handles.into_iter().enumerate() {
-        let got = h.join().expect("client thread panicked")?;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for (cid, outcome) in outcomes.into_iter().enumerate() {
+        let (got, lats) = outcome?;
         let want: f32 = (0..REQUESTS_PER_CLIENT)
-            .map(|req| payload(cid, req).iter().map(|v| v * 2.0 + v).sum::<f32>())
+            .map(|req| {
+                payload(cid, req, request_elems)
+                    .iter()
+                    .map(|v| v * 2.0 + v)
+                    .sum::<f32>()
+            })
             .sum();
         assert_eq!(got, want, "client {cid} result mismatch");
         total += got;
+        latencies.extend(lats);
     }
     let elapsed = start.elapsed();
+    latencies.sort();
     println!(
         "served {} requests x {} elements from {} clients in {:.1} ms (sum {total})",
         CLIENTS * REQUESTS_PER_CLIENT,
-        REQUEST_ELEMS,
+        request_elems,
         CLIENTS,
         elapsed.as_secs_f64() * 1e3,
+    );
+    println!(
+        "per-request latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms \
+         (concurrent requests overlap, so sums exceed wall time)",
+        percentile(&latencies, 0.50).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.90).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e3,
+    );
+    let gstats = gateway.stats();
+    println!(
+        "gateway: {} submissions carried {} client batches ({} instructions); \
+         max {} batches coalesced, peak {} in flight, {} deferred",
+        gstats.groups,
+        gstats.batches,
+        gstats.instructions,
+        gstats.max_coalesced,
+        gstats.peak_inflight,
+        gstats.deferred,
     );
 
     if let Some(stats) = dev.cluster_stats() {
@@ -143,11 +168,12 @@ fn main() -> Result<()> {
     // worth of elements, so every moved warp crosses a chip boundary and
     // goes over the modeled interconnect.
     dev.reset_counters();
-    let t = dev.arange_i32(REQUEST_ELEMS)?;
-    let rolled = pypim::shifted(&t, (REQUEST_ELEMS / SHARDS) as i64)?;
+    let demo_elems = dev.config().total_threads() as usize;
+    let t = dev.arange_i32(demo_elems)?;
+    let rolled = pypim::shifted(&t, (demo_elems / SHARDS) as i64)?;
     assert_eq!(
         rolled.get_i32(0)?,
-        (REQUEST_ELEMS / SHARDS) as i32,
+        (demo_elems / SHARDS) as i32,
         "cross-chip shift must preserve values"
     );
     if let Some(stats) = dev.cluster_stats() {

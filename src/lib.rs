@@ -14,7 +14,12 @@
 //!   micro-operations (gate-level AritPIM arithmetic, IEEE-754 floats).
 //! * [`cluster`] — sharded multi-chip execution engine: `N` driver+chip
 //!   pairs on worker threads behind one flat address space, with batched
-//!   job submission and cross-shard gather/scatter/reduce.
+//!   job submission (blocking *and* pollable — job tickets are futures)
+//!   and cross-shard gather/scatter/reduce.
+//! * [`serve`] — async multi-client serving gateway: one host thread
+//!   drives many in-flight client sessions, each with its own placement
+//!   window, through an admission controller that coalesces their steps
+//!   into shared cluster submissions ([`Gateway`], [`ClusterClient`]).
 //! * The development library ([`Tensor`], [`Device`], …) — NumPy-like
 //!   tensors with views, reductions, sorting, and CORDIC routines.
 //!
@@ -73,16 +78,52 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Serving quickstart
+//!
+//! [`DeviceServeExt::serve`] puts an async gateway in front of the
+//! cluster: each client opens a [`ClusterClient`] session with a private
+//! placement window, and one `block_on(join_all(…))` host thread keeps
+//! every request in flight at once — no thread per client, no in-flight
+//! bound to protect the allocator (see `examples/cluster_serve.rs`).
+//!
+//! ```
+//! use futures::executor::block_on;
+//! use futures::future::join_all;
+//! use pypim::{Device, DeviceServeExt, PimConfig, Result, ServeConfig};
+//!
+//! # fn main() -> Result<()> {
+//! let dev = Device::cluster(PimConfig::small().with_crossbars(4), 4)?;
+//! let gateway = dev.serve(ServeConfig::default());
+//! let clients: Vec<_> = (0..4)
+//!     .map(|_| gateway.session())
+//!     .collect::<Result<_>>()?;
+//!
+//! let sums = block_on(join_all(clients.iter().map(|client| async move {
+//!     let x = client.upload_f32(&[1.0, 2.0, 3.0]).await?;
+//!     let y = client.full_f32(3, 2.0).await?;
+//!     let z = client.mul(&x, &y).await?;
+//!     client.sum_f32(&z).await
+//! })));
+//! for s in sums {
+//!     assert_eq!(s?, 12.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
 pub use pim_arch as arch;
 pub use pim_cluster as cluster;
 pub use pim_driver as driver;
 pub use pim_isa as isa;
+pub use pim_serve as serve;
 pub use pim_sim as sim;
 
 pub use pim_arch::{PimConfig, RangeMask};
 pub use pim_cluster::{
-    ClusterStats, Combine, DrainPolicy, GlobalWrite, Interconnect, InterconnectConfig, PimCluster,
-    ShardPlan, Staging, TrafficStats,
+    ClusterStats, Combine, DrainPolicy, GatherTicket, GlobalWrite, Interconnect,
+    InterconnectConfig, JobSet, JobTicket, PimCluster, ShardPlan, Staging, Submission,
+    TrafficStats,
 };
+pub use pim_serve::{ClusterClient, DeviceServeExt, Gateway, GatewayStats, ServeConfig};
 pub use pypim_core::*;

@@ -180,6 +180,34 @@ impl BenchmarkGroup<'_> {
         self.bench_function(id, |b| f(b, input));
     }
 
+    /// Records a caller-measured value (seconds) as one benchmark entry —
+    /// a stub extension (not in the real criterion API) for derived
+    /// statistics a timing loop cannot produce, e.g. latency percentiles
+    /// across concurrent requests or modeled-clock measurements. The entry
+    /// lands in the JSON report like any timed benchmark, with
+    /// `min = median = mean = seconds`; pass a throughput to get a
+    /// meaningful `per_sec_median`.
+    pub fn report_metric(
+        &mut self,
+        id: impl std::fmt::Display,
+        seconds: f64,
+        throughput: Option<Throughput>,
+    ) {
+        let record = Record {
+            group: self.name.clone(),
+            id: id.to_string(),
+            stats: SampleStats {
+                min: seconds,
+                median: seconds,
+                mean: seconds,
+                iters: 1,
+            },
+            throughput,
+        };
+        report(&record);
+        self.criterion.records.push(record);
+    }
+
     /// Ends the group (reports are printed as benchmarks run).
     pub fn finish(self) {}
 }

@@ -1,0 +1,214 @@
+//! Offline stub for `futures`: the executor/combinator surface this
+//! workspace uses — [`executor::block_on`] and [`future::join_all`] —
+//! implemented over `std::task` alone. One `block_on(join_all(requests))`
+//! call is how a single host thread drives many in-flight serving requests
+//! against the PIM cluster: shard workers complete job tickets and wake the
+//! parked thread, which re-polls every request future that registered the
+//! woken waker.
+
+/// Executors that run futures to completion on the calling thread.
+pub mod executor {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+    use std::thread::Thread;
+
+    /// Waker that unparks the thread running [`block_on`].
+    struct ThreadWaker {
+        thread: Thread,
+        /// Set by `wake`, cleared by the executor before polling: a wake
+        /// that lands *while* the future is being polled must trigger one
+        /// more poll instead of being lost to a stale park.
+        notified: AtomicBool,
+    }
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+
+    /// Runs `future` to completion on the current thread, parking between
+    /// polls until a [`Waker`] registered with the future fires.
+    pub fn block_on<F: Future>(future: F) -> F::Output {
+        let mut future = pin!(future);
+        let thread_waker = Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(true),
+        });
+        let waker = Waker::from(Arc::clone(&thread_waker));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            while thread_waker.notified.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+                    return out;
+                }
+            }
+            // `unpark` before `park` makes the latter return immediately,
+            // so a wake between the `swap` above and this `park` is safe.
+            std::thread::park();
+            thread_waker.notified.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Future combinators.
+pub mod future {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+
+    /// Future returned by [`join_all`].
+    pub struct JoinAll<F: Future> {
+        /// `Err(pending)` until done, then `Ok(output)`; boxed so the
+        /// combinator itself stays `Unpin` regardless of `F`.
+        slots: Vec<Result<F::Output, Pin<Box<F>>>>,
+    }
+
+    /// Collects an iterator of futures into one future yielding all their
+    /// outputs in input order. Every pending sub-future is polled whenever
+    /// the joined future is polled, so they all make progress concurrently
+    /// on the driving thread.
+    pub fn join_all<I>(iter: I) -> JoinAll<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Future,
+    {
+        JoinAll {
+            slots: iter.into_iter().map(|f| Err(Box::pin(f))).collect(),
+        }
+    }
+
+    // Sound: sub-futures are heap-pinned (`Pin<Box<F>>`) and outputs are
+    // plain moved values — nothing in `JoinAll` relies on its own address.
+    impl<F: Future> Unpin for JoinAll<F> {}
+
+    impl<F: Future> Future for JoinAll<F> {
+        type Output = Vec<F::Output>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            let mut done = true;
+            for slot in &mut this.slots {
+                if let Err(fut) = slot {
+                    match fut.as_mut().poll(cx) {
+                        Poll::Ready(out) => *slot = Ok(out),
+                        Poll::Pending => done = false,
+                    }
+                }
+            }
+            if !done {
+                return Poll::Pending;
+            }
+            Poll::Ready(
+                std::mem::take(&mut this.slots)
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Ok(out) => out,
+                        Err(_) => unreachable!("all sub-futures resolved"),
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::executor::block_on;
+    use super::future::join_all;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+
+    /// Completes on the `n`-th poll, waking itself in between.
+    struct CountDown(u32);
+
+    impl Future for CountDown {
+        type Output = u32;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+            if self.0 == 0 {
+                Poll::Ready(7)
+            } else {
+                self.0 -= 1;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn block_on_ready() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn block_on_self_waking() {
+        assert_eq!(block_on(CountDown(5)), 7);
+    }
+
+    #[test]
+    fn block_on_cross_thread_wake() {
+        // The waker must survive a move to another thread and unpark the
+        // executor — the shape of a shard worker completing a job ticket.
+        struct Once(Option<std::sync::mpsc::Receiver<u32>>);
+        impl Future for Once {
+            type Output = u32;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                let rx = self.0.take().unwrap();
+                let waker = cx.waker().clone();
+                let (done_tx, done_rx) = std::sync::mpsc::channel();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    done_tx.send(9).unwrap();
+                    waker.wake();
+                });
+                drop(rx);
+                self.0 = Some(done_rx);
+                Poll::Pending
+            }
+        }
+        // Second poll reads the channel.
+        struct Driver(Once, bool);
+        impl Future for Driver {
+            type Output = u32;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                if !self.1 {
+                    self.1 = true;
+                    let _ = Pin::new(&mut self.0).poll(cx);
+                    return Poll::Pending;
+                }
+                match self.0 .0.as_ref().unwrap().try_recv() {
+                    Ok(v) => Poll::Ready(v),
+                    Err(_) => {
+                        cx.waker().wake_by_ref();
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        drop(tx);
+        assert_eq!(block_on(Driver(Once(Some(rx)), false)), 9);
+    }
+
+    #[test]
+    fn join_all_orders_outputs() {
+        let futs = (0..4u32).map(|i| async move { i * 10 });
+        assert_eq!(block_on(join_all(futs)), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn join_all_mixed_latencies() {
+        let futs = [CountDown(3), CountDown(0), CountDown(6)];
+        assert_eq!(block_on(join_all(futs)), vec![7, 7, 7]);
+    }
+}
