@@ -11,15 +11,18 @@
 //! PR-1 per-word path for a chip-crossing `MoveWarps`; `move_mixed` A/Bs
 //! the dependency-aware drain rule (only touched shards wait at a crossing
 //! move) against the PR-1 global barrier on a batch that interleaves heavy
-//! shard-local work with cross-chip transfers.
+//! shard-local work with cross-chip transfers; `move_shift` A/Bs the
+//! cross-chip move coalescer (`Coalesce::On` vs `Off`) on a whole-memory
+//! shift whose decomposition otherwise reaches the links as one message
+//! and one barrier per warp.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pim_arch::{MicroOp, PimConfig, RangeMask};
 use pim_bench::{hlogic_ops, random_ints};
-use pim_cluster::{DrainPolicy, InterconnectConfig, PimCluster, Staging};
+use pim_cluster::{Coalesce, DrainPolicy, InterconnectConfig, PimCluster, Staging};
 use pim_driver::ParallelismMode;
 use pim_isa::{DType, Instruction, RegOp, ThreadRange};
-use pypim_core::{Device, Tensor};
+use pypim_core::{shifted, Device, Tensor};
 
 /// Per-chip geometry: 16 crossbars × 64 rows (1024 threads per shard).
 fn shard_cfg() -> PimConfig {
@@ -238,6 +241,111 @@ fn drain_summary(batch: &[Instruction]) {
     }
 }
 
+/// A cluster-backed device with an explicit move-coalescing policy.
+fn shift_dev(shards: usize, coalesce: Coalesce) -> Device {
+    Device::cluster_with_interconnect(
+        shard_cfg(),
+        shards,
+        ParallelismMode::default(),
+        InterconnectConfig {
+            coalesce,
+            ..InterconnectConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Move coalescing: a whole-memory shift by one chip's worth of elements,
+/// so every moved warp crosses a shard boundary. The movement layer
+/// decomposes the shift into one single-warp crossing `MoveWarps` per
+/// (row class x phase); `per_move` (`Coalesce::Off`) pays one barrier and
+/// one message for each of them, `coalesced` (`Coalesce::On`) merges the
+/// whole run into one barrier and one burst per `(src, dst)` shard pair —
+/// O(shard pairs) instead of O(warps).
+fn bench_move_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("move_shift");
+    for shards in [2usize, 4] {
+        for (name, coalesce) in [("coalesced", Coalesce::On), ("per_move", Coalesce::Off)] {
+            let dev = shift_dev(shards, coalesce);
+            let n = dev.config().total_threads() as usize;
+            let dist = (n / shards) as i64;
+            let t = dev.arange_i32(n).unwrap();
+            group.throughput(Throughput::Elements((n as i64 - dist) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{shards}-shard")),
+                &shards,
+                |b, _| {
+                    b.iter(|| shifted(&t, dist).unwrap());
+                },
+            );
+        }
+    }
+    // Modeled link traffic of one shift per policy, written into the JSON
+    // report so the A/B is machine-checkable: `link_seconds` is the
+    // modeled link time at a 1 GHz link clock (throughput = moved
+    // elements per modeled second); `messages` and `barriers` are raw
+    // counts stashed in the seconds field (compare `coalesced` vs
+    // `per_move` — they scale with shard pairs vs warp count).
+    const LINK_HZ: f64 = 1e9;
+    for shards in [2usize, 4] {
+        for (name, coalesce) in [("coalesced", Coalesce::On), ("per_move", Coalesce::Off)] {
+            let dev = shift_dev(shards, coalesce);
+            let n = dev.config().total_threads() as usize;
+            let dist = (n / shards) as i64;
+            let t = dev.arange_i32(n).unwrap();
+            dev.reset_counters();
+            shifted(&t, dist).unwrap();
+            let traffic = dev.cluster_stats().unwrap().traffic;
+            let moved = (n as i64 - dist) as u64;
+            group.report_metric(
+                BenchmarkId::new(format!("link_seconds_{name}"), format!("{shards}-shard")),
+                traffic.link_cycles as f64 / LINK_HZ,
+                Some(Throughput::Elements(moved)),
+            );
+            group.report_metric(
+                BenchmarkId::new(format!("messages_{name}"), format!("{shards}-shard")),
+                traffic.messages as f64,
+                None,
+            );
+            group.report_metric(
+                BenchmarkId::new(format!("barriers_{name}"), format!("{shards}-shard")),
+                traffic.barriers as f64,
+                None,
+            );
+        }
+    }
+    group.finish();
+    shift_summary();
+}
+
+/// Prints the coalescer telemetry behind `move_shift`: messages, barriers,
+/// link cycles, and merged-run counters for the same whole-memory shift
+/// under both policies.
+fn shift_summary() {
+    println!("\nmove_shift coalescer telemetry (4 shards, whole-memory shift):");
+    for (name, coalesce) in [("coalesced", Coalesce::On), ("per_move", Coalesce::Off)] {
+        let dev = shift_dev(4, coalesce);
+        let n = dev.config().total_threads() as usize;
+        let t = dev.arange_i32(n).unwrap();
+        dev.reset_counters();
+        shifted(&t, (n / 4) as i64).unwrap();
+        let tr = dev.cluster_stats().unwrap().traffic;
+        println!(
+            "   {name}: {} messages, {} barriers, {} cross-chip words, \
+             {} modeled link cycles; {} runs merged {} moves (saving {} \
+             messages)",
+            tr.messages,
+            tr.barriers,
+            tr.cross_words,
+            tr.link_cycles,
+            tr.runs_merged,
+            tr.moves_merged,
+            tr.bursts_saved,
+        );
+    }
+    println!();
+}
+
 /// The horizontal-logic kernel through the shard micro-batch path: the
 /// same strict-safe INIT1+NOR mix as the simulator bench, pushed to all
 /// four shards in turn under a dense and a strided row mask.
@@ -274,6 +382,7 @@ criterion_group!(
     bench_cluster,
     bench_move_cross,
     bench_move_mixed,
+    bench_move_shift,
     bench_hlogic
 );
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! The sharded execution engine: one host-driver + simulated-chip pair per
 //! shard, each on its own worker thread, fed through batched job channels.
 
+use crate::coalesce::{CrossingMove, MoveCoalescer};
 use crate::interconnect::{DrainPolicy, Staging};
 use crate::sched::BatchScheduler;
 use crate::{ClusterError, Interconnect, InterconnectConfig, ShardPlan, TrafficStats};
@@ -250,17 +251,6 @@ enum Job {
 struct Worker {
     tx: Option<Sender<Job>>,
     handle: Option<JoinHandle<()>>,
-}
-
-/// The chip-crossing remainder of a routed `MoveWarps`: the route (for its
-/// crossing pairs and touched-shard set) plus the move's register/row
-/// parameters.
-struct CrossSegment {
-    route: crate::MoveRoute,
-    src: u8,
-    dst: u8,
-    row_src: u32,
-    row_dst: u32,
 }
 
 /// A pending batch submitted to one shard.
@@ -758,7 +748,7 @@ impl PimCluster {
         &self,
         instr: &Instruction,
         mut sink: impl FnMut(usize, Instruction),
-    ) -> Option<CrossSegment> {
+    ) -> Option<CrossingMove> {
         match instr {
             Instruction::Read { .. } => unreachable!("rejected by the validation pass"),
             Instruction::RType {
@@ -838,36 +828,79 @@ impl PimCluster {
                         },
                     );
                 }
-                if route.cross.is_empty() {
-                    None
-                } else {
-                    Some(CrossSegment {
-                        route,
-                        src: *src,
-                        dst: *dst,
-                        row_src: *row_src,
-                        row_dst: *row_dst,
-                    })
-                }
+                CrossingMove::new(route, warps, *dist, *src, *dst, *row_src, *row_dst)
             }
         }
     }
 
+    /// The batch executor behind [`execute_batch`](PimCluster::execute_batch):
+    /// streams shard-local work through the [`BatchScheduler`] while the
+    /// [`MoveCoalescer`] accumulates the current run of compatible crossing
+    /// moves. Any instruction that cannot join the run — a different
+    /// distance, a data hazard, or simply not a crossing move — flushes the
+    /// run *before* it is enqueued, so shard-visible effects keep
+    /// instruction-stream order. Under [`Coalesce::Off`](crate::Coalesce)
+    /// every run holds one move and this degenerates to the per-move PR-3
+    /// path.
     fn execute_batch_validated(&self, instrs: &[Instruction]) -> Result<(), ClusterError> {
         let mut sched = BatchScheduler::new(self);
+        let mut coalescer = MoveCoalescer::new(self.interconnect.config().coalesce);
+        let mut parts: Vec<(usize, Instruction)> = Vec::new();
         for instr in instrs {
-            let cross = self.split_local(instr, |s, i| sched.enqueue(s, i));
-            if let Some(seg) = cross {
-                let touched = match self.interconnect.config().drain {
-                    DrainPolicy::Touched => seg.route.touched_shards(&self.plan),
-                    DrainPolicy::Global => vec![true; self.shards()],
-                };
-                self.interconnect.record_barrier(sched.busy(&touched));
-                sched.barrier(&touched)?;
-                self.cross_move(&seg.route.cross, seg.src, seg.dst, seg.row_src, seg.row_dst)?;
+            if coalescer.is_empty() {
+                // No pending run: shard-local parts sink straight into the
+                // scheduler (the pre-coalescer fast path — batches without
+                // crossing moves pay no buffering at all), and a crossing
+                // move starts a fresh run.
+                if let Some(mv) = self.split_local(instr, |s, i| sched.enqueue(s, i)) {
+                    coalescer.push(mv);
+                }
+                continue;
+            }
+            // A run is pending: hold the split back until we know whether
+            // this instruction joins it, so a flush happens *before* an
+            // incompatible instruction's parts are enqueued.
+            parts.clear();
+            let cross = self.split_local(instr, |s, i| parts.push((s, i)));
+            let flush_first = match &cross {
+                Some(mv) => !coalescer.accepts(mv),
+                None => true,
+            };
+            if flush_first {
+                self.flush_run(&mut sched, &mut coalescer)?;
+            }
+            for (s, i) in parts.drain(..) {
+                sched.enqueue(s, i);
+            }
+            if let Some(mv) = cross {
+                coalescer.push(mv);
             }
         }
+        self.flush_run(&mut sched, &mut coalescer)?;
         sched.finish()
+    }
+
+    /// Flushes the coalescer's current run: one barrier over the union of
+    /// the shards the run touches, then one bulk transfer staging every
+    /// crossing pair of every member (under [`Staging::Batched`]: one
+    /// gathered read burst and one scattered write burst per
+    /// `(source, destination)` shard pair for the whole run).
+    fn flush_run(
+        &self,
+        sched: &mut BatchScheduler<'_>,
+        coalescer: &mut MoveCoalescer,
+    ) -> Result<(), ClusterError> {
+        let run = coalescer.take();
+        if run.is_empty() {
+            return Ok(());
+        }
+        let touched = match self.interconnect.config().drain {
+            DrainPolicy::Touched => MoveCoalescer::touched_shards(&run, &self.plan),
+            DrainPolicy::Global => vec![true; self.shards()],
+        };
+        self.interconnect.record_barrier(sched.busy(&touched));
+        sched.barrier(&touched)?;
+        self.cross_transfer(&run)
     }
 
     /// Whether [`submit_batch`](PimCluster::submit_batch) would stream this
@@ -923,39 +956,72 @@ impl PimCluster {
         Ok(Submission::Tickets(JobSet::new(tickets)))
     }
 
-    /// Inter-chip transfer over the modeled interconnect: crossing pairs
-    /// are grouped into one message per `(source, destination)` shard pair
+    /// Inter-chip transfer of one coalesced run over the modeled
+    /// interconnect: the crossing pairs of *every* member are concatenated
+    /// and grouped into one message per `(source, destination)` shard pair
     /// — one gathered read burst and one scattered write burst each — with
-    /// every burst's cycle cost accounted to [`TrafficStats`]. Source and
-    /// destination warp sets are disjoint (H-tree rule), so the gather and
-    /// scatter phases cannot conflict.
-    fn cross_move(
-        &self,
-        pairs: &[(u32, u32)],
-        src: u8,
-        dst: u8,
-        row_src: u32,
-        row_dst: u32,
-    ) -> Result<(), ClusterError> {
+    /// every burst's cycle cost accounted to [`TrafficStats`]. All gathers
+    /// precede all scatters; this is safe because run members are
+    /// cell-independent of each other ([`MoveCoalescer::accepts`]) and each
+    /// member's own source and destination warp sets are disjoint (H-tree
+    /// rule).
+    fn cross_transfer(&self, run: &[CrossingMove]) -> Result<(), ClusterError> {
         match self.interconnect.config().staging {
             Staging::Batched => {
-                self.interconnect.record_transfer(&self.plan, pairs);
-                let locs: Vec<GlobalLoc> = pairs.iter().map(|&(s, _)| (s, row_src, src)).collect();
-                let values = self.gather(&locs)?;
-                let writes: Vec<GlobalWrite> = pairs
+                let all: Vec<(u32, u32)> =
+                    run.iter().flat_map(|m| m.pairs().iter().copied()).collect();
+                let groups = self.interconnect.group(&self.plan, &all);
+                if run.len() >= 2 {
+                    // Messages a per-move staging would have sent (each
+                    // member's distinct shard pairs), minus the merged
+                    // transfer's. A scratch set keeps this O(pairs) — no
+                    // per-member grouping allocations on the hot path.
+                    let mut distinct: Vec<(usize, usize)> = Vec::new();
+                    let per_move: usize = run
+                        .iter()
+                        .map(|m| {
+                            distinct.clear();
+                            for &(s, d) in m.pairs() {
+                                let key = (self.plan.shard_of_warp(s), self.plan.shard_of_warp(d));
+                                if !distinct.contains(&key) {
+                                    distinct.push(key);
+                                }
+                            }
+                            distinct.len()
+                        })
+                        .sum();
+                    self.interconnect
+                        .record_coalesced(run.len() as u64, (per_move - groups.len()) as u64);
+                }
+                for g in &groups {
+                    self.interconnect.record_burst(g.pairs.len() as u64);
+                }
+                let locs: Vec<GlobalLoc> = run
                     .iter()
+                    .flat_map(|m| m.pairs().iter().map(|&(s, _)| (s, m.row_src(), m.src())))
+                    .collect();
+                let values = self.gather(&locs)?;
+                let writes: Vec<GlobalWrite> = run
+                    .iter()
+                    .flat_map(|m| m.pairs().iter().map(|&(_, d)| (d, m.row_dst(), m.dst())))
                     .zip(values)
-                    .map(|(&(_, d), v)| GlobalWrite::new(d, row_dst, dst, v))
+                    .map(|((d, row, reg), v)| GlobalWrite::new(d, row, reg, v))
                     .collect();
                 self.scatter(&writes)
             }
             Staging::PerWord => {
                 // The PR-1 path: one host round trip per crossing word pair,
-                // each its own single-word message.
-                for &(s, d) in pairs {
-                    self.interconnect.record_burst(1);
-                    let value = self.gather(&[(s, row_src, src)])?[0];
-                    self.scatter(&[GlobalWrite::new(d, row_dst, dst, value)])?;
+                // each its own single-word message (merging saves barriers
+                // here, never messages).
+                if run.len() >= 2 {
+                    self.interconnect.record_coalesced(run.len() as u64, 0);
+                }
+                for m in run {
+                    for &(s, d) in m.pairs() {
+                        self.interconnect.record_burst(1);
+                        let value = self.gather(&[(s, m.row_src(), m.src())])?[0];
+                        self.scatter(&[GlobalWrite::new(d, m.row_dst(), m.dst(), value)])?;
+                    }
                 }
                 Ok(())
             }
@@ -1997,6 +2063,115 @@ mod tests {
         assert_eq!(t.cross_words, 8);
         // Each single-word message pays the full latency: 8 x (8 + 1).
         assert_eq!(t.link_cycles, 8 * (8 + 1));
+    }
+
+    /// Builds a 4-chip cluster with an explicit coalescing policy.
+    fn cluster4_coalesce(coalesce: crate::Coalesce) -> PimCluster {
+        PimCluster::with_interconnect(
+            PimConfig::small().with_crossbars(4),
+            4,
+            ParallelismMode::default(),
+            InterconnectConfig {
+                coalesce,
+                ..InterconnectConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// The shifted() decomposition shape: one crossing `MoveWarps` per row
+    /// class, all with the same distance.
+    fn per_row_shift_batch(rows: u32) -> Vec<Instruction> {
+        (0..rows)
+            .map(|row| Instruction::MoveWarps {
+                src: 0,
+                dst: 1,
+                row_src: row,
+                row_dst: row,
+                warps: RangeMask::new(8, 15, 1).unwrap(),
+                dist: -8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coalescer_merges_consecutive_crossing_moves() {
+        // Four same-distance crossing moves on distinct rows: one merged
+        // run — a single barrier and one burst per (src, dst) shard pair
+        // for the whole run — instead of four of each.
+        let batch = per_row_shift_batch(4);
+        let c = cluster4_coalesce(crate::Coalesce::On);
+        c.execute_batch(&batch).unwrap();
+        let t = c.stats().unwrap().traffic;
+        assert_eq!(t.barriers, 1, "one barrier for the whole run");
+        assert_eq!(t.messages, 2, "shard pairs (2,0) and (3,1), once each");
+        assert_eq!(t.cross_words, 32);
+        assert_eq!(t.runs_merged, 1);
+        assert_eq!(t.moves_merged, 4);
+        // Per-move staging would have sent 4 moves x 2 shard pairs.
+        assert_eq!(t.bursts_saved, 4 * 2 - 2);
+
+        let off = cluster4_coalesce(crate::Coalesce::Off);
+        off.execute_batch(&batch).unwrap();
+        let t = off.stats().unwrap().traffic;
+        assert_eq!(t.barriers, 4, "per-move path pays one barrier per move");
+        assert_eq!(t.messages, 4 * 2);
+        assert_eq!(t.cross_words, 32);
+        assert_eq!(t.runs_merged, 0);
+        assert_eq!(t.moves_merged, 0);
+        assert_eq!(t.bursts_saved, 0);
+    }
+
+    #[test]
+    fn coalescing_policies_leave_identical_memory() {
+        let run = |c: &PimCluster| {
+            let writes: Vec<GlobalWrite> = (8..16u32)
+                .flat_map(|w| (0..4u32).map(move |r| GlobalWrite::new(w, r, 0, w * 100 + r)))
+                .collect();
+            c.scatter(&writes).unwrap();
+            c.execute_batch(&per_row_shift_batch(4)).unwrap();
+            let locs: Vec<GlobalLoc> = (0..8u32)
+                .flat_map(|w| (0..4u32).map(move |r| (w, r, 1)))
+                .collect();
+            c.gather(&locs).unwrap()
+        };
+        let on = run(&cluster4_coalesce(crate::Coalesce::On));
+        let off = run(&cluster4_coalesce(crate::Coalesce::Off));
+        assert_eq!(on, off, "coalescing must not change memory contents");
+        assert_eq!(on[0], 800, "warp 8 row 0 landed on warp 0");
+    }
+
+    #[test]
+    fn interleaved_non_moves_flush_the_run() {
+        // work / move / work / move: the interleaved element work breaks
+        // every run, so coalescing changes nothing relative to per-move
+        // execution (the move_mixed bench shape must not regress).
+        let all = ThreadRange::all(cluster4_coalesce(crate::Coalesce::On).logical_config());
+        let batch: Vec<Instruction> = (0..2)
+            .flat_map(|_| {
+                [
+                    Instruction::Write {
+                        reg: 0,
+                        value: 3,
+                        target: all,
+                    },
+                    Instruction::MoveWarps {
+                        src: 0,
+                        dst: 1,
+                        row_src: 0,
+                        row_dst: 0,
+                        warps: RangeMask::new(8, 15, 1).unwrap(),
+                        dist: -8,
+                    },
+                ]
+            })
+            .collect();
+        let c = cluster4_coalesce(crate::Coalesce::On);
+        c.execute_batch(&batch).unwrap();
+        let t = c.stats().unwrap().traffic;
+        assert_eq!(t.barriers, 2, "each move still pays its own barrier");
+        assert_eq!(t.runs_merged, 0, "runs of one are not merged");
+        assert_eq!(t.moves_merged, 0);
     }
 
     #[test]

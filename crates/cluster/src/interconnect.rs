@@ -16,6 +16,7 @@
 //! (`BENCH_cluster.json`, group `move_cross`), and the scheduler's global
 //! barrier survives behind [`DrainPolicy::Global`] for the same reason.
 
+use crate::coalesce::Coalesce;
 use crate::ShardPlan;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -59,6 +60,10 @@ pub struct InterconnectConfig {
     pub staging: Staging,
     /// Barrier scope at crossing moves (default [`DrainPolicy::Touched`]).
     pub drain: DrainPolicy,
+    /// Whether runs of consecutive compatible crossing moves merge into
+    /// one barrier + transfer (default [`Coalesce::On`]; see
+    /// [`MoveCoalescer`](crate::MoveCoalescer)).
+    pub coalesce: Coalesce,
 }
 
 impl Default for InterconnectConfig {
@@ -68,6 +73,7 @@ impl Default for InterconnectConfig {
             latency: 8,
             staging: Staging::default(),
             drain: DrainPolicy::default(),
+            coalesce: Coalesce::default(),
         }
     }
 }
@@ -123,6 +129,19 @@ pub struct TrafficStats {
     /// shards drains zero queues — the gap between the two policies on a
     /// busy cluster is the scheduler's win.
     pub drained_queues: u64,
+    /// Coalesced runs flushed with at least two crossing moves — each one
+    /// a group of per-move barriers/transfers collapsed into a single
+    /// barrier + bulk transfer.
+    pub runs_merged: u64,
+    /// Crossing moves carried by those merged runs (every one of them
+    /// would have paid its own barrier and messages under
+    /// [`Coalesce::Off`]).
+    pub moves_merged: u64,
+    /// Interconnect messages the merged runs avoided: per-move burst
+    /// counts summed, minus the bursts the merged transfers actually sent
+    /// (zero under [`Staging::PerWord`], where messages are per word
+    /// either way).
+    pub bursts_saved: u64,
 }
 
 /// The modeled interconnect: configuration plus live traffic accounting.
@@ -137,6 +156,9 @@ pub struct Interconnect {
     link_cycles: AtomicU64,
     barriers: AtomicU64,
     drained_queues: AtomicU64,
+    runs_merged: AtomicU64,
+    moves_merged: AtomicU64,
+    bursts_saved: AtomicU64,
 }
 
 impl Interconnect {
@@ -175,16 +197,10 @@ impl Interconnect {
         groups
     }
 
-    /// Accounts one batched transfer: one burst per
-    /// [`MessageGroup`](Interconnect::group) present in `pairs`, sized by
-    /// that group's word count.
-    pub fn record_transfer(&self, plan: &ShardPlan, pairs: &[(u32, u32)]) {
-        for g in self.group(plan, pairs) {
-            self.record_burst(g.pairs.len() as u64);
-        }
-    }
-
     /// Accounts one burst of `words` words; returns its modeled cycle cost.
+    /// Batched transfers record one burst per [`MessageGroup`]
+    /// (`Interconnect::group`), sized by that group's word count — see
+    /// `PimCluster`'s cross-transfer path.
     pub fn record_burst(&self, words: u64) -> u64 {
         let cycles = self.cfg.burst_cycles(words);
         self.messages.fetch_add(1, Ordering::Relaxed);
@@ -200,6 +216,14 @@ impl Interconnect {
         self.drained_queues.fetch_add(drained, Ordering::Relaxed);
     }
 
+    /// Accounts one flushed coalesced run of `moves` (≥ 2) crossing moves
+    /// that avoided `bursts_saved` interconnect messages.
+    pub fn record_coalesced(&self, moves: u64, bursts_saved: u64) {
+        self.runs_merged.fetch_add(1, Ordering::Relaxed);
+        self.moves_merged.fetch_add(moves, Ordering::Relaxed);
+        self.bursts_saved.fetch_add(bursts_saved, Ordering::Relaxed);
+    }
+
     /// Snapshot of the traffic counters.
     pub fn traffic(&self) -> TrafficStats {
         TrafficStats {
@@ -208,6 +232,9 @@ impl Interconnect {
             link_cycles: self.link_cycles.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
             drained_queues: self.drained_queues.load(Ordering::Relaxed),
+            runs_merged: self.runs_merged.load(Ordering::Relaxed),
+            moves_merged: self.moves_merged.load(Ordering::Relaxed),
+            bursts_saved: self.bursts_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -218,6 +245,9 @@ impl Interconnect {
         self.link_cycles.store(0, Ordering::Relaxed);
         self.barriers.store(0, Ordering::Relaxed);
         self.drained_queues.store(0, Ordering::Relaxed);
+        self.runs_merged.store(0, Ordering::Relaxed);
+        self.moves_merged.store(0, Ordering::Relaxed);
+        self.bursts_saved.store(0, Ordering::Relaxed);
     }
 }
 
@@ -270,18 +300,21 @@ mod tests {
     }
 
     #[test]
-    fn record_transfer_matches_group_accounting() {
+    fn per_group_burst_accounting() {
+        // The batched-transfer recording rule: one burst per message
+        // group, sized by the group's pair count — messages equal the
+        // distinct shard pairs, words equal the crossing pairs.
         let plan = ShardPlan::new(&PimConfig::small().with_crossbars(4), 4).unwrap();
         let pairs = [(0, 5), (1, 6), (4, 9), (2, 7), (15, 0)];
-        let by_groups = Interconnect::default();
-        for g in by_groups.group(&plan, &pairs) {
-            by_groups.record_burst(g.pairs.len() as u64);
+        let ic = Interconnect::default();
+        for g in ic.group(&plan, &pairs) {
+            ic.record_burst(g.pairs.len() as u64);
         }
-        let aggregated = Interconnect::default();
-        aggregated.record_transfer(&plan, &pairs);
-        assert_eq!(aggregated.traffic(), by_groups.traffic());
-        assert_eq!(aggregated.traffic().messages, 3);
-        assert_eq!(aggregated.traffic().cross_words, 5);
+        let t = ic.traffic();
+        assert_eq!(t.messages, 3);
+        assert_eq!(t.cross_words, 5);
+        // Two 1-word groups and one 3-word group on the default link.
+        assert_eq!(t.link_cycles, 3 * (8 + 1));
     }
 
     #[test]
@@ -294,12 +327,16 @@ mod tests {
         assert_eq!(ic.record_burst(8), 4 + 8);
         assert_eq!(ic.record_burst(1), 4 + 1);
         ic.record_barrier(2);
+        ic.record_coalesced(5, 3);
         let t = ic.traffic();
         assert_eq!(t.messages, 2);
         assert_eq!(t.cross_words, 9);
         assert_eq!(t.link_cycles, 17);
         assert_eq!(t.barriers, 1);
         assert_eq!(t.drained_queues, 2);
+        assert_eq!(t.runs_merged, 1);
+        assert_eq!(t.moves_merged, 5);
+        assert_eq!(t.bursts_saved, 3);
         ic.reset();
         assert_eq!(ic.traffic(), TrafficStats::default());
     }

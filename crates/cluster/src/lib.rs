@@ -37,6 +37,23 @@
 //!   [`DrainPolicy::Global`] and [`Staging::PerWord`] preserve the PR-1
 //!   behaviours for A/B benchmarks (`BENCH_cluster.json`, groups
 //!   `move_cross` and `move_mixed`).
+//! * [`MoveCoalescer`]/[`Coalesce`] — cross-chip move coalescing, the last
+//!   stage of the **movement → coalescer → interconnect pipeline**. The
+//!   movement layer (`pypim-core`'s `movement` module) lowers a tensor
+//!   shift onto one `MoveWarps` per row class — phase-split further when
+//!   the H-tree's disjointness rule forbids the direct move — and plans
+//!   the whole decomposition as *one* batch grouped by warp distance.
+//!   [`PimCluster::execute_batch`] streams that batch while the coalescer
+//!   accumulates the current *run* of consecutive crossing moves that
+//!   share a distance and are independent at the cell level; when the run
+//!   breaks (other instruction, other distance, hazard) it flushes as a
+//!   single transfer: one barrier over the union of touched shards, one
+//!   gathered read burst and one scattered write burst per
+//!   `(source, destination)` shard pair — `O(shard pairs)` messages and
+//!   barriers for a whole-memory shift instead of `O(warps)`.
+//!   [`Coalesce::Off`] keeps the per-move path for A/B benchmarks
+//!   (`BENCH_cluster.json`, group `move_shift`) and equivalence tests;
+//!   [`TrafficStats`] reports `runs_merged`/`moves_merged`/`bursts_saved`.
 //! * [`Combine`]/[`PimCluster::reduce_f32`]/[`PimCluster::reduce_i32`] —
 //!   cross-shard combining: gather per-shard partials and fold on the host.
 //! * [`PimCluster::stats`] — per-shard telemetry (simulator profiler,
@@ -81,6 +98,7 @@
 //! ```
 
 mod cluster;
+mod coalesce;
 mod error;
 mod interconnect;
 mod plan;
@@ -90,6 +108,7 @@ pub use cluster::{
     fold_f32, fold_i32, ClusterStats, Combine, GatherTicket, GlobalLoc, GlobalWrite, JobSet,
     JobTicket, PimCluster, ShardStats, Submission,
 };
+pub use coalesce::{Coalesce, CrossingMove, MoveCoalescer};
 pub use error::ClusterError;
 pub use interconnect::{
     DrainPolicy, Interconnect, InterconnectConfig, MessageGroup, Staging, TrafficStats, WORD_BITS,

@@ -8,6 +8,7 @@
 
 use crate::{CoreError, Result};
 use pim_arch::PimConfig;
+use pim_cluster::ShardPlan;
 use std::collections::BTreeMap;
 
 /// A register stripe: register `reg` across every row of warps
@@ -105,13 +106,28 @@ impl Intervals {
         self.claim_exact(start, len).then_some(start)
     }
 
-    /// Claims the first free range of `len` warps that avoids every
-    /// reserved window — the headroom rule for unhinted allocations.
-    fn claim_first_avoiding(&mut self, len: u32, reserved: &[PlacementHint]) -> Option<u32> {
+    /// Claims the first free range of `len` warps that lies inside one
+    /// `chunk`-aligned block (never straddling a block boundary) and
+    /// avoids every reserved window — the shard-local placement rule:
+    /// with `chunk = warps_per_shard`, the claimed stripe stays on a
+    /// single chip.
+    fn claim_first_chunk_local(
+        &mut self,
+        len: u32,
+        chunk: u32,
+        reserved: &[PlacementHint],
+    ) -> Option<u32> {
+        debug_assert!(len <= chunk);
         let start = self.free.iter().find_map(|(&s, &l)| {
             let end = s + l;
             let mut pos = s;
             while pos + len <= end {
+                // Bump past a block boundary the candidate would straddle.
+                let block_end = (pos / chunk + 1) * chunk;
+                if pos + len > block_end {
+                    pos = block_end;
+                    continue;
+                }
                 match reserved
                     .iter()
                     .filter(|r| r.warp_start < pos + len && pos < r.warp_start + r.warps)
@@ -125,6 +141,14 @@ impl Intervals {
             None
         })?;
         self.claim_exact(start, len).then_some(start)
+    }
+
+    /// Claims the first free range of `len` warps that avoids every
+    /// reserved window — the headroom rule for unhinted allocations. The
+    /// chunk-local search with an unstraddleable block: one shared
+    /// reservation-skip loop for both claim paths.
+    fn claim_first_avoiding(&mut self, len: u32, reserved: &[PlacementHint]) -> Option<u32> {
+        self.claim_first_chunk_local(len, u32::MAX, reserved)
     }
 
     /// Returns `[start, start+len)` to the free set, merging neighbors.
@@ -174,6 +198,12 @@ pub struct MemoryManager {
     /// space — on a sharded device that naturally lands different clients
     /// on different chips.
     next_window: u32,
+    /// The cluster's shard geometry, when the device is sharded: stripes
+    /// whose elements the data-parallel partition places on one chip
+    /// ([`ShardPlan::partition_elements`]) prefer a warp range that never
+    /// straddles a chip boundary, so operations on small tensors stay
+    /// chip-local (zero interconnect traffic).
+    shard_plan: Option<ShardPlan>,
 }
 
 impl MemoryManager {
@@ -188,7 +218,16 @@ impl MemoryManager {
             reserved: Vec::new(),
             hint_last: Vec::new(),
             next_window: 0,
+            shard_plan: None,
         }
+    }
+
+    /// Threads the cluster's shard geometry into placement decisions (see
+    /// the [`shard_plan`](MemoryManager) field docs). Single-chip devices
+    /// leave it unset; [`alloc`](MemoryManager::alloc) then behaves
+    /// exactly as before.
+    pub fn set_shard_plan(&mut self, plan: Option<ShardPlan>) {
+        self.shard_plan = plan;
     }
 
     /// Reserves a `warps`-warp window for one client session: the window is
@@ -250,7 +289,10 @@ impl MemoryManager {
     ///
     /// Preference order without a placement hint: the exact window of
     /// `near` (so the new tensor is thread-aligned with the reference
-    /// tensor), then the most recent allocation window, then first fit.
+    /// tensor), then the most recent allocation window, then — on a
+    /// sharded device, for stripes that fit one chip — the first
+    /// chip-local range (never straddling a shard boundary), then first
+    /// fit.
     ///
     /// With a placement hint the search is: the `near` window, then the
     /// session's own most recent window (so its tensors stack across
@@ -327,7 +369,30 @@ impl MemoryManager {
                 }
             }
         }
-        // 3. First fit across registers, never inside a foreign window.
+        // 3. Shard-local placement: when the data-parallel partition
+        //    ([`ShardPlan::partition_elements`]) puts every thread of a
+        //    stripe this size on a single chip, claim a warp range that
+        //    does not straddle a shard boundary, so the tensor's
+        //    operations never touch the interconnect. Falls through to
+        //    the spanning search when fragmentation leaves no chip-local
+        //    range.
+        let chunk = self.shard_plan.as_ref().and_then(|p| {
+            let rows = p.threads_per_shard() / p.warps_per_shard();
+            let shards_spanned = p
+                .partition_elements(warps as usize * rows)
+                .into_iter()
+                .filter(|r| !r.is_empty())
+                .count();
+            (shards_spanned <= 1).then(|| p.warps_per_shard() as u32)
+        });
+        if let Some(chunk) = chunk {
+            for (reg, iv) in self.per_reg.iter_mut().enumerate() {
+                if let Some(start) = iv.claim_first_chunk_local(warps, chunk, &foreign) {
+                    return Ok(self.note(reg, start, warps, hint));
+                }
+            }
+        }
+        // 4. First fit across registers, never inside a foreign window.
         if foreign.is_empty() {
             for (reg, iv) in self.per_reg.iter_mut().enumerate() {
                 if let Some(start) = iv.claim_first(warps) {
@@ -514,6 +579,70 @@ mod tests {
         m.release_window(b);
         let e = m.reserve_window(4).unwrap();
         assert_eq!(e, b);
+    }
+
+    /// 4 chips x 4 crossbars: the 16-warp geometry of `mgr()` with shard
+    /// boundaries at warps 4, 8, 12.
+    fn plan4x4() -> ShardPlan {
+        ShardPlan::new(&PimConfig::small().with_crossbars(4), 4).unwrap()
+    }
+
+    #[test]
+    fn shard_local_placement_avoids_straddling() {
+        let mut m = mgr();
+        m.set_shard_plan(Some(plan4x4()));
+        let a = m.alloc(3, None, None).unwrap();
+        assert_eq!((a.warp_start, a.reg), (0, 0));
+        // Plain first fit would land at warp 3, straddling the chip
+        // boundary at warp 4; shard-aware placement skips to chip 1.
+        let b = m.alloc(2, None, None).unwrap();
+        assert_eq!(b.warp_start, 4, "stripe must not straddle a shard");
+        // Consecutive equal-sized allocations still co-locate (stacking
+        // across registers), staying chip-local too.
+        let b2 = m.alloc(2, None, None).unwrap();
+        assert_eq!(b2.warp_start, 4);
+        assert_ne!(b2.reg, b.reg);
+        // A stripe bigger than one chip spans shards as before.
+        let big = m.alloc(6, None, None).unwrap();
+        assert_eq!(big.warp_start, 6, "multi-shard stripes first-fit");
+    }
+
+    #[test]
+    fn shard_local_placement_falls_back_when_fragmented() {
+        // One register, 16 warps: carve the free set down to [2, 6) — a
+        // range holding no chip-local 3-warp stripe (blocks end at 4).
+        let mut m = MemoryManager::new(&{
+            let mut cfg = PimConfig::small();
+            cfg.user_regs = 1;
+            cfg
+        });
+        m.set_shard_plan(Some(plan4x4()));
+        let _a = m.alloc(2, None, None).unwrap(); // [0, 2)
+        let b = m.alloc(2, None, None).unwrap(); // [2, 4)
+        let c = m.alloc(2, None, None).unwrap(); // [4, 6)
+        let _d = m.alloc(10, None, None).unwrap(); // [6, 16) (spans shards)
+        m.free(b);
+        m.free(c);
+        // No chip-local fit for 3 warps in [2, 6): rather than fail, the
+        // allocator falls back to the straddling range.
+        let s = m.alloc(3, None, None).unwrap();
+        assert_eq!(s.warp_start, 2, "fallback must reuse the fragment");
+    }
+
+    #[test]
+    fn shard_local_placement_respects_reservations() {
+        let mut m = mgr();
+        m.set_shard_plan(Some(plan4x4()));
+        // A session reserves chip 0's window; unhinted allocations must
+        // stay out of it *and* chip-local.
+        let w = m.reserve_window(4).unwrap();
+        assert_eq!(w.warp_start, 0);
+        let s = m.alloc(2, None, None).unwrap();
+        assert_eq!(s.warp_start, 4, "skips the reservation, stays local");
+        // Reservations still never alias each other with a plan set.
+        let w2 = m.reserve_window(4).unwrap();
+        let w3 = m.reserve_window(4).unwrap();
+        assert!(!w.overlaps(&w2) && !w.overlaps(&w3) && !w2.overlaps(&w3));
     }
 
     #[test]

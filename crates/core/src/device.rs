@@ -18,7 +18,7 @@ use std::task::{Context, Poll};
 /// in-process, or a sharded multi-chip cluster (`pim-cluster`).
 pub(crate) enum Engine {
     Single(Box<Mutex<Driver<PimSimulator>>>),
-    Cluster(PimCluster),
+    Cluster(Box<PimCluster>),
 }
 
 pub(crate) struct DeviceInner {
@@ -225,10 +225,15 @@ impl Device {
     ) -> Result<Self> {
         let cluster = PimCluster::with_interconnect(cfg, shards, mode, icfg)?;
         let logical = cluster.logical_config().clone();
+        // Thread the shard geometry into the allocator: stripes that fit
+        // one chip get chip-local placement, so small tensors' operations
+        // never touch the interconnect.
+        let mut mem = MemoryManager::new(&logical);
+        mem.set_shard_plan(Some(*cluster.plan()));
         Ok(Device {
             inner: Arc::new(DeviceInner {
-                engine: Engine::Cluster(cluster),
-                mem: Mutex::new(MemoryManager::new(&logical)),
+                engine: Engine::Cluster(Box::new(cluster)),
+                mem: Mutex::new(mem),
                 cfg: logical,
             }),
             placement: None,

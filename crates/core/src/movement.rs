@@ -250,6 +250,16 @@ pub fn shifted(t: &Tensor, dist: i64) -> Result<Tensor> {
 /// all elements sharing a source row form one warp-range class moved by a
 /// single `MoveRows` (same warp) or `MoveWarps` (constant warp distance)
 /// instruction.
+///
+/// The whole decomposition is planned first and executed as *one* batch,
+/// with the `MoveWarps` classes grouped by warp distance (and the
+/// `MoveRows` classes after them). Row classes are mutually independent —
+/// they read disjoint source cells and write disjoint destination cells,
+/// and the source and destination stripes never share a cell — so any
+/// execution order is equivalent; the grouped order hands a sharded device
+/// runs of consecutive same-distance moves, exactly what its cross-chip
+/// move coalescer merges into one bulk transfer per distance instead of
+/// one per warp (see `pim_cluster::MoveCoalescer`).
 fn copy_dense_shift(src: &Tensor, dst: &Tensor) -> Result<()> {
     let dev = src.device().clone();
     let rows = dev.config().rows;
@@ -260,6 +270,11 @@ fn copy_dense_shift(src: &Tensor, dst: &Tensor) -> Result<()> {
         return copy(src, dst);
     }
     let s0_row = s0 % rows;
+    // Planned warp moves, grouped by warp distance in first-appearance
+    // order; row-local moves; row classes no move instruction covers.
+    let mut warp_moves: Vec<(i64, Vec<Instruction>)> = Vec::new();
+    let mut row_moves: Vec<Instruction> = Vec::new();
+    let mut fallback: Vec<usize> = Vec::new();
     for r in 0..rows {
         // Elements whose source row is r: i ≡ (r - s0_row) mod rows.
         let i0 = (r + rows - s0_row) % rows;
@@ -271,7 +286,7 @@ fn copy_dense_shift(src: &Tensor, dst: &Tensor) -> Result<()> {
         let (dw, dr) = dst.warp_row(i0);
         let warps = RangeMask::strided(sw, count, 1)?;
         let dist = dw as i64 - sw as i64;
-        let moved = if dist == 0 {
+        if dist == 0 {
             let instr = Instruction::MoveRows {
                 src: src.reg(),
                 dst: dst.reg(),
@@ -279,11 +294,11 @@ fn copy_dense_shift(src: &Tensor, dst: &Tensor) -> Result<()> {
                 dst_rows: RangeMask::single(dr),
                 warps,
             };
-            let ok = instr.validate(dev.config()).is_ok();
-            if ok {
-                dev.exec(&instr)?;
+            if instr.validate(dev.config()).is_ok() {
+                row_moves.push(instr);
+            } else {
+                fallback.push(i0);
             }
-            ok
         } else {
             match plan_move_warps_split(
                 dev.config(),
@@ -294,20 +309,30 @@ fn copy_dense_shift(src: &Tensor, dst: &Tensor) -> Result<()> {
                 warps,
                 dist as i32,
             )? {
-                Some(plan) => {
-                    dev.exec_batch(&plan)?;
-                    true
-                }
-                None => false,
+                Some(instrs) => match warp_moves.iter_mut().find(|(d, _)| *d == dist) {
+                    Some((_, group)) => group.extend(instrs),
+                    None => warp_moves.push((dist, instrs)),
+                },
+                None => fallback.push(i0),
             }
-        };
-        if !moved {
-            // Per-element fallback for this row class.
-            let mut i = i0;
-            while i < n {
-                dst.set_raw(i, src.get_raw(i)?)?;
-                i += rows;
-            }
+        }
+    }
+    let mut plan: Vec<Instruction> = warp_moves
+        .into_iter()
+        .flat_map(|(_, group)| group)
+        .collect();
+    plan.extend(row_moves);
+    if !plan.is_empty() {
+        dev.exec_batch(&plan)?;
+    }
+    // Per-element fallback for the row classes no move plan covered (reads
+    // only source cells and writes only destination cells the batch does
+    // not touch, so running after the batch is equivalent).
+    for i0 in fallback {
+        let mut i = i0;
+        while i < n {
+            dst.set_raw(i, src.get_raw(i)?)?;
+            i += rows;
         }
     }
     Ok(())

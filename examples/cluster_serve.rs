@@ -166,7 +166,10 @@ fn main() -> Result<()> {
 
     // Cross-chip traffic demo: shift a whole-memory tensor by one shard's
     // worth of elements, so every moved warp crosses a chip boundary and
-    // goes over the modeled interconnect.
+    // goes over the modeled interconnect. The sessions' placement windows
+    // tile the entire warp space, so release them first — dropping a
+    // client returns its reservation.
+    drop(clients);
     dev.reset_counters();
     let demo_elems = dev.config().total_threads() as usize;
     let t = dev.arange_i32(demo_elems)?;
@@ -189,6 +192,11 @@ fn main() -> Result<()> {
             t.link_cycles,
             t.barriers,
             t.drained_queues,
+        );
+        println!(
+            "move coalescer: {} runs merged {} crossing moves, saving {} \
+             interconnect messages (and all but {} of the barriers)",
+            t.runs_merged, t.moves_merged, t.bursts_saved, t.barriers,
         );
         println!(
             "modeled end-to-end latency: {} cycles ({} chip critical path + \

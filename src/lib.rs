@@ -121,9 +121,9 @@ pub use pim_sim as sim;
 
 pub use pim_arch::{PimConfig, RangeMask};
 pub use pim_cluster::{
-    ClusterStats, Combine, DrainPolicy, GatherTicket, GlobalWrite, Interconnect,
-    InterconnectConfig, JobSet, JobTicket, PimCluster, ShardPlan, Staging, Submission,
-    TrafficStats,
+    ClusterStats, Coalesce, Combine, CrossingMove, DrainPolicy, GatherTicket, GlobalWrite,
+    Interconnect, InterconnectConfig, JobSet, JobTicket, MoveCoalescer, PimCluster, ShardPlan,
+    Staging, Submission, TrafficStats,
 };
 pub use pim_serve::{ClusterClient, DeviceServeExt, Gateway, GatewayStats, ServeConfig};
 pub use pypim_core::*;

@@ -5,7 +5,8 @@
 //! logical combine tree rather than re-associating per shard) and sorted
 //! output.
 
-use pypim::{Device, PimConfig, Result, Tensor};
+use proptest::prelude::*;
+use pypim::{Coalesce, Device, InterconnectConfig, PimConfig, Result, Tensor};
 
 /// Single chip: 16 crossbars × 64 rows.
 fn single() -> Device {
@@ -192,6 +193,168 @@ fn figure12_program_on_cluster() {
     assert!(stats.shards.iter().all(|s| s.profiler.cycles > 0));
     let (hits, misses) = stats.cache_stats();
     assert!(hits + misses > 0);
+}
+
+#[test]
+fn small_tensors_allocate_chip_local() {
+    // Shard-aware placement: after a 3-warp filler, a 2-warp tensor would
+    // first-fit at warp 3, straddling the chip boundary at warp 4 — the
+    // shard-aware allocator skips to warp 4 instead, so shifting it (and
+    // every other operation confined to its stripe) never touches the
+    // interconnect.
+    let dev = sharded(); // 4 chips x 4 crossbars x 64 rows
+    let _filler = dev.from_slice_i32(&int_inputs(192)).unwrap(); // 3 warps
+    let vals = int_inputs(128);
+    let t = dev.from_slice_i32(&vals).unwrap(); // 2 warps: fits one chip
+    let s = pypim::shifted(&t, 64).unwrap(); // one whole warp
+    assert_eq!(
+        s.slice(0, 64).unwrap().to_vec_i32().unwrap(),
+        vals[64..],
+        "chip-local shift must preserve values"
+    );
+    let mixed = (&t.even().unwrap() + &t.odd().unwrap()).unwrap();
+    assert_eq!(mixed.get_i32(0).unwrap(), vals[0].wrapping_add(vals[1]));
+    let traffic = dev.cluster_stats().unwrap().traffic;
+    assert_eq!(
+        traffic.cross_words, 0,
+        "operations on a chip-local tensor must not cross chips"
+    );
+}
+
+/// A 4-shard device with the same logical geometry as [`sharded`] and an
+/// explicit move-coalescing policy.
+fn sharded_coalesce(coalesce: Coalesce) -> Device {
+    Device::cluster_with_interconnect(
+        PimConfig::small().with_crossbars(4),
+        4,
+        pypim::driver::ParallelismMode::default(),
+        InterconnectConfig {
+            coalesce,
+            ..InterconnectConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(5))]
+
+    /// Arbitrary shift/rotate sequences leave bit-identical memory with
+    /// the move coalescer on, off, and on a single chip. Every step
+    /// re-compacts the shift's defined region into a fully-initialized
+    /// tensor (padding included), so the compared bytes never depend on
+    /// unspecified out-of-range cells.
+    #[test]
+    fn shift_sequences_bit_identical_under_coalescing(
+        dists_raw in proptest::collection::vec(1i64..1024, 1..4),
+        signs in proptest::collection::vec(0u8..2, 3),
+    ) {
+        let n = 1024usize; // the whole 16-warp x 64-row logical memory
+        let dists: Vec<i64> = dists_raw
+            .iter()
+            .zip(signs.iter().cycle())
+            .map(|(&d, &s)| if s == 0 { d } else { -d })
+            .collect();
+        let program = |dev: &Device| -> Result<Vec<u32>> {
+            let mut t = dev.from_slice_i32(&int_inputs(n))?;
+            let mut out = Vec::new();
+            for (step, &d) in dists.iter().enumerate() {
+                let s = pypim::shifted(&t, d)?;
+                // The defined region of the shift: r[i] = t[i + d].
+                let (lo, hi) = if d >= 0 {
+                    (0, n - d as usize)
+                } else {
+                    ((-d) as usize, n)
+                };
+                let valid = s.slice(lo, hi)?;
+                out.extend(valid.to_raw_vec()?);
+                // Rebuild a fully-defined input for the next round (the
+                // rotate idiom: valid slice back to full length + pad).
+                t = pypim::compact_with_padding(&valid, n, 0x5EED + step as u32)?;
+            }
+            Ok(out)
+        };
+        let on_single = program(&single()).unwrap();
+        let coalesced = program(&sharded_coalesce(Coalesce::On)).unwrap();
+        let per_move = program(&sharded_coalesce(Coalesce::Off)).unwrap();
+        prop_assert_eq!(&on_single, &coalesced, "Coalesce::On diverged");
+        prop_assert_eq!(&coalesced, &per_move, "On vs Off diverged");
+    }
+}
+
+proptest! {
+    /// The coalescer merges two crossing moves only when they share a warp
+    /// distance and are independent at the cell level: brute-force the
+    /// read/write cell sets of both moves and check every accepted merge
+    /// against them (different distances and overlapping masks must never
+    /// merge).
+    #[test]
+    fn coalescer_never_merges_hazardous_moves(
+        crossbars in 1usize..5, shards in 2usize..5,
+        a_start in 0u32..64, a_count in 1u32..16, a_step in 1u32..4,
+        b_start in 0u32..64, b_count in 1u32..16, b_step in 1u32..4,
+        a_dist_raw in 0i64..4096, b_dist_raw in 0i64..4096,
+        regs_raw in 0u32..256, rows_raw in 0u32..256,
+    ) {
+        use pypim::{CrossingMove, MoveCoalescer, RangeMask, ShardPlan};
+        use std::collections::HashSet;
+
+        let total = (crossbars * shards) as u32;
+        let cfg = PimConfig::small().with_crossbars(crossbars);
+        let plan = ShardPlan::new(&cfg, shards).unwrap();
+        // Derive masks and distances that always fit the geometry.
+        let mask = |start_raw: u32, count_raw: u32, step: u32| {
+            let start = start_raw % total;
+            let max_count = (total - 1 - start) / step + 1;
+            RangeMask::strided(start, 1 + count_raw % max_count, step).unwrap()
+        };
+        let dist = |m: &RangeMask, raw: i64| {
+            let lo = -(i64::from(m.start()));
+            let hi = i64::from(total - 1 - m.stop());
+            (lo + raw % (hi - lo + 1)) as i32
+        };
+        let a_mask = mask(a_start, a_count, a_step);
+        let b_mask = mask(b_start, b_count, b_step);
+        let a_dist = dist(&a_mask, a_dist_raw);
+        let b_dist = dist(&b_mask, b_dist_raw);
+        // Registers/rows: four independent 2-bit register picks and four
+        // independent 2-bit rows (source and destination rows drawn
+        // separately), so every hazard direction (read-write, write-read,
+        // write-write) occurs in some cases and not in others, including
+        // across row-mismatched footprints.
+        let regs = regs_raw as u8;
+        let (a_src, a_dst) = (regs & 3, (regs >> 2) & 3);
+        let (b_src, b_dst) = ((regs >> 4) & 3, (regs >> 6) & 3);
+        let (a_row_src, a_row_dst) = (rows_raw & 3, (rows_raw >> 2) & 3);
+        let (b_row_src, b_row_dst) = ((rows_raw >> 4) & 3, (rows_raw >> 6) & 3);
+        let a = CrossingMove::new(
+            plan.route_move_warps(&a_mask, a_dist),
+            &a_mask, a_dist, a_src, a_dst, a_row_src, a_row_dst,
+        );
+        let b = CrossingMove::new(
+            plan.route_move_warps(&b_mask, b_dist),
+            &b_mask, b_dist, b_src, b_dst, b_row_src, b_row_dst,
+        );
+        let (Some(a), Some(b)) = (a, b) else {
+            return Ok(()); // one of the moves stayed on-chip: nothing to merge
+        };
+        let mut c = MoveCoalescer::new(Coalesce::On);
+        c.push(a);
+        if c.accepts(&b) {
+            prop_assert_eq!(a_dist, b_dist, "merged across distances");
+            // Brute-force cell sets of the whole logical moves.
+            let cells = |reg: u8, row: u32, m: &RangeMask, d: i32| -> HashSet<(u8, u32, u32)> {
+                m.iter().map(|w| (reg, row, (i64::from(w) + i64::from(d)) as u32)).collect()
+            };
+            let a_reads = cells(a_src, a_row_src, &a_mask, 0);
+            let a_writes = cells(a_dst, a_row_dst, &a_mask, a_dist);
+            let b_reads = cells(b_src, b_row_src, &b_mask, 0);
+            let b_writes = cells(b_dst, b_row_dst, &b_mask, b_dist);
+            prop_assert!(a_writes.is_disjoint(&b_reads), "merged a write-read hazard");
+            prop_assert!(a_reads.is_disjoint(&b_writes), "merged a read-write hazard");
+            prop_assert!(a_writes.is_disjoint(&b_writes), "merged a write-write hazard");
+        }
+    }
 }
 
 #[test]
