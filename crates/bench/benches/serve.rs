@@ -18,12 +18,16 @@
 //! arriving at once: request `j` of the `R` hosted on a chip whose run
 //! took `C` cycles completes at `(j+1)·C/R` — queueing included, so
 //! oversubscribing chips (8 sessions on 4 chips) visibly stretches p99.
+//! The per-request cycle counts land in a `pim-telemetry` log-bucketed
+//! [`Histogram`], whose p50/p99/p999 are what the JSON report carries —
+//! every latency entry now has real tail fields, not a collapsed point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SampleStats, Throughput};
 use futures::executor::block_on;
 use futures::future::join_all;
 use pim_arch::PimConfig;
 use pim_serve::{ClusterClient, DeviceServeExt, ServeConfig};
+use pim_telemetry::Histogram;
 use pypim_core::{Device, RegOp, Result, Tensor};
 
 const SHARDS: usize = 4;
@@ -89,24 +93,17 @@ fn run_sequential(dev: &Device, sessions: usize, elems: usize) {
     }
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
-/// Per-request modeled completion latencies (seconds) given each chip's
-/// cycle count for the run: the `R_k` requests hosted on chip `k` complete
-/// at `(j+1)·C_k/R_k` cycles, `j = 0..R_k` (all requests arrive at once).
-fn modeled_latencies(shard_cycles: &[(u64, usize)], clock_hz: f64) -> Vec<f64> {
-    let mut lats = Vec::new();
+/// Per-request modeled completion latencies (cycles), recorded into a
+/// telemetry histogram: the `R_k` requests hosted on chip `k` complete at
+/// `(j+1)·C_k/R_k` cycles, `j = 0..R_k` (all requests arrive at once).
+fn modeled_latency_hist(shard_cycles: &[(u64, usize)]) -> Histogram {
+    let hist = Histogram::new();
     for &(cycles, hosted) in shard_cycles {
         for j in 0..hosted {
-            let done = cycles as f64 * (j + 1) as f64 / hosted as f64;
-            lats.push(done / clock_hz);
+            hist.record((cycles as f64 * (j + 1) as f64 / hosted as f64).round() as u64);
         }
     }
-    lats.sort_by(|a, b| a.total_cmp(b));
-    lats
+    hist
 }
 
 fn bench_serve(c: &mut Criterion) {
@@ -167,15 +164,27 @@ fn bench_serve(c: &mut Criterion) {
             .map(|s| (s.profiler.cycles, hosted[s.shard]))
             .filter(|&(_, h)| h > 0)
             .collect();
-        let lats = modeled_latencies(&per_shard, clock_hz);
-        group.report_metric(
+        let lat = modeled_latency_hist(&per_shard).snapshot();
+        let to_s = |cycles: u64| cycles as f64 / clock_hz;
+        let dist = SampleStats {
+            min: to_s(lat.min),
+            median: to_s(lat.p50),
+            mean: lat.mean() / clock_hz,
+            p50: to_s(lat.p50),
+            p99: to_s(lat.p99),
+            iters: lat.count,
+        };
+        group.report_stats(
             BenchmarkId::new("latency_p50", format!("{sessions}-sessions")),
-            percentile(&lats, 0.50),
+            dist,
             None,
         );
-        group.report_metric(
+        group.report_stats(
             BenchmarkId::new("latency_p99", format!("{sessions}-sessions")),
-            percentile(&lats, 0.99),
+            SampleStats {
+                median: to_s(lat.p99),
+                ..dist
+            },
             None,
         );
 

@@ -9,6 +9,9 @@ use pim_arch::{Backend, MicroOp, PimConfig};
 use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode, RoutineCache};
 use pim_isa::Instruction;
 use pim_sim::{PimSimulator, Profiler};
+use pim_telemetry::{
+    MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
+};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -90,6 +93,28 @@ impl ClusterStats {
         }
         out.cycles = self.critical_path_cycles();
         out
+    }
+}
+
+impl MetricsSource for ClusterStats {
+    fn fill_metrics(&self, snap: &mut MetricsSnapshot) {
+        // The merged profiler carries the chip-side sim.* metrics; cycles
+        // there is the critical path, so report the summed total separately.
+        self.merged_profiler().fill_metrics(snap);
+        snap.set_counter("cluster.total_cycles", self.total_cycles());
+        snap.set_counter("cluster.critical_path_cycles", self.critical_path_cycles());
+        snap.set_counter(
+            "cluster.modeled_latency_cycles",
+            self.modeled_latency_cycles(),
+        );
+        let issued = self.issued();
+        snap.set_counter("cluster.issued_cycles", issued.total);
+        snap.set_counter("cluster.issued_logic_cycles", issued.logic);
+        let (hits, misses) = self.cache_stats();
+        snap.set_counter("cluster.cache_hits", hits);
+        snap.set_counter("cluster.cache_misses", misses);
+        snap.set_gauge("cluster.shards", self.shards.len() as i64);
+        self.traffic.fill_metrics(snap);
     }
 }
 
@@ -219,11 +244,26 @@ impl Drop for Completion {
     }
 }
 
+/// One client batch tagged with the request it belongs to — the unit the
+/// serving gateway submits through [`PimCluster::submit_batch_tagged`] so
+/// shard workers can attribute their modeled cycles to the request.
+#[derive(Debug, Clone)]
+pub struct TaggedBatch {
+    /// The request this batch executes for ([`RequestId::UNTAGGED`] for
+    /// background work).
+    pub request: RequestId,
+    /// The batch's non-read instructions, in program order.
+    pub instrs: Vec<Instruction>,
+}
+
 enum Job {
-    /// Execute macro-instructions in order, collecting per-instruction
-    /// results (values for reads, `None` otherwise).
+    /// Execute macro-instruction segments in order, collecting
+    /// per-instruction results (values for reads, `None` otherwise) across
+    /// all segments. Segment boundaries exist only for telemetry — each
+    /// segment's modeled cycles are attributed to its [`RequestId`];
+    /// execution is one FIFO stream either way.
     Macro {
-        instrs: Vec<Instruction>,
+        segments: Vec<(RequestId, Vec<Instruction>)>,
         reply: Completion,
     },
     /// Execute a batch of raw micro-operations through the shard backend's
@@ -512,6 +552,9 @@ pub struct PimCluster {
     logical_cfg: PimConfig,
     interconnect: Interconnect,
     workers: Vec<Worker>,
+    telemetry: Telemetry,
+    /// Trace track of host-staged interconnect bursts.
+    ic_track: TrackHandle,
 }
 
 impl std::fmt::Debug for PimCluster {
@@ -574,6 +617,26 @@ impl PimCluster {
         mode: ParallelismMode,
         icfg: InterconnectConfig,
     ) -> Result<Self, ClusterError> {
+        PimCluster::with_telemetry(cfg, shards, mode, icfg, Telemetry::disabled())
+    }
+
+    /// Spawns a cluster recording into an explicit [`Telemetry`] handle:
+    /// each shard worker gets its own `shard-{i}` trace track (spans on the
+    /// shard's modeled cycle timeline, attributed per request), and
+    /// host-staged interconnect bursts record onto `cluster/interconnect`.
+    /// The handle may be shared with (and flipped on/off by) the layers
+    /// above; recording never affects execution.
+    ///
+    /// # Errors
+    ///
+    /// See [`with_interconnect`](PimCluster::with_interconnect).
+    pub fn with_telemetry(
+        cfg: PimConfig,
+        shards: usize,
+        mode: ParallelismMode,
+        icfg: InterconnectConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, ClusterError> {
         icfg.validate()
             .map_err(|reason| ClusterError::InvalidInterconnect { reason })?;
         let plan = ShardPlan::new(&cfg, shards)?;
@@ -587,23 +650,33 @@ impl PimCluster {
             })?;
             sim.set_threads(1);
             let driver = Driver::with_cache(sim, mode, shared_cache.share());
+            let track = telemetry.track(&format!("shard-{shard}"));
             let (tx, rx) = channel();
             let handle = std::thread::Builder::new()
                 .name(format!("pim-shard-{shard}"))
-                .spawn(move || run_worker(shard, driver, rx))
+                .spawn(move || run_worker(shard, driver, rx, track))
                 .expect("spawn shard worker");
             workers.push(Worker {
                 tx: Some(tx),
                 handle: Some(handle),
             });
         }
+        let ic_track = telemetry.track("cluster/interconnect");
         Ok(PimCluster {
             plan,
             shard_cfg: cfg,
             logical_cfg,
             interconnect: Interconnect::new(icfg),
             workers,
+            telemetry,
+            ic_track,
         })
+    }
+
+    /// The telemetry handle this cluster records into (disabled by default;
+    /// see [`with_telemetry`](PimCluster::with_telemetry)).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The modeled chip-to-chip interconnect (configuration and live
@@ -663,13 +736,35 @@ impl PimCluster {
         shard: usize,
         instrs: Vec<Instruction>,
     ) -> Result<JobTicket, ClusterError> {
+        self.submit_request(shard, RequestId::UNTAGGED, instrs)
+    }
+
+    /// [`submit`](PimCluster::submit) with the batch attributed to one
+    /// request: the shard worker's execution span (and its modeled cycles)
+    /// record against `request` when telemetry is enabled.
+    pub fn submit_request(
+        &self,
+        shard: usize,
+        request: RequestId,
+        instrs: Vec<Instruction>,
+    ) -> Result<JobTicket, ClusterError> {
+        self.submit_segments(shard, vec![(request, instrs)])
+    }
+
+    /// Submits one shard job of per-request instruction segments (the
+    /// gateway's coalesced groups carry several requests in one job).
+    fn submit_segments(
+        &self,
+        shard: usize,
+        segments: Vec<(RequestId, Vec<Instruction>)>,
+    ) -> Result<JobTicket, ClusterError> {
         let shared = Arc::new(TicketShared::default());
         let reply = Completion {
             shard,
             shared: Arc::clone(&shared),
             done: false,
         };
-        self.send(shard, Job::Macro { instrs, reply })?;
+        self.send(shard, Job::Macro { segments, reply })?;
         Ok(JobTicket { shard, shared })
     }
 
@@ -720,7 +815,7 @@ impl PimCluster {
     /// and shard errors.
     pub fn execute_batch(&self, instrs: &[Instruction]) -> Result<(), ClusterError> {
         self.validate_batch(instrs)?;
-        self.execute_batch_validated(instrs)
+        self.execute_batch_validated(instrs, RequestId::UNTAGGED)
     }
 
     /// Validates a whole non-read batch before anything is queued: a
@@ -842,8 +937,12 @@ impl PimCluster {
     /// instruction-stream order. Under [`Coalesce::Off`](crate::Coalesce)
     /// every run holds one move and this degenerates to the per-move PR-3
     /// path.
-    fn execute_batch_validated(&self, instrs: &[Instruction]) -> Result<(), ClusterError> {
-        let mut sched = BatchScheduler::new(self);
+    fn execute_batch_validated(
+        &self,
+        instrs: &[Instruction],
+        request: RequestId,
+    ) -> Result<(), ClusterError> {
+        let mut sched = BatchScheduler::new(self, request);
         let mut coalescer = MoveCoalescer::new(self.interconnect.config().coalesce);
         let mut parts: Vec<(usize, Instruction)> = Vec::new();
         for instr in instrs {
@@ -867,7 +966,7 @@ impl PimCluster {
                 None => true,
             };
             if flush_first {
-                self.flush_run(&mut sched, &mut coalescer)?;
+                self.flush_run(&mut sched, &mut coalescer, request)?;
             }
             for (s, i) in parts.drain(..) {
                 sched.enqueue(s, i);
@@ -876,7 +975,7 @@ impl PimCluster {
                 coalescer.push(mv);
             }
         }
-        self.flush_run(&mut sched, &mut coalescer)?;
+        self.flush_run(&mut sched, &mut coalescer, request)?;
         sched.finish()
     }
 
@@ -889,6 +988,7 @@ impl PimCluster {
         &self,
         sched: &mut BatchScheduler<'_>,
         coalescer: &mut MoveCoalescer,
+        request: RequestId,
     ) -> Result<(), ClusterError> {
         let run = coalescer.take();
         if run.is_empty() {
@@ -900,7 +1000,7 @@ impl PimCluster {
         };
         self.interconnect.record_barrier(sched.busy(&touched));
         sched.barrier(&touched)?;
-        self.cross_transfer(&run)
+        self.cross_transfer(&run, request)
     }
 
     /// Whether [`submit_batch`](PimCluster::submit_batch) would stream this
@@ -943,7 +1043,7 @@ impl PimCluster {
             if cross.is_some() {
                 // Discard the split and run the whole batch through the
                 // barrier-aware scheduler instead.
-                self.execute_batch_validated(instrs)?;
+                self.execute_batch_validated(instrs, RequestId::UNTAGGED)?;
                 return Ok(Submission::Inline);
             }
         }
@@ -951,6 +1051,58 @@ impl PimCluster {
         for (shard, instrs) in per.into_iter().enumerate() {
             if !instrs.is_empty() {
                 tickets.push(self.submit(shard, instrs)?);
+            }
+        }
+        Ok(Submission::Tickets(JobSet::new(tickets)))
+    }
+
+    /// [`submit_batch`](PimCluster::submit_batch) over request-tagged
+    /// batches — the serving gateway's submission path. Per-shard work
+    /// keeps batch order but carries each batch's [`RequestId`] as a
+    /// worker-side segment, so execution spans and modeled cycles attribute
+    /// to the request that caused them (even inside a coalesced group).
+    ///
+    /// If any batch needs a chip-crossing move, the batches execute inline
+    /// *per batch, in order* through the barrier-aware scheduler —
+    /// per-shard instruction order (and therefore every result) is
+    /// identical to the untagged concatenated path, and each batch's
+    /// transfers attribute to its own request.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit_batch`](PimCluster::submit_batch). Nothing runs if any
+    /// batch fails validation.
+    pub fn submit_batch_tagged(&self, batches: &[TaggedBatch]) -> Result<Submission, ClusterError> {
+        for b in batches {
+            self.validate_batch(&b.instrs)?;
+        }
+        let mut per: Vec<Vec<(RequestId, Vec<Instruction>)>> = vec![Vec::new(); self.shards()];
+        let mut crossing = false;
+        'split: for b in batches {
+            for instr in &b.instrs {
+                let cross = self.split_local(instr, |s, i| match per[s].last_mut() {
+                    Some((r, seg)) if *r == b.request => seg.push(i),
+                    _ => per[s].push((b.request, vec![i])),
+                });
+                if cross.is_some() {
+                    crossing = true;
+                    break 'split;
+                }
+            }
+        }
+        if crossing {
+            // Discard the split; sessions' batches touch disjoint windows
+            // (they commute), so per-batch sequential execution is
+            // equivalent to the concatenation.
+            for b in batches {
+                self.execute_batch_validated(&b.instrs, b.request)?;
+            }
+            return Ok(Submission::Inline);
+        }
+        let mut tickets = Vec::new();
+        for (shard, segments) in per.into_iter().enumerate() {
+            if !segments.is_empty() {
+                tickets.push(self.submit_segments(shard, segments)?);
             }
         }
         Ok(Submission::Tickets(JobSet::new(tickets)))
@@ -965,7 +1117,30 @@ impl PimCluster {
     /// cell-independent of each other ([`MoveCoalescer::accepts`]) and each
     /// member's own source and destination warp sets are disjoint (H-tree
     /// rule).
-    fn cross_transfer(&self, run: &[CrossingMove]) -> Result<(), ClusterError> {
+    /// Records one accounted burst as a trace span on the interconnect
+    /// track and attributes its traffic to `request`. The burst occupies
+    /// `[now, now + cycles)` on the global modeled clock and advances it —
+    /// host-staged transfers serialize after the drained shards' work,
+    /// matching [`ClusterStats::modeled_latency_cycles`]'s upper bound.
+    fn record_burst_span(&self, request: RequestId, words: u64, cycles: u64) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let start = self.telemetry.now();
+        self.telemetry.advance_clock(start + cycles);
+        self.ic_track
+            .record_complete("burst", start, cycles, request, Some(("words", words)));
+        self.telemetry.attribute(
+            request,
+            RequestStats {
+                cross_words: words,
+                link_cycles: cycles,
+                ..RequestStats::default()
+            },
+        );
+    }
+
+    fn cross_transfer(&self, run: &[CrossingMove], request: RequestId) -> Result<(), ClusterError> {
         match self.interconnect.config().staging {
             Staging::Batched => {
                 let all: Vec<(u32, u32)> =
@@ -994,7 +1169,9 @@ impl PimCluster {
                         .record_coalesced(run.len() as u64, (per_move - groups.len()) as u64);
                 }
                 for g in &groups {
-                    self.interconnect.record_burst(g.pairs.len() as u64);
+                    let words = g.pairs.len() as u64;
+                    let cycles = self.interconnect.record_burst(words);
+                    self.record_burst_span(request, words, cycles);
                 }
                 let locs: Vec<GlobalLoc> = run
                     .iter()
@@ -1018,7 +1195,8 @@ impl PimCluster {
                 }
                 for m in run {
                     for &(s, d) in m.pairs() {
-                        self.interconnect.record_burst(1);
+                        let cycles = self.interconnect.record_burst(1);
+                        self.record_burst_span(request, 1, cycles);
                         let value = self.gather(&[(s, m.row_src(), m.src())])?[0];
                         self.scatter(&[GlobalWrite::new(d, m.row_dst(), m.dst(), value)])?;
                     }
@@ -1239,19 +1417,57 @@ impl Drop for PimCluster {
 }
 
 #[allow(clippy::needless_pass_by_value)]
-fn run_worker(shard: usize, mut driver: Driver<PimSimulator>, rx: Receiver<Job>) {
+fn run_worker(
+    shard: usize,
+    mut driver: Driver<PimSimulator>,
+    rx: Receiver<Job>,
+    track: TrackHandle,
+) {
     while let Ok(job) = rx.recv() {
         match job {
-            Job::Macro { instrs, reply } => {
-                let mut out = Vec::with_capacity(instrs.len());
+            Job::Macro { segments, reply } => {
+                let mut out = Vec::with_capacity(segments.iter().map(|(_, i)| i.len()).sum());
                 let mut failure = None;
-                for instr in &instrs {
-                    match driver.execute(instr) {
-                        Ok(v) => out.push(v),
-                        Err(e) => {
-                            failure = Some(ClusterError::Shard { shard, source: e });
-                            break;
+                'segments: for (request, instrs) in &segments {
+                    // The shard's own profiler cycle counter is this
+                    // track's timeline; snapshot it around the segment so
+                    // the span (and its attribution) covers exactly the
+                    // cycles this request's instructions consumed. Gated
+                    // on one relaxed load when telemetry is disabled.
+                    let recording = track.is_enabled();
+                    let before = if recording {
+                        driver.backend().profiler().cycles
+                    } else {
+                        0
+                    };
+                    for instr in instrs {
+                        match driver.execute(instr) {
+                            Ok(v) => out.push(v),
+                            Err(e) => {
+                                failure = Some(ClusterError::Shard { shard, source: e });
+                                break 'segments;
+                            }
                         }
+                    }
+                    if recording {
+                        let after = driver.backend().profiler().cycles;
+                        track.record_complete(
+                            "exec",
+                            before,
+                            after.saturating_sub(before),
+                            *request,
+                            Some(("instructions", instrs.len() as u64)),
+                        );
+                        let telemetry = track.telemetry();
+                        telemetry.advance_clock(after);
+                        telemetry.attribute(
+                            *request,
+                            RequestStats {
+                                cycles: after.saturating_sub(before),
+                                instructions: instrs.len() as u64,
+                                ..RequestStats::default()
+                            },
+                        );
                     }
                 }
                 reply.complete(match failure {

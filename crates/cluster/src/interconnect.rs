@@ -144,6 +144,19 @@ pub struct TrafficStats {
     pub bursts_saved: u64,
 }
 
+impl pim_telemetry::MetricsSource for TrafficStats {
+    fn fill_metrics(&self, snap: &mut pim_telemetry::MetricsSnapshot) {
+        snap.set_counter("cluster.messages", self.messages);
+        snap.set_counter("cluster.cross_words", self.cross_words);
+        snap.set_counter("cluster.link_cycles", self.link_cycles);
+        snap.set_counter("cluster.barriers", self.barriers);
+        snap.set_counter("cluster.drained_queues", self.drained_queues);
+        snap.set_counter("cluster.runs_merged", self.runs_merged);
+        snap.set_counter("cluster.moves_merged", self.moves_merged);
+        snap.set_counter("cluster.bursts_saved", self.bursts_saved);
+    }
+}
+
 /// The modeled interconnect: configuration plus live traffic accounting.
 ///
 /// Counters are host-side atomics — recording from the cluster's `&self`

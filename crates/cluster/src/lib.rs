@@ -106,11 +106,12 @@ pub(crate) mod sched;
 
 pub use cluster::{
     fold_f32, fold_i32, ClusterStats, Combine, GatherTicket, GlobalLoc, GlobalWrite, JobSet,
-    JobTicket, PimCluster, ShardStats, Submission,
+    JobTicket, PimCluster, ShardStats, Submission, TaggedBatch,
 };
 pub use coalesce::{Coalesce, CrossingMove, MoveCoalescer};
 pub use error::ClusterError;
 pub use interconnect::{
     DrainPolicy, Interconnect, InterconnectConfig, MessageGroup, Staging, TrafficStats, WORD_BITS,
 };
+pub use pim_telemetry::{RequestId, RequestStats, Telemetry, TelemetryConfig};
 pub use plan::{MoveRoute, ShardPlan};

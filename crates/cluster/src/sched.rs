@@ -23,21 +23,26 @@
 use crate::cluster::JobTicket;
 use crate::{ClusterError, PimCluster};
 use pim_isa::Instruction;
+use pim_telemetry::RequestId;
 
 /// Per-shard dependency tracker driving one [`PimCluster::execute_batch`]
 /// call: pending (not yet submitted) instruction queues plus in-flight
-/// (submitted, not yet awaited) job tickets for every shard.
+/// (submitted, not yet awaited) job tickets for every shard. Carries the
+/// [`RequestId`] of the batch being executed so every shard job it
+/// launches attributes its modeled cycles to that request.
 pub(crate) struct BatchScheduler<'c> {
     cluster: &'c PimCluster,
+    request: RequestId,
     pending: Vec<Vec<Instruction>>,
     inflight: Vec<Vec<JobTicket>>,
 }
 
 impl<'c> BatchScheduler<'c> {
-    pub(crate) fn new(cluster: &'c PimCluster) -> Self {
+    pub(crate) fn new(cluster: &'c PimCluster, request: RequestId) -> Self {
         let shards = cluster.shards();
         BatchScheduler {
             cluster,
+            request,
             pending: vec![Vec::new(); shards],
             inflight: (0..shards).map(|_| Vec::new()).collect(),
         }
@@ -55,7 +60,7 @@ impl<'c> BatchScheduler<'c> {
             return Ok(());
         }
         let instrs = std::mem::take(&mut self.pending[shard]);
-        let ticket = self.cluster.submit(shard, instrs)?;
+        let ticket = self.cluster.submit_request(shard, self.request, instrs)?;
         self.inflight[shard].push(ticket);
         Ok(())
     }

@@ -5,10 +5,12 @@ use parking_lot::Mutex;
 use pim_arch::PimConfig;
 use pim_cluster::{
     ClusterStats, GatherTicket, GlobalWrite, InterconnectConfig, JobSet, PimCluster, Submission,
+    TaggedBatch,
 };
 use pim_driver::{Driver, ParallelismMode};
 use pim_isa::{DType, Instruction};
 use pim_sim::{PimSimulator, Profiler};
+use pim_telemetry::{MetricsSnapshot, MetricsSource, RequestStats, Telemetry};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
@@ -25,6 +27,9 @@ pub(crate) struct DeviceInner {
     pub(crate) engine: Engine,
     pub(crate) mem: Mutex<MemoryManager>,
     pub(crate) cfg: PimConfig,
+    /// The device's telemetry handle (disabled by default; shared with the
+    /// cluster's shard workers when cluster-backed).
+    pub(crate) telemetry: Telemetry,
 }
 
 /// An in-flight non-read instruction batch submitted through
@@ -177,6 +182,7 @@ impl Device {
                 engine: Engine::Single(Box::new(Mutex::new(driver))),
                 mem: Mutex::new(MemoryManager::new(&cfg)),
                 cfg,
+                telemetry: Telemetry::disabled(),
             }),
             placement: None,
         })
@@ -223,7 +229,8 @@ impl Device {
         mode: ParallelismMode,
         icfg: InterconnectConfig,
     ) -> Result<Self> {
-        let cluster = PimCluster::with_interconnect(cfg, shards, mode, icfg)?;
+        let telemetry = Telemetry::disabled();
+        let cluster = PimCluster::with_telemetry(cfg, shards, mode, icfg, telemetry.clone())?;
         let logical = cluster.logical_config().clone();
         // Thread the shard geometry into the allocator: stripes that fit
         // one chip get chip-local placement, so small tensors' operations
@@ -235,9 +242,42 @@ impl Device {
                 engine: Engine::Cluster(Box::new(cluster)),
                 mem: Mutex::new(mem),
                 cfg: logical,
+                telemetry,
             }),
             placement: None,
         })
+    }
+
+    /// The device's telemetry handle: the modeled-clock trace recorder plus
+    /// the metrics registry. Disabled — zero-cost and bit-identical — by
+    /// default; flip on with [`Telemetry::set_enabled`]. Cluster-backed
+    /// devices share the handle with their shard workers, so enabling it
+    /// here starts recording per-shard execution spans and interconnect
+    /// bursts.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// One unified [`MetricsSnapshot`] across every layer this device owns:
+    /// the telemetry registry's instruments (e.g. the serving gateway's
+    /// `serve.*` histograms) plus the simulator profiler (`sim.*`) and —
+    /// when cluster-backed — the cluster and interconnect counters
+    /// (`cluster.*`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster shard worker thread has died (see
+    /// [`Device::cluster_stats`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.telemetry.metrics().snapshot();
+        match &self.inner.engine {
+            Engine::Single(d) => d.lock().backend().profiler().fill_metrics(&mut snap),
+            Engine::Cluster(c) => c
+                .stats()
+                .expect("cluster shard worker died")
+                .fill_metrics(&mut snap),
+        }
+        snap
     }
 
     /// The device geometry (for a cluster: the aggregate geometry across
@@ -506,6 +546,75 @@ impl Device {
                 Ok(StepTicket::ready())
             }
             Engine::Cluster(c) => match c.submit_batch(instrs)? {
+                Submission::Tickets(set) => Ok(StepTicket(StepInner::Cluster(set))),
+                Submission::Inline => Ok(StepTicket::ready()),
+            },
+        }
+    }
+
+    /// Submits request-tagged instruction batches *without waiting* — the
+    /// attribution-aware variant of [`submit_instrs`](Device::submit_instrs)
+    /// the serving gateway coalesces client requests onto. Each
+    /// [`TaggedBatch`] carries the [`RequestId`] its modeled cycles,
+    /// instruction counts, cross-chip words and trace spans are attributed
+    /// to; execution results are bit-identical to submitting the
+    /// concatenated instructions untagged, whether or not telemetry is
+    /// recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Protocol`] for read instructions, plus
+    /// validation errors; deferred shard errors surface when the ticket is
+    /// waited or awaited.
+    pub fn submit_tagged(&self, batches: &[TaggedBatch]) -> Result<StepTicket> {
+        if batches
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .any(|i| matches!(i, Instruction::Read { .. }))
+        {
+            return Err(CoreError::Protocol {
+                reason: "read instructions cannot be submitted asynchronously \
+                         (use submit_reads)"
+                    .into(),
+            });
+        }
+        match &self.inner.engine {
+            Engine::Single(d) => {
+                let mut d = d.lock();
+                for b in batches {
+                    let recording = self.inner.telemetry.is_enabled();
+                    let before = if recording {
+                        d.backend().profiler().cycles
+                    } else {
+                        0
+                    };
+                    for i in &b.instrs {
+                        d.execute(i)?;
+                    }
+                    if recording {
+                        let after = d.backend().profiler().cycles;
+                        let track = self.inner.telemetry.track("chip-0");
+                        track.record_complete(
+                            "exec",
+                            before,
+                            after.saturating_sub(before),
+                            b.request,
+                            Some(("instructions", b.instrs.len() as u64)),
+                        );
+                        self.inner.telemetry.advance_clock(after);
+                        self.inner.telemetry.attribute(
+                            b.request,
+                            RequestStats {
+                                cycles: after.saturating_sub(before),
+                                instructions: b.instrs.len() as u64,
+                                ..Default::default()
+                            },
+                        );
+                    }
+                }
+                Ok(StepTicket::ready())
+            }
+            Engine::Cluster(c) => match c.submit_batch_tagged(batches)? {
                 Submission::Tickets(set) => Ok(StepTicket(StepInner::Cluster(set))),
                 Submission::Inline => Ok(StepTicket::ready()),
             },

@@ -58,8 +58,12 @@ pub use movement::{compact_with_padding, copy, materialize_like, plan_copy, shif
 pub use reduce::identity_bits;
 pub use tensor::Tensor;
 
+pub use pim_cluster::TaggedBatch;
 pub use pim_driver::ParallelismMode;
 pub use pim_isa::{DType, RegOp};
+pub use pim_telemetry::{
+    MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TelemetryConfig,
+};
 
 impl From<Tensor> for Result<Tensor> {
     fn from(t: Tensor) -> Self {

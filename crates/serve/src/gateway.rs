@@ -20,7 +20,10 @@
 use crate::{ClusterClient, ServeConfig};
 use parking_lot::Mutex;
 use pim_isa::Instruction;
-use pypim_core::{CoreError, Device, Result, StepTicket};
+use pim_telemetry::{
+    Histogram, MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
+};
+use pypim_core::{CoreError, Device, Result, StepTicket, TaggedBatch};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
@@ -74,6 +77,12 @@ struct PendingBatch {
     /// computed once at enqueue time off the state lock — the pump's
     /// worker-wake path consults this on every completion.
     streams_async: bool,
+    /// Request identity the batch's modeled cycles, cross-chip words, and
+    /// queue wait are attributed to (`s{session}.r{seq}`).
+    request: RequestId,
+    /// Modeled-clock reading at admission; the span from here to submission
+    /// is the request's queue wait.
+    enqueued_at: u64,
 }
 
 /// Telemetry of the gateway's admission controller.
@@ -96,9 +105,25 @@ pub struct GatewayStats {
     pub sessions: u64,
 }
 
+impl MetricsSource for GatewayStats {
+    fn fill_metrics(&self, snap: &mut MetricsSnapshot) {
+        snap.set_counter("serve.groups", self.groups);
+        snap.set_counter("serve.batches", self.batches);
+        snap.set_counter("serve.instructions", self.instructions);
+        snap.set_counter("serve.deferred", self.deferred);
+        snap.set_counter("serve.sessions", self.sessions);
+        snap.set_gauge("serve.max_coalesced", self.max_coalesced as i64);
+        snap.set_gauge("serve.peak_inflight", self.peak_inflight as i64);
+    }
+}
+
 #[derive(Default)]
 struct State {
     queues: Vec<VecDeque<PendingBatch>>,
+    /// Per-queue-slot request sequence counters. Monotonic across session
+    /// churn (a reused slot keeps counting), so a `RequestId` is never
+    /// reissued within one gateway.
+    seqs: Vec<u32>,
     /// Queue slots of closed sessions, reused by the next `add_session`
     /// so a long-running gateway with session churn stays bounded.
     free_slots: Vec<usize>,
@@ -112,6 +137,14 @@ struct State {
 pub(crate) struct GatewayInner {
     pub(crate) dev: Device,
     pub(crate) cfg: ServeConfig,
+    /// Admission track on the device's telemetry: one `queue` span per
+    /// admitted batch, from enqueue to coalesced submission.
+    track: TrackHandle,
+    /// `serve.queue_wait_cycles` — modeled cycles a batch waited in its
+    /// session queue before submission.
+    queue_wait: Histogram,
+    /// `serve.group_batches` — client batches per coalesced submission.
+    group_size: Histogram,
     state: Mutex<State>,
 }
 
@@ -138,6 +171,7 @@ impl GatewayInner {
             Some(id) => id,
             None => {
                 st.queues.push(VecDeque::new());
+                st.seqs.push(0);
                 st.queues.len() - 1
             }
         }
@@ -170,11 +204,16 @@ impl GatewayInner {
             // Route classification happens here, off the state lock, so
             // the pump never re-validates batches on the completion path.
             let streams_async = self.dev.instrs_stream_async(&instrs);
+            let enqueued_at = self.dev.telemetry().now();
             let mut st = self.state.lock();
+            let seq = st.seqs[session];
+            st.seqs[session] = seq.wrapping_add(1);
             st.queues[session].push_back(PendingBatch {
                 instrs,
                 slot: Arc::clone(&slot),
                 streams_async,
+                request: RequestId::new(session as u32, seq),
+                enqueued_at,
             });
         }
         ExecFuture::new(Arc::clone(self), slot)
@@ -251,13 +290,39 @@ impl GatewayInner {
                     return;
                 }
                 Popped::Submit(batches) => {
-                    let mut instrs = Vec::new();
+                    let recording = self.track.is_enabled();
+                    let now = self.dev.telemetry().now();
+                    let mut tagged = Vec::with_capacity(batches.len());
                     let mut slots = Vec::with_capacity(batches.len());
                     for b in batches {
-                        instrs.extend(b.instrs);
+                        if recording {
+                            let wait = now.saturating_sub(b.enqueued_at);
+                            self.queue_wait.record(wait);
+                            self.track.record_complete(
+                                "queue",
+                                b.enqueued_at,
+                                wait,
+                                b.request,
+                                Some(("instructions", b.instrs.len() as u64)),
+                            );
+                            self.dev.telemetry().attribute(
+                                b.request,
+                                RequestStats {
+                                    queue_wait: wait,
+                                    ..Default::default()
+                                },
+                            );
+                        }
+                        tagged.push(TaggedBatch {
+                            request: b.request,
+                            instrs: b.instrs,
+                        });
                         slots.push(b.slot);
                     }
-                    match self.dev.submit_instrs(&instrs) {
+                    if recording {
+                        self.group_size.record(tagged.len() as u64);
+                    }
+                    match self.dev.submit_tagged(&tagged) {
                         Err(e) => self.finish_group(slots, Err(e)),
                         Ok(ticket) => Group::attach(Arc::clone(self), ticket, slots),
                     }
@@ -393,10 +458,17 @@ impl Gateway {
     /// Builds a gateway over `dev` (typically a [`Device::cluster`] — a
     /// single-chip device works too, executing submissions inline).
     pub fn new(dev: Device, cfg: ServeConfig) -> Gateway {
+        let telemetry = dev.telemetry();
+        let track = telemetry.track("gateway/admission");
+        let queue_wait = telemetry.metrics().histogram("serve.queue_wait_cycles");
+        let group_size = telemetry.metrics().histogram("serve.group_batches");
         Gateway {
             inner: Arc::new(GatewayInner {
                 dev,
                 cfg,
+                track,
+                queue_wait,
+                group_size,
                 state: Mutex::new(State::default()),
             }),
         }
@@ -451,6 +523,34 @@ impl Gateway {
     /// depth).
     pub fn stats(&self) -> GatewayStats {
         self.inner.stats()
+    }
+
+    /// The telemetry handle shared by the gateway, the device, and (for a
+    /// cluster) every shard worker. `gw.telemetry().set_enabled(true)`
+    /// starts recording admission spans, shard execution slices,
+    /// interconnect bursts, and per-request attribution — all on the
+    /// modeled clock.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.inner.dev.telemetry()
+    }
+
+    /// One unified [`MetricsSnapshot`] across every layer under this
+    /// gateway: the admission controller's own counters (`serve.*`,
+    /// including the queue-wait/group-size histograms), the cluster and
+    /// interconnect counters (`cluster.*`), and the simulator profiler
+    /// (`sim.*`).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.dev.metrics_snapshot();
+        self.stats().fill_metrics(&mut snap);
+        snap
+    }
+
+    /// Per-session attribution rollup: `(session, requests, stats)` with
+    /// modeled cycles, cross-chip words, link cycles, and queue wait summed
+    /// over each session's recorded requests. Empty unless telemetry is
+    /// enabled.
+    pub fn session_stats(&self) -> Vec<(u32, u64, RequestStats)> {
+        self.inner.dev.telemetry().session_stats()
     }
 }
 

@@ -75,6 +75,7 @@ mod plan;
 mod session;
 
 pub use gateway::{ExecFuture, Gateway, GatewayStats};
+pub use pim_telemetry::{MetricsSnapshot, RequestId, RequestStats, Telemetry};
 pub use plan::RequestPlan;
 pub use session::ClusterClient;
 

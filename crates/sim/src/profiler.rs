@@ -100,23 +100,47 @@ impl Profiler {
     /// Difference between `self` and an earlier `snapshot` — used to
     /// attribute cycles to a region of execution (the library's `Profiler`
     /// scope in the paper's Figure 12 example).
+    ///
+    /// Counters subtract saturating: if `reset` raced the snapshot (the
+    /// snapshot is "ahead" of `self`), the region reads as empty rather
+    /// than panicking in debug builds or wrapping in release builds.
+    /// `max_move_level` is **carried, not differenced** — it is a
+    /// high-water mark, so the region inherits the current peak; a move in
+    /// the region can only raise it.
     pub fn since(&self, snapshot: &Profiler) -> Profiler {
         Profiler {
-            cycles: self.cycles - snapshot.cycles,
+            cycles: self.cycles.saturating_sub(snapshot.cycles),
             ops: OpTypeCounts {
-                xb_mask: self.ops.xb_mask - snapshot.ops.xb_mask,
-                row_mask: self.ops.row_mask - snapshot.ops.row_mask,
-                write: self.ops.write - snapshot.ops.write,
-                read: self.ops.read - snapshot.ops.read,
-                logic_h: self.ops.logic_h - snapshot.ops.logic_h,
-                logic_v: self.ops.logic_v - snapshot.ops.logic_v,
-                mv: self.ops.mv - snapshot.ops.mv,
+                xb_mask: self.ops.xb_mask.saturating_sub(snapshot.ops.xb_mask),
+                row_mask: self.ops.row_mask.saturating_sub(snapshot.ops.row_mask),
+                write: self.ops.write.saturating_sub(snapshot.ops.write),
+                read: self.ops.read.saturating_sub(snapshot.ops.read),
+                logic_h: self.ops.logic_h.saturating_sub(snapshot.ops.logic_h),
+                logic_v: self.ops.logic_v.saturating_sub(snapshot.ops.logic_v),
+                mv: self.ops.mv.saturating_sub(snapshot.ops.mv),
             },
-            gates: self.gates - snapshot.gates,
-            row_gates: self.row_gates - snapshot.row_gates,
-            move_pairs: self.move_pairs - snapshot.move_pairs,
+            gates: self.gates.saturating_sub(snapshot.gates),
+            row_gates: self.row_gates.saturating_sub(snapshot.row_gates),
+            move_pairs: self.move_pairs.saturating_sub(snapshot.move_pairs),
             max_move_level: self.max_move_level,
         }
+    }
+}
+
+impl pim_telemetry::MetricsSource for Profiler {
+    fn fill_metrics(&self, snap: &mut pim_telemetry::MetricsSnapshot) {
+        snap.set_counter("sim.cycles", self.cycles);
+        snap.set_counter("sim.op.xb_mask", self.ops.xb_mask);
+        snap.set_counter("sim.op.row_mask", self.ops.row_mask);
+        snap.set_counter("sim.op.write", self.ops.write);
+        snap.set_counter("sim.op.read", self.ops.read);
+        snap.set_counter("sim.op.logic_h", self.ops.logic_h);
+        snap.set_counter("sim.op.logic_v", self.ops.logic_v);
+        snap.set_counter("sim.op.mv", self.ops.mv);
+        snap.set_counter("sim.gates", self.gates);
+        snap.set_counter("sim.row_gates", self.row_gates);
+        snap.set_counter("sim.move_pairs", self.move_pairs);
+        snap.set_gauge("sim.max_move_level", i64::from(self.max_move_level));
     }
 }
 
@@ -169,5 +193,39 @@ mod tests {
         assert_eq!(d.cycles, 7);
         assert_eq!(d.ops.logic_h, 6);
         assert_eq!(d.ops.read, 1);
+    }
+
+    #[test]
+    fn since_saturates_when_reset_races_snapshot() {
+        // A reset between snapshot and readout leaves the snapshot "ahead";
+        // the region must read empty, not panic or wrap.
+        let mut p = Profiler::new();
+        p.cycles = 5;
+        p.ops.write = 3;
+        p.gates = 4;
+        let snap = p.clone();
+        p.reset();
+        p.cycles = 2;
+        p.max_move_level = 1;
+        let d = p.since(&snap);
+        assert_eq!(d.cycles, 0);
+        assert_eq!(d.ops.write, 0);
+        assert_eq!(d.gates, 0);
+        // max_move_level is carried, not differenced.
+        assert_eq!(d.max_move_level, 1);
+    }
+
+    #[test]
+    fn profiler_is_a_metrics_source() {
+        use pim_telemetry::{MetricsSnapshot, MetricsSource as _};
+        let mut p = Profiler::new();
+        p.cycles = 11;
+        p.ops.logic_h = 7;
+        p.max_move_level = 3;
+        let mut snap = MetricsSnapshot::new();
+        p.fill_metrics(&mut snap);
+        assert_eq!(snap.counters["sim.cycles"], 11);
+        assert_eq!(snap.counters["sim.op.logic_h"], 7);
+        assert_eq!(snap.gauges["sim.max_move_level"], 3);
     }
 }

@@ -1,0 +1,30 @@
+//! # pim-telemetry
+//!
+//! Unified observability for the PyPIM stack: lock-cheap metrics
+//! ([`MetricsRegistry`], [`MetricsSnapshot`]), span-based tracing on the
+//! modeled clock ([`Telemetry`], [`TraceRecorder`]), per-request
+//! attribution ([`RequestId`], [`RequestStats`]), and Chrome/Perfetto
+//! trace export ([`TraceRecorder::export_chrome_trace`]).
+//!
+//! The crate deliberately has no dependencies — every layer of the stack
+//! (simulator, cluster, device, gateway, benches) links it, so it must be
+//! free to thread anywhere. See `README.md` in this crate for metric
+//! naming conventions and a walkthrough of adding a span.
+//!
+//! Everything hangs off a cloneable [`Telemetry`] handle. A
+//! [`Telemetry::disabled`] handle makes every record path a single relaxed
+//! atomic load, and recording never influences execution, so results are
+//! bit-identical and throughput unchanged with telemetry off.
+
+mod chrome;
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, MetricsSource,
+    SUB_BUCKETS,
+};
+pub use trace::{
+    RequestId, RequestStats, SpanGuard, Telemetry, TelemetryConfig, TraceEvent, TraceRecorder,
+    TrackHandle, TrackId,
+};

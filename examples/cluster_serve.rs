@@ -8,6 +8,13 @@
 //! `MAX_IN_FLIGHT` admission bound is structurally gone; the gateway's
 //! in-flight budget is batching backpressure, not a memory-safety valve.
 //!
+//! Observability: telemetry is switched on for the serving run, so the
+//! wrap-up is one unified `MetricsSnapshot` across every layer (`serve.*`
+//! admission counters and queue-wait histogram, `cluster.*` traffic,
+//! `sim.*` profiler) plus a per-session attribution table — modeled
+//! cycles, cross-chip words, link cycles, and queue wait, summed from the
+//! `RequestId`-tagged spans each session's requests left behind.
+//!
 //! Run with: `cargo run --release --example cluster_serve`
 
 use futures::executor::block_on;
@@ -81,6 +88,9 @@ fn main() -> Result<()> {
         session_warps,
         ..ServeConfig::default()
     });
+    // Record the serving run: admission spans, shard execution slices, and
+    // interconnect bursts, each attributed to its RequestId.
+    gateway.telemetry().set_enabled(true);
     let clients: Vec<ClusterClient> = (0..CLIENTS)
         .map(|_| gateway.session())
         .collect::<Result<_>>()?;
@@ -136,32 +146,22 @@ fn main() -> Result<()> {
         percentile(&latencies, 0.90).as_secs_f64() * 1e3,
         percentile(&latencies, 0.99).as_secs_f64() * 1e3,
     );
-    let gstats = gateway.stats();
-    println!(
-        "gateway: {} submissions carried {} client batches ({} instructions); \
-         max {} batches coalesced, peak {} in flight, {} deferred",
-        gstats.groups,
-        gstats.batches,
-        gstats.instructions,
-        gstats.max_coalesced,
-        gstats.peak_inflight,
-        gstats.deferred,
-    );
+    // One unified metrics snapshot across every layer: serve.* admission
+    // counters (incl. the queue-wait/group-size histograms with their
+    // p50/p99/p999 tails), cluster.* traffic, sim.* profiler counters.
+    println!("\n{}", gateway.metrics_snapshot().render());
 
-    if let Some(stats) = dev.cluster_stats() {
-        let (hits, misses) = stats.cache_stats();
+    // Per-session attribution, summed from the RequestId-tagged spans.
+    println!("per-session attribution (modeled cycles):");
+    println!(
+        "  {:<8} {:>8} {:>10} {:>12} {:>11} {:>11}",
+        "session", "requests", "cycles", "cross_words", "link_cyc", "queue_wait"
+    );
+    for (session, requests, stats) in gateway.session_stats() {
         println!(
-            "telemetry: {} total chip cycles ({} on the busiest shard), \
-             routine cache {hits} hits / {misses} misses",
-            stats.total_cycles(),
-            stats.critical_path_cycles(),
+            "  s{session:<7} {requests:>8} {:>10} {:>12} {:>11} {:>11}",
+            stats.cycles, stats.cross_words, stats.link_cycles, stats.queue_wait
         );
-        for s in &stats.shards {
-            println!(
-                "  shard {}: {} chip cycles, {} issued micro-op cycles, cache {}h/{}m",
-                s.shard, s.profiler.cycles, s.issued.total, s.cache_hits, s.cache_misses,
-            );
-        }
     }
 
     // Cross-chip traffic demo: shift a whole-memory tensor by one shard's
@@ -179,31 +179,18 @@ fn main() -> Result<()> {
         (demo_elems / SHARDS) as i32,
         "cross-chip shift must preserve values"
     );
+    println!(
+        "\ncross-chip shift over {}-bit links ({} cycle latency):",
+        icfg.link_bits, icfg.latency,
+    );
+    println!("{}", dev.metrics_snapshot().render());
     if let Some(stats) = dev.cluster_stats() {
-        let t = stats.traffic;
-        println!(
-            "interconnect ({}-bit links, {} cycle latency): {} messages, \
-             {} cross-chip words, {} link cycles; {} barriers drained {} \
-             shard queues",
-            icfg.link_bits,
-            icfg.latency,
-            t.messages,
-            t.cross_words,
-            t.link_cycles,
-            t.barriers,
-            t.drained_queues,
-        );
-        println!(
-            "move coalescer: {} runs merged {} crossing moves, saving {} \
-             interconnect messages (and all but {} of the barriers)",
-            t.runs_merged, t.moves_merged, t.bursts_saved, t.barriers,
-        );
         println!(
             "modeled end-to-end latency: {} cycles ({} chip critical path + \
              {} link)",
             stats.modeled_latency_cycles(),
             stats.critical_path_cycles(),
-            t.link_cycles,
+            stats.traffic.link_cycles,
         );
     }
     Ok(())

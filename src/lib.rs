@@ -20,6 +20,11 @@
 //!   drives many in-flight client sessions, each with its own placement
 //!   window, through an admission controller that coalesces their steps
 //!   into shared cluster submissions ([`Gateway`], [`ClusterClient`]).
+//! * [`telemetry`] — unified tracing + metrics: a lock-cheap registry
+//!   (counters/gauges/log-bucketed histograms behind one
+//!   `MetricsSnapshot`) and span tracing on the modeled clock with
+//!   per-request attribution (`RequestId`) and Chrome/Perfetto trace
+//!   export. Zero-cost when disabled (the default).
 //! * The development library ([`Tensor`], [`Device`], …) — NumPy-like
 //!   tensors with views, reductions, sorting, and CORDIC routines.
 //!
@@ -118,6 +123,7 @@ pub use pim_driver as driver;
 pub use pim_isa as isa;
 pub use pim_serve as serve;
 pub use pim_sim as sim;
+pub use pim_telemetry as telemetry;
 
 pub use pim_arch::{PimConfig, RangeMask};
 pub use pim_cluster::{

@@ -67,20 +67,44 @@ pub struct SampleStats {
     pub median: f64,
     /// Mean over all samples.
     pub mean: f64,
+    /// 50th-percentile sample (equals `median` for timed runs; carries the
+    /// real distribution median for caller-reported stats).
+    pub p50: f64,
+    /// 99th-percentile sample — the tail a throughput median hides.
+    pub p99: f64,
     /// Total iterations across every sample.
     pub iters: u64,
 }
 
 impl SampleStats {
+    /// Stats where every percentile collapses to one `seconds` value — the
+    /// shape of a single caller-measured metric.
+    pub fn point(seconds: f64) -> Self {
+        SampleStats {
+            min: seconds,
+            median: seconds,
+            mean: seconds,
+            p50: seconds,
+            p99: seconds,
+            iters: 1,
+        }
+    }
+
     fn from_samples(per_iter: &mut [f64], iters: u64) -> Option<Self> {
         if per_iter.is_empty() {
             return None;
         }
         per_iter.sort_by(|a, b| a.total_cmp(b));
+        let nearest = |p: f64| {
+            let idx = ((per_iter.len() as f64 - 1.0) * p).round() as usize;
+            per_iter[idx]
+        };
         Some(SampleStats {
             min: per_iter[0],
             median: per_iter[per_iter.len() / 2],
             mean: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            p50: nearest(0.50),
+            p99: nearest(0.99),
             iters,
         })
     }
@@ -193,15 +217,25 @@ impl BenchmarkGroup<'_> {
         seconds: f64,
         throughput: Option<Throughput>,
     ) {
+        self.report_stats(id, SampleStats::point(seconds), throughput);
+    }
+
+    /// Records caller-computed [`SampleStats`] as one benchmark entry — the
+    /// stub extension behind real latency tails: a harness that measured a
+    /// whole distribution (e.g. per-request modeled latencies off a
+    /// telemetry histogram) reports its true p50/p99 instead of the
+    /// collapsed point [`report_metric`](BenchmarkGroup::report_metric)
+    /// produces.
+    pub fn report_stats(
+        &mut self,
+        id: impl std::fmt::Display,
+        stats: SampleStats,
+        throughput: Option<Throughput>,
+    ) {
         let record = Record {
             group: self.name.clone(),
             id: id.to_string(),
-            stats: SampleStats {
-                min: seconds,
-                median: seconds,
-                mean: seconds,
-                iters: 1,
-            },
+            stats,
             throughput,
         };
         report(&record);
@@ -214,12 +248,13 @@ impl BenchmarkGroup<'_> {
 
 fn report(r: &Record) {
     let mut line = format!(
-        "{}/{}: {:>12} per iter (median; min {}, mean {}, {} iters)",
+        "{}/{}: {:>12} per iter (median; min {}, mean {}, p99 {}, {} iters)",
         r.group,
         r.id,
         format_time(r.stats.median),
         format_time(r.stats.min),
         format_time(r.stats.mean),
+        format_time(r.stats.p99),
         r.stats.iters
     );
     match r.throughput {
@@ -312,13 +347,16 @@ impl Criterion {
             };
             out.push_str(&format!(
                 "    {{\"group\": {:?}, \"id\": {:?}, \"min_s\": {:e}, \"median_s\": {:e}, \
-                 \"mean_s\": {:e}, \"iters\": {}, \"throughput_kind\": {}, \
+                 \"mean_s\": {:e}, \"p50_s\": {:e}, \"p99_s\": {:e}, \"iters\": {}, \
+                 \"throughput_kind\": {}, \
                  \"throughput_per_iter\": {}, \"per_sec_median\": {:e}}}{}\n",
                 r.group,
                 r.id,
                 r.stats.min,
                 r.stats.median,
                 r.stats.mean,
+                r.stats.p50,
+                r.stats.p99,
                 r.stats.iters,
                 tp_kind,
                 tp_per_iter,
@@ -395,6 +433,8 @@ mod tests {
         assert_eq!(stats.min, 1.0);
         assert_eq!(stats.median, 2.0);
         assert_eq!(stats.mean, 2.0);
+        assert_eq!(stats.p50, 2.0);
+        assert_eq!(stats.p99, 3.0, "p99 reports the tail sample");
         let c = Criterion {
             records: vec![Record {
                 group: "g".into(),
@@ -407,6 +447,8 @@ mod tests {
         let json = c.to_json();
         assert!(json.contains("\"group\": \"g\""), "{json}");
         assert!(json.contains("\"median_s\": 2e0"), "{json}");
+        assert!(json.contains("\"p50_s\": 2e0"), "{json}");
+        assert!(json.contains("\"p99_s\": 3e0"), "{json}");
         assert!(json.contains("\"throughput_kind\": \"elements\""), "{json}");
     }
 
