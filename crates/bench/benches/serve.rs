@@ -21,14 +21,26 @@
 //! The per-request cycle counts land in a `pim-telemetry` log-bucketed
 //! [`Histogram`], whose p50/p99/p999 are what the JSON report carries —
 //! every latency entry now has real tail fields, not a collapsed point.
+//!
+//! The `degraded_crash` group reruns the gateway workload under a
+//! deterministic 1-shard-crash fault schedule (`pim-fault`): shard 0's
+//! worker is killed mid-stream after one request has committed, respawned
+//! from checkpoint+journal (the replayed suffix is charged to the shard's
+//! modeled clock), and the gateway's retry machinery re-submits the
+//! failed batches. Its modeled requests/s against the fault-free
+//! `gateway` row quantifies the throughput cost of one crash-and-recover
+//! cycle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SampleStats, Throughput};
 use futures::executor::block_on;
 use futures::future::join_all;
 use pim_arch::PimConfig;
+use pim_cluster::{ClusterOptions, RecoveryConfig};
+use pim_fault::{FaultInjector, FaultPlan};
 use pim_serve::{ClusterClient, DeviceServeExt, ServeConfig};
 use pim_telemetry::Histogram;
-use pypim_core::{Device, RegOp, Result, Tensor};
+use pypim_core::{Device, ErrorClass, RegOp, Result, Tensor};
+use std::sync::Arc;
 
 const SHARDS: usize = 4;
 const REQUESTS_PER_SESSION: usize = 2;
@@ -79,6 +91,36 @@ fn run_gateway(clients: &[ClusterClient], elems: usize) {
                     .await
                     .unwrap();
                 assert!(sum.is_finite());
+            }
+        },
+    )));
+}
+
+/// Like [`run_gateway`], but a request that resolves to a transient fault
+/// is re-issued, as a real client would (the gateway retries failed exec
+/// batches internally, but a crash landing on a request's trailing read
+/// surfaces to the client). Each request is self-contained (fresh uploads,
+/// fresh destinations), so the re-issue is value-safe, and the modeled
+/// clock keeps counting across the retry — the recovery cost stays in the
+/// measurement.
+fn run_gateway_degraded(clients: &[ClusterClient], elems: usize) {
+    block_on(join_all(clients.iter().enumerate().map(
+        |(cid, client)| async move {
+            for req in 0..REQUESTS_PER_SESSION {
+                let values = payload(cid, req, elems);
+                let mut attempts = 0;
+                loop {
+                    match request_fused(client, &values).await {
+                        Ok(sum) => {
+                            assert!(sum.is_finite());
+                            break;
+                        }
+                        Err(e) if e.class() == ErrorClass::Transient && attempts < 3 => {
+                            attempts += 1;
+                        }
+                        Err(e) => panic!("degraded request failed non-transiently: {e}"),
+                    }
+                }
             }
         },
     )));
@@ -139,6 +181,45 @@ fn bench_serve(c: &mut Criterion) {
         let seq_stats = seq_dev.cluster_stats().unwrap();
         let seq_modeled_s = seq_stats.modeled_latency_cycles() as f64 / clock_hz;
 
+        // --- Degraded mode: the identical gateway workload under a
+        //     deterministic 1-shard-crash schedule — shard 0's worker dies
+        //     on its third job (the second request's fused exec batch, a
+        //     retryable gateway submission; by then the first request has
+        //     committed, so the respawn replays a real journal suffix),
+        //     the supervisor rebuilds it from checkpoint+journal, and the
+        //     gateway retries the failed batches. The gap to the
+        //     fault-free `gateway` row is the recovery tax — the replayed
+        //     span is charged to the shard's modeled clock.
+        let fault = Arc::new(FaultInjector::new(FaultPlan::none().crash_at(0, 2), SHARDS));
+        let deg_dev = Device::cluster_with_options(
+            shard_cfg(),
+            SHARDS,
+            ClusterOptions {
+                recovery: RecoveryConfig::default(),
+                fault: Some(Arc::clone(&fault)),
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+        let deg_gateway = deg_dev.serve(ServeConfig {
+            session_warps,
+            max_retries: 3,
+            ..ServeConfig::default()
+        });
+        let deg_clients: Vec<ClusterClient> = (0..sessions)
+            .map(|_| deg_gateway.session().unwrap())
+            .collect();
+        // No warm pass: the crash is scheduled by job index and must fire
+        // inside the measured run (modeled cycles don't see host-side
+        // routine-cache state, so cold vs warm is identical).
+        run_gateway_degraded(&deg_clients, elems);
+        assert!(
+            fault.stats().worker_crashes >= 1,
+            "1-shard-crash schedule never fired"
+        );
+        let deg_stats = deg_dev.cluster_stats().unwrap();
+        let deg_modeled_s = deg_stats.modeled_latency_cycles() as f64 / clock_hz;
+
         // Modeled-clock headline: requests/s on the modeled machine.
         group.report_metric(
             BenchmarkId::new("gateway", format!("{sessions}-sessions")),
@@ -148,6 +229,11 @@ fn bench_serve(c: &mut Criterion) {
         group.report_metric(
             BenchmarkId::new("sequential", format!("{sessions}-sessions")),
             seq_modeled_s,
+            Some(Throughput::Elements(requests)),
+        );
+        group.report_metric(
+            BenchmarkId::new("degraded_crash", format!("{sessions}-sessions")),
+            deg_modeled_s,
             Some(Throughput::Elements(requests)),
         );
 
@@ -184,6 +270,34 @@ fn bench_serve(c: &mut Criterion) {
             SampleStats {
                 median: to_s(lat.p99),
                 ..dist
+            },
+            None,
+        );
+
+        // The same percentile model over the degraded run: the crashed
+        // chip's cycle count carries the replayed span and the retried
+        // batches, so its hosted requests stretch the tail.
+        let mut deg_hosted = [0usize; SHARDS];
+        for client in &deg_clients {
+            deg_hosted[(client.window().warp_start / warps_per_shard) as usize] +=
+                REQUESTS_PER_SESSION;
+        }
+        let deg_per_shard: Vec<(u64, usize)> = deg_stats
+            .shards
+            .iter()
+            .map(|s| (s.profiler.cycles, deg_hosted[s.shard]))
+            .filter(|&(_, h)| h > 0)
+            .collect();
+        let deg_lat = modeled_latency_hist(&deg_per_shard).snapshot();
+        group.report_stats(
+            BenchmarkId::new("degraded_latency_p99", format!("{sessions}-sessions")),
+            SampleStats {
+                min: to_s(deg_lat.min),
+                median: to_s(deg_lat.p99),
+                mean: deg_lat.mean() / clock_hz,
+                p50: to_s(deg_lat.p50),
+                p99: to_s(deg_lat.p99),
+                iters: deg_lat.count,
             },
             None,
         );

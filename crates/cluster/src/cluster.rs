@@ -4,20 +4,152 @@
 use crate::coalesce::{CrossingMove, MoveCoalescer};
 use crate::interconnect::{DrainPolicy, Staging};
 use crate::sched::BatchScheduler;
-use crate::{ClusterError, Interconnect, InterconnectConfig, ShardPlan, TrafficStats};
+use crate::{
+    ClusterError, Interconnect, InterconnectConfig, LinkFaultKind, ShardPlan, TrafficStats,
+};
 use pim_arch::{Backend, MicroOp, PimConfig};
 use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode, RoutineCache};
+use pim_fault::{FaultInjector, LinkFault, WorkerFault};
 use pim_isa::Instruction;
-use pim_sim::{PimSimulator, Profiler};
+use pim_sim::{PimSimulator, Profiler, SimSnapshot};
 use pim_telemetry::{
     MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
 };
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
 use std::thread::JoinHandle;
+
+/// Shard crash-recovery policy: whether the supervisor respawns dead
+/// workers, and how often each worker checkpoints its simulator state.
+///
+/// Between checkpoints the worker keeps a bounded journal of executed
+/// jobs; recovery restores the last [`SimSnapshot`] and replays the
+/// journal suffix, so a crash costs bounded replay latency instead of a
+/// dead cluster. Checkpointing is host-side only — it never touches
+/// modeled state, so modeled cycle counts are bit-identical with recovery
+/// on or off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Respawn crashed workers on the next submission (on by default).
+    /// When off, a dead worker leaves the shard permanently
+    /// [`Disconnected`](ClusterError::Disconnected) — the pre-supervision
+    /// behavior.
+    pub enabled: bool,
+    /// Take a fresh checkpoint once the shard has modeled at least this
+    /// many cycles since the last one.
+    pub checkpoint_interval_cycles: u64,
+    /// Take a fresh checkpoint once the journal holds this many
+    /// instructions/micro-operations, whatever the cycle budget says —
+    /// this bounds both journal memory and worst-case replay latency.
+    pub checkpoint_max_instructions: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            checkpoint_interval_cycles: 1_000_000,
+            checkpoint_max_instructions: 4096,
+        }
+    }
+}
+
+/// Everything configurable about a cluster, bundled so call sites name
+/// only what they change ([`PimCluster::with_options`]). The positional
+/// constructors ([`new`](PimCluster::new) …
+/// [`with_telemetry`](PimCluster::with_telemetry)) are shorthands over
+/// this.
+#[derive(Clone)]
+pub struct ClusterOptions {
+    /// Driver parallelism mode for every shard.
+    pub mode: ParallelismMode,
+    /// Chip-to-chip interconnect model.
+    pub interconnect: InterconnectConfig,
+    /// Telemetry handle the cluster records into.
+    pub telemetry: Telemetry,
+    /// Crash-recovery policy.
+    pub recovery: RecoveryConfig,
+    /// Deterministic fault injection schedule. `None` (the default) means
+    /// the injector hooks are never consulted — zero cost, bit-identical
+    /// to a build without the fault machinery.
+    pub fault: Option<Arc<FaultInjector>>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            mode: ParallelismMode::default(),
+            interconnect: InterconnectConfig::default(),
+            telemetry: Telemetry::disabled(),
+            recovery: RecoveryConfig::default(),
+            fault: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterOptions")
+            .field("mode", &self.mode)
+            .field("interconnect", &self.interconnect)
+            .field("recovery", &self.recovery)
+            .field("fault", &self.fault)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One recoverable unit of shard work, recorded by the worker after it
+/// executed successfully. Replaying the journal (in order, on top of the
+/// checkpoint snapshot) reproduces the shard state at crash time.
+enum JournalEntry {
+    /// Macro instructions of one executed job (read results are
+    /// recomputed and discarded on replay).
+    Instrs(Vec<Instruction>),
+    /// A raw micro-operation batch.
+    Micro(Vec<MicroOp>),
+    SetStrict(bool),
+    ResetProfiler,
+    ResetIssued,
+}
+
+/// A shard's checkpoint + bounded replay log, shared between the worker
+/// (which appends and periodically re-checkpoints) and the supervisor
+/// (which restores from it on revival).
+struct ShardJournal {
+    snapshot: SimSnapshot,
+    issued: IssuedCycles,
+    /// Profiler cycles at snapshot time (checkpoint-interval baseline).
+    snapshot_cycles: u64,
+    log: Vec<JournalEntry>,
+    /// Instructions + micro-operations in `log` (checkpoint-size bound).
+    logged_instrs: usize,
+}
+
+impl ShardJournal {
+    /// Re-checkpoints: captures the driver's current state as the new
+    /// snapshot and clears the log.
+    fn checkpoint(&mut self, driver: &Driver<PimSimulator>) {
+        self.snapshot = driver.backend().snapshot();
+        self.issued = driver.issued();
+        self.snapshot_cycles = driver.backend().profiler().cycles;
+        self.log.clear();
+        self.logged_instrs = 0;
+    }
+
+    /// Re-checkpoints if the journal outgrew the configured bounds.
+    fn maybe_checkpoint(&mut self, driver: &Driver<PimSimulator>, rc: &RecoveryConfig) {
+        let cycles = driver.backend().profiler().cycles;
+        if self.logged_instrs >= rc.checkpoint_max_instructions
+            || cycles.saturating_sub(self.snapshot_cycles) >= rc.checkpoint_interval_cycles
+        {
+            self.checkpoint(driver);
+        }
+    }
+}
 
 /// Telemetry snapshot of one shard.
 #[derive(Debug, Clone)]
@@ -45,6 +177,11 @@ pub struct ClusterStats {
     /// Interconnect/scheduler traffic: cross-chip messages and words moved,
     /// modeled link cycles, barriers hit and shard queues drained by them.
     pub traffic: TrafficStats,
+    /// Shard workers the supervisor respawned after a crash.
+    pub worker_restarts: u64,
+    /// Instructions/micro-operations replayed from journals during
+    /// recovery (the work between the last checkpoint and the crash).
+    pub replayed_instructions: u64,
 }
 
 impl ClusterStats {
@@ -114,6 +251,8 @@ impl MetricsSource for ClusterStats {
         snap.set_counter("cluster.cache_hits", hits);
         snap.set_counter("cluster.cache_misses", misses);
         snap.set_gauge("cluster.shards", self.shards.len() as i64);
+        snap.set_counter("cluster.worker_restarts", self.worker_restarts);
+        snap.set_counter("cluster.replayed_instructions", self.replayed_instructions);
         self.traffic.fill_metrics(snap);
     }
 }
@@ -221,7 +360,8 @@ impl TicketShared {
 
 /// Worker-side handle of a completion slot. Completing consumes it; if it
 /// is dropped un-completed (worker death, channel teardown mid-job), the
-/// drop guard delivers [`ClusterError::Disconnected`] so no waiter hangs.
+/// drop guard delivers [`ClusterError::WorkerCrashed`] — a typed transient
+/// error — so no waiter hangs.
 struct Completion {
     shard: usize,
     shared: Arc<TicketShared>,
@@ -239,7 +379,7 @@ impl Drop for Completion {
     fn drop(&mut self) {
         if !self.done {
             self.shared
-                .deliver(Err(ClusterError::Disconnected { shard: self.shard }));
+                .deliver(Err(ClusterError::WorkerCrashed { shard: self.shard }));
         }
     }
 }
@@ -288,7 +428,10 @@ enum Job {
     },
 }
 
-struct Worker {
+/// One shard worker's supervision state. Behind a `Mutex` so the
+/// supervisor can swap in a respawned worker from any client thread
+/// ([`PimCluster::send`] detects death and revives in place).
+struct WorkerSlot {
     tx: Option<Sender<Job>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -430,10 +573,30 @@ pub struct GatherTicket {
 }
 
 impl GatherTicket {
-    fn place(out: &mut [u32], indices: Vec<usize>, values: Vec<Option<u32>>) {
-        for (i, v) in indices.into_iter().zip(values) {
-            out[i] = v.expect("read returns a value");
+    /// Deposits one shard's read values at their input positions. A shard
+    /// that lost its worker mid-gather can come back short or with holes;
+    /// that is a typed [`Protocol`](ClusterError::Protocol) error for the
+    /// caller, never a panic.
+    fn place(
+        out: &mut [u32],
+        indices: Vec<usize>,
+        values: Vec<Option<u32>>,
+    ) -> Result<(), ClusterError> {
+        if values.len() != indices.len() {
+            return Err(ClusterError::Protocol {
+                reason: format!(
+                    "gather returned {} values for {} reads",
+                    values.len(),
+                    indices.len()
+                ),
+            });
         }
+        for (i, v) in indices.into_iter().zip(values) {
+            out[i] = v.ok_or_else(|| ClusterError::Protocol {
+                reason: "gather read returned no value".into(),
+            })?;
+        }
+        Ok(())
     }
 
     /// Blocks until every shard's reads complete, returning the gathered
@@ -445,7 +608,7 @@ impl GatherTicket {
     pub fn wait(mut self) -> Result<Vec<u32>, ClusterError> {
         for (indices, ticket) in self.parts.drain(..) {
             let values = ticket.wait()?;
-            Self::place(&mut self.out, indices, values);
+            Self::place(&mut self.out, indices, values)?;
         }
         Ok(std::mem::take(&mut self.out))
     }
@@ -459,7 +622,13 @@ impl Future for GatherTicket {
         let mut still_pending = Vec::with_capacity(this.parts.len());
         for (indices, mut ticket) in this.parts.drain(..) {
             match Pin::new(&mut ticket).poll(cx) {
-                Poll::Ready(Ok(values)) => Self::place(&mut this.out, indices, values),
+                Poll::Ready(Ok(values)) => {
+                    if let Err(e) = Self::place(&mut this.out, indices, values) {
+                        if this.failed.is_none() {
+                            this.failed = Some(e);
+                        }
+                    }
+                }
                 Poll::Ready(Err(e)) => {
                     if this.failed.is_none() {
                         this.failed = Some(e);
@@ -551,10 +720,21 @@ pub struct PimCluster {
     shard_cfg: PimConfig,
     logical_cfg: PimConfig,
     interconnect: Interconnect,
-    workers: Vec<Worker>,
+    workers: Vec<Mutex<WorkerSlot>>,
+    /// Per-shard checkpoint + replay journals; `None` when recovery is
+    /// disabled (no snapshot memory, no journaling work).
+    journals: Vec<Option<Arc<Mutex<ShardJournal>>>>,
     telemetry: Telemetry,
     /// Trace track of host-staged interconnect bursts.
     ic_track: TrackHandle,
+    mode: ParallelismMode,
+    shared_cache: RoutineCache,
+    recovery: RecoveryConfig,
+    fault: Option<Arc<FaultInjector>>,
+    /// Workers respawned after a crash.
+    restarts: AtomicU64,
+    /// Instructions replayed from journals during recovery.
+    replayed: AtomicU64,
 }
 
 impl std::fmt::Debug for PimCluster {
@@ -637,12 +817,45 @@ impl PimCluster {
         icfg: InterconnectConfig,
         telemetry: Telemetry,
     ) -> Result<Self, ClusterError> {
+        PimCluster::with_options(
+            cfg,
+            shards,
+            ClusterOptions {
+                mode,
+                interconnect: icfg,
+                telemetry,
+                ..ClusterOptions::default()
+            },
+        )
+    }
+
+    /// Spawns a cluster from a full [`ClusterOptions`] bundle — the one
+    /// constructor every shorthand delegates to. This is where crash
+    /// recovery ([`RecoveryConfig`]) and deterministic fault injection
+    /// ([`FaultInjector`]) are configured.
+    ///
+    /// # Errors
+    ///
+    /// See [`with_interconnect`](PimCluster::with_interconnect).
+    pub fn with_options(
+        cfg: PimConfig,
+        shards: usize,
+        options: ClusterOptions,
+    ) -> Result<Self, ClusterError> {
+        let ClusterOptions {
+            mode,
+            interconnect: icfg,
+            telemetry,
+            recovery,
+            fault,
+        } = options;
         icfg.validate()
             .map_err(|reason| ClusterError::InvalidInterconnect { reason })?;
         let plan = ShardPlan::new(&cfg, shards)?;
         let logical_cfg = cfg.clone().with_crossbars(cfg.crossbars * shards);
         let shared_cache = RoutineCache::new();
         let mut workers = Vec::with_capacity(shards);
+        let mut journals = Vec::with_capacity(shards);
         for shard in 0..shards {
             let mut sim = PimSimulator::new(cfg.clone()).map_err(|e| ClusterError::Shard {
                 shard,
@@ -650,16 +863,28 @@ impl PimCluster {
             })?;
             sim.set_threads(1);
             let driver = Driver::with_cache(sim, mode, shared_cache.share());
-            let track = telemetry.track(&format!("shard-{shard}"));
-            let (tx, rx) = channel();
-            let handle = std::thread::Builder::new()
-                .name(format!("pim-shard-{shard}"))
-                .spawn(move || run_worker(shard, driver, rx, track))
-                .expect("spawn shard worker");
-            workers.push(Worker {
+            let journal = recovery.enabled.then(|| {
+                Arc::new(Mutex::new(ShardJournal {
+                    snapshot: driver.backend().snapshot(),
+                    issued: driver.issued(),
+                    snapshot_cycles: 0,
+                    log: Vec::new(),
+                    logged_instrs: 0,
+                }))
+            });
+            let (tx, handle) = spawn_worker(
+                shard,
+                driver,
+                &telemetry,
+                journal.clone(),
+                fault.clone(),
+                recovery.clone(),
+            );
+            workers.push(Mutex::new(WorkerSlot {
                 tx: Some(tx),
                 handle: Some(handle),
-            });
+            }));
+            journals.push(journal);
         }
         let ic_track = telemetry.track("cluster/interconnect");
         Ok(PimCluster {
@@ -668,8 +893,15 @@ impl PimCluster {
             logical_cfg,
             interconnect: Interconnect::new(icfg),
             workers,
+            journals,
             telemetry,
             ic_track,
+            mode,
+            shared_cache,
+            recovery,
+            fault,
+            restarts: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
         })
     }
 
@@ -706,20 +938,155 @@ impl PimCluster {
         &self.logical_cfg
     }
 
-    fn sender(&self, shard: usize) -> Result<&Sender<Job>, ClusterError> {
-        self.workers
-            .get(shard)
-            .and_then(|w| w.tx.as_ref())
-            .ok_or(ClusterError::ShardIndex {
-                shard,
-                shards: self.workers.len(),
-            })
+    /// Queues one job to a shard worker, reviving the worker first if it
+    /// died. The fast path is one uncontended lock and a channel send; the
+    /// supervisor only runs when a send fails (the worker's receiver is
+    /// gone — it crashed or was fault-injected to crash).
+    fn send(&self, shard: usize, job: Job) -> Result<(), ClusterError> {
+        let slot = self.workers.get(shard).ok_or(ClusterError::ShardIndex {
+            shard,
+            shards: self.workers.len(),
+        })?;
+        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let job = match &slot.tx {
+            // `SendError` hands the unsent job back; recover it for the
+            // retry after revival.
+            Some(tx) => match tx.send(job) {
+                Ok(()) => return Ok(()),
+                Err(failed) => failed.0,
+            },
+            None => job,
+        };
+        self.revive(&mut slot, shard)?;
+        slot.tx
+            .as_ref()
+            .expect("revive installs a sender on success")
+            .send(job)
+            .map_err(|_| ClusterError::WorkerCrashed { shard })
     }
 
-    fn send(&self, shard: usize, job: Job) -> Result<(), ClusterError> {
-        self.sender(shard)?
-            .send(job)
-            .map_err(|_| ClusterError::Disconnected { shard })
+    /// Respawns a dead shard worker: reaps the old thread, rebuilds the
+    /// shard simulator from the journal's checkpoint, replays the journal
+    /// suffix, re-checkpoints, and spawns a fresh worker thread. Called
+    /// with the shard's slot lock held.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`](ClusterError::Disconnected) when recovery is
+    /// disabled; [`RecoveryFailed`](ClusterError::RecoveryFailed) when
+    /// replay fails (the shard stays down).
+    fn revive(&self, slot: &mut WorkerSlot, shard: usize) -> Result<(), ClusterError> {
+        slot.tx = None;
+        if let Some(h) = slot.handle.take() {
+            // A crashing worker's completion guards can wake a client that
+            // pumps follow-up work on the dying thread itself (the serving
+            // gateway does); reviving from there must not join the current
+            // thread — that deadlocks. The dying thread is past its last
+            // touch of shard state (state is rebuilt from the journal), so
+            // detaching it is safe.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+        let journal = match &self.journals[shard] {
+            Some(j) if self.recovery.enabled => Arc::clone(j),
+            _ => return Err(ClusterError::Disconnected { shard }),
+        };
+        let mut sim = PimSimulator::new(self.shard_cfg.clone()).map_err(|e| {
+            ClusterError::RecoveryFailed {
+                shard,
+                reason: e.to_string(),
+            }
+        })?;
+        sim.set_threads(1);
+        let mut driver = {
+            let j = journal.lock().unwrap_or_else(|e| e.into_inner());
+            sim.restore(&j.snapshot);
+            let mut driver = Driver::with_cache(sim, self.mode, self.shared_cache.share());
+            driver.restore_issued(j.issued);
+            let checkpoint_cycles = driver.backend().profiler().cycles;
+            let mut replayed = 0u64;
+            for entry in &j.log {
+                match entry {
+                    JournalEntry::Instrs(instrs) => {
+                        for instr in instrs {
+                            driver
+                                .execute(instr)
+                                .map_err(|e| ClusterError::RecoveryFailed {
+                                    shard,
+                                    reason: format!("replay failed: {e}"),
+                                })?;
+                        }
+                        replayed += instrs.len() as u64;
+                    }
+                    JournalEntry::Micro(ops) => {
+                        driver.backend_mut().execute_batch(ops).map_err(|e| {
+                            ClusterError::RecoveryFailed {
+                                shard,
+                                reason: format!("replay failed: {e}"),
+                            }
+                        })?;
+                        driver.invalidate_masks();
+                        replayed += ops.len() as u64;
+                    }
+                    JournalEntry::SetStrict(strict) => driver.backend_mut().set_strict(*strict),
+                    JournalEntry::ResetProfiler => {
+                        driver.backend_mut().reset_profiler();
+                        driver.reset_cache_stats();
+                    }
+                    JournalEntry::ResetIssued => driver.reset_issued(),
+                }
+            }
+            self.replayed.fetch_add(replayed, Ordering::Relaxed);
+            // Replay brings the profiler back to its pre-crash value, but
+            // on the wall timeline the replayed span executed twice — once
+            // before the crash (already counted, then rolled back by the
+            // restore, then re-counted by the replay) and once during
+            // recovery. Charge the recovery pass as a stall so degraded
+            // runs model the real throughput cost of a crash.
+            let replay_span = driver
+                .backend()
+                .profiler()
+                .cycles
+                .saturating_sub(checkpoint_cycles);
+            driver.backend_mut().stall(replay_span);
+            driver
+        };
+        // Fold the replayed suffix into a fresh checkpoint so a second
+        // crash never replays the same work twice.
+        journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .checkpoint(&driver);
+        driver.invalidate_masks();
+        let (tx, handle) = spawn_worker(
+            shard,
+            driver,
+            &self.telemetry,
+            Some(journal),
+            self.fault.clone(),
+            self.recovery.clone(),
+        );
+        slot.tx = Some(tx);
+        slot.handle = Some(handle);
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The fault injector this cluster consults, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
+    }
+
+    /// Shard workers respawned after a crash so far.
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Instructions/micro-operations replayed from journals during
+    /// recovery so far.
+    pub fn replayed_instructions(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
     }
 
     /// Submits a batch of *local* (shard-addressed) macro-instructions to
@@ -1140,6 +1507,26 @@ impl PimCluster {
         );
     }
 
+    /// Consults the fault injector for one staged burst; a scheduled drop
+    /// or detected corruption aborts the transfer *before* any data moves,
+    /// so nothing of a faulted message ever lands (no silent corruption).
+    fn check_link(&self, src_shard: usize, dst_shard: usize) -> Result<(), ClusterError> {
+        let Some(inj) = &self.fault else {
+            return Ok(());
+        };
+        if let Some(fault) = inj.link_fault() {
+            return Err(ClusterError::LinkFault {
+                src_shard,
+                dst_shard,
+                kind: match fault {
+                    LinkFault::Drop => LinkFaultKind::Dropped,
+                    LinkFault::Corrupt => LinkFaultKind::Corrupted,
+                },
+            });
+        }
+        Ok(())
+    }
+
     fn cross_transfer(&self, run: &[CrossingMove], request: RequestId) -> Result<(), ClusterError> {
         match self.interconnect.config().staging {
             Staging::Batched => {
@@ -1169,6 +1556,7 @@ impl PimCluster {
                         .record_coalesced(run.len() as u64, (per_move - groups.len()) as u64);
                 }
                 for g in &groups {
+                    self.check_link(g.src_shard, g.dst_shard)?;
                     let words = g.pairs.len() as u64;
                     let cycles = self.interconnect.record_burst(words);
                     self.record_burst_span(request, words, cycles);
@@ -1195,6 +1583,7 @@ impl PimCluster {
                 }
                 for m in run {
                     for &(s, d) in m.pairs() {
+                        self.check_link(self.plan.shard_of_warp(s), self.plan.shard_of_warp(d))?;
                         let cycles = self.interconnect.record_burst(1);
                         self.record_burst_span(request, 1, cycles);
                         let value = self.gather(&[(s, m.row_src(), m.src())])?[0];
@@ -1333,8 +1722,10 @@ impl PimCluster {
     pub fn execute_micro_batch(&self, shard: usize, ops: Vec<MicroOp>) -> Result<(), ClusterError> {
         let (reply, rx) = channel();
         self.send(shard, Job::Micro { ops, reply })?;
+        // A dropped reply sender means the worker died with the job queued
+        // or in flight — typed and transient, never a panic.
         rx.recv()
-            .unwrap_or(Err(ClusterError::Disconnected { shard }))
+            .unwrap_or(Err(ClusterError::WorkerCrashed { shard }))
     }
 
     fn control<R: Send + 'static>(
@@ -1348,7 +1739,7 @@ impl PimCluster {
             rxs.push((shard, rx));
         }
         rxs.into_iter()
-            .map(|(shard, rx)| rx.recv().map_err(|_| ClusterError::Disconnected { shard }))
+            .map(|(shard, rx)| rx.recv().map_err(|_| ClusterError::WorkerCrashed { shard }))
             .collect()
     }
 
@@ -1364,6 +1755,8 @@ impl PimCluster {
         Ok(ClusterStats {
             shards,
             traffic: self.interconnect.traffic(),
+            worker_restarts: self.worker_restarts(),
+            replayed_instructions: self.replayed_instructions(),
         })
     }
 
@@ -1406,13 +1799,53 @@ impl Drop for PimCluster {
     fn drop(&mut self) {
         // Closing the channels ends the worker loops; then reap the threads.
         for w in &mut self.workers {
-            w.tx = None;
+            w.get_mut().unwrap_or_else(|e| e.into_inner()).tx = None;
         }
         for w in &mut self.workers {
-            if let Some(h) = w.handle.take() {
+            if let Some(h) = w.get_mut().unwrap_or_else(|e| e.into_inner()).handle.take() {
                 let _ = h.join();
             }
         }
+    }
+}
+
+/// Spawns one shard worker thread over `driver`, returning its job
+/// channel and join handle. Used both at construction and by the
+/// supervisor when it respawns a crashed worker.
+fn spawn_worker(
+    shard: usize,
+    driver: Driver<PimSimulator>,
+    telemetry: &Telemetry,
+    journal: Option<Arc<Mutex<ShardJournal>>>,
+    fault: Option<Arc<FaultInjector>>,
+    recovery: RecoveryConfig,
+) -> (Sender<Job>, JoinHandle<()>) {
+    let track = telemetry.track(&format!("shard-{shard}"));
+    let (tx, rx) = channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("pim-shard-{shard}"))
+        .spawn(move || run_worker(shard, driver, rx, track, journal, fault, recovery))
+        .expect("spawn shard worker");
+    (tx, handle)
+}
+
+/// Consults the fault injector before an executable job. An injected
+/// crash makes the worker exit without executing (the job's completion
+/// drop guard delivers [`ClusterError::WorkerCrashed`], exactly as a real
+/// worker death would); a stall charges modeled cycles before execution.
+/// Returns `true` when the worker must die.
+fn injected_crash(
+    fault: &Option<Arc<FaultInjector>>,
+    shard: usize,
+    driver: &mut Driver<PimSimulator>,
+) -> bool {
+    match fault.as_ref().and_then(|f| f.worker_fault(shard)) {
+        Some(WorkerFault::Crash) => true,
+        Some(WorkerFault::Stall { cycles }) => {
+            driver.backend_mut().stall(cycles);
+            false
+        }
+        None => false,
     }
 }
 
@@ -1422,10 +1855,24 @@ fn run_worker(
     mut driver: Driver<PimSimulator>,
     rx: Receiver<Job>,
     track: TrackHandle,
+    journal: Option<Arc<Mutex<ShardJournal>>>,
+    fault: Option<Arc<FaultInjector>>,
+    recovery: RecoveryConfig,
 ) {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Macro { segments, reply } => {
+                // Fault hook: an injected crash drops `reply` (and every
+                // queued job behind it) on the floor — behaviorally
+                // identical to the worker thread panicking here. The
+                // channel closes *before* the reply guard delivers the
+                // error, so a client that retries the instant it sees
+                // `WorkerCrashed` hits the send-failure (revive) path
+                // deterministically instead of racing a half-dead queue.
+                if injected_crash(&fault, shard, &mut driver) {
+                    drop(rx);
+                    return;
+                }
                 let mut out = Vec::with_capacity(segments.iter().map(|(_, i)| i.len()).sum());
                 let mut failure = None;
                 'segments: for (request, instrs) in &segments {
@@ -1470,12 +1917,35 @@ fn run_worker(
                         );
                     }
                 }
+                // Journal before replying: once the caller sees success,
+                // the state that produced it must be recoverable.
+                if let Some(journal) = &journal {
+                    let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+                    if failure.is_none() {
+                        for (_, instrs) in segments {
+                            if !instrs.is_empty() {
+                                j.logged_instrs += instrs.len();
+                                j.log.push(JournalEntry::Instrs(instrs));
+                            }
+                        }
+                        j.maybe_checkpoint(&driver, &recovery);
+                    } else {
+                        // The job died partway; a fresh snapshot absorbs
+                        // whatever state exists instead of trying to
+                        // journal a partial effect.
+                        j.checkpoint(&driver);
+                    }
+                }
                 reply.complete(match failure {
                     None => Ok(out),
                     Some(e) => Err(e),
                 });
             }
             Job::Micro { ops, reply } => {
+                if injected_crash(&fault, shard, &mut driver) {
+                    drop(rx);
+                    return;
+                }
                 let result =
                     driver
                         .backend_mut()
@@ -1487,6 +1957,17 @@ fn run_worker(
                 // Raw micro-operations may have changed the stored masks
                 // behind the driver's mask-elision cache.
                 driver.invalidate_masks();
+                if let Some(journal) = &journal {
+                    // A failed micro batch rolled back completely
+                    // (`execute_batch` is transactional), so only
+                    // successes are journaled.
+                    if result.is_ok() {
+                        let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+                        j.logged_instrs += ops.len();
+                        j.log.push(JournalEntry::Micro(ops));
+                        j.maybe_checkpoint(&driver, &recovery);
+                    }
+                }
                 let _ = reply.send(result);
             }
             Job::Stats { reply } => {
@@ -1506,14 +1987,26 @@ fn run_worker(
                 // region as the chip cycle counters; serving benchmarks
                 // must start from a clean slate.
                 driver.reset_cache_stats();
+                if let Some(journal) = &journal {
+                    let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+                    j.log.push(JournalEntry::ResetProfiler);
+                }
                 let _ = reply.send(());
             }
             Job::ResetIssued { reply } => {
                 driver.reset_issued();
+                if let Some(journal) = &journal {
+                    let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+                    j.log.push(JournalEntry::ResetIssued);
+                }
                 let _ = reply.send(());
             }
             Job::SetStrict { strict, reply } => {
                 driver.backend_mut().set_strict(strict);
+                if let Some(journal) = &journal {
+                    let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+                    j.log.push(JournalEntry::SetStrict(strict));
+                }
                 let _ = reply.send(());
             }
         }

@@ -2,6 +2,54 @@ use pim_arch::ArchError;
 use pim_driver::DriverError;
 use std::fmt;
 
+/// How an error should be handled by a caller with a retry/degradation
+/// policy — the failure-semantics taxonomy shared by the whole stack
+/// (`ClusterError::class`, `CoreError::class`).
+///
+/// * [`Transient`](ErrorClass::Transient) — the operation failed for a
+///   reason that may not recur (worker crash mid-job, dropped or corrupted
+///   interconnect message). Safe to retry after the supervisor recovers;
+///   the serving gateway retries these with exponential backoff.
+/// * [`Overload`](ErrorClass::Overload) — the system is out of a bounded
+///   resource (queue depth, memory). Retrying immediately will fail again;
+///   back off, shed load, or evict.
+/// * [`Evicted`](ErrorClass::Evicted) — the session the work belonged to
+///   was evicted or closed; the work will never complete. Re-establish a
+///   session to continue.
+/// * [`Fatal`](ErrorClass::Fatal) — a programming or configuration error
+///   (invalid instruction, geometry mismatch, failed recovery). Retrying
+///   is pointless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// May succeed on retry once the fault clears.
+    Transient,
+    /// A bounded resource is exhausted; shed load before retrying.
+    Overload,
+    /// The owning session is gone; the work will never complete.
+    Evicted,
+    /// Deterministic failure; do not retry.
+    Fatal,
+}
+
+/// The detected failure mode of an interconnect message burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// The message was lost in flight (no data arrived).
+    Dropped,
+    /// The message failed its integrity check at the receiver and was
+    /// discarded (no corrupt data landed).
+    Corrupted,
+}
+
+impl fmt::Display for LinkFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkFaultKind::Dropped => write!(f, "dropped"),
+            LinkFaultKind::Corrupted => write!(f, "corrupted"),
+        }
+    }
+}
+
 /// Errors raised by the sharded execution engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -39,12 +87,56 @@ pub enum ClusterError {
         /// Shard whose worker disconnected.
         shard: usize,
     },
+    /// A shard worker died (crashed or was fault-injected to crash) while
+    /// the job was queued or in flight. The job did not complete; the
+    /// supervisor respawns the worker and restores its state, so a retry
+    /// is expected to succeed — this is the cluster's canonical
+    /// [`Transient`](ErrorClass::Transient) error.
+    WorkerCrashed {
+        /// Shard whose worker crashed.
+        shard: usize,
+    },
+    /// An interconnect message burst was lost or failed its integrity
+    /// check; nothing of the transfer landed (corruption is detected,
+    /// never silent). Transient: a retry re-runs the transfer from intact
+    /// state.
+    LinkFault {
+        /// Source shard of the faulted burst.
+        src_shard: usize,
+        /// Destination shard of the faulted burst.
+        dst_shard: usize,
+        /// Detected failure mode.
+        kind: LinkFaultKind,
+    },
+    /// The supervisor could not restore a crashed shard (checkpoint replay
+    /// failed). The shard stays down; this is fatal for the cluster.
+    RecoveryFailed {
+        /// Shard that could not be recovered.
+        shard: usize,
+        /// Human-readable description of the replay failure.
+        reason: String,
+    },
     /// A cluster-level protocol rule was violated (e.g. a read inside a
     /// batched submission).
     Protocol {
         /// Human-readable description.
         reason: String,
     },
+}
+
+impl ClusterError {
+    /// The retry class of this error — see [`ErrorClass`].
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            // A disconnected or crashed worker is respawned by the
+            // supervisor on the next submission, and a faulted transfer
+            // left intact state behind: all safe to retry.
+            ClusterError::Disconnected { .. }
+            | ClusterError::WorkerCrashed { .. }
+            | ClusterError::LinkFault { .. } => ErrorClass::Transient,
+            _ => ErrorClass::Fatal,
+        }
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -63,6 +155,26 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Disconnected { shard } => {
                 write!(f, "shard {shard} worker disconnected")
+            }
+            ClusterError::WorkerCrashed { shard } => {
+                write!(
+                    f,
+                    "shard {shard} worker crashed (transient: retry after recovery)"
+                )
+            }
+            ClusterError::LinkFault {
+                src_shard,
+                dst_shard,
+                kind,
+            } => {
+                write!(
+                    f,
+                    "interconnect burst {src_shard}->{dst_shard} {kind} (transient: \
+                     nothing landed, retry re-runs the transfer)"
+                )
+            }
+            ClusterError::RecoveryFailed { shard, reason } => {
+                write!(f, "shard {shard} recovery failed: {reason}")
             }
             ClusterError::Protocol { reason } => write!(f, "cluster protocol violation: {reason}"),
         }

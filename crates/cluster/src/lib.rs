@@ -105,13 +105,15 @@ mod plan;
 pub(crate) mod sched;
 
 pub use cluster::{
-    fold_f32, fold_i32, ClusterStats, Combine, GatherTicket, GlobalLoc, GlobalWrite, JobSet,
-    JobTicket, PimCluster, ShardStats, Submission, TaggedBatch,
+    fold_f32, fold_i32, ClusterOptions, ClusterStats, Combine, GatherTicket, GlobalLoc,
+    GlobalWrite, JobSet, JobTicket, PimCluster, RecoveryConfig, ShardStats, Submission,
+    TaggedBatch,
 };
 pub use coalesce::{Coalesce, CrossingMove, MoveCoalescer};
-pub use error::ClusterError;
+pub use error::{ClusterError, ErrorClass, LinkFaultKind};
 pub use interconnect::{
     DrainPolicy, Interconnect, InterconnectConfig, MessageGroup, Staging, TrafficStats, WORD_BITS,
 };
+pub use pim_fault::{FaultInjector, FaultPlan, FaultProfile, FaultStats, LinkFault, WorkerFault};
 pub use pim_telemetry::{RequestId, RequestStats, Telemetry, TelemetryConfig};
 pub use plan::{MoveRoute, ShardPlan};

@@ -4,8 +4,8 @@ use crate::{CoreError, Result};
 use parking_lot::Mutex;
 use pim_arch::PimConfig;
 use pim_cluster::{
-    ClusterStats, GatherTicket, GlobalWrite, InterconnectConfig, JobSet, PimCluster, Submission,
-    TaggedBatch,
+    ClusterOptions, ClusterStats, GatherTicket, GlobalWrite, InterconnectConfig, JobSet,
+    PimCluster, Submission, TaggedBatch,
 };
 use pim_driver::{Driver, ParallelismMode};
 use pim_isa::{DType, Instruction};
@@ -229,8 +229,41 @@ impl Device {
         mode: ParallelismMode,
         icfg: InterconnectConfig,
     ) -> Result<Self> {
+        Device::cluster_with_options(
+            cfg,
+            shards,
+            ClusterOptions {
+                mode,
+                interconnect: icfg,
+                ..ClusterOptions::default()
+            },
+        )
+    }
+
+    /// Creates a cluster-backed device from a full [`ClusterOptions`]
+    /// bundle — the constructor that exposes crash recovery
+    /// ([`pim_cluster::RecoveryConfig`]) and deterministic fault injection
+    /// (`ClusterOptions::fault`). The options' telemetry handle is
+    /// replaced by the device's own (the device owns the unified
+    /// modeled-clock/metrics surface).
+    ///
+    /// # Errors
+    ///
+    /// See [`cluster_with_interconnect`](Device::cluster_with_interconnect).
+    pub fn cluster_with_options(
+        cfg: PimConfig,
+        shards: usize,
+        options: ClusterOptions,
+    ) -> Result<Self> {
         let telemetry = Telemetry::disabled();
-        let cluster = PimCluster::with_telemetry(cfg, shards, mode, icfg, telemetry.clone())?;
+        let cluster = PimCluster::with_options(
+            cfg,
+            shards,
+            ClusterOptions {
+                telemetry: telemetry.clone(),
+                ..options
+            },
+        )?;
         let logical = cluster.logical_config().clone();
         // Thread the shard geometry into the allocator: stripes that fit
         // one chip get chip-local placement, so small tensors' operations
@@ -272,10 +305,14 @@ impl Device {
         let mut snap = self.inner.telemetry.metrics().snapshot();
         match &self.inner.engine {
             Engine::Single(d) => d.lock().backend().profiler().fill_metrics(&mut snap),
-            Engine::Cluster(c) => c
-                .stats()
-                .expect("cluster shard worker died")
-                .fill_metrics(&mut snap),
+            Engine::Cluster(c) => {
+                c.stats()
+                    .expect("cluster shard worker died")
+                    .fill_metrics(&mut snap);
+                if let Some(inj) = c.fault_injector() {
+                    inj.fill_metrics(&mut snap);
+                }
+            }
         }
         snap
     }

@@ -1,4 +1,4 @@
-use pim_cluster::ClusterError;
+use pim_cluster::{ClusterError, ErrorClass};
 use pim_driver::DriverError;
 use std::fmt;
 
@@ -58,6 +58,46 @@ pub enum CoreError {
         /// Human-readable description.
         reason: String,
     },
+    /// A bounded serving queue rejected new work — backpressure, not a
+    /// bug. The session is still healthy; resubmit after in-flight work
+    /// drains.
+    Overloaded {
+        /// Session whose queue was full.
+        session: usize,
+        /// Queue depth at the time of rejection.
+        depth: usize,
+    },
+    /// The session this work belonged to was evicted (memory pressure) or
+    /// closed with work still queued; the work will never complete.
+    Evicted {
+        /// The evicted session.
+        session: usize,
+    },
+    /// The request's deadline on the modeled clock passed before it
+    /// completed.
+    DeadlineExceeded {
+        /// Deadline (modeled cycles).
+        deadline: u64,
+        /// Modeled clock when the miss was detected.
+        now: u64,
+    },
+}
+
+impl CoreError {
+    /// The retry class of this error — see [`ErrorClass`]. Cluster errors
+    /// delegate to [`ClusterError::class`]; [`OutOfMemory`] counts as
+    /// [`Overload`] (free memory or evict a session and retry).
+    ///
+    /// [`OutOfMemory`]: CoreError::OutOfMemory
+    /// [`Overload`]: ErrorClass::Overload
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            CoreError::Cluster(e) => e.class(),
+            CoreError::OutOfMemory { .. } | CoreError::Overloaded { .. } => ErrorClass::Overload,
+            CoreError::Evicted { .. } => ErrorClass::Evicted,
+            _ => ErrorClass::Fatal,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -79,6 +119,22 @@ impl fmt::Display for CoreError {
             }
             CoreError::Misaligned { what } => write!(f, "misaligned operands: {what}"),
             CoreError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            CoreError::Overloaded { session, depth } => {
+                write!(
+                    f,
+                    "session {session} queue full at depth {depth} (overloaded: \
+                     resubmit after in-flight work drains)"
+                )
+            }
+            CoreError::Evicted { session } => {
+                write!(f, "session {session} was evicted; queued work abandoned")
+            }
+            CoreError::DeadlineExceeded { deadline, now } => {
+                write!(
+                    f,
+                    "deadline exceeded: due at modeled cycle {deadline}, now {now}"
+                )
+            }
         }
     }
 }

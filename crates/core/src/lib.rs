@@ -55,6 +55,10 @@ pub use cordic::CORDIC_ITERS;
 pub use device::{Device, ReadTicket, StepTicket};
 pub use error::{CoreError, Result};
 pub use movement::{compact_with_padding, copy, materialize_like, plan_copy, shifted};
+pub use pim_cluster::{
+    ClusterOptions, ErrorClass, FaultInjector, FaultPlan, FaultProfile, LinkFaultKind,
+    RecoveryConfig,
+};
 pub use reduce::identity_bits;
 pub use tensor::Tensor;
 

@@ -175,6 +175,14 @@ impl<B: Backend> Driver<B> {
         self.issued = IssuedCycles::default();
     }
 
+    /// Overwrites the issued-cycle counters with a previously captured
+    /// value. Used by checkpoint/restore recovery (`pim-cluster`): a
+    /// respawned shard driver resumes accounting from the checkpointed
+    /// counters instead of zero.
+    pub fn restore_issued(&mut self, issued: IssuedCycles) {
+        self.issued = issued;
+    }
+
     /// Emits crossbar/row mask operations, eliding ones that match the
     /// masks already stored in the memory. Returns the number of
     /// micro-operations issued (0..=2).

@@ -23,7 +23,7 @@ use pim_isa::Instruction;
 use pim_telemetry::{
     Histogram, MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
 };
-use pypim_core::{CoreError, Device, Result, StepTicket, TaggedBatch};
+use pypim_core::{CoreError, Device, ErrorClass, PlacementHint, Result, StepTicket, TaggedBatch};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
@@ -83,6 +83,17 @@ struct PendingBatch {
     /// Modeled-clock reading at admission; the span from here to submission
     /// is the request's queue wait.
     enqueued_at: u64,
+    /// Owning session's queue slot (retries re-enqueue here).
+    session: usize,
+    /// Generation of the owning slot at admission; a retry is dropped if
+    /// the slot was since recycled by session churn.
+    session_gen: u64,
+    /// Absolute modeled-cycle deadline, if one applies. Checked when the
+    /// pump considers the batch and again when its group completes.
+    deadline: Option<u64>,
+    /// Completed submission attempts so far (transient failures retry up
+    /// to [`ServeConfig::max_retries`] times).
+    attempts: u32,
 }
 
 /// Telemetry of the gateway's admission controller.
@@ -103,6 +114,16 @@ pub struct GatewayStats {
     pub deferred: u64,
     /// Sessions opened so far.
     pub sessions: u64,
+    /// Batches resubmitted after a transient shard or link failure.
+    pub retries: u64,
+    /// Batches that resolved with [`CoreError::DeadlineExceeded`] — still
+    /// queued past their deadline, or finished after it.
+    pub deadline_misses: u64,
+    /// Batches refused at admission because their session queue was full
+    /// ([`CoreError::Overloaded`]).
+    pub rejected_overload: u64,
+    /// Sessions evicted under memory pressure.
+    pub evicted: u64,
 }
 
 impl MetricsSource for GatewayStats {
@@ -112,6 +133,10 @@ impl MetricsSource for GatewayStats {
         snap.set_counter("serve.instructions", self.instructions);
         snap.set_counter("serve.deferred", self.deferred);
         snap.set_counter("serve.sessions", self.sessions);
+        snap.set_counter("serve.retries", self.retries);
+        snap.set_counter("serve.deadline_misses", self.deadline_misses);
+        snap.set_counter("serve.rejected_overload", self.rejected_overload);
+        snap.set_counter("serve.evicted", self.evicted);
         snap.set_gauge("serve.max_coalesced", self.max_coalesced as i64);
         snap.set_gauge("serve.peak_inflight", self.peak_inflight as i64);
     }
@@ -124,6 +149,19 @@ struct State {
     /// churn (a reused slot keeps counting), so a `RequestId` is never
     /// reissued within one gateway.
     seqs: Vec<u32>,
+    /// Placement window each open session still holds; `None` once the
+    /// session closed or was evicted (the window is released then).
+    windows: Vec<Option<PlacementHint>>,
+    /// Slots evicted under memory pressure: queued batches were failed
+    /// with [`CoreError::Evicted`] and further admissions are refused
+    /// until the client drops and the slot is recycled.
+    evicted: Vec<bool>,
+    /// Per-slot recycle generation; in-flight batches of a closed session
+    /// compare against it so a retry never lands in a stranger's queue.
+    gens: Vec<u64>,
+    /// Modeled-clock reading of each session's latest admission — the
+    /// recency signal of the eviction policy.
+    last_active: Vec<u64>,
     /// Queue slots of closed sessions, reused by the next `add_session`
     /// so a long-running gateway with session churn stays bounded.
     free_slots: Vec<usize>,
@@ -163,31 +201,85 @@ enum Popped {
 
 impl GatewayInner {
     /// Registers a new session queue (reusing a closed session's slot when
-    /// one is free), returning its id.
-    pub(crate) fn add_session(&self) -> usize {
+    /// one is free), returning its id. The gateway takes custody of the
+    /// session's placement window so eviction can release it early.
+    pub(crate) fn add_session(&self, window: PlacementHint) -> usize {
+        let now = self.dev.telemetry().now();
         let mut st = self.state.lock();
         st.stats.sessions += 1;
         match st.free_slots.pop() {
-            Some(id) => id,
+            Some(id) => {
+                st.windows[id] = Some(window);
+                st.evicted[id] = false;
+                st.last_active[id] = now;
+                id
+            }
             None => {
                 st.queues.push(VecDeque::new());
                 st.seqs.push(0);
+                st.windows.push(Some(window));
+                st.evicted.push(false);
+                st.gens.push(0);
+                st.last_active.push(now);
                 st.queues.len() - 1
             }
         }
     }
 
-    /// Returns a closed session's queue slot to the free pool. The queue is
-    /// necessarily empty: pending batches' futures borrow the session, so
-    /// it cannot drop while one is outstanding.
+    /// Closes a session: releases its placement window (unless eviction
+    /// already did), returns its queue slot to the free pool, and fails
+    /// any still-queued batches with [`CoreError::Evicted`]. A client can
+    /// drop with work queued — a cancelled request future leaves its batch
+    /// behind — and that work must resolve, never execute for a dead
+    /// session or trip an assert.
     pub(crate) fn remove_session(&self, session: usize) {
-        let mut st = self.state.lock();
-        debug_assert!(
-            st.queues[session].is_empty(),
-            "dropped session had queued work"
-        );
-        st.queues[session].clear();
-        st.free_slots.push(session);
+        let (window, orphans) = {
+            let mut st = self.state.lock();
+            let orphans: Vec<PendingBatch> = st.queues[session].drain(..).collect();
+            st.gens[session] += 1;
+            st.free_slots.push(session);
+            (st.windows[session].take(), orphans)
+        };
+        if let Some(w) = window {
+            self.dev.release_placement(w);
+        }
+        // Outside the lock: completing a slot may wake its (cancelled)
+        // future's waker.
+        for b in orphans {
+            b.slot.complete(Err(CoreError::Evicted { session }));
+        }
+    }
+
+    /// Evicts a session under memory pressure: releases its placement
+    /// window, fails its queued batches with [`CoreError::Evicted`], and
+    /// refuses its future admissions. The client handle stays alive;
+    /// dropping it recycles the slot as usual.
+    pub(crate) fn evict_slot(&self, session: usize) {
+        let (window, dropped) = {
+            let mut st = self.state.lock();
+            if st.evicted[session] {
+                return;
+            }
+            st.evicted[session] = true;
+            st.stats.evicted += 1;
+            let dropped: Vec<PendingBatch> = st.queues[session].drain(..).collect();
+            (st.windows[session].take(), dropped)
+        };
+        if let Some(w) = window {
+            self.dev.release_placement(w);
+        }
+        for b in dropped {
+            b.slot.complete(Err(CoreError::Evicted { session }));
+        }
+    }
+
+    /// The open session that has been inactive longest and still holds a
+    /// placement window — the eviction victim under memory pressure.
+    pub(crate) fn lru_session(&self) -> Option<usize> {
+        let st = self.state.lock();
+        (0..st.queues.len())
+            .filter(|&s| st.windows[s].is_some())
+            .min_by_key(|&s| st.last_active[s])
     }
 
     /// Enqueues one client batch and returns the future resolving when the
@@ -197,24 +289,69 @@ impl GatewayInner {
         session: usize,
         instrs: Vec<Instruction>,
     ) -> ExecFuture {
+        self.enqueue_with_deadline(session, instrs, None)
+    }
+
+    /// Like [`enqueue`](GatewayInner::enqueue), with `deadline_cycles`
+    /// overriding [`ServeConfig::deadline_cycles`] for this batch
+    /// (modeled cycles from admission; `Some(0)` disables the deadline).
+    ///
+    /// Admission can fail fast: an evicted session gets
+    /// [`CoreError::Evicted`], a full session queue gets
+    /// [`CoreError::Overloaded`] — both resolve through the returned
+    /// future without touching the device.
+    pub(crate) fn enqueue_with_deadline(
+        self: &Arc<Self>,
+        session: usize,
+        instrs: Vec<Instruction>,
+        deadline_cycles: Option<u64>,
+    ) -> ExecFuture {
         let slot = Arc::new(BatchSlot::default());
         if instrs.is_empty() {
             slot.complete(Ok(()));
-        } else {
-            // Route classification happens here, off the state lock, so
-            // the pump never re-validates batches on the completion path.
-            let streams_async = self.dev.instrs_stream_async(&instrs);
-            let enqueued_at = self.dev.telemetry().now();
+            return ExecFuture::new(Arc::clone(self), slot);
+        }
+        // Route classification happens here, off the state lock, so
+        // the pump never re-validates batches on the completion path.
+        let streams_async = self.dev.instrs_stream_async(&instrs);
+        let enqueued_at = self.dev.telemetry().now();
+        let deadline = match deadline_cycles.unwrap_or(self.cfg.deadline_cycles) {
+            0 => None,
+            d => Some(enqueued_at.saturating_add(d)),
+        };
+        let rejected = {
             let mut st = self.state.lock();
-            let seq = st.seqs[session];
-            st.seqs[session] = seq.wrapping_add(1);
-            st.queues[session].push_back(PendingBatch {
-                instrs,
-                slot: Arc::clone(&slot),
-                streams_async,
-                request: RequestId::new(session as u32, seq),
-                enqueued_at,
-            });
+            if st.evicted[session] {
+                Some(CoreError::Evicted { session })
+            } else if self.cfg.max_queue_depth > 0
+                && st.queues[session].len() >= self.cfg.max_queue_depth
+            {
+                st.stats.rejected_overload += 1;
+                Some(CoreError::Overloaded {
+                    session,
+                    depth: st.queues[session].len(),
+                })
+            } else {
+                st.last_active[session] = enqueued_at;
+                let seq = st.seqs[session];
+                st.seqs[session] = seq.wrapping_add(1);
+                let session_gen = st.gens[session];
+                st.queues[session].push_back(PendingBatch {
+                    instrs,
+                    slot: Arc::clone(&slot),
+                    streams_async,
+                    request: RequestId::new(session as u32, seq),
+                    enqueued_at,
+                    session,
+                    session_gen,
+                    deadline,
+                    attempts: 0,
+                });
+                None
+            }
+        };
+        if let Some(e) = rejected {
+            slot.complete(Err(e));
         }
         ExecFuture::new(Arc::clone(self), slot)
     }
@@ -224,14 +361,32 @@ impl GatewayInner {
     /// wake: those threads must never run an inline (chip-crossing)
     /// submission, because blocking a worker on a job queued to itself
     /// deadlocks the shard.
-    fn pop_group(&self, from_worker: bool) -> Popped {
+    /// Returns batches whose deadline has passed (to fail outside the
+    /// lock) alongside the pump decision.
+    fn pop_group(&self, from_worker: bool) -> (Vec<PendingBatch>, Popped) {
+        let now = self.dev.telemetry().now();
         let mut st = self.state.lock();
+        // Deadline sweep: expired batches leave their queues before group
+        // formation, whatever the in-flight budget says — they must not
+        // consume device time.
+        let mut expired: Vec<PendingBatch> = Vec::new();
+        for q in &mut st.queues {
+            let mut i = 0;
+            while i < q.len() {
+                if q[i].deadline.is_some_and(|d| now > d) {
+                    expired.extend(q.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        st.stats.deadline_misses += expired.len() as u64;
         if st.inflight >= self.cfg.max_inflight {
-            return Popped::Idle;
+            return (expired, Popped::Idle);
         }
         let n = st.queues.len();
         if n == 0 {
-            return Popped::Idle;
+            return (expired, Popped::Idle);
         }
         // Fair draining: scan sessions round-robin from the cursor, taking
         // at most one batch per session.
@@ -246,7 +401,7 @@ impl GatewayInner {
             }
         }
         if take.is_empty() {
-            return Popped::Idle;
+            return (expired, Popped::Idle);
         }
         if from_worker {
             let crossing = take
@@ -258,7 +413,7 @@ impl GatewayInner {
                     .iter()
                     .filter_map(|&s| st.queues[s].front().and_then(|b| b.slot.take_waker()))
                     .collect();
-                return Popped::Defer(wakers);
+                return (expired, Popped::Defer(wakers));
             }
         }
         let batches: Vec<PendingBatch> = take
@@ -272,7 +427,7 @@ impl GatewayInner {
         st.stats.instructions += batches.iter().map(|b| b.instrs.len() as u64).sum::<u64>();
         st.stats.max_coalesced = st.stats.max_coalesced.max(batches.len() as u64);
         st.stats.peak_inflight = st.stats.peak_inflight.max(st.inflight as u64);
-        Popped::Submit(batches)
+        (expired, Popped::Submit(batches))
     }
 
     /// Drains session queues into coalesced in-flight submissions until the
@@ -281,7 +436,16 @@ impl GatewayInner {
     /// wakes (`from_worker = true`).
     pub(crate) fn pump(self: &Arc<Self>, from_worker: bool) {
         loop {
-            match self.pop_group(from_worker) {
+            let (expired, popped) = self.pop_group(from_worker);
+            if !expired.is_empty() {
+                let now = self.dev.telemetry().now();
+                for b in expired {
+                    let deadline = b.deadline.unwrap_or(now);
+                    b.slot
+                        .complete(Err(CoreError::DeadlineExceeded { deadline, now }));
+                }
+            }
+            match popped {
                 Popped::Idle => return,
                 Popped::Defer(wakers) => {
                     for w in wakers {
@@ -289,12 +453,11 @@ impl GatewayInner {
                     }
                     return;
                 }
-                Popped::Submit(batches) => {
+                Popped::Submit(mut batches) => {
                     let recording = self.track.is_enabled();
                     let now = self.dev.telemetry().now();
                     let mut tagged = Vec::with_capacity(batches.len());
-                    let mut slots = Vec::with_capacity(batches.len());
-                    for b in batches {
+                    for b in &mut batches {
                         if recording {
                             let wait = now.saturating_sub(b.enqueued_at);
                             self.queue_wait.record(wait);
@@ -315,16 +478,22 @@ impl GatewayInner {
                         }
                         tagged.push(TaggedBatch {
                             request: b.request,
-                            instrs: b.instrs,
+                            instrs: std::mem::take(&mut b.instrs),
                         });
-                        slots.push(b.slot);
                     }
                     if recording {
                         self.group_size.record(tagged.len() as u64);
                     }
-                    match self.dev.submit_tagged(&tagged) {
-                        Err(e) => self.finish_group(slots, Err(e)),
-                        Ok(ticket) => Group::attach(Arc::clone(self), ticket, slots),
+                    let submitted = self.dev.submit_tagged(&tagged);
+                    // The instruction plans move back into their batches:
+                    // a transient shard failure retries them as-is, with
+                    // no re-planning and no clone on the happy path.
+                    for (b, t) in batches.iter_mut().zip(tagged) {
+                        b.instrs = t.instrs;
+                    }
+                    match submitted {
+                        Err(e) => self.finish_group(batches, Err(e)),
+                        Ok(ticket) => Group::attach(Arc::clone(self), ticket, batches),
                     }
                     // Loop: budget may allow another group.
                 }
@@ -333,13 +502,52 @@ impl GatewayInner {
     }
 
     /// Delivers a finished group's outcome to its member batches and frees
-    /// its in-flight budget. Deliberately does *not* pump — the caller
-    /// decides (the pump loop continues by itself; a worker wake pumps
-    /// explicitly after completion).
-    fn finish_group(&self, slots: Vec<Arc<BatchSlot>>, result: Result<()>) {
-        self.state.lock().inflight -= 1;
-        for slot in slots {
-            slot.complete(result.clone());
+    /// its in-flight budget. A transient failure (worker crash, link
+    /// fault) re-enqueues members that still have retry budget at the
+    /// front of their session queues, charging an exponential backoff to
+    /// the modeled clock; a missed deadline overrides any outcome.
+    /// Deliberately does *not* pump — the caller decides (the pump loop
+    /// continues by itself; a worker wake pumps explicitly after
+    /// completion).
+    fn finish_group(&self, batches: Vec<PendingBatch>, result: Result<()>) {
+        let now = self.dev.telemetry().now();
+        let transient = matches!(&result, Err(e) if e.class() == ErrorClass::Transient);
+        let mut deliver: Vec<(Arc<BatchSlot>, Result<()>)> = Vec::with_capacity(batches.len());
+        {
+            let mut st = self.state.lock();
+            st.inflight -= 1;
+            for mut b in batches {
+                if let Some(d) = b.deadline.filter(|&d| now > d) {
+                    st.stats.deadline_misses += 1;
+                    deliver.push((
+                        b.slot,
+                        Err(CoreError::DeadlineExceeded { deadline: d, now }),
+                    ));
+                } else if transient
+                    && b.attempts < self.cfg.max_retries
+                    && b.session_gen == st.gens[b.session]
+                    && !st.evicted[b.session]
+                {
+                    b.attempts += 1;
+                    st.stats.retries += 1;
+                    // Exponential backoff, charged to the modeled clock —
+                    // no wall-clock wait, but the retry's queue span and
+                    // any deadline see the delay.
+                    let shift = (b.attempts - 1).min(32);
+                    let backoff = self.cfg.retry_backoff_cycles << shift;
+                    self.dev
+                        .telemetry()
+                        .advance_clock(now.saturating_add(backoff));
+                    let session = b.session;
+                    st.queues[session].push_front(b);
+                } else {
+                    deliver.push((b.slot, result.clone()));
+                }
+            }
+        }
+        // Outside the lock: completing a slot may wake a client future.
+        for (slot, r) in deliver {
+            slot.complete(r);
         }
     }
 
@@ -354,14 +562,14 @@ impl GatewayInner {
 /// next group.
 struct Group {
     gw: Arc<GatewayInner>,
-    inner: Mutex<Option<(StepTicket, Vec<Arc<BatchSlot>>)>>,
+    inner: Mutex<Option<(StepTicket, Vec<PendingBatch>)>>,
 }
 
 impl Group {
-    fn attach(gw: Arc<GatewayInner>, ticket: StepTicket, slots: Vec<Arc<BatchSlot>>) {
+    fn attach(gw: Arc<GatewayInner>, ticket: StepTicket, batches: Vec<PendingBatch>) {
         let group = Arc::new(Group {
             gw,
-            inner: Mutex::new(Some((ticket, slots))),
+            inner: Mutex::new(Some((ticket, batches))),
         });
         // First poll registers the group as the tickets' waker (or
         // completes immediately for ready tickets).
@@ -372,19 +580,19 @@ impl Group {
     /// whether the group finished.
     fn try_complete(self: &Arc<Self>) -> bool {
         let mut guard = self.inner.lock();
-        let Some((mut ticket, slots)) = guard.take() else {
+        let Some((mut ticket, batches)) = guard.take() else {
             return false; // already completed by another wake
         };
         let waker = Waker::from(Arc::clone(self));
         let mut cx = Context::from_waker(&waker);
         match Pin::new(&mut ticket).poll(&mut cx) {
             Poll::Pending => {
-                *guard = Some((ticket, slots));
+                *guard = Some((ticket, batches));
                 false
             }
             Poll::Ready(result) => {
                 drop(guard);
-                self.gw.finish_group(slots, result);
+                self.gw.finish_group(batches, result);
                 true
             }
         }
@@ -499,6 +707,11 @@ impl Gateway {
 
     /// Opens a client session whose placement window spans `warps` warps.
     ///
+    /// With [`ServeConfig::evict_on_pressure`] set, an exhausted warp
+    /// space evicts the least-recently-active session (repeatedly, until
+    /// the reservation fits or no evictable session remains) instead of
+    /// failing.
+    ///
     /// # Errors
     ///
     /// See [`session`](Gateway::session); additionally fails for zero
@@ -509,14 +722,34 @@ impl Gateway {
                 what: "session window must span at least one warp".into(),
             });
         }
-        let window = self.inner.dev.reserve_placement(warps)?;
-        let id = self.inner.add_session();
+        let window = loop {
+            match self.inner.dev.reserve_placement(warps) {
+                Ok(w) => break w,
+                Err(e @ CoreError::OutOfMemory { .. }) if self.inner.cfg.evict_on_pressure => {
+                    match self.inner.lru_session() {
+                        Some(victim) => self.inner.evict_slot(victim),
+                        None => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let id = self.inner.add_session(window);
         Ok(ClusterClient::new(
             Arc::clone(&self.inner),
             id,
             window,
             self.inner.dev.with_placement(window),
         ))
+    }
+
+    /// Evicts a session by id (see [`ClusterClient::id`]): its placement
+    /// window is released, queued batches fail with
+    /// [`CoreError::Evicted`], and further admissions from it are refused.
+    /// The client handle stays usable only for inspecting state; dropping
+    /// it recycles the slot.
+    pub fn evict_session(&self, session: usize) {
+        self.inner.evict_slot(session);
     }
 
     /// Telemetry of the admission controller (coalescing and in-flight
@@ -688,5 +921,100 @@ mod tests {
         let client = gw.session().unwrap();
         block_on(client.exec(Vec::new())).unwrap();
         assert_eq!(gw.stats().groups, 0, "empty batches skip the device");
+    }
+
+    /// One store into the session's window — a minimal valid batch.
+    fn store_batch(client: &ClusterClient) -> Vec<Instruction> {
+        let t = client.device().uninit(4, pim_isa::DType::Int32).unwrap();
+        t.plan_store([1u32, 2, 3, 4])
+    }
+
+    #[test]
+    fn full_session_queue_rejects_with_overloaded() {
+        let gw = dev4().serve(ServeConfig {
+            max_queue_depth: 2,
+            ..ServeConfig::default()
+        });
+        let client = gw.session().unwrap();
+        // Enqueue without polling: `GatewayInner::enqueue` admits
+        // synchronously; only a poll pumps.
+        let f1 = gw.inner.enqueue(client.id(), store_batch(&client));
+        let f2 = gw.inner.enqueue(client.id(), store_batch(&client));
+        let rejected = block_on(gw.inner.enqueue(client.id(), store_batch(&client)));
+        assert!(
+            matches!(rejected, Err(CoreError::Overloaded { session, depth })
+                if session == client.id() && depth == 2),
+            "{rejected:?}"
+        );
+        assert_eq!(gw.stats().rejected_overload, 1);
+        // The queued work is unharmed by the rejection.
+        block_on(f1).unwrap();
+        block_on(f2).unwrap();
+    }
+
+    #[test]
+    fn queued_batch_expires_at_pump_time() {
+        let gw = dev4().serve(ServeConfig::default());
+        let client = gw.session().unwrap();
+        // Deadline 10 cycles from a clock at 0; blow past it before the
+        // first poll ever pumps.
+        let fut = gw
+            .inner
+            .enqueue_with_deadline(client.id(), store_batch(&client), Some(10));
+        gw.telemetry().advance_clock(1_000);
+        let err = block_on(fut).unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded { deadline: 10, now } if now >= 1_000),
+            "{err:?}"
+        );
+        assert_eq!(gw.stats().deadline_misses, 1);
+        // A deadline-free batch still runs.
+        block_on(client.exec(store_batch(&client))).unwrap();
+    }
+
+    #[test]
+    fn memory_pressure_evicts_the_least_recent_session() {
+        let gw = dev4().serve(ServeConfig {
+            evict_on_pressure: true,
+            session_warps: 8,
+            ..ServeConfig::default()
+        });
+        // 16 warps: two 8-warp sessions exhaust the space.
+        let a = gw.session().unwrap();
+        let b = gw.session().unwrap();
+        block_on(request(&b, 8, 1.0)).unwrap(); // `a` is now least recent
+        let c = gw.session().expect("eviction must free a window");
+        assert_eq!(gw.stats().evicted, 1);
+        let err = block_on(a.exec(store_batch(&a))).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Evicted { session } if session == a.id()),
+            "{err:?}"
+        );
+        // Survivor and newcomer still serve.
+        assert_eq!(block_on(request(&b, 8, 2.0)).unwrap(), expect(8, 2.0));
+        assert_eq!(block_on(request(&c, 8, 3.0)).unwrap(), expect(8, 3.0));
+    }
+
+    #[test]
+    fn dropping_a_session_with_queued_work_drains_it() {
+        let gw = dev4().serve(ServeConfig::default());
+        let client = gw.session().unwrap();
+        // A cancelled request future leaves its batch queued.
+        let fut = gw.inner.enqueue(client.id(), store_batch(&client));
+        drop(fut);
+        drop(client); // must drain, not assert or leak
+        assert_eq!(
+            gw.inner
+                .state
+                .lock()
+                .queues
+                .iter()
+                .map(|q| q.len())
+                .sum::<usize>(),
+            0
+        );
+        // The recycled slot serves a fresh session.
+        let client = gw.session().unwrap();
+        assert_eq!(block_on(request(&client, 8, 4.0)).unwrap(), expect(8, 4.0));
     }
 }

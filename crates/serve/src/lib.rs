@@ -93,6 +93,29 @@ pub struct ServeConfig {
     /// Warp-window size reserved per session; `0` sizes windows to an
     /// eighth of the device's warp space.
     pub session_warps: u32,
+    /// Maximum batches waiting in one session queue; further admissions
+    /// fail fast with [`pypim_core::CoreError::Overloaded`]. `0` means
+    /// unbounded.
+    pub max_queue_depth: usize,
+    /// Times a batch that failed with a *transient* error (worker crash,
+    /// link fault — see [`pypim_core::ErrorClass::Transient`]) is retried
+    /// before the error surfaces to the client.
+    pub max_retries: u32,
+    /// Modeled-cycle backoff charged before a retry; the `n`-th retry
+    /// advances the modeled clock by `retry_backoff_cycles << n`. No
+    /// wall-clock time is spent.
+    pub retry_backoff_cycles: u64,
+    /// Default per-batch deadline in modeled cycles from admission;
+    /// batches still queued (or completing) past it resolve with
+    /// [`pypim_core::CoreError::DeadlineExceeded`]. `0` disables
+    /// deadlines (per-request deadlines via
+    /// [`ClusterClient::exec_with_deadline`] still apply).
+    pub deadline_cycles: u64,
+    /// When the warp space is exhausted, evict the least-recently-active
+    /// session (its pending batches fail with
+    /// [`pypim_core::CoreError::Evicted`]) instead of refusing the new
+    /// session.
+    pub evict_on_pressure: bool,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +124,11 @@ impl Default for ServeConfig {
             max_inflight: 4,
             max_coalesce: 8,
             session_warps: 0,
+            max_queue_depth: 64,
+            max_retries: 2,
+            retry_backoff_cycles: 1_000,
+            deadline_cycles: 0,
+            evict_on_pressure: false,
         }
     }
 }

@@ -41,7 +41,8 @@ impl std::fmt::Debug for ClusterClient {
 
 impl Drop for ClusterClient {
     fn drop(&mut self) {
-        self.gw.dev.release_placement(self.window);
+        // The gateway holds the window reservation (so eviction can
+        // release it early) and releases it inside `remove_session`.
         self.gw.remove_session(self.id);
     }
 }
@@ -66,6 +67,13 @@ impl ClusterClient {
         self.window
     }
 
+    /// This session's id on its gateway — the handle
+    /// [`Gateway::evict_session`](crate::Gateway::evict_session) takes,
+    /// and the `session` field of the typed admission errors.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
     /// The session's device handle (allocations through it land in the
     /// session window).
     pub fn device(&self) -> &Device {
@@ -81,6 +89,29 @@ impl ClusterClient {
     /// the same group also surfaces here — groups share fate).
     pub async fn exec(&self, instrs: Vec<Instruction>) -> Result<()> {
         self.gw.enqueue(self.id, instrs).await
+    }
+
+    /// Like [`exec`](ClusterClient::exec), with a per-batch deadline of
+    /// `deadline_cycles` modeled cycles from admission (overriding
+    /// [`ServeConfig::deadline_cycles`](crate::ServeConfig); `0` disables
+    /// the deadline for this batch). A batch still queued — or finishing —
+    /// past its deadline resolves with
+    /// [`CoreError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`exec`](ClusterClient::exec), plus
+    /// [`CoreError::DeadlineExceeded`], [`CoreError::Overloaded`] (full
+    /// session queue), and [`CoreError::Evicted`] (session evicted under
+    /// memory pressure).
+    pub async fn exec_with_deadline(
+        &self,
+        instrs: Vec<Instruction>,
+        deadline_cycles: u64,
+    ) -> Result<()> {
+        self.gw
+            .enqueue_with_deadline(self.id, instrs, Some(deadline_cycles))
+            .await
     }
 
     /// Reads raw words at `(warp, row, register)` locations, in order.

@@ -58,4 +58,4 @@ mod simulator;
 
 pub use crossbar::Crossbar;
 pub use profiler::{OpTypeCounts, Profiler};
-pub use simulator::PimSimulator;
+pub use simulator::{PimSimulator, SimSnapshot};

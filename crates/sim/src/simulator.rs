@@ -25,6 +25,21 @@ pub struct PimSimulator {
     threads: usize,
 }
 
+/// A point-in-time copy of a simulator's complete architectural state:
+/// every crossbar's cells, the stored masks, the strict flag, and the
+/// profiling counters. Taken with [`PimSimulator::snapshot`] and applied
+/// with [`PimSimulator::restore`]; `pim-cluster` uses these as shard
+/// checkpoints for crash recovery (restore + replay of the instruction
+/// suffix since the snapshot).
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    xbars: Vec<Crossbar>,
+    xb_mask: RangeMask,
+    row_mask: RangeMask,
+    strict: bool,
+    profiler: Profiler,
+}
+
 impl PimSimulator {
     /// Creates a simulator with all cells at logical 0, both masks covering
     /// the whole memory, and strict stateful-logic checking enabled.
@@ -106,6 +121,42 @@ impl PimSimulator {
     /// The crossbar state, for test inspection.
     pub fn crossbar(&self, xb: usize) -> &Crossbar {
         &self.xbars[xb]
+    }
+
+    /// Captures the complete architectural state (cells, masks, strict
+    /// flag, profiler) as a [`SimSnapshot`]. The thread count is host
+    /// policy, not architectural state, and is not captured.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            xbars: self.xbars.clone(),
+            xb_mask: self.xb_mask,
+            row_mask: self.row_mask,
+            strict: self.strict,
+            profiler: self.profiler.clone(),
+        }
+    }
+
+    /// Restores the state captured by [`snapshot`](PimSimulator::snapshot).
+    /// The snapshot must come from a simulator with the same [`PimConfig`]
+    /// geometry (same crossbar count and dimensions).
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        debug_assert_eq!(
+            snap.xbars.len(),
+            self.xbars.len(),
+            "snapshot geometry mismatch"
+        );
+        self.xbars.clone_from(&snap.xbars);
+        self.xb_mask = snap.xb_mask;
+        self.row_mask = snap.row_mask;
+        self.strict = snap.strict;
+        self.profiler = snap.profiler.clone();
+    }
+
+    /// Charges `cycles` modeled cycles without executing anything — the
+    /// chip is alive but making no progress (used by fault injection to
+    /// model a stalled shard worker). Data and masks are unaffected.
+    pub fn stall(&mut self, cycles: u64) {
+        self.profiler.cycles += cycles;
     }
 
     /// Accounts profiling metadata for one operation given the mask state

@@ -1,0 +1,407 @@
+//! Fault injection and recovery, end to end: a seeded fault schedule
+//! against the sharded cluster must never hang and never silently corrupt
+//! — every request either completes bit-identical to a fault-free run or
+//! resolves to a typed error — and the supervisor's checkpoint+replay
+//! respawn restores shard state so post-crash work is bit-identical.
+
+use futures::executor::{block_on, block_on_timeout};
+use proptest::prelude::*;
+use pypim::cluster::{ClusterError, PimCluster};
+use pypim::isa::{DType, Instruction, RegOp, ThreadRange};
+use pypim::serve::ClusterClient;
+use pypim::{
+    ClusterOptions, Device, DeviceServeExt, ErrorClass, FaultInjector, FaultPlan, FaultProfile,
+    PimConfig, RecoveryConfig, Result, ServeConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARDS: usize = 2;
+
+fn cfg() -> PimConfig {
+    PimConfig::small().with_crossbars(4)
+}
+
+fn faulty_device(plan: FaultPlan, recovery: RecoveryConfig) -> (Device, Arc<FaultInjector>) {
+    let injector = Arc::new(FaultInjector::new(plan, SHARDS));
+    let dev = Device::cluster_with_options(
+        cfg(),
+        SHARDS,
+        ClusterOptions {
+            recovery,
+            fault: Some(Arc::clone(&injector)),
+            ..ClusterOptions::default()
+        },
+    )
+    .unwrap();
+    (dev, injector)
+}
+
+/// The serving request used throughout: `sum(x * 2 + x)`, one read at the
+/// very end (reads bypass the gateway's retry machinery, so the fault
+/// schedules below target the execution phase).
+async fn request(client: &ClusterClient, n: usize, seed: f32) -> Result<f32> {
+    let data: Vec<f32> = (0..n).map(|i| seed + i as f32 * 0.25).collect();
+    let x = client.upload_f32(&data).await?;
+    let y = client.full_f32(n, 2.0).await?;
+    let xy = client.mul(&x, &y).await?;
+    let z = client.add(&xy, &x).await?;
+    client.sum_f32(&z).await
+}
+
+/// Fault-free reference bits for `request(n, seed)`.
+fn reference_bits(n: usize, seed: f32) -> u32 {
+    let dev = Device::cluster(cfg(), SHARDS).unwrap();
+    let gw = dev.serve(ServeConfig::default());
+    let client = gw.session_with_warps(4).unwrap();
+    block_on(request(&client, n, seed)).unwrap().to_bits()
+}
+
+// ---------------------------------------------------------------------
+// Zero-cost / bit-identical when no fault is scheduled
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_injector_and_recovery_are_bit_identical_to_plain_cluster() {
+    let program = |dev: &Device| -> (Vec<u32>, String) {
+        let x = dev
+            .from_slice_f32(&[1.5, -2.25, 3.0, 0.125, 9.5, -7.75, 0.0, 4.5])
+            .unwrap();
+        let y = dev.full_f32(8, 3.5).unwrap();
+        let z = (&(&x * &y).unwrap() + &x).unwrap();
+        let bits: Vec<u32> = z
+            .to_vec_f32()
+            .unwrap()
+            .into_iter()
+            .map(f32::to_bits)
+            .collect();
+        let mut bits = bits;
+        bits.push(z.sum_f32().unwrap().to_bits());
+        // Per-shard profiler and issued-cycle counters: the modeled work,
+        // not just the values, must be unchanged by the idle machinery.
+        (bits, format!("{:?}", dev.cluster_stats().unwrap().shards))
+    };
+
+    let plain = program(&Device::cluster(cfg(), SHARDS).unwrap());
+    let (dev, injector) = faulty_device(FaultPlan::none(), RecoveryConfig::default());
+    let armed = program(&dev);
+
+    assert_eq!(plain.0, armed.0, "values diverged with an empty injector");
+    assert_eq!(
+        plain.1, armed.1,
+        "modeled work diverged with an empty injector"
+    );
+    assert_eq!(injector.stats().injected(), 0);
+    assert_eq!(dev.cluster_stats().unwrap().worker_restarts, 0);
+}
+
+// ---------------------------------------------------------------------
+// Supervision: typed error, respawn, checkpoint+replay
+// ---------------------------------------------------------------------
+
+/// Runs the cluster-level crash/recover scenario under `recovery`:
+/// batch 1 commits, batch 2 dies with a typed transient error, the retry
+/// lands on the respawned worker, and the final reads are bit-identical
+/// to a fault-free run.
+fn crash_recover_scenario(recovery: RecoveryConfig) {
+    let all = |c: &PimCluster| ThreadRange::all(c.logical_config());
+    let batch1 = |all: ThreadRange| {
+        vec![
+            Instruction::Write {
+                reg: 0,
+                value: 30,
+                target: all,
+            },
+            Instruction::Write {
+                reg: 1,
+                value: 12,
+                target: all,
+            },
+        ]
+    };
+    let batch2 = |all: ThreadRange| {
+        vec![Instruction::RType {
+            op: RegOp::Add,
+            dtype: DType::Int32,
+            dst: 2,
+            srcs: [0, 1, 0],
+            target: all,
+        }]
+    };
+
+    // Fault-free reference.
+    let clean = PimCluster::new(cfg(), SHARDS).unwrap();
+    let r = all(&clean);
+    clean.execute_batch(&batch1(r)).unwrap();
+    clean.execute_batch(&batch2(r)).unwrap();
+    let expected: Vec<Option<u32>> = (0..8)
+        .map(|w| {
+            clean
+                .execute(&Instruction::Read {
+                    reg: 2,
+                    warp: w,
+                    row: 3,
+                })
+                .unwrap()
+        })
+        .collect();
+
+    // Shard 0's second executable job (the RType batch) crashes its worker.
+    let injector = Arc::new(FaultInjector::new(FaultPlan::none().crash_at(0, 1), SHARDS));
+    let cluster = PimCluster::with_options(
+        cfg(),
+        SHARDS,
+        ClusterOptions {
+            recovery,
+            fault: Some(Arc::clone(&injector)),
+            ..ClusterOptions::default()
+        },
+    )
+    .unwrap();
+    let r = all(&cluster);
+    cluster.execute_batch(&batch1(r)).unwrap();
+
+    let err = cluster.execute_batch(&batch2(r)).unwrap_err();
+    assert!(
+        matches!(err, ClusterError::WorkerCrashed { shard: 0 }),
+        "expected typed crash error, got {err:?}"
+    );
+    assert_eq!(err.class(), ErrorClass::Transient);
+
+    // Retry: the send path respawns the worker from checkpoint+journal,
+    // so batch 1's writes are intact and the retried batch completes.
+    cluster.execute_batch(&batch2(r)).unwrap();
+    let got: Vec<Option<u32>> = (0..8)
+        .map(|w| {
+            cluster
+                .execute(&Instruction::Read {
+                    reg: 2,
+                    warp: w,
+                    row: 3,
+                })
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(got, expected, "post-recovery state diverged");
+    assert_eq!(injector.stats().worker_crashes, 1);
+    assert_eq!(cluster.stats().unwrap().worker_restarts, 1);
+}
+
+#[test]
+fn crash_recovers_bit_identically_from_default_checkpoints() {
+    crash_recover_scenario(RecoveryConfig::default());
+}
+
+#[test]
+fn crash_recovers_bit_identically_under_tight_checkpoint_bounds() {
+    // A tiny instruction bound forces a checkpoint between the batches,
+    // exercising snapshot-restore rather than pure journal replay.
+    crash_recover_scenario(RecoveryConfig {
+        checkpoint_max_instructions: 1,
+        ..RecoveryConfig::default()
+    });
+    // A huge bound forces the opposite: pure replay from the initial
+    // snapshot.
+    crash_recover_scenario(RecoveryConfig {
+        checkpoint_max_instructions: usize::MAX,
+        checkpoint_interval_cycles: u64::MAX,
+        ..RecoveryConfig::default()
+    });
+}
+
+#[test]
+fn recovery_disabled_turns_crashes_into_permanent_disconnects() {
+    let injector = Arc::new(FaultInjector::new(FaultPlan::none().crash_at(0, 0), SHARDS));
+    let cluster = PimCluster::with_options(
+        cfg(),
+        SHARDS,
+        ClusterOptions {
+            recovery: RecoveryConfig {
+                enabled: false,
+                ..RecoveryConfig::default()
+            },
+            fault: Some(injector),
+            ..ClusterOptions::default()
+        },
+    )
+    .unwrap();
+    let r = ThreadRange::all(cluster.logical_config());
+    let batch = vec![Instruction::Write {
+        reg: 0,
+        value: 7,
+        target: r,
+    }];
+    assert!(cluster.execute_batch(&batch).is_err());
+    // Without a journal there is nothing to respawn from: the shard stays
+    // down, but errors remain typed — no panics, no hangs.
+    let err = cluster.execute_batch(&batch).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClusterError::Disconnected { .. } | ClusterError::WorkerCrashed { .. }
+        ),
+        "{err:?}"
+    );
+    // Stats need every worker alive; with shard 0 permanently down they
+    // error, typed, rather than hang.
+    assert!(cluster.stats().is_err());
+}
+
+// ---------------------------------------------------------------------
+// Gateway absorbs transient faults
+// ---------------------------------------------------------------------
+
+#[test]
+fn gateway_retries_absorb_a_worker_crash_transparently() {
+    // The first session's 4-warp window lands on shard 0; its second
+    // executable job (the fill batch) crashes the worker mid-request.
+    let (dev, injector) =
+        faulty_device(FaultPlan::none().crash_at(0, 1), RecoveryConfig::default());
+    let gw = dev.serve(ServeConfig::default());
+    let client = gw.session_with_warps(4).unwrap();
+
+    let got = block_on_timeout(request(&client, 8, 1.0), Duration::from_secs(30))
+        .expect("request hung under fault injection")
+        .expect("gateway retry should absorb the crash");
+    assert_eq!(
+        got.to_bits(),
+        reference_bits(8, 1.0),
+        "retried result diverged"
+    );
+
+    assert_eq!(injector.stats().worker_crashes, 1);
+    let stats = gw.stats();
+    assert!(stats.retries >= 1, "crash was not retried: {stats:?}");
+
+    // All the new robustness counters render in the unified snapshot.
+    let snap = gw.metrics_snapshot();
+    let json = snap.to_json();
+    for key in [
+        "fault.injected",
+        "cluster.worker_restarts",
+        "cluster.replayed_instructions",
+        "serve.retries",
+        "serve.deadline_misses",
+        "serve.rejected_overload",
+    ] {
+        assert!(json.contains(key), "missing metric {key} in {json}");
+    }
+}
+
+#[test]
+fn retry_budget_exhaustion_surfaces_the_typed_error() {
+    // More crashes than the gateway will retry: the transient error must
+    // eventually surface, typed, rather than loop forever.
+    let plan = FaultPlan::none()
+        .crash_at(0, 1)
+        .crash_at(0, 2)
+        .crash_at(0, 3);
+    let (dev, injector) = faulty_device(plan, RecoveryConfig::default());
+    let gw = dev.serve(ServeConfig {
+        max_retries: 1,
+        ..ServeConfig::default()
+    });
+    let client = gw.session_with_warps(4).unwrap();
+
+    let expected = reference_bits(8, 2.0);
+    let mut saw_typed_error = false;
+    let mut recovered = false;
+    // Three consecutive crashes against a retry budget of one: some
+    // requests fail (typed), and once the schedule drains a request must
+    // succeed bit-identically — the cluster never wedges.
+    for _ in 0..6 {
+        let outcome = block_on_timeout(request(&client, 8, 2.0), Duration::from_secs(30))
+            .expect("request hung under fault injection");
+        match outcome {
+            Ok(v) => {
+                assert_eq!(v.to_bits(), expected, "post-crash result diverged");
+                recovered = true;
+                break;
+            }
+            Err(e) => {
+                assert_eq!(e.class(), ErrorClass::Transient, "untyped error {e:?}");
+                saw_typed_error = true;
+            }
+        }
+    }
+    assert!(saw_typed_error, "retry budget of 1 absorbed 3 crashes?");
+    assert!(
+        recovered,
+        "cluster did not recover after the schedule drained"
+    );
+    assert_eq!(injector.stats().worker_crashes, 3);
+}
+
+// ---------------------------------------------------------------------
+// Property: seeded schedules never hang and never silently corrupt
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any seeded single-shard fault schedule (crashes, stalls, link
+    /// drops/corruptions): every request either completes bit-identical
+    /// to the fault-free reference or resolves to a *typed* error, within
+    /// a wall-clock bound — no hangs, no silent corruption, and the
+    /// cluster serves correctly once the schedule drains.
+    #[test]
+    fn seeded_fault_schedules_never_hang_or_corrupt(
+        seed in any::<u64>(),
+        shard in 0usize..SHARDS,
+    ) {
+        let profile = FaultProfile {
+            shards: SHARDS,
+            single_shard: Some(shard),
+            worker_crashes: 2,
+            worker_stalls: 1,
+            max_stall_cycles: 512,
+            link_drops: 1,
+            link_corruptions: 1,
+            job_horizon: 24,
+            burst_horizon: 4,
+        };
+        let plan = FaultPlan::from_seed(seed, &profile);
+        let (dev, injector) = faulty_device(plan.clone(), RecoveryConfig::default());
+        let gw = dev.serve(ServeConfig { max_retries: 3, ..ServeConfig::default() });
+        // An 8-warp window spans both chips, so reductions cross the
+        // interconnect and the schedule's link faults can fire too.
+        let client = gw.session_with_warps(8).unwrap();
+
+        let expected = reference_bits(8, 4.0);
+        for attempt in 0..4 {
+            match block_on_timeout(request(&client, 8, 4.0), Duration::from_secs(30)) {
+                Ok(Ok(v)) => {
+                    prop_assert_eq!(
+                        v.to_bits(), expected,
+                        "silent corruption under plan {:?}", plan
+                    );
+                }
+                Ok(Err(e)) => {
+                    // Typed resolution is acceptable while faults fire;
+                    // the error must carry a retry class.
+                    let class = e.class();
+                    prop_assert!(
+                        class == ErrorClass::Transient || class == ErrorClass::Fatal,
+                        "unexpected class {:?} for {:?}", class, e
+                    );
+                }
+                Err(_) => prop_assert!(false, "request hung under plan {:?}", plan),
+            }
+            // Once every scheduled fault has fired, requests must succeed.
+            if injector.stats().injected() >= plan.len() as u64 && attempt >= 1 {
+                break;
+            }
+        }
+        let drained = block_on_timeout(request(&client, 8, 5.0), Duration::from_secs(30));
+        match drained {
+            Ok(Ok(v)) => prop_assert_eq!(v.to_bits(), reference_bits(8, 5.0)),
+            Ok(Err(e)) => {
+                // A schedule can still hold unfired faults (the workload
+                // may never reach their job indices); only transient
+                // errors are acceptable here.
+                prop_assert_eq!(e.class(), ErrorClass::Transient, "{:?}", e);
+            }
+            Err(_) => prop_assert!(false, "drain request hung under plan {:?}", plan),
+        }
+    }
+}

@@ -57,6 +57,58 @@ pub mod executor {
             thread_waker.notified.store(true, Ordering::Release);
         }
     }
+
+    /// The wall-clock budget of [`block_on_timeout`] ran out while the
+    /// future was still pending.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TimeoutError;
+
+    impl std::fmt::Display for TimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "future did not complete within the timeout")
+        }
+    }
+
+    impl std::error::Error for TimeoutError {}
+
+    /// Like [`block_on`], but gives up after `timeout` of wall-clock time
+    /// with [`TimeoutError`] — the hang detector for tests that drive
+    /// possibly-wedged futures (e.g. a serving request against a cluster
+    /// under fault injection must either resolve or be declared hung, not
+    /// park forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeoutError`] if the future is still pending when the
+    /// timeout elapses. The future is dropped at that point (cancelled).
+    pub fn block_on_timeout<F: Future>(
+        future: F,
+        timeout: std::time::Duration,
+    ) -> Result<F::Output, TimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut future = pin!(future);
+        let thread_waker = Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(true),
+        });
+        let waker = Waker::from(Arc::clone(&thread_waker));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            while thread_waker.notified.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+                    return Ok(out);
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TimeoutError);
+            }
+            // Bounded park: a missed wake can only delay the next poll
+            // until the deadline, never past it.
+            std::thread::park_timeout(deadline - now);
+            thread_waker.notified.store(true, Ordering::Release);
+        }
+    }
 }
 
 /// Future combinators.
@@ -89,6 +141,53 @@ pub mod future {
     // Sound: sub-futures are heap-pinned (`Pin<Box<F>>`) and outputs are
     // plain moved values — nothing in `JoinAll` relies on its own address.
     impl<F: Future> Unpin for JoinAll<F> {}
+
+    /// Which side of a [`select2`] race finished first.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Either<A, B> {
+        /// The first future won; the second is returned still pending.
+        Left(A),
+        /// The second future won; the first is returned still pending.
+        Right(B),
+    }
+
+    /// Future returned by [`select2`].
+    pub struct Select2<A: Future, B: Future> {
+        a: Option<Pin<Box<A>>>,
+        b: Option<Pin<Box<B>>>,
+    }
+
+    /// Races two futures: resolves with the output of whichever finishes
+    /// first plus the still-pending loser (so the caller can keep driving
+    /// it — e.g. racing a serving request against a watchdog without
+    /// abandoning either).
+    pub fn select2<A: Future, B: Future>(a: A, b: B) -> Select2<A, B> {
+        Select2 {
+            a: Some(Box::pin(a)),
+            b: Some(Box::pin(b)),
+        }
+    }
+
+    impl<A: Future, B: Future> Unpin for Select2<A, B> {}
+
+    impl<A: Future, B: Future> Future for Select2<A, B> {
+        type Output = Either<(A::Output, Pin<Box<B>>), (B::Output, Pin<Box<A>>)>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            let (a, b) = (
+                this.a.as_mut().expect("polled after completion"),
+                this.b.as_mut().expect("polled after completion"),
+            );
+            if let Poll::Ready(out) = a.as_mut().poll(cx) {
+                return Poll::Ready(Either::Left((out, this.b.take().unwrap())));
+            }
+            if let Poll::Ready(out) = b.as_mut().poll(cx) {
+                return Poll::Ready(Either::Right((out, this.a.take().unwrap())));
+            }
+            Poll::Pending
+        }
+    }
 
     impl<F: Future> Future for JoinAll<F> {
         type Output = Vec<F::Output>;
@@ -210,5 +309,43 @@ mod tests {
     fn join_all_mixed_latencies() {
         let futs = [CountDown(3), CountDown(0), CountDown(6)];
         assert_eq!(block_on(join_all(futs)), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn select2_returns_the_loser_still_pending() {
+        use super::future::{select2, Either};
+        match block_on(select2(CountDown(0), CountDown(5))) {
+            Either::Left((out, loser)) => {
+                assert_eq!(out, 7);
+                assert_eq!(block_on(loser), 7, "loser keeps driving");
+            }
+            Either::Right(_) => panic!("slow future won the race"),
+        }
+        match block_on(select2(CountDown(5), CountDown(0))) {
+            Either::Right((out, _)) => assert_eq!(out, 7),
+            Either::Left(_) => panic!("slow future won the race"),
+        }
+    }
+
+    #[test]
+    fn block_on_timeout_completes_in_budget() {
+        use super::executor::block_on_timeout;
+        let out = block_on_timeout(CountDown(5), std::time::Duration::from_secs(5));
+        assert_eq!(out, Ok(7));
+    }
+
+    #[test]
+    fn block_on_timeout_flags_a_hung_future() {
+        use super::executor::{block_on_timeout, TimeoutError};
+        /// Pending forever, never waking: the shape of a lost completion.
+        struct Hang;
+        impl Future for Hang {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let out = block_on_timeout(Hang, std::time::Duration::from_millis(50));
+        assert_eq!(out, Err(TimeoutError));
     }
 }
