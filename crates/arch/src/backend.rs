@@ -26,18 +26,23 @@ pub trait Backend {
     /// Executes a batch of non-read micro-operations. Backends may override
     /// this to parallelize; the default loops over [`execute`](Self::execute).
     ///
+    /// The read check runs as a single pre-scan over the batch, so the
+    /// execution loop itself is branch-free on the operation type and the
+    /// protocol violation is detected before any operation runs (nothing
+    /// executes from a read-carrying batch).
+    ///
     /// # Errors
     ///
     /// Returns an error on the first failing operation, or
     /// [`ArchError::Protocol`] if the batch contains a read (reads return
     /// data and must go through `execute`).
     fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
+        if ops.iter().any(|op| matches!(op, MicroOp::Read { .. })) {
+            return Err(ArchError::Protocol {
+                reason: "read operations cannot be batched".into(),
+            });
+        }
         for op in ops {
-            if matches!(op, MicroOp::Read { .. }) {
-                return Err(ArchError::Protocol {
-                    reason: "read operations cannot be batched".into(),
-                });
-            }
             self.execute(op)?;
         }
         Ok(())

@@ -72,7 +72,7 @@ fn scaling_summary() {
         let dev = Device::cluster(shard_cfg(), shards).unwrap();
         let (a, b) = inputs(&dev);
         a.binary(RegOp::Add, &b).unwrap(); // warm routine caches
-        dev.reset_counters();
+        dev.reset_counters().unwrap();
         let start = std::time::Instant::now();
         for _ in 0..reps {
             a.binary(RegOp::Add, &b).unwrap();
@@ -82,7 +82,7 @@ fn scaling_summary() {
         let rate = elems / dt;
         rates.push(rate);
         println!("\n== {shards}-shard cluster: {rate:.3e} elements/s ==");
-        if let Some(stats) = dev.cluster_stats() {
+        if let Some(stats) = dev.cluster_stats().unwrap() {
             let (hits, misses) = stats.cache_stats();
             println!(
                 "   issued cycles (all shards): logic {} / total {}; \
@@ -293,9 +293,9 @@ fn bench_move_shift(c: &mut Criterion) {
             let n = dev.config().total_threads() as usize;
             let dist = (n / shards) as i64;
             let t = dev.arange_i32(n).unwrap();
-            dev.reset_counters();
+            dev.reset_counters().unwrap();
             shifted(&t, dist).unwrap();
-            let traffic = dev.cluster_stats().unwrap().traffic;
+            let traffic = dev.cluster_stats().unwrap().unwrap().traffic;
             let moved = (n as i64 - dist) as u64;
             group.report_metric(
                 BenchmarkId::new(format!("link_seconds_{name}"), format!("{shards}-shard")),
@@ -327,9 +327,9 @@ fn shift_summary() {
         let dev = shift_dev(4, coalesce);
         let n = dev.config().total_threads() as usize;
         let t = dev.arange_i32(n).unwrap();
-        dev.reset_counters();
+        dev.reset_counters().unwrap();
         shifted(&t, (n / 4) as i64).unwrap();
-        let tr = dev.cluster_stats().unwrap().traffic;
+        let tr = dev.cluster_stats().unwrap().unwrap().traffic;
         println!(
             "   {name}: {} messages, {} barriers, {} cross-chip words, \
              {} modeled link cycles; {} runs merged {} moves (saving {} \

@@ -35,7 +35,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SampleS
 use futures::executor::block_on;
 use futures::future::join_all;
 use pim_arch::PimConfig;
-use pim_cluster::{ClusterOptions, RecoveryConfig};
+use pim_cluster::{BackendKind, ClusterOptions, RecoveryConfig, ShardBackends};
 use pim_fault::{FaultInjector, FaultPlan};
 use pim_serve::{ClusterClient, DeviceServeExt, ServeConfig};
 use pim_telemetry::Histogram;
@@ -168,17 +168,45 @@ fn bench_serve(c: &mut Criterion) {
         let clients: Vec<ClusterClient> =
             (0..sessions).map(|_| gateway.session().unwrap()).collect();
         run_gateway(&clients, elems); // warm routine caches
-        dev.reset_counters();
+        dev.reset_counters().unwrap();
         run_gateway(&clients, elems);
-        let stats = dev.cluster_stats().unwrap();
+        let stats = dev.cluster_stats().unwrap().unwrap();
         let gw_modeled_s = stats.modeled_latency_cycles() as f64 / clock_hz;
+
+        // --- The identical gateway workload on functional-backend shards
+        //     (`pim-func`): bit-identical results and identical modeled
+        //     cycles by construction (backend_equivalence tests), so the
+        //     modeled `gateway_func` row must match `gateway` — what moves
+        //     is the wall-clock row, which measures how much faster the
+        //     host can turn the same modeled machine.
+        let func_dev = Device::cluster_with_options(
+            shard_cfg(),
+            SHARDS,
+            ClusterOptions {
+                backends: ShardBackends::Uniform(BackendKind::Functional),
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+        let func_gateway = func_dev.serve(ServeConfig {
+            session_warps,
+            ..ServeConfig::default()
+        });
+        let func_clients: Vec<ClusterClient> = (0..sessions)
+            .map(|_| func_gateway.session().unwrap())
+            .collect();
+        run_gateway(&func_clients, elems); // warm routine caches
+        func_dev.reset_counters().unwrap();
+        run_gateway(&func_clients, elems);
+        let func_stats = func_dev.cluster_stats().unwrap().unwrap();
+        let func_modeled_s = func_stats.modeled_latency_cycles() as f64 / clock_hz;
 
         // --- The same workload, one request at a time, blocking API.
         let seq_dev = cluster_dev();
         run_sequential(&seq_dev, 1, elems); // warm routine caches
-        seq_dev.reset_counters();
+        seq_dev.reset_counters().unwrap();
         run_sequential(&seq_dev, sessions, elems);
-        let seq_stats = seq_dev.cluster_stats().unwrap();
+        let seq_stats = seq_dev.cluster_stats().unwrap().unwrap();
         let seq_modeled_s = seq_stats.modeled_latency_cycles() as f64 / clock_hz;
 
         // --- Degraded mode: the identical gateway workload under a
@@ -217,7 +245,7 @@ fn bench_serve(c: &mut Criterion) {
             fault.stats().worker_crashes >= 1,
             "1-shard-crash schedule never fired"
         );
-        let deg_stats = deg_dev.cluster_stats().unwrap();
+        let deg_stats = deg_dev.cluster_stats().unwrap().unwrap();
         let deg_modeled_s = deg_stats.modeled_latency_cycles() as f64 / clock_hz;
 
         // Modeled-clock headline: requests/s on the modeled machine.
@@ -225,6 +253,16 @@ fn bench_serve(c: &mut Criterion) {
             BenchmarkId::new("gateway", format!("{sessions}-sessions")),
             gw_modeled_s,
             Some(Throughput::Elements(requests)),
+        );
+        group.report_metric(
+            BenchmarkId::new("gateway_func", format!("{sessions}-sessions")),
+            func_modeled_s,
+            Some(Throughput::Elements(requests)),
+        );
+        assert_eq!(
+            func_stats.modeled_latency_cycles(),
+            stats.modeled_latency_cycles(),
+            "functional shards must model the same latency as bit-accurate"
         );
         group.report_metric(
             BenchmarkId::new("sequential", format!("{sessions}-sessions")),
@@ -309,6 +347,11 @@ fn bench_serve(c: &mut Criterion) {
             BenchmarkId::new("wall_gateway", format!("{sessions}-sessions")),
             &sessions,
             |b, _| b.iter(|| run_gateway(&clients, elems)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wall_gateway_func", format!("{sessions}-sessions")),
+            &sessions,
+            |b, _| b.iter(|| run_gateway(&func_clients, elems)),
         );
         group.bench_with_input(
             BenchmarkId::new("wall_sequential", format!("{sessions}-sessions")),

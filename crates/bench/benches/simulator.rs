@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pim_arch::{Backend, MicroOp, PimConfig, RangeMask};
 use pim_bench::hlogic_ops;
 use pim_driver::routines;
+use pim_func::FuncBackend;
 use pim_isa::{DType, RegOp};
 use pim_sim::PimSimulator;
 
@@ -34,6 +35,48 @@ fn bench_hlogic(c: &mut Criterion) {
             b.iter(|| sim.execute_batch(&batch).unwrap());
         });
     }
+    group.finish();
+}
+
+/// The identical micro-op streams on the vectorized functional backend
+/// (`pim-func`): same geometry, same batches, same masks as the `hlogic`
+/// and `simulator` groups, so `func/*` vs `hlogic/*`/`simulator/*` rows in
+/// BENCH_simulator.json measure the word-level fast path directly against
+/// the bit-accurate kernel.
+fn bench_func(c: &mut Criterion) {
+    let cfg = PimConfig::small().with_crossbars(64).with_rows(256);
+    let ops = hlogic_ops(&cfg, 256);
+    let mut group = c.benchmark_group("func");
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    let masks = [
+        ("dense", RangeMask::dense(0, cfg.rows as u32).unwrap()),
+        (
+            "strided",
+            RangeMask::new(0, cfg.rows as u32 - 2, 2).unwrap(),
+        ),
+    ];
+    for (name, row_mask) in masks {
+        let mut func = FuncBackend::new(cfg.clone()).unwrap();
+        let mut batch = vec![MicroOp::RowMask(row_mask)];
+        batch.extend(ops.iter().cloned());
+        group.bench_function(name, |b| {
+            b.iter(|| func.execute_batch(&batch).unwrap());
+        });
+    }
+    let routine = routines::compile_rtype(
+        &cfg,
+        pim_driver::ParallelismMode::BitSerial,
+        RegOp::Add,
+        DType::Int32,
+        2,
+        &[0, 1],
+    )
+    .unwrap();
+    group.throughput(Throughput::Elements(routine.ops.len() as u64));
+    let mut func = FuncBackend::new(cfg).unwrap();
+    group.bench_function("int_add", |b| {
+        b.iter(|| func.execute_batch(&routine.ops).unwrap());
+    });
     group.finish();
 }
 
@@ -65,5 +108,5 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_hlogic);
+criterion_group!(benches, bench_simulator, bench_hlogic, bench_func);
 criterion_main!(benches);

@@ -58,7 +58,7 @@ fn main() {
     // Bit-serial mode: the mode the AritPIM-style theoretical bounds are
     // defined for (the partition-parallel ablation is reported separately).
     let dev = Device::with_mode(cfg.clone(), ParallelismMode::BitSerial).expect("device");
-    dev.set_strict(false);
+    dev.set_strict(false).unwrap();
 
     // ---- Top panel: fundamental operations --------------------------------
     let top_ops = [

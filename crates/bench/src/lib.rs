@@ -172,7 +172,7 @@ fn input_tensors(dev: &Device, w: &Workload, n: usize) -> Result<(Tensor, Option
 /// Propagates library errors.
 pub fn run_workload(dev: &Device, w: Workload, n: usize) -> Result<BenchResult> {
     let (a, b) = input_tensors(dev, &w, n)?;
-    dev.reset_counters();
+    dev.reset_counters()?;
     let elements = match w {
         Workload::RType(op, _) => {
             let _out = a.binary(op, b.as_ref().expect("binary workload"))?;
@@ -195,8 +195,8 @@ pub fn run_workload(dev: &Device, w: Workload, n: usize) -> Result<BenchResult> 
             a.len() as u64
         }
     };
-    let measured = dev.profiler().cycles;
-    let issued = dev.issued();
+    let measured = dev.profiler()?.cycles;
+    let issued = dev.issued()?;
     Ok(BenchResult {
         name: w.name(),
         elements,

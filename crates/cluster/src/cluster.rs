@@ -10,8 +10,9 @@ use crate::{
 use pim_arch::{Backend, MicroOp, PimConfig};
 use pim_driver::{Driver, DriverError, IssuedCycles, ParallelismMode, RoutineCache};
 use pim_fault::{FaultInjector, LinkFault, WorkerFault};
+use pim_func::{AnyBackend, AnySnapshot, BackendKind};
 use pim_isa::Instruction;
-use pim_sim::{PimSimulator, Profiler, SimSnapshot};
+use pim_sim::Profiler;
 use pim_telemetry::{
     MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
 };
@@ -27,9 +28,9 @@ use std::thread::JoinHandle;
 /// workers, and how often each worker checkpoints its simulator state.
 ///
 /// Between checkpoints the worker keeps a bounded journal of executed
-/// jobs; recovery restores the last [`SimSnapshot`] and replays the
-/// journal suffix, so a crash costs bounded replay latency instead of a
-/// dead cluster. Checkpointing is host-side only — it never touches
+/// jobs; recovery restores the last backend snapshot ([`AnySnapshot`])
+/// and replays the journal suffix, so a crash costs bounded replay
+/// latency instead of a dead cluster. Checkpointing is host-side only — it never touches
 /// modeled state, so modeled cycle counts are bit-identical with recovery
 /// on or off.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,52 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Which [`Backend`] implementation each shard runs — uniform across the
+/// cluster or selected per shard. Mixed clusters are fully supported: the
+/// shared cost model keeps modeled cycles identical either way, so a
+/// deployment can, say, keep one bit-accurate shard as a strictness
+/// canary while the rest serve on the fast functional backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardBackends {
+    /// Every shard runs the same backend kind.
+    Uniform(BackendKind),
+    /// One entry per shard, indexed by shard. The length must equal the
+    /// cluster's shard count.
+    PerShard(Vec<BackendKind>),
+}
+
+impl Default for ShardBackends {
+    fn default() -> Self {
+        ShardBackends::Uniform(BackendKind::BitAccurate)
+    }
+}
+
+impl ShardBackends {
+    /// The backend kind shard `shard` runs.
+    fn kind_for(&self, shard: usize) -> BackendKind {
+        match self {
+            ShardBackends::Uniform(kind) => *kind,
+            ShardBackends::PerShard(kinds) => kinds[shard],
+        }
+    }
+
+    /// Checks the per-shard list length against the shard count.
+    fn validate(&self, shards: usize) -> Result<(), ClusterError> {
+        match self {
+            ShardBackends::PerShard(kinds) if kinds.len() != shards => {
+                Err(ClusterError::Protocol {
+                    reason: format!(
+                        "per-shard backend list has {} entries for {} shards",
+                        kinds.len(),
+                        shards
+                    ),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Everything configurable about a cluster, bundled so call sites name
 /// only what they change ([`PimCluster::with_options`]). The positional
 /// constructors ([`new`](PimCluster::new) …
@@ -77,6 +124,8 @@ pub struct ClusterOptions {
     /// the injector hooks are never consulted — zero cost, bit-identical
     /// to a build without the fault machinery.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Backend selection per shard (bit-accurate by default).
+    pub backends: ShardBackends,
 }
 
 impl Default for ClusterOptions {
@@ -87,6 +136,7 @@ impl Default for ClusterOptions {
             telemetry: Telemetry::disabled(),
             recovery: RecoveryConfig::default(),
             fault: None,
+            backends: ShardBackends::default(),
         }
     }
 }
@@ -98,6 +148,7 @@ impl std::fmt::Debug for ClusterOptions {
             .field("interconnect", &self.interconnect)
             .field("recovery", &self.recovery)
             .field("fault", &self.fault)
+            .field("backends", &self.backends)
             .finish_non_exhaustive()
     }
 }
@@ -120,7 +171,7 @@ enum JournalEntry {
 /// (which appends and periodically re-checkpoints) and the supervisor
 /// (which restores from it on revival).
 struct ShardJournal {
-    snapshot: SimSnapshot,
+    snapshot: AnySnapshot,
     issued: IssuedCycles,
     /// Profiler cycles at snapshot time (checkpoint-interval baseline).
     snapshot_cycles: u64,
@@ -132,7 +183,7 @@ struct ShardJournal {
 impl ShardJournal {
     /// Re-checkpoints: captures the driver's current state as the new
     /// snapshot and clears the log.
-    fn checkpoint(&mut self, driver: &Driver<PimSimulator>) {
+    fn checkpoint(&mut self, driver: &Driver<AnyBackend>) {
         self.snapshot = driver.backend().snapshot();
         self.issued = driver.issued();
         self.snapshot_cycles = driver.backend().profiler().cycles;
@@ -141,7 +192,7 @@ impl ShardJournal {
     }
 
     /// Re-checkpoints if the journal outgrew the configured bounds.
-    fn maybe_checkpoint(&mut self, driver: &Driver<PimSimulator>, rc: &RecoveryConfig) {
+    fn maybe_checkpoint(&mut self, driver: &Driver<AnyBackend>, rc: &RecoveryConfig) {
         let cycles = driver.backend().profiler().cycles;
         if self.logged_instrs >= rc.checkpoint_max_instructions
             || cycles.saturating_sub(self.snapshot_cycles) >= rc.checkpoint_interval_cycles
@@ -679,7 +730,8 @@ impl Submission {
 
 /// A sharded multi-chip PIM execution engine.
 ///
-/// `N` shards, each a [`Driver`] over its own bit-accurate [`PimSimulator`]
+/// `N` shards, each a [`Driver`] over its own chip backend (bit-accurate
+/// simulator or vectorized functional backend, per [`ShardBackends`])
 /// running on a dedicated worker thread, present one flat address space of
 /// `N × crossbars` warps. Logical instructions addressed to global warps are
 /// split along shard boundaries (see [`ShardPlan`]) and stream to all
@@ -731,6 +783,9 @@ pub struct PimCluster {
     shared_cache: RoutineCache,
     recovery: RecoveryConfig,
     fault: Option<Arc<FaultInjector>>,
+    /// The backend kind each shard runs (fixed at construction; revival
+    /// rebuilds the same kind).
+    backend_kinds: Vec<BackendKind>,
     /// Workers respawned after a crash.
     restarts: AtomicU64,
     /// Instructions replayed from journals during recovery.
@@ -759,8 +814,8 @@ impl PimCluster {
 
     /// Spawns a cluster with an explicit driver parallelism mode.
     ///
-    /// Each shard simulator is pinned to a single internal thread
-    /// ([`PimSimulator::set_threads`]) — parallelism comes from the shard
+    /// Each shard backend is pinned to a single internal thread
+    /// ([`AnyBackend::set_threads`]) — parallelism comes from the shard
     /// workers themselves, so the host is not oversubscribed.
     ///
     /// Every shard driver receives a [`RoutineCache::share`] of one
@@ -848,21 +903,26 @@ impl PimCluster {
             telemetry,
             recovery,
             fault,
+            backends,
         } = options;
         icfg.validate()
             .map_err(|reason| ClusterError::InvalidInterconnect { reason })?;
         let plan = ShardPlan::new(&cfg, shards)?;
+        backends.validate(shards)?;
+        let backend_kinds: Vec<BackendKind> =
+            (0..shards).map(|shard| backends.kind_for(shard)).collect();
         let logical_cfg = cfg.clone().with_crossbars(cfg.crossbars * shards);
         let shared_cache = RoutineCache::new();
         let mut workers = Vec::with_capacity(shards);
         let mut journals = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let mut sim = PimSimulator::new(cfg.clone()).map_err(|e| ClusterError::Shard {
-                shard,
-                source: DriverError::from(e),
-            })?;
-            sim.set_threads(1);
-            let driver = Driver::with_cache(sim, mode, shared_cache.share());
+        for (shard, &kind) in backend_kinds.iter().enumerate() {
+            let mut backend =
+                AnyBackend::new(kind, cfg.clone()).map_err(|e| ClusterError::Shard {
+                    shard,
+                    source: DriverError::from(e),
+                })?;
+            backend.set_threads(1);
+            let driver = Driver::with_cache(backend, mode, shared_cache.share());
             let journal = recovery.enabled.then(|| {
                 Arc::new(Mutex::new(ShardJournal {
                     snapshot: driver.backend().snapshot(),
@@ -900,6 +960,7 @@ impl PimCluster {
             shared_cache,
             recovery,
             fault,
+            backend_kinds,
             restarts: AtomicU64::new(0),
             replayed: AtomicU64::new(0),
         })
@@ -992,17 +1053,16 @@ impl PimCluster {
             Some(j) if self.recovery.enabled => Arc::clone(j),
             _ => return Err(ClusterError::Disconnected { shard }),
         };
-        let mut sim = PimSimulator::new(self.shard_cfg.clone()).map_err(|e| {
-            ClusterError::RecoveryFailed {
+        let mut backend = AnyBackend::new(self.backend_kinds[shard], self.shard_cfg.clone())
+            .map_err(|e| ClusterError::RecoveryFailed {
                 shard,
                 reason: e.to_string(),
-            }
-        })?;
-        sim.set_threads(1);
+            })?;
+        backend.set_threads(1);
         let mut driver = {
             let j = journal.lock().unwrap_or_else(|e| e.into_inner());
-            sim.restore(&j.snapshot);
-            let mut driver = Driver::with_cache(sim, self.mode, self.shared_cache.share());
+            backend.restore(&j.snapshot);
+            let mut driver = Driver::with_cache(backend, self.mode, self.shared_cache.share());
             driver.restore_issued(j.issued);
             let checkpoint_cycles = driver.backend().profiler().cycles;
             let mut replayed = 0u64;
@@ -1814,7 +1874,7 @@ impl Drop for PimCluster {
 /// supervisor when it respawns a crashed worker.
 fn spawn_worker(
     shard: usize,
-    driver: Driver<PimSimulator>,
+    driver: Driver<AnyBackend>,
     telemetry: &Telemetry,
     journal: Option<Arc<Mutex<ShardJournal>>>,
     fault: Option<Arc<FaultInjector>>,
@@ -1837,7 +1897,7 @@ fn spawn_worker(
 fn injected_crash(
     fault: &Option<Arc<FaultInjector>>,
     shard: usize,
-    driver: &mut Driver<PimSimulator>,
+    driver: &mut Driver<AnyBackend>,
 ) -> bool {
     match fault.as_ref().and_then(|f| f.worker_fault(shard)) {
         Some(WorkerFault::Crash) => true,
@@ -1852,7 +1912,7 @@ fn injected_crash(
 #[allow(clippy::needless_pass_by_value)]
 fn run_worker(
     shard: usize,
-    mut driver: Driver<PimSimulator>,
+    mut driver: Driver<AnyBackend>,
     rx: Receiver<Job>,
     track: TrackHandle,
     journal: Option<Arc<Mutex<ShardJournal>>>,

@@ -1,10 +1,11 @@
 //! # pim-cluster
 //!
 //! A sharded multi-chip execution engine for the PyPIM stack: `N` simulated
-//! PIM chips — each a [`pim_driver::Driver`] over its own bit-accurate
-//! [`pim_sim::PimSimulator`] — run on dedicated worker threads behind
-//! batched job channels and present one flat address space of
-//! `N × crossbars` warps.
+//! PIM chips — each a [`pim_driver::Driver`] over its own chip backend,
+//! the bit-accurate [`pim_sim::PimSimulator`] or the vectorized
+//! functional [`pim_func::FuncBackend`], selected per shard through
+//! [`ShardBackends`] — run on dedicated worker threads behind batched job
+//! channels and present one flat address space of `N × crossbars` warps.
 //!
 //! The paper (conf_micro_LeitersdorfRK24) models a *single* memory chip
 //! behind the micro-operation interface; this crate composes many of them
@@ -106,8 +107,8 @@ pub(crate) mod sched;
 
 pub use cluster::{
     fold_f32, fold_i32, ClusterOptions, ClusterStats, Combine, GatherTicket, GlobalLoc,
-    GlobalWrite, JobSet, JobTicket, PimCluster, RecoveryConfig, ShardStats, Submission,
-    TaggedBatch,
+    GlobalWrite, JobSet, JobTicket, PimCluster, RecoveryConfig, ShardBackends, ShardStats,
+    Submission, TaggedBatch,
 };
 pub use coalesce::{Coalesce, CrossingMove, MoveCoalescer};
 pub use error::{ClusterError, ErrorClass, LinkFaultKind};
@@ -115,5 +116,6 @@ pub use interconnect::{
     DrainPolicy, Interconnect, InterconnectConfig, MessageGroup, Staging, TrafficStats, WORD_BITS,
 };
 pub use pim_fault::{FaultInjector, FaultPlan, FaultProfile, FaultStats, LinkFault, WorkerFault};
+pub use pim_func::{AnyBackend, BackendKind};
 pub use pim_telemetry::{RequestId, RequestStats, Telemetry, TelemetryConfig};
 pub use plan::{MoveRoute, ShardPlan};

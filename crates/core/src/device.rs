@@ -8,8 +8,9 @@ use pim_cluster::{
     PimCluster, Submission, TaggedBatch,
 };
 use pim_driver::{Driver, ParallelismMode};
+use pim_func::{AnyBackend, BackendKind};
 use pim_isa::{DType, Instruction};
-use pim_sim::{PimSimulator, Profiler};
+use pim_sim::Profiler;
 use pim_telemetry::{MetricsSnapshot, MetricsSource, RequestStats, Telemetry};
 use std::future::Future;
 use std::pin::Pin;
@@ -19,7 +20,7 @@ use std::task::{Context, Poll};
 /// The execution engine behind a device: a single simulated chip driven
 /// in-process, or a sharded multi-chip cluster (`pim-cluster`).
 pub(crate) enum Engine {
-    Single(Box<Mutex<Driver<PimSimulator>>>),
+    Single(Box<Mutex<Driver<AnyBackend>>>),
     Cluster(Box<PimCluster>),
 }
 
@@ -169,14 +170,44 @@ impl Device {
         Device::with_mode(cfg, ParallelismMode::default())
     }
 
-    /// Creates a device with an explicit driver parallelism mode.
+    /// Creates a device with an explicit driver parallelism mode (and the
+    /// default bit-accurate backend).
     ///
     /// # Errors
     ///
     /// Returns an error if `cfg` fails validation.
     pub fn with_mode(cfg: PimConfig, mode: ParallelismMode) -> Result<Self> {
-        let sim = PimSimulator::new(cfg.clone()).map_err(pim_driver::DriverError::from)?;
-        let driver = Driver::with_mode(sim, mode);
+        Device::with_backend_mode(cfg, BackendKind::default(), mode)
+    }
+
+    /// Creates a device over an explicit execution backend: the
+    /// bit-accurate [`pim_sim::PimSimulator`]
+    /// ([`BackendKind::BitAccurate`]) or the vectorized functional
+    /// backend [`pim_func::FuncBackend`] ([`BackendKind::Functional`]).
+    /// Both execute the same micro-operation streams with identical
+    /// results and identical modeled-cycle accounting; the functional
+    /// backend trades per-gate fidelity (strict stateful-logic checking,
+    /// per-partition gate simulation) for word-level speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cfg` fails validation.
+    pub fn with_backend(cfg: PimConfig, kind: BackendKind) -> Result<Self> {
+        Device::with_backend_mode(cfg, kind, ParallelismMode::default())
+    }
+
+    /// Creates a device with explicit backend and driver parallelism mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cfg` fails validation.
+    pub fn with_backend_mode(
+        cfg: PimConfig,
+        kind: BackendKind,
+        mode: ParallelismMode,
+    ) -> Result<Self> {
+        let backend = AnyBackend::new(kind, cfg.clone()).map_err(pim_driver::DriverError::from)?;
+        let driver = Driver::with_mode(backend, mode);
         Ok(Device {
             inner: Arc::new(DeviceInner {
                 engine: Engine::Single(Box::new(Mutex::new(driver))),
@@ -242,8 +273,10 @@ impl Device {
 
     /// Creates a cluster-backed device from a full [`ClusterOptions`]
     /// bundle — the constructor that exposes crash recovery
-    /// ([`pim_cluster::RecoveryConfig`]) and deterministic fault injection
-    /// (`ClusterOptions::fault`). The options' telemetry handle is
+    /// ([`pim_cluster::RecoveryConfig`]), deterministic fault injection
+    /// (`ClusterOptions::fault`) and per-shard backend selection
+    /// (`ClusterOptions::backends`, see
+    /// [`pim_cluster::ShardBackends`]). The options' telemetry handle is
     /// replaced by the device's own (the device owns the unified
     /// modeled-clock/metrics surface).
     ///
@@ -297,24 +330,22 @@ impl Device {
     /// when cluster-backed — the cluster and interconnect counters
     /// (`cluster.*`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a cluster shard worker thread has died (see
-    /// [`Device::cluster_stats`]).
-    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived (see [`Device::cluster_stats`]).
+    pub fn metrics_snapshot(&self) -> Result<MetricsSnapshot> {
         let mut snap = self.inner.telemetry.metrics().snapshot();
         match &self.inner.engine {
             Engine::Single(d) => d.lock().backend().profiler().fill_metrics(&mut snap),
             Engine::Cluster(c) => {
-                c.stats()
-                    .expect("cluster shard worker died")
-                    .fill_metrics(&mut snap);
+                c.stats()?.fill_metrics(&mut snap);
                 if let Some(inj) = c.fault_injector() {
                     inj.fill_metrics(&mut snap);
                 }
             }
         }
-        snap
+        Ok(snap)
     }
 
     /// The device geometry (for a cluster: the aggregate geometry across
@@ -337,14 +368,16 @@ impl Device {
     /// ([`ClusterStats::traffic`]): cross-chip messages/words, modeled link
     /// cycles, barriers hit and shard queues drained.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a shard worker thread has died — zeroed telemetry would
-    /// silently misreport a broken cluster.
-    pub fn cluster_stats(&self) -> Option<ClusterStats> {
+    /// Returns the shard's failure ([`CoreError::Cluster`], classified by
+    /// [`CoreError::class`]) if a worker thread has died and could not be
+    /// revived — zeroed telemetry would silently misreport a broken
+    /// cluster.
+    pub fn cluster_stats(&self) -> Result<Option<ClusterStats>> {
         match &self.inner.engine {
-            Engine::Single(_) => None,
-            Engine::Cluster(c) => Some(c.stats().expect("cluster shard worker died")),
+            Engine::Single(_) => Ok(None),
+            Engine::Cluster(c) => Ok(Some(c.stats()?)),
         }
     }
 
@@ -397,66 +430,75 @@ impl Device {
     /// the wall-clock latency); see [`Device::cluster_stats`] for the
     /// per-shard breakdown.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a cluster shard worker thread has died (see
-    /// [`Device::cluster_stats`]).
-    pub fn profiler(&self) -> Profiler {
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived (see [`Device::cluster_stats`]).
+    pub fn profiler(&self) -> Result<Profiler> {
         match &self.inner.engine {
-            Engine::Single(d) => d.lock().backend().profiler().clone(),
-            Engine::Cluster(c) => c
-                .stats()
-                .expect("cluster shard worker died")
-                .merged_profiler(),
+            Engine::Single(d) => Ok(d.lock().backend().profiler().clone()),
+            Engine::Cluster(c) => Ok(c.stats()?.merged_profiler()),
         }
     }
 
     /// PIM cycles consumed so far.
-    pub fn cycles(&self) -> u64 {
-        self.profiler().cycles
+    ///
+    /// # Errors
+    ///
+    /// See [`profiler`](Device::profiler).
+    pub fn cycles(&self) -> Result<u64> {
+        Ok(self.profiler()?.cycles)
     }
 
     /// Resets the profiling counters, including the routine-cache hit/miss
     /// telemetry (compiled routines are kept — a fresh measurement region
     /// should not pay recompilation).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a cluster shard worker thread has died.
-    pub fn reset_profiler(&self) {
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived.
+    pub fn reset_profiler(&self) -> Result<()> {
         match &self.inner.engine {
             Engine::Single(d) => {
                 let mut d = d.lock();
                 d.backend_mut().reset_profiler();
                 d.reset_cache_stats();
+                Ok(())
             }
-            Engine::Cluster(c) => c.reset_profilers().expect("cluster shard worker died"),
+            Engine::Cluster(c) => Ok(c.reset_profilers()?),
         }
     }
 
-    /// Enables/disables the simulator's strict stateful-logic checking.
+    /// Enables/disables the backend's strict stateful-logic checking
+    /// (enforced by the bit-accurate simulator; recorded but not enforced
+    /// by the functional backend).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a cluster shard worker thread has died.
-    pub fn set_strict(&self, strict: bool) {
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived.
+    pub fn set_strict(&self, strict: bool) -> Result<()> {
         match &self.inner.engine {
-            Engine::Single(d) => d.lock().backend_mut().set_strict(strict),
-            Engine::Cluster(c) => c.set_strict(strict).expect("cluster shard worker died"),
+            Engine::Single(d) => {
+                d.lock().backend_mut().set_strict(strict);
+                Ok(())
+            }
+            Engine::Cluster(c) => Ok(c.set_strict(strict)?),
         }
     }
 
     /// Routine-cache statistics `(hits, misses)` of the host driver (for a
     /// cluster: summed over the per-shard drivers).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a cluster shard worker thread has died (see
-    /// [`Device::cluster_stats`]).
-    pub fn cache_stats(&self) -> (u64, u64) {
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived (see [`Device::cluster_stats`]).
+    pub fn cache_stats(&self) -> Result<(u64, u64)> {
         match &self.inner.engine {
-            Engine::Single(d) => d.lock().cache_stats(),
-            Engine::Cluster(c) => c.stats().expect("cluster shard worker died").cache_stats(),
+            Engine::Single(d) => Ok(d.lock().cache_stats()),
+            Engine::Cluster(c) => Ok(c.stats()?.cache_stats()),
         }
     }
 
@@ -464,30 +506,37 @@ impl Device {
     /// baseline of everything executed so far (for a cluster: summed over
     /// shards).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a cluster shard worker thread has died (see
-    /// [`Device::cluster_stats`]).
-    pub fn issued(&self) -> pim_driver::IssuedCycles {
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived (see [`Device::cluster_stats`]).
+    pub fn issued(&self) -> Result<pim_driver::IssuedCycles> {
         match &self.inner.engine {
-            Engine::Single(d) => d.lock().issued(),
-            Engine::Cluster(c) => c.stats().expect("cluster shard worker died").issued(),
+            Engine::Single(d) => Ok(d.lock().issued()),
+            Engine::Cluster(c) => Ok(c.stats()?.issued()),
         }
     }
 
     /// Resets both the simulator profiler and the driver's issued-cycle
     /// counters (the start of a measurement region).
-    pub fn reset_counters(&self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived.
+    pub fn reset_counters(&self) -> Result<()> {
         match &self.inner.engine {
             Engine::Single(d) => {
                 let mut d = d.lock();
                 d.backend_mut().reset_profiler();
                 d.reset_cache_stats();
                 d.reset_issued();
+                Ok(())
             }
             Engine::Cluster(c) => {
-                c.reset_profilers().expect("cluster shard worker died");
-                c.reset_issued().expect("cluster shard worker died");
+                c.reset_profilers()?;
+                c.reset_issued()?;
+                Ok(())
             }
         }
     }
@@ -851,10 +900,24 @@ mod tests {
     fn counters_reset_together() {
         let d = Device::new(PimConfig::small()).unwrap();
         let _ = d.full_i32(4, 3).unwrap();
-        assert!(d.cycles() > 0);
-        d.reset_counters();
-        assert_eq!(d.cycles(), 0);
-        assert_eq!(d.issued().total, 0);
+        assert!(d.cycles().unwrap() > 0);
+        d.reset_counters().unwrap();
+        assert_eq!(d.cycles().unwrap(), 0);
+        assert_eq!(d.issued().unwrap().total, 0);
+    }
+
+    #[test]
+    fn functional_backend_matches_bit_accurate() {
+        let sim = Device::new(PimConfig::small()).unwrap();
+        let func = Device::with_backend(PimConfig::small(), BackendKind::Functional).unwrap();
+        let data = [7, -3, 0, 1_000_000, -42];
+        let (a, b) = (
+            sim.from_slice_i32(&data).unwrap(),
+            func.from_slice_i32(&data).unwrap(),
+        );
+        let (sa, sb) = ((&a + &a).unwrap(), (&b + &b).unwrap());
+        assert_eq!(sa.to_vec_i32().unwrap(), sb.to_vec_i32().unwrap());
+        assert_eq!(sim.cycles().unwrap(), func.cycles().unwrap());
     }
 
     #[test]

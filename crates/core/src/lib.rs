@@ -57,8 +57,9 @@ pub use error::{CoreError, Result};
 pub use movement::{compact_with_padding, copy, materialize_like, plan_copy, shifted};
 pub use pim_cluster::{
     ClusterOptions, ErrorClass, FaultInjector, FaultPlan, FaultProfile, LinkFaultKind,
-    RecoveryConfig,
+    RecoveryConfig, ShardBackends,
 };
+pub use pim_func::BackendKind;
 pub use reduce::identity_bits;
 pub use tensor::Tensor;
 

@@ -1,0 +1,601 @@
+use pim_arch::{
+    ArchError, Backend, GateKind, HLogic, MicroOp, MoveOp, PimConfig, RangeMask, VGate,
+};
+use pim_sim::{charge_op, Profiler};
+
+/// Lane mask selecting the even row (low 32 bits) of a packed word.
+const LOW: u64 = 0x0000_0000_FFFF_FFFF;
+/// Lane mask selecting the odd row (high 32 bits) of a packed word.
+const HIGH: u64 = 0xFFFF_FFFF_0000_0000;
+
+/// Shifts gate bits from input partitions to output partitions in both
+/// packed rows at once: positive `s` moves bit `p` to bit `p + s` within
+/// each 32-bit lane. Bits that cross the lane boundary are annihilated by
+/// the caller's lane-replicated `out_bits` mask: for every output bit `q`
+/// the source partition `q - s` is in `[0, 32)` (enforced by
+/// [`HLogic::validate`]), so a bit shifted in from the *other* lane can
+/// never land on a masked output position.
+#[inline]
+fn part_shift64(x: u64, s: i32) -> u64 {
+    if s >= 0 {
+        x << s
+    } else {
+        x >> (-s)
+    }
+}
+
+/// One contiguous run of packed words plus the lane mask to apply there.
+type Span = (std::ops::Range<usize>, u64);
+
+/// Lowers a row mask into contiguous row-pair segments with constant lane
+/// masks. Dense masks produce at most three segments (odd head half-pair,
+/// full middle, even tail half-pair); step-2 masks produce one single-lane
+/// segment; other strides fall back to one segment per row.
+fn row_segments(mask: &RangeMask) -> Vec<Span> {
+    let (start, stop) = (mask.start() as usize, mask.stop() as usize);
+    let mut segs = Vec::new();
+    match mask.step() {
+        1 => {
+            let mut lo = start;
+            if lo & 1 == 1 {
+                segs.push((lo >> 1..(lo >> 1) + 1, HIGH));
+                lo += 1;
+                if lo > stop {
+                    return segs;
+                }
+            }
+            if stop & 1 == 1 {
+                segs.push((lo >> 1..(stop >> 1) + 1, u64::MAX));
+            } else {
+                if lo < stop {
+                    segs.push((lo >> 1..stop >> 1, u64::MAX));
+                }
+                segs.push((stop >> 1..(stop >> 1) + 1, LOW));
+            }
+        }
+        2 => {
+            let lane = if start & 1 == 0 { LOW } else { HIGH };
+            segs.push((start >> 1..(stop >> 1) + 1, lane));
+        }
+        _ => {
+            for row in mask.iter() {
+                let row = row as usize;
+                let lane = if row & 1 == 0 { LOW } else { HIGH };
+                segs.push((row >> 1..(row >> 1) + 1, lane));
+            }
+        }
+    }
+    segs
+}
+
+/// Expands row segments across the crossbar mask into flat word spans
+/// within one register block. A dense crossbar mask whose row segment
+/// covers every row pair collapses into a *single* span over all selected
+/// crossbars — the whole-memory fast path.
+fn flat_spans(xb_mask: &RangeMask, segs: &[Span], rph: usize) -> Vec<Span> {
+    if let (Some(xr), [(seg, lane)]) = (xb_mask.as_dense_range(), segs) {
+        if seg.start == 0 && seg.end == rph {
+            return vec![(xr.start * rph..xr.end * rph, *lane)];
+        }
+    }
+    let mut spans = Vec::with_capacity(xb_mask.len() * segs.len());
+    for xb in xb_mask.iter() {
+        let base = xb as usize * rph;
+        for (seg, lane) in segs {
+            spans.push((base + seg.start..base + seg.end, *lane));
+        }
+    }
+    spans
+}
+
+/// The vectorized functional backend: architecturally equivalent to
+/// [`pim_sim::PimSimulator`] (bit-identical reads, identical profiler
+/// totals via the shared cost model [`pim_sim::charge_op`]) but executed
+/// as plain word-level host code. See the crate docs for the design and
+/// `README.md` for what "functional" does and does not guarantee.
+#[derive(Debug)]
+pub struct FuncBackend {
+    cfg: PimConfig,
+    /// Crossbar count (hoisted from `cfg` for indexing).
+    xbs: usize,
+    /// Row pairs per crossbar: `cfg.rows.div_ceil(2)`.
+    rph: usize,
+    /// Packed cell state: `words[(reg * xbs + xb) * rph + pair]`, low
+    /// 32 bits = row `2·pair`, high 32 bits = row `2·pair + 1`.
+    words: Vec<u64>,
+    xb_mask: RangeMask,
+    row_mask: RangeMask,
+    strict: bool,
+    profiler: Profiler,
+    threads: usize,
+}
+
+/// A point-in-time copy of a functional backend's architectural state —
+/// the per-backend analog of [`pim_sim::SimSnapshot`], used by
+/// `pim-cluster` as a shard checkpoint.
+#[derive(Debug, Clone)]
+pub struct FuncSnapshot {
+    words: Vec<u64>,
+    xb_mask: RangeMask,
+    row_mask: RangeMask,
+    strict: bool,
+    profiler: Profiler,
+}
+
+impl FuncBackend {
+    /// Creates a functional backend with all cells at logical 0 and both
+    /// masks covering the whole memory. Mirrors
+    /// [`pim_sim::PimSimulator::new`]; the strict flag defaults to on for
+    /// interface parity even though no strict check executes here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if `cfg` fails validation.
+    pub fn new(cfg: PimConfig) -> Result<Self, ArchError> {
+        cfg.validate()?;
+        let xbs = cfg.crossbars;
+        let rph = cfg.rows.div_ceil(2);
+        Ok(FuncBackend {
+            xb_mask: RangeMask::dense(0, cfg.crossbars as u32).expect("validated nonzero"),
+            row_mask: RangeMask::dense(0, cfg.rows as u32).expect("validated nonzero"),
+            words: vec![0; cfg.regs * xbs * rph],
+            xbs,
+            rph,
+            cfg,
+            strict: true,
+            profiler: Profiler::new(),
+            threads: 1,
+        })
+    }
+
+    /// Stores the strict flag for interface parity with the simulator.
+    /// The functional backend performs **no** stateful-logic discipline
+    /// checking; validate routines against the bit-accurate simulator.
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// The stored strict flag (not enforced; see [`set_strict`]).
+    ///
+    /// [`set_strict`]: FuncBackend::set_strict
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Stores a worker-thread preference for interface parity. Execution
+    /// is always single-threaded — the word-level kernels saturate memory
+    /// bandwidth without fan-out. Values clamp to at least 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The stored thread count (execution is single-threaded regardless).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The profiling counters accumulated so far.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Resets the profiling counters.
+    pub fn reset_profiler(&mut self) {
+        self.profiler.reset();
+    }
+
+    /// Charges `cycles` modeled cycles without executing anything (fault
+    /// injection models a stalled shard this way).
+    pub fn stall(&mut self, cycles: u64) {
+        self.profiler.cycles += cycles;
+    }
+
+    /// Direct state inspection for tests and debugging: the word at
+    /// `(crossbar, row, reg)`. Bypasses the micro-operation interface.
+    pub fn peek(&self, xb: usize, row: usize, reg: usize) -> u32 {
+        (self.words[self.widx(reg, xb, row >> 1)] >> ((row & 1) * 32)) as u32
+    }
+
+    /// Direct state mutation for tests and debugging; see [`peek`].
+    ///
+    /// [`peek`]: FuncBackend::peek
+    pub fn poke(&mut self, xb: usize, row: usize, reg: usize, value: u32) {
+        let i = self.widx(reg, xb, row >> 1);
+        let shift = (row & 1) * 32;
+        let lane = 0xFFFF_FFFFu64 << shift;
+        self.words[i] = (self.words[i] & !lane) | ((value as u64) << shift);
+    }
+
+    /// Captures the complete architectural state as a [`FuncSnapshot`].
+    /// The thread preference is host policy and is not captured.
+    pub fn snapshot(&self) -> FuncSnapshot {
+        FuncSnapshot {
+            words: self.words.clone(),
+            xb_mask: self.xb_mask,
+            row_mask: self.row_mask,
+            strict: self.strict,
+            profiler: self.profiler.clone(),
+        }
+    }
+
+    /// Restores the state captured by [`snapshot`](FuncBackend::snapshot).
+    /// The snapshot must come from a backend with the same geometry.
+    pub fn restore(&mut self, snap: &FuncSnapshot) {
+        debug_assert_eq!(
+            snap.words.len(),
+            self.words.len(),
+            "snapshot geometry mismatch"
+        );
+        self.words.clone_from(&snap.words);
+        self.xb_mask = snap.xb_mask;
+        self.row_mask = snap.row_mask;
+        self.strict = snap.strict;
+        self.profiler = snap.profiler.clone();
+    }
+
+    #[inline]
+    fn widx(&self, reg: usize, xb: usize, pair: usize) -> usize {
+        (reg * self.xbs + xb) * self.rph + pair
+    }
+
+    /// The contiguous packed block of one register (all crossbars).
+    #[inline]
+    fn block_mut(&mut self, reg: usize) -> &mut [u64] {
+        let block = self.xbs * self.rph;
+        &mut self.words[reg * block..(reg + 1) * block]
+    }
+
+    /// The mutable output block plus the shared input blocks for a fused
+    /// gate kernel. An input equal to `out` comes back as `None` — the
+    /// kernel then reads the output word itself, which is exactly the
+    /// pre-gate value because each word is read before it is written
+    /// (same aliasing contract as the bit-accurate crossbar kernels).
+    #[allow(clippy::type_complexity)]
+    fn out_and_inputs(
+        &mut self,
+        out: usize,
+        a: usize,
+        b: usize,
+    ) -> (&mut [u64], Option<&[u64]>, Option<&[u64]>) {
+        let block = self.xbs * self.rph;
+        let mut dst: Option<&mut [u64]> = None;
+        let mut col_a: Option<&[u64]> = None;
+        let mut col_b: Option<&[u64]> = None;
+        for (i, chunk) in self.words.chunks_exact_mut(block).enumerate() {
+            if i == out {
+                dst = Some(chunk);
+            } else if i == a || i == b {
+                let shared: &[u64] = chunk;
+                if i == a {
+                    col_a = Some(shared);
+                }
+                if i == b {
+                    col_b = Some(shared);
+                }
+            }
+        }
+        let dst = dst.expect("output register validated in bounds");
+        (
+            dst,
+            if a == out { None } else { col_a },
+            if b == out { None } else { col_b },
+        )
+    }
+
+    /// Applies a horizontal stateful-logic operation under the stored
+    /// masks — the word-level gate evaluation over packed row pairs.
+    fn apply_hlogic(&mut self, op: &HLogic) {
+        let bits = op.out_bits() as u64;
+        let bits64 = bits << 32 | bits;
+        let (sa, sb) = (op.shift_a(), op.shift_b());
+        let out = op.out.offset as usize;
+        let a = op.in_a.offset as usize;
+        let b = op.in_b.offset as usize;
+        let spans = flat_spans(&self.xb_mask, &row_segments(&self.row_mask), self.rph);
+        match op.gate {
+            GateKind::Init0 => {
+                let dst = self.block_mut(out);
+                for (r, lane) in &spans {
+                    let m = bits64 & lane;
+                    for w in &mut dst[r.clone()] {
+                        *w &= !m;
+                    }
+                }
+            }
+            GateKind::Init1 => {
+                let dst = self.block_mut(out);
+                for (r, lane) in &spans {
+                    let m = bits64 & lane;
+                    for w in &mut dst[r.clone()] {
+                        *w |= m;
+                    }
+                }
+            }
+            GateKind::Not => {
+                let (dst, col_a, _) = self.out_and_inputs(out, a, a);
+                for (r, lane) in &spans {
+                    let m = bits64 & lane;
+                    match col_a {
+                        Some(av) => {
+                            for (d, &x) in dst[r.clone()].iter_mut().zip(&av[r.clone()]) {
+                                *d &= !(part_shift64(x, sa) & m);
+                            }
+                        }
+                        None => {
+                            for d in dst[r.clone()].iter_mut() {
+                                *d &= !(part_shift64(*d, sa) & m);
+                            }
+                        }
+                    }
+                }
+            }
+            GateKind::Nor => {
+                let (dst, col_a, col_b) = self.out_and_inputs(out, a, b);
+                for (r, lane) in &spans {
+                    let m = bits64 & lane;
+                    match (col_a, col_b) {
+                        (Some(av), Some(bv)) => {
+                            let (av, bv) = (&av[r.clone()], &bv[r.clone()]);
+                            for ((d, &x), &y) in dst[r.clone()].iter_mut().zip(av).zip(bv) {
+                                *d &= !((part_shift64(x, sa) | part_shift64(y, sb)) & m);
+                            }
+                        }
+                        (None, Some(bv)) => {
+                            for (d, &y) in dst[r.clone()].iter_mut().zip(&bv[r.clone()]) {
+                                *d &= !((part_shift64(*d, sa) | part_shift64(y, sb)) & m);
+                            }
+                        }
+                        (Some(av), None) => {
+                            for (d, &x) in dst[r.clone()].iter_mut().zip(&av[r.clone()]) {
+                                *d &= !((part_shift64(x, sa) | part_shift64(*d, sb)) & m);
+                            }
+                        }
+                        (None, None) => {
+                            for d in dst[r.clone()].iter_mut() {
+                                *d &= !((part_shift64(*d, sa) | part_shift64(*d, sb)) & m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes `value` to one register of every masked row of every masked
+    /// crossbar (memory write semantics).
+    fn apply_write(&mut self, reg: usize, value: u32) {
+        let packed = (value as u64) << 32 | value as u64;
+        let spans = flat_spans(&self.xb_mask, &row_segments(&self.row_mask), self.rph);
+        let dst = self.block_mut(reg);
+        for (r, lane) in &spans {
+            if *lane == u64::MAX {
+                dst[r.clone()].fill(packed);
+            } else {
+                for w in &mut dst[r.clone()] {
+                    *w = (*w & !lane) | (packed & lane);
+                }
+            }
+        }
+    }
+
+    /// Applies a vertical gate between two rows of every masked crossbar.
+    /// No strict check runs (see [`set_strict`](FuncBackend::set_strict)).
+    fn apply_vlogic(&mut self, gate: VGate, row_in: usize, row_out: usize, reg: usize) {
+        let mask = self.xb_mask;
+        for xb in mask.iter() {
+            let xb = xb as usize;
+            match gate {
+                VGate::Init0 => self.poke(xb, row_out, reg, 0),
+                VGate::Init1 => self.poke(xb, row_out, reg, u32::MAX),
+                VGate::Not => {
+                    let src = self.peek(xb, row_in, reg);
+                    let dst = self.peek(xb, row_out, reg);
+                    self.poke(xb, row_out, reg, dst & !src);
+                }
+            }
+        }
+    }
+
+    /// Distributed move: gather all source words, then scatter — sources
+    /// and destinations are disjoint (H-tree rules), and the two-phase
+    /// form matches the simulator exactly.
+    fn apply_move(&mut self, mv: &MoveOp) {
+        let transfers: Vec<(usize, u32)> = self
+            .xb_mask
+            .iter()
+            .map(|src| {
+                let value = self.peek(src as usize, mv.row_src as usize, mv.index_src as usize);
+                ((src as i64 + mv.dist as i64) as usize, value)
+            })
+            .collect();
+        for (dst, value) in transfers {
+            self.poke(dst, mv.row_dst as usize, mv.index_dst as usize, value);
+        }
+    }
+
+    fn read_word(&self, index: u8) -> Result<u32, ArchError> {
+        if !self.xb_mask.is_single() || !self.row_mask.is_single() {
+            return Err(ArchError::Protocol {
+                reason: format!(
+                    "read requires masks selecting a single row of a single crossbar \
+                     (crossbar mask selects {}, row mask selects {})",
+                    self.xb_mask.len(),
+                    self.row_mask.len()
+                ),
+            });
+        }
+        Ok(self.peek(
+            self.xb_mask.start() as usize,
+            self.row_mask.start() as usize,
+            index as usize,
+        ))
+    }
+
+    /// Applies one validated, charged, non-read operation. Infallible:
+    /// bounds were validated and moves were planned during accounting, and
+    /// no strict discipline check runs here.
+    fn apply(&mut self, op: &MicroOp) {
+        match op {
+            MicroOp::XbMask(m) => self.xb_mask = *m,
+            MicroOp::RowMask(m) => self.row_mask = *m,
+            MicroOp::Write { index, value } => self.apply_write(*index as usize, *value),
+            MicroOp::LogicH(l) => self.apply_hlogic(l),
+            MicroOp::LogicV {
+                gate,
+                row_in,
+                row_out,
+                index,
+            } => self.apply_vlogic(*gate, *row_in as usize, *row_out as usize, *index as usize),
+            MicroOp::Move(mv) => self.apply_move(mv),
+            MicroOp::Read { .. } => unreachable!("reads are handled by the dispatcher"),
+        }
+    }
+
+    /// Whether the stored masks select the entire memory (every crossbar,
+    /// every row) — the condition under which a whole-register store fully
+    /// defines the register for dead-store elimination.
+    fn masks_full(&self) -> bool {
+        let full =
+            |m: &RangeMask, n: usize| m.start() == 0 && m.step() == 1 && m.stop() as usize == n - 1;
+        full(&self.xb_mask, self.cfg.crossbars) && full(&self.row_mask, self.cfg.rows)
+    }
+}
+
+/// The backward dead-store walk over a validated batch. `full[i]` tells
+/// whether op `i` ran under whole-memory masks. An operation is elided
+/// when its only effect is a store to a register that is completely
+/// overwritten later in the batch before any read; accounting already
+/// covered the full stream, so elision changes no modeled cycle.
+fn plan_elisions(ops: &[MicroOp], full: &[bool], regs: usize) -> Vec<bool> {
+    let mut elide = vec![false; ops.len()];
+    // dead[r]: every bit of register r (all crossbars/rows) is overwritten
+    // later in the batch before any operation reads it.
+    let mut dead = vec![false; regs];
+    for i in (0..ops.len()).rev() {
+        match &ops[i] {
+            MicroOp::XbMask(_) | MicroOp::RowMask(_) => {}
+            MicroOp::Write { index, .. } => {
+                let r = *index as usize;
+                if dead[r] {
+                    elide[i] = true;
+                } else if full[i] {
+                    dead[r] = true;
+                }
+            }
+            MicroOp::LogicH(l) => {
+                let out = l.out.offset as usize;
+                if dead[out] {
+                    elide[i] = true;
+                    continue;
+                }
+                match l.gate {
+                    GateKind::Init0 | GateKind::Init1 => {
+                        if full[i] && l.out_bits() == u32::MAX {
+                            dead[out] = true;
+                        }
+                    }
+                    GateKind::Not => dead[l.in_a.offset as usize] = false,
+                    GateKind::Nor => {
+                        dead[l.in_a.offset as usize] = false;
+                        dead[l.in_b.offset as usize] = false;
+                    }
+                }
+            }
+            MicroOp::LogicV { index, .. } => {
+                // Writes one row (and NOT reads the same register); a
+                // single-row store never fully defines the register.
+                if dead[*index as usize] {
+                    elide[i] = true;
+                }
+            }
+            MicroOp::Move(mv) => {
+                // Reads the source register; writes one row of the
+                // destination register (partial — does not define it).
+                dead[mv.index_src as usize] = false;
+                dead[mv.index_dst as usize] = false;
+            }
+            MicroOp::Read { .. } => unreachable!("reads rejected before execution"),
+        }
+    }
+    elide
+}
+
+impl Backend for FuncBackend {
+    fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    fn execute(&mut self, op: &MicroOp) -> Result<Option<u32>, ArchError> {
+        op.validate(&self.cfg)?;
+        charge_op(
+            &mut self.profiler,
+            op,
+            &self.xb_mask,
+            &self.row_mask,
+            &self.cfg,
+        )?;
+        if let MicroOp::Read { index } = op {
+            return self.read_word(*index).map(Some);
+        }
+        self.apply(op);
+        Ok(None)
+    }
+
+    fn execute_batch(&mut self, ops: &[MicroOp]) -> Result<(), ArchError> {
+        // Validate and charge the full stream first, tracking the evolving
+        // mask state and recording whether each op saw whole-memory masks.
+        // On any rejection the masks and profiler roll back, so a failed
+        // batch leaves the backend exactly as it was.
+        let (xb_mask0, row_mask0) = (self.xb_mask, self.row_mask);
+        let profiler0 = self.profiler.clone();
+        let mut full = Vec::with_capacity(ops.len());
+        let mut failed = None;
+        for op in ops {
+            if matches!(op, MicroOp::Read { .. }) {
+                failed = Some(ArchError::Protocol {
+                    reason: "read operations cannot be batched".into(),
+                });
+                break;
+            }
+            if let Err(e) = op.validate(&self.cfg) {
+                failed = Some(e);
+                break;
+            }
+            full.push(self.masks_full());
+            if let Err(e) = charge_op(
+                &mut self.profiler,
+                op,
+                &self.xb_mask,
+                &self.row_mask,
+                &self.cfg,
+            ) {
+                failed = Some(e);
+                break;
+            }
+            match op {
+                MicroOp::XbMask(m) => self.xb_mask = *m,
+                MicroOp::RowMask(m) => self.row_mask = *m,
+                _ => {}
+            }
+        }
+        self.xb_mask = xb_mask0;
+        self.row_mask = row_mask0;
+        if let Some(e) = failed {
+            self.profiler = profiler0;
+            return Err(e);
+        }
+
+        // Execute with dead stores elided. Mask updates always replay so
+        // the final mask state matches op-by-op execution.
+        let elide = plan_elisions(ops, &full, self.cfg.regs);
+        for (op, &skip) in ops.iter().zip(&elide) {
+            match op {
+                MicroOp::XbMask(m) => self.xb_mask = *m,
+                MicroOp::RowMask(m) => self.row_mask = *m,
+                _ if !skip => self.apply(op),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}

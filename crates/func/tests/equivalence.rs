@@ -1,0 +1,376 @@
+//! Differential oracle: the functional backend must produce bit-identical
+//! architectural state and identical profiling counters to the
+//! bit-accurate simulator for the same micro-operation stream — both
+//! op-by-op and batched (where dead-store elimination runs).
+
+use pim_arch::{Backend, ColAddr, GateKind, HLogic, MicroOp, MoveOp, PimConfig, RangeMask, VGate};
+use pim_func::{AnyBackend, BackendKind, FuncBackend};
+use pim_sim::PimSimulator;
+use proptest::prelude::*;
+
+fn assert_same_state(sim: &PimSimulator, func: &FuncBackend, cfg: &PimConfig) {
+    for xb in 0..cfg.crossbars {
+        for row in 0..cfg.rows {
+            for reg in 0..cfg.regs {
+                assert_eq!(
+                    sim.peek(xb, row, reg),
+                    func.peek(xb, row, reg),
+                    "cell mismatch at xb {xb} row {row} reg {reg}"
+                );
+            }
+        }
+    }
+    let (sp, fp) = (sim.profiler(), func.profiler());
+    assert_eq!(sp.cycles, fp.cycles, "modeled cycles diverge");
+    assert_eq!(sp.ops, fp.ops, "per-type op counts diverge");
+    assert_eq!(sp.gates, fp.gates, "gate counts diverge");
+    assert_eq!(sp.row_gates, fp.row_gates, "row-gate counts diverge");
+    assert_eq!(sp.move_pairs, fp.move_pairs, "move pairs diverge");
+    assert_eq!(sp.max_move_level, fp.max_move_level, "move levels diverge");
+}
+
+/// Same generator shape as the simulator's own batch-equals-serial fuzz:
+/// seeds map onto (possibly invalid) operations, invalid ones are skipped.
+fn arbitrary_op(cfg: &PimConfig, seed: (u8, u8, u8, u8, u8, u8, u8)) -> Option<MicroOp> {
+    let (kind, a, b, c, d, e, f) = seed;
+    let regs = cfg.regs as u8;
+    let rows = cfg.rows as u32;
+    let xbs = cfg.crossbars as u32;
+    Some(match kind % 5 {
+        0 => MicroOp::XbMask(
+            RangeMask::strided(a as u32 % xbs, 1 + b as u32 % 3, 1 + c as u32 % 2)
+                .ok()
+                .filter(|m| m.stop() < xbs)?,
+        ),
+        1 => MicroOp::RowMask(
+            RangeMask::strided(a as u32 % rows, 1 + b as u32 % 4, 1 + c as u32 % 3)
+                .ok()
+                .filter(|m| m.stop() < rows)?,
+        ),
+        2 => MicroOp::Write {
+            index: a % regs,
+            value: u32::from_le_bytes([b, c, d, e]),
+        },
+        3 => MicroOp::LogicH(
+            HLogic::strided(
+                [
+                    GateKind::Init0,
+                    GateKind::Init1,
+                    GateKind::Not,
+                    GateKind::Nor,
+                ][f as usize % 4],
+                ColAddr::new(a % 8, b % regs),
+                ColAddr::new(a % 8 + c % 4, d % regs),
+                ColAddr::new(a % 8 + e % 4, f % regs),
+                (a % 8 + e % 4) + (c % 3) * 8,
+                8,
+                cfg,
+            )
+            .ok()?,
+        ),
+        _ => MicroOp::LogicV {
+            gate: [VGate::Init0, VGate::Init1, VGate::Not][a as usize % 3],
+            row_in: b as u32 % rows,
+            row_out: c as u32 % rows,
+            index: d % regs,
+        },
+    })
+}
+
+/// Interleaves single-source moves (with their mask) into a stream so the
+/// distributed path is exercised under valid H-tree patterns.
+fn with_moves(cfg: &PimConfig, ops: &mut Vec<MicroOp>, seeds: &[(u8, u8, u8, u8)]) {
+    let xbs = cfg.crossbars as u32;
+    let rows = cfg.rows as u32;
+    let regs = cfg.regs as u8;
+    // Positions are computed against the base stream and spliced in
+    // descending order so every mask+move pair stays adjacent — a later
+    // insertion can never change the mask a move executes under.
+    let mut pairs: Vec<(usize, [MicroOp; 2])> = seeds
+        .iter()
+        .filter_map(|&(a, b, c, d)| {
+            let src = a as u32 % xbs;
+            let dst = b as u32 % xbs;
+            if src == dst {
+                return None;
+            }
+            let at = (a as usize * 31 + b as usize) % (ops.len() + 1);
+            Some((
+                at,
+                [
+                    MicroOp::XbMask(RangeMask::single(src)),
+                    MicroOp::Move(MoveOp {
+                        dist: dst as i32 - src as i32,
+                        row_src: c as u32 % rows,
+                        row_dst: d as u32 % rows,
+                        index_src: c % regs,
+                        index_dst: d % regs,
+                    }),
+                ],
+            ))
+        })
+        .collect();
+    pairs.sort_by_key(|p| std::cmp::Reverse(p.0));
+    for (at, pair) in pairs {
+        ops.splice(at..at, pair);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Op-by-op execution: every read-back and every profiler counter of
+    /// the functional backend matches the bit-accurate simulator.
+    #[test]
+    fn serial_matches_simulator(
+        seeds in proptest::collection::vec(any::<(u8, u8, u8, u8, u8, u8, u8)>(), 1..48),
+        move_seeds in proptest::collection::vec(any::<(u8, u8, u8, u8)>(), 0..4),
+    ) {
+        let cfg = PimConfig::small().with_crossbars(32).with_rows(16);
+        let mut ops: Vec<MicroOp> =
+            seeds.iter().filter_map(|&s| arbitrary_op(&cfg, s)).collect();
+        with_moves(&cfg, &mut ops, &move_seeds);
+        prop_assume!(!ops.is_empty());
+        let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+        let mut func = FuncBackend::new(cfg.clone()).unwrap();
+        sim.set_strict(false); // random gates may hit uninitialized cells
+        for op in &ops {
+            let s = sim.execute(op);
+            let f = func.execute(op);
+            prop_assert_eq!(s.is_ok(), f.is_ok(), "acceptance diverges on {:?}", op);
+            if let (Ok(sv), Ok(fv)) = (s, f) {
+                prop_assert_eq!(sv, fv, "read value diverges on {:?}", op);
+            }
+        }
+        assert_same_state(&sim, &func, &cfg);
+    }
+
+    /// Batched execution (dead-store elimination active) leaves identical
+    /// state and identical modeled cycles to the simulator's batch path.
+    #[test]
+    fn batch_matches_simulator(
+        seeds in proptest::collection::vec(any::<(u8, u8, u8, u8, u8, u8, u8)>(), 1..48),
+        move_seeds in proptest::collection::vec(any::<(u8, u8, u8, u8)>(), 0..4),
+    ) {
+        let cfg = PimConfig::small().with_crossbars(32).with_rows(16);
+        let mut ops: Vec<MicroOp> =
+            seeds.iter().filter_map(|&s| arbitrary_op(&cfg, s)).collect();
+        with_moves(&cfg, &mut ops, &move_seeds);
+        prop_assume!(!ops.is_empty());
+        let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+        let mut func = FuncBackend::new(cfg.clone()).unwrap();
+        sim.set_strict(false);
+        sim.execute_batch(&ops).unwrap();
+        func.execute_batch(&ops).unwrap();
+        assert_same_state(&sim, &func, &cfg);
+        // Masks evolved identically: a follow-up write lands on the same
+        // cells in both backends.
+        sim.execute(&MicroOp::Write { index: 0, value: 0xA5A5_5A5A }).unwrap();
+        func.execute(&MicroOp::Write { index: 0, value: 0xA5A5_5A5A }).unwrap();
+        assert_same_state(&sim, &func, &cfg);
+    }
+
+    /// Satellite: modeled-cycle accounting on randomized routine-shaped
+    /// mixes (init-gate-heavy streams like driver arithmetic emits, where
+    /// most stores are eliminated) still matches the simulator's profiler
+    /// exactly — elision must never change a charge.
+    #[test]
+    fn elided_batches_charge_identical_cycles(
+        regs in proptest::collection::vec(0u8..8, 1..24),
+        rounds in 1usize..6,
+    ) {
+        let cfg = PimConfig::small().with_crossbars(16).with_rows(32);
+        let mut ops = Vec::new();
+        for _ in 0..rounds {
+            for &r in &regs {
+                ops.push(MicroOp::LogicH(HLogic::init_reg(true, r, &cfg).unwrap()));
+                ops.push(MicroOp::LogicH(
+                    HLogic::parallel(GateKind::Nor, (r + 1) % 8, (r + 2) % 8, r, &cfg).unwrap(),
+                ));
+            }
+        }
+        let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+        let mut func = FuncBackend::new(cfg.clone()).unwrap();
+        sim.execute_batch(&ops).unwrap();
+        func.execute_batch(&ops).unwrap();
+        assert_same_state(&sim, &func, &cfg);
+    }
+}
+
+#[test]
+fn dead_store_elimination_preserves_final_state() {
+    // 256 redundant init+nor rounds into one register: only the last
+    // round's effect is observable, and cycles still count all 512 ops.
+    let cfg = PimConfig::small();
+    let mut ops = Vec::new();
+    for _ in 0..256 {
+        ops.push(MicroOp::LogicH(HLogic::init_reg(true, 2, &cfg).unwrap()));
+        ops.push(MicroOp::LogicH(
+            HLogic::parallel(GateKind::Nor, 0, 1, 2, &cfg).unwrap(),
+        ));
+    }
+    let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+    let mut func = FuncBackend::new(cfg.clone()).unwrap();
+    sim.execute_batch(&ops).unwrap();
+    func.execute_batch(&ops).unwrap();
+    assert_same_state(&sim, &func, &cfg);
+    assert_eq!(func.profiler().cycles, 512);
+    // Registers 0 and 1 are zero, so NOR leaves all ones.
+    assert_eq!(func.peek(0, 0, 2), u32::MAX);
+}
+
+#[test]
+fn partial_masks_block_elision() {
+    // A full-memory init after a narrow write must NOT elide the write:
+    // the init is full (kills it), but reversed — the narrow write comes
+    // *after* the init here, so both must execute.
+    let cfg = PimConfig::small();
+    let ops = vec![
+        MicroOp::LogicH(HLogic::init_reg(false, 3, &cfg).unwrap()),
+        MicroOp::XbMask(RangeMask::single(1)),
+        MicroOp::RowMask(RangeMask::single(5)),
+        MicroOp::Write {
+            index: 3,
+            value: 0xDEAD_BEEF,
+        },
+    ];
+    let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+    let mut func = FuncBackend::new(cfg.clone()).unwrap();
+    sim.execute_batch(&ops).unwrap();
+    func.execute_batch(&ops).unwrap();
+    assert_same_state(&sim, &func, &cfg);
+    assert_eq!(func.peek(1, 5, 3), 0xDEAD_BEEF);
+    assert_eq!(func.peek(0, 5, 3), 0);
+}
+
+#[test]
+fn failed_batch_rolls_back() {
+    let cfg = PimConfig::small();
+    let mut func = FuncBackend::new(cfg.clone()).unwrap();
+    let cycles0 = func.profiler().cycles;
+    let err = func
+        .execute_batch(&[
+            MicroOp::XbMask(RangeMask::single(2)),
+            MicroOp::Write {
+                index: 99,
+                value: 0,
+            },
+        ])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        pim_arch::ArchError::AddressOutOfBounds { .. }
+    ));
+    assert_eq!(func.profiler().cycles, cycles0);
+    // Masks still cover the whole memory.
+    func.execute(&MicroOp::Write { index: 0, value: 7 })
+        .unwrap();
+    assert_eq!(func.peek(0, 0, 0), 7);
+    assert_eq!(func.peek(15, 63, 0), 7);
+}
+
+#[test]
+fn batch_rejects_reads_before_executing() {
+    let cfg = PimConfig::small();
+    let mut func = FuncBackend::new(cfg).unwrap();
+    let err = func
+        .execute_batch(&[
+            MicroOp::Write {
+                index: 0,
+                value: 0xFFFF_FFFF,
+            },
+            MicroOp::Read { index: 0 },
+        ])
+        .unwrap_err();
+    assert!(matches!(err, pim_arch::ArchError::Protocol { .. }));
+    // Nothing from the batch ran.
+    assert_eq!(func.peek(0, 0, 0), 0);
+}
+
+#[test]
+fn read_requires_single_masks() {
+    let cfg = PimConfig::small();
+    let mut func = FuncBackend::new(cfg).unwrap();
+    let err = func.execute(&MicroOp::Read { index: 0 }).unwrap_err();
+    assert!(matches!(err, pim_arch::ArchError::Protocol { .. }));
+}
+
+#[test]
+fn snapshot_restore_roundtrip() {
+    let cfg = PimConfig::small();
+    let mut func = FuncBackend::new(cfg.clone()).unwrap();
+    func.execute(&MicroOp::Write {
+        index: 4,
+        value: 0x1234_5678,
+    })
+    .unwrap();
+    let snap = func.snapshot();
+    func.execute(&MicroOp::Write { index: 4, value: 0 })
+        .unwrap();
+    assert_eq!(func.peek(3, 9, 4), 0);
+    func.restore(&snap);
+    assert_eq!(func.peek(3, 9, 4), 0x1234_5678);
+    assert_eq!(func.profiler().ops.write, 1);
+}
+
+#[test]
+fn any_backend_selects_and_snapshots() {
+    let cfg = PimConfig::small();
+    let mut any = AnyBackend::new(BackendKind::Functional, cfg.clone()).unwrap();
+    assert_eq!(any.kind(), BackendKind::Functional);
+    assert_eq!(any.kind().name(), "func");
+    any.execute(&MicroOp::Write {
+        index: 1,
+        value: 0xCAFE,
+    })
+    .unwrap();
+    let snap = any.snapshot();
+    any.poke(0, 0, 1, 0);
+    any.restore(&snap);
+    assert_eq!(any.peek(0, 0, 1), 0xCAFE);
+
+    let sim = AnyBackend::new(BackendKind::BitAccurate, cfg).unwrap();
+    assert_eq!(sim.kind(), BackendKind::BitAccurate);
+    assert_eq!(BackendKind::default(), BackendKind::BitAccurate);
+}
+
+#[test]
+#[should_panic(expected = "snapshot kind mismatch")]
+fn mismatched_snapshot_kind_panics() {
+    let cfg = PimConfig::small();
+    let mut sim = AnyBackend::new(BackendKind::BitAccurate, cfg.clone()).unwrap();
+    let func = AnyBackend::new(BackendKind::Functional, cfg).unwrap();
+    sim.restore(&func.snapshot());
+}
+
+#[test]
+fn odd_head_and_tail_row_segments_match() {
+    // Row masks that start/stop on odd boundaries exercise the half-pair
+    // segment lowering.
+    let cfg = PimConfig::small();
+    for (start, stop, step) in [
+        (1, 9, 1),
+        (1, 1, 1),
+        (2, 2, 1),
+        (1, 9, 2),
+        (0, 8, 2),
+        (3, 9, 3),
+    ] {
+        let mask = RangeMask::new(start, stop, step).unwrap();
+        let ops = vec![
+            MicroOp::RowMask(mask),
+            MicroOp::Write {
+                index: 2,
+                value: 0x5A5A_A5A5,
+            },
+            MicroOp::LogicH(HLogic::init_reg(true, 1, &cfg).unwrap()),
+        ];
+        let mut sim = PimSimulator::new(cfg.clone()).unwrap();
+        let mut func = FuncBackend::new(cfg.clone()).unwrap();
+        for op in &ops {
+            sim.execute(op).unwrap();
+            func.execute(op).unwrap();
+        }
+        assert_same_state(&sim, &func, &cfg);
+    }
+}

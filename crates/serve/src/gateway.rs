@@ -772,10 +772,15 @@ impl Gateway {
     /// including the queue-wait/group-size histograms), the cluster and
     /// interconnect counters (`cluster.*`), and the simulator profiler
     /// (`sim.*`).
-    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let mut snap = self.inner.dev.metrics_snapshot();
+    ///
+    /// # Errors
+    ///
+    /// Returns the shard's failure if a cluster shard worker thread has
+    /// died and could not be revived.
+    pub fn metrics_snapshot(&self) -> Result<MetricsSnapshot> {
+        let mut snap = self.inner.dev.metrics_snapshot()?;
         self.stats().fill_metrics(&mut snap);
-        snap
+        Ok(snap)
     }
 
     /// Per-session attribution rollup: `(session, requests, stats)` with

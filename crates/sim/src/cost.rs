@@ -1,0 +1,116 @@
+//! The shared micro-operation cost model.
+//!
+//! Every backend — the bit-accurate [`PimSimulator`](crate::PimSimulator)
+//! and the vectorized functional backend (`pim-func`) — charges modeled
+//! cycles through this one function, so `Profiler` totals, telemetry
+//! attribution and deadline semantics are identical regardless of how the
+//! data movement is actually computed on the host.
+//!
+//! Under the microarchitectural model every micro-operation occupies one
+//! PIM clock cycle, except distributed moves whose transfers share H-tree
+//! links (those serialize; see [`pim_arch::htree::plan_move`]).
+
+use crate::Profiler;
+use pim_arch::{htree, ArchError, MicroOp, PimConfig, RangeMask};
+
+/// Charges one micro-operation to `p` given the mask state in effect,
+/// returning the operation's cycle cost.
+///
+/// Gate counters: a horizontal logic op fires `gate_count()` gate
+/// instances per selected row per selected crossbar; a vertical logic op
+/// fires one per selected crossbar. A distributed move is validated
+/// against the H-tree pattern rules as a side effect.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidMove`] when a move violates the H-tree
+/// rules (nothing is charged in that case).
+pub fn charge_op(
+    p: &mut Profiler,
+    op: &MicroOp,
+    xb_mask: &RangeMask,
+    row_mask: &RangeMask,
+    cfg: &PimConfig,
+) -> Result<u64, ArchError> {
+    let cycles = match op {
+        MicroOp::XbMask(_) => {
+            p.ops.xb_mask += 1;
+            1
+        }
+        MicroOp::RowMask(_) => {
+            p.ops.row_mask += 1;
+            1
+        }
+        MicroOp::Write { .. } => {
+            p.ops.write += 1;
+            1
+        }
+        MicroOp::Read { .. } => {
+            p.ops.read += 1;
+            1
+        }
+        MicroOp::LogicH(l) => {
+            p.ops.logic_h += 1;
+            p.gates += l.gate_count();
+            p.row_gates += l.gate_count() * row_mask.len() as u64 * xb_mask.len() as u64;
+            1
+        }
+        MicroOp::LogicV { .. } => {
+            p.ops.logic_v += 1;
+            p.gates += 1;
+            p.row_gates += xb_mask.len() as u64;
+            1
+        }
+        MicroOp::Move(mv) => {
+            let plan = htree::plan_move(xb_mask, mv, cfg)?;
+            p.ops.mv += 1;
+            p.move_pairs += plan.pairs;
+            p.max_move_level = p.max_move_level.max(plan.tree_level);
+            plan.cycles
+        }
+    };
+    p.cycles += cycles;
+    Ok(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::{GateKind, HLogic};
+
+    #[test]
+    fn charges_match_op_types() {
+        let cfg = PimConfig::small();
+        let xb = RangeMask::dense(0, cfg.crossbars as u32).unwrap();
+        let rows = RangeMask::dense(0, cfg.rows as u32).unwrap();
+        let mut p = Profiler::new();
+        let gate = HLogic::parallel(GateKind::Nor, 0, 1, 2, &cfg).unwrap();
+        let c = charge_op(&mut p, &MicroOp::LogicH(gate.clone()), &xb, &rows, &cfg).unwrap();
+        assert_eq!(c, 1);
+        assert_eq!(p.ops.logic_h, 1);
+        assert_eq!(p.gates, gate.gate_count());
+        assert_eq!(
+            p.row_gates,
+            gate.gate_count() * rows.len() as u64 * xb.len() as u64
+        );
+        assert_eq!(p.cycles, 1);
+    }
+
+    #[test]
+    fn invalid_move_charges_nothing() {
+        let cfg = PimConfig::small();
+        let xb = RangeMask::single(0);
+        let rows = RangeMask::dense(0, cfg.rows as u32).unwrap();
+        let mut p = Profiler::new();
+        let mv = pim_arch::MoveOp {
+            dist: 0,
+            row_src: 0,
+            row_dst: 0,
+            index_src: 0,
+            index_dst: 0,
+        };
+        assert!(charge_op(&mut p, &MicroOp::Move(mv), &xb, &rows, &cfg).is_err());
+        assert_eq!(p.cycles, 0);
+        assert_eq!(p.ops.mv, 0);
+    }
+}

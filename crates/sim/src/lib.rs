@@ -52,10 +52,12 @@
 //! # Ok::<(), pim_arch::ArchError>(())
 //! ```
 
+mod cost;
 mod crossbar;
 mod profiler;
 mod simulator;
 
+pub use cost::charge_op;
 pub use crossbar::Crossbar;
 pub use profiler::{OpTypeCounts, Profiler};
 pub use simulator::{PimSimulator, SimSnapshot};

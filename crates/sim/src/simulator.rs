@@ -1,5 +1,5 @@
 use crate::{Crossbar, Profiler};
-use pim_arch::{htree, ArchError, Backend, HLogic, MicroOp, PimConfig, RangeMask, VGate};
+use pim_arch::{ArchError, Backend, HLogic, MicroOp, PimConfig, RangeMask, VGate};
 
 /// Minimum amount of per-batch work (crossbars × operations) before the
 /// simulator fans a batch out across threads.
@@ -160,49 +160,17 @@ impl PimSimulator {
     }
 
     /// Accounts profiling metadata for one operation given the mask state
-    /// in effect, returning the operation's cycle cost.
+    /// in effect, returning the operation's cycle cost. Delegates to the
+    /// shared cost model ([`crate::charge_op`]) so every backend charges
+    /// identical modeled cycles.
     fn account(&mut self, op: &MicroOp) -> Result<u64, ArchError> {
-        let p = &mut self.profiler;
-        let cycles = match op {
-            MicroOp::XbMask(_) => {
-                p.ops.xb_mask += 1;
-                1
-            }
-            MicroOp::RowMask(_) => {
-                p.ops.row_mask += 1;
-                1
-            }
-            MicroOp::Write { .. } => {
-                p.ops.write += 1;
-                1
-            }
-            MicroOp::Read { .. } => {
-                p.ops.read += 1;
-                1
-            }
-            MicroOp::LogicH(l) => {
-                p.ops.logic_h += 1;
-                p.gates += l.gate_count();
-                p.row_gates +=
-                    l.gate_count() * self.row_mask.len() as u64 * self.xb_mask.len() as u64;
-                1
-            }
-            MicroOp::LogicV { .. } => {
-                p.ops.logic_v += 1;
-                p.gates += 1;
-                p.row_gates += self.xb_mask.len() as u64;
-                1
-            }
-            MicroOp::Move(mv) => {
-                let plan = htree::plan_move(&self.xb_mask, mv, &self.cfg)?;
-                p.ops.mv += 1;
-                p.move_pairs += plan.pairs;
-                p.max_move_level = p.max_move_level.max(plan.tree_level);
-                plan.cycles
-            }
-        };
-        p.cycles += cycles;
-        Ok(cycles)
+        crate::charge_op(
+            &mut self.profiler,
+            op,
+            &self.xb_mask,
+            &self.row_mask,
+            &self.cfg,
+        )
     }
 
     /// Applies a non-read, non-move operation to every crossbar selected by

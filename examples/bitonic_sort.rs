@@ -16,9 +16,9 @@ fn main() -> Result<()> {
     let n = 256;
     let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
     let t = dev.from_slice_f32(&data)?;
-    dev.reset_counters();
+    dev.reset_counters()?;
     let sorted = t.sorted()?;
-    let cycles = dev.cycles();
+    let cycles = dev.cycles()?;
     let out = sorted.to_vec_f32()?;
     assert!(
         out.windows(2).all(|w| w[0] <= w[1]),

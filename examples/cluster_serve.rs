@@ -149,7 +149,7 @@ fn main() -> Result<()> {
     // One unified metrics snapshot across every layer: serve.* admission
     // counters (incl. the queue-wait/group-size histograms with their
     // p50/p99/p999 tails), cluster.* traffic, sim.* profiler counters.
-    println!("\n{}", gateway.metrics_snapshot().render());
+    println!("\n{}", gateway.metrics_snapshot()?.render());
 
     // Per-session attribution, summed from the RequestId-tagged spans.
     println!("per-session attribution (modeled cycles):");
@@ -170,7 +170,7 @@ fn main() -> Result<()> {
     // tile the entire warp space, so release them first — dropping a
     // client returns its reservation.
     drop(clients);
-    dev.reset_counters();
+    dev.reset_counters()?;
     let demo_elems = dev.config().total_threads() as usize;
     let t = dev.arange_i32(demo_elems)?;
     let rolled = pypim::shifted(&t, (demo_elems / SHARDS) as i64)?;
@@ -183,8 +183,8 @@ fn main() -> Result<()> {
         "\ncross-chip shift over {}-bit links ({} cycle latency):",
         icfg.link_bits, icfg.latency,
     );
-    println!("{}", dev.metrics_snapshot().render());
-    if let Some(stats) = dev.cluster_stats() {
+    println!("{}", dev.metrics_snapshot()?.render());
+    if let Some(stats) = dev.cluster_stats()? {
         println!(
             "modeled end-to-end latency: {} cycles ({} chip critical path + \
              {} link)",

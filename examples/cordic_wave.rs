@@ -15,9 +15,9 @@ fn main() -> Result<()> {
         .collect();
     let theta = dev.from_slice_f32(&angles)?;
 
-    dev.reset_counters();
+    dev.reset_counters()?;
     let (sin_t, cos_t) = theta.sin_cos()?;
-    let cycles = dev.cycles();
+    let cycles = dev.cycles()?;
 
     let sin_v = sin_t.to_vec_f32()?;
     let cos_v = cos_t.to_vec_f32()?;

@@ -19,9 +19,9 @@ fn main() -> Result<()> {
     let b = dev.from_slice_f32(&bv)?;
 
     // dot(a, b): element-parallel multiply, then log-time sum.
-    dev.reset_counters();
+    dev.reset_counters()?;
     let dot = (&a * &b)?.sum_f32()?;
-    println!("dot(a, b) = {dot:.4}  ({} PIM cycles)", dev.cycles());
+    println!("dot(a, b) = {dot:.4}  ({} PIM cycles)", dev.cycles()?);
 
     // Host-side reference using the same pairwise reduction order (float
     // addition is not associative, so mirror the in-memory tree).

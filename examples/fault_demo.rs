@@ -99,7 +99,7 @@ fn main() -> Result<()> {
 
     // --- Self-check the recovery counters.
     let fstats = injector.stats();
-    let cstats = dev.cluster_stats().expect("cluster stats");
+    let cstats = dev.cluster_stats()?.expect("cluster stats");
     let gstats = gateway.stats();
     println!(
         "faults injected: {} (crashes {}, stalls {} for {} cycles)",
@@ -124,7 +124,7 @@ fn main() -> Result<()> {
     );
 
     // --- Export the unified metrics snapshot for the CI smoke check.
-    let snap = gateway.metrics_snapshot();
+    let snap = gateway.metrics_snapshot()?;
     std::fs::write(&out_path, snap.to_json()).expect("write metrics JSON");
     println!("\nmetrics snapshot:");
     print!("{}", snap.render());

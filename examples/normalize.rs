@@ -67,6 +67,6 @@ fn main() -> Result<()> {
             .collect::<Vec<_>>()
     );
 
-    println!("\ntotal PIM cycles: {}", dev.cycles());
+    println!("\ntotal PIM cycles: {}", dev.cycles()?);
     Ok(())
 }

@@ -45,12 +45,12 @@ fn main() -> Result<()> {
     println!("z[::2].sum() = {even_sum}  (expected 32 = 8*1.5 + 10*2)");
 
     // Profiling: PIM cycles consumed so far (the pim.Profiler() facility).
-    let p = dev.profiler();
+    let p = dev.profiler()?;
     println!(
         "PIM cycles: {} ({} logic ops, {} moves, {} writes, {} reads)",
         p.cycles, p.ops.logic_h, p.ops.mv, p.ops.write, p.ops.read
     );
-    let issued = dev.issued();
+    let issued = dev.issued()?;
     println!(
         "distance from theoretical PIM: {:.1}%",
         100.0 * (issued.total as f64 / issued.logic as f64 - 1.0)

@@ -78,7 +78,7 @@
 //! assert_eq!(z.sum_f32()?, 3072.0);
 //!
 //! // Per-shard telemetry: chip cycles, issued cycles, cache hit rates.
-//! let stats = dev.cluster_stats().expect("cluster-backed");
+//! let stats = dev.cluster_stats()?.expect("cluster-backed");
 //! assert_eq!(stats.shards.len(), 4);
 //! # Ok(())
 //! # }
@@ -120,6 +120,7 @@
 pub use pim_arch as arch;
 pub use pim_cluster as cluster;
 pub use pim_driver as driver;
+pub use pim_func as func;
 pub use pim_isa as isa;
 pub use pim_serve as serve;
 pub use pim_sim as sim;

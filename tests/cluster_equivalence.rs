@@ -188,7 +188,7 @@ fn figure12_program_on_cluster() {
     let z = (&(&x * &y).unwrap() + &x).unwrap();
     assert_eq!(z.slice_step(0, n, 2).unwrap().sum_f32().unwrap(), 32.0);
     // Telemetry exists and shows multi-shard activity.
-    let stats = dev.cluster_stats().unwrap();
+    let stats = dev.cluster_stats().unwrap().unwrap();
     assert_eq!(stats.shards.len(), 4);
     assert!(stats.shards.iter().all(|s| s.profiler.cycles > 0));
     let (hits, misses) = stats.cache_stats();
@@ -214,7 +214,7 @@ fn small_tensors_allocate_chip_local() {
     );
     let mixed = (&t.even().unwrap() + &t.odd().unwrap()).unwrap();
     assert_eq!(mixed.get_i32(0).unwrap(), vals[0].wrapping_add(vals[1]));
-    let traffic = dev.cluster_stats().unwrap().traffic;
+    let traffic = dev.cluster_stats().unwrap().unwrap().traffic;
     assert_eq!(
         traffic.cross_words, 0,
         "operations on a chip-local tensor must not cross chips"

@@ -113,11 +113,11 @@ fn multi_warp_reduction_uses_htree() {
     let n = 8 * 16; // all threads
     let vals: Vec<f32> = (0..n).map(|i| (i % 17) as f32 - 8.0).collect();
     let t = dev.from_slice_f32(&vals).unwrap();
-    dev.reset_counters();
+    dev.reset_counters().unwrap();
     let got = t.sum_f32().unwrap();
     let expect = tree_reduce_f32(&vals, 0.0, |a, b| a + b);
     assert_eq!(got.to_bits(), expect.to_bits());
-    let p = dev.profiler();
+    let p = dev.profiler().unwrap();
     assert!(
         p.ops.mv > 0,
         "multi-warp reduction must issue inter-crossbar moves"
@@ -134,9 +134,9 @@ fn reduction_cycles_scale_logarithmically() {
     for n in [8usize, 16, 32, 64] {
         let vals: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let t = dev.from_slice_f32(&vals).unwrap();
-        dev.reset_counters();
+        dev.reset_counters().unwrap();
         t.sum_f32().unwrap();
-        cycles.push(dev.cycles());
+        cycles.push(dev.cycles().unwrap());
     }
     // 8x the elements must cost far less than 8x the cycles.
     assert!(

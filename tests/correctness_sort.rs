@@ -91,13 +91,13 @@ fn sorts_multi_warp_tensors() {
     let mut r = rand::rngs::StdRng::seed_from_u64(9);
     let vals: Vec<f32> = (0..n).map(|_| r.gen_range(-50.0f32..50.0)).collect();
     let t = dev.from_slice_f32(&vals).unwrap();
-    dev.reset_counters();
+    dev.reset_counters().unwrap();
     let got = t.sorted().unwrap().to_vec_f32().unwrap();
     let mut expect = vals.clone();
     expect.sort_by(f32::total_cmp);
     assert_eq!(got, expect);
     assert!(
-        dev.profiler().ops.mv > 0,
+        dev.profiler().unwrap().ops.mv > 0,
         "multi-warp sort must move data between crossbars"
     );
 }

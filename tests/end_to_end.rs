@@ -86,9 +86,9 @@ fn profiler_reports_cycles_and_distance() {
     let dev = Device::new(PimConfig::small()).unwrap();
     let a = dev.full_i32(64, 3).unwrap();
     let b = dev.full_i32(64, 4).unwrap();
-    dev.reset_counters();
+    dev.reset_counters().unwrap();
     let _ = (&a * &b).unwrap();
-    let p = dev.profiler();
+    let p = dev.profiler().unwrap();
     assert!(
         p.cycles > 5000,
         "int multiply should cost thousands of cycles"
@@ -98,7 +98,7 @@ fn profiler_reports_cycles_and_distance() {
         p.cycles,
         "1 cycle per micro-op when no moves serialize"
     );
-    let issued = dev.issued();
+    let issued = dev.issued().unwrap();
     assert!(issued.logic <= issued.total);
     assert_eq!(issued.total, p.cycles);
     // Measured within ~10% of the pure-logic bound for multiplication.
@@ -115,10 +115,10 @@ fn routine_cache_hits_across_tensors() {
     let a = dev.full_f32(32, 1.5).unwrap();
     let b = dev.full_f32(32, 2.0).unwrap();
     let _ = (&a + &b).unwrap();
-    let (h0, m0) = dev.cache_stats();
+    let (h0, m0) = dev.cache_stats().unwrap();
     // Same registers again: pure cache hit.
     let _ = (&a + &b).unwrap();
-    let (h1, m1) = dev.cache_stats();
+    let (h1, m1) = dev.cache_stats().unwrap();
     assert_eq!(m1, m0, "no new compilation expected");
     assert!(h1 > h0);
 }
@@ -140,9 +140,9 @@ fn parallel_mode_is_faster() {
         let dev = Device::with_mode(PimConfig::small(), mode).unwrap();
         let a = dev.full_i32(64, 3).unwrap();
         let b = dev.full_i32(64, 4).unwrap();
-        dev.reset_counters();
+        dev.reset_counters().unwrap();
         let _ = (&a + &b).unwrap();
-        dev.cycles()
+        dev.cycles().unwrap()
     };
     let serial = cycles(ParallelismMode::BitSerial);
     let parallel = cycles(ParallelismMode::BitParallel);

@@ -79,7 +79,10 @@ fn empty_injector_and_recovery_are_bit_identical_to_plain_cluster() {
         bits.push(z.sum_f32().unwrap().to_bits());
         // Per-shard profiler and issued-cycle counters: the modeled work,
         // not just the values, must be unchanged by the idle machinery.
-        (bits, format!("{:?}", dev.cluster_stats().unwrap().shards))
+        (
+            bits,
+            format!("{:?}", dev.cluster_stats().unwrap().unwrap().shards),
+        )
     };
 
     let plain = program(&Device::cluster(cfg(), SHARDS).unwrap());
@@ -92,7 +95,7 @@ fn empty_injector_and_recovery_are_bit_identical_to_plain_cluster() {
         "modeled work diverged with an empty injector"
     );
     assert_eq!(injector.stats().injected(), 0);
-    assert_eq!(dev.cluster_stats().unwrap().worker_restarts, 0);
+    assert_eq!(dev.cluster_stats().unwrap().unwrap().worker_restarts, 0);
 }
 
 // ---------------------------------------------------------------------
@@ -274,7 +277,7 @@ fn gateway_retries_absorb_a_worker_crash_transparently() {
     assert!(stats.retries >= 1, "crash was not retried: {stats:?}");
 
     // All the new robustness counters render in the unified snapshot.
-    let snap = gw.metrics_snapshot();
+    let snap = gw.metrics_snapshot().unwrap();
     let json = snap.to_json();
     for key in [
         "fault.injected",

@@ -134,9 +134,9 @@ fn allocation_alignment_avoids_copies() {
     let b = dev
         .from_slice_i32(&(0..32).map(|i| i * 2).collect::<Vec<_>>())
         .unwrap();
-    dev.reset_counters();
+    dev.reset_counters().unwrap();
     let _ = (&a + &b).unwrap();
-    let p = dev.profiler();
+    let p = dev.profiler().unwrap();
     assert_eq!(p.ops.mv, 0, "aligned operands should not move data");
     assert_eq!(p.ops.logic_v, 0);
 }
