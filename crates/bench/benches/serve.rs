@@ -296,6 +296,7 @@ fn bench_serve(c: &mut Criterion) {
             mean: lat.mean() / clock_hz,
             p50: to_s(lat.p50),
             p99: to_s(lat.p99),
+            p999: to_s(lat.p999),
             iters: lat.count,
         };
         group.report_stats(
@@ -335,6 +336,7 @@ fn bench_serve(c: &mut Criterion) {
                 mean: deg_lat.mean() / clock_hz,
                 p50: to_s(deg_lat.p50),
                 p99: to_s(deg_lat.p99),
+                p999: to_s(deg_lat.p999),
                 iters: deg_lat.count,
             },
             None,
@@ -362,5 +364,122 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve);
+/// Open-loop latency-vs-load sweep (`pim-loadgen`): seeded Poisson
+/// traffic against a fresh single-chip functional-backend gateway per
+/// operating point, walking offered load from well under to well past the
+/// service's knee. Rows:
+///
+/// * `open_loop_knee` — highest offered load (requests per **modeled**
+///   second, 1 cycle = 1 µs) still achieving ≥ 95% goodput, carried in
+///   `per_sec_median`;
+/// * `open_loop_collapse` — lowest offered load whose windowed gateway
+///   queue-wait p99 diverged (falls back to the highest swept load when
+///   no point collapsed);
+/// * `open_loop_p99_70` — end-to-end latency distribution (modeled
+///   seconds) at the ~70%-of-peak healthy operating point.
+///
+/// Single-chip execution is inline and deterministic, so these rows are
+/// stable across runs of the same code — modeled values, not wall noise.
+fn bench_open_loop(c: &mut Criterion) {
+    use pim_func::BackendKind;
+    use pim_loadgen::{
+        latency_vs_load, run, ArrivalProfile, ClassSpec, LoadgenConfig, RequestShape, SloConfig,
+        MODELED_CYCLES_PER_SEC,
+    };
+
+    let make_gateway = || -> Result<pim_serve::Gateway> {
+        let dev = Device::with_backend(
+            PimConfig::small().with_crossbars(8),
+            BackendKind::Functional,
+        )?;
+        Ok(dev.serve(ServeConfig {
+            max_queue_depth: 0, // open loop: overload must queue, not reject
+            ..ServeConfig::default()
+        }))
+    };
+    let base_cfg = |rate: f64| LoadgenConfig {
+        seed: 2024,
+        horizon_cycles: 200_000,
+        window_cycles: 40_000,
+        classes: vec![
+            ClassSpec::new(
+                "elementwise",
+                RequestShape::Elementwise,
+                ArrivalProfile::Poisson { rate: rate * 0.6 },
+                16,
+            ),
+            ClassSpec::new(
+                "fused",
+                RequestShape::Fused,
+                ArrivalProfile::Poisson { rate: rate * 0.4 },
+                16,
+            ),
+        ],
+        sessions_per_class: 1,
+        latency_target_cycles: 0,
+        drain: false,
+    };
+
+    // Calibration: a heavily saturated probe's goodput is the service
+    // capacity; the sweep brackets it.
+    let probe = run(&make_gateway().unwrap(), &base_cfg(30_000.0)).unwrap();
+    let mu_max = probe.achieved_rps.max(1.0);
+    let sweep = latency_vs_load(
+        make_gateway,
+        &base_cfg(mu_max),
+        &[0.3, 0.5, 0.7, 0.9, 1.1, 1.5],
+        SloConfig::default(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("serve");
+    group.report_metric(
+        "open_loop_knee",
+        1.0,
+        Some(Throughput::Elements(sweep.knee_rps.round() as u64)),
+    );
+    let max_offered = sweep
+        .points
+        .iter()
+        .map(|p| p.offered_rps)
+        .fold(0.0_f64, f64::max);
+    group.report_metric(
+        "open_loop_collapse",
+        1.0,
+        Some(Throughput::Elements(
+            sweep.collapse_rps.unwrap_or(max_offered).round() as u64,
+        )),
+    );
+    let peak = sweep
+        .points
+        .iter()
+        .map(|p| p.achieved_rps)
+        .fold(0.0_f64, f64::max);
+    let healthy = sweep
+        .points
+        .iter()
+        .min_by(|a, b| {
+            let da = (a.achieved_rps - 0.7 * peak).abs();
+            let db = (b.achieved_rps - 0.7 * peak).abs();
+            da.partial_cmp(&db).unwrap()
+        })
+        .expect("sweep has points");
+    let to_s = |cycles: u64| cycles as f64 / MODELED_CYCLES_PER_SEC;
+    group.report_stats(
+        "open_loop_p99_70",
+        SampleStats {
+            min: to_s(healthy.slo.p50_cycles),
+            median: to_s(healthy.slo.p99_cycles),
+            mean: to_s(healthy.slo.p99_cycles),
+            p50: to_s(healthy.slo.p50_cycles),
+            p99: to_s(healthy.slo.p99_cycles),
+            p999: to_s(healthy.slo.p999_cycles),
+            iters: healthy.slo.completed,
+        },
+        None,
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_open_loop);
 criterion_main!(benches);

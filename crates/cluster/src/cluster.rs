@@ -14,7 +14,7 @@ use pim_func::{AnyBackend, AnySnapshot, BackendKind};
 use pim_isa::Instruction;
 use pim_sim::Profiler;
 use pim_telemetry::{
-    MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
+    Gauge, MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
 };
 use std::future::Future;
 use std::pin::Pin;
@@ -416,12 +416,17 @@ impl TicketShared {
 struct Completion {
     shard: usize,
     shared: Arc<TicketShared>,
+    /// `cluster.jobs_inflight` — incremented at submission, decremented
+    /// exactly once here on delivery, whichever path delivers (normal
+    /// completion or the crash-path drop guard).
+    inflight: Gauge,
     done: bool,
 }
 
 impl Completion {
     fn complete(mut self, result: ShardReply) {
         self.done = true;
+        self.inflight.add(-1);
         self.shared.deliver(result);
     }
 }
@@ -429,6 +434,7 @@ impl Completion {
 impl Drop for Completion {
     fn drop(&mut self) {
         if !self.done {
+            self.inflight.add(-1);
             self.shared
                 .deliver(Err(ClusterError::WorkerCrashed { shard: self.shard }));
         }
@@ -779,6 +785,9 @@ pub struct PimCluster {
     telemetry: Telemetry,
     /// Trace track of host-staged interconnect bursts.
     ic_track: TrackHandle,
+    /// `cluster.jobs_inflight` — macro jobs queued to or executing on
+    /// shard workers (the source-level queue/in-flight gauge).
+    jobs_inflight: Gauge,
     mode: ParallelismMode,
     shared_cache: RoutineCache,
     recovery: RecoveryConfig,
@@ -947,6 +956,7 @@ impl PimCluster {
             journals.push(journal);
         }
         let ic_track = telemetry.track("cluster/interconnect");
+        let jobs_inflight = telemetry.metrics().gauge("cluster.jobs_inflight");
         Ok(PimCluster {
             plan,
             shard_cfg: cfg,
@@ -956,6 +966,7 @@ impl PimCluster {
             journals,
             telemetry,
             ic_track,
+            jobs_inflight,
             mode,
             shared_cache,
             recovery,
@@ -1186,9 +1197,11 @@ impl PimCluster {
         segments: Vec<(RequestId, Vec<Instruction>)>,
     ) -> Result<JobTicket, ClusterError> {
         let shared = Arc::new(TicketShared::default());
+        self.jobs_inflight.add(1);
         let reply = Completion {
             shard,
             shared: Arc::clone(&shared),
+            inflight: self.jobs_inflight.clone(),
             done: false,
         };
         self.send(shard, Job::Macro { segments, reply })?;
@@ -1958,15 +1971,23 @@ fn run_worker(
                     }
                     if recording {
                         let after = driver.backend().profiler().cycles;
+                        let delta = after.saturating_sub(before);
+                        let telemetry = track.telemetry();
+                        // Anchor at the later of the global clock and this
+                        // shard's profiler total (see the single-chip
+                        // `submit_tagged` path): equivalent to the old
+                        // absolute-profiler charging until a driver jumps
+                        // the clock ahead, after which execution still
+                        // occupies real modeled time.
+                        let start = telemetry.now().max(before);
                         track.record_complete(
                             "exec",
-                            before,
-                            after.saturating_sub(before),
+                            start,
+                            delta,
                             *request,
                             Some(("instructions", instrs.len() as u64)),
                         );
-                        let telemetry = track.telemetry();
-                        telemetry.advance_clock(after);
+                        telemetry.advance_clock(start + delta);
                         telemetry.attribute(
                             *request,
                             RequestStats {

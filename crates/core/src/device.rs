@@ -679,15 +679,24 @@ impl Device {
                     }
                     if recording {
                         let after = d.backend().profiler().cycles;
+                        let delta = after.saturating_sub(before);
+                        // Anchor at the later of the global clock and the
+                        // profiler total: identical to charging absolute
+                        // profiler cycles while the clock only ever moved
+                        // through execution, but when a driver has jumped
+                        // the clock ahead (open-loop load generation,
+                        // retry backoff) the batch occupies `[now, now +
+                        // delta)` instead of charging nothing.
+                        let start = self.inner.telemetry.now().max(before);
                         let track = self.inner.telemetry.track("chip-0");
                         track.record_complete(
                             "exec",
-                            before,
-                            after.saturating_sub(before),
+                            start,
+                            delta,
                             b.request,
                             Some(("instructions", b.instrs.len() as u64)),
                         );
-                        self.inner.telemetry.advance_clock(after);
+                        self.inner.telemetry.advance_clock(start + delta);
                         self.inner.telemetry.attribute(
                             b.request,
                             RequestStats {

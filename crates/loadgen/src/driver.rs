@@ -1,0 +1,476 @@
+//! The open-loop driver: injects requests at their scheduled modeled
+//! cycles regardless of completion, polls the in-flight set from one host
+//! thread, and closes windowed samples as the modeled clock crosses
+//! window boundaries.
+//!
+//! **Open loop** means arrival times come from the schedule, not from
+//! completions: when the gateway falls behind, requests keep arriving and
+//! queue — which is exactly the overload behaviour (diverging queue-wait
+//! tails) a closed-loop harness structurally cannot produce, because it
+//! never offers more than `in-flight × 1/latency`.
+//!
+//! **Determinism**: on a single-chip device the whole run executes inline
+//! on this thread — futures resolve during their poll, the modeled clock
+//! advances only through execution and the driver's idle jumps, and the
+//! schedule is materialized from the seed up front. The same seed
+//! therefore produces bit-identical reports. Multi-chip clusters execute
+//! on worker threads; their reports are statistically stable but not
+//! bit-reproducible.
+
+use crate::profile::{build_schedule, ArrivalProfile};
+use crate::shape::{RequestShape, Template};
+use pim_serve::{ClusterClient, ExecFuture, Gateway};
+use pim_telemetry::{CounterHandle, HistogramSnapshot, Telemetry, WindowSample, WindowSampler};
+use pypim_core::{CoreError, Device, Result};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+/// Modeled cycles per modeled second in every `*_rps` figure — the trace
+/// export's 1 cycle = 1 µs convention, so a profile rate of `n` reads as
+/// `n` requests per modeled second.
+pub const MODELED_CYCLES_PER_SEC: f64 = 1e6;
+
+/// One traffic class: a request shape, its arrival process, and its
+/// tensor size.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Class name in reports and tables.
+    pub name: String,
+    /// Request shape this class issues.
+    pub shape: RequestShape,
+    /// Arrival process over the horizon.
+    pub profile: ArrivalProfile,
+    /// Elements per request tensor.
+    pub elems: usize,
+}
+
+impl ClassSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        shape: RequestShape,
+        profile: ArrivalProfile,
+        elems: usize,
+    ) -> Self {
+        ClassSpec {
+            name: name.into(),
+            shape,
+            profile,
+            elems,
+        }
+    }
+}
+
+/// Full specification of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Seed for every arrival schedule (same seed → same schedule).
+    pub seed: u64,
+    /// Modeled cycles of scheduled arrivals.
+    pub horizon_cycles: u64,
+    /// Window width for the time series.
+    pub window_cycles: u64,
+    /// Traffic classes (session pools and templates are per class).
+    pub classes: Vec<ClassSpec>,
+    /// Gateway sessions per class; arrivals round-robin across them by
+    /// sequence number.
+    pub sessions_per_class: usize,
+    /// Latency SLO target in modeled cycles; completions above it count
+    /// into the `loadgen.over_target` counter. `0` disables.
+    pub latency_target_cycles: u64,
+    /// Keep polling after the last arrival until every request resolves
+    /// (`true`), or abandon outstanding work at the horizon (`false`;
+    /// collapse sweeps use this so a saturated point terminates).
+    pub drain: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            seed: 1,
+            horizon_cycles: 1_000_000,
+            window_cycles: 100_000,
+            classes: Vec::new(),
+            sessions_per_class: 2,
+            latency_target_cycles: 0,
+            drain: true,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// Offered load over the horizon, requests per modeled second.
+    pub fn offered_rps(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.profile.mean_rate(self.horizon_cycles))
+            .sum()
+    }
+
+    /// Returns the config with every class's arrival profile scaled by
+    /// `factor` (the sweep knob).
+    pub fn scaled(&self, factor: f64) -> LoadgenConfig {
+        let mut out = self.clone();
+        for c in &mut out.classes {
+            c.profile = c.profile.scaled(factor);
+        }
+        out
+    }
+}
+
+/// What one open-loop run produced: totals, final latency summaries, and
+/// the windowed time series.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Seed the schedule was generated from.
+    pub seed: u64,
+    /// Scheduled horizon in modeled cycles.
+    pub horizon_cycles: u64,
+    /// Window width of [`windows`](RunReport::windows).
+    pub window_cycles: u64,
+    /// Requests injected (== scheduled arrivals).
+    pub injected: u64,
+    /// Requests that resolved successfully (including after the horizon,
+    /// during drain).
+    pub completed: u64,
+    /// Successful completions whose completion cycle was within the
+    /// horizon — the numerator of `achieved_rps`.
+    pub completed_in_horizon: u64,
+    /// Requests that resolved with an error (admission rejections under a
+    /// bounded queue, deadline misses, shard faults).
+    pub failed: u64,
+    /// Successful completions above
+    /// [`latency_target_cycles`](LoadgenConfig::latency_target_cycles).
+    pub over_target: u64,
+    /// Modeled cycle the run ended at.
+    pub end_cycle: u64,
+    /// Offered load: injected per modeled second of horizon.
+    pub offered_rps: f64,
+    /// Achieved goodput: in-horizon completions per modeled second.
+    pub achieved_rps: f64,
+    /// End-to-end latency (completion − *scheduled* arrival, so queueing
+    /// incurred before admission is included), whole run.
+    pub latency: HistogramSnapshot,
+    /// Gateway queue wait (admission → submission), whole run.
+    pub queue_wait: HistogramSnapshot,
+    /// The windowed time series (counters are per-window deltas).
+    pub windows: Vec<WindowSample>,
+}
+
+impl RunReport {
+    /// Fraction of offered load achieved within the horizon.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.completed_in_horizon as f64 / self.injected as f64
+    }
+}
+
+/// The condvar parker doubling as the polling loop's waker: shard workers
+/// wake it through the futures' registered wakers; the driver parks with
+/// a short timeout so a missed wake only costs the timeout.
+struct Parker {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn park_timeout(&self, dur: Duration) {
+        let mut notified = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        if !*notified {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(notified, dur)
+                .unwrap_or_else(|e| e.into_inner());
+            notified = guard;
+        }
+        *notified = false;
+    }
+}
+
+impl Wake for Parker {
+    fn wake(self: std::sync::Arc<Self>) {
+        let mut notified = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        *notified = true;
+        self.cv.notify_one();
+    }
+}
+
+struct Pending {
+    fut: ExecFuture,
+    scheduled: u64,
+}
+
+/// Re-disarms telemetry on drop when the harness armed it (execution only
+/// charges the modeled clock while telemetry records, so an open-loop run
+/// needs it on; a caller that had it off gets it back off even on error
+/// paths).
+struct EnabledGuard<'a> {
+    telemetry: &'a Telemetry,
+    prev: bool,
+}
+
+impl Drop for EnabledGuard<'_> {
+    fn drop(&mut self) {
+        self.telemetry.set_enabled(self.prev);
+    }
+}
+
+/// Per-window observability flushed at each window close: gauge counter
+/// tracks plus per-shard utilization derived from profiler cycle deltas.
+struct TrackSet {
+    telemetry: Telemetry,
+    queue_depth: CounterHandle,
+    in_flight: CounterHandle,
+    shard_util: Vec<CounterHandle>,
+    prev_shard_cycles: Vec<u64>,
+}
+
+impl TrackSet {
+    fn new(telemetry: &Telemetry) -> Self {
+        TrackSet {
+            telemetry: telemetry.clone(),
+            queue_depth: telemetry.counter_track("serve/queue_depth"),
+            in_flight: telemetry.counter_track("serve/in_flight"),
+            shard_util: Vec::new(),
+            prev_shard_cycles: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self, dev: &Device, at: u64, window_width: u64) -> Result<()> {
+        if !self.telemetry.is_enabled() {
+            return Ok(());
+        }
+        let metrics = self.telemetry.metrics();
+        self.queue_depth
+            .record(at, metrics.gauge("serve.queue_depth").get() as f64);
+        self.in_flight
+            .record(at, metrics.gauge("serve.in_flight").get() as f64);
+        if let Some(stats) = dev.cluster_stats()? {
+            if self.shard_util.is_empty() {
+                for s in &stats.shards {
+                    self.shard_util.push(
+                        self.telemetry
+                            .counter_track(&format!("shard{}/util", s.shard)),
+                    );
+                    self.prev_shard_cycles.push(0);
+                }
+            }
+            for (i, s) in stats.shards.iter().enumerate() {
+                let delta = s.profiler.cycles.saturating_sub(self.prev_shard_cycles[i]);
+                self.prev_shard_cycles[i] = s.profiler.cycles;
+                let util = 100.0 * delta as f64 / window_width.max(1) as f64;
+                self.shard_util[i].record(at, util);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs one open-loop load against `gateway` (see the module docs for the
+/// loop's semantics and determinism guarantees).
+///
+/// Overload studies should build the gateway with
+/// `max_queue_depth: 0` (unbounded session queues): with the default
+/// bounded queues, offered load beyond the bound fast-fails with
+/// `Overloaded` instead of queueing, and the run measures admission-loss
+/// rather than queueing collapse.
+///
+/// # Errors
+///
+/// Fails on an empty/zero config, on session or template setup errors
+/// (e.g. warp space too small for `classes × sessions_per_class`
+/// windows), or if a stats snapshot fails mid-run. Individual request
+/// failures do **not** fail the run — they count into
+/// [`RunReport::failed`].
+pub fn run(gateway: &Gateway, cfg: &LoadgenConfig) -> Result<RunReport> {
+    let invalid = |reason: &str| CoreError::Protocol {
+        reason: format!("loadgen config: {reason}"),
+    };
+    if cfg.classes.is_empty() {
+        return Err(invalid("no traffic classes"));
+    }
+    if cfg.sessions_per_class == 0 {
+        return Err(invalid("sessions_per_class must be at least 1"));
+    }
+    if cfg.horizon_cycles == 0 || cfg.window_cycles == 0 {
+        return Err(invalid("horizon_cycles and window_cycles must be nonzero"));
+    }
+
+    // Session pools and replay templates, one pool per class. Building
+    // templates allocates every tensor the run will touch; injection
+    // itself only clones instruction vectors.
+    let mut pools: Vec<Vec<(ClusterClient, Template)>> = Vec::with_capacity(cfg.classes.len());
+    for class in &cfg.classes {
+        let mut pool = Vec::with_capacity(cfg.sessions_per_class);
+        for _ in 0..cfg.sessions_per_class {
+            let client = gateway.session()?;
+            let template = Template::build(&client, class.shape, class.elems)?;
+            pool.push((client, template));
+        }
+        pools.push(pool);
+    }
+    let dev = pools[0][0].0.device().clone();
+    let telemetry = dev.telemetry().clone();
+    let _armed = EnabledGuard {
+        telemetry: &telemetry,
+        prev: telemetry.is_enabled(),
+    };
+    telemetry.set_enabled(true);
+
+    let profiles: Vec<ArrivalProfile> = cfg.classes.iter().map(|c| c.profile).collect();
+    let schedule = build_schedule(&profiles, cfg.seed, cfg.horizon_cycles);
+
+    let metrics = telemetry.metrics();
+    let injected_c = metrics.counter("loadgen.injected");
+    let completed_c = metrics.counter("loadgen.completed");
+    let failed_c = metrics.counter("loadgen.failed");
+    let over_target_c = metrics.counter("loadgen.over_target");
+    let latency_h = metrics.histogram("loadgen.latency_cycles");
+    let queue_wait_h = metrics.histogram("serve.queue_wait_cycles");
+    let base_latency = latency_h.state();
+    let base_queue_wait = queue_wait_h.state();
+
+    let mut sampler = WindowSampler::new(cfg.window_cycles);
+    sampler.watch_histogram("loadgen.latency_cycles", &latency_h);
+    sampler.watch_histogram("serve.queue_wait_cycles", &queue_wait_h);
+    let mut tracks = TrackSet::new(&telemetry);
+
+    let parker = std::sync::Arc::new(Parker::new());
+    let waker = Waker::from(parker.clone());
+    let mut cx = Context::from_waker(&waker);
+
+    let start = telemetry.now();
+    let horizon_end = start + cfg.horizon_cycles;
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut next = 0usize;
+    let (mut injected, mut completed, mut completed_in_horizon, mut failed, mut over_target) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+
+    loop {
+        let now = telemetry.now();
+
+        // Inject every arrival due by the current modeled time. Late
+        // injection (now past the scheduled cycle because execution
+        // advanced the clock in a jump) is correct open-loop accounting:
+        // latency is measured from the *scheduled* cycle, so time spent
+        // waiting for the driver to reach the arrival is queueing delay.
+        while next < schedule.len() && start + schedule[next].cycle <= now {
+            let a = schedule[next];
+            next += 1;
+            let (client, template) = &pools[a.class][a.seq as usize % cfg.sessions_per_class];
+            let fut = client.submit(template.instrs.clone());
+            injected += 1;
+            injected_c.inc();
+            pending.push(Pending {
+                fut,
+                scheduled: start + a.cycle,
+            });
+        }
+
+        // Close windows as the clock crosses boundaries.
+        if sampler.ready(now) {
+            let width = sampler.window_cycles();
+            sampler.sample(now, dev.metrics_snapshot()?);
+            tracks.flush(&dev, now, width)?;
+        }
+
+        if pending.is_empty() {
+            match schedule.get(next) {
+                // Idle: jump the clock to the next arrival, but stop at
+                // window boundaries on the way so the series keeps its
+                // grid resolution across idle gaps.
+                Some(a) => {
+                    let boundary = (now / cfg.window_cycles + 1) * cfg.window_cycles;
+                    telemetry.advance_clock((start + a.cycle).min(boundary));
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        if !cfg.drain && next >= schedule.len() && now >= horizon_end {
+            break; // Abandon outstanding work: saturated sweep points end.
+        }
+
+        // Poll the in-flight set in admission order. On a single chip
+        // each poll executes queued groups inline, so this sweep both
+        // advances the modeled clock and retires requests.
+        let mut progressed = false;
+        pending.retain_mut(|p| match Pin::new(&mut p.fut).poll(&mut cx) {
+            Poll::Pending => true,
+            Poll::Ready(res) => {
+                progressed = true;
+                // The slot's completion stamp, not the clock at poll
+                // time: one pump can drain many groups before this sweep
+                // resumes, and the clock has then moved past all of them.
+                let done_at = p.fut.completed_at().unwrap_or_else(|| telemetry.now());
+                let lat = done_at.saturating_sub(p.scheduled);
+                match res {
+                    Ok(()) => {
+                        latency_h.record(lat);
+                        completed += 1;
+                        completed_c.inc();
+                        if done_at <= horizon_end {
+                            completed_in_horizon += 1;
+                        }
+                        if cfg.latency_target_cycles > 0 && lat > cfg.latency_target_cycles {
+                            over_target += 1;
+                            over_target_c.inc();
+                        }
+                    }
+                    Err(_) => {
+                        failed += 1;
+                        failed_c.inc();
+                    }
+                }
+                false
+            }
+        });
+
+        if !progressed {
+            // Cluster-only path: work is on shard threads and nothing
+            // retired this sweep. Park until a completion wakes us (or a
+            // short timeout guards against a missed wake).
+            parker.park_timeout(Duration::from_micros(200));
+        }
+    }
+
+    // Close the partial tail window so the series covers the whole run.
+    let end_cycle = telemetry.now();
+    let tail_start = sampler.last().map_or(start, |w| w.end);
+    if end_cycle > tail_start {
+        let width = sampler.window_cycles();
+        sampler.sample(end_cycle, dev.metrics_snapshot()?);
+        tracks.flush(&dev, end_cycle, width)?;
+    }
+
+    let horizon_secs = cfg.horizon_cycles as f64 / MODELED_CYCLES_PER_SEC;
+    Ok(RunReport {
+        seed: cfg.seed,
+        horizon_cycles: cfg.horizon_cycles,
+        window_cycles: cfg.window_cycles,
+        injected,
+        completed,
+        completed_in_horizon,
+        failed,
+        over_target,
+        end_cycle,
+        offered_rps: injected as f64 / horizon_secs,
+        achieved_rps: completed_in_horizon as f64 / horizon_secs,
+        latency: latency_h.state().since(&base_latency).summary(),
+        queue_wait: queue_wait_h.state().since(&base_queue_wait).summary(),
+        windows: sampler.samples().cloned().collect(),
+    })
+}

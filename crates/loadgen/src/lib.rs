@@ -1,0 +1,188 @@
+//! # pim-loadgen
+//!
+//! An **open-loop traffic harness** for the serving gateway, on the
+//! modeled clock: seeded arrival schedules (Poisson / burst / ramp) drive
+//! requests into [`pim_serve::Gateway`] sessions at their scheduled
+//! modeled cycles *whether or not earlier requests finished*, so overload
+//! actually queues — the behaviour a closed loop (fixed in-flight count,
+//! inject-on-completion) structurally cannot produce, because a closed
+//! loop's offered load self-throttles to `in-flight / latency`.
+//!
+//! The harness produces three artifacts per run:
+//!
+//! * a [`RunReport`] — totals, whole-run latency/queue-wait summaries,
+//!   and the windowed time series ([`pim_telemetry::WindowSample`]s:
+//!   per-window throughput, queue depth, in-flight, retries, and real
+//!   windowed p50/p99/p999);
+//! * an [`SloReport`] ([`run_slo`]) — per-window error-budget burn
+//!   against a latency target, as stable machine-readable JSON;
+//! * Perfetto counter tracks (queue depth, in-flight, per-shard
+//!   utilization) recorded into the device's [`pim_telemetry::Telemetry`]
+//!   at window boundaries, rendered by `export_chrome_trace`.
+//!
+//! [`latency_vs_load`] sweeps arrival-rate multipliers across fresh
+//! gateways and derives the **knee** (highest offered load with ≥ 95%
+//! goodput), the **collapse point** (lowest offered load whose windowed
+//! queue-wait p99 diverges), and the p99 at the ~70%-of-peak healthy
+//! operating point — the `open_loop_*` rows of `BENCH_serve.json`.
+//!
+//! ## Determinism
+//!
+//! Arrival schedules are materialized from the seed before the run
+//! starts, and on a **single-chip** device every future resolves inline
+//! on the driving thread, so the same seed produces bit-identical
+//! reports (including the SLO JSON). Multi-chip clusters execute on
+//! worker threads: reports there are statistically stable, not
+//! bit-reproducible.
+//!
+//! ## Zero cost when unused
+//!
+//! Everything here is driver-side: nothing hooks the execution path, the
+//! windowed sampler only reads snapshots when the *caller* closes a
+//! window, and counter tracks record only while telemetry is enabled. A
+//! binary that never runs a load sees no overhead.
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_arch::PimConfig;
+//! use pim_loadgen::{
+//!     run_slo, ArrivalProfile, ClassSpec, LoadgenConfig, RequestShape, SloConfig,
+//! };
+//! use pim_serve::{DeviceServeExt, ServeConfig};
+//! use pypim_core::Device;
+//!
+//! # fn main() -> pypim_core::Result<()> {
+//! let dev = Device::new(PimConfig::small().with_crossbars(4))?;
+//! let gateway = dev.serve(ServeConfig {
+//!     max_queue_depth: 0, // unbounded: overload queues instead of failing
+//!     ..ServeConfig::default()
+//! });
+//! let cfg = LoadgenConfig {
+//!     seed: 7,
+//!     horizon_cycles: 200_000,
+//!     window_cycles: 50_000,
+//!     classes: vec![ClassSpec::new(
+//!         "elementwise",
+//!         RequestShape::Elementwise,
+//!         ArrivalProfile::Poisson { rate: 100.0 },
+//!         16,
+//!     )],
+//!     sessions_per_class: 1,
+//!     ..LoadgenConfig::default()
+//! };
+//! let (report, slo) = run_slo(&gateway, &cfg, SloConfig::default())?;
+//! assert_eq!(report.completed, report.injected);
+//! assert!(slo.to_json().starts_with("{\"seed\":7"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod driver;
+mod profile;
+mod shape;
+mod slo;
+
+pub use driver::{run, ClassSpec, LoadgenConfig, RunReport, MODELED_CYCLES_PER_SEC};
+pub use profile::{build_schedule, Arrival, ArrivalProfile};
+pub use shape::{RequestShape, Template};
+pub use slo::{latency_vs_load, run_slo, SloConfig, SloReport, SweepPoint, SweepReport, WindowSlo};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::PimConfig;
+    use pim_serve::{DeviceServeExt, ServeConfig};
+    use pypim_core::{Device, Result};
+
+    fn small_cfg() -> LoadgenConfig {
+        LoadgenConfig {
+            seed: 11,
+            horizon_cycles: 300_000,
+            window_cycles: 60_000,
+            classes: vec![
+                ClassSpec::new(
+                    "elem",
+                    RequestShape::Elementwise,
+                    ArrivalProfile::Poisson { rate: 60.0 },
+                    16,
+                ),
+                ClassSpec::new(
+                    "fused",
+                    RequestShape::Fused,
+                    ArrivalProfile::Burst {
+                        base: 20.0,
+                        burst_size: 3,
+                        period_cycles: 100_000,
+                    },
+                    16,
+                ),
+            ],
+            sessions_per_class: 1,
+            latency_target_cycles: 0,
+            drain: true,
+        }
+    }
+
+    fn single_chip_gateway() -> Result<pim_serve::Gateway> {
+        let dev = Device::new(PimConfig::small().with_crossbars(8))?;
+        Ok(dev.serve(ServeConfig {
+            max_queue_depth: 0,
+            ..ServeConfig::default()
+        }))
+    }
+
+    #[test]
+    fn open_loop_run_completes_every_request() -> Result<()> {
+        let gateway = single_chip_gateway()?;
+        let report = run(&gateway, &small_cfg())?;
+        assert!(report.injected > 0, "schedule was empty");
+        assert_eq!(report.completed + report.failed, report.injected);
+        assert_eq!(report.failed, 0, "unbounded queue should not reject");
+        assert!(report.latency.count == report.completed);
+        assert!(!report.windows.is_empty(), "no windows closed");
+        // Window counters sum back to the totals (deltas, not cumulative).
+        let sum: u64 = report
+            .windows
+            .iter()
+            .map(|w| w.counter("loadgen.injected"))
+            .sum();
+        assert_eq!(sum, report.injected);
+        Ok(())
+    }
+
+    #[test]
+    fn same_seed_same_report_single_chip() -> Result<()> {
+        let slo = SloConfig {
+            target_p99_cycles: 30_000,
+            error_budget: 0.01,
+        };
+        let (ra, sa) = run_slo(&single_chip_gateway()?, &small_cfg(), slo)?;
+        let (rb, sb) = run_slo(&single_chip_gateway()?, &small_cfg(), slo)?;
+        assert_eq!(sa.to_json(), sb.to_json(), "SLO JSON must be bit-identical");
+        assert_eq!(ra.windows, rb.windows, "window series must be identical");
+        assert_eq!(ra.end_cycle, rb.end_cycle);
+        Ok(())
+    }
+
+    #[test]
+    fn sweep_derives_knee_and_collapse_fields() -> Result<()> {
+        let mut base = small_cfg();
+        base.horizon_cycles = 150_000;
+        base.window_cycles = 30_000;
+        base.drain = false;
+        let sweep = latency_vs_load(
+            single_chip_gateway,
+            &base,
+            &[0.5, 1.0],
+            SloConfig::default(),
+        )?;
+        assert_eq!(sweep.points.len(), 2);
+        assert!(sweep.knee_rps > 0.0);
+        let json = sweep.to_json();
+        assert!(json.contains("\"knee_rps\""), "{json}");
+        assert!(json.contains("\"collapse_rps\""), "{json}");
+        assert!(json.contains("\"p99_at_70pct_cycles\""), "{json}");
+        Ok(())
+    }
+}

@@ -21,7 +21,8 @@ use crate::{ClusterClient, ServeConfig};
 use parking_lot::Mutex;
 use pim_isa::Instruction;
 use pim_telemetry::{
-    Histogram, MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry, TrackHandle,
+    Gauge, Histogram, MetricsSnapshot, MetricsSource, RequestId, RequestStats, Telemetry,
+    TrackHandle,
 };
 use pypim_core::{CoreError, Device, ErrorClass, PlacementHint, Result, StepTicket, TaggedBatch};
 use std::collections::VecDeque;
@@ -40,12 +41,20 @@ pub(crate) struct BatchSlot {
 #[derive(Debug, Default)]
 struct SlotState {
     done: Option<Result<()>>,
+    /// Modeled cycle at which the outcome was recorded. Survives
+    /// `take_done` so a driver polling many futures after one pump drain
+    /// can still recover each batch's true completion time.
+    completed_at: Option<u64>,
     waker: Option<Waker>,
 }
 
 impl BatchSlot {
     fn take_done(&self) -> Option<Result<()>> {
         self.state.lock().done.take()
+    }
+
+    fn completed_at(&self) -> Option<u64> {
+        self.state.lock().completed_at
     }
 
     fn set_waker(&self, waker: &Waker) {
@@ -56,10 +65,11 @@ impl BatchSlot {
         self.state.lock().waker.take()
     }
 
-    fn complete(&self, result: Result<()>) {
+    fn complete(&self, result: Result<()>, at: u64) {
         let waker = {
             let mut st = self.state.lock();
             st.done = Some(result);
+            st.completed_at = Some(at);
             st.waker.take()
         };
         // Outside the lock: waking may immediately re-poll the future.
@@ -183,6 +193,14 @@ pub(crate) struct GatewayInner {
     queue_wait: Histogram,
     /// `serve.group_batches` — client batches per coalesced submission.
     group_size: Histogram,
+    /// `serve.queue_depth` — client batches currently waiting in session
+    /// queues, across all sessions. Updated at every queue mutation
+    /// (enqueue, pop, expiry, retry re-enqueue, session teardown/eviction),
+    /// so a point-in-time snapshot or counter track sees real occupancy.
+    queue_depth: Gauge,
+    /// `serve.in_flight` — client batches inside coalesced submissions
+    /// currently executing on the device.
+    in_flight: Gauge,
     state: Mutex<State>,
 }
 
@@ -236,6 +254,7 @@ impl GatewayInner {
         let (window, orphans) = {
             let mut st = self.state.lock();
             let orphans: Vec<PendingBatch> = st.queues[session].drain(..).collect();
+            self.queue_depth.add(-(orphans.len() as i64));
             st.gens[session] += 1;
             st.free_slots.push(session);
             (st.windows[session].take(), orphans)
@@ -245,8 +264,9 @@ impl GatewayInner {
         }
         // Outside the lock: completing a slot may wake its (cancelled)
         // future's waker.
+        let now = self.dev.telemetry().now();
         for b in orphans {
-            b.slot.complete(Err(CoreError::Evicted { session }));
+            b.slot.complete(Err(CoreError::Evicted { session }), now);
         }
     }
 
@@ -263,13 +283,15 @@ impl GatewayInner {
             st.evicted[session] = true;
             st.stats.evicted += 1;
             let dropped: Vec<PendingBatch> = st.queues[session].drain(..).collect();
+            self.queue_depth.add(-(dropped.len() as i64));
             (st.windows[session].take(), dropped)
         };
         if let Some(w) = window {
             self.dev.release_placement(w);
         }
+        let now = self.dev.telemetry().now();
         for b in dropped {
-            b.slot.complete(Err(CoreError::Evicted { session }));
+            b.slot.complete(Err(CoreError::Evicted { session }), now);
         }
     }
 
@@ -308,7 +330,7 @@ impl GatewayInner {
     ) -> ExecFuture {
         let slot = Arc::new(BatchSlot::default());
         if instrs.is_empty() {
-            slot.complete(Ok(()));
+            slot.complete(Ok(()), self.dev.telemetry().now());
             return ExecFuture::new(Arc::clone(self), slot);
         }
         // Route classification happens here, off the state lock, so
@@ -347,11 +369,12 @@ impl GatewayInner {
                     deadline,
                     attempts: 0,
                 });
+                self.queue_depth.add(1);
                 None
             }
         };
         if let Some(e) = rejected {
-            slot.complete(Err(e));
+            slot.complete(Err(e), enqueued_at);
         }
         ExecFuture::new(Arc::clone(self), slot)
     }
@@ -381,6 +404,7 @@ impl GatewayInner {
             }
         }
         st.stats.deadline_misses += expired.len() as u64;
+        self.queue_depth.add(-(expired.len() as i64));
         if st.inflight >= self.cfg.max_inflight {
             return (expired, Popped::Idle);
         }
@@ -422,6 +446,8 @@ impl GatewayInner {
             .collect();
         st.rr = (st.rr + 1) % n;
         st.inflight += 1;
+        self.queue_depth.add(-(batches.len() as i64));
+        self.in_flight.add(batches.len() as i64);
         st.stats.groups += 1;
         st.stats.batches += batches.len() as u64;
         st.stats.instructions += batches.iter().map(|b| b.instrs.len() as u64).sum::<u64>();
@@ -442,7 +468,7 @@ impl GatewayInner {
                 for b in expired {
                     let deadline = b.deadline.unwrap_or(now);
                     b.slot
-                        .complete(Err(CoreError::DeadlineExceeded { deadline, now }));
+                        .complete(Err(CoreError::DeadlineExceeded { deadline, now }), now);
                 }
             }
             match popped {
@@ -516,6 +542,7 @@ impl GatewayInner {
         {
             let mut st = self.state.lock();
             st.inflight -= 1;
+            self.in_flight.add(-(batches.len() as i64));
             for mut b in batches {
                 if let Some(d) = b.deadline.filter(|&d| now > d) {
                     st.stats.deadline_misses += 1;
@@ -540,14 +567,19 @@ impl GatewayInner {
                         .advance_clock(now.saturating_add(backoff));
                     let session = b.session;
                     st.queues[session].push_front(b);
+                    self.queue_depth.add(1);
                 } else {
                     deliver.push((b.slot, result.clone()));
                 }
             }
         }
         // Outside the lock: completing a slot may wake a client future.
+        // Stamped with this group's completion cycle — not the cycle at
+        // which the client eventually polls — so open-loop drivers see
+        // accurate per-batch completion times even when one pump call
+        // drains many groups back to back.
         for (slot, r) in deliver {
-            slot.complete(r);
+            slot.complete(r, now);
         }
     }
 
@@ -625,6 +657,15 @@ impl ExecFuture {
     pub(crate) fn new(gw: Arc<GatewayInner>, slot: Arc<BatchSlot>) -> Self {
         ExecFuture { gw, slot }
     }
+
+    /// Modeled cycle at which the batch's outcome was recorded, or `None`
+    /// while still pending. One gateway pump can retire several coalesced
+    /// groups before the client regains control, so the clock observed at
+    /// poll time overstates latency; this reports the group's actual
+    /// completion cycle. Remains available after the future resolves.
+    pub fn completed_at(&self) -> Option<u64> {
+        self.slot.completed_at()
+    }
 }
 
 impl Future for ExecFuture {
@@ -670,6 +711,8 @@ impl Gateway {
         let track = telemetry.track("gateway/admission");
         let queue_wait = telemetry.metrics().histogram("serve.queue_wait_cycles");
         let group_size = telemetry.metrics().histogram("serve.group_batches");
+        let queue_depth = telemetry.metrics().gauge("serve.queue_depth");
+        let in_flight = telemetry.metrics().gauge("serve.in_flight");
         Gateway {
             inner: Arc::new(GatewayInner {
                 dev,
@@ -677,6 +720,8 @@ impl Gateway {
                 track,
                 queue_wait,
                 group_size,
+                queue_depth,
+                in_flight,
                 state: Mutex::new(State::default()),
             }),
         }
@@ -998,6 +1043,39 @@ mod tests {
         // Survivor and newcomer still serve.
         assert_eq!(block_on(request(&b, 8, 2.0)).unwrap(), expect(8, 2.0));
         assert_eq!(block_on(request(&c, 8, 3.0)).unwrap(), expect(8, 3.0));
+    }
+
+    #[test]
+    fn depth_and_inflight_gauges_track_queue_occupancy() {
+        let gw = dev4().serve(ServeConfig::default());
+        let depth = gw.telemetry().metrics().gauge("serve.queue_depth");
+        let in_flight = gw.telemetry().metrics().gauge("serve.in_flight");
+        let client = gw.session().unwrap();
+        // Admission without polling: batches sit queued, nothing in flight.
+        let f1 = gw.inner.enqueue(client.id(), store_batch(&client));
+        let f2 = gw.inner.enqueue(client.id(), store_batch(&client));
+        assert_eq!(depth.get(), 2);
+        assert_eq!(in_flight.get(), 0);
+        block_on(f1).unwrap();
+        block_on(f2).unwrap();
+        // Everything executed: both gauges are back to zero.
+        assert_eq!(depth.get(), 0);
+        assert_eq!(in_flight.get(), 0);
+        // A cancelled future's orphaned batch leaves the gauge on session
+        // teardown, and a rejected admission never touches it.
+        let gw2 = dev4().serve(ServeConfig {
+            max_queue_depth: 1,
+            ..ServeConfig::default()
+        });
+        let depth2 = gw2.telemetry().metrics().gauge("serve.queue_depth");
+        let client2 = gw2.session().unwrap();
+        let fut = gw2.inner.enqueue(client2.id(), store_batch(&client2));
+        let rejected = block_on(gw2.inner.enqueue(client2.id(), store_batch(&client2)));
+        assert!(matches!(rejected, Err(CoreError::Overloaded { .. })));
+        assert_eq!(depth2.get(), 1);
+        drop(fut);
+        drop(client2);
+        assert_eq!(depth2.get(), 0);
     }
 
     #[test]

@@ -206,6 +206,15 @@ impl<'c> RequestPlan<'c> {
     pub async fn run(self) -> Result<()> {
         self.client.exec(self.instrs).await
     }
+
+    /// Finishes the plan *without* submitting, returning the fused
+    /// instruction batch. Load generators build a plan once per request
+    /// shape and replay clones of the batch through
+    /// [`ClusterClient::submit`]; the tensors planned into it must outlive
+    /// every replay (replays write the same stripes, in admission order).
+    pub fn into_instrs(self) -> Vec<Instruction> {
+        self.instrs
+    }
 }
 
 impl ClusterClient {

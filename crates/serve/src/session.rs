@@ -91,6 +91,17 @@ impl ClusterClient {
         self.gw.enqueue(self.id, instrs).await
     }
 
+    /// Like [`exec`](ClusterClient::exec), but returns the gateway's
+    /// [`ExecFuture`](crate::ExecFuture) directly: an owned future with no
+    /// borrow of this handle. Admission happens *now* (the batch is queued
+    /// before this returns); only polling pumps it through the device.
+    /// This is the handle open-loop load generators keep in their
+    /// in-flight tables — many may be outstanding per session, executing
+    /// in admission (FIFO) order.
+    pub fn submit(&self, instrs: Vec<Instruction>) -> crate::ExecFuture {
+        self.gw.enqueue(self.id, instrs)
+    }
+
     /// Like [`exec`](ClusterClient::exec), with a per-batch deadline of
     /// `deadline_cycles` modeled cycles from admission (overriding
     /// [`ServeConfig::deadline_cycles`](crate::ServeConfig); `0` disables

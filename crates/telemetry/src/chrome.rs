@@ -3,10 +3,12 @@
 //! Emits the classic trace-event format (`{"traceEvents": [...]}`) that
 //! both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
 //! load directly: one `"M"` (metadata) event naming each track as a thread
-//! of a single `pim` process, then one `"X"` (complete) event per recorded
-//! span. Timestamps are microseconds by convention; we map **1 modeled
-//! cycle = 1 µs**, so the viewer's time axis reads directly in modeled
-//! cycles.
+//! of a single `pim` process, one `"X"` (complete) event per recorded
+//! span, and one `"C"` (counter) event per counter-track sample — Perfetto
+//! renders those as value-over-time counter tracks (queue depth, in-flight,
+//! utilization) alongside the span timelines. Timestamps are microseconds
+//! by convention; we map **1 modeled cycle = 1 µs**, so the viewer's time
+//! axis reads directly in modeled cycles.
 
 use crate::trace::TraceRecorder;
 
@@ -68,6 +70,21 @@ impl TraceRecorder {
                 );
             }
         }
+        for (name, samples, _dropped) in self.counter_tracks() {
+            for (ts, value) in samples {
+                // Perfetto groups "C" events by (pid, name) into one
+                // counter track; non-finite values would break the JSON.
+                let v = if value.is_finite() { value } else { 0.0 };
+                push(
+                    format!(
+                        "{{\"ph\":\"C\",\"name\":\"{}\",\"cat\":\"pim\",\"pid\":1,\
+                         \"tid\":0,\"ts\":{ts},\"args\":{{\"value\":{v}}}}}",
+                        escape(&name)
+                    ),
+                    &mut first,
+                );
+            }
+        }
         out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
         out
     }
@@ -101,6 +118,31 @@ mod tests {
         let json = t.recorder().export_chrome_trace();
         // A dur of 0 renders invisibly in the viewers; exported as 1.
         assert!(json.contains("\"dur\":1"), "{json}");
+    }
+
+    #[test]
+    fn counter_samples_export_as_counter_events() {
+        let t = Telemetry::recording();
+        t.track("shard-0")
+            .record_complete("exec", 0, 5, RequestId::UNTAGGED, None);
+        let depth = t.counter_track("gateway/queue_depth");
+        depth.record(100, 3.0);
+        depth.record(200, 1.5);
+        t.counter_track("bad").record(300, f64::NAN);
+        let json = t.recorder().export_chrome_trace();
+        assert!(
+            json.contains("\"ph\":\"C\",\"name\":\"gateway/queue_depth\""),
+            "{json}"
+        );
+        assert!(json.contains("\"ts\":100,\"args\":{\"value\":3}"), "{json}");
+        assert!(
+            json.contains("\"ts\":200,\"args\":{\"value\":1.5}"),
+            "{json}"
+        );
+        // Non-finite samples are clamped so the JSON stays parseable.
+        assert!(json.contains("\"ts\":300,\"args\":{\"value\":0}"), "{json}");
+        // Span tracks still export alongside.
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! # pim-telemetry
 //!
 //! Unified observability for the PyPIM stack: lock-cheap metrics
-//! ([`MetricsRegistry`], [`MetricsSnapshot`]), span-based tracing on the
-//! modeled clock ([`Telemetry`], [`TraceRecorder`]), per-request
-//! attribution ([`RequestId`], [`RequestStats`]), and Chrome/Perfetto
-//! trace export ([`TraceRecorder::export_chrome_trace`]).
+//! ([`MetricsRegistry`], [`MetricsSnapshot`]), windowed time series over
+//! them ([`WindowSampler`], [`WindowSample`]), span-based tracing on the
+//! modeled clock ([`Telemetry`], [`TraceRecorder`]) with counter tracks
+//! ([`CounterHandle`]), per-request attribution ([`RequestId`],
+//! [`RequestStats`]), and Chrome/Perfetto trace export
+//! ([`TraceRecorder::export_chrome_trace`]).
 //!
 //! The crate deliberately has no dependencies — every layer of the stack
 //! (simulator, cluster, device, gateway, benches) links it, so it must be
@@ -18,13 +20,15 @@
 
 mod chrome;
 mod metrics;
+mod series;
 mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, MetricsSource,
-    SUB_BUCKETS,
+    Counter, Gauge, Histogram, HistogramSnapshot, HistogramState, MetricsRegistry, MetricsSnapshot,
+    MetricsSource, SUB_BUCKETS,
 };
+pub use series::{render_window_table, WindowSample, WindowSampler};
 pub use trace::{
-    RequestId, RequestStats, SpanGuard, Telemetry, TelemetryConfig, TraceEvent, TraceRecorder,
-    TrackHandle, TrackId,
+    CounterHandle, CounterId, RequestId, RequestStats, SpanGuard, Telemetry, TelemetryConfig,
+    TraceEvent, TraceRecorder, TrackHandle, TrackId,
 };

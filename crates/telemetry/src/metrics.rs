@@ -177,6 +177,23 @@ impl Histogram {
         self.0.max.load(Ordering::Relaxed)
     }
 
+    /// Full bucket-state snapshot, diffable via [`HistogramState::since`].
+    /// Unlike [`HistogramSnapshot`] (pre-computed quantiles, not diffable),
+    /// a state carries every bucket count, so the difference of two states
+    /// yields exact windowed counts and windowed quantiles.
+    pub fn state(&self) -> HistogramState {
+        HistogramState {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
     /// Immutable summary of the current contents.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
@@ -222,6 +239,123 @@ impl HistogramSnapshot {
             0.0
         } else {
             self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Full bucket-count snapshot of a [`Histogram`], capturing every log
+/// bucket rather than pre-computed quantiles. Two states taken at
+/// different times diff with [`since`](HistogramState::since) into the
+/// samples recorded *between* them — the primitive behind windowed
+/// percentile series ([`crate::series`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramState {
+    buckets: Box<[u64]>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramState {
+    fn default() -> Self {
+        HistogramState {
+            buckets: vec![0; BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramState {
+    /// An empty state (useful as the initial baseline of a series).
+    pub fn empty() -> Self {
+        HistogramState::default()
+    }
+
+    /// Samples held in this state.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples held in this state.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The state containing exactly the samples recorded after `earlier`
+    /// was taken and before `self` was. Per-bucket saturating subtraction,
+    /// so a mismatched pair (e.g. across a histogram reset) degrades to
+    /// zeros instead of wrapping.
+    pub fn since(&self, earlier: &HistogramState) -> HistogramState {
+        HistogramState {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// The `q`-quantile over the samples in this state, as the upper bound
+    /// of the bucket where the cumulative count crosses `q · count`,
+    /// clamped to the highest occupied bucket. Same one-log-bucket error
+    /// bound as [`Histogram::quantile`]; exact min/max are not carried
+    /// through a diff, so the clamp is the bucket bound, not the sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return bucket_high(i).min(self.approx_max());
+            }
+        }
+        self.approx_max()
+    }
+
+    /// Number of samples strictly above the bucket containing `v` — used
+    /// for SLO error-budget accounting ("requests over target"). Counts at
+    /// bucket granularity: samples in `v`'s own bucket are *not* counted.
+    pub fn count_over(&self, v: u64) -> u64 {
+        let cut = bucket_of(v);
+        self.buckets.iter().skip(cut + 1).sum()
+    }
+
+    /// Upper bound of the highest occupied bucket (0 when empty).
+    fn approx_max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(bucket_high)
+            .unwrap_or(0)
+    }
+
+    /// Lower bound of the lowest occupied bucket (0 when empty).
+    fn approx_min(&self) -> u64 {
+        self.buckets
+            .iter()
+            .position(|&b| b > 0)
+            .map(bucket_low)
+            .unwrap_or(0)
+    }
+
+    /// Summary of this state. `min`/`max` are bucket bounds (within one
+    /// log-bucket of the true extremes), since exact extremes cannot be
+    /// recovered from a diff of two cumulative states.
+    pub fn summary(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.approx_min(),
+            max: self.approx_max(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 }
@@ -347,6 +481,28 @@ impl MetricsSnapshot {
         self
     }
 
+    /// The delta view of this snapshot relative to an earlier `baseline`:
+    /// counters become the increase since the baseline (saturating, so a
+    /// reset degrades to 0 instead of wrapping), gauges keep their current
+    /// (instantaneous) value, and histogram `count`/`sum` are diffed while
+    /// the quantile fields keep their *cumulative* values — summary
+    /// snapshots cannot be diffed for percentiles. For true windowed
+    /// percentiles track the histogram through [`crate::series`], which
+    /// diffs full [`HistogramState`]s.
+    pub fn since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (k, v) in out.counters.iter_mut() {
+            *v = v.saturating_sub(baseline.counters.get(k).copied().unwrap_or(0));
+        }
+        for (k, h) in out.histograms.iter_mut() {
+            if let Some(base) = baseline.histograms.get(k) {
+                h.count = h.count.saturating_sub(base.count);
+                h.sum = h.sum.saturating_sub(base.sum);
+            }
+        }
+        out
+    }
+
     /// Machine-readable JSON: `{"counters": {..}, "gauges": {..},
     /// "histograms": {name: {count, sum, min, max, p50, p99, p999}}}`.
     pub fn to_json(&self) -> String {
@@ -469,6 +625,50 @@ mod tests {
         assert_eq!(snap.counters["a"], 3);
         assert_eq!(snap.gauges["g"], -5);
         assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn histogram_state_diff_isolates_the_window() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let mid = h.state();
+        for v in 100_000..=101_000u64 {
+            h.record(v);
+        }
+        let window = h.state().since(&mid);
+        // Only the second burst is in the window: count and quantiles must
+        // reflect 100_000..=101_000, not the earlier 1..=1000 samples.
+        assert_eq!(window.count(), 1001);
+        assert!(window.quantile(0.5) >= 100_000, "{}", window.quantile(0.5));
+        let s = window.summary();
+        assert!(s.min >= bucket_low(bucket_of(100_000)).min(100_000));
+        assert!(s.p99 >= 100_000 && s.p999 >= s.p99);
+        // Cumulative readout still sees everything.
+        assert_eq!(h.state().quantile(0.01), h.quantile(0.01));
+        // count_over at bucket granularity: everything in the window is
+        // over 50_000, nothing is over the window max's bucket.
+        assert_eq!(window.count_over(50_000), 1001);
+        assert_eq!(window.count_over(101_000), 0);
+    }
+
+    #[test]
+    fn snapshot_since_diffs_counters_and_histogram_counts() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(10);
+        reg.gauge("g").set(3);
+        reg.histogram("h").record(5);
+        let base = reg.snapshot();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(9);
+        reg.histogram("h").record(6);
+        reg.counter("new").add(2);
+        let delta = reg.snapshot().since(&base);
+        assert_eq!(delta.counters["c"], 7);
+        assert_eq!(delta.counters["new"], 2); // absent from baseline => full value
+        assert_eq!(delta.gauges["g"], 9); // gauges stay instantaneous
+        assert_eq!(delta.histograms["h"].count, 1);
     }
 
     #[test]

@@ -100,12 +100,29 @@ pub(crate) struct Track {
     pub(crate) buf: Mutex<TrackBuf>,
 }
 
-/// Ring-buffered span storage, one buffer per track. Tracks are meant to be
-/// owned by one recording thread each (a shard worker records only onto its
-/// own track), so the per-track mutex is uncontended in steady state.
+pub(crate) struct CounterBuf {
+    pub(crate) samples: VecDeque<(u64, f64)>,
+    pub(crate) dropped: u64,
+}
+
+pub(crate) struct CounterTrack {
+    pub(crate) name: String,
+    pub(crate) buf: Mutex<CounterBuf>,
+}
+
+/// One counter track's snapshot: `(name, (ts, value) samples, dropped)`.
+pub type CounterTrackSnapshot = (String, Vec<(u64, f64)>, u64);
+
+/// Ring-buffered span storage, one buffer per track, plus counter tracks
+/// (timestamped scalar samples — queue depth, in-flight, utilization) that
+/// export as Perfetto counter tracks next to the span tracks. Tracks are
+/// meant to be owned by one recording thread each (a shard worker records
+/// only onto its own track), so the per-track mutex is uncontended in
+/// steady state.
 #[derive(Default)]
 pub struct TraceRecorder {
     pub(crate) tracks: RwLock<Vec<Track>>,
+    pub(crate) counters: RwLock<Vec<CounterTrack>>,
     capacity: usize,
 }
 
@@ -121,6 +138,7 @@ impl TraceRecorder {
     fn with_capacity(capacity: usize) -> Self {
         TraceRecorder {
             tracks: RwLock::new(Vec::new()),
+            counters: RwLock::new(Vec::new()),
             capacity,
         }
     }
@@ -154,6 +172,52 @@ impl TraceRecorder {
         buf.events.push_back(event);
     }
 
+    /// Registers (or finds) the counter track named `name`.
+    pub fn register_counter_track(&self, name: &str) -> CounterId {
+        let mut counters = self.counters.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = counters.iter().position(|t| t.name == name) {
+            return CounterId(i as u32);
+        }
+        counters.push(CounterTrack {
+            name: name.to_string(),
+            buf: Mutex::new(CounterBuf {
+                samples: VecDeque::new(),
+                dropped: 0,
+            }),
+        });
+        CounterId(counters.len() as u32 - 1)
+    }
+
+    fn record_counter(&self, id: CounterId, ts: u64, value: f64) {
+        let counters = self.counters.read().unwrap_or_else(|e| e.into_inner());
+        let Some(t) = counters.get(id.0 as usize) else {
+            return;
+        };
+        let mut buf = t.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.samples.len() >= self.capacity {
+            buf.samples.pop_front();
+            buf.dropped += 1;
+        }
+        buf.samples.push_back((ts, value));
+    }
+
+    /// Snapshot of every counter track:
+    /// `(name, (ts, value) samples, dropped count)`.
+    pub fn counter_tracks(&self) -> Vec<CounterTrackSnapshot> {
+        let counters = self.counters.read().unwrap_or_else(|e| e.into_inner());
+        counters
+            .iter()
+            .map(|t| {
+                let buf = t.buf.lock().unwrap_or_else(|e| e.into_inner());
+                (
+                    t.name.clone(),
+                    buf.samples.iter().copied().collect(),
+                    buf.dropped,
+                )
+            })
+            .collect()
+    }
+
     /// Snapshot of every track: `(track name, events, dropped count)`.
     pub fn tracks(&self) -> Vec<(String, Vec<TraceEvent>, u64)> {
         let tracks = self.tracks.read().unwrap_or_else(|e| e.into_inner());
@@ -170,12 +234,19 @@ impl TraceRecorder {
             .collect()
     }
 
-    /// Discards every recorded event (track registrations are kept).
+    /// Discards every recorded event and counter sample (track
+    /// registrations are kept).
     pub fn clear(&self) {
         let tracks = self.tracks.read().unwrap_or_else(|e| e.into_inner());
         for t in tracks.iter() {
             let mut buf = t.buf.lock().unwrap_or_else(|e| e.into_inner());
             buf.events.clear();
+            buf.dropped = 0;
+        }
+        let counters = self.counters.read().unwrap_or_else(|e| e.into_inner());
+        for t in counters.iter() {
+            let mut buf = t.buf.lock().unwrap_or_else(|e| e.into_inner());
+            buf.samples.clear();
             buf.dropped = 0;
         }
     }
@@ -184,6 +255,10 @@ impl TraceRecorder {
 /// Identifier of one registered track.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrackId(pub(crate) u32);
+
+/// Identifier of one registered counter track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) u32);
 
 /// Modeled cycles, cross-chip words, and queue-wait attributed to one
 /// request by the spans recorded against its [`RequestId`].
@@ -323,6 +398,16 @@ impl Telemetry {
         }
     }
 
+    /// Registers (or finds) a counter track, returning a recording handle
+    /// bound to it. Counter samples export as Perfetto counter tracks
+    /// (`"ph": "C"` events) alongside span tracks.
+    pub fn counter_track(&self, name: &str) -> CounterHandle {
+        CounterHandle {
+            telemetry: self.clone(),
+            counter: self.inner.recorder.register_counter_track(name),
+        }
+    }
+
     /// The current global modeled clock: the high-water mark of every
     /// shard's cycle counter plus host-charged link cycles.
     pub fn now(&self) -> u64 {
@@ -453,6 +538,43 @@ impl TrackHandle {
                 None
             },
         }
+    }
+}
+
+/// A recording handle bound to one counter track. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct CounterHandle {
+    telemetry: Telemetry,
+    counter: CounterId,
+}
+
+impl CounterHandle {
+    /// Whether recording is currently armed (one relaxed load).
+    pub fn is_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// Records `value` at modeled cycle `ts`. No-op when disabled.
+    pub fn record(&self, ts: u64, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .inner
+            .recorder
+            .record_counter(self.counter, ts, value);
+    }
+
+    /// Records `value` at the current global modeled clock.
+    pub fn record_now(&self, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = self.telemetry.now();
+        self.telemetry
+            .inner
+            .recorder
+            .record_counter(self.counter, now, value);
     }
 }
 
@@ -599,6 +721,29 @@ mod tests {
         let b = t.recorder().register_track("x");
         assert_eq!(a, b);
         assert_eq!(t.recorder().tracks().len(), 1);
+    }
+
+    #[test]
+    fn counter_tracks_record_and_clear() {
+        let t = Telemetry::recording();
+        let depth = t.counter_track("gateway/queue_depth");
+        depth.record(100, 3.0);
+        t.advance_clock(250);
+        depth.record_now(5.0);
+        // Registration is idempotent; recording through a second handle
+        // lands on the same track.
+        t.counter_track("gateway/queue_depth").record(300, 2.0);
+        let tracks = t.recorder().counter_tracks();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].0, "gateway/queue_depth");
+        assert_eq!(tracks[0].1, vec![(100, 3.0), (250, 5.0), (300, 2.0)]);
+        t.clear();
+        assert!(t.recorder().counter_tracks()[0].1.is_empty());
+
+        // Disabled handles record nothing.
+        let off = Telemetry::disabled();
+        off.counter_track("x").record(1, 1.0);
+        assert!(off.recorder().counter_tracks()[0].1.is_empty());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests pinning the log-bucketed histogram's accuracy claim:
+//! p50/p99/p999 read out within **one bucket's relative error** of the
+//! exact (nearest-rank) percentiles, on adversarial sample distributions —
+//! heavy tails, point masses, exponential spreads, and tiny values.
+//!
+//! With `SUB_BUCKETS` sub-buckets per power of two, a bucket holding value
+//! `v` is at most `max(1, v / SUB_BUCKETS)` wide, so that is the error
+//! budget asserted here — both for cumulative readout
+//! ([`Histogram::quantile`]) and for windowed readout through a
+//! [`HistogramState`] diff.
+
+use pim_telemetry::{Histogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile: the sample at rank `ceil(q·n)` (1-based)
+/// of the sorted data — the same rank definition the histogram walks
+/// cumulative bucket counts with.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// One bucket's width at value `v`: buckets below `SUB_BUCKETS` are exact
+/// (width 1); above, each power of two splits into `SUB_BUCKETS` buckets.
+fn bucket_error_budget(v: u64) -> u64 {
+    (v / SUB_BUCKETS).max(1)
+}
+
+/// Decodes one generated `(class, magnitude)` pair into an adversarial
+/// sample: tiny exact values, mid-range clusters, power-of-two heavy tails,
+/// and a point mass — the shapes that stress log bucketing the most.
+fn decode_sample(class: u8, magnitude: u16) -> u64 {
+    match class % 4 {
+        0 => u64::from(magnitude) % 40,          // tiny: exact buckets
+        1 => (u64::from(magnitude) + 1) * 1_000, // mid-range spread
+        2 => (1u64 << (magnitude % 40 + 10)) + u64::from(class), // heavy tail
+        _ => 777_777,                            // point mass (ties)
+    }
+}
+
+const QUANTILES: [f64; 3] = [0.50, 0.99, 0.999];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cumulative readout: every headline quantile lands within one
+    /// bucket's width of the exact nearest-rank percentile.
+    #[test]
+    fn bucketed_quantiles_match_exact_within_one_bucket(
+        raw in proptest::collection::vec(any::<(u8, u16)>(), 1..512),
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&(c, m)| decode_sample(c, m)).collect();
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.quantile(q);
+            prop_assert!(
+                got.abs_diff(exact) <= bucket_error_budget(exact),
+                "q={q}: got {got}, exact {exact}, budget {} over {} samples",
+                bucket_error_budget(exact),
+                samples.len()
+            );
+        }
+        // The summary agrees with the per-quantile readout and the exact
+        // extremes (min/max are tracked exactly on the cumulative path).
+        let s = h.snapshot();
+        prop_assert_eq!(s.min, sorted[0]);
+        prop_assert_eq!(s.max, *sorted.last().unwrap());
+        prop_assert_eq!(s.p999, h.quantile(0.999));
+    }
+
+    /// Windowed readout: diffing two bucket states isolates the second
+    /// half of the stream, and its quantiles hit the same one-bucket error
+    /// bound against exact percentiles of that half alone.
+    #[test]
+    fn windowed_state_diff_quantiles_match_exact(
+        first in proptest::collection::vec(any::<(u8, u16)>(), 1..256),
+        second in proptest::collection::vec(any::<(u8, u16)>(), 1..256),
+    ) {
+        let h = Histogram::new();
+        for &(c, m) in &first {
+            h.record(decode_sample(c, m));
+        }
+        let baseline = h.state();
+        let window_samples: Vec<u64> =
+            second.iter().map(|&(c, m)| decode_sample(c, m)).collect();
+        for &v in &window_samples {
+            h.record(v);
+        }
+        let window = h.state().since(&baseline);
+        prop_assert_eq!(window.count(), window_samples.len() as u64);
+        prop_assert_eq!(window.sum(), window_samples.iter().sum::<u64>());
+        let mut sorted = window_samples;
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let exact = exact_quantile(&sorted, q);
+            let got = window.quantile(q);
+            // Windowed max clamps to a bucket bound (exact extremes don't
+            // survive a diff), so the budget covers one bucket at the got
+            // value too.
+            let budget = bucket_error_budget(exact).max(bucket_error_budget(got));
+            prop_assert!(
+                got.abs_diff(exact) <= budget,
+                "windowed q={q}: got {got}, exact {exact}, budget {budget}"
+            );
+        }
+    }
+}

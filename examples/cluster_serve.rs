@@ -20,8 +20,11 @@
 use futures::executor::block_on;
 use futures::future::join_all;
 use pypim::driver::ParallelismMode;
+use pypim::loadgen::MODELED_CYCLES_PER_SEC;
 use pypim::serve::ClusterClient;
+use pypim::telemetry::WindowSampler;
 use pypim::{Device, DeviceServeExt, InterconnectConfig, PimConfig, Result, ServeConfig};
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 const SHARDS: usize = 4;
@@ -99,20 +102,50 @@ fn main() -> Result<()> {
          {request_elems}-element requests, no in-flight bound",
     );
 
+    // Windowed time series over the serving run: every request completion
+    // checks whether the modeled clock crossed the next window boundary
+    // and closes the window if so. All client futures run on this one host
+    // thread (block_on), so a RefCell suffices.
+    const WINDOW_CYCLES: u64 = 50_000;
+    let telemetry = gateway.telemetry().clone();
+    let mut sampler = WindowSampler::new(WINDOW_CYCLES);
+    sampler.watch_histogram(
+        "serve.queue_wait_cycles",
+        &telemetry.metrics().histogram("serve.queue_wait_cycles"),
+    );
+    let sampler = RefCell::new(sampler);
+    let gw = &gateway;
+
     // One host thread drives all clients' requests concurrently.
     let start = Instant::now();
-    let outcomes: Vec<Result<(f32, Vec<Duration>)>> = block_on(join_all(
-        clients.iter().enumerate().map(|(cid, client)| async move {
-            let mut acc = 0.0f32;
-            let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
-            for req in 0..REQUESTS_PER_CLIENT {
-                let t0 = Instant::now();
-                acc += serve_request(client, &payload(cid, req, request_elems)).await?;
-                latencies.push(t0.elapsed());
+    let outcomes: Vec<Result<(f32, Vec<Duration>)>> =
+        block_on(join_all(clients.iter().enumerate().map(|(cid, client)| {
+            let sampler = &sampler;
+            let telemetry = &telemetry;
+            async move {
+                let mut acc = 0.0f32;
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for req in 0..REQUESTS_PER_CLIENT {
+                    let t0 = Instant::now();
+                    acc += serve_request(client, &payload(cid, req, request_elems)).await?;
+                    latencies.push(t0.elapsed());
+                    let now = telemetry.now();
+                    let mut s = sampler.borrow_mut();
+                    if s.ready(now) {
+                        s.sample(now, gw.metrics_snapshot()?);
+                    }
+                }
+                Ok((acc, latencies))
             }
-            Ok((acc, latencies))
-        }),
-    ));
+        })));
+    // Close the partial tail window so the table covers the whole run.
+    {
+        let now = telemetry.now();
+        let mut s = sampler.borrow_mut();
+        if s.last().map_or(0, |w| w.end) < now {
+            s.sample(now, gw.metrics_snapshot()?);
+        }
+    }
 
     let mut total = 0.0f32;
     let mut latencies: Vec<Duration> = Vec::new();
@@ -150,6 +183,21 @@ fn main() -> Result<()> {
     // counters (incl. the queue-wait/group-size histograms with their
     // p50/p99/p999 tails), cluster.* traffic, sim.* profiler counters.
     println!("\n{}", gateway.metrics_snapshot()?.render());
+
+    // The windowed view of the same run: batch throughput, queue
+    // depth/in-flight at each window close, and the *windowed* queue-wait
+    // tail (each window's p99 over only that window's submissions, not
+    // the run-cumulative figure above).
+    println!("windowed time series ({WINDOW_CYCLES}-cycle windows, 1 cycle = 1 us modeled):");
+    println!(
+        "{}",
+        sampler.borrow().render_table(
+            MODELED_CYCLES_PER_SEC,
+            &["serve.batches"],
+            &["serve.queue_depth", "serve.in_flight"],
+            &["serve.queue_wait_cycles"],
+        )
+    );
 
     // Per-session attribution, summed from the RequestId-tagged spans.
     println!("per-session attribution (modeled cycles):");

@@ -22,9 +22,14 @@
 //!   into shared cluster submissions ([`Gateway`], [`ClusterClient`]).
 //! * [`telemetry`] — unified tracing + metrics: a lock-cheap registry
 //!   (counters/gauges/log-bucketed histograms behind one
-//!   `MetricsSnapshot`) and span tracing on the modeled clock with
-//!   per-request attribution (`RequestId`) and Chrome/Perfetto trace
-//!   export. Zero-cost when disabled (the default).
+//!   `MetricsSnapshot`), windowed time series (`WindowSampler`), and
+//!   span/counter-track tracing on the modeled clock with per-request
+//!   attribution (`RequestId`) and Chrome/Perfetto trace export.
+//!   Zero-cost when disabled (the default).
+//! * [`loadgen`] — open-loop traffic harness: seeded Poisson/burst/ramp
+//!   arrival schedules drive gateway sessions at scheduled modeled
+//!   cycles, producing windowed SLO reports and latency-vs-load sweeps
+//!   (knee and collapse points) — see `examples/loadgen_demo.rs`.
 //! * The development library ([`Tensor`], [`Device`], …) — NumPy-like
 //!   tensors with views, reductions, sorting, and CORDIC routines.
 //!
@@ -122,6 +127,7 @@ pub use pim_cluster as cluster;
 pub use pim_driver as driver;
 pub use pim_func as func;
 pub use pim_isa as isa;
+pub use pim_loadgen as loadgen;
 pub use pim_serve as serve;
 pub use pim_sim as sim;
 pub use pim_telemetry as telemetry;

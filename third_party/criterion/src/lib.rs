@@ -72,6 +72,9 @@ pub struct SampleStats {
     pub p50: f64,
     /// 99th-percentile sample — the tail a throughput median hides.
     pub p99: f64,
+    /// 99.9th-percentile sample (equals `p99` for the stub's small timed
+    /// sample counts; carries a real far tail for caller-reported stats).
+    pub p999: f64,
     /// Total iterations across every sample.
     pub iters: u64,
 }
@@ -86,6 +89,7 @@ impl SampleStats {
             mean: seconds,
             p50: seconds,
             p99: seconds,
+            p999: seconds,
             iters: 1,
         }
     }
@@ -105,6 +109,7 @@ impl SampleStats {
             mean: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
             p50: nearest(0.50),
             p99: nearest(0.99),
+            p999: nearest(0.999),
             iters,
         })
     }
@@ -347,7 +352,8 @@ impl Criterion {
             };
             out.push_str(&format!(
                 "    {{\"group\": {:?}, \"id\": {:?}, \"min_s\": {:e}, \"median_s\": {:e}, \
-                 \"mean_s\": {:e}, \"p50_s\": {:e}, \"p99_s\": {:e}, \"iters\": {}, \
+                 \"mean_s\": {:e}, \"p50_s\": {:e}, \"p99_s\": {:e}, \"p999_s\": {:e}, \
+                 \"iters\": {}, \
                  \"throughput_kind\": {}, \
                  \"throughput_per_iter\": {}, \"per_sec_median\": {:e}}}{}\n",
                 r.group,
@@ -357,6 +363,7 @@ impl Criterion {
                 r.stats.mean,
                 r.stats.p50,
                 r.stats.p99,
+                r.stats.p999,
                 r.stats.iters,
                 tp_kind,
                 tp_per_iter,
@@ -435,6 +442,7 @@ mod tests {
         assert_eq!(stats.mean, 2.0);
         assert_eq!(stats.p50, 2.0);
         assert_eq!(stats.p99, 3.0, "p99 reports the tail sample");
+        assert_eq!(stats.p999, 3.0, "p999 collapses to the tail sample");
         let c = Criterion {
             records: vec![Record {
                 group: "g".into(),
@@ -449,6 +457,7 @@ mod tests {
         assert!(json.contains("\"median_s\": 2e0"), "{json}");
         assert!(json.contains("\"p50_s\": 2e0"), "{json}");
         assert!(json.contains("\"p99_s\": 3e0"), "{json}");
+        assert!(json.contains("\"p999_s\": 3e0"), "{json}");
         assert!(json.contains("\"throughput_kind\": \"elements\""), "{json}");
     }
 
