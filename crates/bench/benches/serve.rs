@@ -481,5 +481,92 @@ fn bench_open_loop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve, bench_open_loop);
+/// Multi-host degraded serving (`pim-fleet` + `pim-loadgen`): seeded
+/// open-loop Poisson traffic over a three-host fleet whose *leader* is
+/// crashed mid-horizon. The lease elector detects the lapse on the
+/// modeled clock, re-elects, and re-places the orphaned sessions;
+/// in-flight results against the dead placement are discarded and
+/// re-issued. Rows:
+///
+/// * `fleet_degraded_leader_kill` — modeled requests/s actually achieved
+///   across the whole run, failover included (the gap to the fault-free
+///   gateway rows is the fleet-level recovery tax);
+/// * `fleet_failover_recovery_cycles` — distribution of failover
+///   detection latency (modeled seconds from a host's last heartbeat to
+///   the lapse being declared); the headline is the p99.
+///
+/// Hosts are single-chip functional-backend gateways, so execution is
+/// inline and the rows replay bit-identically from the seed.
+fn bench_fleet(c: &mut Criterion) {
+    use pim_fault::HostFaultPlan;
+    use pim_fleet::{Fleet, FleetConfig};
+    use pim_loadgen::{
+        run_fleet, ArrivalProfile, ClassSpec, LoadgenConfig, RequestShape, MODELED_CYCLES_PER_SEC,
+    };
+
+    let fleet = Fleet::new(FleetConfig {
+        hosts: 3,
+        chip: PimConfig::small().with_crossbars(8),
+        serve: ServeConfig {
+            max_queue_depth: 0, // open loop: overload must queue, not reject
+            ..ServeConfig::default()
+        },
+        fault: HostFaultPlan::none().crash_at(0, 150_000),
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let cfg = LoadgenConfig {
+        seed: 2024,
+        horizon_cycles: 300_000,
+        window_cycles: 60_000,
+        classes: vec![
+            ClassSpec::new(
+                "fused",
+                RequestShape::Fused,
+                ArrivalProfile::Poisson { rate: 80.0 },
+                16,
+            ),
+            ClassSpec::new(
+                "reduction",
+                RequestShape::Reduction,
+                ArrivalProfile::Poisson { rate: 20.0 },
+                16,
+            ),
+        ],
+        sessions_per_class: 2,
+        latency_target_cycles: 0,
+        drain: true,
+    };
+    let report = run_fleet(&fleet, &cfg).unwrap();
+    assert_eq!(report.fleet.failovers, 1, "leader-kill schedule must fire");
+    assert_eq!(report.fleet.leader_changes, 1);
+    assert_eq!(report.completed + report.failed, report.injected);
+    assert_eq!(report.failed, 0, "two survivors must absorb the load");
+    assert!(report.failover_cycles.count >= 1);
+
+    let mut group = c.benchmark_group("serve");
+    group.report_metric(
+        "fleet_degraded_leader_kill",
+        report.end_cycle as f64 / MODELED_CYCLES_PER_SEC,
+        Some(Throughput::Elements(report.completed)),
+    );
+    let fo = &report.failover_cycles;
+    let to_s = |cycles: u64| cycles as f64 / MODELED_CYCLES_PER_SEC;
+    group.report_stats(
+        "fleet_failover_recovery_cycles",
+        SampleStats {
+            min: to_s(fo.min),
+            median: to_s(fo.p99),
+            mean: fo.mean() / MODELED_CYCLES_PER_SEC,
+            p50: to_s(fo.p50),
+            p99: to_s(fo.p99),
+            p999: to_s(fo.p999),
+            iters: fo.count,
+        },
+        None,
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_open_loop, bench_fleet);
 criterion_main!(benches);

@@ -1583,11 +1583,14 @@ impl PimCluster {
     /// Consults the fault injector for one staged burst; a scheduled drop
     /// or detected corruption aborts the transfer *before* any data moves,
     /// so nothing of a faulted message ever lands (no silent corruption).
+    /// Both by-index and cycle-window schedules apply — the burst is
+    /// stamped with the modeled clock so window schedules (partitions) see
+    /// when it was staged.
     fn check_link(&self, src_shard: usize, dst_shard: usize) -> Result<(), ClusterError> {
         let Some(inj) = &self.fault else {
             return Ok(());
         };
-        if let Some(fault) = inj.link_fault() {
+        if let Some(fault) = inj.link_fault_at(self.telemetry.now()) {
             return Err(ClusterError::LinkFault {
                 src_shard,
                 dst_shard,

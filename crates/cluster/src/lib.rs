@@ -115,7 +115,10 @@ pub use error::{ClusterError, ErrorClass, LinkFaultKind};
 pub use interconnect::{
     DrainPolicy, Interconnect, InterconnectConfig, MessageGroup, Staging, TrafficStats, WORD_BITS,
 };
-pub use pim_fault::{FaultInjector, FaultPlan, FaultProfile, FaultStats, LinkFault, WorkerFault};
+pub use pim_fault::{
+    FaultInjector, FaultPlan, FaultProfile, FaultStats, HostFault, HostFaultPlan, HostFaultProfile,
+    LinkFault, LinkWindow, WorkerFault,
+};
 pub use pim_func::{AnyBackend, BackendKind};
 pub use pim_telemetry::{RequestId, RequestStats, Telemetry, TelemetryConfig};
 pub use plan::{MoveRoute, ShardPlan};

@@ -56,8 +56,8 @@ pub use device::{Device, ReadTicket, StepTicket};
 pub use error::{CoreError, Result};
 pub use movement::{compact_with_padding, copy, materialize_like, plan_copy, shifted};
 pub use pim_cluster::{
-    ClusterOptions, ErrorClass, FaultInjector, FaultPlan, FaultProfile, LinkFaultKind,
-    RecoveryConfig, ShardBackends,
+    ClusterOptions, ErrorClass, FaultInjector, FaultPlan, FaultProfile, HostFault, HostFaultPlan,
+    HostFaultProfile, LinkFaultKind, LinkWindow, RecoveryConfig, ShardBackends,
 };
 pub use pim_func::BackendKind;
 pub use reduce::identity_bits;

@@ -6,13 +6,21 @@
 //! shard workers and transfer path through an `Option<Arc<FaultInjector>>`
 //! hook — **zero-cost and bit-identical when absent**.
 //!
-//! Faults trigger on *logical* progress counters, never on wall-clock
-//! time: worker faults fire on the N-th executable job a shard receives,
-//! link faults on the N-th message burst the interconnect stages. The same
-//! workload therefore hits the same faults on every run, which is what
-//! makes recovery testable: `FaultPlan::from_seed(seed, profile)` expands
-//! a `u64` seed into a reproducible schedule, and a failing seed from a
-//! property test replays exactly.
+//! Faults trigger on *logical* progress counters or on the **modeled
+//! clock**, never on wall-clock time: worker faults fire on the N-th
+//! executable job a shard receives, link faults on the N-th message burst
+//! the interconnect stages or on every burst staged inside a modeled-cycle
+//! window ([`FaultPlan::drop_window`] — how network partitions are
+//! modeled). The same workload therefore hits the same faults on every
+//! run, which is what makes recovery testable:
+//! `FaultPlan::from_seed(seed, profile)` expands a `u64` seed into a
+//! reproducible schedule, and a failing seed from a property test replays
+//! exactly.
+//!
+//! The same philosophy extends one level up: [`HostFaultPlan`] schedules
+//! **host-level** crashes, stalls, and partitions on the modeled clock for
+//! `pim-fleet`'s multi-host router, seeded the same way
+//! ([`HostFaultPlan::from_seed`]).
 //!
 //! The injector counts what it fired ([`FaultStats`]) and reports it as
 //! `fault.*` metrics into every [`MetricsSnapshot`]
@@ -71,6 +79,27 @@ pub enum LinkFault {
     Corrupt,
 }
 
+/// A link fault applied to **every** burst staged while the modeled clock
+/// is inside `[start, end)` — the cycle-window schedule that models a
+/// network partition (all traffic lost for a span of modeled time) rather
+/// than a single flaky message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkWindow {
+    /// First modeled cycle of the window (inclusive).
+    pub start: u64,
+    /// End of the window (exclusive).
+    pub end: u64,
+    /// Fault every in-window burst suffers.
+    pub fault: LinkFault,
+}
+
+impl LinkWindow {
+    /// Whether the window covers modeled cycle `now`.
+    pub fn contains(&self, now: u64) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
 /// A deterministic schedule of faults keyed by logical progress counters.
 ///
 /// Build one explicitly ([`crash_at`](FaultPlan::crash_at) and friends)
@@ -87,6 +116,11 @@ pub struct FaultPlan {
     /// `burst index -> fault`. Burst indices count the message groups the
     /// interconnect stages cluster-wide, starting at 0.
     link: HashMap<u64, LinkFault>,
+    /// Cycle-window link faults, consulted by
+    /// [`FaultInjector::link_fault_at`] for every staged burst. Windows
+    /// need the modeled clock to be advancing (telemetry enabled); with
+    /// the clock parked at 0 only windows covering cycle 0 fire.
+    link_windows: Vec<LinkWindow>,
 }
 
 /// Shape of a randomly generated [`FaultPlan`] — how many faults of each
@@ -204,14 +238,42 @@ impl FaultPlan {
         self
     }
 
-    /// Whether the plan schedules nothing.
-    pub fn is_empty(&self) -> bool {
-        self.worker.is_empty() && self.link.is_empty()
+    /// Drops every burst staged while the modeled clock is in
+    /// `[start, end)` — a full link outage (network partition) for that
+    /// span of modeled time.
+    pub fn drop_window(mut self, start: u64, end: u64) -> Self {
+        self.link_windows.push(LinkWindow {
+            start,
+            end,
+            fault: LinkFault::Drop,
+        });
+        self
     }
 
-    /// Number of scheduled faults (worker + link).
+    /// Corrupts (detectably) every burst staged while the modeled clock is
+    /// in `[start, end)`.
+    pub fn corrupt_window(mut self, start: u64, end: u64) -> Self {
+        self.link_windows.push(LinkWindow {
+            start,
+            end,
+            fault: LinkFault::Corrupt,
+        });
+        self
+    }
+
+    /// The cycle-window link-fault schedules.
+    pub fn link_windows(&self) -> &[LinkWindow] {
+        &self.link_windows
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.worker.is_empty() && self.link.is_empty() && self.link_windows.is_empty()
+    }
+
+    /// Number of scheduled faults (worker + link + link windows).
     pub fn len(&self) -> usize {
-        self.worker.len() + self.link.len()
+        self.worker.len() + self.link.len() + self.link_windows.len()
     }
 }
 
@@ -299,11 +361,33 @@ impl FaultInjector {
     }
 
     /// Advances the staged-burst counter and returns the fault scheduled
-    /// for this burst, if any. Called by the cluster's transfer path once
-    /// per `(src, dst)` message group, *before* the transfer executes.
+    /// for this burst by **index**, if any. Cycle-window schedules are not
+    /// consulted — use [`link_fault_at`](FaultInjector::link_fault_at)
+    /// when the modeled clock is available.
     pub fn link_fault(&self) -> Option<LinkFault> {
         let idx = self.bursts.fetch_add(1, Ordering::Relaxed);
-        let fault = self.plan.link.get(&idx).copied();
+        self.count_link(self.plan.link.get(&idx).copied())
+    }
+
+    /// Advances the staged-burst counter and returns the fault scheduled
+    /// for this burst, consulting both the by-index schedule and the
+    /// cycle-window schedules against modeled cycle `now`. Called by the
+    /// cluster's transfer path once per `(src, dst)` message group,
+    /// *before* the transfer executes. A by-index fault wins collisions
+    /// with a window (one burst, one fault).
+    pub fn link_fault_at(&self, now: u64) -> Option<LinkFault> {
+        let idx = self.bursts.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.link.get(&idx).copied().or_else(|| {
+            self.plan
+                .link_windows
+                .iter()
+                .find(|w| w.contains(now))
+                .map(|w| w.fault)
+        });
+        self.count_link(fault)
+    }
+
+    fn count_link(&self, fault: Option<LinkFault>) -> Option<LinkFault> {
         match fault {
             Some(LinkFault::Drop) => {
                 self.link_dropped.fetch_add(1, Ordering::Relaxed);
@@ -325,6 +409,179 @@ impl FaultInjector {
             link_dropped: self.link_dropped.load(Ordering::Relaxed),
             link_corrupted: self.link_corrupted.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// A fault injected into one serving **host** (a whole `PimCluster` +
+/// `Gateway` behind a fleet router), scheduled on the modeled clock. The
+/// host analogue of [`WorkerFault`]: where a worker fault kills one shard
+/// thread inside a cluster, a host fault takes the entire host out of the
+/// fleet's routing plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostFault {
+    /// The host dies permanently: its lease lapses, its sessions are
+    /// orphaned, and in-flight results are lost.
+    Crash,
+    /// The host stops heartbeating for `cycles` modeled cycles (alive but
+    /// unresponsive — a GC pause, an overloaded event loop). Its lease may
+    /// lapse and its sessions fail over; the host rejoins empty afterward.
+    Stall {
+        /// Modeled cycles of heartbeat silence.
+        cycles: u64,
+    },
+    /// The host is unreachable from the router (and lease store) for
+    /// `cycles` modeled cycles — the host-tier network partition. Same
+    /// observable effect as a stall from the fleet's side, but modeled as
+    /// a link property, not a host property.
+    Partition {
+        /// Modeled cycles of unreachability.
+        cycles: u64,
+    },
+}
+
+/// A deterministic schedule of host-level faults on the modeled clock —
+/// the `FaultPlan` extension consumed by `pim-fleet`. Events fire when the
+/// fleet's tick first observes the modeled clock at or past their cycle.
+#[derive(Debug, Clone, Default)]
+pub struct HostFaultPlan {
+    /// `(cycle, host, fault)` sorted by cycle (ties: host order) — the
+    /// fleet consumes this with a cursor, so firing order is total.
+    events: Vec<(u64, usize, HostFault)>,
+}
+
+/// Shape of a randomly generated [`HostFaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFaultProfile {
+    /// Hosts faults may land on (`0..hosts`).
+    pub hosts: usize,
+    /// Host this many crashes are scheduled for — `None` spreads them.
+    /// A schedule that crashes *every* host leaves nothing to fail over
+    /// to; keep at least one host out of the crash set via
+    /// [`spare_host`](HostFaultProfile::spare_host) when the workload must
+    /// finish.
+    pub single_host: Option<usize>,
+    /// Host crashes to schedule.
+    pub crashes: usize,
+    /// Host stalls to schedule.
+    pub stalls: usize,
+    /// Partitions to schedule.
+    pub partitions: usize,
+    /// Stall/partition lengths are drawn from `1..=max_outage_cycles`.
+    pub max_outage_cycles: u64,
+    /// Fault cycles land in `0..cycle_horizon`.
+    pub cycle_horizon: u64,
+    /// Never schedule a crash on this host (survivor guarantee).
+    pub spare_host: Option<usize>,
+}
+
+impl Default for HostFaultProfile {
+    fn default() -> Self {
+        HostFaultProfile {
+            hosts: 2,
+            single_host: None,
+            crashes: 1,
+            stalls: 1,
+            partitions: 1,
+            max_outage_cycles: 50_000,
+            cycle_horizon: 200_000,
+            spare_host: None,
+        }
+    }
+}
+
+impl HostFaultPlan {
+    /// An empty plan.
+    pub fn none() -> Self {
+        HostFaultPlan::default()
+    }
+
+    /// Expands `seed` into a reproducible host-fault schedule shaped by
+    /// `profile`. The same `(seed, profile)` pair always yields the same
+    /// plan.
+    pub fn from_seed(seed: u64, profile: &HostFaultProfile) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hosts = profile.hosts.max(1);
+        let horizon = profile.cycle_horizon.max(1);
+        let mut plan = HostFaultPlan::default();
+        let host_of = |rng: &mut StdRng| match profile.single_host {
+            Some(h) => h.min(hosts - 1),
+            None => (rng.next_u64() % hosts as u64) as usize,
+        };
+        for _ in 0..profile.crashes {
+            let mut host = host_of(&mut rng);
+            if Some(host) == profile.spare_host {
+                host = (host + 1) % hosts;
+            }
+            let cycle = rng.next_u64() % horizon;
+            plan.events.push((cycle, host, HostFault::Crash));
+        }
+        for _ in 0..profile.stalls {
+            let host = host_of(&mut rng);
+            let cycle = rng.next_u64() % horizon;
+            let cycles = rng.next_u64() % profile.max_outage_cycles.max(1) + 1;
+            plan.events.push((cycle, host, HostFault::Stall { cycles }));
+        }
+        for _ in 0..profile.partitions {
+            let host = host_of(&mut rng);
+            let cycle = rng.next_u64() % horizon;
+            let cycles = rng.next_u64() % profile.max_outage_cycles.max(1) + 1;
+            plan.events
+                .push((cycle, host, HostFault::Partition { cycles }));
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// Schedules a permanent host crash at modeled cycle `cycle`.
+    pub fn crash_at(mut self, host: usize, cycle: u64) -> Self {
+        self.events.push((cycle, host, HostFault::Crash));
+        self.normalize();
+        self
+    }
+
+    /// Schedules a heartbeat stall of `cycles` modeled cycles starting at
+    /// `cycle`.
+    pub fn stall_at(mut self, host: usize, cycle: u64, cycles: u64) -> Self {
+        self.events.push((cycle, host, HostFault::Stall { cycles }));
+        self.normalize();
+        self
+    }
+
+    /// Schedules a router-side partition of `cycles` modeled cycles
+    /// starting at `cycle`.
+    pub fn partition_at(mut self, host: usize, cycle: u64, cycles: u64) -> Self {
+        self.events
+            .push((cycle, host, HostFault::Partition { cycles }));
+        self.normalize();
+        self
+    }
+
+    fn normalize(&mut self) {
+        self.events.sort_by_key(|&(cycle, host, _)| (cycle, host));
+    }
+
+    /// The schedule, sorted by `(cycle, host)`.
+    pub fn events(&self) -> &[(u64, usize, HostFault)] {
+        &self.events
+    }
+
+    /// Crashes scheduled for `host` (the fleet's failover counters are
+    /// checked against this).
+    pub fn crashes_of(&self, host: usize) -> usize {
+        self.events
+            .iter()
+            .filter(|&&(_, h, f)| h == host && f == HostFault::Crash)
+            .count()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled host faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
     }
 }
 
@@ -423,5 +680,84 @@ mod tests {
     fn out_of_range_shard_is_inert() {
         let inj = FaultInjector::new(FaultPlan::none().crash_at(9, 0), 2);
         assert_eq!(inj.worker_fault(9), None);
+    }
+
+    #[test]
+    fn cycle_window_faults_every_burst_inside_the_window() {
+        let inj = FaultInjector::new(FaultPlan::none().drop_window(100, 200), 1);
+        // Outside the window: clean, however many bursts are staged.
+        assert_eq!(inj.link_fault_at(0), None);
+        assert_eq!(inj.link_fault_at(99), None);
+        // Inside: every burst drops, not just one index.
+        assert_eq!(inj.link_fault_at(100), Some(LinkFault::Drop));
+        assert_eq!(inj.link_fault_at(150), Some(LinkFault::Drop));
+        assert_eq!(inj.link_fault_at(199), Some(LinkFault::Drop));
+        // End is exclusive.
+        assert_eq!(inj.link_fault_at(200), None);
+        assert_eq!(inj.stats().link_dropped, 3);
+    }
+
+    #[test]
+    fn index_fault_wins_collision_with_window() {
+        let plan = FaultPlan::none().corrupt_burst(0).drop_window(0, 10);
+        let inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.link_fault_at(5), Some(LinkFault::Corrupt));
+        let stats = inj.stats();
+        assert_eq!(stats.link_corrupted, 1);
+        assert_eq!(stats.link_dropped, 0);
+    }
+
+    #[test]
+    fn by_index_link_fault_ignores_windows() {
+        let inj = FaultInjector::new(FaultPlan::none().drop_window(0, u64::MAX), 1);
+        assert_eq!(inj.link_fault(), None, "index-only path must skip windows");
+        assert_eq!(inj.link_fault_at(0), Some(LinkFault::Drop));
+    }
+
+    #[test]
+    fn host_plan_seed_is_reproducible_and_sorted() {
+        let profile = HostFaultProfile {
+            hosts: 4,
+            crashes: 2,
+            stalls: 2,
+            partitions: 2,
+            ..HostFaultProfile::default()
+        };
+        let a = HostFaultPlan::from_seed(7, &profile);
+        let b = HostFaultPlan::from_seed(7, &profile);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 6);
+        assert!(a.events().windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        let c = HostFaultPlan::from_seed(8, &profile);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn host_plan_spare_host_never_crashes() {
+        let profile = HostFaultProfile {
+            hosts: 3,
+            crashes: 12,
+            stalls: 0,
+            partitions: 0,
+            spare_host: Some(2),
+            ..HostFaultProfile::default()
+        };
+        let plan = HostFaultPlan::from_seed(99, &profile);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|&(_, host, f)| f != HostFault::Crash || host != 2));
+    }
+
+    #[test]
+    fn host_plan_builders_count_crashes() {
+        let plan = HostFaultPlan::none()
+            .crash_at(1, 50_000)
+            .stall_at(0, 10_000, 5_000)
+            .partition_at(2, 20_000, 8_000);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.crashes_of(1), 1);
+        assert_eq!(plan.crashes_of(0), 0);
+        assert_eq!(plan.events()[0].1, 0, "sorted by cycle");
     }
 }

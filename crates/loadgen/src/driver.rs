@@ -173,20 +173,20 @@ impl RunReport {
 /// The condvar parker doubling as the polling loop's waker: shard workers
 /// wake it through the futures' registered wakers; the driver parks with
 /// a short timeout so a missed wake only costs the timeout.
-struct Parker {
+pub(crate) struct Parker {
     flag: Mutex<bool>,
     cv: Condvar,
 }
 
 impl Parker {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Parker {
             flag: Mutex::new(false),
             cv: Condvar::new(),
         }
     }
 
-    fn park_timeout(&self, dur: Duration) {
+    pub(crate) fn park_timeout(&self, dur: Duration) {
         let mut notified = self.flag.lock().unwrap_or_else(|e| e.into_inner());
         if !*notified {
             let (guard, _) = self

@@ -26,6 +26,14 @@
 //! queue-wait p99 diverges), and the p99 at the ~70%-of-peak healthy
 //! operating point — the `open_loop_*` rows of `BENCH_serve.json`.
 //!
+//! [`run_fleet`] drives the same open loop against a multi-host
+//! [`pim_fleet::Fleet`]: sessions are fleet placements that move on
+//! failover, stale completions are discarded and re-issued against the
+//! new placement, and the report carries the control-plane activity
+//! (elections, failovers, re-issues) the fault schedule provoked.
+//! [`latency_vs_load_fleet`] sweeps it — the `fleet_*` rows of
+//! `BENCH_serve.json`.
+//!
 //! ## Determinism
 //!
 //! Arrival schedules are materialized from the seed before the run
@@ -79,11 +87,15 @@
 //! ```
 
 mod driver;
+mod fleet;
 mod profile;
 mod shape;
 mod slo;
 
 pub use driver::{run, ClassSpec, LoadgenConfig, RunReport, MODELED_CYCLES_PER_SEC};
+pub use fleet::{
+    latency_vs_load_fleet, run_fleet, FleetRunReport, FleetSweepPoint, FleetSweepReport,
+};
 pub use profile::{build_schedule, Arrival, ArrivalProfile};
 pub use shape::{RequestShape, Template};
 pub use slo::{latency_vs_load, run_slo, SloConfig, SloReport, SweepPoint, SweepReport, WindowSlo};
@@ -162,6 +174,97 @@ mod tests {
         assert_eq!(sa.to_json(), sb.to_json(), "SLO JSON must be bit-identical");
         assert_eq!(ra.windows, rb.windows, "window series must be identical");
         assert_eq!(ra.end_cycle, rb.end_cycle);
+        Ok(())
+    }
+
+    fn fleet_cfg(fault: pim_fault::HostFaultPlan) -> pim_fleet::FleetConfig {
+        pim_fleet::FleetConfig {
+            hosts: 2,
+            chip: PimConfig::small().with_crossbars(8),
+            serve: ServeConfig {
+                max_queue_depth: 0,
+                ..ServeConfig::default()
+            },
+            fault,
+            ..pim_fleet::FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_run_fault_free_completes_everything() -> Result<()> {
+        let fleet = pim_fleet::Fleet::new(fleet_cfg(pim_fault::HostFaultPlan::none()))?;
+        let report = run_fleet(&fleet, &small_cfg())?;
+        assert!(report.injected > 0);
+        assert_eq!(report.completed + report.failed, report.injected);
+        assert_eq!(report.failed, 0, "fault-free fleet must not fail requests");
+        assert_eq!(report.reissued, 0);
+        assert_eq!(report.fleet.failovers, 0);
+        assert_eq!(report.fleet.leader_changes, 0, "leader elected before run");
+        assert!(!report.windows.is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn fleet_run_matches_single_host_totals_and_is_reproducible() -> Result<()> {
+        let cfg = small_cfg();
+        let a = run_fleet(
+            &pim_fleet::Fleet::new(fleet_cfg(pim_fault::HostFaultPlan::none()))?,
+            &cfg,
+        )?;
+        let b = run_fleet(
+            &pim_fleet::Fleet::new(fleet_cfg(pim_fault::HostFaultPlan::none()))?,
+            &cfg,
+        )?;
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(
+            a.end_cycle, b.end_cycle,
+            "same seed must replay bit-identically"
+        );
+        assert_eq!(a.latency.p99, b.latency.p99);
+        assert_eq!(a.windows, b.windows);
+        Ok(())
+    }
+
+    #[test]
+    fn fleet_run_leader_kill_fails_over_and_still_completes() -> Result<()> {
+        let fault = pim_fault::HostFaultPlan::none().crash_at(0, 100_000);
+        let fleet = pim_fleet::Fleet::new(fleet_cfg(fault))?;
+        let report = run_fleet(&fleet, &small_cfg())?;
+        assert_eq!(report.fleet.failovers, 1, "one crash, one failover");
+        assert_eq!(
+            report.fleet.leader_changes, 1,
+            "killing the leader must force exactly one re-election"
+        );
+        assert!(report.fleet.orphaned_sessions > 0);
+        assert!(report.failover_cycles.count >= 1);
+        assert_eq!(
+            report.completed + report.failed,
+            report.injected,
+            "every request resolves — no hangs"
+        );
+        assert_eq!(report.failed, 0, "a survivor exists, so nothing may fail");
+        Ok(())
+    }
+
+    #[test]
+    fn fleet_sweep_reports_degraded_knee() -> Result<()> {
+        let mut base = small_cfg();
+        base.horizon_cycles = 150_000;
+        base.window_cycles = 30_000;
+        base.drain = false;
+        let sweep = latency_vs_load_fleet(
+            || {
+                pim_fleet::Fleet::new(fleet_cfg(
+                    pim_fault::HostFaultPlan::none().crash_at(0, 50_000),
+                ))
+            },
+            &base,
+            &[0.5, 1.0],
+        )?;
+        assert_eq!(sweep.points.len(), 2);
+        assert!(sweep.knee_rps > 0.0);
+        assert!(sweep.points.iter().all(|p| p.failovers == 1));
+        assert!(sweep.failover_p99_cycles > 0);
         Ok(())
     }
 

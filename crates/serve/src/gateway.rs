@@ -835,6 +835,70 @@ impl Gateway {
     pub fn session_stats(&self) -> Vec<(u32, u64, RequestStats)> {
         self.inner.dev.telemetry().session_stats()
     }
+
+    /// Sessions currently open on this gateway: slots that still hold a
+    /// placement window (closed and evicted sessions have released
+    /// theirs). The load signal a multi-host router balances on.
+    pub fn active_sessions(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.windows.iter().filter(|w| w.is_some()).count()
+    }
+}
+
+/// The router-facing surface of one serving host.
+///
+/// A fleet router places sessions, balances on load, and scrapes
+/// observability — nothing more. [`Gateway`] implements this in-process;
+/// the methods take `&self`, return owned data, and never expose gateway
+/// internals, so an RPC proxy to a remote host can implement the same
+/// surface later without changing the router.
+pub trait GatewayHost {
+    /// Opens a client session on this host (see [`Gateway::session`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfMemory`] when no placement window is
+    /// left on the host.
+    fn open_session(&self) -> Result<ClusterClient>;
+
+    /// Sessions currently open (the router's load signal).
+    fn active_sessions(&self) -> usize;
+
+    /// Evicts a session by id: its queued work fails with
+    /// [`CoreError::Evicted`] and further admissions are refused.
+    fn evict_session(&self, session: usize);
+
+    /// The host's telemetry handle (modeled clock, metrics registry).
+    fn telemetry(&self) -> &Telemetry;
+
+    /// One unified metrics snapshot across every layer of the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shard's failure if a worker thread died unrecoverably.
+    fn metrics_snapshot(&self) -> Result<MetricsSnapshot>;
+}
+
+impl GatewayHost for Gateway {
+    fn open_session(&self) -> Result<ClusterClient> {
+        self.session()
+    }
+
+    fn active_sessions(&self) -> usize {
+        Gateway::active_sessions(self)
+    }
+
+    fn evict_session(&self, session: usize) {
+        Gateway::evict_session(self, session);
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        Gateway::telemetry(self)
+    }
+
+    fn metrics_snapshot(&self) -> Result<MetricsSnapshot> {
+        Gateway::metrics_snapshot(self)
+    }
 }
 
 #[cfg(test)]
@@ -1076,6 +1140,26 @@ mod tests {
         drop(fut);
         drop(client2);
         assert_eq!(depth2.get(), 0);
+    }
+
+    #[test]
+    fn active_sessions_tracks_open_windows() {
+        let gw = dev4().serve(ServeConfig::default());
+        assert_eq!(gw.active_sessions(), 0);
+        let a = gw.session_with_warps(4).unwrap();
+        let b = gw.session_with_warps(4).unwrap();
+        assert_eq!(gw.active_sessions(), 2);
+        // Eviction releases the window: the session no longer counts.
+        gw.evict_session(a.id());
+        assert_eq!(gw.active_sessions(), 1);
+        drop(b);
+        assert_eq!(gw.active_sessions(), 0);
+        // The router-facing trait sees the same numbers.
+        let host: &dyn GatewayHost = &gw;
+        let c = host.open_session().unwrap();
+        assert_eq!(host.active_sessions(), 1);
+        drop(c);
+        drop(a);
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod gateway;
 mod plan;
 mod session;
 
-pub use gateway::{ExecFuture, Gateway, GatewayStats};
+pub use gateway::{ExecFuture, Gateway, GatewayHost, GatewayStats};
 pub use pim_telemetry::{MetricsSnapshot, RequestId, RequestStats, Telemetry};
 pub use plan::RequestPlan;
 pub use session::ClusterClient;

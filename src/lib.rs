@@ -20,6 +20,11 @@
 //!   drives many in-flight client sessions, each with its own placement
 //!   window, through an admission controller that coalesces their steps
 //!   into shared cluster submissions ([`Gateway`], [`ClusterClient`]).
+//! * [`fleet`] — multi-host serving: `N` in-process gateway hosts behind
+//!   one router with lease-based leader election on the modeled clock and
+//!   deterministic failover — sessions re-place onto survivors and
+//!   in-flight results from dead placements are discarded and re-issued
+//!   ([`Fleet`], [`FleetSession`]).
 //! * [`telemetry`] — unified tracing + metrics: a lock-cheap registry
 //!   (counters/gauges/log-bucketed histograms behind one
 //!   `MetricsSnapshot`), windowed time series (`WindowSampler`), and
@@ -125,6 +130,7 @@
 pub use pim_arch as arch;
 pub use pim_cluster as cluster;
 pub use pim_driver as driver;
+pub use pim_fleet as fleet;
 pub use pim_func as func;
 pub use pim_isa as isa;
 pub use pim_loadgen as loadgen;
@@ -138,5 +144,8 @@ pub use pim_cluster::{
     Interconnect, InterconnectConfig, JobSet, JobTicket, MoveCoalescer, PimCluster, ShardPlan,
     Staging, Submission, TrafficStats,
 };
-pub use pim_serve::{ClusterClient, DeviceServeExt, Gateway, GatewayStats, ServeConfig};
+pub use pim_fleet::{Fleet, FleetConfig, FleetSession, FleetStats, Lease, LeaseStore};
+pub use pim_serve::{
+    ClusterClient, DeviceServeExt, Gateway, GatewayHost, GatewayStats, ServeConfig,
+};
 pub use pypim_core::*;

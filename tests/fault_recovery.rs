@@ -336,6 +336,141 @@ fn retry_budget_exhaustion_surfaces_the_typed_error() {
 }
 
 // ---------------------------------------------------------------------
+// Combined schedules: worker crash overlapping a link-fault window
+// ---------------------------------------------------------------------
+
+/// A request whose reduction *must* cross the interconnect: 512 elements
+/// fill all 8 warps of the session window (4 per chip), so the first fold
+/// copies shard 1's half onto shard 0 through staged bursts — the traffic
+/// cycle-window link faults target. Values are exact multiples of 0.25,
+/// so every partial sum is exactly representable and the result's bits
+/// are placement- and order-independent.
+async fn crossing_request(client: &ClusterClient, seed: f32) -> Result<f32> {
+    let data: Vec<f32> = (0..512).map(|i| seed + (i % 16) as f32 * 0.25).collect();
+    let x = client.upload_f32(&data).await?;
+    client.sum_f32(&x).await
+}
+
+/// Fault-free reference bits for `crossing_request(seed)`.
+fn crossing_reference_bits(seed: f32) -> u32 {
+    let dev = Device::cluster(cfg(), SHARDS).unwrap();
+    let gw = dev.serve(ServeConfig::default());
+    let client = gw.session_with_warps(8).unwrap();
+    block_on(crossing_request(&client, seed)).unwrap().to_bits()
+}
+
+#[test]
+fn crash_inside_corruption_window_is_absorbed_by_one_retry_budget() {
+    // Two overlapping fault sources: shard 0's worker crashes on its
+    // second job while every staged burst in the first 6 000 modeled
+    // cycles corrupts (detected). Retry backoff advances the modeled
+    // clock, so retries *walk the request out of the window* — one
+    // generous budget absorbs both faults transparently.
+    let plan = FaultPlan::none().crash_at(0, 1).corrupt_window(0, 6_000);
+    let (dev, injector) = faulty_device(plan, RecoveryConfig::default());
+    let gw = dev.serve(ServeConfig {
+        max_retries: 5,
+        retry_backoff_cycles: 3_000,
+        ..ServeConfig::default()
+    });
+    // An 8-warp window spans both chips so reductions stage crossing
+    // bursts — the traffic the window corrupts.
+    let client = gw.session_with_warps(8).unwrap();
+
+    let got = block_on_timeout(crossing_request(&client, 3.0), Duration::from_secs(30))
+        .expect("request hung under combined schedule")
+        .expect("budget of 5 should absorb crash + window");
+    assert_eq!(
+        got.to_bits(),
+        crossing_reference_bits(3.0),
+        "combined-fault result diverged"
+    );
+    assert_eq!(injector.stats().worker_crashes, 1);
+    assert!(
+        injector.stats().link_corrupted >= 1,
+        "window never fired: {:?}",
+        injector.stats()
+    );
+    assert!(gw.stats().retries >= 2, "both faults should cost retries");
+}
+
+#[test]
+fn tight_budget_under_combined_schedule_stays_typed_then_drains() {
+    // Same overlap, but a budget of one cannot cross a 6 000-cycle window
+    // with 1 000-cycle backoffs: some requests must surface the typed
+    // transient error. Later requests start with the clock already past
+    // the window, so the fleet of faults drains and service recovers
+    // bit-identically — never a hang, never corruption.
+    let plan = FaultPlan::none().crash_at(0, 1).corrupt_window(0, 6_000);
+    let (dev, injector) = faulty_device(plan, RecoveryConfig::default());
+    let gw = dev.serve(ServeConfig {
+        max_retries: 1,
+        retry_backoff_cycles: 1_000,
+        ..ServeConfig::default()
+    });
+    let client = gw.session_with_warps(8).unwrap();
+
+    let expected = crossing_reference_bits(6.0);
+    let mut saw_typed_error = false;
+    let mut recovered = false;
+    for _ in 0..10 {
+        let outcome = block_on_timeout(crossing_request(&client, 6.0), Duration::from_secs(30))
+            .expect("request hung under combined schedule");
+        match outcome {
+            Ok(v) => {
+                assert_eq!(v.to_bits(), expected, "post-drain result diverged");
+                recovered = true;
+                break;
+            }
+            Err(e) => {
+                assert_eq!(e.class(), ErrorClass::Transient, "untyped error {e:?}");
+                saw_typed_error = true;
+                // Failed attempts still advance the modeled clock via
+                // backoff; force progress out of the window regardless.
+                dev.telemetry().advance_clock(dev.telemetry().now() + 1_000);
+            }
+        }
+    }
+    assert!(
+        saw_typed_error,
+        "a budget of 1 crossed a 6-backoff-wide window?"
+    );
+    assert!(recovered, "service did not recover after the window closed");
+    assert!(injector.stats().link_corrupted >= 1);
+}
+
+#[test]
+fn drop_window_partitions_the_link_then_heals() {
+    // A pure cycle-window partition (every burst dropped, no worker
+    // faults): inside the window crossing requests resolve typed; once
+    // the modeled clock passes the window's end the same session serves
+    // bit-identically again.
+    let plan = FaultPlan::none().drop_window(2_000, 10_000);
+    let (dev, injector) = faulty_device(plan, RecoveryConfig::default());
+    let gw = dev.serve(ServeConfig {
+        max_retries: 0,
+        ..ServeConfig::default()
+    });
+    let client = gw.session_with_warps(8).unwrap();
+
+    // Park the clock inside the window: with no retries, the first
+    // crossing burst surfaces the typed link fault immediately.
+    dev.telemetry().advance_clock(2_000);
+    let err = block_on_timeout(crossing_request(&client, 7.0), Duration::from_secs(30))
+        .expect("request hung inside drop window")
+        .expect_err("a dropped burst with no retries must surface");
+    assert_eq!(err.class(), ErrorClass::Transient, "{err:?}");
+    assert!(injector.stats().link_dropped >= 1);
+
+    // Heal: jump past the window and the same session works again.
+    dev.telemetry().advance_clock(10_000);
+    let got = block_on_timeout(crossing_request(&client, 7.0), Duration::from_secs(30))
+        .expect("request hung after window closed")
+        .expect("healed link should serve");
+    assert_eq!(got.to_bits(), crossing_reference_bits(7.0));
+}
+
+// ---------------------------------------------------------------------
 // Property: seeded schedules never hang and never silently corrupt
 // ---------------------------------------------------------------------
 

@@ -20,7 +20,8 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         // The real crate defaults to 256; the stub trades coverage for CI
-        // speed (no shrinking means failures replay instantly anyway).
+        // speed (generation is cheap and deterministic, so failures
+        // replay instantly anyway).
         ProptestConfig { cases: 64 }
     }
 }
@@ -108,8 +109,8 @@ impl std::fmt::Display for TestError {
 
 impl std::error::Error for TestError {}
 
-/// Executes a property over many generated cases. No shrinking: a failure
-/// reports the exact generated input.
+/// Executes a property over many generated cases. A failing case is
+/// greedily shrunk (bounded extra executions) before being reported.
 #[derive(Debug)]
 pub struct TestRunner {
     config: ProptestConfig,
@@ -146,12 +147,16 @@ impl TestRunner {
 
     /// Runs `test` over generated inputs until the configured number of
     /// cases is accepted (rejections retry, bounded at 20× the case count).
+    /// The first failing case is shrunk before being reported: the runner
+    /// repeatedly adopts the first [`Strategy::shrink`] candidate that
+    /// still fails, stopping at a local minimum or after 256 extra test
+    /// executions.
     ///
     /// # Errors
     ///
-    /// Returns the first failing case with its input rendering, or an
-    /// error if `prop_assume!` rejected *every* attempt — a property that
-    /// verified nothing must not pass silently.
+    /// Returns the first failing case (shrunk) with its input rendering,
+    /// or an error if `prop_assume!` rejected *every* attempt — a property
+    /// that verified nothing must not pass silently.
     pub fn run<S>(
         &mut self,
         strategy: &S,
@@ -159,7 +164,7 @@ impl TestRunner {
     ) -> Result<(), TestError>
     where
         S: Strategy,
-        S::Value: Debug,
+        S::Value: Debug + Clone,
     {
         let mut accepted = 0u32;
         let mut attempts = 0u32;
@@ -167,14 +172,15 @@ impl TestRunner {
         while accepted < self.config.cases && attempts < max_attempts {
             attempts += 1;
             let value = strategy.generate(&mut self.rng);
-            let rendering = format!("{value:?}");
-            match test(value) {
+            match test(value.clone()) {
                 Ok(()) => accepted += 1,
                 Err(TestCaseError::Reject(_)) => {}
                 Err(TestCaseError::Fail(message)) => {
+                    let (best, best_msg) =
+                        Self::shrink_failure(strategy, value, message, &mut test);
                     return Err(TestError {
-                        message,
-                        input: rendering,
+                        message: best_msg,
+                        input: format!("{best:?}"),
                     });
                 }
             }
@@ -193,6 +199,42 @@ impl TestRunner {
             });
         }
         Ok(())
+    }
+
+    /// Greedy shrink: adopt the first candidate that still fails, re-ask
+    /// the strategy from the adopted value, stop at a fixpoint (no
+    /// candidate fails) or once `MAX_SHRINK_EXECS` re-executions are
+    /// spent. Rejected candidates (`prop_assume!`) count as passing —
+    /// they are outside the property's domain.
+    fn shrink_failure<S>(
+        strategy: &S,
+        seed: S::Value,
+        seed_msg: String,
+        test: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) -> (S::Value, String)
+    where
+        S: Strategy,
+        S::Value: Clone,
+    {
+        const MAX_SHRINK_EXECS: u32 = 256;
+        let mut best = seed;
+        let mut best_msg = seed_msg;
+        let mut execs = 0u32;
+        'rounds: loop {
+            for cand in strategy.shrink(&best) {
+                if execs >= MAX_SHRINK_EXECS {
+                    break 'rounds;
+                }
+                execs += 1;
+                if let Err(TestCaseError::Fail(msg)) = test(cand.clone()) {
+                    best = cand;
+                    best_msg = msg;
+                    continue 'rounds;
+                }
+            }
+            break;
+        }
+        (best, best_msg)
     }
 }
 
@@ -239,6 +281,58 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.message.contains("too big"));
+    }
+
+    #[test]
+    fn shrinks_monotone_int_to_exact_minimum() {
+        // The halving chain crosses the gap fast; the trailing `v - 1`
+        // candidate walks the last few steps, so the fixpoint is the
+        // smallest failing value, exactly.
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(0u32..1000,), |(v,)| {
+                prop_assert!(v < 10, "value {v} too big");
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err.input, "(10,)", "{}", err.message);
+        assert!(err.message.contains("value 10 too big"));
+    }
+
+    #[test]
+    fn shrinks_vec_to_minimal_witness() {
+        // Removal candidates shed the irrelevant elements; element
+        // shrinking then minimizes the surviving witness.
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(crate::collection::vec(0i32..100, 0..8),), |(v,)| {
+                prop_assert!(v.iter().all(|&x| x < 10), "big element in {v:?}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err.input, "([10],)", "{}", err.message);
+    }
+
+    #[test]
+    fn shrink_respects_vec_lower_bound() {
+        // A failing case over `vec(_, 3..8)` must not shrink below three
+        // elements even though shorter vectors would still fail.
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(crate::collection::vec(0i32..100, 3..8),), |(v,)| {
+                prop_assert!(v.len() < 3, "len {} >= 3", v.len());
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err.input, "([0, 0, 0],)", "{}", err.message);
+    }
+
+    #[test]
+    fn passing_property_is_untouched_by_shrinking() {
+        let mut runner = TestRunner::default();
+        runner
+            .run(&(0u32..1000,), |(_v,)| Ok(()))
+            .expect("property holds");
     }
 
     proptest! {
